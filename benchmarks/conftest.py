@@ -1,0 +1,56 @@
+"""Benchmark harness plumbing.
+
+Benchmarks regenerate the paper's tables and figures. Each benchmark
+registers its rendered table with the ``report`` fixture; the collected
+tables are printed in the terminal summary (so they survive pytest's
+output capture) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_collected: list[tuple[str, str]] = []
+
+
+class BenchReport:
+    """Collects rendered tables keyed by experiment id."""
+
+    def add(self, experiment_id: str, text: str) -> None:
+        _collected.append((experiment_id, text))
+
+    def table(self, experiment_id: str, headers, rows, title: str = "") -> None:
+        from repro.bench.reporting import table_text
+
+        caption = f"[{experiment_id}] {title}".rstrip()
+        self.add(experiment_id, table_text(headers, rows, title=caption))
+
+
+@pytest.fixture
+def report() -> BenchReport:
+    return BenchReport()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    terminalreporter.section("paper tables and figures (reproduced)")
+    for experiment_id, text in _collected:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+        path = os.path.join(_RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "a") as handle:
+            handle.write(text + "\n\n")
+
+
+def pytest_sessionstart(session):
+    # Fresh results per run.
+    if os.path.isdir(_RESULTS_DIR):
+        for name in os.listdir(_RESULTS_DIR):
+            if name.endswith(".txt"):
+                os.unlink(os.path.join(_RESULTS_DIR, name))

@@ -1,0 +1,133 @@
+"""E8 — ablation: derived objects vs copy-and-materialize (§4.2).
+
+The paper's claims, measured head to head:
+
+* "to delete a video subsequence one could copy and reassemble the frame
+  data, but it would be much more efficient to simply create a
+  derivation representing the edit" — edit-creation time and stored
+  bytes, derivation vs copy.
+* "if expansion can be done in real time then the derived object is all
+  that needs be stored" — the resource model's decision on this machine.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_bytes
+from repro.core import stream_ops
+from repro.edit import MediaEditor
+from repro.engine.resources import ResourceModel
+from repro.media import frames
+from repro.media.objects import video_object
+
+
+@pytest.fixture(scope="module")
+def footage():
+    return video_object(frames.scene(160, 120, 100, "orbit"), "footage")
+
+
+def copy_and_reassemble(video, in_tick, out_tick):
+    """The eager alternative: materialize the selected frames now."""
+    stream = video.stream()
+    selected = stream_ops.select_range(stream, in_tick, out_tick)
+    # Deep-copy the payloads, as a copying editor would.
+    copied = stream_ops.map_elements(
+        selected, lambda e: type(e)(payload=e.payload.copy(), size=e.size),
+    )
+    return copied
+
+
+def test_edit_creation_cost(report, benchmark, footage):
+    editor = MediaEditor()
+
+    def derive():
+        return editor.cut(footage, 10, 90)
+
+    derived = benchmark(derive)
+    assert derived.is_derived
+
+
+def test_copy_creation_cost(benchmark, footage):
+    copied = benchmark(lambda: copy_and_reassemble(footage, 10, 90))
+    assert len(copied) == 80
+
+
+def test_derivation_vs_copy_table(report, benchmark, footage):
+    import time
+
+    editor = MediaEditor()
+    benchmark(lambda: MediaEditor().cut(footage, 10, 90))
+    begin = time.perf_counter()
+    derived = editor.cut(footage, 10, 90, name="cut-derived")
+    derive_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    copied = copy_and_reassemble(footage, 10, 90)
+    copy_seconds = time.perf_counter() - begin
+
+    derived_bytes = derived.derivation_object.storage_size()
+    copied_bytes = copied.total_size()
+
+    rows = [
+        ("create edit", f"{derive_seconds * 1e6:.0f} us",
+         f"{copy_seconds * 1e6:.0f} us",
+         f"{copy_seconds / max(derive_seconds, 1e-9):.0f}x"),
+        ("stored bytes", format_bytes(derived_bytes),
+         format_bytes(copied_bytes),
+         f"{copied_bytes / derived_bytes:,.0f}x"),
+    ]
+    report.table(
+        "ablation-derivation",
+        ("metric", "derivation object", "copy-and-reassemble", "advantage"),
+        rows,
+        title="§4.2 — edit as derivation vs copying frame data",
+    )
+    assert derived_bytes * 100 < copied_bytes
+
+
+def test_chain_reuse(report, benchmark, footage):
+    """'Sequences of derivations can be changed and reused': re-cutting
+    only replaces one tiny derivation object."""
+    editor = MediaEditor()
+    first = editor.cut(footage, 10, 90, name="v-cut-a")
+    revised = editor.cut(footage, 20, 80, name="v-cut-b")
+    benchmark(lambda: first.derivation_object.storage_size()
+              + revised.derivation_object.storage_size())
+    total = (first.derivation_object.storage_size()
+             + revised.derivation_object.storage_size())
+    report.add(
+        "ablation-reuse",
+        "[ablation-reuse] two alternative edits of the same footage "
+        f"cost {total} bytes total; the footage "
+        f"({format_bytes(footage.stream().total_size())}) is never copied",
+    )
+    assert total < 200
+
+
+def test_store_or_expand_decision(report, benchmark, footage):
+    """The §4.2 rule applied by the resource model on this machine."""
+    editor = MediaEditor()
+    cheap = editor.cut(footage, 0, 100, name="cheap-cut")
+    expensive = editor.transition(
+        footage, video_object(frames.scene(160, 120, 100, "cut"), "b"),
+        90, kind="iris", name="big-iris",
+    )
+    model = ResourceModel(speed_factor=1.0)
+    benchmark.pedantic(lambda: model.assess_expansion(cheap),
+                       iterations=1, rounds=1)
+    rows = []
+    for derived in (cheap, expensive):
+        decision = model.assess_expansion(derived)
+        rows.append((
+            derived.name,
+            f"{decision.expansion_seconds * 1000:.1f} ms",
+            f"{decision.duration_seconds * 1000:.0f} ms",
+            f"{decision.margin:.1f}x",
+            decision.recommendation,
+        ))
+    report.table(
+        "ablation-store-or-expand",
+        ("derived object", "expansion", "presentation", "margin",
+         "decision"),
+        rows,
+        title="§4.2 — store the derivation, or materialize?",
+    )

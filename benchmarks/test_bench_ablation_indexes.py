@@ -1,0 +1,166 @@
+"""E9 — ablation: multi-index lookup vs linear scan; layout comparison.
+
+"Existing storage systems for time-based media use multiple index
+structures, allowing rapid lookup of the element occurring at a specific
+time" (§4.1, citing QuickTime's seven indexes). The ablation compares a
+MediaIndex (run-length stts + chunked placement) against a naive linear
+scan of the placement table, across stream sizes — and re-measures the
+interleaved-vs-sequential layout trade-off at scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blob import MemoryBlob
+from repro.storage.indexes import (
+    ChunkOffsetTable,
+    MediaIndex,
+    SampleSizeTable,
+    SampleToChunkTable,
+    TimeToSampleTable,
+)
+from repro.storage.layout import (
+    TrackSpec,
+    playback_schedule,
+    read_cost_model,
+    write_interleaved,
+    write_sequential,
+)
+from repro.core.time_system import CD_AUDIO_TIME, PAL_TIME
+
+
+def build_index(count: int, rng) -> tuple[MediaIndex, list[tuple]]:
+    """A variable-size constant-frequency stream + its raw table."""
+    sizes = rng.integers(500, 1500, count).tolist()
+    samples_per_chunk = 8
+    chunk_count = (count + samples_per_chunk - 1) // samples_per_chunk
+    offsets = []
+    position = 0
+    for chunk in range(chunk_count):
+        offsets.append(position)
+        begin = chunk * samples_per_chunk
+        position += sum(sizes[begin:begin + samples_per_chunk])
+    index = MediaIndex(
+        time_to_sample=TimeToSampleTable([(count, 1)]),
+        sample_sizes=SampleSizeTable.from_sizes(sizes),
+        sample_to_chunk=SampleToChunkTable.uniform(samples_per_chunk,
+                                                   chunk_count),
+        chunk_offsets=ChunkOffsetTable(offsets),
+    )
+    # The naive flat table: (start, duration, size, offset).
+    table = []
+    position = 0
+    for i, size in enumerate(sizes):
+        table.append((i, 1, size, position))
+        position += size
+    return index, table
+
+
+def linear_scan(table, tick):
+    for start, duration, size, offset in table:
+        if start <= tick < start + duration:
+            return offset, size
+    return None
+
+
+@pytest.mark.parametrize("count", [1_000, 10_000, 50_000])
+def test_indexed_lookup(benchmark, count):
+    rng = np.random.default_rng(count)
+    index, _ = build_index(count, rng)
+    ticks = rng.integers(0, count, 200).tolist()
+
+    def indexed():
+        return [index.placement_at_time(t) for t in ticks]
+
+    results = benchmark(indexed)
+    assert all(r is not None for r in results)
+
+
+@pytest.mark.parametrize("count", [1_000, 10_000])
+def test_linear_scan_lookup(benchmark, count):
+    rng = np.random.default_rng(count)
+    _, table = build_index(count, rng)
+    ticks = rng.integers(0, count, 200).tolist()
+
+    def scan():
+        return [linear_scan(table, t) for t in ticks]
+
+    results = benchmark(scan)
+    assert all(r is not None for r in results)
+
+
+def test_lookup_ablation_table(report, benchmark):
+    """Time-of-lookup series by stream length (the figure-like sweep)."""
+    import time
+
+    warm_index, _ = build_index(1_000, np.random.default_rng(0))
+    benchmark(lambda: warm_index.placement_at_time(500))
+
+    rows = []
+    for count in (1_000, 10_000, 50_000):
+        rng = np.random.default_rng(count)
+        index, table = build_index(count, rng)
+        ticks = rng.integers(0, count, 100).tolist()
+
+        begin = time.perf_counter()
+        for t in ticks:
+            index.placement_at_time(t)
+        indexed = (time.perf_counter() - begin) / len(ticks)
+
+        begin = time.perf_counter()
+        for t in ticks:
+            linear_scan(table, t)
+        scanned = (time.perf_counter() - begin) / len(ticks)
+
+        rows.append((
+            f"{count:,}",
+            f"{indexed * 1e6:.1f} us",
+            f"{scanned * 1e6:.1f} us",
+            f"{scanned / indexed:.0f}x",
+        ))
+    report.table(
+        "ablation-indexes",
+        ("elements", "MediaIndex lookup", "linear scan", "speedup"),
+        rows,
+        title="§4.1 — element-at-time lookup: indexes vs scanning",
+    )
+    # Indexes must win by a growing margin.
+    speedups = [float(r[3].rstrip("x")) for r in rows]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 10
+
+
+def test_layout_ablation_table(report, benchmark):
+    """Interleaved vs sequential read cost for synchronized playback,
+    across stream lengths."""
+    rows = []
+    rng = np.random.default_rng(7)
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    for frame_count in (50, 250, 1000):
+        video = TrackSpec("video", PAL_TIME)
+        audio = TrackSpec("audio", CD_AUDIO_TIME)
+        for i in range(frame_count):
+            video.add(b"\x00" * int(rng.integers(800, 1600)), i, 1)
+            audio.add(b"\x00" * 441, i * 1764, 1764)
+        schedule = playback_schedule([video, audio])
+        interleaved = read_cost_model(
+            write_interleaved(MemoryBlob(), [video, audio]), schedule,
+        )
+        sequential = read_cost_model(
+            write_sequential(MemoryBlob(), [video, audio]), schedule,
+        )
+        rows.append((
+            frame_count,
+            f"{interleaved:,}",
+            f"{sequential:,}",
+            f"{sequential / interleaved:.2f}x",
+        ))
+    report.table(
+        "ablation-layout",
+        ("frames", "interleaved cost", "sequential cost", "penalty"),
+        rows,
+        title="§2.2 — interleaving vs per-stream layout under "
+              "synchronized playback",
+    )
+    for row in rows:
+        assert float(row[3].rstrip("x")) > 1.0

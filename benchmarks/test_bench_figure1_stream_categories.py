@@ -1,0 +1,63 @@
+"""E1 — Figure 1: the eight timed-stream categories.
+
+Regenerates the figure as a table: one synthetic stream per row, with the
+classifier's verdicts. The benchmark measures classification over a large
+stream (the operation a database runs when cataloging media).
+"""
+
+import pytest
+
+from repro.bench.workloads import figure1_streams
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.streams import TimedStream
+
+
+ROWS = ["homogeneous", "heterogeneous", "continuous", "non-continuous",
+        "event-based", "constant frequency", "constant data rate", "uniform"]
+
+
+def test_figure1_table(report, benchmark):
+    streams = figure1_streams()
+
+    def classify_all():
+        return {name: stream.categories() for name, stream in streams.items()}
+
+    benchmark(classify_all)
+
+    rows = []
+    for name in ROWS:
+        stream = streams[name]
+        rows.append((
+            name,
+            len(stream),
+            "yes" if stream.is_continuous() else "no",
+            "yes" if stream.has_gaps() else "no",
+            "yes" if stream.has_overlaps() else "no",
+            "yes" if stream.is_event_based() else "no",
+            stream.category_label(),
+        ))
+    report.table(
+        "figure1",
+        ("figure row", "elements", "continuous", "gaps", "overlaps",
+         "events", "classified as"),
+        rows,
+        title="Figure 1 — categories of timed streams",
+    )
+
+    # The figure's row property must hold for each stream.
+    assert streams["event-based"].is_event_based()
+    assert streams["non-continuous"].has_gaps()
+    assert streams["non-continuous"].has_overlaps()
+    assert streams["uniform"].is_uniform()
+    assert streams["heterogeneous"].is_heterogeneous()
+
+
+def test_classification_scales_linearly(benchmark):
+    """Classifying a 100k-element stream stays cheap (single pass)."""
+    video = media_type_registry.get("pal-video")
+    stream = TimedStream.from_elements(
+        video, [MediaElement(size=1000)] * 100_000
+    )
+    categories = benchmark(stream.categories)
+    assert len(categories) >= 3

@@ -1,0 +1,114 @@
+"""E2 — Figure 2 / §4.1: interpretation of a BLOB.
+
+Two parts:
+
+1. **Paper arithmetic, symbolically** — the exact 640x480 / 10-minute
+   numbers: ~22 MB/s raw, 12 bpp after YUV, ~0.5 MB/s after JPEG,
+   172 KiB/s audio, 1764 sample pairs per frame.
+2. **The pipeline, actually run** — at the paper's own 640x480 geometry the same code path
+   (RGB -> YUV 4:2:2 -> JPEG at the "VHS quality" factor, interleaved
+   with stereo PCM) is executed and measured; the benchmark times the
+   capture+record step.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_rate
+from repro.bench.workloads import figure2_capture, figure2_paper_arithmetic
+
+
+def test_figure2_paper_arithmetic(report, benchmark):
+    a = benchmark(figure2_paper_arithmetic)
+    rows = [
+        ("video, raw RGB 24 bpp", "~22 MByte/sec",
+         format_rate(a.raw_video_rate)),
+        ("video, YUV 8:2:2 (12 bpp)", "(half of raw)",
+         format_rate(a.yuv_video_rate)),
+        ("video, JPEG ~0.5 bpp", "roughly 0.5 MByte/sec",
+         format_rate(a.compressed_video_rate)),
+        ("audio, 44.1 kHz 16-bit stereo", "172 kbyte/sec",
+         format_rate(a.audio_data_rate)),
+        ("audio sample pairs per frame", "1764",
+         str(a.samples_per_frame)),
+        ("10-minute BLOB size", "~400 MB",
+         f"{a.total_bytes / 2**20:.0f} MiB"),
+    ]
+    report.table(
+        "figure2-arithmetic",
+        ("quantity", "paper", "reproduced"),
+        rows,
+        title="Figure 2 / §4.1 — the paper's data-rate arithmetic",
+    )
+    assert a.raw_video_rate / 2**20 == pytest.approx(21.97, abs=0.01)
+    assert a.audio_data_rate == 176_400
+    assert a.samples_per_frame == 1764
+
+
+def test_figure2_pipeline_measured(report, benchmark):
+    capture = benchmark.pedantic(
+        figure2_capture,
+        kwargs=dict(width=640, height=480, seconds=1.0, fps=25,
+                    quality="VHS quality"),
+        iterations=1, rounds=1,
+    )
+    interpretation = capture.interpretation
+    interpretation.validate()
+
+    video = interpretation.sequence("video1")
+    audio = interpretation.sequence("audio1")
+    paper = figure2_paper_arithmetic()
+    scale = (640 * 480) / (paper.width * paper.height)
+
+    # A textured capture approximates natural footage's entropy better
+    # than the smooth orbit scene; report both operating points.
+    textured = figure2_capture(width=640, height=480, seconds=0.2,
+                               quality="VHS quality", content="texture")
+
+    rows = [
+        ("video bits/pixel (smooth)", "~0.5 (VHS quality)",
+         f"{capture.measured_video_bpp:.2f}"),
+        ("video bits/pixel (textured)", "~0.5 (VHS quality)",
+         f"{textured.measured_video_bpp:.2f}"),
+        ("video data rate", f"~{paper.compressed_video_rate * scale / 1024:.0f} KiB/s (scaled)",
+         format_rate(capture.measured_video_rate)),
+        ("audio data rate", "172 KiB/s",
+         format_rate(capture.measured_audio_rate)),
+        ("video table", "video1(elementNumber, elementSize, blobPlacement)",
+         f"video1{video.table_columns()}"),
+        ("audio table", "audio1(elementNumber, blobPlacement)",
+         f"audio1{audio.table_columns()}"),
+        ("audio follows its frame", "yes (interleaved)",
+         "yes" if video.entries[0].blob_offset < audio.entries[0].blob_offset
+         < video.entries[1].blob_offset else "NO"),
+        ("BLOB coverage", "100%", f"{interpretation.coverage():.0%}"),
+    ]
+    report.table(
+        "figure2-measured",
+        ("quantity", "paper", "measured (640x480, 1 s)"),
+        rows,
+        title="Figure 2 — the pipeline actually run",
+    )
+
+    # Shape assertions: compression lands within 4x of the paper's 0.5
+    # bpp target on synthetic content, audio is exact PCM arithmetic.
+    assert 0.1 < capture.measured_video_bpp < 2.0
+    assert capture.measured_audio_rate == pytest.approx(176_400, rel=0.02)
+    assert video.table_columns() == ("elementNumber", "elementSize",
+                                     "blobPlacement")
+    assert audio.table_columns() == ("elementNumber", "blobPlacement")
+
+
+def test_figure2_element_at_time_lookup(report, benchmark):
+    """"Rapid lookup of the element occurring at a specific time" over
+    the captured interpretation."""
+    capture = figure2_capture(width=160, height=120, seconds=1.0)
+    video = capture.interpretation.sequence("video1")
+
+    def lookup_sweep():
+        hits = 0
+        for tick in range(0, 25):
+            hits += len(video.entries_at_tick(tick))
+        return hits
+
+    hits = benchmark(lookup_sweep)
+    assert hits == 25

@@ -1,0 +1,109 @@
+"""E4 — Figure 4: the composed multimedia object.
+
+Rebuilds the instance diagram (4a) and timeline (4b) at 20% of the
+paper's timings (the structure and proportions are exact: video3 =
+cut1 + 10 s fade + cut2; audio1 spans everything; audio2 enters at 1:00
+of 2:10) and regenerates both as tables. The benchmark measures the
+cost of the *composition layer* itself — building the timeline and
+querying relations — which the paper argues must be cheap because only
+references are manipulated.
+"""
+
+import pytest
+
+from repro.bench.workloads import figure4_production
+from repro.core.intervals import IntervalRelation
+from repro.core.rational import Rational
+
+
+@pytest.fixture(scope="module")
+def production():
+    return figure4_production(width=96, height=72, scale=0.2)
+
+
+def test_figure4_instance_diagram(report, benchmark, production):
+    steps = benchmark(
+        lambda: production.editor.steps(production.video3)
+    )
+    graph = production.editor.provenance
+    rows = []
+    for obj in graph.production_order():
+        derived_from = ", ".join(o.name for o in graph.antecedents(obj)) or "-"
+        rows.append((
+            obj.name,
+            "derived" if obj.is_derived else "non-derived",
+            derived_from,
+        ))
+    report.table(
+        "figure4a",
+        ("object", "kind", "derived from"),
+        rows,
+        title="Figure 4(a) — instance diagram (production order)",
+    )
+    assert steps[-1].startswith("video3 = video-edit(")
+    roots = {o.name for o in graph.roots()}
+    assert roots == {"video1", "video2"}
+
+
+def test_figure4_timeline(report, benchmark, production):
+    multimedia = production.multimedia
+    benchmark(multimedia.timeline)
+    paper_times = {
+        "video3": ("0:00", "2:10"),
+        "audio1": ("0:00", "2:10"),
+        "audio2": ("1:00", "2:10"),
+    }
+    rows = []
+    for label, interval in multimedia.timeline():
+        paper_start, paper_end = paper_times[label]
+        rows.append((
+            label,
+            f"{paper_start} -> {paper_end}",
+            f"{interval.start.to_timestamp()} -> {interval.end.to_timestamp()}",
+        ))
+    report.table(
+        "figure4b",
+        ("component", "paper (full scale)", "reproduced (scale 0.2)"),
+        rows,
+        title="Figure 4(b) — relative timing of the components of m",
+    )
+    # 2:10 * 0.2 = 26 s; audio2 enters at 1:00 * 0.2 = 12 s.
+    assert multimedia.duration() == 26
+    assert dict(multimedia.timeline())["audio2"].start == 12
+
+
+def test_figure4_relations(benchmark, production):
+    multimedia = production.multimedia
+    benchmark(lambda: multimedia.relation("video3", "audio1"))
+    assert multimedia.relation("video3", "audio1") is IntervalRelation.EQUAL
+    assert multimedia.relation("audio2", "audio1") is IntervalRelation.FINISHES
+    assert set(multimedia.simultaneous_at(13)) == {
+        "video3", "audio1", "audio2",
+    }
+    assert set(multimedia.simultaneous_at(5)) == {"video3", "audio1"}
+
+
+def test_composition_layer_is_cheap(benchmark, production):
+    """Timeline + relation queries over the composition: no media data
+    is touched, so this must run in microseconds."""
+    multimedia = production.multimedia
+
+    def query():
+        timeline = multimedia.timeline()
+        duration = multimedia.duration()
+        relation = multimedia.relation("audio2", "audio1")
+        return timeline, duration, relation
+
+    timeline, duration, _ = benchmark(query)
+    assert duration == 26
+    assert len(timeline) == 3
+
+
+def test_video3_expansion(benchmark, production):
+    """Expanding the whole derived picture (cut + fade + cut)."""
+    stream = benchmark.pedantic(
+        lambda: production.video3.expand().stream(), iterations=1, rounds=1,
+    )
+    # 300 + 50 + 300 frames at scale 0.2 (subject to fade rounding).
+    assert len(stream) == 650
+    assert stream.is_continuous()

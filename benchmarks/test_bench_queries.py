@@ -1,0 +1,112 @@
+"""E6 — §1.2's queries: sound track, duration, visual fidelity.
+
+The paper's motivation for structure over BLOBs is that these queries
+become *possible*. The benchmark regenerates the three query results and
+measures their costs; the fidelity query's byte-read series demonstrates
+the "bandwidth can be saved ... by ignoring parts of the storage unit"
+claim quantitatively (§2.2 scalability).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_bytes
+from repro.bench.workloads import multilingual_movie
+from repro.codecs.scalable import ScalableVideoCodec
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.media_object import StreamMediaObject
+from repro.core.rational import Rational
+from repro.core.streams import TimedStream
+from repro.media import frames
+from repro.query import frames_at_fidelity, select_duration, select_track
+
+
+@pytest.fixture(scope="module")
+def movie_db():
+    return multilingual_movie(seconds=2.0, width=160, height=120)
+
+
+@pytest.fixture(scope="module")
+def scalable_video():
+    codec = ScalableVideoCodec(levels=3, quality=60)
+    shot = frames.scene(160, 120, 25, "pan")
+    video_type = media_type_registry.get("pal-video")
+    elements = []
+    for frame in shot:
+        data = codec.encode(frame)
+        elements.append(MediaElement(payload=data, size=len(data)))
+    stream = TimedStream.from_elements(video_type, elements)
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=160, frame_height=120, frame_depth=24,
+        color_model="RGB", encoding="scalable", duration=Rational(1),
+    )
+    return StreamMediaObject(video_type, descriptor, stream, "proxy"), codec
+
+
+def test_select_track_query(report, benchmark, movie_db):
+    db, movie = movie_db
+    track = benchmark(lambda: select_track(db, "feature", "fr"))
+    assert track.name == "feature-audio-fr"
+    report.add(
+        "queries-track",
+        "[queries-track] select a specific sound track: "
+        f"language 'fr' -> {track.name} "
+        f"(catalog of {len(db)} objects)",
+    )
+
+
+def test_select_duration_query(report, benchmark, movie_db):
+    db, _ = movie_db
+    video = db.get_object("feature-video")
+
+    clip = benchmark(
+        lambda: select_duration(video, Rational(1, 2), Rational(3, 2))
+    )
+    # 0.5 s and 1.5 s fall between 25 fps ticks; the selection expands
+    # outward to whole elements: floor(12.5)=12 .. ceil(37.5)=38.
+    assert clip.descriptor["duration"] == Rational(26, 25)
+    report.add(
+        "queries-duration",
+        "[queries-duration] select a specific duration: [0.5s, 1.5s) -> "
+        f"derived object of {clip.derivation_object.storage_size()} bytes "
+        f"(source holds {format_bytes(video.stream().total_size())}); "
+        "no frame data copied",
+    )
+
+
+def test_fidelity_query_series(report, benchmark, scalable_video):
+    """The figure-like series: bytes read and resolution per fidelity
+    level."""
+    obj, codec = scalable_video
+
+    def full_fidelity():
+        return frames_at_fidelity(obj, 2, codec, frame_indices=range(25))
+
+    benchmark(full_fidelity)
+
+    rows = []
+    previous_read = 0
+    for level, label in ((0, "preview"), (1, "half"), (2, "full")):
+        decoded, read, total = frames_at_fidelity(
+            obj, level, codec, frame_indices=range(25),
+        )
+        rows.append((
+            label,
+            f"{decoded[0].shape[1]}x{decoded[0].shape[0]}",
+            format_bytes(read),
+            f"{read / total:.0%}",
+        ))
+        assert read > previous_read
+        previous_read = read
+    report.table(
+        "queries-fidelity",
+        ("fidelity level", "resolution", "bytes read (25 frames)",
+         "fraction of full"),
+        rows,
+        title="§1.2 / §2.2 — retrieve frames at a specific visual fidelity",
+    )
+
+    # The scalability claim: the preview level reads a small fraction.
+    _, read0, total = frames_at_fidelity(obj, 0, codec,
+                                         frame_indices=range(25))
+    assert read0 < total / 3

@@ -1,0 +1,141 @@
+"""E3 — Table 1 and Figure 3: the five derivations.
+
+Regenerates Table 1 (derivation, argument types, result type, category)
+from the live registry, then runs every Figure 3 derivation on real data,
+measuring the storage economics the paper claims: derivation objects are
+tiny relative to their expansions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.derivation import derivation_registry
+from repro.edit import MediaEditor
+from repro.media import frames, signals
+from repro.media.music import demo_score
+from repro.media.objects import (
+    audio_object,
+    image_object,
+    score_object,
+    signal_of,
+    video_object,
+)
+
+# Table 1's rows, exactly.
+PAPER_TABLE1 = {
+    "color-separation": ("image", "image", "change of content"),
+    "audio-normalization": ("audio", "audio", "change of content"),
+    "video-edit": ("video...", "video", "change of timing"),
+    "video-transition": ("video, video", "video", "change of content"),
+    "midi-synthesis": ("music", "audio", "change of type"),
+}
+
+
+def test_table1_registry(report, benchmark):
+    rows = []
+    registry_rows = {r[0]: r for r in benchmark(derivation_registry.table)}
+    for name, expected in PAPER_TABLE1.items():
+        actual = registry_rows[name][1:]
+        rows.append((name, *actual, "ok" if actual == expected else "MISMATCH"))
+    report.table(
+        "table1",
+        ("derivation", "argument type(s)", "result type", "category", "vs paper"),
+        rows,
+        title="Table 1 — examples of derivation (from the live registry)",
+    )
+    for name, expected in PAPER_TABLE1.items():
+        assert registry_rows[name][1:] == expected
+
+
+@pytest.fixture(scope="module")
+def material():
+    """The Figure 3 antecedent objects."""
+    return {
+        "image": image_object(frames.gradient_frame(320, 240), "photo"),
+        "audio": audio_object(
+            signals.sine(440, 1.0, 22050) * 0.15, "take1",
+            sample_rate=22050, block_samples=882,
+        ),
+        "video_a": video_object(frames.scene(160, 120, 30, "orbit"), "scene1"),
+        "video_b": video_object(frames.scene(160, 120, 30, "cut"), "scene2"),
+        "music": score_object(demo_score(), "tune"),
+    }
+
+
+def _economics_row(name, derived, expanded_bytes):
+    dobj = derived.derivation_object.storage_size()
+    return (name, f"{dobj} B", f"{expanded_bytes:,} B",
+            f"{expanded_bytes / dobj:,.0f}x")
+
+
+def test_figure3_derivations_run(report, benchmark, material):
+    """Run all five Figure 3 derivations; benchmark the full batch."""
+    editor = MediaEditor()
+
+    def run_all():
+        separation = derivation_registry.get("color-separation")(
+            [material["image"]], {"black_generation": 1.0},
+        )
+        cmyk = separation.expand().value()
+
+        normalized = editor.normalize(material["audio"], name="take1-n")
+        mastered = normalized.expand()
+
+        edit = editor.cut(material["video_a"], 5, 25, name="scene1-cut")
+        edited = edit.expand()
+
+        fade = editor.transition(material["video_a"], material["video_b"],
+                                 10, kind="fade", a_start=20, name="fadeAB")
+        faded = fade.expand()
+
+        synthesis = editor.synthesize(material["music"], sample_rate=22050,
+                                      name="tune-audio")
+        audio = synthesis.expand()
+        return (separation, cmyk, normalized, mastered, edit, edited,
+                fade, faded, synthesis, audio)
+
+    (separation, cmyk, normalized, mastered, edit, edited,
+     fade, faded, synthesis, audio) = benchmark.pedantic(
+        run_all, iterations=1, rounds=1,
+    )
+
+    # Correctness of each expansion (Figure 3's right-hand sides).
+    assert cmyk.shape == (240, 320, 4)
+    assert np.abs(signal_of(mastered)).max() > 30000
+    assert len(edited.stream()) == 20
+    assert len(faded.stream()) == 10
+    assert audio.kind.value == "audio"
+
+    rows = [
+        _economics_row("color separation", separation,
+                       cmyk.nbytes),
+        _economics_row("audio normalization", normalized,
+                       signal_of(mastered).nbytes),
+        _economics_row("video edit", edit,
+                       edited.stream().total_size()),
+        _economics_row("video transition", fade,
+                       faded.stream().total_size()),
+        _economics_row("MIDI synthesis", synthesis,
+                       signal_of(audio).nbytes),
+    ]
+    report.table(
+        "figure3",
+        ("derivation (Figure 3)", "derivation object", "expanded object",
+         "ratio"),
+        rows,
+        title="Figure 3 — derived media objects: storage economics",
+    )
+
+    # "Derived media objects and their associated derivation objects are
+    # relatively small" — every ratio is at least 100x here.
+    for row in rows:
+        assert float(row[3].rstrip("x").replace(",", "")) > 100
+
+
+def test_video_edit_expansion_speed(benchmark, material):
+    """Expansion cost of the most common derivation (reference point for
+    the real-time store-or-expand decision)."""
+    editor = MediaEditor()
+    edit = editor.cut(material["video_a"], 0, 30, name="whole")
+    result = benchmark(edit.expand)
+    assert len(result.stream()) == 30

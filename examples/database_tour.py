@@ -1,0 +1,97 @@
+"""Database tour: schema, catalog, rights, provenance, activities.
+
+The "database" side of the data model in one walkthrough:
+
+1. typed entities with media-valued attributes (§4's VideoClip example);
+2. the catalog with domain-attribute queries;
+3. rights that follow derivation — a licensee can cut footage they may
+   derive from, but cannot present the cut until the raw material's
+   holder grants presentation (no license laundering);
+4. provenance queries over the production;
+5. a §6-style activity pipeline transforming a stream as a dataflow.
+
+Run:  python examples/database_tour.py
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.elements import MediaElement
+from repro.core.model import video_clip_type
+from repro.engine.activities import pipeline
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.query.authorization import (
+    AuthorizationError,
+    Operation,
+    RightsRegistry,
+)
+from repro.query.database import MediaDatabase
+
+
+def main() -> None:
+    db = MediaDatabase("studio")
+    rights = RightsRegistry()
+
+    # -- 1. raw material with rights ---------------------------------------
+    footage = video_object(frames.scene(96, 72, 50, "orbit"), "footage-A",
+                           quality_factor="production quality")
+    broll = video_object(frames.scene(96, 72, 50, "cut"), "footage-B",
+                         quality_factor="VHS quality")
+    db.add_object(footage, title="Main unit day 1", unit="main")
+    db.add_object(broll, title="Second unit day 1", unit="second")
+    rights.register(footage, holder="studio", notice="(c) Studio")
+    rights.register(broll, holder="agency", notice="(c) Agency B-roll")
+
+    # -- 2. typed entities (the paper's VideoClip) ---------------------------
+    clip_type = video_clip_type()
+    clip = clip_type.new(
+        title="Opening shot", director="Gibbs", year=1994, content=footage,
+    )
+    print(f"entity: {clip!r}")
+    print(f"  content attribute -> media object {clip['content'].name} "
+          f"({clip['content'].descriptor['quality_factor']})")
+
+    # -- 3. rights-checked derivation ----------------------------------------
+    rights.grant(footage, "editor", Operation.DERIVE)
+    rights.grant(broll, "editor", Operation.DERIVE)
+    cut = rights.derive_checked(
+        "editor", "video-edit", [footage],
+        {"edit_list": [(0, 0, 30)]}, name="opening-cut",
+    )
+    db.add_object(cut, title="Opening shot (cut)")
+    print(f"\neditor derived {cut.name!r} "
+          f"({cut.derivation_object.storage_size()} bytes)")
+
+    try:
+        rights.check("editor", cut, Operation.PRESENT)
+    except AuthorizationError as exc:
+        print(f"presentation blocked as expected: {exc}")
+    rights.grant(footage, "editor", Operation.PRESENT)
+    rights.check("editor", cut, Operation.PRESENT)
+    print("after studio grants PRESENT on the footage: allowed")
+    print(f"copyright notices travelling with the cut: {rights.notices(cut)}")
+
+    # -- 4. provenance queries ------------------------------------------------
+    lineage = [obj.name for obj in db.lineage("opening-cut")]
+    print(f"\nlineage of opening-cut: {lineage}")
+    rows = [
+        (o.name, "derived" if o.is_derived else "raw",
+         db.attributes_of(o.name).get("title", "-"))
+        for o in db.objects()
+    ]
+    print_table(("object", "kind", "title"), rows, title="\ncatalog")
+
+    # -- 5. activities: a transform flow over the stream ----------------------
+    def watermark(element: MediaElement) -> MediaElement:
+        frame = element.payload.copy()
+        frame[:4, :4] = 255  # a corner mark
+        return MediaElement(payload=frame, size=element.size)
+
+    consumer = pipeline(footage.stream(), watermark)
+    print(f"\nactivity pipeline watermarked {consumer.count} frames "
+          f"({consumer.bytes:,} bytes through the flow)")
+    marked = consumer.collected[0].element.payload
+    print(f"corner after watermark: {marked[0, 0].tolist()}")
+
+
+if __name__ == "__main__":
+    main()

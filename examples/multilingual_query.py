@@ -1,0 +1,93 @@
+"""The §1.2 queries: sound track, duration, visual fidelity.
+
+"Consider a digital movie with audio tracks in different languages. If
+the movie is represented structurally, rather than as a long
+uninterpreted byte sequence, it is possible to issue queries which select
+a specific sound track, or select a specific duration, or perhaps
+retrieve frames at a specific visual fidelity."
+
+This example builds that movie — one picture track, three language
+tracks, a scalable-coded copy of the picture — catalogs it, and runs all
+three queries.
+
+Run:  python examples/multilingual_query.py
+"""
+
+from repro.bench.reporting import format_bytes, print_table
+from repro.bench.workloads import multilingual_movie
+from repro.codecs.scalable import ScalableVideoCodec
+from repro.core.elements import MediaElement
+from repro.core.media_types import MediaKind, media_type_registry
+from repro.core.media_object import StreamMediaObject
+from repro.core.rational import Rational
+from repro.core.streams import TimedStream
+from repro.media import frames
+from repro.query import frames_at_fidelity, select_duration, select_track
+
+
+def scalable_copy(name: str, codec: ScalableVideoCodec) -> StreamMediaObject:
+    """Encode the picture with the scalable codec for fidelity queries."""
+    shot = frames.scene(160, 120, 25, "pan")
+    video_type = media_type_registry.get("pal-video")
+    elements = []
+    for frame in shot:
+        data = codec.encode(frame)
+        elements.append(MediaElement(payload=data, size=len(data)))
+    stream = TimedStream.from_elements(video_type, elements)
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=160, frame_height=120, frame_depth=24,
+        color_model="RGB", encoding="scalable", duration=Rational(1),
+    )
+    return StreamMediaObject(video_type, descriptor, stream, name)
+
+
+def main() -> None:
+    db, movie = multilingual_movie(seconds=2.0)
+
+    print(f"catalog: {len(db)} objects; movies: {db.multimedia()}")
+    soundtracks = db.objects(kind=MediaKind.AUDIO, role="soundtrack")
+    print_table(
+        ("object", "language"),
+        [(o.name, db.attributes_of(o.name)["language"]) for o in soundtracks],
+        title="\nsound tracks",
+    )
+
+    # -- query 1: select a specific sound track ---------------------------
+    french = select_track(db, "feature", "fr")
+    print(f"\nselect_track(feature, 'fr') -> {french.name} "
+          f"({french.descriptor['duration'].to_timestamp()})")
+
+    # -- query 2: select a specific duration (non-destructively) -----------
+    picture = db.get_object("feature-video")
+    clip = select_duration(picture, Rational(1, 2), Rational(3, 2))
+    print(f"\nselect_duration(0.5s, 1.5s) -> {clip.name}")
+    print(f"  derived: {clip.is_derived}; derivation object "
+          f"{clip.derivation_object.storage_size()} bytes "
+          f"vs {format_bytes(picture.stream().total_size())} of frames")
+    print(f"  expands to {len(clip.stream())} frames")
+
+    # -- query 3: retrieve frames at a specific visual fidelity -------------
+    codec = ScalableVideoCodec(levels=3, quality=60)
+    scalable = scalable_copy("feature-video-scalable", codec)
+    db.add_object(scalable, title="The Timed Stream", role="proxy")
+
+    rows = []
+    for level, label in ((0, "preview"), (1, "half"), (2, "full")):
+        decoded, read, total = frames_at_fidelity(
+            scalable, level, codec, frame_indices=[0, 12, 24],
+        )
+        rows.append((
+            label,
+            f"{decoded[0].shape[1]}x{decoded[0].shape[0]}",
+            format_bytes(read),
+            f"{read / total:.0%}",
+        ))
+    print_table(
+        ("fidelity", "resolution", "bytes read", "of full"),
+        rows,
+        title="\nframes_at_fidelity(frames 0, 12, 24)",
+    )
+
+
+if __name__ == "__main__":
+    main()

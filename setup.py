@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The normal install path is ``pip install -e .`` (PEP 660). On machines
+without the ``wheel`` package (as in this offline environment),
+``python setup.py develop`` provides the equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro: a timed-stream data model for time-based media.
+
+A production-quality reproduction of Gibbs, Breiteneder and Tsichritzis,
+"Data Modeling of Time-Based Media" (SIGMOD 1994). The library models
+time-based media — digital audio and video, music, animation — as *timed
+streams* of media elements, structured by three media-independent
+mechanisms: *interpretation* of BLOBs, *derivation* of media objects, and
+*composition* of multimedia objects.
+
+Quickstart::
+
+    from repro.core import TimedStream, media_type_registry
+    from repro.media import signals
+    # see examples/quickstart.py
+
+Subpackages
+-----------
+``repro.core``
+    The data model (Definitions 1-7 of the paper).
+``repro.blob``
+    BLOB storage substrate (paged, memory- or file-backed).
+``repro.storage``
+    Layout, interleaving, padding, index structures, container format.
+``repro.codecs``
+    Color, DCT, JPEG-like, MPEG-like, scalable video, PCM/ADPCM audio,
+    RLE/Huffman, MIDI.
+``repro.media``
+    Synthetic capture and music/animation models; synthesizer, renderer.
+``repro.edit``
+    Non-destructive editing: EDLs, transitions, filters, separation.
+``repro.engine``
+    Simulated real-time playback/recording: clock, scheduler, buffers.
+``repro.query``
+    Media database catalog and query API.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

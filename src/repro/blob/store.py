@@ -1,0 +1,74 @@
+"""A catalog of named BLOBs over one page store.
+
+The :class:`BlobStore` is the storage-manager face of the database: it
+creates, looks up and deletes BLOBs, and reports aggregate statistics.
+It deliberately knows nothing about media — interpretation is layered on
+top (Definition 5), never pushed down here.
+"""
+
+from __future__ import annotations
+
+from repro.blob.blob import PagedBlob
+from repro.blob.pages import FilePager, MemoryPager, PageStore
+from repro.errors import BlobError
+
+
+class BlobStore:
+    """Named BLOBs sharing a single :class:`PageStore`."""
+
+    def __init__(self, store: PageStore | None = None):
+        self.pages = store or PageStore(MemoryPager())
+        self._blobs: dict[str, PagedBlob] = {}
+
+    @classmethod
+    def file_backed(cls, path, page_size: int | None = None) -> "BlobStore":
+        """A store persisting pages in a single file at ``path``."""
+        pager = (
+            FilePager(path, page_size) if page_size else FilePager(path)
+        )
+        return cls(PageStore(pager))
+
+    def create(self, name: str) -> PagedBlob:
+        if name in self._blobs:
+            raise BlobError(f"BLOB {name!r} already exists")
+        blob = PagedBlob(self.pages)
+        self._blobs[name] = blob
+        return blob
+
+    def get(self, name: str) -> PagedBlob:
+        try:
+            return self._blobs[name]
+        except KeyError:
+            raise BlobError(
+                f"no BLOB named {name!r}; have: "
+                f"{', '.join(sorted(self._blobs)) or '(none)'}"
+            ) from None
+
+    def delete(self, name: str) -> None:
+        blob = self.get(name)
+        blob.release()
+        del self._blobs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blobs
+
+    def names(self) -> list[str]:
+        return sorted(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+    def stats(self) -> dict:
+        """Aggregate storage statistics for reporting."""
+        return {
+            "blobs": len(self._blobs),
+            "total_bytes": self.total_bytes(),
+            "pages_allocated": self.pages.allocated_pages,
+            "pages_free": self.pages.free_pages,
+            "page_size": self.pages.page_size,
+            "mean_fragmentation": (
+                sum(b.fragmentation() for b in self._blobs.values())
+                / len(self._blobs)
+                if self._blobs else 0.0
+            ),
+        }

@@ -1,0 +1,25 @@
+"""Codec substrates for time-based media.
+
+The paper's media representations (JPEG/MPEG/DVI video, PCM/ADPCM audio,
+MIDI) came from hardware platforms and standards bodies; here each is
+replaced by a real, simplified software implementation that preserves the
+properties the data model cares about:
+
+* :mod:`repro.codecs.jpeg_like` — intra-frame DCT compression with a
+  quality factor; variable-size encoded frames (drives heterogeneous
+  placement tables).
+* :mod:`repro.codecs.mpeg_like` — inter-frame compression with I/P/B
+  frames and decode order != display order ("out-of-order elements").
+* :mod:`repro.codecs.scalable` — layered resolution ("scalability").
+* :mod:`repro.codecs.pcm` / :mod:`repro.codecs.adpcm` — audio; ADPCM's
+  per-block state yields genuinely heterogeneous streams.
+* :mod:`repro.codecs.midi` — event-based music encoding.
+* :mod:`repro.codecs.color`, :mod:`repro.codecs.dct`,
+  :mod:`repro.codecs.rle`, :mod:`repro.codecs.huffman` — shared
+  primitives.
+"""
+
+from repro.codecs.base import Codec, EncodedFrame
+from repro.codecs.registry import codec_registry
+
+__all__ = ["Codec", "EncodedFrame", "codec_registry"]

@@ -1,0 +1,224 @@
+"""IMA ADPCM audio compression (real algorithm).
+
+"Adaptive Differential Pulse Code Modulation (ADPCM), a form of audio
+compression used in CD-I and other multimedia environments. Some versions
+... involve a set of encoding parameters that vary over an audio
+sequence. These parameters would be part of element descriptors." (§3.3)
+
+This is the standard IMA/DVI ADPCM: 4 bits per sample, an adaptive step
+size walked through an 89-entry table. Audio is encoded in fixed-length
+blocks; each block's initial predictor and step index are its *element
+descriptor* — making ADPCM streams the paper's canonical heterogeneous
+stream.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs.base import Codec
+from repro.errors import CodecError
+
+STEP_TABLE = (
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+)
+
+INDEX_TABLE = (-1, -1, -1, -1, 2, 4, 6, 8)
+
+
+def _encode_sample(sample: int, state: list[int]) -> int:
+    """Encode one sample against ``state = [predictor, step_index]``."""
+    predictor, step_index = state
+    step = STEP_TABLE[step_index]
+    diff = sample - predictor
+    nibble = 0
+    if diff < 0:
+        nibble = 8
+        diff = -diff
+    delta = step >> 3
+    if diff >= step:
+        nibble |= 4
+        diff -= step
+        delta += step
+    step >>= 1
+    if diff >= step:
+        nibble |= 2
+        diff -= step
+        delta += step
+    step >>= 1
+    if diff >= step:
+        nibble |= 1
+        delta += step
+    if nibble & 8:
+        predictor -= delta
+    else:
+        predictor += delta
+    predictor = max(-32768, min(32767, predictor))
+    step_index += INDEX_TABLE[nibble & 7]
+    step_index = max(0, min(88, step_index))
+    state[0] = predictor
+    state[1] = step_index
+    return nibble
+
+
+def _decode_nibble(nibble: int, state: list[int]) -> int:
+    """Decode one 4-bit code against ``state = [predictor, step_index]``."""
+    predictor, step_index = state
+    step = STEP_TABLE[step_index]
+    delta = step >> 3
+    if nibble & 4:
+        delta += step
+    if nibble & 2:
+        delta += step >> 1
+    if nibble & 1:
+        delta += step >> 2
+    if nibble & 8:
+        predictor -= delta
+    else:
+        predictor += delta
+    predictor = max(-32768, min(32767, predictor))
+    step_index += INDEX_TABLE[nibble & 7]
+    step_index = max(0, min(88, step_index))
+    state[0] = predictor
+    state[1] = step_index
+    return predictor
+
+
+def encode_block(samples: np.ndarray, predictor: int, step_index: int) -> bytes:
+    """Encode one mono int16 block; returns packed nibbles (2 per byte)."""
+    state = [int(predictor), int(step_index)]
+    nibbles = []
+    for sample in samples:
+        nibbles.append(_encode_sample(int(sample), state))
+    out = bytearray()
+    for i in range(0, len(nibbles) - 1, 2):
+        out.append(nibbles[i] | (nibbles[i + 1] << 4))
+    if len(nibbles) % 2:
+        out.append(nibbles[-1])
+    return bytes(out)
+
+
+def decode_block(data: bytes, count: int, predictor: int, step_index: int) -> np.ndarray:
+    """Decode ``count`` samples from packed nibbles."""
+    state = [int(predictor), int(step_index)]
+    samples = np.empty(count, dtype=np.int16)
+    for i in range(count):
+        byte = data[i // 2]
+        nibble = (byte >> 4) if i % 2 else (byte & 0x0F)
+        samples[i] = _decode_nibble(nibble, state)
+    return samples
+
+
+class AdpcmBlock:
+    """One encoded block: the element of an ADPCM timed stream.
+
+    The header ``(predictor, step_index, count)`` is exactly the varying
+    per-element state the paper assigns to element descriptors.
+    """
+
+    _HEADER = struct.Struct("<hBxH")
+
+    def __init__(self, predictor: int, step_index: int, count: int, data: bytes):
+        self.predictor = predictor
+        self.step_index = step_index
+        self.count = count
+        self.data = data
+
+    def to_bytes(self) -> bytes:
+        return self._HEADER.pack(self.predictor, self.step_index, self.count) + self.data
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AdpcmBlock":
+        if len(raw) < cls._HEADER.size:
+            raise CodecError("ADPCM block too short for header")
+        predictor, step_index, count = cls._HEADER.unpack_from(raw)
+        expected = (count + 1) // 2
+        data = raw[cls._HEADER.size:]
+        if len(data) != expected:
+            raise CodecError(
+                f"ADPCM block holds {len(data)} payload bytes, expected {expected}"
+            )
+        return cls(predictor, step_index, count, data)
+
+    def decode(self) -> np.ndarray:
+        return decode_block(self.data, self.count, self.predictor, self.step_index)
+
+
+class AdpcmCodec(Codec):
+    """Block-based IMA ADPCM over mono int16 sample arrays.
+
+    ``encode`` produces a concatenation of self-describing blocks;
+    :meth:`encode_blocks` exposes the per-block structure (with the
+    varying state for element descriptors) for stream construction.
+    """
+
+    name = "ima-adpcm"
+
+    def __init__(self, block_samples: int = 505):
+        if block_samples < 1:
+            raise CodecError("block_samples must be >= 1")
+        self.block_samples = block_samples
+
+    @property
+    def is_lossy(self) -> bool:
+        return True
+
+    def encode_blocks(self, samples: np.ndarray) -> list[AdpcmBlock]:
+        """Encode into blocks, carrying the adaptive state across them."""
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise CodecError(f"AdpcmCodec is mono; got shape {samples.shape}")
+        samples = samples.astype(np.int16)
+        blocks = []
+        state = [0, 0]
+        for begin in range(0, len(samples), self.block_samples):
+            chunk = samples[begin:begin + self.block_samples]
+            predictor, step_index = state
+            # encode_block mutates a copy of the running state; carry it on.
+            running = [predictor, step_index]
+            nibbles = bytearray()
+            pair = []
+            for sample in chunk:
+                pair.append(_encode_sample(int(sample), running))
+                if len(pair) == 2:
+                    nibbles.append(pair[0] | (pair[1] << 4))
+                    pair = []
+            if pair:
+                nibbles.append(pair[0])
+            blocks.append(AdpcmBlock(predictor, step_index, len(chunk), bytes(nibbles)))
+            state = running
+        return blocks
+
+    def encode(self, payload: np.ndarray) -> bytes:
+        return b"".join(block.to_bytes() for block in self.encode_blocks(payload))
+
+    def decode(self, data: bytes) -> np.ndarray:
+        chunks = []
+        offset = 0
+        header_size = AdpcmBlock._HEADER.size
+        while offset < len(data):
+            if offset + header_size > len(data):
+                raise CodecError("trailing bytes do not form an ADPCM block")
+            predictor, step_index, count = AdpcmBlock._HEADER.unpack_from(data, offset)
+            payload_size = (count + 1) // 2
+            end = offset + header_size + payload_size
+            block = AdpcmBlock.from_bytes(data[offset:end])
+            chunks.append(block.decode())
+            offset = end
+        if not chunks:
+            return np.empty(0, dtype=np.int16)
+        return np.concatenate(chunks)
+
+    def compression_ratio(self) -> float:
+        """Nominal ratio vs 16-bit PCM (~4:1, less block headers)."""
+        pcm_bytes = self.block_samples * 2
+        adpcm_bytes = AdpcmBlock._HEADER.size + (self.block_samples + 1) // 2
+        return pcm_bytes / adpcm_bytes

@@ -1,0 +1,226 @@
+"""Canonical Huffman coding over byte symbols.
+
+The entropy-coding substrate for the JPEG-like and MPEG-like codecs. The
+code is *canonical*: only the per-symbol code lengths need to be stored
+(256 bytes of header), and both encoder and decoder rebuild identical
+codebooks from them.
+
+Code lengths are capped at 15 bits by flattening the frequency
+distribution when needed (the classic JPEG-style length limit), so the
+header stays one byte per symbol.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from repro.errors import CodecError
+
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths(data: bytes) -> list[int]:
+    """Per-symbol (0..255) code lengths for ``data``.
+
+    Symbols absent from ``data`` get length 0. A single-symbol input gets
+    length 1 (a zero-length code cannot be emitted).
+    """
+    counts = Counter(data)
+    if not counts:
+        return [0] * 256
+    if len(counts) == 1:
+        lengths = [0] * 256
+        lengths[next(iter(counts))] = 1
+        return lengths
+
+    frequencies = dict(counts)
+    while True:
+        lengths = _huffman_lengths(frequencies)
+        if max(lengths.values()) <= MAX_CODE_LENGTH:
+            break
+        # Flatten the distribution and retry; guaranteed to terminate
+        # because in the limit all frequencies are equal (length <= 8).
+        frequencies = {
+            s: max(1, f // 2) for s, f in frequencies.items()
+        }
+        if all(f == 1 for f in frequencies.values()):
+            lengths = _huffman_lengths(frequencies)
+            break
+
+    result = [0] * 256
+    for symbol, length in lengths.items():
+        result[symbol] = length
+    return result
+
+
+def _huffman_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Standard Huffman tree construction returning code lengths."""
+    heap: list[tuple[int, int, list[int]]] = [
+        (freq, symbol, [symbol]) for symbol, freq in frequencies.items()
+    ]
+    heapq.heapify(heap)
+    lengths = {symbol: 0 for symbol in frequencies}
+    counter = 256  # tie-break id beyond symbol range
+    while len(heap) > 1:
+        fa, _, symbols_a = heapq.heappop(heap)
+        fb, _, symbols_b = heapq.heappop(heap)
+        for s in symbols_a + symbols_b:
+            lengths[s] += 1
+        heapq.heappush(heap, (fa + fb, counter, symbols_a + symbols_b))
+        counter += 1
+    return lengths
+
+
+def canonical_codes(lengths: list[int]) -> dict[int, tuple[int, int]]:
+    """Canonical ``symbol -> (code, length)`` assignment from lengths.
+
+    Codes are assigned in (length, symbol) order, the canonical rule that
+    lets the decoder reconstruct the table from lengths alone.
+    """
+    ordered = sorted(
+        (length, symbol) for symbol, length in enumerate(lengths) if length
+    )
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for length, symbol in ordered:
+        code <<= (length - previous_length)
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+class HuffmanCodec:
+    """Encode/decode byte strings with a canonical Huffman code."""
+
+    def __init__(self, lengths: list[int]):
+        if len(lengths) != 256:
+            raise CodecError(f"need 256 code lengths, got {len(lengths)}")
+        self.lengths = list(lengths)
+        self.codes = canonical_codes(self.lengths)
+        # Decoding table: (length, code) -> symbol.
+        self._decode_table = {
+            (length, code): symbol
+            for symbol, (code, length) in self.codes.items()
+        }
+
+    @classmethod
+    def for_data(cls, data: bytes) -> "HuffmanCodec":
+        return cls(code_lengths(data))
+
+    def encode(self, data: bytes) -> bytes:
+        """Encode; the result is framed with the original length.
+
+        Bits are accumulated in a Python int and flushed a byte at a
+        time — roughly an order of magnitude faster than per-bit calls,
+        which matters because every video frame passes through here.
+        """
+        codes = self.codes
+        out = bytearray()
+        accumulator = 0
+        bit_count = 0
+        try:
+            for byte in data:
+                code, length = codes[byte]
+                accumulator = (accumulator << length) | code
+                bit_count += length
+                while bit_count >= 8:
+                    bit_count -= 8
+                    out.append((accumulator >> bit_count) & 0xFF)
+                accumulator &= (1 << bit_count) - 1
+        except KeyError:
+            raise CodecError(f"symbol {byte} not in codebook") from None
+        if bit_count:
+            out.append((accumulator << (8 - bit_count)) & 0xFF)
+        return len(data).to_bytes(4, "big") + bytes(out)
+
+    def decode(self, data: bytes) -> bytes:
+        if len(data) < 4:
+            raise CodecError("huffman frame too short")
+        count = int.from_bytes(data[:4], "big")
+        payload = data[4:]
+        table = self._decode_table
+        out = bytearray()
+        max_length = max(self.lengths) if any(self.lengths) else 0
+        total_bits = len(payload) * 8
+        bit_position = 0
+        get = table.get
+        for _ in range(count):
+            code = 0
+            length = 0
+            while True:
+                if bit_position >= total_bits:
+                    raise CodecError("bit stream exhausted")
+                bit = (payload[bit_position >> 3]
+                       >> (7 - (bit_position & 7))) & 1
+                bit_position += 1
+                code = (code << 1) | bit
+                length += 1
+                symbol = get((length, code))
+                if symbol is not None:
+                    out.append(symbol)
+                    break
+                if length > max_length:
+                    raise CodecError("invalid huffman bit stream")
+        return bytes(out)
+
+    def header(self) -> bytes:
+        """The 256-byte code-length header."""
+        return bytes(self.lengths)
+
+    @classmethod
+    def from_header(cls, header: bytes) -> "HuffmanCodec":
+        if len(header) != 256:
+            raise CodecError(f"huffman header must be 256 bytes, got {len(header)}")
+        return cls(list(header))
+
+
+#: Mode bytes for the one-shot container: raw passthrough or Huffman
+#: with an RLE-compacted code-length header.
+_MODE_RAW = 0
+_MODE_HUFFMAN = 1
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """One-shot container: whichever of raw / Huffman-coded is smaller.
+
+    The Huffman form stores the 256 code lengths RLE-compressed (sparse
+    alphabets shrink to a few dozen bytes), so small payloads — all-zero
+    P-frame residuals, for instance — don't pay a fixed 256-byte tax.
+    """
+    from repro.codecs.rle import rle_encode
+
+    codec = HuffmanCodec.for_data(data)
+    header = rle_encode(codec.header())
+    framed = (
+        bytes([_MODE_HUFFMAN])
+        + len(header).to_bytes(2, "big")
+        + header
+        + codec.encode(data)
+    )
+    raw = bytes([_MODE_RAW]) + data
+    return raw if len(raw) <= len(framed) else framed
+
+
+def huffman_decompress(data: bytes) -> bytes:
+    """Invert :func:`huffman_compress`."""
+    from repro.codecs.rle import rle_decode
+
+    if not data:
+        raise CodecError("empty huffman container")
+    mode = data[0]
+    if mode == _MODE_RAW:
+        return data[1:]
+    if mode != _MODE_HUFFMAN:
+        raise CodecError(f"unknown huffman container mode {mode}")
+    if len(data) < 3:
+        raise CodecError("huffman container too short")
+    header_length = int.from_bytes(data[1:3], "big")
+    header_end = 3 + header_length
+    if header_end > len(data):
+        raise CodecError("huffman container header truncated")
+    header = rle_decode(data[3:header_end])
+    codec = HuffmanCodec.from_header(header)
+    return codec.decode(data[header_end:])

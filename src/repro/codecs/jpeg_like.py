@@ -1,0 +1,216 @@
+"""JPEG-like intra-frame image/video compression.
+
+A real (simplified) implementation of the pipeline the paper's Figure 2
+describes — "The YUV frames are then JPEG compressed using a quality
+factor resulting in about 0.5 bits per pixel (this will give VHS
+quality)":
+
+1. RGB -> YUV (BT.601), chroma subsampled (default 4:2:2, the paper's
+   "YUV 8:2:2");
+2. per plane: 8x8 blocks, level-shifted, orthonormal DCT;
+3. quantization with Annex-K tables scaled by an IJG-style quality
+   factor (this is the hidden parameter a descriptive quality factor
+   maps to — see :mod:`repro.core.quality`);
+4. DC delta coding + AC (run, level) coding in zigzag order;
+5. canonical Huffman entropy coding.
+
+Because frames are compressed independently, encoded sizes vary frame to
+frame — exactly the property that forces Figure 2's explicit placement
+table ("the encoded video frames are variable sized ... the mapping from
+element number to BLOB placement is not a simple multiplication").
+
+Frame format (big-endian)::
+
+    magic 'RJ1\\0' | width u16 | height u16 | quality u8 | scheme u8
+    then per plane (Y, U, V): payload length u32 | huffman blob
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs import dct
+from repro.codecs.base import Codec
+from repro.codecs.color import (
+    SUBSAMPLING,
+    rgb_to_yuv,
+    subsample_yuv,
+    upsample_yuv,
+    yuv_to_rgb,
+)
+from repro.codecs.huffman import huffman_compress, huffman_decompress
+from repro.codecs.varint import read_svarint, write_svarint
+from repro.errors import CodecError
+
+_MAGIC = b"RJ1\x00"
+_HEADER = struct.Struct(">4sHHBB")
+_SCHEMES = sorted(SUBSAMPLING)
+
+#: End-of-block marker in the (run, level) token stream. Runs are at most
+#: 62, so 255 is unambiguous where a run byte is expected.
+_EOB = 255
+
+
+def encode_plane_coefficients(quantized: np.ndarray) -> bytes:
+    """Serialize quantized ``(n, 8, 8)`` blocks as a symbol byte stream.
+
+    Per block: signed varint of the DC delta (vs the previous block's
+    DC), then (run, level) pairs over the 63 AC coefficients in zigzag
+    order, terminated by an end-of-block byte.
+    """
+    vectors = dct.zigzag_scan(quantized)
+    block_count = vectors.shape[0]
+    # Vectorize the sparse structure once: DC deltas and the global
+    # (block, position, value) triplets of nonzero AC coefficients.
+    dc = vectors[:, 0].astype(np.int64)
+    dc_delta = np.diff(dc, prepend=0)
+    block_index, position = np.nonzero(vectors[:, 1:])
+    values = vectors[:, 1:][block_index, position]
+    block_index = block_index.tolist()
+    position = position.tolist()
+    values = values.tolist()
+    dc_delta = dc_delta.tolist()
+
+    out = bytearray()
+    pointer = 0
+    total = len(block_index)
+    for block in range(block_count):
+        write_svarint(out, dc_delta[block])
+        previous = -1
+        while pointer < total and block_index[pointer] == block:
+            pos = position[pointer]
+            out.append(pos - previous - 1)
+            previous = pos
+            write_svarint(out, values[pointer])
+            pointer += 1
+        out.append(_EOB)
+    return bytes(out)
+
+
+def decode_plane_coefficients(data: bytes, block_count: int) -> np.ndarray:
+    """Invert :func:`encode_plane_coefficients`."""
+    vectors = np.zeros((block_count, 64), dtype=np.int16)
+    offset = 0
+    previous_dc = 0
+    for index in range(block_count):
+        delta, offset = read_svarint(data, offset)
+        previous_dc += delta
+        vectors[index, 0] = previous_dc
+        position = 0
+        while True:
+            if offset >= len(data):
+                raise CodecError("coefficient stream exhausted mid-block")
+            run = data[offset]
+            offset += 1
+            if run == _EOB:
+                break
+            position += run + 1
+            if position > 63:
+                raise CodecError(f"AC position {position} out of range")
+            level, offset = read_svarint(data, offset)
+            vectors[index, position] = level
+    return dct.zigzag_unscan(vectors)
+
+
+def _encode_plane(plane: np.ndarray, table: np.ndarray) -> bytes:
+    blocks, shape = dct.to_blocks(plane - 128.0)
+    coefficients = dct.forward_dct(blocks)
+    quantized = dct.quantize(coefficients, table)
+    symbols = encode_plane_coefficients(quantized)
+    return huffman_compress(symbols)
+
+
+def _decode_plane(data: bytes, shape: tuple[int, int],
+                  table: np.ndarray) -> np.ndarray:
+    h, w = shape
+    rows = (h + dct.BLOCK - 1) // dct.BLOCK
+    cols = (w + dct.BLOCK - 1) // dct.BLOCK
+    symbols = huffman_decompress(data)
+    quantized = decode_plane_coefficients(symbols, rows * cols)
+    coefficients = dct.dequantize(quantized, table)
+    blocks = dct.inverse_dct(coefficients)
+    return dct.from_blocks(blocks, shape) + 128.0
+
+
+class JpegLikeCodec(Codec):
+    """Intra-frame codec over uint8 RGB frames.
+
+    Parameters
+    ----------
+    quality:
+        1..100 IJG-style quality (the hidden parameter behind the
+        descriptive quality factors of :mod:`repro.core.quality`).
+    subsampling:
+        Chroma scheme; the paper's example uses ``"4:2:2"``.
+    """
+
+    name = "jpeg-like"
+
+    def __init__(self, quality: int = 50, subsampling: str = "4:2:2"):
+        if subsampling not in SUBSAMPLING:
+            raise CodecError(f"unknown subsampling {subsampling!r}")
+        self.quality = quality
+        self.subsampling = subsampling
+        self._luma_table = dct.scale_quant_table(dct.LUMA_QUANT, quality)
+        self._chroma_table = dct.scale_quant_table(dct.CHROMA_QUANT, quality)
+
+    @property
+    def is_lossy(self) -> bool:
+        return True
+
+    def encode(self, payload: np.ndarray) -> bytes:
+        """Encode one ``(h, w, 3)`` uint8 RGB frame."""
+        y, u, v = subsample_yuv(*rgb_to_yuv(payload), self.subsampling)
+        h, w = payload.shape[:2]
+        scheme_code = _SCHEMES.index(self.subsampling)
+        parts = [_HEADER.pack(_MAGIC, w, h, self.quality, scheme_code)]
+        for plane, table in ((y, self._luma_table),
+                             (u, self._chroma_table),
+                             (v, self._chroma_table)):
+            blob = _encode_plane(plane, table)
+            parts.append(struct.pack(">I", len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> np.ndarray:
+        """Decode back to a uint8 RGB frame."""
+        if len(data) < _HEADER.size:
+            raise CodecError("frame too short for header")
+        magic, w, h, quality, scheme_code = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise CodecError(f"bad magic {magic!r}")
+        if scheme_code >= len(_SCHEMES):
+            raise CodecError(f"bad subsampling code {scheme_code}")
+        scheme = _SCHEMES[scheme_code]
+        fy, fx = SUBSAMPLING[scheme]
+        luma_table = dct.scale_quant_table(dct.LUMA_QUANT, quality)
+        chroma_table = dct.scale_quant_table(dct.CHROMA_QUANT, quality)
+        chroma_shape = ((h + fy - 1) // fy, (w + fx - 1) // fx)
+        offset = _HEADER.size
+        planes = []
+        for shape, table in (((h, w), luma_table),
+                             (chroma_shape, chroma_table),
+                             (chroma_shape, chroma_table)):
+            (length,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            planes.append(_decode_plane(data[offset:offset + length], shape, table))
+            offset += length
+        y, u, v = upsample_yuv(*planes, scheme)
+        return yuv_to_rgb(y, u, v)
+
+    def bits_per_pixel(self, frame: np.ndarray) -> float:
+        """Measured encoded bits per pixel for ``frame``."""
+        encoded = self.encode(frame)
+        h, w = frame.shape[:2]
+        return len(encoded) * 8 / (h * w)
+
+
+def psnr(original: np.ndarray, decoded: np.ndarray) -> float:
+    """Peak signal-to-noise ratio (dB) between two uint8 images."""
+    diff = original.astype(np.float64) - decoded.astype(np.float64)
+    mse = float(np.mean(diff * diff))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 * 255.0 / mse)

@@ -1,0 +1,85 @@
+"""Linear PCM audio coding.
+
+"Pulse Code Modulation (PCM), a simple encoding scheme for sample data"
+— the paper's CD-audio example: 44.1 kHz, 16-bit, two channels, with
+stereo sample pairs as the media elements.
+
+Signals are float arrays in [-1, 1] with shape ``(n,)`` (mono) or
+``(n, channels)``; encoded form is little-endian interleaved integers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.base import Codec
+from repro.errors import CodecError
+
+_DTYPES = {8: np.int8, 16: np.int16, 24: np.int32, 32: np.int32}
+
+
+def quantize_samples(signal: np.ndarray, sample_size: int = 16) -> np.ndarray:
+    """Quantize a float signal in [-1, 1] to integer samples."""
+    if sample_size not in _DTYPES:
+        raise CodecError(f"unsupported sample size {sample_size}")
+    peak = float(2 ** (sample_size - 1) - 1)
+    clipped = np.clip(signal, -1.0, 1.0)
+    return np.rint(clipped * peak).astype(_DTYPES[sample_size])
+
+
+def dequantize_samples(samples: np.ndarray, sample_size: int = 16) -> np.ndarray:
+    """Invert :func:`quantize_samples` back to float in [-1, 1]."""
+    peak = float(2 ** (sample_size - 1) - 1)
+    return samples.astype(np.float64) / peak
+
+
+class PcmCodec(Codec):
+    """Interleaved little-endian linear PCM.
+
+    ``encode`` accepts integer sample arrays (``(n,)`` or
+    ``(n, channels)``) or float signals (quantized first). ``decode``
+    returns the integer array with the configured channel count.
+    """
+
+    name = "pcm"
+
+    def __init__(self, sample_size: int = 16, channels: int = 2):
+        if sample_size not in (8, 16):
+            raise CodecError(
+                f"PcmCodec packs 8- or 16-bit samples, got {sample_size}"
+            )
+        if channels < 1:
+            raise CodecError(f"channels must be >= 1, got {channels}")
+        self.sample_size = sample_size
+        self.channels = channels
+        self._dtype = np.dtype(_DTYPES[sample_size]).newbyteorder("<")
+
+    @property
+    def bytes_per_frame(self) -> int:
+        """Bytes per sample frame (one sample across all channels)."""
+        return self.sample_size // 8 * self.channels
+
+    def encode(self, payload: np.ndarray) -> bytes:
+        samples = np.asarray(payload)
+        if samples.dtype.kind == "f":
+            samples = quantize_samples(samples, self.sample_size)
+        if samples.ndim == 1:
+            samples = samples[:, np.newaxis]
+        if samples.ndim != 2 or samples.shape[1] != self.channels:
+            raise CodecError(
+                f"expected (n, {self.channels}) samples, got {samples.shape}"
+            )
+        return samples.astype(self._dtype).tobytes()
+
+    def decode(self, data: bytes) -> np.ndarray:
+        if len(data) % self.bytes_per_frame:
+            raise CodecError(
+                f"{len(data)} bytes is not a whole number of "
+                f"{self.bytes_per_frame}-byte sample frames"
+            )
+        flat = np.frombuffer(data, dtype=self._dtype)
+        return flat.reshape(-1, self.channels).astype(_DTYPES[self.sample_size])
+
+    def data_rate(self, sample_rate: int) -> int:
+        """Bytes per second at ``sample_rate`` (Figure 2: 172 KiB/s for CD)."""
+        return sample_rate * self.bytes_per_frame

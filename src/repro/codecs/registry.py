@@ -1,0 +1,67 @@
+"""Codec registry.
+
+Media descriptors record an ``encoding`` name; the registry resolves that
+name to a codec instance so interpretations can decode elements without
+applications wiring codecs by hand (QuickTime's "components", in spirit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.codecs.base import Codec
+from repro.errors import CodecError
+
+
+class CodecRegistry:
+    """Named codec factories; instances are created per ``get`` call so
+    stateful codecs never leak state across users."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[..., Codec]] = {}
+
+    def register(self, name: str, factory: Callable[..., Codec],
+                 replace: bool = False) -> None:
+        if not replace and name in self._factories:
+            raise CodecError(f"codec {name!r} already registered")
+        self._factories[name] = factory
+
+    def get(self, name: str, **params) -> Codec:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise CodecError(
+                f"unknown codec {name!r}; registered: "
+                f"{', '.join(sorted(self._factories)) or '(none)'}"
+            ) from None
+        return factory(**params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+
+codec_registry = CodecRegistry()
+
+
+def _register_builtins() -> None:
+    """Register built-in codecs lazily to avoid import cycles."""
+    from repro.codecs.adpcm import AdpcmCodec
+    from repro.codecs.dvi_like import DviLikeCodec
+    from repro.codecs.jpeg_like import JpegLikeCodec
+    from repro.codecs.pcm import PcmCodec
+    from repro.codecs.scalable import ScalableVideoCodec
+
+    codec_registry.register("jpeg-like", JpegLikeCodec)
+    codec_registry.register("pcm", PcmCodec)
+    codec_registry.register("ima-adpcm", AdpcmCodec)
+    codec_registry.register("dvi-like", DviLikeCodec)
+    codec_registry.register("scalable", ScalableVideoCodec)
+
+
+# Registration happens on first import of the package's public API; the
+# imports inside _register_builtins are safe because those modules only
+# import base/dct/etc., never this registry.
+_register_builtins()

@@ -1,0 +1,89 @@
+"""Core data model: the paper's primary contribution.
+
+This package implements Definitions 1-7 of Gibbs, Breiteneder and
+Tsichritzis, "Data Modeling of Time-Based Media" (SIGMOD 1994):
+
+* :mod:`repro.core.time_system` -- discrete time systems (Def. 2)
+* :mod:`repro.core.media_types` -- media types and descriptors (Def. 1)
+* :mod:`repro.core.streams` -- timed streams and their categories (Def. 3)
+* :mod:`repro.core.interpretation` -- BLOB interpretation (Defs. 4-5)
+* :mod:`repro.core.derivation` -- derivation objects (Def. 6)
+* :mod:`repro.core.composition` -- multimedia composition (Def. 7)
+"""
+
+from repro.core.rational import Rational, as_rational
+from repro.core.time_system import (
+    DiscreteTimeSystem,
+    CD_AUDIO_TIME,
+    DAT_TIME,
+    FILM_TIME,
+    MIDI_TIME,
+    NTSC_TIME,
+    PAL_TIME,
+)
+from repro.core.intervals import Interval, IntervalRelation, relate
+from repro.core.descriptors import ElementDescriptor, MediaDescriptor
+from repro.core.media_types import MediaKind, MediaType, media_type_registry
+from repro.core.quality import QualityFactor, QualityLadder
+from repro.core.elements import MediaElement
+from repro.core.streams import StreamCategory, TimedStream, TimedTuple
+from repro.core.media_object import DerivedMediaObject, MediaObject
+from repro.core.interpretation import Interpretation, PlacementEntry
+from repro.core.derivation import Derivation, DerivationObject, derivation_registry
+from repro.core.composition import (
+    CompositionRelationship,
+    MultimediaObject,
+    SpatialComposition,
+    TemporalComposition,
+)
+from repro.core.provenance import ProvenanceGraph
+from repro.core.model import (
+    AttributeType,
+    Entity,
+    EntityType,
+    ScalarKind,
+    video_clip_type,
+)
+
+__all__ = [
+    "AttributeType",
+    "Entity",
+    "EntityType",
+    "ScalarKind",
+    "video_clip_type",
+    "Rational",
+    "as_rational",
+    "DiscreteTimeSystem",
+    "CD_AUDIO_TIME",
+    "DAT_TIME",
+    "FILM_TIME",
+    "MIDI_TIME",
+    "NTSC_TIME",
+    "PAL_TIME",
+    "Interval",
+    "IntervalRelation",
+    "relate",
+    "ElementDescriptor",
+    "MediaDescriptor",
+    "MediaKind",
+    "MediaType",
+    "media_type_registry",
+    "QualityFactor",
+    "QualityLadder",
+    "MediaElement",
+    "StreamCategory",
+    "TimedStream",
+    "TimedTuple",
+    "DerivedMediaObject",
+    "MediaObject",
+    "Interpretation",
+    "PlacementEntry",
+    "Derivation",
+    "DerivationObject",
+    "derivation_registry",
+    "CompositionRelationship",
+    "MultimediaObject",
+    "SpatialComposition",
+    "TemporalComposition",
+    "ProvenanceGraph",
+]

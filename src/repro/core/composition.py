@@ -1,0 +1,278 @@
+"""Composition: assembling multimedia objects (Definition 7).
+
+"Composition is the specification of temporal and/or spatial
+relationships between a group of media objects. The result of composition
+is called a multimedia object, the spatiotemporally related objects are
+called its components."
+
+Temporal composition places a component at an offset on the multimedia
+object's timeline; spatial composition places it in a 2D/3D presentation
+space. A component may itself be a multimedia object, so complex
+assemblies nest ("complex multimedia structures are built up from
+simpler, perhaps 'single-media', components").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.intervals import Interval, IntervalRelation, relate, span
+from repro.core.media_object import MediaObject
+from repro.core.rational import Rational, as_rational
+from repro.errors import CompositionError
+
+Component = Union[MediaObject, "MultimediaObject"]
+
+
+def _component_duration(component: Component) -> Rational:
+    """Duration of a component in seconds.
+
+    Media objects report the ``duration`` descriptor attribute when
+    present (so derived objects need not expand), falling back to their
+    stream's span; multimedia objects report their composed timeline
+    length. Still media (images, text) have zero intrinsic duration and
+    rely on an explicit duration in the composition relationship.
+    """
+    if isinstance(component, MultimediaObject):
+        return component.duration()
+    declared = component.descriptor.get("duration")
+    if declared is not None:
+        return as_rational(declared)
+    if component.media_type.kind.is_time_based:
+        return component.stream().duration_seconds()
+    return Rational(0)
+
+
+@dataclass(frozen=True, slots=True)
+class SpatialPlacement:
+    """Position (and stacking order) of a component in presentation space."""
+
+    x: Rational
+    y: Rational
+    z: int = 0
+    scale: Rational = Rational(1)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", as_rational(self.x))
+        object.__setattr__(self, "y", as_rational(self.y))
+        scale = as_rational(self.scale)
+        if scale <= 0:
+            raise CompositionError(f"scale must be positive, got {scale}")
+        object.__setattr__(self, "scale", scale)
+
+
+class CompositionRelationship:
+    """One instance of a composition relationship (a diamond in Figure 4a).
+
+    Carries the component, an optional temporal placement (start offset
+    and optional explicit duration on the parent's timeline) and an
+    optional spatial placement.
+    """
+
+    def __init__(
+        self,
+        component: Component,
+        start_offset=None,
+        duration=None,
+        placement: SpatialPlacement | None = None,
+        label: str | None = None,
+    ):
+        if start_offset is None and placement is None:
+            raise CompositionError(
+                "a composition relationship must be temporal (start_offset), "
+                "spatial (placement), or both"
+            )
+        self.component = component
+        self.start_offset = (
+            None if start_offset is None else as_rational(start_offset)
+        )
+        if self.start_offset is not None and self.start_offset < 0:
+            raise CompositionError("start offset must be non-negative")
+        self.explicit_duration = None if duration is None else as_rational(duration)
+        if self.explicit_duration is not None and self.explicit_duration < 0:
+            raise CompositionError("duration must be non-negative")
+        self.placement = placement
+        self.label = label or getattr(component, "name", "component")
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.start_offset is not None
+
+    @property
+    def is_spatial(self) -> bool:
+        return self.placement is not None
+
+    def duration(self) -> Rational:
+        if self.explicit_duration is not None:
+            return self.explicit_duration
+        return _component_duration(self.component)
+
+    def interval(self) -> Interval:
+        """The component's interval on the parent timeline (temporal only)."""
+        if not self.is_temporal:
+            raise CompositionError(
+                f"component {self.label!r} has no temporal placement"
+            )
+        return Interval.of(self.start_offset, self.duration())
+
+    def __repr__(self) -> str:
+        parts = [repr(self.label)]
+        if self.is_temporal:
+            parts.append(f"at {self.start_offset.to_timestamp()}")
+        if self.is_spatial:
+            parts.append(f"xy=({self.placement.x},{self.placement.y})")
+        return f"CompositionRelationship({', '.join(parts)})"
+
+
+class TemporalComposition(CompositionRelationship):
+    """Pure temporal composition: "relative timing during presentation"."""
+
+    def __init__(self, component: Component, start_offset, duration=None,
+                 label: str | None = None):
+        super().__init__(component, start_offset=start_offset,
+                         duration=duration, label=label)
+
+
+class SpatialComposition(CompositionRelationship):
+    """Pure spatial composition: "relative positioning during presentation".
+
+    Spatial-only components still appear for the full presentation, so a
+    start offset of 0 is implied when the parent timeline is queried.
+    """
+
+    def __init__(self, component: Component, x, y, z: int = 0, scale=1,
+                 label: str | None = None):
+        super().__init__(
+            component,
+            placement=SpatialPlacement(as_rational(x), as_rational(y), z,
+                                       as_rational(scale)),
+            label=label,
+        )
+
+
+class MultimediaObject:
+    """Definition 7's result: a group of spatiotemporally related components."""
+
+    def __init__(self, name: str = "multimedia-object"):
+        self.name = name
+        self._relationships: list[CompositionRelationship] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add(self, relationship: CompositionRelationship) -> CompositionRelationship:
+        if any(r.label == relationship.label for r in self._relationships):
+            raise CompositionError(
+                f"{self.name!r} already has a component labelled "
+                f"{relationship.label!r}"
+            )
+        self._relationships.append(relationship)
+        return relationship
+
+    def add_temporal(self, component: Component, at, duration=None,
+                     label: str | None = None) -> CompositionRelationship:
+        """Place ``component`` on the timeline starting at ``at`` seconds."""
+        return self.add(TemporalComposition(component, at, duration, label))
+
+    def add_spatial(self, component: Component, x, y, z: int = 0,
+                    label: str | None = None) -> CompositionRelationship:
+        """Place ``component`` at position (x, y) with stacking order z."""
+        return self.add(SpatialComposition(component, x, y, z, label=label))
+
+    # -- access --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._relationships)
+
+    def __iter__(self):
+        return iter(self._relationships)
+
+    @property
+    def relationships(self) -> list[CompositionRelationship]:
+        return list(self._relationships)
+
+    def component(self, label: str) -> CompositionRelationship:
+        for r in self._relationships:
+            if r.label == label:
+                return r
+        raise CompositionError(
+            f"{self.name!r} has no component {label!r}; have: "
+            f"{', '.join(r.label for r in self._relationships) or '(none)'}"
+        )
+
+    def components(self) -> list[Component]:
+        return [r.component for r in self._relationships]
+
+    def flatten(self) -> list[tuple[str, MediaObject, Interval]]:
+        """All leaf media objects with absolute intervals, nesting resolved."""
+        result: list[tuple[str, MediaObject, Interval]] = []
+        for r in self._relationships:
+            offset = r.start_offset if r.is_temporal else Rational(0)
+            if isinstance(r.component, MultimediaObject):
+                for label, obj, interval in r.component.flatten():
+                    result.append((
+                        f"{r.label}/{label}", obj, interval.translate(offset)
+                    ))
+            else:
+                result.append((r.label, r.component, Interval.of(offset, r.duration())))
+        return result
+
+    # -- timeline ------------------------------------------------------------------
+
+    def timeline(self) -> list[tuple[str, Interval]]:
+        """Per-component intervals, ordered by start then label."""
+        entries = [
+            (r.label, r.interval() if r.is_temporal
+             else Interval.of(0, r.duration()))
+            for r in self._relationships
+        ]
+        return sorted(entries, key=lambda item: (item[1].start, item[0]))
+
+    def duration(self) -> Rational:
+        """End of the latest component (0 for an empty object)."""
+        hull = span(interval for _, interval in self.timeline())
+        return hull.end if hull else Rational(0)
+
+    def relation(self, label_a: str, label_b: str) -> IntervalRelation:
+        """Allen relation between two components' timeline intervals."""
+        a = self.component(label_a)
+        b = self.component(label_b)
+        interval_a = a.interval() if a.is_temporal else Interval.of(0, a.duration())
+        interval_b = b.interval() if b.is_temporal else Interval.of(0, b.duration())
+        return relate(interval_a, interval_b)
+
+    def simultaneous_at(self, t) -> list[str]:
+        """Labels of components presented at time ``t``."""
+        t = as_rational(t)
+        return [
+            label for label, interval in self.timeline()
+            if interval.contains_time(t)
+        ]
+
+    def timeline_diagram(self, width: int = 60) -> str:
+        """ASCII timeline in the style of Figure 4(b)."""
+        entries = self.timeline()
+        if not entries:
+            return f"{self.name}: (empty)"
+        total = self.duration()
+        if total == 0:
+            total = Rational(1)
+        label_width = max(len(label) for label, _ in entries)
+        lines = [f"{self.name} — {total.to_timestamp()}"]
+        for label, interval in entries:
+            begin = int(round((interval.start / total).to_seconds() * width))
+            length = max(1, int(round((interval.duration / total).to_seconds() * width)))
+            bar = " " * begin + "#" * min(length, width - begin)
+            lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}|")
+        ruler = (
+            " " * label_width
+            + f"  0:00{'':{max(0, width - 12)}}{total.to_timestamp():>6}"
+        )
+        lines.append(ruler)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultimediaObject({self.name!r}, {len(self)} components, "
+            f"duration={self.duration().to_timestamp()})"
+        )

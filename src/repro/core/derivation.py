@@ -1,0 +1,278 @@
+"""Derivation: media objects computed from other media objects (Def. 6).
+
+"The derivation (D) of a media object O1 from a set of media objects O is
+a mapping of the form D(O, P_D) -> O1, where P_D is the set of parameters
+specific to D. ... The information needed to compute a derived object,
+references to the media objects and parameter values used, is called a
+derivation object."
+
+Three layers:
+
+* :class:`Derivation` — a registered derivation *kind* (e.g. "video
+  edit", "MIDI synthesis"): argument/result types, a category (content /
+  timing / type change, §4.2), parameter validation and the expansion
+  function.
+* :class:`DerivationObject` — one application: input object references
+  plus parameter values. Small, storable, queryable.
+* :class:`~repro.core.media_object.DerivedMediaObject` — the derived
+  object, expanding its derivation object on demand.
+
+Concrete derivations (Table 1: color separation, audio normalization,
+video edit, video transition, MIDI synthesis — and more) are registered
+by :mod:`repro.edit` and :mod:`repro.media`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.descriptors import MediaDescriptor
+from repro.core.media_object import DerivedMediaObject, MediaObject
+from repro.core.media_types import MediaKind, MediaType
+from repro.errors import DerivationError
+
+
+class DerivationCategory(enum.Enum):
+    """The derivation categories of §4.2."""
+
+    CHANGE_OF_CONTENT = "change of content"
+    CHANGE_OF_TIMING = "change of timing"
+    CHANGE_OF_TYPE = "change of type"
+
+
+#: Signature of an expansion function: materialize the derived object.
+ExpandFunc = Callable[[Sequence[MediaObject], Mapping[str, Any]], MediaObject]
+
+#: Signature of a describe function: compute the derived object's type and
+#: descriptor *without* expanding (cheap, used when creating the derived
+#: object).
+DescribeFunc = Callable[
+    [Sequence[MediaObject], Mapping[str, Any]],
+    tuple[MediaType, MediaDescriptor],
+]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A registered derivation kind.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"video-edit"``.
+    category:
+        Primary §4.2 category. ("These groups ... are not exclusive";
+        ``also_categories`` lists additional ones.)
+    input_kinds:
+        Expected kinds of the input objects, in order. A single-kind
+        variadic derivation (an edit over N cuts) sets ``variadic=True``
+        and lists the kind once.
+    result_kind:
+        Kind of the derived object.
+    expand:
+        The mapping ``D(O, P_D) -> O1``.
+    describe:
+        Optional cheap descriptor computation for the derived object;
+        when absent, creating a derived object *without* expanding
+        requires an explicit descriptor.
+    required_params / optional_params:
+        Parameter names of ``P_D``; unexpected parameters are rejected so
+        typos fail at derivation-object creation, not at expansion.
+    """
+
+    name: str
+    category: DerivationCategory
+    input_kinds: tuple[MediaKind, ...]
+    result_kind: MediaKind
+    expand: ExpandFunc
+    describe: DescribeFunc | None = None
+    variadic: bool = False
+    any_kind: bool = False
+    required_params: tuple[str, ...] = ()
+    optional_params: tuple[str, ...] = ()
+    also_categories: tuple[DerivationCategory, ...] = ()
+    doc: str = ""
+
+    def categories(self) -> set[DerivationCategory]:
+        return {self.category, *self.also_categories}
+
+    def check_inputs(self, inputs: Sequence[MediaObject]) -> None:
+        if self.any_kind:
+            # Generic derivations ("changing timing ... apply to all
+            # time-based media") check arity only.
+            if not self.variadic and len(inputs) != len(self.input_kinds):
+                raise DerivationError(
+                    f"{self.name}: expected {len(self.input_kinds)} inputs, "
+                    f"got {len(inputs)}"
+                )
+            if self.variadic and not inputs:
+                raise DerivationError(f"{self.name}: needs at least one input")
+            return
+        if self.variadic:
+            if not inputs:
+                raise DerivationError(f"{self.name}: needs at least one input")
+            expected = self.input_kinds[0]
+            for obj in inputs:
+                if obj.kind is not expected:
+                    raise DerivationError(
+                        f"{self.name}: expected {expected.value} inputs, "
+                        f"got {obj.kind.value} ({obj.name})"
+                    )
+            return
+        if len(inputs) != len(self.input_kinds):
+            raise DerivationError(
+                f"{self.name}: expected {len(self.input_kinds)} inputs, "
+                f"got {len(inputs)}"
+            )
+        for obj, expected in zip(inputs, self.input_kinds):
+            if obj.kind is not expected:
+                raise DerivationError(
+                    f"{self.name}: expected a {expected.value} input, "
+                    f"got {obj.kind.value} ({obj.name})"
+                )
+
+    def check_params(self, params: Mapping[str, Any]) -> None:
+        allowed = set(self.required_params) | set(self.optional_params)
+        missing = set(self.required_params) - set(params)
+        if missing:
+            raise DerivationError(
+                f"{self.name}: missing parameters {sorted(missing)}"
+            )
+        unexpected = set(params) - allowed
+        if unexpected:
+            raise DerivationError(
+                f"{self.name}: unexpected parameters {sorted(unexpected)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+
+    def __call__(
+        self,
+        inputs: Sequence[MediaObject],
+        params: Mapping[str, Any] | None = None,
+        name: str | None = None,
+    ) -> DerivedMediaObject:
+        """Create (not expand) a derived media object."""
+        return DerivationObject(self, inputs, params or {}).derive(name)
+
+
+class DerivationObject:
+    """Definition 6: input references + parameter values for one derivation.
+
+    "Rather than storing the results of derivations it is possible to
+    store the specification of each derivation step" — this class is that
+    specification. :meth:`storage_size` estimates its stored size so the
+    "orders of magnitude smaller" claim can be measured (benchmark E8).
+    """
+
+    def __init__(
+        self,
+        derivation: Derivation,
+        inputs: Sequence[MediaObject],
+        params: Mapping[str, Any],
+    ):
+        derivation.check_inputs(inputs)
+        derivation.check_params(params)
+        self.derivation = derivation
+        self.inputs: tuple[MediaObject, ...] = tuple(inputs)
+        self.params: dict[str, Any] = dict(params)
+
+    def expand(self) -> MediaObject:
+        """Apply the mapping: compute the actual (non-derived) object."""
+        result = self.derivation.expand(self.inputs, self.params)
+        if not self.derivation.any_kind and result.kind is not self.derivation.result_kind:
+            raise DerivationError(
+                f"{self.derivation.name}: expansion returned "
+                f"{result.kind.value}, declared {self.derivation.result_kind.value}"
+            )
+        return result
+
+    def derive(self, name: str | None = None,
+               descriptor: MediaDescriptor | None = None) -> DerivedMediaObject:
+        """Wrap this derivation object as a derived media object.
+
+        The derived object's type/descriptor come from the derivation's
+        ``describe`` function, or from ``descriptor`` when the derivation
+        has none.
+        """
+        if self.derivation.describe is not None:
+            media_type, described = self.derivation.describe(self.inputs, self.params)
+            descriptor = descriptor or described
+        elif descriptor is None:
+            raise DerivationError(
+                f"{self.derivation.name} has no describe function; "
+                "pass an explicit descriptor"
+            )
+        else:
+            media_type = self.inputs[0].media_type
+        return DerivedMediaObject(media_type, descriptor, self, name=name)
+
+    def storage_size(self) -> int:
+        """Approximate stored size in bytes: object refs + parameters.
+
+        16 bytes per input reference (an OID) plus the repr length of
+        each parameter value — deliberately generous so benchmark E8's
+        size ratios are conservative.
+        """
+        size = 16 * len(self.inputs)
+        for key, value in self.params.items():
+            size += len(key) + len(repr(value))
+        return size
+
+    def __repr__(self) -> str:
+        ins = ", ".join(o.name for o in self.inputs)
+        return (
+            f"DerivationObject({self.derivation.name}, inputs=[{ins}], "
+            f"params={self.params})"
+        )
+
+
+class DerivationRegistry:
+    """Registry of derivation kinds, keyed by name."""
+
+    def __init__(self) -> None:
+        self._derivations: dict[str, Derivation] = {}
+
+    def register(self, derivation: Derivation, replace: bool = False) -> Derivation:
+        if not replace and derivation.name in self._derivations:
+            raise DerivationError(
+                f"derivation {derivation.name!r} already registered"
+            )
+        self._derivations[derivation.name] = derivation
+        return derivation
+
+    def get(self, name: str) -> Derivation:
+        try:
+            return self._derivations[name]
+        except KeyError:
+            raise DerivationError(
+                f"unknown derivation {name!r}; registered: "
+                f"{', '.join(sorted(self._derivations)) or '(none)'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._derivations
+
+    def names(self) -> list[str]:
+        return sorted(self._derivations)
+
+    def by_category(self, category: DerivationCategory) -> list[Derivation]:
+        return [
+            d for d in self._derivations.values() if category in d.categories()
+        ]
+
+    def table(self) -> list[tuple[str, str, str, str]]:
+        """Rows shaped like the paper's Table 1:
+        (derivation, argument types, result type, category)."""
+        rows = []
+        for name in self.names():
+            d = self._derivations[name]
+            args = ", ".join(k.value for k in d.input_kinds)
+            if d.variadic:
+                args += "..."
+            rows.append((name, args, d.result_kind.value, d.category.value))
+        return rows
+
+
+derivation_registry = DerivationRegistry()

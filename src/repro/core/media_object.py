@@ -1,0 +1,216 @@
+"""Media objects (§3.1-3.2): machine-readable representations of artifacts.
+
+A *media object* pairs a media descriptor with access to its content. The
+model distinguishes:
+
+* **non-derived** media objects — their elements are stored, reached
+  through the interpretation of a BLOB or held directly as a timed
+  stream;
+* **derived** media objects — their elements are "calculated when
+  needed" from other media objects via a derivation object (§4.2).
+
+Identity matters: interpretation, derivation and composition all relate
+media objects, so each object carries a unique id used by the provenance
+graph and the database catalog.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.core.descriptors import MediaDescriptor
+from repro.core.media_types import MediaKind, MediaType
+from repro.core.streams import TimedStream
+from repro.errors import MediaModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.derivation import DerivationObject
+
+_ids = itertools.count(1)
+
+
+def _next_id(prefix: str) -> str:
+    return f"{prefix}{next(_ids)}"
+
+
+class MediaObject:
+    """Base class: a named, typed, described representation of an artifact.
+
+    Subclasses provide content access: :meth:`stream` for time-based
+    kinds, :meth:`value` for still kinds (images, text).
+    """
+
+    def __init__(
+        self,
+        media_type: MediaType,
+        descriptor: MediaDescriptor,
+        name: str | None = None,
+    ):
+        media_type.validate_media_descriptor(descriptor)
+        self.media_type = media_type
+        self.descriptor = descriptor
+        self.object_id = _next_id("mo")
+        self.name = name or self.object_id
+
+    @property
+    def kind(self) -> MediaKind:
+        return self.media_type.kind
+
+    @property
+    def is_derived(self) -> bool:
+        return False
+
+    def stream(self) -> TimedStream:
+        """The object's timed stream (time-based kinds only)."""
+        raise MediaModelError(
+            f"{type(self).__name__} {self.name!r} has no timed stream"
+        )
+
+    def value(self) -> Any:
+        """The object's value (still kinds only)."""
+        raise MediaModelError(f"{type(self).__name__} {self.name!r} has no value")
+
+    def __repr__(self) -> str:
+        derived = ", derived" if self.is_derived else ""
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{self.media_type.name}{derived})"
+        )
+
+
+class StreamMediaObject(MediaObject):
+    """A non-derived media object holding its timed stream directly.
+
+    This is the in-memory form: freshly captured or fully expanded
+    material. Objects whose elements live in a BLOB use
+    :class:`InterpretedMediaObject` instead.
+    """
+
+    def __init__(
+        self,
+        media_type: MediaType,
+        descriptor: MediaDescriptor,
+        stream: TimedStream,
+        name: str | None = None,
+    ):
+        super().__init__(media_type, descriptor, name)
+        if stream.media_type.name != media_type.name:
+            raise MediaModelError(
+                f"stream type {stream.media_type.name!r} does not match "
+                f"object type {media_type.name!r}"
+            )
+        self._stream = stream
+
+    def stream(self) -> TimedStream:
+        return self._stream
+
+
+class StillMediaObject(MediaObject):
+    """A non-derived, non-time-based media object (image, text)."""
+
+    def __init__(
+        self,
+        media_type: MediaType,
+        descriptor: MediaDescriptor,
+        value: Any,
+        name: str | None = None,
+    ):
+        super().__init__(media_type, descriptor, name)
+        if media_type.kind.is_time_based:
+            raise MediaModelError(
+                f"{media_type.name} is time-based; use a stream-backed object"
+            )
+        self._value = value
+
+    def value(self) -> Any:
+        return self._value
+
+
+class InterpretedMediaObject(MediaObject):
+    """A non-derived media object reached through a BLOB interpretation.
+
+    The object does not copy element data: :meth:`stream` materializes a
+    timed stream whose element payloads are read from the BLOB through
+    the interpretation's placement table (Definition 5). An optional
+    ``decode`` hook turns stored bytes into domain payloads (decoded
+    frames, sample arrays), so derivations can consume BLOB-resident
+    media directly.
+    """
+
+    def __init__(self, interpretation, sequence_name: str, decode=None):
+        sequence = interpretation.sequence(sequence_name)
+        super().__init__(
+            sequence.media_type, sequence.media_descriptor, name=sequence_name
+        )
+        self.interpretation = interpretation
+        self.sequence_name = sequence_name
+        self.decode = decode
+
+    def stream(self) -> TimedStream:
+        return self.interpretation.materialize(
+            self.sequence_name, decode=self.decode
+        )
+
+    def stream_lazy(self) -> TimedStream:
+        """Stream with placement-only elements (payloads not read)."""
+        return self.interpretation.materialize(
+            self.sequence_name, read_payloads=False
+        )
+
+
+class DerivedMediaObject(MediaObject):
+    """A derived media object (§4.2): content computed on demand.
+
+    Holds a :class:`~repro.core.derivation.DerivationObject` — "the
+    information needed to compute a derived object, references to the
+    media objects and parameter values used". :meth:`stream`/:meth:`value`
+    expand it; :meth:`materialize` expands once and caches, modeling the
+    decision to store the expansion when real-time expansion is
+    infeasible.
+    """
+
+    def __init__(
+        self,
+        media_type: MediaType,
+        descriptor: MediaDescriptor,
+        derivation_object: "DerivationObject",
+        name: str | None = None,
+    ):
+        super().__init__(media_type, descriptor, name)
+        self.derivation_object = derivation_object
+        self._expanded: MediaObject | None = None
+
+    @property
+    def is_derived(self) -> bool:
+        return True
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._expanded is not None
+
+    def expand(self) -> MediaObject:
+        """Compute the non-derived equivalent (never cached)."""
+        return self.derivation_object.expand()
+
+    def materialize(self) -> MediaObject:
+        """Expand once and cache — "store a non-derived object" (§4.2)."""
+        if self._expanded is None:
+            self._expanded = self.expand()
+        return self._expanded
+
+    def discard_materialization(self) -> None:
+        """Drop the cached expansion, keeping only the derivation object."""
+        self._expanded = None
+
+    def stream(self) -> TimedStream:
+        target = self._expanded if self._expanded is not None else self.expand()
+        return target.stream()
+
+    def value(self) -> Any:
+        target = self._expanded if self._expanded is not None else self.expand()
+        return target.value()
+
+    def antecedents(self) -> list[MediaObject]:
+        """The media objects this object is derived from."""
+        return list(self.derivation_object.inputs)

@@ -1,0 +1,412 @@
+"""Media types (Definition 1 of the paper).
+
+A *media type* specifies the attributes found in media descriptors and
+their possible values; for time-based media it also specifies the form of
+element descriptors and the constraints the type imposes on timed streams
+(e.g. CD audio forces ``s_{i+1} = s_i + d_i`` and ``d_i = 1``).
+
+The registry ships with the types used by the paper's examples (CD audio,
+PAL/NTSC/film video, ADPCM audio, MIDI music, animation, still images)
+and applications can register their own.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.descriptors import ElementDescriptor, MediaDescriptor
+from repro.core.time_system import (
+    CD_AUDIO_TIME,
+    DAT_TIME,
+    DiscreteTimeSystem,
+    FILM_TIME,
+    MIDI_TIME,
+    NTSC_TIME,
+    PAL_TIME,
+)
+from repro.errors import DescriptorError, MediaTypeError
+
+
+class MediaKind(enum.Enum):
+    """Broad families of media; the paper's "type (e.g., image, audio)"."""
+
+    AUDIO = "audio"
+    VIDEO = "video"
+    IMAGE = "image"
+    MUSIC = "music"
+    ANIMATION = "animation"
+    TEXT = "text"
+
+    @property
+    def is_time_based(self) -> bool:
+        """Whether objects of this kind are timed streams (vs single values)."""
+        return self not in (MediaKind.IMAGE, MediaKind.TEXT)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Specification of one descriptor attribute.
+
+    ``validator`` receives the value and returns True when acceptable;
+    ``choices`` restricts to an enumerated set. Exactly what Definition 1
+    calls "the attributes found in media descriptors and their possible
+    values".
+    """
+
+    name: str
+    required: bool = True
+    choices: tuple[Any, ...] | None = None
+    validator: Callable[[Any], bool] | None = None
+    doc: str = ""
+
+    def check(self, value: Any) -> None:
+        if self.choices is not None and value not in self.choices:
+            raise DescriptorError(
+                f"attribute {self.name!r}: {value!r} not among {self.choices}"
+            )
+        if self.validator is not None and not self.validator(value):
+            raise DescriptorError(f"attribute {self.name!r}: invalid value {value!r}")
+
+
+def _positive(value: Any) -> bool:
+    try:
+        return value > 0
+    except TypeError:
+        return False
+
+
+def _non_negative(value: Any) -> bool:
+    try:
+        return value >= 0
+    except TypeError:
+        return False
+
+
+@dataclass(frozen=True)
+class MediaType:
+    """Definition 1: a specification of media- and element-descriptor forms.
+
+    Parameters
+    ----------
+    name:
+        Unique type name (e.g. ``"cd-audio"``).
+    kind:
+        The broad :class:`MediaKind`.
+    time_system:
+        Default discrete time system for streams of this type (None for
+        non-time-based kinds such as still images).
+    media_attributes:
+        Specs for media descriptor attributes.
+    element_attributes:
+        Specs for element descriptor attributes ("these refer to
+        individual elements rather than media objects as a whole").
+        Empty for homogeneous types such as CD audio, where "element
+        descriptors are not necessary since all elements have the same
+        form".
+    fixed_duration:
+        If not None, every element must have exactly this duration in
+        ticks (1 for CD audio samples and fixed-rate video frames).
+    continuous:
+        Whether streams of this type must be continuous
+        (``s_{i+1} = s_i + d_i``).
+    event_based:
+        Whether elements are duration-less events (MIDI).
+    """
+
+    name: str
+    kind: MediaKind
+    time_system: DiscreteTimeSystem | None = None
+    media_attributes: tuple[AttributeSpec, ...] = ()
+    element_attributes: tuple[AttributeSpec, ...] = ()
+    fixed_duration: int | None = None
+    continuous: bool = False
+    event_based: bool = False
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MediaTypeError("media type name must be non-empty")
+        if self.kind.is_time_based and self.time_system is None:
+            raise MediaTypeError(
+                f"time-based media type {self.name!r} requires a time system"
+            )
+        if self.event_based and self.fixed_duration not in (None, 0):
+            raise MediaTypeError("event-based types imply duration 0")
+        if self.event_based and self.continuous:
+            raise MediaTypeError(
+                "a type cannot be both continuous and event-based"
+            )
+
+    @property
+    def has_element_descriptors(self) -> bool:
+        """Whether elements of this type *must* carry descriptors.
+
+        True when some element attribute is required (ADPCM's predictor
+        state). Types with only optional element attributes (a video
+        frame's ``frame_kind``) accept both bare and described elements.
+        """
+        return any(spec.required for spec in self.element_attributes)
+
+    # -- descriptor validation -------------------------------------------------
+
+    def validate_media_descriptor(self, descriptor: MediaDescriptor) -> None:
+        """Raise :class:`DescriptorError` if ``descriptor`` violates this type."""
+        self._validate(descriptor, self.media_attributes, "media")
+
+    def validate_element_descriptor(self, descriptor: ElementDescriptor) -> None:
+        """Raise :class:`DescriptorError` if ``descriptor`` violates this type."""
+        self._validate(descriptor, self.element_attributes, "element")
+
+    def _validate(
+        self,
+        descriptor: Mapping[str, Any],
+        specs: Iterable[AttributeSpec],
+        which: str,
+    ) -> None:
+        for spec in specs:
+            if spec.name not in descriptor:
+                if spec.required:
+                    raise DescriptorError(
+                        f"{self.name}: required {which} attribute "
+                        f"{spec.name!r} missing"
+                    )
+                continue
+            spec.check(descriptor[spec.name])
+
+    def make_media_descriptor(self, **attributes: Any) -> MediaDescriptor:
+        """Build and validate a media descriptor, filling in ``kind``."""
+        attributes.setdefault("kind", self.kind.value)
+        attributes.setdefault("media_type", self.name)
+        descriptor = MediaDescriptor(attributes)
+        self.validate_media_descriptor(descriptor)
+        return descriptor
+
+    def make_element_descriptor(self, **attributes: Any) -> ElementDescriptor:
+        """Build and validate an element descriptor."""
+        descriptor = ElementDescriptor(attributes)
+        self.validate_element_descriptor(descriptor)
+        return descriptor
+
+    def __str__(self) -> str:
+        return f"MediaType({self.name})"
+
+
+class MediaTypeRegistry:
+    """Registry of named media types.
+
+    A single module-level instance :data:`media_type_registry` holds the
+    built-in types; tests may build private registries.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, MediaType] = {}
+
+    def register(self, media_type: MediaType, replace: bool = False) -> MediaType:
+        if not replace and media_type.name in self._types:
+            raise MediaTypeError(f"media type {media_type.name!r} already registered")
+        self._types[media_type.name] = media_type
+        return media_type
+
+    def get(self, name: str) -> MediaType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise MediaTypeError(
+                f"unknown media type {name!r}; registered: "
+                f"{', '.join(sorted(self._types)) or '(none)'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    def by_kind(self, kind: MediaKind) -> list[MediaType]:
+        return [t for t in self._types.values() if t.kind is kind]
+
+
+media_type_registry = MediaTypeRegistry()
+
+
+def _register_builtins(registry: MediaTypeRegistry) -> None:
+    """Install the media types used by the paper's worked examples."""
+
+    registry.register(MediaType(
+        name="cd-audio",
+        kind=MediaKind.AUDIO,
+        time_system=CD_AUDIO_TIME,
+        media_attributes=(
+            AttributeSpec("sample_rate", choices=(44100,)),
+            AttributeSpec("sample_size", choices=(16,)),
+            AttributeSpec("channels", choices=(2,)),
+            AttributeSpec("encoding", choices=("PCM",)),
+            AttributeSpec("duration", required=False, validator=_non_negative),
+        ),
+        fixed_duration=1,
+        continuous=True,
+        doc="CD-DA: 44.1 kHz, 16-bit, stereo PCM; homogeneous and uniform.",
+    ))
+
+    registry.register(MediaType(
+        name="pcm-audio",
+        kind=MediaKind.AUDIO,
+        time_system=DAT_TIME,
+        media_attributes=(
+            AttributeSpec("sample_rate", validator=_positive),
+            AttributeSpec("sample_size", choices=(8, 16, 24, 32)),
+            AttributeSpec("channels", validator=_positive),
+            AttributeSpec("encoding", choices=("PCM",)),
+        ),
+        fixed_duration=1,
+        continuous=True,
+        doc="General linear PCM audio at any rate.",
+    ))
+
+    registry.register(MediaType(
+        name="block-audio",
+        kind=MediaKind.AUDIO,
+        time_system=CD_AUDIO_TIME,
+        media_attributes=(
+            AttributeSpec("sample_rate", validator=_positive),
+            AttributeSpec("sample_size", choices=(8, 16, 24, 32)),
+            AttributeSpec("channels", validator=_positive),
+            AttributeSpec("encoding", choices=("PCM",)),
+            AttributeSpec("block_samples", required=False, validator=_positive),
+        ),
+        continuous=True,
+        doc=(
+            "PCM audio whose elements are blocks of samples rather than "
+            "single samples (e.g. the 1764-sample-pair units interleaved "
+            "after each video frame in the paper's Figure 2). Block "
+            "duration in ticks equals samples per block."
+        ),
+    ))
+
+    registry.register(MediaType(
+        name="adpcm-audio",
+        kind=MediaKind.AUDIO,
+        time_system=CD_AUDIO_TIME,
+        media_attributes=(
+            AttributeSpec("sample_rate", validator=_positive),
+            AttributeSpec("channels", validator=_positive),
+            AttributeSpec("encoding", choices=("IMA-ADPCM",)),
+            AttributeSpec("block_samples", validator=_positive),
+        ),
+        element_attributes=(
+            AttributeSpec("predictor", validator=lambda v: -32768 <= v <= 32767,
+                          doc="initial predictor for the block"),
+            AttributeSpec("step_index", validator=lambda v: 0 <= v <= 88,
+                          doc="initial step table index for the block"),
+        ),
+        continuous=True,
+        doc=(
+            "IMA ADPCM audio; per-block encoding parameters vary over the "
+            "sequence, so streams are heterogeneous (the paper's ADPCM "
+            "example for element descriptors)."
+        ),
+    ))
+
+    for name, system in (("pal-video", PAL_TIME),
+                         ("ntsc-video", NTSC_TIME),
+                         ("film-video", FILM_TIME)):
+        registry.register(MediaType(
+            name=name,
+            kind=MediaKind.VIDEO,
+            time_system=system,
+            media_attributes=(
+                AttributeSpec("frame_rate", validator=_positive),
+                AttributeSpec("frame_width", validator=_positive),
+                AttributeSpec("frame_height", validator=_positive),
+                AttributeSpec("frame_depth", choices=(8, 12, 16, 24, 32)),
+                AttributeSpec("color_model", choices=("RGB", "YUV", "GRAY", "CMYK")),
+                AttributeSpec("encoding", required=False),
+                AttributeSpec("quality_factor", required=False),
+            ),
+            element_attributes=(
+                AttributeSpec("frame_kind", required=False, choices=("I", "P", "B"),
+                              doc="inter-frame codecs label key/intermediate frames"),
+                AttributeSpec("quantizer", required=False, validator=_positive),
+            ),
+            fixed_duration=1,
+            continuous=True,
+            doc=f"Fixed-rate digital video in the {system.name} time system.",
+        ))
+
+    registry.register(MediaType(
+        name="midi-music",
+        kind=MediaKind.MUSIC,
+        time_system=MIDI_TIME,
+        media_attributes=(
+            AttributeSpec("division", validator=_positive,
+                          doc="ticks per quarter note"),
+            AttributeSpec("tempo_bpm", required=False, validator=_positive),
+        ),
+        element_attributes=(
+            AttributeSpec("status", validator=lambda v: 0x80 <= v <= 0xFF),
+            AttributeSpec("channel", validator=lambda v: 0 <= v < 16),
+        ),
+        event_based=True,
+        doc="MIDI event streams; elements are duration-less events.",
+    ))
+
+    registry.register(MediaType(
+        name="score-music",
+        kind=MediaKind.MUSIC,
+        time_system=MIDI_TIME,
+        media_attributes=(
+            AttributeSpec("tempo_bpm", validator=_positive),
+        ),
+        element_attributes=(
+            AttributeSpec("pitch", validator=lambda v: 0 <= v < 128),
+            AttributeSpec("velocity", required=False,
+                          validator=lambda v: 0 <= v < 128),
+        ),
+        doc=(
+            "Note-level music; chords overlap and rests leave gaps, making "
+            "streams non-continuous (the paper's music example)."
+        ),
+    ))
+
+    registry.register(MediaType(
+        name="animation",
+        kind=MediaKind.ANIMATION,
+        time_system=PAL_TIME,
+        media_attributes=(
+            AttributeSpec("frame_width", validator=_positive),
+            AttributeSpec("frame_height", validator=_positive),
+        ),
+        element_attributes=(
+            AttributeSpec("op", choices=("move", "appear", "disappear", "recolor")),
+        ),
+        doc=(
+            "Animation as movement specifications; objects at rest have no "
+            "elements, so streams are non-continuous (the paper's example)."
+        ),
+    ))
+
+    registry.register(MediaType(
+        name="image",
+        kind=MediaKind.IMAGE,
+        media_attributes=(
+            AttributeSpec("width", validator=_positive),
+            AttributeSpec("height", validator=_positive),
+            AttributeSpec("depth", choices=(1, 8, 24, 32)),
+            AttributeSpec("color_model", choices=("RGB", "GRAY", "CMYK", "YUV")),
+        ),
+        doc="Still images (not time-based).",
+    ))
+
+    registry.register(MediaType(
+        name="text",
+        kind=MediaKind.TEXT,
+        media_attributes=(
+            AttributeSpec("charset", required=False),
+        ),
+        doc="Plain text (not time-based).",
+    ))
+
+
+_register_builtins(media_type_registry)

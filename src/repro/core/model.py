@@ -1,0 +1,250 @@
+"""Schema layer: entities with media-valued attributes.
+
+§4's framing: "Suppose we can construct multimedia objects using
+attributes that take media objects as their values. For instance, a
+VideoClip object could possess, in addition to character-valued
+attributes such as the title and name of the director, a video-valued
+attribute containing the actual content of a video clip."
+
+This module provides that construct: an :class:`EntityType` declares
+attributes whose domains are scalar types, media kinds (optionally
+constrained to a quality floor), or multimedia objects; an
+:class:`Entity` is a validated instance. The media-valued attributes hold
+*references* to media objects — derived or not — so entities stay small
+and the derivation machinery keeps working underneath.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.composition import MultimediaObject
+from repro.core.media_object import MediaObject
+from repro.core.media_types import MediaKind
+from repro.core.quality import QualityLadder
+from repro.errors import MediaModelError
+
+
+class ScalarKind(enum.Enum):
+    """Scalar attribute domains."""
+
+    CHAR = "char"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+
+
+_SCALAR_TYPES = {
+    ScalarKind.CHAR: str,
+    ScalarKind.INT: int,
+    ScalarKind.FLOAT: (int, float),
+    ScalarKind.BOOL: bool,
+}
+
+
+@dataclass(frozen=True)
+class AttributeType:
+    """One attribute declaration.
+
+    Exactly one of ``scalar``, ``media_kind``, ``multimedia`` defines the
+    domain. Media-valued attributes may require a minimum quality factor
+    ("a particular video-valued attribute might be of 'broadcast
+    quality'", §2.2) checked against a quality ladder.
+    """
+
+    name: str
+    scalar: ScalarKind | None = None
+    media_kind: MediaKind | None = None
+    multimedia: bool = False
+    required: bool = True
+    min_quality: str | None = None
+    quality_ladder: QualityLadder | None = None
+
+    def __post_init__(self) -> None:
+        domains = sum((
+            self.scalar is not None,
+            self.media_kind is not None,
+            self.multimedia,
+        ))
+        if domains != 1:
+            raise MediaModelError(
+                f"attribute {self.name!r}: declare exactly one of "
+                "scalar / media_kind / multimedia"
+            )
+        if self.min_quality is not None:
+            if self.media_kind is None:
+                raise MediaModelError(
+                    f"attribute {self.name!r}: min_quality applies only "
+                    "to media-valued attributes"
+                )
+            if self.quality_ladder is None:
+                raise MediaModelError(
+                    f"attribute {self.name!r}: min_quality needs a "
+                    "quality ladder"
+                )
+            self.quality_ladder.get(self.min_quality)  # validate the name
+
+    def check(self, value: Any) -> None:
+        """Raise :class:`MediaModelError` if ``value`` is outside the domain."""
+        if self.scalar is not None:
+            expected = _SCALAR_TYPES[self.scalar]
+            if not isinstance(value, expected) or isinstance(value, bool) != (
+                self.scalar is ScalarKind.BOOL
+            ):
+                raise MediaModelError(
+                    f"attribute {self.name!r}: expected {self.scalar.value}, "
+                    f"got {type(value).__name__}"
+                )
+            return
+        if self.multimedia:
+            if not isinstance(value, MultimediaObject):
+                raise MediaModelError(
+                    f"attribute {self.name!r}: expected a multimedia "
+                    f"object, got {type(value).__name__}"
+                )
+            return
+        if not isinstance(value, MediaObject):
+            raise MediaModelError(
+                f"attribute {self.name!r}: expected a media object, "
+                f"got {type(value).__name__}"
+            )
+        if value.kind is not self.media_kind:
+            raise MediaModelError(
+                f"attribute {self.name!r}: expected {self.media_kind.value}, "
+                f"got {value.kind.value}"
+            )
+        if self.min_quality is not None:
+            declared = value.descriptor.get("quality_factor")
+            if declared is None:
+                raise MediaModelError(
+                    f"attribute {self.name!r}: media object "
+                    f"{value.name!r} declares no quality factor "
+                    f"(needs at least {self.min_quality!r})"
+                )
+            floor = self.quality_ladder.get(self.min_quality)
+            actual = self.quality_ladder.get(declared)
+            if actual < floor:
+                raise MediaModelError(
+                    f"attribute {self.name!r}: {value.name!r} is "
+                    f"{declared!r}, below the required {self.min_quality!r}"
+                )
+
+
+class EntityType:
+    """A named schema of attribute declarations."""
+
+    def __init__(self, name: str, attributes: list[AttributeType]):
+        if not name:
+            raise MediaModelError("entity type name must be non-empty")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise MediaModelError(f"duplicate attribute names in {name!r}")
+        self.name = name
+        self.attributes: dict[str, AttributeType] = {
+            a.name: a for a in attributes
+        }
+
+    def attribute(self, name: str) -> AttributeType:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise MediaModelError(
+                f"{self.name} has no attribute {name!r}; has: "
+                f"{', '.join(sorted(self.attributes))}"
+            ) from None
+
+    def media_attributes(self) -> list[AttributeType]:
+        """The media- and multimedia-valued attribute declarations."""
+        return [
+            a for a in self.attributes.values()
+            if a.media_kind is not None or a.multimedia
+        ]
+
+    def new(self, **values: Any) -> "Entity":
+        """Construct a validated entity."""
+        return Entity(self, values)
+
+    def __repr__(self) -> str:
+        return f"EntityType({self.name!r}, {len(self.attributes)} attributes)"
+
+
+class Entity:
+    """A validated instance of an :class:`EntityType`."""
+
+    def __init__(self, entity_type: EntityType, values: dict[str, Any]):
+        unknown = set(values) - set(entity_type.attributes)
+        if unknown:
+            raise MediaModelError(
+                f"{entity_type.name}: unknown attributes {sorted(unknown)}"
+            )
+        for name, spec in entity_type.attributes.items():
+            if name not in values:
+                if spec.required:
+                    raise MediaModelError(
+                        f"{entity_type.name}: missing required attribute "
+                        f"{name!r}"
+                    )
+                continue
+            spec.check(values[name])
+        self.entity_type = entity_type
+        self._values = dict(values)
+
+    def __getitem__(self, name: str) -> Any:
+        self.entity_type.attribute(name)  # validates the name
+        try:
+            return self._values[name]
+        except KeyError:
+            raise MediaModelError(
+                f"{self.entity_type.name}: attribute {name!r} not set"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        self.entity_type.attribute(name)
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def with_value(self, name: str, value: Any) -> "Entity":
+        """A copy with one attribute replaced (entities are immutable)."""
+        self.entity_type.attribute(name).check(value)
+        merged = dict(self._values)
+        merged[name] = value
+        return Entity(self.entity_type, merged)
+
+    def media_values(self) -> dict[str, MediaObject | MultimediaObject]:
+        """The media-valued attribute bindings actually present."""
+        return {
+            spec.name: self._values[spec.name]
+            for spec in self.entity_type.media_attributes()
+            if spec.name in self._values
+        }
+
+    def __repr__(self) -> str:
+        scalars = {
+            k: v for k, v in self._values.items()
+            if not isinstance(v, (MediaObject, MultimediaObject))
+        }
+        return f"Entity({self.entity_type.name}, {scalars})"
+
+
+def video_clip_type(quality_ladder: QualityLadder | None = None) -> EntityType:
+    """The paper's VideoClip example, ready to use.
+
+    >>> clip_type = video_clip_type()
+    >>> # clip_type.new(title="...", director="...", content=<video object>)
+    """
+    from repro.core.quality import VIDEO_QUALITY
+
+    ladder = quality_ladder or VIDEO_QUALITY
+    return EntityType("VideoClip", [
+        AttributeType("title", scalar=ScalarKind.CHAR),
+        AttributeType("director", scalar=ScalarKind.CHAR),
+        AttributeType("year", scalar=ScalarKind.INT, required=False),
+        AttributeType("content", media_kind=MediaKind.VIDEO,
+                      min_quality="VHS quality", quality_ladder=ladder),
+        AttributeType("soundtrack", media_kind=MediaKind.AUDIO,
+                      required=False),
+    ])

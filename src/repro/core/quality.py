@@ -1,0 +1,135 @@
+"""Descriptive quality factors (§2.2 "Quality Factors").
+
+Lossy codecs are tuned by numeric parameters (quantizer scales, bit
+allocations) that "should not be visible at the data modeling level".
+Instead, attributes carry *descriptive quality factors* — "broadcast
+quality", "VHS quality", "CD quality" — and the mapping from factor to
+low-level codec parameters lives here, below the model.
+
+A :class:`QualityLadder` is an ordered scale of named factors, each
+bound to the codec parameters that realize it and to nominal data-rate
+expectations used by resource allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import QualityError
+
+
+@dataclass(frozen=True, slots=True)
+class QualityFactor:
+    """One named quality level.
+
+    Parameters
+    ----------
+    name:
+        The descriptive label visible at the data-modeling level.
+    rank:
+        Position in the ladder; higher means better quality.
+    codec_params:
+        The hidden low-level parameters realizing this quality
+        (e.g. ``{"jpeg_quality": 35}``), keyed by parameter name.
+    nominal_bits_per_unit:
+        Expected encoded bits per pixel (video/image) or per sample
+        (audio); used for resource estimates, not enforced.
+    """
+
+    name: str
+    rank: int
+    codec_params: Mapping[str, Any] = field(default_factory=dict)
+    nominal_bits_per_unit: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QualityError("quality factor name must be non-empty")
+        object.__setattr__(self, "codec_params", dict(self.codec_params))
+
+    def __lt__(self, other: "QualityFactor") -> bool:
+        if not isinstance(other, QualityFactor):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "QualityFactor") -> bool:
+        if not isinstance(other, QualityFactor):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class QualityLadder:
+    """An ordered scale of quality factors for one medium.
+
+    >>> VIDEO_QUALITY.get("VHS quality").rank < VIDEO_QUALITY.get("broadcast quality").rank
+    True
+    """
+
+    def __init__(self, medium: str, factors: list[QualityFactor]):
+        if not factors:
+            raise QualityError("a quality ladder needs at least one factor")
+        ranks = [f.rank for f in factors]
+        if len(set(ranks)) != len(ranks):
+            raise QualityError("quality ranks must be distinct")
+        names = [f.name for f in factors]
+        if len(set(names)) != len(names):
+            raise QualityError("quality names must be distinct")
+        self.medium = medium
+        self._by_name = {f.name: f for f in factors}
+        self._ordered = sorted(factors, key=lambda f: f.rank)
+
+    def get(self, name: str) -> QualityFactor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise QualityError(
+                f"unknown {self.medium} quality {name!r}; "
+                f"known: {', '.join(f.name for f in self._ordered)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def ordered(self) -> list[QualityFactor]:
+        """Factors from lowest to highest quality."""
+        return list(self._ordered)
+
+    def lowest(self) -> QualityFactor:
+        return self._ordered[0]
+
+    def highest(self) -> QualityFactor:
+        return self._ordered[-1]
+
+    def at_most(self, name: str) -> list[QualityFactor]:
+        """All factors no better than ``name`` (for scalable delivery)."""
+        ceiling = self.get(name)
+        return [f for f in self._ordered if f.rank <= ceiling.rank]
+
+    def codec_params(self, name: str) -> dict[str, Any]:
+        """The hidden codec parameters realizing quality ``name``."""
+        return dict(self.get(name).codec_params)
+
+
+#: Video quality ladder; jpeg_quality feeds the JPEG-like codec's
+#: quantization scaling, nominal bits-per-pixel follows the paper's
+#: Figure 2 arithmetic ("about 0.5 bits per pixel ... will give VHS
+#: quality").
+VIDEO_QUALITY = QualityLadder("video", [
+    QualityFactor("preview quality", 10, {"jpeg_quality": 10}, 0.25),
+    QualityFactor("VHS quality", 20, {"jpeg_quality": 35}, 0.5),
+    QualityFactor("broadcast quality", 30, {"jpeg_quality": 75}, 1.5),
+    QualityFactor("production quality", 40, {"jpeg_quality": 92}, 3.0),
+    QualityFactor("lossless quality", 50, {"jpeg_quality": 100}, 12.0),
+])
+
+#: Audio quality ladder; bits-per-unit is bits per sample per channel.
+AUDIO_QUALITY = QualityLadder("audio", [
+    QualityFactor("phone quality", 10, {"sample_rate": 8000, "sample_size": 8}, 8),
+    QualityFactor("AM quality", 20, {"sample_rate": 22050, "sample_size": 8}, 8),
+    QualityFactor("FM quality", 30, {"sample_rate": 32000, "sample_size": 16}, 16),
+    QualityFactor("CD quality", 40, {"sample_rate": 44100, "sample_size": 16}, 16),
+    QualityFactor("DAT quality", 50, {"sample_rate": 48000, "sample_size": 16}, 16),
+])

@@ -1,0 +1,152 @@
+"""Exact rational arithmetic for media timing.
+
+Media time must be exact: NTSC video runs at 30000/1001 frames per second
+and rounding to 29.97 accumulates visible drift within minutes. The model
+therefore measures all continuous time values as rationals.
+
+:class:`Rational` is a thin subclass of :class:`fractions.Fraction` that
+
+* keeps arithmetic closed over ``Rational`` (Fraction arithmetic returns
+  plain ``Fraction``; we re-wrap so helper methods stay available),
+* refuses inexact ``float`` construction unless explicitly requested via
+  :meth:`Rational.from_float`, because silently rationalizing binary
+  floats is the classic source of timing drift bugs, and
+* adds media-oriented helpers (``to_seconds``, ``to_timestamp``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+RationalLike = Union["Rational", Fraction, int, str, tuple]
+
+
+class Rational(Fraction):
+    """An exact rational number used for continuous time values.
+
+    Examples
+    --------
+    >>> Rational(30000, 1001) * Rational(1001, 30000)
+    Rational(1, 1)
+    >>> Rational("29.97")
+    Rational(2997, 100)
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, numerator: RationalLike = 0, denominator: int | None = None):
+        if isinstance(numerator, float) or isinstance(denominator, float):
+            raise TypeError(
+                "refusing to construct Rational from float; "
+                "use Rational.from_float() if the rounding is intended"
+            )
+        if isinstance(numerator, tuple):
+            if denominator is not None:
+                raise TypeError("cannot pass denominator with tuple numerator")
+            numerator, denominator = numerator
+        return super().__new__(cls, numerator, denominator)
+
+    @classmethod
+    def from_float(cls, value: float) -> "Rational":
+        """Construct from a float, limiting the denominator sensibly.
+
+        The denominator is limited to 10**9 which is ample for any media
+        rate while avoiding the pathological exact binary expansions of
+        ``Fraction(float)``.
+        """
+        return cls(Fraction(value).limit_denominator(10**9))
+
+    # -- closure of arithmetic over Rational ---------------------------------
+
+    def _wrap(self, value):
+        if isinstance(value, Fraction) and not isinstance(value, Rational):
+            return Rational(value)
+        return value
+
+    def __add__(self, other):
+        return self._wrap(super().__add__(other))
+
+    def __radd__(self, other):
+        return self._wrap(super().__radd__(other))
+
+    def __sub__(self, other):
+        return self._wrap(super().__sub__(other))
+
+    def __rsub__(self, other):
+        return self._wrap(super().__rsub__(other))
+
+    def __mul__(self, other):
+        return self._wrap(super().__mul__(other))
+
+    def __rmul__(self, other):
+        return self._wrap(super().__rmul__(other))
+
+    def __truediv__(self, other):
+        return self._wrap(super().__truediv__(other))
+
+    def __rtruediv__(self, other):
+        return self._wrap(super().__rtruediv__(other))
+
+    def __mod__(self, other):
+        return self._wrap(super().__mod__(other))
+
+    def __neg__(self):
+        return self._wrap(super().__neg__())
+
+    def __pos__(self):
+        return self._wrap(super().__pos__())
+
+    def __abs__(self):
+        return self._wrap(super().__abs__())
+
+    def __pow__(self, other):
+        return self._wrap(super().__pow__(other))
+
+    # -- media helpers --------------------------------------------------------
+
+    def to_seconds(self) -> float:
+        """Return the value as float seconds (for display only)."""
+        return self.numerator / self.denominator
+
+    def to_timestamp(self) -> str:
+        """Render as ``H:MM:SS.mmm`` (or ``M:SS.mmm`` under an hour).
+
+        >>> Rational(130).to_timestamp()
+        '2:10.000'
+        """
+        total_ms = round(self * 1000)
+        sign = "-" if total_ms < 0 else ""
+        total_ms = abs(total_ms)
+        ms = total_ms % 1000
+        total_s = total_ms // 1000
+        seconds = total_s % 60
+        minutes = (total_s // 60) % 60
+        hours = total_s // 3600
+        if hours:
+            return f"{sign}{hours}:{minutes:02d}:{seconds:02d}.{ms:03d}"
+        return f"{sign}{minutes}:{seconds:02d}.{ms:03d}"
+
+    def __repr__(self) -> str:
+        return f"Rational({self.numerator}, {self.denominator})"
+
+
+#: Zero as a Rational, shared to avoid repeated construction.
+ZERO = Rational(0)
+
+#: One as a Rational.
+ONE = Rational(1)
+
+
+def as_rational(value: RationalLike | float) -> Rational:
+    """Coerce ``value`` to :class:`Rational`.
+
+    Unlike the constructor this accepts floats (via
+    :meth:`Rational.from_float`) because it is the explicit conversion
+    point for user-facing APIs.
+    """
+    if isinstance(value, Rational):
+        return value
+    if isinstance(value, float):
+        return Rational.from_float(value)
+    return Rational(value)

@@ -1,0 +1,425 @@
+"""Timed streams (Definition 3) and their categories (Figure 1).
+
+A timed stream is a finite sequence of tuples ``<e_i, s_i, d_i>`` based on
+a media type ``T`` and a discrete time system ``D``: the ``e_i`` are media
+elements of ``T``, and ``s_i`` (start time) and ``d_i`` (duration) are
+discrete time values measured in ``D``, satisfying ``s_{i+1} >= s_i`` and
+``d_i >= 0``.
+
+The categories of Figure 1:
+
+===================  =========================================================
+homogeneous          element descriptors are constant
+heterogeneous        element descriptors vary
+continuous           ``s_{i+1} = s_i + d_i`` — a unique element for every time
+non-continuous       gaps and/or overlaps among elements
+event-based          ``d_i = 0`` for all ``i``
+constant frequency   continuous and element duration is constant
+constant data rate   continuous and size/duration ratio is constant
+uniform              continuous and both element size and duration constant
+===================  =========================================================
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.elements import MediaElement
+from repro.core.intervals import Interval
+from repro.core.media_types import MediaType
+from repro.core.rational import Rational
+from repro.core.time_system import DiscreteTimeSystem
+from repro.errors import StreamConstraintError, StreamError
+
+
+@dataclass(frozen=True, slots=True)
+class TimedTuple:
+    """One ``<element, start, duration>`` tuple of Definition 3.
+
+    ``start`` and ``duration`` are discrete time values (ticks) of the
+    stream's time system.
+    """
+
+    element: MediaElement
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise StreamError(f"duration must be non-negative, got {self.duration}")
+
+    @property
+    def end(self) -> int:
+        """First tick after the element: ``start + duration``."""
+        return self.start + self.duration
+
+
+class StreamCategory(enum.Enum):
+    """The stream categories of Figure 1."""
+
+    HOMOGENEOUS = "homogeneous"
+    HETEROGENEOUS = "heterogeneous"
+    CONTINUOUS = "continuous"
+    NON_CONTINUOUS = "non-continuous"
+    EVENT_BASED = "event-based"
+    CONSTANT_FREQUENCY = "constant frequency"
+    CONSTANT_DATA_RATE = "constant data rate"
+    UNIFORM = "uniform"
+
+
+class TimedStream:
+    """Definition 3: a finite sequence of ``<e_i, s_i, d_i>`` over ``T`` and ``D``.
+
+    Streams are immutable; the timing operations in
+    :mod:`repro.core.stream_ops` return new streams.
+
+    Parameters
+    ----------
+    media_type:
+        The media type ``T`` the elements belong to.
+    time_system:
+        The discrete time system ``D``; defaults to the type's system.
+    tuples:
+        The ``<element, start, duration>`` tuples, already ordered by
+        start time (``s_{i+1} >= s_i``); a :class:`StreamError` is raised
+        otherwise.
+    validate_constraints:
+        When True (default), also enforce the constraints the media type
+        imposes (continuity, fixed element duration, event-basedness) —
+        "generally a media type imposes restrictions on the form of timed
+        streams based on that type".
+    """
+
+    __slots__ = ("media_type", "time_system", "_tuples", "_starts")
+
+    def __init__(
+        self,
+        media_type: MediaType,
+        tuples: Iterable[TimedTuple],
+        time_system: DiscreteTimeSystem | None = None,
+        validate_constraints: bool = True,
+    ):
+        self.media_type = media_type
+        system = time_system or media_type.time_system
+        if system is None:
+            raise StreamError(
+                f"media type {media_type.name!r} is not time-based and has "
+                "no time system; pass one explicitly"
+            )
+        self.time_system = system
+        self._tuples: tuple[TimedTuple, ...] = tuple(tuples)
+        for prev, cur in zip(self._tuples, self._tuples[1:]):
+            if cur.start < prev.start:
+                raise StreamError(
+                    f"start times must be non-decreasing: "
+                    f"{cur.start} after {prev.start}"
+                )
+        self._starts = [t.start for t in self._tuples]
+        if validate_constraints:
+            self.validate_type_constraints()
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_elements(
+        cls,
+        media_type: MediaType,
+        elements: Sequence[MediaElement],
+        start: int = 0,
+        duration: int = 1,
+        time_system: DiscreteTimeSystem | None = None,
+    ) -> "TimedStream":
+        """Build a continuous constant-frequency stream from ``elements``.
+
+        Each element gets duration ``duration`` and consecutive start
+        times beginning at ``start`` — the common case for sampled audio
+        and fixed-rate video.
+        """
+        tuples = [
+            TimedTuple(element, start + i * duration, duration)
+            for i, element in enumerate(elements)
+        ]
+        return cls(media_type, tuples, time_system=time_system)
+
+    # -- sequence protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[TimedTuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TimedStream(
+                self.media_type,
+                self._tuples[index],
+                time_system=self.time_system,
+                validate_constraints=False,
+            )
+        return self._tuples[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimedStream):
+            return NotImplemented
+        return (
+            self.media_type.name == other.media_type.name
+            and self.time_system == other.time_system
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.media_type.name, self.time_system, self._tuples))
+
+    @property
+    def tuples(self) -> tuple[TimedTuple, ...]:
+        return self._tuples
+
+    def elements(self) -> Iterator[MediaElement]:
+        for t in self._tuples:
+            yield t.element
+
+    # -- extent -------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    @property
+    def start(self) -> int:
+        """``s_1`` (ticks); 0 for the empty stream."""
+        return self._tuples[0].start if self._tuples else 0
+
+    @property
+    def end(self) -> int:
+        """``max(s_i + d_i)`` (ticks); 0 for the empty stream.
+
+        With overlaps the last tuple need not end last, so the maximum is
+        taken over all tuples.
+        """
+        return max((t.end for t in self._tuples), default=0)
+
+    @property
+    def span_ticks(self) -> int:
+        """Ticks from first start to last end."""
+        return self.end - self.start if self._tuples else 0
+
+    def duration_seconds(self) -> Rational:
+        """Continuous duration of the span, ``D(end) - D(start)``."""
+        return self.time_system.to_continuous(self.span_ticks)
+
+    def interval(self) -> Interval:
+        """The stream's span as a continuous-time interval."""
+        return Interval(
+            self.time_system.to_continuous(self.start),
+            self.time_system.to_continuous(self.end),
+        )
+
+    def total_size(self) -> int:
+        """Total element bytes."""
+        return sum(t.element.size for t in self._tuples)
+
+    def average_data_rate(self) -> Rational:
+        """Mean bytes per second over the span (0 for empty/instant spans)."""
+        seconds = self.duration_seconds()
+        if seconds == 0:
+            return Rational(0)
+        return Rational(self.total_size()) / seconds
+
+    # -- element lookup -----------------------------------------------------------
+
+    def at_tick(self, tick: int) -> list[TimedTuple]:
+        """All tuples whose span covers ``tick`` (events match exactly).
+
+        Non-continuous streams may return zero (a gap) or several (an
+        overlap, e.g. a chord) tuples.
+        """
+        result = []
+        # All candidates start at or before `tick`; scan back from the
+        # insertion point. Overlaps force the scan to continue past
+        # non-matching tuples, but only while starts remain <= tick.
+        hi = bisect.bisect_right(self._starts, tick)
+        for t in self._tuples[:hi]:
+            if t.start == tick and t.duration == 0:
+                result.append(t)
+            elif t.start <= tick < t.end:
+                result.append(t)
+        return result
+
+    def at_time(self, seconds) -> list[TimedTuple]:
+        """Tuples covering continuous time ``seconds`` (floored to a tick)."""
+        return self.at_tick(self.time_system.floor(seconds))
+
+    def index_at_tick(self, tick: int) -> int | None:
+        """Index of the first tuple covering ``tick``, or None in a gap."""
+        covering = self.at_tick(tick)
+        if not covering:
+            return None
+        return self._tuples.index(covering[0])
+
+    # -- categories (Figure 1) ------------------------------------------------------
+
+    def is_homogeneous(self) -> bool:
+        """Element descriptors are constant."""
+        descriptors = {t.element.descriptor for t in self._tuples}
+        return len(descriptors) <= 1
+
+    def is_heterogeneous(self) -> bool:
+        """Element descriptors vary."""
+        return not self.is_homogeneous()
+
+    def is_continuous(self) -> bool:
+        """``s_{i+1} = s_i + d_i`` for all consecutive tuples.
+
+        The empty stream and singleton streams are trivially continuous.
+        """
+        return all(
+            cur.start == prev.end
+            for prev, cur in zip(self._tuples, self._tuples[1:])
+        )
+
+    def is_non_continuous(self) -> bool:
+        """There are gaps and/or overlaps among elements."""
+        return not self.is_continuous()
+
+    def has_gaps(self) -> bool:
+        """Some consecutive pair leaves uncovered time."""
+        return any(
+            cur.start > prev.end
+            for prev, cur in zip(self._tuples, self._tuples[1:])
+        )
+
+    def has_overlaps(self) -> bool:
+        """Some tuple begins before a predecessor ends (e.g. a chord)."""
+        latest_end = None
+        for t in self._tuples:
+            if latest_end is not None and t.start < latest_end:
+                return True
+            latest_end = t.end if latest_end is None else max(latest_end, t.end)
+        return False
+
+    def is_event_based(self) -> bool:
+        """``d_i = 0`` for all ``i`` (and the stream is non-empty)."""
+        return bool(self._tuples) and all(t.duration == 0 for t in self._tuples)
+
+    def is_constant_frequency(self) -> bool:
+        """Continuous with constant element duration."""
+        if not self.is_continuous() or not self._tuples:
+            return False
+        durations = {t.duration for t in self._tuples}
+        return len(durations) == 1 and 0 not in durations
+
+    def is_constant_data_rate(self) -> bool:
+        """Continuous with constant size/duration ratio."""
+        if not self.is_continuous() or not self._tuples:
+            return False
+        ratios = set()
+        for t in self._tuples:
+            if t.duration == 0:
+                return False
+            ratios.add(Rational(t.element.size, t.duration))
+        return len(ratios) == 1
+
+    def is_uniform(self) -> bool:
+        """Continuous with constant element size and duration."""
+        if not self.is_constant_frequency():
+            return False
+        sizes = {t.element.size for t in self._tuples}
+        return len(sizes) == 1
+
+    def categories(self) -> set[StreamCategory]:
+        """All Figure 1 categories this stream belongs to."""
+        result: set[StreamCategory] = set()
+        if self.is_homogeneous():
+            result.add(StreamCategory.HOMOGENEOUS)
+        else:
+            result.add(StreamCategory.HETEROGENEOUS)
+        if self.is_continuous():
+            result.add(StreamCategory.CONTINUOUS)
+        else:
+            result.add(StreamCategory.NON_CONTINUOUS)
+        if self.is_event_based():
+            result.add(StreamCategory.EVENT_BASED)
+        if self.is_constant_frequency():
+            result.add(StreamCategory.CONSTANT_FREQUENCY)
+        if self.is_constant_data_rate():
+            result.add(StreamCategory.CONSTANT_DATA_RATE)
+        if self.is_uniform():
+            result.add(StreamCategory.UNIFORM)
+        return result
+
+    def category_label(self) -> str:
+        """Compact label like the descriptors in Figure 2.
+
+        >>> # a CD-audio stream renders as "homogeneous, uniform"
+        """
+        cats = self.categories()
+        parts = []
+        parts.append(
+            "homogeneous"
+            if StreamCategory.HOMOGENEOUS in cats
+            else "heterogeneous"
+        )
+        if StreamCategory.UNIFORM in cats:
+            parts.append("uniform")
+        elif StreamCategory.CONSTANT_DATA_RATE in cats:
+            parts.append("constant data rate")
+        elif StreamCategory.CONSTANT_FREQUENCY in cats:
+            parts.append("constant frequency")
+        elif StreamCategory.EVENT_BASED in cats:
+            parts.append("event-based")
+        elif StreamCategory.CONTINUOUS in cats:
+            parts.append("continuous")
+        else:
+            parts.append("non-continuous")
+        return ", ".join(parts)
+
+    # -- media-type constraints -------------------------------------------------------
+
+    def validate_type_constraints(self) -> None:
+        """Enforce the restrictions the media type imposes (Definition 3).
+
+        Raises
+        ------
+        StreamConstraintError
+            If the stream violates the type's continuity, fixed-duration
+            or event-based constraints, or an element descriptor is
+            missing/invalid for a heterogeneous type.
+        """
+        mt = self.media_type
+        if mt.continuous and not self.is_continuous():
+            raise StreamConstraintError(
+                f"{mt.name} requires continuous streams "
+                "(s_{i+1} = s_i + d_i)"
+            )
+        if mt.event_based and self._tuples and not self.is_event_based():
+            raise StreamConstraintError(
+                f"{mt.name} requires event-based streams (d_i = 0)"
+            )
+        if mt.fixed_duration is not None:
+            bad = [t for t in self._tuples if t.duration != mt.fixed_duration]
+            if bad:
+                raise StreamConstraintError(
+                    f"{mt.name} requires element duration "
+                    f"{mt.fixed_duration}, found {bad[0].duration}"
+                )
+        if mt.element_attributes:
+            for i, t in enumerate(self._tuples):
+                if t.element.descriptor is None:
+                    if mt.has_element_descriptors:
+                        raise StreamConstraintError(
+                            f"{mt.name} requires element descriptors; "
+                            f"element {i} lacks one"
+                        )
+                else:
+                    mt.validate_element_descriptor(t.element.descriptor)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimedStream({self.media_type.name}, {len(self)} elements, "
+            f"span={self.duration_seconds().to_timestamp()}, "
+            f"{self.category_label()})"
+        )

@@ -1,0 +1,113 @@
+"""SMPTE timecode conversion, including NTSC drop-frame.
+
+Timecode labels frames as ``HH:MM:SS:FF``. For integer frame rates the
+mapping from frame number to label is plain arithmetic. NTSC's 30000/1001
+rate is handled by *drop-frame* timecode: frame labels 00 and 01 are
+skipped at the start of every minute that is not a multiple of ten, so the
+labels track wall-clock time to within 3.6 ms per hour while the underlying
+frame numbering stays dense.
+
+This module is part of the presentation substrate: interpretation and
+composition store discrete time values; timecode is how humans address
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rational import Rational
+from repro.core.time_system import DiscreteTimeSystem, NTSC_TIME
+from repro.errors import TimeSystemError
+
+
+@dataclass(frozen=True, slots=True)
+class Timecode:
+    """An ``HH:MM:SS:FF`` label under a nominal frame rate."""
+
+    hours: int
+    minutes: int
+    seconds: int
+    frames: int
+    drop_frame: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hours:
+            raise TimeSystemError("hours must be non-negative")
+        if not 0 <= self.minutes < 60:
+            raise TimeSystemError("minutes must be in [0, 60)")
+        if not 0 <= self.seconds < 60:
+            raise TimeSystemError("seconds must be in [0, 60)")
+        if self.frames < 0:
+            raise TimeSystemError("frames must be non-negative")
+        if self.drop_frame and self.seconds == 0 and self.frames in (0, 1):
+            if self.minutes % 10 != 0:
+                raise TimeSystemError(
+                    f"{self} is a dropped label in drop-frame timecode"
+                )
+
+    def __str__(self) -> str:
+        sep = ";" if self.drop_frame else ":"
+        return (
+            f"{self.hours:02d}:{self.minutes:02d}:{self.seconds:02d}"
+            f"{sep}{self.frames:02d}"
+        )
+
+
+def frame_to_timecode(frame: int, fps: int = 30, drop_frame: bool = False) -> Timecode:
+    """Label ``frame`` with SMPTE timecode at nominal integer rate ``fps``.
+
+    ``drop_frame=True`` implements 29.97 drop-frame labelling (only
+    meaningful with ``fps=30``).
+    """
+    if frame < 0:
+        raise TimeSystemError("frame number must be non-negative")
+    if drop_frame:
+        if fps != 30:
+            raise TimeSystemError("drop-frame timecode requires fps=30")
+        # 2 labels dropped per minute, except every 10th minute.
+        frames_per_10min = 10 * 60 * 30 - 9 * 2  # 17982
+        frames_per_min = 60 * 30 - 2  # 1798
+        tens, rem = divmod(frame, frames_per_10min)
+        if rem < 2:
+            # Start of a ten-minute block: labels 00 and 01 exist here.
+            minute_in_ten = 0
+            frame_in_min = rem
+        else:
+            minute_in_ten, frame_in_min = divmod(rem - 2, frames_per_min)
+            if minute_in_ten == 0:
+                frame_in_min = rem
+            else:
+                frame_in_min += 2
+        total_minutes = tens * 10 + minute_in_ten
+        hours, minutes = divmod(total_minutes, 60)
+        seconds, frames = divmod(frame_in_min, 30)
+        return Timecode(hours, minutes, seconds, frames, drop_frame=True)
+
+    seconds_total, frames = divmod(frame, fps)
+    minutes_total, seconds = divmod(seconds_total, 60)
+    hours, minutes = divmod(minutes_total, 60)
+    return Timecode(hours, minutes, seconds, frames)
+
+
+def timecode_to_frame(tc: Timecode, fps: int = 30) -> int:
+    """Invert :func:`frame_to_timecode`."""
+    nominal = ((tc.hours * 60 + tc.minutes) * 60 + tc.seconds) * fps + tc.frames
+    if not tc.drop_frame:
+        return nominal
+    if fps != 30:
+        raise TimeSystemError("drop-frame timecode requires fps=30")
+    total_minutes = tc.hours * 60 + tc.minutes
+    dropped = 2 * (total_minutes - total_minutes // 10)
+    return nominal - dropped
+
+
+def timecode_seconds(tc: Timecode, system: DiscreteTimeSystem = NTSC_TIME) -> Rational:
+    """Continuous time of a timecode label under ``system``.
+
+    For NTSC drop-frame this is exact: the label is first converted to a
+    dense frame number, then mapped through ``D_30000/1001``.
+    """
+    fps_nominal = round(system.frequency.to_seconds())
+    frame = timecode_to_frame(tc, fps=fps_nominal)
+    return system.to_continuous(frame)

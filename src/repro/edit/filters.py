@@ -1,0 +1,161 @@
+"""Content filters: audio normalization and image filtering.
+
+"The enhancement of sound files with too little amplitude or uneven
+volume is done by a scaling operation called 'normalization'. The
+parameters needed are the start and end points of the audio sequence to
+be normalized. If no parameters are specified, normalization is performed
+for the whole audio object." (§4.2, Table 1's "audio normalization")
+
+Image filters ("digital filters for images") are the single-input
+content-changing examples of §4.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.derivation import (
+    Derivation,
+    DerivationCategory,
+    derivation_registry,
+)
+from repro.core.media_types import MediaKind
+from repro.errors import DerivationError
+
+
+def normalize_signal(samples: np.ndarray, start: int | None = None,
+                     end: int | None = None,
+                     target_peak: float = 0.98) -> np.ndarray:
+    """Scale ``samples[start:end]`` so its peak hits ``target_peak``.
+
+    ``samples`` are integer PCM (any shape with samples along axis 0);
+    the untouched regions are returned unchanged. With no start/end the
+    whole signal is normalized, matching the paper's default.
+    """
+    if not 0 < target_peak <= 1.0:
+        raise DerivationError(f"target_peak must be in (0, 1], got {target_peak}")
+    samples = np.asarray(samples)
+    begin = 0 if start is None else start
+    stop = len(samples) if end is None else end
+    if not 0 <= begin <= stop <= len(samples):
+        raise DerivationError(
+            f"normalization range [{begin}, {stop}) outside signal "
+            f"of {len(samples)} samples"
+        )
+    region = samples[begin:stop]
+    if region.size == 0:
+        return samples.copy()
+    info = np.iinfo(samples.dtype)
+    peak = np.abs(region.astype(np.float64)).max()
+    if peak == 0:
+        return samples.copy()
+    gain = (target_peak * info.max) / peak
+    out = samples.copy()
+    scaled = np.clip(region.astype(np.float64) * gain, info.min, info.max)
+    out[begin:stop] = np.rint(scaled).astype(samples.dtype)
+    return out
+
+
+def _expand_audio_normalization(inputs, params):
+    from repro.media.objects import audio_object, signal_of
+    from repro.codecs.pcm import dequantize_samples
+
+    source = inputs[0]
+    samples = signal_of(source)
+    normalized = normalize_signal(
+        samples,
+        start=params.get("start"),
+        end=params.get("end"),
+        target_peak=params.get("target_peak", 0.98),
+    )
+    descriptor = source.descriptor
+    return audio_object(
+        dequantize_samples(normalized, descriptor["sample_size"]),
+        f"{source.name}-normalized",
+        sample_rate=descriptor["sample_rate"],
+        sample_size=descriptor["sample_size"],
+        block_samples=descriptor.get("block_samples", 1764),
+        quality_factor=descriptor.get("quality_factor", "CD quality"),
+    )
+
+
+def _describe_audio_normalization(inputs, params):
+    source = inputs[0]
+    return source.media_type, source.descriptor
+
+
+AUDIO_NORMALIZATION = derivation_registry.register(Derivation(
+    name="audio-normalization",
+    category=DerivationCategory.CHANGE_OF_CONTENT,
+    input_kinds=(MediaKind.AUDIO,),
+    result_kind=MediaKind.AUDIO,
+    expand=_expand_audio_normalization,
+    describe=_describe_audio_normalization,
+    optional_params=("start", "end", "target_peak"),
+    doc="Table 1: audio -> audio; scale a region to a target peak.",
+))
+
+
+# -- image filters -------------------------------------------------------------
+
+
+def box_blur(image: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Box blur with edge padding; ``radius`` in pixels."""
+    if radius < 1:
+        raise DerivationError("blur radius must be >= 1")
+    size = 2 * radius + 1
+    padded = np.pad(
+        image.astype(np.float32),
+        ((radius, radius), (radius, radius), (0, 0)),
+        mode="edge",
+    )
+    # Separable: average rows, then columns, via cumulative sums.
+    csum = np.cumsum(padded, axis=0)
+    rows = (csum[size - 1:] - np.concatenate(
+        [np.zeros_like(csum[:1]), csum[:-size]], axis=0
+    )) / size
+    csum = np.cumsum(rows, axis=1)
+    cols = (csum[:, size - 1:] - np.concatenate(
+        [np.zeros_like(csum[:, :1]), csum[:, :-size]], axis=1
+    )) / size
+    return np.clip(np.rint(cols), 0, 255).astype(np.uint8)
+
+
+def sharpen(image: np.ndarray, amount: float = 1.0) -> np.ndarray:
+    """Unsharp mask: original + amount * (original - blurred)."""
+    blurred = box_blur(image, radius=1).astype(np.float32)
+    sharp = image.astype(np.float32) * (1 + amount) - blurred * amount
+    return np.clip(np.rint(sharp), 0, 255).astype(np.uint8)
+
+
+def _expand_image_filter(inputs, params):
+    from repro.media.objects import image_object
+
+    source = inputs[0]
+    image = source.value()
+    kind = params.get("kind", "blur")
+    if kind == "blur":
+        result = box_blur(image, radius=params.get("radius", 1))
+    elif kind == "sharpen":
+        result = sharpen(image, amount=params.get("amount", 1.0))
+    else:
+        raise DerivationError(f"unknown image filter {kind!r}")
+    return image_object(result, f"{source.name}-{kind}",
+                        color_model=source.descriptor["color_model"])
+
+
+def _describe_image_filter(inputs, params):
+    source = inputs[0]
+    return source.media_type, source.descriptor
+
+
+IMAGE_FILTER = derivation_registry.register(Derivation(
+    name="image-filter",
+    category=DerivationCategory.CHANGE_OF_CONTENT,
+    input_kinds=(MediaKind.IMAGE,),
+    result_kind=MediaKind.IMAGE,
+    expand=_expand_image_filter,
+    describe=_describe_image_filter,
+    optional_params=("kind", "radius", "amount"),
+    doc="§4.2: digital filters for images (blur, sharpen).",
+))

@@ -1,0 +1,55 @@
+"""Playback/recording engine: simulated real-time behaviour.
+
+"The handling (retrieval, storage, and processing) of media elements is
+subject to real-time constraints" (§2.2), and "playback 'jitter' can be
+removed by the application just prior to presentation" (§5). The engine
+makes these statements measurable without wall-clock dependence:
+
+* :mod:`repro.engine.clock` — a simulated media clock;
+* :mod:`repro.engine.scheduler` — deadline scheduling of presentation
+  events with lateness/jitter accounting;
+* :mod:`repro.engine.buffers` — prefetch buffering and underrun analysis;
+* :mod:`repro.engine.player` — plays multimedia objects against a
+  storage/decode cost model;
+* :mod:`repro.engine.recorder` — capture: encode + interleave + build
+  the interpretation as the BLOB is written;
+* :mod:`repro.engine.sync` — inter-stream skew measurement;
+* :mod:`repro.engine.resources` — admission control for real-time
+  derivation expansion (§4.2's store-or-expand decision).
+"""
+
+from repro.engine.clock import MediaClock
+from repro.engine.scheduler import PresentationEvent, ScheduleReport, schedule_events
+from repro.engine.buffers import PrefetchReport, RingBuffer, simulate_prefetch
+from repro.engine.player import CostModel, PlaybackReport, Player
+from repro.engine.recorder import Recorder
+from repro.engine.sync import SyncReport, measure_sync
+from repro.engine.resources import ExpansionDecision, ResourceModel
+from repro.engine.vod import ServerReport, Session, VodServer
+from repro.engine.activities import ActivityGraph, Consumer, Producer, Transform, pipeline
+
+__all__ = [
+    "MediaClock",
+    "PresentationEvent",
+    "ScheduleReport",
+    "schedule_events",
+    "PrefetchReport",
+    "RingBuffer",
+    "simulate_prefetch",
+    "CostModel",
+    "PlaybackReport",
+    "Player",
+    "Recorder",
+    "SyncReport",
+    "measure_sync",
+    "ExpansionDecision",
+    "ResourceModel",
+    "ServerReport",
+    "Session",
+    "VodServer",
+    "ActivityGraph",
+    "Consumer",
+    "Producer",
+    "Transform",
+    "pipeline",
+]

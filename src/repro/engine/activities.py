@@ -1,0 +1,261 @@
+"""Activities: database operations as flows of media data (§6).
+
+"The notion of timed streams introduced in this paper leads to a
+perspective where database operations are viewed as extended activities
+that produce, consume and transform flows of data. A database
+architecture based on activities and their possible interconnection is
+explored in [5]." (Gibbs et al., *Audio/Video Databases: An
+Object-Oriented Approach*, ICDE 1993.)
+
+This module implements that forward pointer as a small deterministic
+dataflow engine:
+
+* an :class:`Activity` has input and output *ports* carrying timed
+  tuples;
+* :class:`Producer` emits a stream's tuples in time order,
+  :class:`Transform` maps elements (optionally re-timing), and
+  :class:`Consumer` collects or counts them;
+* an :class:`ActivityGraph` connects ports and runs the network in
+  clocked steps: each step advances the simulated clock to the next
+  element boundary and moves every ready tuple one hop.
+
+The engine is pull-free and deterministic: given the same streams, the
+same step sequence results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.core.elements import MediaElement
+from repro.core.rational import Rational
+from repro.core.streams import TimedStream, TimedTuple
+from repro.errors import EngineError
+
+
+class Port:
+    """A buffered, single-producer single-consumer edge."""
+
+    def __init__(self, name: str, capacity: int = 64):
+        if capacity < 1:
+            raise EngineError("port capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: deque[TimedTuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def put(self, item: TimedTuple) -> None:
+        if self.is_full:
+            raise EngineError(f"port {self.name!r} overflow")
+        self._queue.append(item)
+
+    def take(self) -> TimedTuple | None:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+
+class Activity:
+    """Base class: a node that moves tuples between ports each step."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: list[Port] = []
+        self.outputs: list[Port] = []
+
+    def step(self, now: Rational) -> bool:
+        """Advance one step at media time ``now``.
+
+        Returns True if the activity did any work (moved/produced/
+        consumed a tuple) — the graph runs until a full round is idle
+        and all producers are drained.
+        """
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Producer(Activity):
+    """Emits a stream's tuples once media time reaches their start."""
+
+    def __init__(self, name: str, stream: TimedStream):
+        super().__init__(name)
+        self.stream = stream
+        self.time_system = stream.time_system
+        self._pending = deque(stream.tuples)
+
+    @property
+    def finished(self) -> bool:
+        return not self._pending
+
+    def next_boundary(self) -> Rational | None:
+        """Media time of the next element this producer will emit."""
+        if not self._pending:
+            return None
+        return self.time_system.to_continuous(self._pending[0].start)
+
+    def step(self, now: Rational) -> bool:
+        worked = False
+        while self._pending:
+            head = self._pending[0]
+            due = self.time_system.to_continuous(head.start)
+            if due > now:
+                break
+            if any(port.is_full for port in self.outputs):
+                break
+            self._pending.popleft()
+            for port in self.outputs:
+                port.put(head)
+            worked = True
+        return worked
+
+
+class Transform(Activity):
+    """Applies a function to each element, forwarding timing.
+
+    ``fn`` maps a :class:`MediaElement` to a :class:`MediaElement` (or
+    None to drop the tuple — a filter).
+    """
+
+    def __init__(self, name: str,
+                 fn: Callable[[MediaElement], MediaElement | None]):
+        super().__init__(name)
+        self.fn = fn
+        self.processed = 0
+        self.dropped = 0
+
+    def step(self, now: Rational) -> bool:
+        worked = False
+        for port in self.inputs:
+            while True:
+                if any(out.is_full for out in self.outputs):
+                    break
+                item = port.take()
+                if item is None:
+                    break
+                result = self.fn(item.element)
+                self.processed += 1
+                if result is None:
+                    self.dropped += 1
+                else:
+                    forwarded = TimedTuple(result, item.start, item.duration)
+                    for out in self.outputs:
+                        out.put(forwarded)
+                worked = True
+        return worked
+
+
+class Consumer(Activity):
+    """Collects tuples; optionally records their arrival times."""
+
+    def __init__(self, name: str, keep_elements: bool = True):
+        super().__init__(name)
+        self.keep_elements = keep_elements
+        self.collected: list[TimedTuple] = []
+        self.arrival_times: list[Rational] = []
+        self.count = 0
+        self.bytes = 0
+
+    def step(self, now: Rational) -> bool:
+        worked = False
+        for port in self.inputs:
+            while True:
+                item = port.take()
+                if item is None:
+                    break
+                self.count += 1
+                self.bytes += item.element.size
+                self.arrival_times.append(now)
+                if self.keep_elements:
+                    self.collected.append(item)
+                worked = True
+        return worked
+
+
+class ActivityGraph:
+    """A network of activities connected by ports."""
+
+    def __init__(self) -> None:
+        self.activities: list[Activity] = []
+        self._port_counter = 0
+
+    def add(self, activity: Activity) -> Activity:
+        if any(a.name == activity.name for a in self.activities):
+            raise EngineError(f"activity {activity.name!r} already added")
+        self.activities.append(activity)
+        return activity
+
+    def connect(self, source: Activity, sink: Activity,
+                capacity: int = 64) -> Port:
+        """Create a port from ``source`` to ``sink``."""
+        if source not in self.activities or sink not in self.activities:
+            raise EngineError("connect() requires added activities")
+        self._port_counter += 1
+        port = Port(f"{source.name}->{sink.name}#{self._port_counter}",
+                    capacity)
+        source.outputs.append(port)
+        sink.inputs.append(port)
+        return port
+
+    def _next_boundary(self, now: Rational) -> Rational | None:
+        boundaries = [
+            b for a in self.activities if isinstance(a, Producer)
+            for b in [a.next_boundary()] if b is not None and b > now
+        ]
+        return min(boundaries) if boundaries else None
+
+    def run(self, max_steps: int = 100_000) -> Rational:
+        """Run to quiescence; returns the final media time.
+
+        Each round drains every activity at the current media time; when
+        a full round does no work, the clock jumps to the next producer
+        boundary. The run ends when all producers are finished and a
+        round is idle.
+        """
+        now = Rational(0)
+        for _ in range(max_steps):
+            worked = False
+            for activity in self.activities:
+                if activity.step(now):
+                    worked = True
+            if worked:
+                continue
+            boundary = self._next_boundary(now)
+            if boundary is None:
+                if all(a.finished for a in self.activities
+                       if isinstance(a, Producer)):
+                    return now
+                raise EngineError(
+                    "activity graph stalled: producers blocked on full ports"
+                )
+            now = boundary
+        raise EngineError(f"activity graph did not quiesce in {max_steps} steps")
+
+
+def pipeline(stream: TimedStream,
+             *transforms: Callable[[MediaElement], MediaElement | None],
+             ) -> Consumer:
+    """Convenience: producer -> transforms... -> consumer, run to the end."""
+    graph = ActivityGraph()
+    producer = graph.add(Producer("source", stream))
+    previous: Activity = producer
+    for index, fn in enumerate(transforms):
+        node = graph.add(Transform(f"transform{index}", fn))
+        graph.connect(previous, node)
+        previous = node
+    consumer = graph.add(Consumer("sink"))
+    graph.connect(previous, consumer)
+    graph.run()
+    return consumer

@@ -1,0 +1,115 @@
+"""Buffering: ring buffers and prefetch underrun analysis.
+
+"Playback 'jitter' can be removed by the application just prior to
+presentation" (§5) — by buffering. :func:`simulate_prefetch` quantifies
+the claim: given element arrival times (from the storage model) and
+presentation deadlines, it computes underruns as a function of prefetch
+depth; benchmark E7 sweeps the depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.rational import Rational, as_rational
+from repro.errors import EngineError
+
+
+class RingBuffer:
+    """A bounded FIFO of elements between producer and consumer."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise EngineError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def push(self, item) -> None:
+        if self.is_full:
+            raise EngineError("ring buffer overflow")
+        self._items.append(item)
+
+    def pop(self):
+        if self.is_empty:
+            raise EngineError("ring buffer underflow")
+        return self._items.popleft()
+
+    def try_push(self, item) -> bool:
+        if self.is_full:
+            return False
+        self._items.append(item)
+        return True
+
+    def try_pop(self):
+        if self.is_empty:
+            return None
+        return self._items.popleft()
+
+
+@dataclass
+class PrefetchReport:
+    """Underrun analysis for one prefetch depth."""
+
+    depth: int
+    startup_delay: Rational
+    underruns: int
+    max_wait: Rational
+    presented: int
+
+    @property
+    def underrun_fraction(self) -> float:
+        if not self.presented:
+            return 0.0
+        return self.underruns / self.presented
+
+
+def simulate_prefetch(
+    production_times: list[Rational],
+    deadlines: list[Rational],
+    depth: int,
+) -> PrefetchReport:
+    """Simulate playback with a prefetch buffer of ``depth`` elements.
+
+    ``production_times[i]`` is when element ``i`` finishes read+decode
+    under continuous production (already cumulative); ``deadlines[i]`` is
+    its ideal presentation time *relative to playback start*. Playback
+    starts once ``depth`` elements (or all of them) are buffered. An
+    underrun occurs when an element's production completes after its
+    shifted deadline; the element is presented late rather than dropped.
+    """
+    if len(production_times) != len(deadlines):
+        raise EngineError("production and deadline lists must align")
+    count = len(deadlines)
+    if count == 0:
+        return PrefetchReport(depth, Rational(0), 0, Rational(0), 0)
+    if depth < 1:
+        raise EngineError("prefetch depth must be >= 1")
+    fill = min(depth, count)
+    startup = as_rational(production_times[fill - 1])
+    underruns = 0
+    max_wait = Rational(0)
+    for produced, deadline in zip(production_times, deadlines):
+        produced = as_rational(produced)
+        shifted_deadline = startup + as_rational(deadline)
+        if produced > shifted_deadline:
+            underruns += 1
+            max_wait = max(max_wait, produced - shifted_deadline)
+    return PrefetchReport(
+        depth=depth,
+        startup_delay=startup,
+        underruns=underruns,
+        max_wait=max_wait,
+        presented=count,
+    )

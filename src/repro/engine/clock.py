@@ -1,0 +1,63 @@
+"""A simulated media clock.
+
+Playback and recording are "extended activities" over media time (§6).
+The clock is purely logical: tests and benchmarks advance it explicitly,
+so engine behaviour is deterministic and independent of the machine it
+runs on. A rate of 1 is normal playback; 2 is double speed; negative
+rates play backwards (JPEG-style intra-coded streams support this, §2.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.rational import Rational, as_rational
+from repro.errors import EngineError
+
+
+class MediaClock:
+    """Media time driven by explicit advancement of reference time."""
+
+    def __init__(self, rate=1, start=0):
+        self._rate = as_rational(rate)
+        self._media_time = as_rational(start)
+
+    @property
+    def rate(self) -> Rational:
+        return self._rate
+
+    def set_rate(self, rate) -> None:
+        """Change the playback rate (0 pauses; negative reverses)."""
+        self._rate = as_rational(rate)
+
+    def now(self) -> Rational:
+        """Current media time in seconds."""
+        return self._media_time
+
+    def advance(self, reference_dt) -> Rational:
+        """Advance by ``reference_dt`` reference seconds; returns media time."""
+        dt = as_rational(reference_dt)
+        if dt < 0:
+            raise EngineError("reference time cannot run backwards")
+        self._media_time += dt * self._rate
+        return self._media_time
+
+    def seek(self, media_time) -> None:
+        self._media_time = as_rational(media_time)
+
+    def until(self, media_time) -> Rational:
+        """Reference seconds until ``media_time`` at the current rate.
+
+        Raises :class:`EngineError` when the clock is paused or moving
+        away from the target.
+        """
+        target = as_rational(media_time)
+        if self._rate == 0:
+            raise EngineError("clock is paused; target unreachable")
+        dt = (target - self._media_time) / self._rate
+        if dt < 0:
+            raise EngineError(
+                f"media time {target} unreachable at rate {self._rate}"
+            )
+        return dt
+
+    def __repr__(self) -> str:
+        return f"MediaClock(t={self._media_time.to_timestamp()}, rate={self._rate})"

@@ -1,0 +1,258 @@
+"""Playback of interpreted media against a storage/decode cost model.
+
+"Using a BLOB data type it is possible to read and write time-based media
+but ... the more relevant operations of 'play' and 'record' have no
+meaning." (§1.2) The player gives "play" meaning: it walks an
+interpretation's placement tables in presentation order, charges each
+element read/decode costs from a :class:`CostModel`, and reports whether
+deadlines were met — startup delay, underruns, jitter, and the data rate
+the storage system must sustain.
+
+Everything is simulated with exact rational arithmetic; no wall-clock
+time is involved, so reports are reproducible to the bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.composition import MultimediaObject
+from repro.core.interpretation import Interpretation
+from repro.core.rational import Rational, as_rational
+from repro.engine.buffers import simulate_prefetch
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Storage and decode cost parameters.
+
+    ``bandwidth`` — bytes/second of sequential read;
+    ``seek_time`` — seconds charged when a read is not contiguous with
+    the previous one;
+    ``decode_rate`` — bytes/second of decode work (None = free).
+
+    Defaults approximate a 1994-era single-speed-ish optical drive so the
+    paper's data-rate arithmetic lands in a plausible regime.
+    """
+
+    bandwidth: Rational = Rational(1_500_000)
+    seek_time: Rational = Rational(1, 100)
+    decode_rate: Rational | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bandwidth", as_rational(self.bandwidth))
+        object.__setattr__(self, "seek_time", as_rational(self.seek_time))
+        if self.decode_rate is not None:
+            object.__setattr__(self, "decode_rate", as_rational(self.decode_rate))
+        if self.bandwidth <= 0:
+            raise EngineError("bandwidth must be positive")
+
+    def element_cost(self, size: int, contiguous: bool) -> Rational:
+        cost = Rational(size) / self.bandwidth
+        if not contiguous:
+            cost += self.seek_time
+        if self.decode_rate:
+            cost += Rational(size) / self.decode_rate
+        return cost
+
+
+@dataclass
+class PlaybackReport:
+    """Outcome of one simulated playback.
+
+    ``per_read`` holds (label, deadline, lateness) per element in
+    presentation order, enabling inter-stream skew analysis with
+    :func:`repro.engine.sync.measure_sync`.
+    """
+
+    element_count: int
+    duration: Rational
+    required_rate: Rational
+    startup_delay: Rational
+    underruns: int
+    underrun_fraction: float
+    max_lateness: Rational
+    jitter: Rational
+    prefetch_depth: int
+    seeks: int
+    per_read: list[tuple[str, Rational, Rational]] = field(
+        default_factory=list
+    )
+
+    def stream_lateness(self, prefix: str) -> tuple[list[Rational], list[Rational]]:
+        """(lateness, deadlines) of reads whose label starts with ``prefix``.
+
+        Labels are ``sequence[n]``, so the sequence name is the natural
+        prefix. Both lists are deadline-ordered, ready for
+        :func:`~repro.engine.sync.measure_sync`.
+        """
+        lateness = []
+        deadlines = []
+        for label, deadline, late in self.per_read:
+            if label.startswith(prefix):
+                deadlines.append(deadline)
+                lateness.append(late)
+        return lateness, deadlines
+
+    def summary(self) -> str:
+        return (
+            f"{self.element_count} elements over "
+            f"{self.duration.to_timestamp()}; required rate "
+            f"{float(self.required_rate) / 1024:.0f} KiB/s; startup "
+            f"{float(self.startup_delay) * 1000:.1f} ms; "
+            f"{self.underruns} underruns ({self.underrun_fraction:.1%}); "
+            f"jitter {float(self.jitter) * 1000:.2f} ms; {self.seeks} seeks"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class _PlannedRead:
+    label: str
+    offset: int
+    size: int
+    deadline: Rational
+
+
+class Player:
+    """Simulates synchronized playback of interpreted sequences."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 prefetch_depth: int = 4, rate=1):
+        """``rate`` is the playback rate: 2 plays double speed (deadlines
+        arrive twice as fast, so the storage system must sustain twice
+        the data rate); rates in (0, 1) play slow motion. Reverse
+        playback is a derivation (``video-reverse``), not a negative
+        rate, because read order must still move forward through time.
+        """
+        self.cost_model = cost_model or CostModel()
+        if prefetch_depth < 1:
+            raise EngineError("prefetch depth must be >= 1")
+        self.prefetch_depth = prefetch_depth
+        self.rate = as_rational(rate)
+        if self.rate <= 0:
+            raise EngineError(f"playback rate must be positive, got {self.rate}")
+
+    # -- planning -------------------------------------------------------------
+
+    def plan_interpretation(
+        self,
+        interpretation: Interpretation,
+        names: list[str] | None = None,
+        offsets: dict[str, Rational] | None = None,
+    ) -> list[_PlannedRead]:
+        """Presentation-ordered reads for the named sequences.
+
+        ``offsets`` optionally shifts each sequence on the shared
+        timeline (temporal composition of interpreted components).
+        """
+        names = names if names is not None else interpretation.names()
+        offsets = offsets or {}
+        reads: list[_PlannedRead] = []
+        for name in names:
+            sequence = interpretation.sequence(name)
+            base = as_rational(offsets.get(name, 0))
+            for entry in sequence:
+                deadline = base + sequence.time_system.to_continuous(entry.start)
+                reads.append(_PlannedRead(
+                    label=f"{name}[{entry.element_number}]",
+                    offset=entry.blob_offset,
+                    size=entry.size,
+                    deadline=deadline,
+                ))
+        reads.sort(key=lambda r: (r.deadline, r.offset))
+        return reads
+
+    # -- playback -------------------------------------------------------------
+
+    def play(self, interpretation: Interpretation,
+             names: list[str] | None = None,
+             offsets: dict[str, Rational] | None = None) -> PlaybackReport:
+        """Simulate playback of an interpretation's sequences."""
+        reads = self.plan_interpretation(interpretation, names, offsets)
+        return self._run(reads)
+
+    def play_reads(self, reads: list[_PlannedRead]) -> PlaybackReport:
+        return self._run(reads)
+
+    def _run(self, reads: list[_PlannedRead]) -> PlaybackReport:
+        if not reads:
+            return PlaybackReport(
+                element_count=0, duration=Rational(0),
+                required_rate=Rational(0), startup_delay=Rational(0),
+                underruns=0, underrun_fraction=0.0,
+                max_lateness=Rational(0), jitter=Rational(0),
+                prefetch_depth=self.prefetch_depth, seeks=0,
+            )
+        production = []
+        clock = Rational(0)
+        cursor: int | None = None
+        seeks = 0
+        for read in reads:
+            contiguous = cursor is not None and read.offset == cursor
+            if cursor is not None and not contiguous:
+                seeks += 1
+            clock += self.cost_model.element_cost(read.size, contiguous)
+            production.append(clock)
+            cursor = read.offset + read.size
+        first_deadline = reads[0].deadline
+        # At rate r, media time d is presented at reference time d / r.
+        deadlines = [(r.deadline - first_deadline) / self.rate for r in reads]
+        prefetch = simulate_prefetch(production, deadlines, self.prefetch_depth)
+
+        total_bytes = sum(r.size for r in reads)
+        duration = max(deadlines) if deadlines else Rational(0)
+        required = (
+            Rational(total_bytes) / duration if duration > 0 else Rational(0)
+        )
+        lateness = [
+            max(p - (prefetch.startup_delay + d), Rational(0))
+            for p, d in zip(production, deadlines)
+        ]
+        jitter = (max(lateness) - min(lateness)) if lateness else Rational(0)
+        return PlaybackReport(
+            element_count=len(reads),
+            duration=duration,
+            required_rate=required,
+            startup_delay=prefetch.startup_delay,
+            underruns=prefetch.underruns,
+            underrun_fraction=prefetch.underrun_fraction,
+            max_lateness=max(lateness) if lateness else Rational(0),
+            jitter=jitter,
+            prefetch_depth=self.prefetch_depth,
+            seeks=seeks,
+            per_read=[
+                (read.label, deadline, late)
+                for read, deadline, late in zip(reads, deadlines, lateness)
+            ],
+        )
+
+    # -- multimedia objects ------------------------------------------------------
+
+    def play_multimedia(self, multimedia: MultimediaObject) -> PlaybackReport:
+        """Simulate playback of a composed multimedia object.
+
+        Components are flattened to leaf media objects; each leaf's
+        stream supplies element sizes and timing, shifted by its
+        composition offset. Leaves without in-memory streams (derived,
+        unexpanded) are expanded via their normal access path.
+        """
+        reads: list[_PlannedRead] = []
+        synthetic_offset = 0
+        for label, obj, interval in multimedia.flatten():
+            if not obj.media_type.kind.is_time_based:
+                continue
+            stream = obj.stream()
+            for index, t in enumerate(stream):
+                deadline = interval.start + stream.time_system.to_continuous(
+                    t.start - stream.start
+                )
+                reads.append(_PlannedRead(
+                    label=f"{label}[{index}]",
+                    offset=synthetic_offset,
+                    size=t.element.size,
+                    deadline=deadline,
+                ))
+                synthetic_offset += t.element.size
+        reads.sort(key=lambda r: (r.deadline, r.offset))
+        return self._run(reads)

@@ -1,0 +1,133 @@
+"""Deadline scheduling of presentation events.
+
+Each media element must be presented at its start time — a soft deadline:
+"divergences from element production and consumption deadlines are
+certainly undesirable, but can be tolerated" (§5). The scheduler
+simulates earliest-deadline-first dispatch of preparation work (read +
+decode) on a single processor and reports per-event lateness, from which
+jitter statistics follow.
+
+All times are rational seconds; the simulation is exact and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.rational import Rational, as_rational
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True, slots=True)
+class PresentationEvent:
+    """One element's presentation: preparation work due by a deadline.
+
+    ``release`` is when the work *could* start (data available);
+    ``cost`` is processor seconds of read+decode; ``deadline`` is the
+    element's presentation time.
+    """
+
+    label: str
+    release: Rational
+    cost: Rational
+    deadline: Rational
+
+    def __post_init__(self) -> None:
+        release = as_rational(self.release)
+        cost = as_rational(self.cost)
+        deadline = as_rational(self.deadline)
+        if cost < 0:
+            raise SchedulingError(f"{self.label}: negative cost")
+        if release < 0:
+            raise SchedulingError(f"{self.label}: negative release time")
+        object.__setattr__(self, "release", release)
+        object.__setattr__(self, "cost", cost)
+        object.__setattr__(self, "deadline", deadline)
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of scheduling a task set.
+
+    ``lateness`` maps label -> completion - deadline (negative = early).
+    ``jitter`` is the spread (max - min) of positive lateness clamped at
+    zero — the variation a presentation buffer must absorb.
+    """
+
+    completion: dict[str, Rational]
+    lateness: dict[str, Rational]
+    misses: list[str]
+    makespan: Rational
+
+    @property
+    def max_lateness(self) -> Rational:
+        return max(self.lateness.values(), default=Rational(0))
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+    @property
+    def jitter(self) -> Rational:
+        """Spread of presentation error when late events display late."""
+        errors = [max(v, Rational(0)) for v in self.lateness.values()]
+        if not errors:
+            return Rational(0)
+        return max(errors) - min(errors)
+
+    def on_time_fraction(self) -> float:
+        if not self.lateness:
+            return 1.0
+        return 1.0 - len(self.misses) / len(self.lateness)
+
+
+def schedule_events(events: list[PresentationEvent]) -> ScheduleReport:
+    """Simulate single-processor EDF over ``events``.
+
+    Work is non-preemptive per event (element decodes are atomic);
+    among ready events the earliest deadline runs first.
+    """
+    labels = [e.label for e in events]
+    if len(set(labels)) != len(labels):
+        raise SchedulingError("event labels must be unique")
+    pending = sorted(events, key=lambda e: (e.release, e.deadline, e.label))
+    ready: list[tuple[Rational, str, PresentationEvent]] = []
+    completion: dict[str, Rational] = {}
+    time = Rational(0)
+    index = 0
+    while index < len(pending) or ready:
+        while index < len(pending) and pending[index].release <= time:
+            event = pending[index]
+            heapq.heappush(ready, (event.deadline, event.label, event))
+            index += 1
+        if not ready:
+            time = max(time, pending[index].release)
+            continue
+        _, _, event = heapq.heappop(ready)
+        time = max(time, event.release) + event.cost
+        completion[event.label] = time
+    lateness = {
+        e.label: completion[e.label] - e.deadline for e in events
+    }
+    misses = [label for label, late in lateness.items() if late > 0]
+    return ScheduleReport(
+        completion=completion,
+        lateness=lateness,
+        misses=sorted(misses),
+        makespan=time,
+    )
+
+
+def utilization(events: list[PresentationEvent]) -> Rational:
+    """Total cost over the span of deadlines — a feasibility indicator."""
+    if not events:
+        return Rational(0)
+    total_cost = sum((e.cost for e in events), Rational(0))
+    horizon = max(e.deadline for e in events)
+    first = min(e.release for e in events)
+    span = horizon - first
+    if span <= 0:
+        return Rational(10**9) if total_cost > 0 else Rational(0)
+    return total_cost / span

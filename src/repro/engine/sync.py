@@ -1,0 +1,61 @@
+"""Inter-stream synchronization measurement.
+
+"It is often the case ... that audio elements must be synchronized with
+visual elements" (§2.2). Given the per-element lateness playback induces
+on two streams, the *skew* at any instant is the difference of their
+presentation errors; lip-sync tolerance is conventionally ~80 ms. This
+module measures skew between streams played from the same report, for
+benchmark E7's interleaving comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rational import Rational, as_rational
+from repro.errors import EngineError
+
+
+@dataclass
+class SyncReport:
+    """Skew statistics between two streams."""
+
+    max_skew: Rational
+    mean_skew: Rational
+    samples: int
+
+    def within_tolerance(self, tolerance) -> bool:
+        """Whether maximum skew stays inside ``tolerance`` seconds."""
+        return self.max_skew <= as_rational(tolerance)
+
+
+def measure_sync(
+    lateness_a: list[Rational],
+    deadlines_a: list[Rational],
+    lateness_b: list[Rational],
+    deadlines_b: list[Rational],
+) -> SyncReport:
+    """Skew between two streams from per-element lateness.
+
+    For each element of stream A, the element of B presented nearest in
+    ideal time is found and the lateness difference taken. Lists must be
+    deadline-sorted.
+    """
+    if len(lateness_a) != len(deadlines_a) or len(lateness_b) != len(deadlines_b):
+        raise EngineError("lateness and deadline lists must align")
+    if not deadlines_a or not deadlines_b:
+        return SyncReport(Rational(0), Rational(0), 0)
+    skews = []
+    j = 0
+    for late_a, deadline_a in zip(lateness_a, deadlines_a):
+        while (j + 1 < len(deadlines_b)
+               and abs(deadlines_b[j + 1] - deadline_a)
+               <= abs(deadlines_b[j] - deadline_a)):
+            j += 1
+        skews.append(abs(as_rational(late_a) - as_rational(lateness_b[j])))
+    total = sum(skews, Rational(0))
+    return SyncReport(
+        max_skew=max(skews),
+        mean_skew=total / len(skews),
+        samples=len(skews),
+    )

@@ -1,0 +1,162 @@
+"""Video-on-demand server simulation.
+
+§1.1's motivating application: "new multimedia applications such as
+video on-demand services and virtual environments stand to benefit from
+access to large databases of time-based material." This module simulates
+the serving side: a fixed outbound bandwidth shared by concurrent client
+sessions, utilization-based admission control, and per-client playback
+reports.
+
+The model is deliberately simple and exact: admitted clients share the
+server's bandwidth equally (processor-sharing), so each client sees
+``bandwidth / n`` while ``n`` sessions are active. A session underruns
+when its share cannot sustain its stream's required rate — the capacity
+crossover the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interpretation import Interpretation
+from repro.core.rational import Rational, as_rational
+from repro.engine.player import CostModel, PlaybackReport, Player
+from repro.errors import EngineError, ResourceError
+
+
+@dataclass
+class Session:
+    """One admitted client session."""
+
+    client: str
+    title: str
+    report: PlaybackReport
+
+
+@dataclass
+class ServerReport:
+    """Outcome of serving a batch of concurrent requests."""
+
+    admitted: list[Session]
+    rejected: list[tuple[str, str]]
+    bandwidth: int
+    per_client_bandwidth: int
+
+    @property
+    def admitted_count(self) -> int:
+        return len(self.admitted)
+
+    def clean_sessions(self) -> int:
+        return sum(1 for s in self.admitted if s.report.underruns == 0)
+
+    def underrun_sessions(self) -> int:
+        return sum(1 for s in self.admitted if s.report.underruns > 0)
+
+
+class VodServer:
+    """Serves cataloged titles under a shared bandwidth budget."""
+
+    def __init__(self, bandwidth: int, prefetch_depth: int = 8,
+                 admission_margin: float = 1.0):
+        """``bandwidth`` is outbound bytes/second; ``admission_margin``
+        scales the admission test (1.2 keeps 20% headroom)."""
+        if bandwidth <= 0:
+            raise EngineError("bandwidth must be positive")
+        if admission_margin < 1.0:
+            raise EngineError("admission margin must be >= 1.0")
+        self.bandwidth = bandwidth
+        self.prefetch_depth = prefetch_depth
+        self.admission_margin = admission_margin
+        self._titles: dict[str, Interpretation] = {}
+
+    # -- catalog ---------------------------------------------------------------
+
+    def publish(self, title: str, interpretation: Interpretation) -> None:
+        if title in self._titles:
+            raise EngineError(f"title {title!r} already published")
+        interpretation.validate()
+        self._titles[title] = interpretation
+
+    def titles(self) -> list[str]:
+        return sorted(self._titles)
+
+    def required_rate(self, title: str) -> Rational:
+        """Mean data rate the title needs (from its descriptors)."""
+        try:
+            interpretation = self._titles[title]
+        except KeyError:
+            raise EngineError(f"unknown title {title!r}") from None
+        total = Rational(0)
+        for name in interpretation.names():
+            descriptor = interpretation.sequence(name).media_descriptor
+            rate = descriptor.get("average_data_rate")
+            if rate is None:
+                raise ResourceError(
+                    f"{title!r}/{name} lacks average_data_rate; "
+                    "record it with the Recorder"
+                )
+            total += as_rational(rate)
+        return total
+
+    # -- admission + serving ------------------------------------------------------
+
+    def admit(self, requests: list[tuple[str, str]]) -> tuple[
+            list[tuple[str, str]], list[tuple[str, str]]]:
+        """Greedy admission: accept requests while aggregate required
+        rate (with margin) fits the bandwidth. Returns (admitted,
+        rejected)."""
+        admitted: list[tuple[str, str]] = []
+        rejected: list[tuple[str, str]] = []
+        load = Rational(0)
+        budget = Rational(self.bandwidth)
+        for client, title in requests:
+            rate = self.required_rate(title)
+            projected = (load + rate) * as_rational(self.admission_margin)
+            if projected <= budget:
+                admitted.append((client, title))
+                load += rate
+            else:
+                rejected.append((client, title))
+        return admitted, rejected
+
+    def serve(self, requests: list[tuple[str, str]],
+              enforce_admission: bool = True) -> ServerReport:
+        """Simulate serving ``requests`` concurrently.
+
+        With ``enforce_admission`` the admission test runs first;
+        without it every request is served (the overload experiment).
+        Each admitted session plays its title against an equal share of
+        the server bandwidth.
+        """
+        if not requests:
+            raise EngineError("serve needs at least one request")
+        if enforce_admission:
+            admitted, rejected = self.admit(requests)
+        else:
+            admitted, rejected = list(requests), []
+        sessions: list[Session] = []
+        if admitted:
+            share = max(1, self.bandwidth // len(admitted))
+            player = Player(
+                CostModel(bandwidth=share),
+                prefetch_depth=self.prefetch_depth,
+            )
+            for client, title in admitted:
+                report = player.play(self._titles[title])
+                sessions.append(Session(client, title, report))
+        else:
+            share = 0
+        return ServerReport(
+            admitted=sessions,
+            rejected=rejected,
+            bandwidth=self.bandwidth,
+            per_client_bandwidth=share,
+        )
+
+    def capacity(self, title: str) -> int:
+        """How many concurrent sessions of ``title`` the admission test
+        accepts — the server's nominal capacity for that title."""
+        rate = self.required_rate(title) * as_rational(self.admission_margin)
+        if rate <= 0:
+            raise ResourceError(f"{title!r} declares a zero data rate")
+        return int(Rational(self.bandwidth) / rate)

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`MediaModelError` so applications can
+catch any library failure with a single except clause while still being able
+to discriminate the subsystem that raised it.
+"""
+
+from __future__ import annotations
+
+
+class MediaModelError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TimeSystemError(MediaModelError):
+    """Invalid discrete time system or time value (Definition 2)."""
+
+
+class StreamError(MediaModelError):
+    """A timed stream violates Definition 3 or a category constraint."""
+
+
+class StreamConstraintError(StreamError):
+    """A stream violates a constraint imposed by its media type."""
+
+
+class DescriptorError(MediaModelError):
+    """A media or element descriptor is malformed for its media type."""
+
+
+class MediaTypeError(MediaModelError):
+    """Unknown media type or a value outside the type's specification."""
+
+
+class QualityError(MediaModelError):
+    """Unknown quality factor or unsatisfiable quality request."""
+
+
+class BlobError(MediaModelError):
+    """BLOB storage failure (Definition 4)."""
+
+
+class BlobBoundsError(BlobError):
+    """A read or placement refers to bytes outside the BLOB."""
+
+
+class InterpretationError(MediaModelError):
+    """An interpretation is inconsistent with its BLOB (Definition 5)."""
+
+
+class DerivationError(MediaModelError):
+    """A derivation cannot be applied or expanded (Definition 6)."""
+
+
+class CompositionError(MediaModelError):
+    """Invalid temporal or spatial composition (Definition 7)."""
+
+
+class CodecError(MediaModelError):
+    """Encoding or decoding failure in a codec substrate."""
+
+
+class StorageError(MediaModelError):
+    """Storage layout, index, or container failure."""
+
+
+class ContainerFormatError(StorageError):
+    """A serialized container is malformed or has a bad magic/version."""
+
+
+class EngineError(MediaModelError):
+    """Playback/recording engine failure."""
+
+
+class SchedulingError(EngineError):
+    """The scheduler was given an infeasible or malformed task set."""
+
+
+class ResourceError(EngineError):
+    """Admission control rejected a real-time task set."""
+
+
+class QueryError(MediaModelError):
+    """Malformed query or unknown catalog entry."""
+
+
+class CatalogError(QueryError):
+    """A database catalog entry is missing or duplicated."""

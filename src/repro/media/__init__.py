@@ -1,0 +1,29 @@
+"""Synthetic media: the capture substrate and symbolic media models.
+
+The paper's material came from cameras, tapes and microphones; here,
+deterministic generators produce equivalent content:
+
+* :mod:`repro.media.signals` — audio signals (tones, chirps, noise,
+  envelopes);
+* :mod:`repro.media.frames` — video frames (gradients, moving objects,
+  test patterns);
+* :mod:`repro.media.music` — a note/score model whose chords overlap and
+  whose rests leave gaps (non-continuous streams);
+* :mod:`repro.media.animation` — movement specifications (elements only
+  while objects move);
+* :mod:`repro.media.synthesizer` — music -> audio derivation;
+* :mod:`repro.media.renderer` — animation -> video derivation.
+"""
+
+from repro.media import animation, frames, music, signals
+from repro.media.synthesizer import synthesize_score
+from repro.media.renderer import render_animation
+
+__all__ = [
+    "animation",
+    "frames",
+    "music",
+    "signals",
+    "synthesize_score",
+    "render_animation",
+]

@@ -1,0 +1,178 @@
+"""Animation as movement specifications: non-continuous streams.
+
+"Consider animation represented by sequences of elements specifying
+movement. At times when the animated object is at rest there are no
+associated media elements." (§3.3)
+
+An :class:`AnimationScene` holds sprites and movement operations; its
+timed stream has elements only where something happens, so a scene with
+rests is non-continuous. Rendering the scene to video frames is a
+type-changing derivation (:mod:`repro.media.renderer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.streams import TimedStream, TimedTuple
+from repro.errors import MediaModelError
+
+
+@dataclass(frozen=True, slots=True)
+class Sprite:
+    """A colored rectangle actor."""
+
+    name: str
+    width: int
+    height: int
+    color: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise MediaModelError("sprite dimensions must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class AnimationOp:
+    """One animation element: an operation over a tick span.
+
+    ``op`` is one of ``"appear"``, ``"move"``, ``"disappear"``,
+    ``"recolor"``; ``start``/``duration`` are in frame ticks. ``move``
+    interpolates linearly from the sprite's position at ``start`` to
+    ``(x, y)`` across the span.
+    """
+
+    sprite: str
+    op: str
+    start: int
+    duration: int
+    x: int = 0
+    y: int = 0
+    color: tuple[int, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("appear", "move", "disappear", "recolor"):
+            raise MediaModelError(f"unknown animation op {self.op!r}")
+        if self.start < 0 or self.duration < 0:
+            raise MediaModelError("op timing must be non-negative")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+class AnimationScene:
+    """Sprites plus a time-ordered list of operations."""
+
+    def __init__(self, width: int = 160, height: int = 120,
+                 background: tuple[int, int, int] = (16, 16, 32)):
+        if width < 8 or height < 8:
+            raise MediaModelError("scene must be at least 8x8")
+        self.width = width
+        self.height = height
+        self.background = background
+        self.sprites: dict[str, Sprite] = {}
+        self.ops: list[AnimationOp] = []
+
+    def add_sprite(self, sprite: Sprite) -> Sprite:
+        if sprite.name in self.sprites:
+            raise MediaModelError(f"sprite {sprite.name!r} already exists")
+        self.sprites[sprite.name] = sprite
+        return sprite
+
+    def add_op(self, op: AnimationOp) -> AnimationOp:
+        if op.sprite not in self.sprites:
+            raise MediaModelError(f"unknown sprite {op.sprite!r}")
+        self.ops.append(op)
+        self.ops.sort(key=lambda o: (o.start, o.sprite))
+        return op
+
+    def appear(self, sprite: str, at: int, x: int, y: int) -> AnimationOp:
+        return self.add_op(AnimationOp(sprite, "appear", at, 0, x, y))
+
+    def move(self, sprite: str, start: int, duration: int,
+             to_x: int, to_y: int) -> AnimationOp:
+        return self.add_op(AnimationOp(sprite, "move", start, duration,
+                                       to_x, to_y))
+
+    def disappear(self, sprite: str, at: int) -> AnimationOp:
+        return self.add_op(AnimationOp(sprite, "disappear", at, 0))
+
+    def recolor(self, sprite: str, at: int,
+                color: tuple[int, int, int]) -> AnimationOp:
+        return self.add_op(AnimationOp(sprite, "recolor", at, 0, color=color))
+
+    def span_ticks(self) -> int:
+        return max((op.end for op in self.ops), default=0)
+
+    def to_stream(self) -> TimedStream:
+        """The scene as a (generally non-continuous) timed stream.
+
+        Instant ops (appear/disappear/recolor) have zero duration; moves
+        span their interpolation. Rest periods have no elements.
+        """
+        media_type = media_type_registry.get("animation")
+        tuples = []
+        for op in self.ops:
+            descriptor = media_type.make_element_descriptor(op=op.op)
+            element = MediaElement(payload=op, size=24, descriptor=descriptor)
+            tuples.append(TimedTuple(element, op.start, op.duration))
+        return TimedStream(media_type, tuples, validate_constraints=False)
+
+    def positions_at(self, tick: int) -> dict[str, tuple[int, int, tuple[int, int, int]]]:
+        """Visible sprites at ``tick``: name -> (x, y, color).
+
+        Replays operations up to ``tick``; mid-move positions are
+        linearly interpolated.
+        """
+        state: dict[str, dict] = {}
+        for op in self.ops:
+            if op.start > tick:
+                break
+            sprite = self.sprites[op.sprite]
+            if op.op == "appear":
+                state[op.sprite] = {
+                    "x": op.x, "y": op.y, "color": sprite.color, "visible": True,
+                }
+            elif op.op == "disappear":
+                if op.sprite in state:
+                    state[op.sprite]["visible"] = False
+            elif op.op == "recolor":
+                if op.sprite in state:
+                    state[op.sprite]["color"] = op.color or sprite.color
+            elif op.op == "move" and op.sprite in state:
+                entry = state[op.sprite]
+                if op.duration == 0 or tick >= op.end:
+                    entry["x"], entry["y"] = op.x, op.y
+                else:
+                    progress = (tick - op.start) / op.duration
+                    entry["x"] = round(entry["x"] + (op.x - entry["x"]) * progress)
+                    entry["y"] = round(entry["y"] + (op.y - entry["y"]) * progress)
+        return {
+            name: (entry["x"], entry["y"], entry["color"])
+            for name, entry in state.items() if entry["visible"]
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AnimationScene({self.width}x{self.height}, "
+            f"{len(self.sprites)} sprites, {len(self.ops)} ops)"
+        )
+
+
+def demo_scene(width: int = 160, height: int = 120) -> AnimationScene:
+    """A bouncing-box scene with a rest period (for non-continuity)."""
+    scene = AnimationScene(width, height)
+    scene.add_sprite(Sprite("box", 20, 20, (255, 80, 80)))
+    scene.add_sprite(Sprite("dot", 10, 10, (80, 255, 80)))
+    scene.appear("box", 0, 10, 10)
+    scene.move("box", 0, 25, width - 30, 10)
+    scene.move("box", 25, 25, width - 30, height - 30)
+    # rest: ticks 50-74 have no elements
+    scene.appear("dot", 75, width // 2, 10)
+    scene.move("dot", 75, 25, width // 2, height - 20)
+    scene.disappear("dot", 100)
+    scene.move("box", 100, 25, 10, 10)
+    return scene

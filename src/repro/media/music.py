@@ -1,0 +1,218 @@
+"""Note-level music: the paper's non-continuous stream example.
+
+"Another example is a representation for music where media elements
+correspond to notes being produced. A chord would then require
+overlapping elements." (§3.3) — and rests leave gaps.
+
+A :class:`Score` is a set of :class:`Note` objects with tick timing; it
+converts to a timed stream (non-continuous: chords overlap, rests gap),
+to MIDI events (event-based), and feeds the synthesizer derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.midi import MidiEvent
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.streams import TimedStream, TimedTuple
+from repro.errors import MediaModelError
+
+#: Ticks per quarter note used by the score/MIDI time system (see
+#: ``repro.core.time_system.MIDI_TIME``: 1920 ticks/s at 120 bpm = 960 PPQ).
+PPQ = 960
+
+_NOTE_NAMES = {"C": 0, "D": 2, "E": 4, "F": 5, "G": 7, "A": 9, "B": 11}
+
+
+def pitch_from_name(name: str) -> int:
+    """MIDI pitch from scientific pitch notation ("A4" = 69, "C#5" = 73)."""
+    if not name:
+        raise MediaModelError("empty pitch name")
+    letter = name[0].upper()
+    if letter not in _NOTE_NAMES:
+        raise MediaModelError(f"unknown note letter {letter!r}")
+    rest = name[1:]
+    accidental = 0
+    while rest and rest[0] in "#b":
+        accidental += 1 if rest[0] == "#" else -1
+        rest = rest[1:]
+    try:
+        octave = int(rest)
+    except ValueError:
+        raise MediaModelError(f"bad octave in pitch {name!r}") from None
+    pitch = (octave + 1) * 12 + _NOTE_NAMES[letter] + accidental
+    if not 0 <= pitch < 128:
+        raise MediaModelError(f"pitch {name!r} out of MIDI range")
+    return pitch
+
+
+def frequency_of(pitch: int) -> float:
+    """Equal-temperament frequency in Hz (A4 = 440)."""
+    return 440.0 * 2.0 ** ((pitch - 69) / 12.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Note:
+    """One note: the media element of a score stream.
+
+    ``start`` and ``duration`` are in ticks (:data:`PPQ` per quarter).
+    """
+
+    pitch: int
+    start: int
+    duration: int
+    velocity: int = 80
+    channel: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pitch < 128:
+            raise MediaModelError(f"pitch {self.pitch} out of range")
+        if self.start < 0 or self.duration <= 0:
+            raise MediaModelError("notes need start >= 0 and duration > 0")
+        if not 0 < self.velocity < 128:
+            raise MediaModelError(f"velocity {self.velocity} out of range")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    @property
+    def frequency(self) -> float:
+        return frequency_of(self.pitch)
+
+
+class Score:
+    """An ordered collection of notes."""
+
+    def __init__(self, notes: list[Note] | None = None, tempo_bpm: int = 120):
+        if tempo_bpm <= 0:
+            raise MediaModelError(f"tempo must be positive, got {tempo_bpm}")
+        self.tempo_bpm = tempo_bpm
+        self.notes: list[Note] = sorted(
+            notes or [], key=lambda n: (n.start, n.pitch)
+        )
+
+    def add(self, note: Note) -> "Score":
+        self.notes.append(note)
+        self.notes.sort(key=lambda n: (n.start, n.pitch))
+        return self
+
+    def add_melody(self, pitches: list[str | int], start: int = 0,
+                   note_ticks: int = PPQ, gap_ticks: int = 0,
+                   velocity: int = 80) -> "Score":
+        """Append a melody of equal-length notes (with optional rests)."""
+        tick = start
+        for entry in pitches:
+            if entry is None:
+                tick += note_ticks + gap_ticks  # an explicit rest
+                continue
+            pitch = entry if isinstance(entry, int) else pitch_from_name(entry)
+            self.add(Note(pitch, tick, note_ticks, velocity))
+            tick += note_ticks + gap_ticks
+        return self
+
+    def add_chord(self, pitches: list[str | int], start: int,
+                  duration: int = PPQ, velocity: int = 80) -> "Score":
+        """Add simultaneous notes — overlapping stream elements."""
+        for entry in pitches:
+            pitch = entry if isinstance(entry, int) else pitch_from_name(entry)
+            self.add(Note(pitch, start, duration, velocity))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.notes)
+
+    def span_ticks(self) -> int:
+        return max((n.end for n in self.notes), default=0)
+
+    def seconds_per_tick(self) -> float:
+        """Wall seconds per tick at this tempo."""
+        return 60.0 / (self.tempo_bpm * PPQ)
+
+    def duration_seconds(self) -> float:
+        return self.span_ticks() * self.seconds_per_tick()
+
+    # -- model conversions ------------------------------------------------------
+
+    def to_stream(self) -> TimedStream:
+        """A non-continuous timed stream of notes (score-music type)."""
+        media_type = media_type_registry.get("score-music")
+        tuples = []
+        for note in self.notes:
+            descriptor = media_type.make_element_descriptor(
+                pitch=note.pitch, velocity=note.velocity
+            )
+            element = MediaElement(payload=note, size=8, descriptor=descriptor)
+            tuples.append(TimedTuple(element, note.start, note.duration))
+        return TimedStream(media_type, tuples, validate_constraints=False)
+
+    def to_midi_events(self) -> list[MidiEvent]:
+        """Note on/off event pairs, time-ordered (event-based stream)."""
+        events = []
+        for note in self.notes:
+            events.append(MidiEvent.note_on(
+                note.start, note.pitch, note.velocity, note.channel
+            ))
+            events.append(MidiEvent.note_off(note.end, note.pitch, note.channel))
+        events.sort(key=lambda e: (e.tick, e.status, e.data1))
+        return events
+
+    def to_event_stream(self) -> TimedStream:
+        """An event-based timed stream of MIDI events (midi-music type)."""
+        media_type = media_type_registry.get("midi-music")
+        tuples = []
+        for event in self.to_midi_events():
+            descriptor = media_type.make_element_descriptor(
+                status=event.status | event.channel, channel=event.channel
+            )
+            element = MediaElement(
+                payload=event, size=event.encoded_size(), descriptor=descriptor
+            )
+            tuples.append(TimedTuple(element, event.tick, 0))
+        return TimedStream(media_type, tuples, validate_constraints=False)
+
+    @classmethod
+    def from_midi_events(cls, events: list[MidiEvent],
+                         tempo_bpm: int = 120) -> "Score":
+        """Pair note-on/note-off events back into notes."""
+        open_notes: dict[tuple[int, int], MidiEvent] = {}
+        notes = []
+        for event in sorted(events, key=lambda e: e.tick):
+            key = (event.channel, event.data1)
+            if event.is_note_on:
+                open_notes[key] = event
+            elif event.is_note_off and key in open_notes:
+                start_event = open_notes.pop(key)
+                duration = event.tick - start_event.tick
+                if duration > 0:
+                    notes.append(Note(
+                        start_event.data1, start_event.tick, duration,
+                        start_event.data2 or 64, start_event.channel,
+                    ))
+        return cls(notes, tempo_bpm)
+
+    def transpose(self, semitones: int) -> "Score":
+        """A new score shifted in pitch (a content-changing derivation)."""
+        return Score(
+            [Note(n.pitch + semitones, n.start, n.duration, n.velocity, n.channel)
+             for n in self.notes],
+            self.tempo_bpm,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Score({len(self.notes)} notes, {self.tempo_bpm} bpm, "
+            f"{self.duration_seconds():.2f}s)"
+        )
+
+
+def demo_score() -> Score:
+    """A small melody + chords score used by examples and tests."""
+    score = Score(tempo_bpm=120)
+    score.add_melody(["C4", "E4", "G4", None, "A4", "G4"],
+                     note_ticks=PPQ // 2, gap_ticks=0)
+    score.add_chord(["C3", "E3", "G3"], start=3 * PPQ, duration=PPQ)
+    score.add_chord(["F3", "A3", "C4"], start=4 * PPQ, duration=PPQ)
+    return score

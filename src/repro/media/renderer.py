@@ -1,0 +1,97 @@
+"""Animation rendering: the second type-changing derivation.
+
+"Similarly video sequences are derived (via rendering) from
+representations of animation." (§6) The renderer replays an
+:class:`~repro.media.animation.AnimationScene`'s operations frame by
+frame and rasterizes sprites over the background, producing RGB frames.
+
+Registered as ``"animation-render"`` in the derivation registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.derivation import (
+    Derivation,
+    DerivationCategory,
+    derivation_registry,
+)
+from repro.core.media_types import MediaKind
+from repro.errors import DerivationError
+from repro.media.animation import AnimationScene
+
+
+def render_frame(scene: AnimationScene, tick: int) -> np.ndarray:
+    """Rasterize the scene state at ``tick`` into an RGB frame."""
+    frame = np.empty((scene.height, scene.width, 3), dtype=np.uint8)
+    frame[:] = np.array(scene.background, dtype=np.uint8)
+    for name, (x, y, color) in sorted(scene.positions_at(tick).items()):
+        sprite = scene.sprites[name]
+        x0 = max(0, min(scene.width, x))
+        y0 = max(0, min(scene.height, y))
+        x1 = max(0, min(scene.width, x + sprite.width))
+        y1 = max(0, min(scene.height, y + sprite.height))
+        frame[y0:y1, x0:x1] = np.array(color, dtype=np.uint8)
+    return frame
+
+
+def render_animation(scene: AnimationScene,
+                     frame_count: int | None = None) -> list[np.ndarray]:
+    """Render the whole scene to a frame sequence (one frame per tick)."""
+    count = frame_count if frame_count is not None else scene.span_ticks() + 1
+    if count < 0:
+        raise DerivationError("frame_count must be non-negative")
+    return [render_frame(scene, tick) for tick in range(count)]
+
+
+def _expand_animation_render(inputs, params):
+    from repro.media.objects import video_object
+
+    source = inputs[0]
+    scene = getattr(source, "scene", None)
+    if scene is None:
+        raise DerivationError(
+            f"{source.name} carries no animation scene to render"
+        )
+    frames = render_animation(scene, params.get("frame_count"))
+    return video_object(
+        frames, f"{source.name}-video",
+        media_type_name=params.get("media_type", "pal-video"),
+        quality_factor=params.get("quality_factor", "production quality"),
+    )
+
+
+def _describe_animation_render(inputs, params):
+    from repro.core.media_types import media_type_registry
+
+    source = inputs[0]
+    media_type = media_type_registry.get(params.get("media_type", "pal-video"))
+    system = media_type.time_system
+    frame_count = params.get("frame_count")
+    if frame_count is None:
+        scene = getattr(source, "scene", None)
+        frame_count = (scene.span_ticks() + 1) if scene else 0
+    descriptor = media_type.make_media_descriptor(
+        frame_rate=system.frequency,
+        frame_width=source.descriptor["frame_width"],
+        frame_height=source.descriptor["frame_height"],
+        frame_depth=24,
+        color_model="RGB",
+        encoding="RGB raw",
+        quality_factor=params.get("quality_factor", "production quality"),
+        duration=system.to_continuous(frame_count),
+    )
+    return media_type, descriptor
+
+
+ANIMATION_RENDER = derivation_registry.register(Derivation(
+    name="animation-render",
+    category=DerivationCategory.CHANGE_OF_TYPE,
+    input_kinds=(MediaKind.ANIMATION,),
+    result_kind=MediaKind.VIDEO,
+    expand=_expand_animation_render,
+    describe=_describe_animation_render,
+    optional_params=("frame_count", "media_type", "quality_factor"),
+    doc="§6: video derived via rendering from representations of animation.",
+))

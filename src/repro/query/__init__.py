@@ -1,0 +1,38 @@
+"""Media database catalog and query API.
+
+§1.2 motivates structure with queries: "consider a digital movie with
+audio tracks in different languages. If the movie is represented
+structurally ... it is possible to issue queries which select a specific
+sound track, or select a specific duration, or perhaps retrieve frames at
+a specific visual fidelity."
+
+* :mod:`repro.query.database` — the catalog: BLOBs, interpretations,
+  media objects with domain attributes, multimedia objects, provenance;
+* :mod:`repro.query.query` — those three §1.2 queries (and more) over
+  the catalog;
+* :mod:`repro.query.temporal` — temporal predicates over compositions.
+"""
+
+from repro.query.database import MediaDatabase
+from repro.query.query import (
+    frames_at_fidelity,
+    select_duration,
+    select_objects,
+    select_track,
+)
+from repro.query.temporal import (
+    components_during,
+    components_overlapping,
+    relation_matrix,
+)
+
+__all__ = [
+    "MediaDatabase",
+    "frames_at_fidelity",
+    "select_duration",
+    "select_objects",
+    "select_track",
+    "components_during",
+    "components_overlapping",
+    "relation_matrix",
+]

@@ -1,0 +1,171 @@
+"""Authorization and rights tracking for media objects.
+
+The paper's conclusion lists this as open work: "Authorization and
+electronic copyright need to be addressed." This module provides the
+mechanism the derivation model makes natural: rights attach to media
+objects, and because every derived object records its antecedents,
+*effective* rights are computed over the provenance graph — you may not
+present a composite whose raw material you may not present.
+
+Operations form a small lattice: READ < PRESENT, READ < DERIVE < EXPORT
+(exporting implies the right to derive; presenting and deriving are
+incomparable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.media_object import DerivedMediaObject, MediaObject
+from repro.errors import QueryError
+
+
+class Operation(enum.Enum):
+    """Rights-controlled operations on media objects."""
+
+    READ = "read"
+    PRESENT = "present"
+    DERIVE = "derive"
+    EXPORT = "export"
+
+
+#: Operations implied by holding each operation's right.
+_IMPLIES = {
+    Operation.READ: {Operation.READ},
+    Operation.PRESENT: {Operation.PRESENT, Operation.READ},
+    Operation.DERIVE: {Operation.DERIVE, Operation.READ},
+    Operation.EXPORT: {Operation.EXPORT, Operation.DERIVE, Operation.READ},
+}
+
+
+class AuthorizationError(QueryError):
+    """An operation was attempted without the necessary right."""
+
+
+@dataclass
+class RightsRecord:
+    """Per-object rights: holder, grants, and a copyright notice."""
+
+    holder: str
+    notice: str = ""
+    grants: dict[str, set[Operation]] = field(default_factory=dict)
+
+    def granted_to(self, principal: str) -> set[Operation]:
+        direct = self.grants.get(principal, set())
+        effective: set[Operation] = set()
+        for operation in direct:
+            effective |= _IMPLIES[operation]
+        return effective
+
+
+class RightsRegistry:
+    """Rights records keyed by media object, with provenance-aware checks."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, RightsRecord] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, obj: MediaObject, holder: str,
+                 notice: str = "") -> RightsRecord:
+        """Declare ``holder`` as the rights holder of ``obj``.
+
+        Holders implicitly hold every right on their own material.
+        """
+        if obj.object_id in self._records:
+            raise AuthorizationError(
+                f"{obj.name!r} already has a rights record"
+            )
+        record = RightsRecord(holder=holder, notice=notice)
+        record.grants[holder] = set(Operation)
+        self._records[obj.object_id] = record
+        return record
+
+    def record_of(self, obj: MediaObject) -> RightsRecord | None:
+        return self._records.get(obj.object_id)
+
+    def grant(self, obj: MediaObject, principal: str,
+              *operations: Operation) -> None:
+        record = self._require_record(obj)
+        record.grants.setdefault(principal, set()).update(operations)
+
+    def revoke(self, obj: MediaObject, principal: str) -> None:
+        record = self._require_record(obj)
+        record.grants.pop(principal, None)
+
+    def _require_record(self, obj: MediaObject) -> RightsRecord:
+        record = self._records.get(obj.object_id)
+        if record is None:
+            raise AuthorizationError(f"{obj.name!r} has no rights record")
+        return record
+
+    # -- checks -------------------------------------------------------------------
+
+    def _governing_objects(self, obj: MediaObject) -> list[MediaObject]:
+        """The objects whose rights govern ``obj``.
+
+        A derived object with its own record is governed by that record
+        *and* its antecedents' (a license on the composite cannot launder
+        away the raw material's restrictions). An unrecorded derived
+        object is governed purely by its antecedents.
+        """
+        governing = []
+        if obj.object_id in self._records:
+            governing.append(obj)
+        if isinstance(obj, DerivedMediaObject):
+            for parent in obj.derivation_object.inputs:
+                governing.extend(self._governing_objects(parent))
+        elif obj.object_id not in self._records:
+            # A non-derived object with no record is unowned: implicitly
+            # public-domain within the database.
+            pass
+        return governing
+
+    def allowed(self, principal: str, obj: MediaObject,
+                operation: Operation) -> bool:
+        """Whether ``principal`` may perform ``operation`` on ``obj``."""
+        governing = self._governing_objects(obj)
+        for governed in governing:
+            record = self._records[governed.object_id]
+            if operation not in record.granted_to(principal):
+                return False
+        return True
+
+    def check(self, principal: str, obj: MediaObject,
+              operation: Operation) -> None:
+        """Raise :class:`AuthorizationError` unless allowed, naming the
+        blocking object."""
+        for governed in self._governing_objects(obj):
+            record = self._records[governed.object_id]
+            if operation not in record.granted_to(principal):
+                raise AuthorizationError(
+                    f"{principal!r} may not {operation.value} {obj.name!r}: "
+                    f"right withheld on {governed.name!r} "
+                    f"(rights holder {record.holder!r})"
+                )
+
+    def notices(self, obj: MediaObject) -> list[str]:
+        """All copyright notices governing ``obj`` (for display/export)."""
+        seen = []
+        for governed in self._governing_objects(obj):
+            notice = self._records[governed.object_id].notice
+            if notice and notice not in seen:
+                seen.append(notice)
+        return seen
+
+    def derive_checked(self, principal: str, derivation_name: str,
+                       inputs: list[MediaObject], params: dict,
+                       name: str | None = None) -> DerivedMediaObject:
+        """Create a derivation only if ``principal`` holds DERIVE on all
+        inputs; the result is registered to ``principal``."""
+        from repro.core.derivation import derivation_registry
+
+        for obj in inputs:
+            self.check(principal, obj, Operation.DERIVE)
+        derived = derivation_registry.get(derivation_name)(
+            inputs, params, name=name,
+        )
+        self.register(derived, principal,
+                      notice=f"derived work by {principal}")
+        return derived

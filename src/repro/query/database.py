@@ -1,0 +1,214 @@
+"""The media database catalog.
+
+The paper's VideoClip example (§4): "a VideoClip object could possess, in
+addition to character-valued attributes such as the title and name of the
+director, a video-valued attribute containing the actual content". The
+catalog models exactly that: media objects carry *domain attributes*
+(title, director, language, topic...) alongside their media-valued
+content, and multimedia objects, interpretations and the provenance graph
+are registered beside them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.blob.store import BlobStore
+from repro.core.composition import MultimediaObject
+from repro.core.interpretation import Interpretation
+from repro.core.media_object import MediaObject
+from repro.core.media_types import MediaKind
+from repro.core.provenance import ProvenanceGraph
+from repro.errors import CatalogError
+
+
+class CatalogEntry:
+    """One cataloged media object with its domain attributes."""
+
+    def __init__(self, obj: MediaObject, attributes: dict[str, Any]):
+        self.object = obj
+        self.attributes = dict(attributes)
+
+    def matches(self, **filters: Any) -> bool:
+        for key, expected in filters.items():
+            if self.attributes.get(key) != expected:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CatalogEntry({self.object.name!r}, {self.attributes})"
+
+
+class MediaDatabase:
+    """A catalog of BLOBs, interpretations, media and multimedia objects."""
+
+    def __init__(self, name: str = "media-db",
+                 blob_store: BlobStore | None = None):
+        self.name = name
+        self.blobs = blob_store or BlobStore()
+        self.provenance = ProvenanceGraph()
+        self._entries: dict[str, CatalogEntry] = {}
+        self._interpretations: dict[str, Interpretation] = {}
+        self._multimedia: dict[str, MultimediaObject] = {}
+
+    # -- media objects -----------------------------------------------------------
+
+    def add_object(self, obj: MediaObject, **attributes: Any) -> CatalogEntry:
+        """Catalog a media object with domain attributes.
+
+        The object's derivation lineage (if any) is registered in the
+        provenance graph automatically.
+        """
+        if obj.name in self._entries:
+            raise CatalogError(f"object {obj.name!r} already cataloged")
+        entry = CatalogEntry(obj, attributes)
+        self._entries[obj.name] = entry
+        self.provenance.register(obj)
+        return entry
+
+    def get_object(self, name: str) -> MediaObject:
+        return self._entry(name).object
+
+    def attributes_of(self, name: str) -> dict[str, Any]:
+        return dict(self._entry(name).attributes)
+
+    def set_attribute(self, name: str, key: str, value: Any) -> None:
+        self._entry(name).attributes[key] = value
+
+    def _entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(
+                f"no object named {name!r}; have: "
+                f"{', '.join(sorted(self._entries)) or '(none)'}"
+            ) from None
+
+    def objects(
+        self,
+        kind: MediaKind | None = None,
+        media_type: str | None = None,
+        where: Callable[[CatalogEntry], bool] | None = None,
+        **attribute_filters: Any,
+    ) -> list[MediaObject]:
+        """Select cataloged objects by kind, type and domain attributes."""
+        result = []
+        for entry in self._entries.values():
+            obj = entry.object
+            if kind is not None and obj.kind is not kind:
+                continue
+            if media_type is not None and obj.media_type.name != media_type:
+                continue
+            if not entry.matches(**attribute_filters):
+                continue
+            if where is not None and not where(entry):
+                continue
+            result.append(obj)
+        return sorted(result, key=lambda o: o.name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- interpretations ------------------------------------------------------------
+
+    def add_interpretation(self, interpretation: Interpretation) -> Interpretation:
+        """Catalog an interpretation and its sequences as media objects."""
+        if interpretation.name in self._interpretations:
+            raise CatalogError(
+                f"interpretation {interpretation.name!r} already cataloged"
+            )
+        interpretation.validate()
+        self._interpretations[interpretation.name] = interpretation
+        for obj in interpretation.media_objects():
+            if obj.name not in self._entries:
+                self.add_object(obj, interpretation=interpretation.name)
+        return interpretation
+
+    def get_interpretation(self, name: str) -> Interpretation:
+        try:
+            return self._interpretations[name]
+        except KeyError:
+            raise CatalogError(f"no interpretation named {name!r}") from None
+
+    def interpretations(self) -> list[str]:
+        return sorted(self._interpretations)
+
+    # -- multimedia objects -----------------------------------------------------------
+
+    def add_multimedia(self, multimedia: MultimediaObject) -> MultimediaObject:
+        if multimedia.name in self._multimedia:
+            raise CatalogError(
+                f"multimedia object {multimedia.name!r} already cataloged"
+            )
+        self._multimedia[multimedia.name] = multimedia
+        return multimedia
+
+    def get_multimedia(self, name: str) -> MultimediaObject:
+        try:
+            return self._multimedia[name]
+        except KeyError:
+            raise CatalogError(f"no multimedia object named {name!r}") from None
+
+    def multimedia(self) -> list[str]:
+        return sorted(self._multimedia)
+
+    # -- lineage queries ---------------------------------------------------------------
+
+    def lineage(self, name: str) -> list[MediaObject]:
+        """"Keep track of, and query, manipulations to media objects."""
+        return self.provenance.lineage(self.get_object(name))
+
+    def derived_from(self, name: str) -> list[MediaObject]:
+        return self.provenance.descendants(self.get_object(name))
+
+    # -- clip repositories --------------------------------------------------------
+
+    def ingest_directory(self, path, pattern: str = "*.rmf") -> list[str]:
+        """Ingest a directory of container files — §1.1's "clip media"
+        repositories, "often loosely organized collections of files",
+        brought under the catalog.
+
+        Each matching file is loaded as an interpretation named after the
+        file stem; its sequences are cataloged as ``<stem>/<sequence>``
+        (different clips routinely reuse track names like ``video1``)
+        with ``source_file`` attributes. Returns the interpretation
+        names added, in file order.
+        """
+        import glob
+        import os
+
+        from repro.storage.container import read_container
+
+        added = []
+        for file_path in sorted(glob.glob(os.path.join(str(path), pattern))):
+            stem = os.path.splitext(os.path.basename(file_path))[0]
+            if stem in self._interpretations:
+                raise CatalogError(
+                    f"interpretation {stem!r} already cataloged; "
+                    f"cannot ingest {file_path}"
+                )
+            interpretation = read_container(file_path)
+            interpretation.name = stem
+            interpretation.validate()
+            self._interpretations[stem] = interpretation
+            for obj in interpretation.media_objects():
+                obj.name = f"{stem}/{obj.name}"
+                self.add_object(
+                    obj, interpretation=stem, source_file=file_path,
+                )
+            added.append(stem)
+        return added
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "objects": len(self._entries),
+            "interpretations": len(self._interpretations),
+            "multimedia_objects": len(self._multimedia),
+            "derived_objects": sum(
+                1 for e in self._entries.values() if e.object.is_derived
+            ),
+            "blob_store": self.blobs.stats(),
+        }

@@ -1,0 +1,119 @@
+"""Element-level queries over interpretations.
+
+§1.2's argument is that structure enables querying *inside* media
+objects. These functions query at element granularity: by time range, by
+element-descriptor predicate (e.g. key frames of an inter-coded stream),
+and by size statistics — all through the placement tables, reading BLOB
+bytes only when the caller asks for payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.descriptors import ElementDescriptor
+from repro.core.interpretation import Interpretation, PlacementEntry
+from repro.core.rational import as_rational
+from repro.errors import QueryError
+
+
+def elements_in_range(
+    interpretation: Interpretation,
+    name: str,
+    start_seconds,
+    end_seconds,
+) -> list[PlacementEntry]:
+    """Placement rows of elements presented within ``[start, end)``.
+
+    Elements partially inside the range are included (presentation
+    needs them); zero-duration events are included when their instant
+    falls inside.
+    """
+    sequence = interpretation.sequence(name)
+    begin = as_rational(start_seconds)
+    end = as_rational(end_seconds)
+    if end < begin:
+        raise QueryError(f"empty range [{begin}, {end})")
+    system = sequence.time_system
+    result = []
+    for entry in sequence:
+        element_start = system.to_continuous(entry.start)
+        element_end = system.to_continuous(entry.end)
+        if entry.duration == 0:
+            if begin <= element_start < end:
+                result.append(entry)
+        elif element_start < end and element_end > begin:
+            result.append(entry)
+    return result
+
+
+def elements_where(
+    interpretation: Interpretation,
+    name: str,
+    predicate: Callable[[ElementDescriptor | None], bool],
+) -> list[PlacementEntry]:
+    """Placement rows whose element descriptor satisfies ``predicate``."""
+    return [
+        entry for entry in interpretation.sequence(name)
+        if predicate(entry.element_descriptor)
+    ]
+
+
+def key_elements(interpretation: Interpretation,
+                 name: str) -> list[PlacementEntry]:
+    """Key (I) elements of an inter-coded sequence.
+
+    Sequences whose elements carry no ``frame_kind`` are entirely
+    intra-coded: every element is a key.
+    """
+    sequence = interpretation.sequence(name)
+    keys = []
+    saw_kind = False
+    for entry in sequence:
+        descriptor = entry.element_descriptor
+        kind = descriptor.get("frame_kind") if descriptor else None
+        if kind is not None:
+            saw_kind = True
+            if kind == "I":
+                keys.append(entry)
+    if not saw_kind:
+        return list(sequence.entries)
+    return keys
+
+
+def size_statistics(interpretation: Interpretation, name: str) -> dict[str, Any]:
+    """Element-size statistics for resource planning (§4.1's "measure of
+    data rate variation").
+
+    Returns min/max/mean sizes, total bytes, and the peak-to-mean ratio
+    — 1.0 for uniform streams, larger for bursty compressed video.
+    """
+    sequence = interpretation.sequence(name)
+    sizes = [entry.size for entry in sequence]
+    if not sizes:
+        raise QueryError(f"sequence {name!r} is empty")
+    total = sum(sizes)
+    mean = total / len(sizes)
+    return {
+        "elements": len(sizes),
+        "total_bytes": total,
+        "min_size": min(sizes),
+        "max_size": max(sizes),
+        "mean_size": mean,
+        "burstiness": max(sizes) / mean if mean else 0.0,
+    }
+
+
+def bytes_for_range(
+    interpretation: Interpretation,
+    name: str,
+    start_seconds,
+    end_seconds,
+) -> int:
+    """How many BLOB bytes presenting ``[start, end)`` requires."""
+    return sum(
+        entry.size
+        for entry in elements_in_range(
+            interpretation, name, start_seconds, end_seconds,
+        )
+    )

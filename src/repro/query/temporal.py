@@ -1,0 +1,71 @@
+"""Temporal predicates over multimedia compositions.
+
+Queries in the style of "what is on screen while the narration plays":
+Allen-relation filters over a multimedia object's timeline (Definition 7
+plus the interval algebra of :mod:`repro.core.intervals`).
+"""
+
+from __future__ import annotations
+
+from repro.core.composition import MultimediaObject
+from repro.core.intervals import Interval, IntervalRelation, relate
+from repro.core.rational import as_rational
+from repro.errors import QueryError
+
+
+def components_overlapping(multimedia: MultimediaObject,
+                           label: str) -> list[str]:
+    """Labels of components sharing any presentation time with ``label``."""
+    target = _interval_of(multimedia, label)
+    result = []
+    for other_label, interval in multimedia.timeline():
+        if other_label == label:
+            continue
+        if interval.intersects(target):
+            result.append(other_label)
+    return result
+
+
+def components_during(multimedia: MultimediaObject, start, end) -> list[str]:
+    """Labels of components presented (at least partly) within [start, end)."""
+    window = Interval(as_rational(start), as_rational(end))
+    return [
+        label for label, interval in multimedia.timeline()
+        if interval.intersects(window)
+    ]
+
+
+def relation_matrix(
+    multimedia: MultimediaObject,
+) -> dict[tuple[str, str], IntervalRelation]:
+    """The Allen relation between every ordered pair of components."""
+    timeline = multimedia.timeline()
+    matrix: dict[tuple[str, str], IntervalRelation] = {}
+    for label_a, interval_a in timeline:
+        for label_b, interval_b in timeline:
+            if label_a == label_b:
+                continue
+            matrix[(label_a, label_b)] = relate(interval_a, interval_b)
+    return matrix
+
+
+def gaps_in_presentation(multimedia: MultimediaObject) -> list[Interval]:
+    """Timeline ranges where no component is presented."""
+    timeline = sorted(multimedia.timeline(), key=lambda x: x[1].start)
+    gaps: list[Interval] = []
+    cursor = None
+    for _, interval in timeline:
+        if cursor is None:
+            cursor = interval.end
+            continue
+        if interval.start > cursor:
+            gaps.append(Interval(cursor, interval.start))
+        cursor = max(cursor, interval.end)
+    return gaps
+
+
+def _interval_of(multimedia: MultimediaObject, label: str) -> Interval:
+    for other_label, interval in multimedia.timeline():
+        if other_label == label:
+            return interval
+    raise QueryError(f"{multimedia.name!r} has no component {label!r}")

@@ -1,0 +1,178 @@
+"""RMF: a serializable container bundling a BLOB with its interpretation.
+
+The paper recommends that a BLOB have "a single, complete, interpretation
+which is built up as the BLOB is captured or created and then permanently
+associated with the BLOB" (§4.1). A container file is that permanent
+association: one header describing every sequence (media descriptor, time
+system, placement table) followed by the raw BLOB bytes — a movie file in
+the QuickTime sense, reduced to essentials.
+
+Format::
+
+    magic 'RMF1' | header_length u32 BE | header JSON (UTF-8) | blob bytes
+
+Descriptor values that JSON cannot express directly (rationals, tuples)
+are wrapped in tagged objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Any
+
+from repro.blob.blob import MemoryBlob
+from repro.core.descriptors import ElementDescriptor, MediaDescriptor
+from repro.core.interpretation import (
+    Interpretation,
+    InterpretedSequence,
+    PlacementEntry,
+)
+from repro.core.media_types import media_type_registry
+from repro.core.rational import Rational
+from repro.core.time_system import DiscreteTimeSystem
+from repro.errors import ContainerFormatError
+
+_MAGIC = b"RMF1"
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Rational):
+        return {"$rational": [value.numerator, value.denominator]}
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ContainerFormatError(
+        f"cannot serialize descriptor value of type {type(value).__name__}"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$rational" in value:
+            numerator, denominator = value["$rational"]
+            return Rational(numerator, denominator)
+        if "$tuple" in value:
+            return tuple(_decode_value(v) for v in value["$tuple"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def _encode_sequence(sequence: InterpretedSequence) -> dict:
+    return {
+        "name": sequence.name,
+        "media_type": sequence.media_type.name,
+        "time_system": {
+            "frequency": [
+                sequence.time_system.frequency.numerator,
+                sequence.time_system.frequency.denominator,
+            ],
+            "name": sequence.time_system.name,
+        },
+        "descriptor": {
+            k: _encode_value(v) for k, v in sequence.media_descriptor.items()
+        },
+        "entries": [
+            [
+                e.element_number, e.start, e.duration, e.size, e.blob_offset,
+                None if e.element_descriptor is None
+                else {k: _encode_value(v) for k, v in e.element_descriptor.items()},
+            ]
+            for e in sequence.entries
+        ],
+    }
+
+
+def _decode_sequence(payload: dict) -> InterpretedSequence:
+    media_type = media_type_registry.get(payload["media_type"])
+    ts = payload["time_system"]
+    time_system = DiscreteTimeSystem(
+        Rational(ts["frequency"][0], ts["frequency"][1]), ts.get("name", "")
+    )
+    descriptor = MediaDescriptor({
+        k: _decode_value(v) for k, v in payload["descriptor"].items()
+    })
+    entries = []
+    for number, start, duration, size, offset, element_descriptor in payload["entries"]:
+        descriptor_obj = (
+            None if element_descriptor is None
+            else ElementDescriptor({
+                k: _decode_value(v) for k, v in element_descriptor.items()
+            })
+        )
+        entries.append(PlacementEntry(
+            element_number=number, start=start, duration=duration,
+            size=size, blob_offset=offset, element_descriptor=descriptor_obj,
+        ))
+    return InterpretedSequence(
+        payload["name"], media_type, descriptor, entries, time_system
+    )
+
+
+def serialize_container(interpretation: Interpretation) -> bytes:
+    """Serialize an interpretation and its BLOB to container bytes."""
+    interpretation.validate()
+    header = {
+        "name": interpretation.name,
+        "blob_length": len(interpretation.blob),
+        "sequences": [
+            _encode_sequence(interpretation.sequence(name))
+            for name in interpretation.names()
+        ],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join([
+        _MAGIC,
+        struct.pack(">I", len(header_bytes)),
+        header_bytes,
+        interpretation.blob.read_all(),
+    ])
+
+
+def deserialize_container(data: bytes) -> Interpretation:
+    """Invert :func:`serialize_container` (BLOB loads into memory)."""
+    if len(data) < 8 or data[:4] != _MAGIC:
+        raise ContainerFormatError("not an RMF container (bad magic)")
+    (header_length,) = struct.unpack_from(">I", data, 4)
+    header_end = 8 + header_length
+    if header_end > len(data):
+        raise ContainerFormatError("truncated container header")
+    try:
+        header = json.loads(data[8:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ContainerFormatError(f"bad container header: {exc}") from exc
+    blob_bytes = data[header_end:]
+    if len(blob_bytes) != header.get("blob_length"):
+        raise ContainerFormatError(
+            f"BLOB length mismatch: header says {header.get('blob_length')}, "
+            f"file holds {len(blob_bytes)}"
+        )
+    interpretation = Interpretation(
+        MemoryBlob(blob_bytes), header.get("name", "container")
+    )
+    for sequence_payload in header.get("sequences", []):
+        interpretation.add_sequence(_decode_sequence(sequence_payload))
+    interpretation.validate()
+    return interpretation
+
+
+def write_container(interpretation: Interpretation, path: str | os.PathLike) -> int:
+    """Write a container file; returns bytes written."""
+    data = serialize_container(interpretation)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def read_container(path: str | os.PathLike) -> Interpretation:
+    """Read a container file back into an in-memory interpretation."""
+    with open(path, "rb") as handle:
+        return deserialize_container(handle.read())

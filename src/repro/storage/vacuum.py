@@ -1,0 +1,139 @@
+"""BLOB compaction: reclaim bytes no interpretation references.
+
+§4.1's view mechanics (restricting and editing interpretations) leave
+BLOB regions that no surviving placement row references — cut footage,
+dropped tracks, CD-I padding. Compaction is the storage manager's answer:
+copy only the referenced spans into a new BLOB and rewrite every
+placement table to the new offsets.
+
+The operation preserves the paper's safety rule: nothing is modified in
+place. The original BLOB and interpretations stay intact; the caller
+decides when to drop them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blob.blob import Blob, MemoryBlob
+from repro.core.interpretation import (
+    Interpretation,
+    PlacementEntry,
+)
+from repro.errors import StorageError
+
+
+@dataclass
+class VacuumStats:
+    """Outcome of one compaction."""
+
+    original_bytes: int
+    compacted_bytes: int
+    referenced_bytes: int
+    sequences: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.original_bytes - self.compacted_bytes
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        if not self.original_bytes:
+            return 0.0
+        return self.reclaimed_bytes / self.original_bytes
+
+
+def referenced_spans(
+    interpretations: list[Interpretation],
+) -> list[tuple[int, int]]:
+    """Merged, sorted ``[begin, end)`` spans referenced by any placement."""
+    spans = sorted(
+        (entry.blob_offset, entry.blob_offset + entry.size)
+        for interpretation in interpretations
+        for name in interpretation.names()
+        for entry in interpretation.sequence(name)
+    )
+    merged: list[tuple[int, int]] = []
+    for begin, end in spans:
+        if merged and begin <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((begin, end))
+    return merged
+
+
+def compact(
+    blob: Blob,
+    interpretations: list[Interpretation],
+    target: Blob | None = None,
+) -> tuple[Blob, list[Interpretation], VacuumStats]:
+    """Copy referenced spans of ``blob`` into a fresh BLOB.
+
+    Returns ``(new_blob, new_interpretations, stats)``. Every returned
+    interpretation mirrors its source (same sequences, descriptors,
+    timing, element order) with placements remapped; overlapping
+    references (two views sharing bytes) are copied once.
+
+    Raises :class:`StorageError` if an interpretation references another
+    BLOB or a span outside this one.
+    """
+    if not interpretations:
+        raise StorageError("compact needs at least one interpretation")
+    for interpretation in interpretations:
+        if interpretation.blob is not blob:
+            raise StorageError(
+                f"interpretation {interpretation.name!r} is over a "
+                "different BLOB"
+            )
+        interpretation.validate()
+
+    spans = referenced_spans(interpretations)
+    new_blob = target if target is not None else MemoryBlob()
+    offset_map: dict[int, int] = {}
+    referenced = 0
+    for begin, end in spans:
+        new_offset = new_blob.append(blob.read(begin, end - begin))
+        offset_map[begin] = new_offset
+        referenced += end - begin
+
+    span_begins = [begin for begin, _ in spans]
+
+    def remap(old_offset: int) -> int:
+        import bisect
+
+        index = bisect.bisect_right(span_begins, old_offset) - 1
+        begin, end = spans[index]
+        return offset_map[begin] + (old_offset - begin)
+
+    new_interpretations = []
+    sequence_count = 0
+    for interpretation in interpretations:
+        rebuilt = Interpretation(new_blob, f"{interpretation.name}-compacted")
+        for name in interpretation.names():
+            sequence = interpretation.sequence(name)
+            sequence_count += 1
+            rebuilt.add(
+                name, sequence.media_type, sequence.media_descriptor,
+                [
+                    PlacementEntry(
+                        element_number=entry.element_number,
+                        start=entry.start,
+                        duration=entry.duration,
+                        size=entry.size,
+                        blob_offset=remap(entry.blob_offset),
+                        element_descriptor=entry.element_descriptor,
+                    )
+                    for entry in sequence
+                ],
+                time_system=sequence.time_system,
+            )
+        rebuilt.validate()
+        new_interpretations.append(rebuilt)
+
+    stats = VacuumStats(
+        original_bytes=len(blob),
+        compacted_bytes=len(new_blob),
+        referenced_bytes=referenced,
+        sequences=sequence_count,
+    )
+    return new_blob, new_interpretations, stats

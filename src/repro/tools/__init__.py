@@ -1,0 +1,5 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.inspect <file.rmf>`` — inspect a container:
+  sequences, descriptors, placement tables, categories, playback check.
+"""

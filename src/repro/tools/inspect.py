@@ -1,0 +1,94 @@
+"""Inspect an RMF container file.
+
+Usage::
+
+    python -m repro.tools.inspect movie.rmf [--table NAME] [--play BANDWIDTH]
+
+Prints the interpretation summary (sequences, descriptors, categories),
+optionally one sequence's placement table, and optionally a simulated
+playback report at the given bandwidth (bytes/second).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.reporting import format_rate, table_text
+from repro.core.interpretation import Interpretation
+from repro.engine.player import CostModel, Player
+from repro.storage.container import read_container
+
+
+def describe_interpretation(interpretation: Interpretation) -> str:
+    """Full human-readable description of a container's contents."""
+    lines = [interpretation.describe(), ""]
+    for name in interpretation.names():
+        sequence = interpretation.sequence(name)
+        stream = interpretation.materialize(name, read_payloads=False)
+        descriptor = sequence.media_descriptor
+        lines.append(f"{name}:")
+        lines.append(f"  media type : {sequence.media_type.name}")
+        lines.append(f"  time system: {sequence.time_system}")
+        lines.append(f"  category   : {stream.category_label()}")
+        lines.append(
+            f"  elements   : {len(sequence)}, "
+            f"{sequence.total_size():,} bytes, "
+            f"span {stream.duration_seconds().to_timestamp()}"
+        )
+        for key in ("encoding", "quality_factor", "average_data_rate"):
+            if key in descriptor:
+                value = descriptor[key]
+                if key == "average_data_rate":
+                    value = format_rate(float(value))
+                lines.append(f"  {key:11s}: {value}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def placement_table_text(interpretation: Interpretation, name: str,
+                         limit: int = 20) -> str:
+    """One sequence's placement table (first ``limit`` rows)."""
+    sequence = interpretation.sequence(name)
+    rows = sequence.table()[:limit]
+    suffix = "" if len(sequence) <= limit else f" (of {len(sequence)})"
+    return table_text(
+        sequence.table_columns(), rows,
+        title=f"{name} placement table, first {len(rows)} rows{suffix}",
+    )
+
+
+def playback_text(interpretation: Interpretation, bandwidth: int) -> str:
+    report = Player(CostModel(bandwidth=bandwidth)).play(interpretation)
+    return f"playback at {format_rate(bandwidth)}: {report.summary()}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.inspect",
+        description="Inspect an RMF media container.",
+    )
+    parser.add_argument("path", help="container file (.rmf)")
+    parser.add_argument("--table", metavar="NAME",
+                        help="print NAME's placement table")
+    parser.add_argument("--play", metavar="BANDWIDTH", type=int,
+                        help="simulate playback at BANDWIDTH bytes/second")
+    args = parser.parse_args(argv)
+
+    try:
+        interpretation = read_container(args.path)
+    except (OSError, Exception) as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(describe_interpretation(interpretation))
+    if args.table:
+        print(placement_table_text(interpretation, args.table))
+        print()
+    if args.play:
+        print(playback_text(interpretation, args.play))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Tests for BLOBs (Definition 4)."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob, PagedBlob
+from repro.blob.pages import MemoryPager, PageStore
+from repro.errors import BlobBoundsError, BlobError
+
+
+@pytest.fixture(params=["memory", "paged"])
+def blob(request):
+    """Both BLOB implementations satisfy the same Definition 4 contract."""
+    if request.param == "memory":
+        return MemoryBlob()
+    return PagedBlob(PageStore(MemoryPager(page_size=16)))
+
+
+class TestDefinition4Contract:
+    def test_starts_empty(self, blob):
+        assert len(blob) == 0
+
+    def test_append_returns_offset(self, blob):
+        assert blob.append(b"hello") == 0
+        assert blob.append(b"world") == 5
+        assert len(blob) == 10
+
+    def test_read(self, blob):
+        blob.append(b"hello world")
+        assert blob.read(0, 5) == b"hello"
+        assert blob.read(6, 5) == b"world"
+
+    def test_read_all(self, blob):
+        blob.append(b"abc")
+        assert blob.read_all() == b"abc"
+
+    def test_out_of_bounds_read_rejected(self, blob):
+        blob.append(b"abc")
+        with pytest.raises(BlobBoundsError):
+            blob.read(0, 4)
+        with pytest.raises(BlobBoundsError):
+            blob.read(3, 1)
+        with pytest.raises(BlobBoundsError):
+            blob.read(-1, 1)
+
+    def test_empty_read_at_end_ok(self, blob):
+        blob.append(b"abc")
+        assert blob.read(3, 0) == b""
+
+    def test_large_append_roundtrip(self, blob):
+        data = bytes(range(256)) * 40  # 10240 bytes, crosses many pages
+        blob.append(data)
+        assert blob.read(0, len(data)) == data
+
+    def test_read_across_boundaries(self, blob):
+        blob.append(bytes(range(100)))
+        assert blob.read(10, 30) == bytes(range(10, 40))
+
+
+class TestPagedBlobSpecifics:
+    def test_page_chain_growth(self):
+        store = PageStore(MemoryPager(page_size=16))
+        blob = PagedBlob(store)
+        blob.append(b"x" * 40)
+        assert len(blob.pages) == 3
+
+    def test_fragmentation_from_interleaved_growth(self):
+        # Two blobs growing together fragment each other's chains —
+        # the "BLOB ... may be fragmented" case.
+        store = PageStore(MemoryPager(page_size=16))
+        a = PagedBlob(store)
+        b = PagedBlob(store)
+        for _ in range(4):
+            a.append(b"a" * 16)
+            b.append(b"b" * 16)
+        assert a.fragmentation() == 1.0
+        assert b.fragmentation() == 1.0
+        assert a.read_all() == b"a" * 64
+        assert b.read_all() == b"b" * 64
+
+    def test_contiguous_when_alone(self):
+        store = PageStore(MemoryPager(page_size=16))
+        blob = PagedBlob(store)
+        blob.append(b"z" * 64)
+        assert blob.fragmentation() == 0.0
+
+    def test_release_returns_pages(self):
+        store = PageStore(MemoryPager(page_size=16))
+        blob = PagedBlob(store)
+        blob.append(b"x" * 64)
+        blob.release()
+        assert len(blob) == 0
+        assert store.free_pages == 4
+
+    def test_inconsistent_length_rejected(self):
+        store = PageStore(MemoryPager(page_size=16))
+        with pytest.raises(BlobError):
+            PagedBlob(store, pages=[], length=5)
+
+    def test_partial_page_append_then_more(self):
+        store = PageStore(MemoryPager(page_size=16))
+        blob = PagedBlob(store)
+        blob.append(b"x" * 10)
+        blob.append(b"y" * 10)
+        assert blob.read_all() == b"x" * 10 + b"y" * 10
+        assert len(blob.pages) == 2

@@ -1,0 +1,91 @@
+"""Tests for the paged backing store."""
+
+import pytest
+
+from repro.blob.pages import PAGE_SIZE, FilePager, MemoryPager, PageStore
+from repro.errors import BlobError
+
+
+class TestMemoryPager:
+    def test_grow_and_read(self):
+        pager = MemoryPager(page_size=64)
+        assert pager.grow() == 0
+        assert pager.grow() == 1
+        assert pager.read_page(0) == b"\x00" * 64
+
+    def test_write_at_offset(self):
+        pager = MemoryPager(page_size=64)
+        pager.grow()
+        pager.write_page(0, b"abc", offset=10)
+        assert pager.read_page(0)[10:13] == b"abc"
+
+    def test_write_overflow_rejected(self):
+        pager = MemoryPager(page_size=16)
+        pager.grow()
+        with pytest.raises(BlobError, match="exceeds"):
+            pager.write_page(0, b"x" * 17)
+        with pytest.raises(BlobError):
+            pager.write_page(0, b"x" * 10, offset=10)
+
+    def test_out_of_range(self):
+        pager = MemoryPager()
+        with pytest.raises(BlobError, match="out of range"):
+            pager.read_page(0)
+
+
+class TestFilePager:
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "pages.dat"
+        with FilePager(path, page_size=32) as pager:
+            pager.grow()
+            pager.write_page(0, b"hello")
+        with FilePager(path, page_size=32) as pager:
+            assert len(pager) == 1
+            assert pager.read_page(0)[:5] == b"hello"
+
+    def test_bad_size_rejected(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_bytes(b"x" * 33)
+        with pytest.raises(BlobError, match="multiple"):
+            FilePager(path, page_size=32)
+
+    def test_grow_extends_file(self, tmp_path):
+        path = tmp_path / "grow.dat"
+        with FilePager(path, page_size=16) as pager:
+            pager.grow()
+            pager.grow()
+        assert path.stat().st_size == 32
+
+
+class TestPageStore:
+    def test_default_page_size(self):
+        assert PageStore().page_size == PAGE_SIZE
+
+    def test_allocate_reuses_freed(self):
+        store = PageStore(MemoryPager(page_size=16))
+        a = store.allocate()
+        b = store.allocate()
+        store.free(a)
+        assert store.allocate() == a
+        assert store.free_pages == 0
+        assert store.allocated_pages == 2
+
+    def test_double_free_rejected(self):
+        store = PageStore(MemoryPager(page_size=16))
+        page = store.allocate()
+        store.free(page)
+        with pytest.raises(BlobError, match="double free"):
+            store.free(page)
+
+    def test_allocate_many(self):
+        store = PageStore(MemoryPager(page_size=16))
+        pages = store.allocate_many(5)
+        assert len(pages) == 5
+        assert store.allocated_pages == 5
+
+    def test_fragmentation_metric(self):
+        store = PageStore(MemoryPager(page_size=16))
+        assert store.fragmentation([0, 1, 2, 3]) == 0.0
+        assert store.fragmentation([0, 2, 4]) == 1.0
+        assert store.fragmentation([0, 1, 5]) == 0.5
+        assert store.fragmentation([7]) == 0.0

@@ -1,0 +1,126 @@
+"""Tests for IMA ADPCM."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.adpcm import (
+    AdpcmBlock,
+    AdpcmCodec,
+    STEP_TABLE,
+    decode_block,
+    encode_block,
+)
+from repro.codecs.pcm import quantize_samples
+from repro.errors import CodecError
+from repro.media import signals
+
+
+@pytest.fixture
+def speechish():
+    """A tone plus harmonics at moderate level: ADPCM's natural diet."""
+    signal = signals.mix(
+        signals.sine(300, 0.1, 8000) * 0.4,
+        signals.sine(600, 0.1, 8000) * 0.2,
+    )
+    return quantize_samples(signal, 16)
+
+
+class TestStepTable:
+    def test_standard_table(self):
+        assert len(STEP_TABLE) == 89
+        assert STEP_TABLE[0] == 7
+        assert STEP_TABLE[88] == 32767
+        assert list(STEP_TABLE) == sorted(STEP_TABLE)
+
+
+class TestBlockCoding:
+    def test_roundtrip_tracks_signal(self, speechish):
+        encoded = encode_block(speechish, 0, 0)
+        decoded = decode_block(encoded, len(speechish), 0, 0)
+        error = np.abs(decoded.astype(int) - speechish.astype(int))
+        # 4-bit ADPCM tracks a moderate signal within a few percent of
+        # full scale once the step size adapts.
+        assert error[50:].mean() < 1500
+
+    def test_nibble_packing_size(self, speechish):
+        encoded = encode_block(speechish, 0, 0)
+        assert len(encoded) == (len(speechish) + 1) // 2
+
+    def test_odd_sample_count(self):
+        samples = np.array([100, -100, 100], dtype=np.int16)
+        encoded = encode_block(samples, 0, 0)
+        assert len(encoded) == 2
+        decoded = decode_block(encoded, 3, 0, 0)
+        assert len(decoded) == 3
+
+    def test_silence_stays_quiet(self):
+        silence = np.zeros(200, dtype=np.int16)
+        decoded = decode_block(encode_block(silence, 0, 0), 200, 0, 0)
+        assert np.abs(decoded).max() < 32
+
+
+class TestAdpcmBlock:
+    def test_serialization_roundtrip(self, speechish):
+        block = AdpcmBlock(123, 17, len(speechish),
+                           encode_block(speechish, 123, 17))
+        restored = AdpcmBlock.from_bytes(block.to_bytes())
+        assert restored.predictor == 123
+        assert restored.step_index == 17
+        assert restored.count == len(speechish)
+        assert restored.data == block.data
+
+    def test_bad_payload_size(self):
+        header = AdpcmBlock(0, 0, 10, b"12345").to_bytes()[:6]
+        with pytest.raises(CodecError):
+            AdpcmBlock.from_bytes(header + b"xx")
+
+    def test_too_short(self):
+        with pytest.raises(CodecError):
+            AdpcmBlock.from_bytes(b"abc")
+
+
+class TestAdpcmCodec:
+    def test_roundtrip(self, speechish):
+        codec = AdpcmCodec(block_samples=100)
+        decoded = codec.decode(codec.encode(speechish))
+        assert len(decoded) == len(speechish)
+        error = np.abs(decoded[100:].astype(int) - speechish[100:].astype(int))
+        assert error.mean() < 1500
+
+    def test_state_carries_across_blocks(self, speechish):
+        """Block N's element descriptor is the state after block N-1 —
+        the paper's 'parameters that vary over an audio sequence'."""
+        codec = AdpcmCodec(block_samples=64)
+        blocks = codec.encode_blocks(speechish)
+        assert blocks[0].predictor == 0 and blocks[0].step_index == 0
+        later = blocks[2:]
+        assert any(b.predictor != 0 or b.step_index != 0 for b in later)
+
+    def test_blocks_have_varying_descriptors(self, speechish):
+        codec = AdpcmCodec(block_samples=64)
+        blocks = codec.encode_blocks(speechish)
+        states = {(b.predictor, b.step_index) for b in blocks}
+        assert len(states) > 1  # heterogeneous stream material
+
+    def test_compression_near_4x(self, speechish):
+        codec = AdpcmCodec(block_samples=505)
+        encoded = codec.encode(speechish)
+        ratio = speechish.nbytes / len(encoded)
+        assert 3.0 < ratio <= 4.0
+        assert codec.compression_ratio() == pytest.approx(ratio, rel=0.15)
+
+    def test_stereo_rejected(self):
+        codec = AdpcmCodec()
+        with pytest.raises(CodecError, match="mono"):
+            codec.encode(np.zeros((10, 2), dtype=np.int16))
+
+    def test_empty(self):
+        codec = AdpcmCodec()
+        assert codec.decode(codec.encode(np.zeros(0, dtype=np.int16))).size == 0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            AdpcmCodec().decode(b"xy")
+
+    def test_is_lossy(self):
+        assert AdpcmCodec().is_lossy

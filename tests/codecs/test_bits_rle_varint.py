@@ -1,0 +1,142 @@
+"""Tests for bit I/O, RLE, and varint primitives."""
+
+import pytest
+
+from repro.codecs.bits import BitReader, BitWriter
+from repro.codecs.rle import rle_decode, rle_encode, rle_ratio
+from repro.codecs.varint import (
+    read_svarint,
+    read_uvarint,
+    unzigzag_int,
+    write_svarint,
+    write_uvarint,
+    zigzag_int,
+)
+from repro.errors import CodecError
+
+
+class TestBits:
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1, 0, 0, 0, 1):
+            writer.write_bit(bit)
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        writer.write_bits(0, 11)
+        assert writer.bit_length == 11
+
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        values = [(5, 3), (0, 1), (1023, 10), (1, 1)]
+        for value, width in values:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in values:
+            assert reader.read_bits(width) == value
+
+    def test_unary(self):
+        writer = BitWriter()
+        writer.write_unary(4)
+        writer.write_unary(0)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_unary() == 4
+        assert reader.read_unary() == 0
+
+    def test_exhaustion(self):
+        reader = BitReader(b"")
+        with pytest.raises(CodecError):
+            reader.read_bit()
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(1, -1)
+
+
+class TestRle:
+    def test_roundtrip(self):
+        data = b"\x00" * 300 + b"abc" + b"\xff" * 5
+        assert rle_decode(rle_encode(data)) == data
+
+    def test_empty(self):
+        assert rle_encode(b"") == b""
+        assert rle_decode(b"") == b""
+
+    def test_long_run_split_at_255(self):
+        encoded = rle_encode(b"x" * 300)
+        assert encoded == bytes([255, ord("x"), 45, ord("x")])
+
+    def test_compresses_runs(self):
+        assert rle_ratio(b"\x00" * 1000) > 100
+
+    def test_worst_case_2x(self):
+        data = bytes(range(256))
+        assert len(rle_encode(data)) == 2 * len(data)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(CodecError):
+            rle_decode(b"\x01")
+
+    def test_zero_run_rejected(self):
+        with pytest.raises(CodecError):
+            rle_decode(b"\x00a")
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (-100, 199), (100, 200),
+    ])
+    def test_mapping(self, value, expected):
+        assert zigzag_int(value) == expected
+        assert unzigzag_int(expected) == value
+
+    def test_roundtrip_range(self):
+        for value in range(-1000, 1000, 7):
+            assert unzigzag_int(zigzag_int(value)) == value
+
+
+class TestVarint:
+    def test_small_values_one_byte(self):
+        out = bytearray()
+        write_uvarint(out, 127)
+        assert len(out) == 1
+
+    def test_large_value(self):
+        out = bytearray()
+        write_uvarint(out, 2 ** 40)
+        value, offset = read_uvarint(bytes(out), 0)
+        assert value == 2 ** 40
+        assert offset == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            write_uvarint(bytearray(), -1)
+
+    def test_signed_roundtrip(self):
+        out = bytearray()
+        values = [0, -1, 1, -12345, 12345]
+        for value in values:
+            write_svarint(out, value)
+        offset = 0
+        for expected in values:
+            value, offset = read_svarint(bytes(out), offset)
+            assert value == expected
+
+    def test_stream_exhaustion(self):
+        with pytest.raises(CodecError):
+            read_uvarint(b"\x80", 0)  # continuation bit with no next byte
+
+    def test_sequential_offsets(self):
+        out = bytearray()
+        write_uvarint(out, 5)
+        write_uvarint(out, 300)
+        value1, offset = read_uvarint(bytes(out), 0)
+        value2, offset = read_uvarint(bytes(out), offset)
+        assert (value1, value2) == (5, 300)
+        assert offset == len(out)

@@ -1,0 +1,118 @@
+"""Tests for blockwise DCT, quantization and zigzag."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import dct
+from repro.errors import CodecError
+
+
+@pytest.fixture
+def plane(rng):
+    return rng.uniform(-128, 127, (40, 56)).astype(np.float32)
+
+
+class TestBlocking:
+    def test_exact_tiling(self, plane):
+        blocks, shape = dct.to_blocks(plane)
+        assert blocks.shape == (5 * 7, 8, 8)
+        assert shape == (40, 56)
+        assert np.array_equal(dct.from_blocks(blocks, shape), plane)
+
+    def test_padding_and_crop(self, rng):
+        plane = rng.uniform(0, 1, (13, 19)).astype(np.float32)
+        blocks, shape = dct.to_blocks(plane)
+        assert blocks.shape == (2 * 3, 8, 8)
+        restored = dct.from_blocks(blocks, shape)
+        assert restored.shape == (13, 19)
+        assert np.allclose(restored, plane)
+
+    def test_block_content_matches_source(self, plane):
+        blocks, _ = dct.to_blocks(plane)
+        assert np.array_equal(blocks[0], plane[:8, :8])
+        assert np.array_equal(blocks[1], plane[:8, 8:16])
+
+    def test_wrong_dims_rejected(self):
+        with pytest.raises(CodecError):
+            dct.to_blocks(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_wrong_block_count_rejected(self):
+        with pytest.raises(CodecError):
+            dct.from_blocks(np.zeros((3, 8, 8)), (8, 8))
+
+
+class TestTransform:
+    def test_orthonormal_roundtrip(self, plane):
+        blocks, _ = dct.to_blocks(plane)
+        restored = dct.inverse_dct(dct.forward_dct(blocks))
+        assert np.allclose(restored, blocks, atol=1e-4)
+
+    def test_constant_block_concentrates_in_dc(self):
+        block = np.full((1, 8, 8), 50.0, dtype=np.float32)
+        coefficients = dct.forward_dct(block)
+        assert coefficients[0, 0, 0] == pytest.approx(400.0)  # 50 * 8
+        assert np.abs(coefficients[0].ravel()[1:]).max() < 1e-4
+
+    def test_energy_preservation(self, plane):
+        blocks, _ = dct.to_blocks(plane)
+        coefficients = dct.forward_dct(blocks)
+        assert np.sum(blocks ** 2) == pytest.approx(
+            np.sum(coefficients ** 2), rel=1e-5
+        )
+
+
+class TestQuantization:
+    def test_quality_50_is_reference(self):
+        assert np.array_equal(
+            dct.scale_quant_table(dct.LUMA_QUANT, 50), dct.LUMA_QUANT
+        )
+
+    def test_lower_quality_coarser(self):
+        coarse = dct.scale_quant_table(dct.LUMA_QUANT, 10)
+        fine = dct.scale_quant_table(dct.LUMA_QUANT, 90)
+        assert coarse.mean() > dct.LUMA_QUANT.mean() > fine.mean()
+
+    def test_quality_100_near_lossless(self):
+        table = dct.scale_quant_table(dct.LUMA_QUANT, 100)
+        assert table.max() == 1.0
+
+    def test_quality_bounds(self):
+        with pytest.raises(CodecError):
+            dct.scale_quant_table(dct.LUMA_QUANT, 0)
+        with pytest.raises(CodecError):
+            dct.scale_quant_table(dct.LUMA_QUANT, 101)
+
+    def test_quantize_dequantize_error_bounded(self, plane):
+        blocks, _ = dct.to_blocks(plane)
+        coefficients = dct.forward_dct(blocks)
+        table = dct.scale_quant_table(dct.LUMA_QUANT, 50)
+        restored = dct.dequantize(dct.quantize(coefficients, table), table)
+        assert np.abs(restored - coefficients).max() <= table.max() / 2 + 1e-3
+
+    def test_quantize_zeroes_small_coefficients(self):
+        coefficients = np.full((1, 8, 8), 3.0, dtype=np.float32)
+        table = np.full((8, 8), 100.0, dtype=np.float32)
+        assert dct.quantize(coefficients, table).max() == 0
+
+
+class TestZigzag:
+    def test_permutation(self):
+        assert sorted(dct.ZIGZAG.tolist()) == list(range(64))
+
+    def test_classic_prefix(self):
+        # The canonical JPEG scan starts 0, 1, 8, 16, 9, 2, 3, 10 ...
+        assert dct.ZIGZAG[:8].tolist() == [0, 1, 8, 16, 9, 2, 3, 10]
+
+    def test_scan_unscan_roundtrip(self, rng):
+        blocks = rng.integers(-50, 50, (10, 8, 8)).astype(np.int16)
+        assert np.array_equal(
+            dct.zigzag_unscan(dct.zigzag_scan(blocks)), blocks
+        )
+
+    def test_low_frequency_first(self):
+        block = np.zeros((1, 8, 8), dtype=np.int16)
+        block[0, 0, 0] = 5
+        block[0, 7, 7] = 7
+        vector = dct.zigzag_scan(block)[0]
+        assert vector[0] == 5
+        assert vector[63] == 7

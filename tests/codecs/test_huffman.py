@@ -1,0 +1,117 @@
+"""Tests for canonical Huffman coding."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.huffman import (
+    HuffmanCodec,
+    MAX_CODE_LENGTH,
+    canonical_codes,
+    code_lengths,
+    huffman_compress,
+    huffman_decompress,
+)
+from repro.errors import CodecError
+
+
+class TestCodeLengths:
+    def test_empty(self):
+        assert code_lengths(b"") == [0] * 256
+
+    def test_single_symbol_gets_length_one(self):
+        lengths = code_lengths(b"aaaa")
+        assert lengths[ord("a")] == 1
+        assert sum(1 for l in lengths if l) == 1
+
+    def test_two_symbols(self):
+        lengths = code_lengths(b"aab")
+        assert lengths[ord("a")] == 1
+        assert lengths[ord("b")] == 1
+
+    def test_skewed_distribution_shorter_codes_for_frequent(self):
+        data = b"a" * 1000 + b"b" * 10 + b"c" * 10 + b"d"
+        lengths = code_lengths(data)
+        assert lengths[ord("a")] < lengths[ord("d")]
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(3)
+        data = bytes(rng.integers(0, 256, 4000, dtype=np.uint8))
+        lengths = [l for l in code_lengths(data) if l]
+        assert sum(2.0 ** -l for l in lengths) <= 1.0 + 1e-12
+
+    def test_length_cap(self):
+        # An exponential distribution would want very long codes.
+        data = b"".join(bytes([i]) * (2 ** min(i, 20)) for i in range(24))
+        lengths = code_lengths(data)
+        assert max(lengths) <= MAX_CODE_LENGTH
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lengths = code_lengths(b"abracadabra")
+        codes = canonical_codes(lengths)
+        items = list(codes.values())
+        for i, (code_a, length_a) in enumerate(items):
+            for code_b, length_b in items[i + 1:]:
+                shorter, longer = sorted(
+                    [(code_a, length_a), (code_b, length_b)],
+                    key=lambda cl: cl[1],
+                )
+                prefix = longer[0] >> (longer[1] - shorter[1])
+                assert prefix != shorter[0]
+
+    def test_canonical_order(self):
+        lengths = [0] * 256
+        lengths[ord("a")] = 2
+        lengths[ord("b")] = 1
+        lengths[ord("c")] = 2
+        codes = canonical_codes(lengths)
+        assert codes[ord("b")] == (0, 1)
+        assert codes[ord("a")] == (0b10, 2)
+        assert codes[ord("c")] == (0b11, 2)
+
+
+class TestCodec:
+    def test_roundtrip_text(self):
+        data = b"it was the best of times, it was the worst of times" * 20
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(9)
+        data = bytes(rng.integers(0, 256, 10000, dtype=np.uint8))
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_roundtrip_empty(self):
+        assert huffman_decompress(huffman_compress(b"")) == b""
+
+    def test_roundtrip_single_symbol(self):
+        data = b"\x07" * 500
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_compresses_skewed_data(self):
+        data = b"\x00" * 9000 + bytes(range(256))
+        compressed = huffman_compress(data)
+        assert len(compressed) < len(data) / 4
+
+    def test_decoder_rebuilt_from_header(self):
+        data = b"the decoder only needs lengths" * 10
+        codec = HuffmanCodec.for_data(data)
+        encoded = codec.encode(data)
+        rebuilt = HuffmanCodec.from_header(codec.header())
+        assert rebuilt.decode(encoded) == data
+
+    def test_unknown_symbol_rejected(self):
+        codec = HuffmanCodec.for_data(b"aaabbb")
+        with pytest.raises(CodecError, match="not in codebook"):
+            codec.encode(b"xyz")
+
+    def test_bad_header_size(self):
+        with pytest.raises(CodecError):
+            HuffmanCodec.from_header(b"short")
+        with pytest.raises(CodecError):
+            huffman_decompress(b"tiny")
+
+    def test_truncated_frame(self):
+        codec = HuffmanCodec.for_data(b"ab")
+        with pytest.raises(CodecError):
+            codec.decode(b"\x00")

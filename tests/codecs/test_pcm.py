@@ -1,0 +1,87 @@
+"""Tests for linear PCM coding."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.pcm import PcmCodec, dequantize_samples, quantize_samples
+from repro.errors import CodecError
+from repro.media import signals
+
+
+class TestQuantization:
+    def test_full_scale(self):
+        samples = quantize_samples(np.array([1.0, -1.0, 0.0]), 16)
+        assert samples.tolist() == [32767, -32767, 0]
+
+    def test_clipping(self):
+        samples = quantize_samples(np.array([2.0, -3.0]), 16)
+        assert samples.tolist() == [32767, -32767]
+
+    def test_eight_bit(self):
+        samples = quantize_samples(np.array([1.0]), 8)
+        assert samples.dtype == np.int8
+        assert samples[0] == 127
+
+    def test_dequantize_roundtrip(self):
+        signal = signals.sine(440, 0.01, 8000)
+        restored = dequantize_samples(quantize_samples(signal, 16), 16)
+        assert np.abs(restored - signal).max() < 1e-4
+
+    def test_unsupported_size(self):
+        with pytest.raises(CodecError):
+            quantize_samples(np.zeros(4), 12)
+
+
+class TestPcmCodec:
+    def test_stereo_roundtrip(self):
+        codec = PcmCodec(16, 2)
+        samples = quantize_samples(
+            signals.to_stereo(signals.sine(440, 0.01, 8000)), 16
+        )
+        decoded = codec.decode(codec.encode(samples))
+        assert np.array_equal(decoded, samples)
+
+    def test_mono_roundtrip(self):
+        codec = PcmCodec(16, 1)
+        samples = quantize_samples(signals.sine(100, 0.01, 8000), 16)
+        decoded = codec.decode(codec.encode(samples))
+        assert np.array_equal(decoded[:, 0], samples)
+
+    def test_accepts_float_input(self):
+        codec = PcmCodec(16, 1)
+        encoded = codec.encode(np.array([0.5, -0.5]))
+        assert len(encoded) == 4
+
+    def test_little_endian_interleaved(self):
+        codec = PcmCodec(16, 2)
+        samples = np.array([[0x0102, 0x0304]], dtype=np.int16)
+        assert codec.encode(samples) == b"\x02\x01\x04\x03"
+
+    def test_channel_mismatch_rejected(self):
+        codec = PcmCodec(16, 2)
+        with pytest.raises(CodecError):
+            codec.encode(np.zeros((10, 3), dtype=np.int16))
+
+    def test_partial_frame_rejected(self):
+        codec = PcmCodec(16, 2)
+        with pytest.raises(CodecError):
+            codec.decode(b"\x00\x00\x00")
+
+    def test_cd_data_rate_matches_paper(self):
+        # Figure 2: "the audio data rate is 172 kbyte/sec".
+        codec = PcmCodec(16, 2)
+        assert codec.data_rate(44100) == 176400
+        assert codec.data_rate(44100) / 1024 == pytest.approx(172.3, abs=0.1)
+
+    def test_bytes_per_frame(self):
+        assert PcmCodec(16, 2).bytes_per_frame == 4
+        assert PcmCodec(8, 1).bytes_per_frame == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CodecError):
+            PcmCodec(24, 2)
+        with pytest.raises(CodecError):
+            PcmCodec(16, 0)
+
+    def test_not_lossy(self):
+        assert not PcmCodec().is_lossy

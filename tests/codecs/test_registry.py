@@ -1,0 +1,53 @@
+"""Tests for the codec registry."""
+
+import pytest
+
+from repro.codecs import codec_registry
+from repro.codecs.base import Codec
+from repro.codecs.registry import CodecRegistry
+from repro.errors import CodecError
+
+
+class _Upper(Codec):
+    name = "upper"
+
+    def encode(self, payload):
+        return payload.upper().encode()
+
+    def decode(self, data):
+        return data.decode().lower()
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("jpeg-like", "pcm", "ima-adpcm"):
+            assert name in codec_registry
+
+    def test_get_with_params(self):
+        codec = codec_registry.get("jpeg-like", quality=25)
+        assert codec.quality == 25
+
+    def test_instances_fresh_per_get(self):
+        a = codec_registry.get("pcm")
+        b = codec_registry.get("pcm")
+        assert a is not b
+
+    def test_unknown(self):
+        with pytest.raises(CodecError, match="unknown codec"):
+            codec_registry.get("nope")
+
+    def test_duplicate_rejected(self):
+        registry = CodecRegistry()
+        registry.register("upper", _Upper)
+        with pytest.raises(CodecError):
+            registry.register("upper", _Upper)
+        registry.register("upper", _Upper, replace=True)
+
+    def test_custom_codec_roundtrip(self):
+        registry = CodecRegistry()
+        registry.register("upper", _Upper)
+        codec = registry.get("upper")
+        assert codec.decode(codec.encode("Hello")) == "hello"
+
+    def test_names(self):
+        assert "pcm" in codec_registry.names()

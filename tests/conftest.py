@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.streams import TimedStream, TimedTuple
+from repro.media import frames, signals
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260704)
+
+
+@pytest.fixture
+def small_frame():
+    """A smooth 64x48 RGB frame."""
+    return frames.gradient_frame(64, 48)
+
+
+@pytest.fixture
+def small_frames():
+    """Eight coherent 64x48 frames (a tiny shot)."""
+    return frames.scene(64, 48, 8, "orbit")
+
+
+@pytest.fixture
+def tone():
+    """0.25 s of a 440 Hz tone at 8 kHz."""
+    return signals.sine(440, 0.25, 8000)
+
+
+@pytest.fixture
+def video_type():
+    return media_type_registry.get("pal-video")
+
+
+@pytest.fixture
+def cd_type():
+    return media_type_registry.get("cd-audio")
+
+
+@pytest.fixture
+def uniform_video_stream(video_type):
+    """Ten uniform raw-video elements."""
+    return TimedStream.from_elements(
+        video_type, [MediaElement(size=1536) for _ in range(10)]
+    )
+
+
+@pytest.fixture
+def gapped_stream(video_type):
+    """A non-continuous stream with one gap."""
+    tuples = [
+        TimedTuple(MediaElement(size=10), 0, 2),
+        TimedTuple(MediaElement(size=10), 2, 2),
+        TimedTuple(MediaElement(size=10), 6, 2),  # gap at [4, 6)
+    ]
+    return TimedStream(video_type, tuples, validate_constraints=False)

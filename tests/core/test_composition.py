@@ -1,0 +1,185 @@
+"""Tests for composition (Definition 7)."""
+
+import pytest
+
+from repro.core.composition import (
+    CompositionRelationship,
+    MultimediaObject,
+    SpatialComposition,
+    SpatialPlacement,
+    TemporalComposition,
+)
+from repro.core.elements import MediaElement
+from repro.core.intervals import IntervalRelation
+from repro.core.media_object import StillMediaObject, StreamMediaObject
+from repro.core.media_types import media_type_registry
+from repro.core.rational import Rational
+from repro.core.streams import TimedStream
+from repro.errors import CompositionError
+
+
+def make_video(name, frame_count):
+    video_type = media_type_registry.get("pal-video")
+    stream = TimedStream.from_elements(
+        video_type, [MediaElement(size=8) for _ in range(frame_count)]
+    )
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+        color_model="RGB",
+        duration=video_type.time_system.to_continuous(frame_count),
+    )
+    return StreamMediaObject(video_type, descriptor, stream, name=name)
+
+
+def make_image(name):
+    image_type = media_type_registry.get("image")
+    descriptor = image_type.make_media_descriptor(
+        width=4, height=4, depth=24, color_model="RGB",
+    )
+    return StillMediaObject(image_type, descriptor, b"img", name=name)
+
+
+@pytest.fixture
+def clip_a():
+    return make_video("a", 50)  # 2 s
+
+
+@pytest.fixture
+def clip_b():
+    return make_video("b", 25)  # 1 s
+
+
+class TestRelationships:
+    def test_requires_temporal_or_spatial(self, clip_a):
+        with pytest.raises(CompositionError):
+            CompositionRelationship(clip_a)
+
+    def test_temporal_interval_from_descriptor(self, clip_a):
+        rel = TemporalComposition(clip_a, start_offset=1)
+        assert rel.interval().start == 1
+        assert rel.interval().end == 3
+
+    def test_duration_falls_back_to_stream(self, clip_a):
+        bare = make_video("bare", 50)
+        bare.descriptor = bare.descriptor.without("duration")
+        rel = TemporalComposition(bare, start_offset=0)
+        assert rel.duration() == 2
+
+    def test_explicit_duration_wins(self, clip_a):
+        rel = TemporalComposition(clip_a, start_offset=0, duration=5)
+        assert rel.duration() == 5
+
+    def test_still_needs_explicit_duration(self):
+        image = make_image("img")
+        rel = TemporalComposition(image, start_offset=0, duration=3)
+        assert rel.duration() == 3
+        bare = TemporalComposition(image, start_offset=0)
+        assert bare.duration() == 0
+
+    def test_negative_offset_rejected(self, clip_a):
+        with pytest.raises(CompositionError):
+            TemporalComposition(clip_a, start_offset=-1)
+
+    def test_spatial_placement(self, clip_a):
+        rel = SpatialComposition(clip_a, x=10, y=20, z=2)
+        assert rel.is_spatial and not rel.is_temporal
+        assert rel.placement.x == 10
+        assert rel.placement.z == 2
+
+    def test_spatial_scale_positive(self, clip_a):
+        with pytest.raises(CompositionError):
+            SpatialPlacement(Rational(0), Rational(0), scale=Rational(0))
+
+    def test_spatial_interval_raises(self, clip_a):
+        rel = SpatialComposition(clip_a, x=0, y=0)
+        with pytest.raises(CompositionError):
+            rel.interval()
+
+
+class TestMultimediaObject:
+    def test_figure4_timeline(self, clip_a, clip_b):
+        """The shape of Figure 4(b): three components, staggered."""
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0, label="video3")
+        m.add_temporal(clip_a, at=0, label="audio1")
+        m.add_temporal(clip_b, at=1, label="audio2")
+        assert m.duration() == 2
+        labels = [label for label, _ in m.timeline()]
+        assert labels == ["audio1", "video3", "audio2"]
+
+    def test_duplicate_labels_rejected(self, clip_a):
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0, label="x")
+        with pytest.raises(CompositionError, match="already"):
+            m.add_temporal(clip_a, at=1, label="x")
+
+    def test_component_lookup(self, clip_a):
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0, label="x")
+        assert m.component("x").component is clip_a
+        with pytest.raises(CompositionError, match="no component"):
+            m.component("y")
+
+    def test_empty_duration(self):
+        assert MultimediaObject("m").duration() == 0
+
+    def test_relation(self, clip_a, clip_b):
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0, label="long")   # [0, 2)
+        m.add_temporal(clip_b, at=Rational(1, 2), label="short")  # [0.5, 1.5)
+        assert m.relation("short", "long") is IntervalRelation.DURING
+        assert m.relation("long", "short") is IntervalRelation.CONTAINS
+
+    def test_simultaneous_at(self, clip_a, clip_b):
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0, label="x")
+        m.add_temporal(clip_b, at=Rational(3, 2), label="y")
+        assert m.simultaneous_at(1) == ["x"]
+        assert set(m.simultaneous_at(Rational(8, 5))) == {"x", "y"}
+
+    def test_spatial_components_span_presentation(self, clip_a):
+        m = MultimediaObject("m")
+        m.add_spatial(clip_a, x=0, y=0, label="bg")
+        # Spatial-only components appear at time 0 with their duration.
+        assert m.duration() == 2
+
+    def test_len_iter(self, clip_a):
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0)
+        assert len(m) == 1
+        assert list(m)[0].component is clip_a
+
+
+class TestNesting:
+    def test_flatten_resolves_offsets(self, clip_a, clip_b):
+        inner = MultimediaObject("inner")
+        inner.add_temporal(clip_b, at=1, label="leaf")
+        outer = MultimediaObject("outer")
+        outer.add_temporal(inner, at=2, label="nested")
+        flat = outer.flatten()
+        assert len(flat) == 1
+        label, obj, interval = flat[0]
+        assert label == "nested/leaf"
+        assert obj is clip_b
+        assert interval.start == 3
+        assert interval.end == 4
+
+    def test_nested_duration(self, clip_a, clip_b):
+        inner = MultimediaObject("inner")
+        inner.add_temporal(clip_b, at=1, label="leaf")  # ends at 2
+        outer = MultimediaObject("outer")
+        outer.add_temporal(inner, at=3, label="nested")
+        assert outer.duration() == 5
+
+
+class TestDiagram:
+    def test_timeline_diagram_renders(self, clip_a, clip_b):
+        m = MultimediaObject("m")
+        m.add_temporal(clip_a, at=0, label="video3")
+        m.add_temporal(clip_b, at=1, label="audio2")
+        diagram = m.timeline_diagram(width=20)
+        assert "video3" in diagram
+        assert "#" in diagram
+
+    def test_empty_diagram(self):
+        assert "(empty)" in MultimediaObject("m").timeline_diagram()

@@ -1,0 +1,207 @@
+"""Tests for derivation (Definition 6)."""
+
+import pytest
+
+from repro.core.derivation import (
+    Derivation,
+    DerivationCategory,
+    DerivationObject,
+    DerivationRegistry,
+    derivation_registry,
+)
+from repro.core.elements import MediaElement
+from repro.core.media_object import StreamMediaObject
+from repro.core.media_types import MediaKind, media_type_registry
+from repro.core.streams import TimedStream
+from repro.errors import DerivationError
+
+
+@pytest.fixture
+def video_obj():
+    video_type = media_type_registry.get("pal-video")
+    stream = TimedStream.from_elements(
+        video_type, [MediaElement(payload=i, size=8) for i in range(4)]
+    )
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+        color_model="RGB",
+    )
+    return StreamMediaObject(video_type, descriptor, stream, name="v")
+
+
+@pytest.fixture
+def audio_obj(tone):
+    from repro.media.objects import audio_object
+    return audio_object(tone, "a", sample_rate=8000, block_samples=500)
+
+
+def make_derivation(**overrides):
+    defaults = dict(
+        name="test-derivation",
+        category=DerivationCategory.CHANGE_OF_CONTENT,
+        input_kinds=(MediaKind.VIDEO,),
+        result_kind=MediaKind.VIDEO,
+        expand=lambda inputs, params: inputs[0],
+        describe=lambda inputs, params: (inputs[0].media_type,
+                                         inputs[0].descriptor),
+    )
+    defaults.update(overrides)
+    return Derivation(**defaults)
+
+
+class TestInputChecking:
+    def test_arity(self, video_obj):
+        derivation = make_derivation()
+        with pytest.raises(DerivationError, match="expected 1 inputs"):
+            derivation.check_inputs([video_obj, video_obj])
+
+    def test_kind(self, audio_obj):
+        derivation = make_derivation()
+        # "an audio sequence cannot be concatenated to a video sequence"
+        with pytest.raises(DerivationError, match="expected a video"):
+            derivation.check_inputs([audio_obj])
+
+    def test_variadic_accepts_many(self, video_obj):
+        derivation = make_derivation(variadic=True)
+        derivation.check_inputs([video_obj] * 5)
+
+    def test_variadic_rejects_empty(self):
+        derivation = make_derivation(variadic=True)
+        with pytest.raises(DerivationError, match="at least one"):
+            derivation.check_inputs([])
+
+    def test_variadic_rejects_wrong_kind(self, video_obj, audio_obj):
+        derivation = make_derivation(variadic=True)
+        with pytest.raises(DerivationError):
+            derivation.check_inputs([video_obj, audio_obj])
+
+    def test_any_kind_accepts_all(self, video_obj, audio_obj):
+        derivation = make_derivation(any_kind=True)
+        derivation.check_inputs([audio_obj])
+        derivation.check_inputs([video_obj])
+
+    def test_any_kind_still_checks_arity(self, video_obj):
+        derivation = make_derivation(any_kind=True)
+        with pytest.raises(DerivationError):
+            derivation.check_inputs([video_obj, video_obj])
+
+
+class TestParamChecking:
+    def test_missing_required(self, video_obj):
+        derivation = make_derivation(required_params=("alpha",))
+        with pytest.raises(DerivationError, match="missing"):
+            DerivationObject(derivation, [video_obj], {})
+
+    def test_unexpected_rejected(self, video_obj):
+        derivation = make_derivation(optional_params=("alpha",))
+        with pytest.raises(DerivationError, match="unexpected"):
+            DerivationObject(derivation, [video_obj], {"alhpa": 1})
+
+    def test_valid_params(self, video_obj):
+        derivation = make_derivation(
+            required_params=("a",), optional_params=("b",),
+        )
+        DerivationObject(derivation, [video_obj], {"a": 1})
+        DerivationObject(derivation, [video_obj], {"a": 1, "b": 2})
+
+
+class TestDerivationObject:
+    def test_expand_applies_mapping(self, video_obj):
+        derivation = make_derivation()
+        dobj = DerivationObject(derivation, [video_obj], {})
+        assert dobj.expand() is video_obj
+
+    def test_expand_checks_result_kind(self, video_obj, audio_obj):
+        lying = make_derivation(expand=lambda inputs, params: audio_obj)
+        dobj = DerivationObject(lying, [video_obj], {})
+        with pytest.raises(DerivationError, match="declared"):
+            dobj.expand()
+
+    def test_derive_builds_derived_object(self, video_obj):
+        derivation = make_derivation()
+        derived = DerivationObject(derivation, [video_obj], {}).derive("d1")
+        assert derived.is_derived
+        assert derived.name == "d1"
+
+    def test_derive_without_describe_needs_descriptor(self, video_obj):
+        derivation = make_derivation(describe=None)
+        dobj = DerivationObject(derivation, [video_obj], {})
+        with pytest.raises(DerivationError, match="describe"):
+            dobj.derive()
+        derived = dobj.derive(descriptor=video_obj.descriptor)
+        assert derived.media_type is video_obj.media_type
+
+    def test_storage_size_small(self, video_obj):
+        # The core of §4.2: derivation objects are tiny.
+        derivation = make_derivation(optional_params=("edit_list",))
+        dobj = DerivationObject(
+            derivation, [video_obj], {"edit_list": [(0, 0, 100)]}
+        )
+        assert dobj.storage_size() < 100
+
+    def test_repr_names_inputs(self, video_obj):
+        derivation = make_derivation()
+        assert "v" in repr(DerivationObject(derivation, [video_obj], {}))
+
+
+class TestCategories:
+    def test_primary_and_also(self):
+        derivation = make_derivation(
+            also_categories=(DerivationCategory.CHANGE_OF_TIMING,),
+        )
+        assert derivation.categories() == {
+            DerivationCategory.CHANGE_OF_CONTENT,
+            DerivationCategory.CHANGE_OF_TIMING,
+        }
+
+
+class TestRegistry:
+    def test_register_and_get(self, video_obj):
+        registry = DerivationRegistry()
+        derivation = make_derivation()
+        registry.register(derivation)
+        assert registry.get("test-derivation") is derivation
+        assert "test-derivation" in registry
+
+    def test_duplicate_rejected(self):
+        registry = DerivationRegistry()
+        registry.register(make_derivation())
+        with pytest.raises(DerivationError, match="already"):
+            registry.register(make_derivation())
+
+    def test_unknown(self):
+        registry = DerivationRegistry()
+        with pytest.raises(DerivationError, match="unknown"):
+            registry.get("nope")
+
+    def test_by_category(self):
+        registry = DerivationRegistry()
+        registry.register(make_derivation())
+        found = registry.by_category(DerivationCategory.CHANGE_OF_CONTENT)
+        assert len(found) == 1
+
+    def test_global_registry_has_table1(self):
+        """Table 1's five derivations are all registered (via repro.edit
+        and repro.media imports)."""
+        import repro.edit  # noqa: F401 - registers derivations
+        import repro.media  # noqa: F401
+
+        for name in ("color-separation", "audio-normalization", "video-edit",
+                     "video-transition", "midi-synthesis"):
+            assert name in derivation_registry
+
+    def test_table_shape_matches_paper(self):
+        import repro.edit  # noqa: F401
+        import repro.media  # noqa: F401
+
+        rows = {row[0]: row for row in derivation_registry.table()}
+        assert rows["color-separation"][1:] == ("image", "image",
+                                                "change of content")
+        assert rows["audio-normalization"][1:] == ("audio", "audio",
+                                                   "change of content")
+        assert rows["video-edit"][1:] == ("video...", "video",
+                                          "change of timing")
+        assert rows["video-transition"][1:] == ("video, video", "video",
+                                                "change of content")
+        assert rows["midi-synthesis"][1:] == ("music", "audio",
+                                              "change of type")

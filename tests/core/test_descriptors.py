@@ -1,0 +1,102 @@
+"""Tests for media and element descriptors."""
+
+import pytest
+
+from repro.core.descriptors import ElementDescriptor, MediaDescriptor
+from repro.errors import DescriptorError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = MediaDescriptor({"kind": "audio", "sample_rate": 44100})
+        assert d["sample_rate"] == 44100
+
+    def test_from_kwargs(self):
+        d = MediaDescriptor(kind="video", frame_rate=25)
+        assert d["frame_rate"] == 25
+
+    def test_kwargs_override_mapping(self):
+        d = MediaDescriptor({"a": 1}, a=2)
+        assert d["a"] == 2
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(DescriptorError):
+            MediaDescriptor({"": 1})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(DescriptorError):
+            MediaDescriptor({3: 1})
+
+
+class TestMappingBehaviour:
+    def test_missing_attribute_error_lists_present(self):
+        d = MediaDescriptor(kind="audio")
+        with pytest.raises(DescriptorError, match="kind"):
+            d["sample_rate"]
+
+    def test_contains(self):
+        d = MediaDescriptor(kind="audio")
+        assert "kind" in d
+        assert "missing" not in d
+
+    def test_get_default(self):
+        d = MediaDescriptor(kind="audio")
+        assert d.get("missing", 7) == 7
+
+    def test_len_and_iter(self):
+        d = MediaDescriptor(a=1, b=2)
+        assert len(d) == 2
+        assert sorted(d) == ["a", "b"]
+
+    def test_iteration_order_is_sorted(self):
+        d = MediaDescriptor(z=1, a=2, m=3)
+        assert list(d) == ["a", "m", "z"]
+
+    def test_equality_with_dict(self):
+        assert MediaDescriptor(a=1) == {"a": 1}
+
+    def test_equality_between_descriptors(self):
+        assert MediaDescriptor(a=1) == MediaDescriptor(a=1)
+        assert MediaDescriptor(a=1) != MediaDescriptor(a=2)
+
+    def test_hashable(self):
+        assert hash(MediaDescriptor(a=1)) == hash(MediaDescriptor(a=1))
+
+    def test_element_and_media_descriptors_hash_differently(self):
+        assert hash(MediaDescriptor(a=1)) != hash(ElementDescriptor(a=1))
+
+
+class TestImmutability:
+    def test_with_updates_returns_new(self):
+        d = MediaDescriptor(a=1)
+        d2 = d.with_updates(a=2, b=3)
+        assert d["a"] == 1
+        assert d2["a"] == 2 and d2["b"] == 3
+        assert isinstance(d2, MediaDescriptor)
+
+    def test_without(self):
+        d = MediaDescriptor(a=1, b=2)
+        assert d.without("a") == {"b": 2}
+        assert d.without("missing") == {"a": 1, "b": 2}
+
+    def test_as_dict_is_a_copy(self):
+        d = MediaDescriptor(a=1)
+        copy = d.as_dict()
+        copy["a"] = 99
+        assert d["a"] == 1
+
+    def test_no_item_assignment(self):
+        d = MediaDescriptor(a=1)
+        with pytest.raises(TypeError):
+            d["a"] = 2
+
+
+class TestDisplay:
+    def test_describe_renders_figure2_style(self):
+        d = MediaDescriptor(quality_factor="VHS quality", frame_rate=25)
+        text = d.describe()
+        assert "quality_factor = VHS quality" in text
+        assert text.startswith("{")
+
+    def test_repr_contains_values(self):
+        assert "a=1" in repr(MediaDescriptor(a=1))

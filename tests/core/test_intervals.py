@@ -1,0 +1,131 @@
+"""Tests for intervals and Allen's relations."""
+
+import pytest
+
+from repro.core.intervals import (
+    Interval,
+    IntervalRelation,
+    relate,
+    span,
+    total_covered,
+)
+from repro.core.rational import Rational
+from repro.errors import MediaModelError
+
+
+def iv(start, end):
+    return Interval(Rational(start), Rational(end))
+
+
+class TestInterval:
+    def test_duration(self):
+        assert iv(1, 4).duration == 3
+
+    def test_of_constructor(self):
+        assert Interval.of(2, 5) == iv(2, 7)
+
+    def test_reversed_rejected(self):
+        with pytest.raises(MediaModelError):
+            iv(4, 1)
+
+    def test_instant(self):
+        assert iv(2, 2).is_instant
+        assert not iv(2, 3).is_instant
+
+    def test_contains_time_half_open(self):
+        interval = iv(1, 3)
+        assert interval.contains_time(1)
+        assert interval.contains_time(2)
+        assert not interval.contains_time(3)
+        assert not interval.contains_time(0)
+
+    def test_instant_contains_own_start(self):
+        assert iv(2, 2).contains_time(2)
+        assert not iv(2, 2).contains_time(3)
+
+    def test_intersects(self):
+        assert iv(0, 2).intersects(iv(1, 3))
+        assert not iv(0, 2).intersects(iv(2, 3))  # half-open: meets, no overlap
+
+    def test_instant_intersection_with_interval(self):
+        assert iv(1, 1).intersects(iv(0, 2))
+        assert iv(0, 2).intersects(iv(1, 1))
+
+    def test_intersection_value(self):
+        assert iv(0, 3).intersection(iv(1, 5)) == iv(1, 3)
+        assert iv(0, 1).intersection(iv(2, 3)) is None
+
+    def test_hull(self):
+        assert iv(0, 1).hull(iv(3, 4)) == iv(0, 4)
+
+    def test_translate(self):
+        assert iv(1, 2).translate(3) == iv(4, 5)
+
+    def test_scale(self):
+        assert iv(1, 2).scale(2) == iv(2, 4)
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(MediaModelError):
+            iv(1, 2).scale(0)
+
+    def test_str(self):
+        assert str(iv(0, 130)) == "[0:00.000, 2:10.000)"
+
+
+class TestAllenRelations:
+    CASES = [
+        (iv(0, 1), iv(2, 3), IntervalRelation.BEFORE),
+        (iv(2, 3), iv(0, 1), IntervalRelation.AFTER),
+        (iv(0, 2), iv(2, 4), IntervalRelation.MEETS),
+        (iv(2, 4), iv(0, 2), IntervalRelation.MET_BY),
+        (iv(0, 3), iv(2, 5), IntervalRelation.OVERLAPS),
+        (iv(2, 5), iv(0, 3), IntervalRelation.OVERLAPPED_BY),
+        (iv(0, 2), iv(0, 5), IntervalRelation.STARTS),
+        (iv(0, 5), iv(0, 2), IntervalRelation.STARTED_BY),
+        (iv(2, 4), iv(0, 5), IntervalRelation.DURING),
+        (iv(0, 5), iv(2, 4), IntervalRelation.CONTAINS),
+        (iv(3, 5), iv(0, 5), IntervalRelation.FINISHES),
+        (iv(0, 5), iv(3, 5), IntervalRelation.FINISHED_BY),
+        (iv(1, 4), iv(1, 4), IntervalRelation.EQUAL),
+    ]
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_relation(self, a, b, expected):
+        assert relate(a, b) is expected
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_inverse_consistency(self, a, b, expected):
+        assert relate(b, a) is expected.inverse
+
+    def test_all_thirteen_reachable(self):
+        seen = {relate(a, b) for a, b, _ in self.CASES}
+        assert seen == set(IntervalRelation)
+
+    def test_exactly_one_relation_holds(self):
+        # Disjointness: every pair lands on exactly one relation; spot
+        # check a grid of endpoints.
+        endpoints = [(a, b) for a in range(4) for b in range(a, 4)]
+        for sa, ea in endpoints:
+            for sb, eb in endpoints:
+                result = relate(iv(sa, ea), iv(sb, eb))
+                assert isinstance(result, IntervalRelation)
+
+
+class TestAggregates:
+    def test_span(self):
+        assert span([iv(1, 2), iv(5, 6), iv(0, 1)]) == iv(0, 6)
+
+    def test_span_empty(self):
+        assert span([]) is None
+
+    def test_total_covered_disjoint(self):
+        assert total_covered([iv(0, 1), iv(2, 3)]) == 2
+
+    def test_total_covered_overlapping_counted_once(self):
+        assert total_covered([iv(0, 3), iv(2, 5)]) == 5
+
+    def test_total_covered_nested(self):
+        assert total_covered([iv(0, 10), iv(2, 4)]) == 10
+
+    def test_total_covered_unsorted_input(self):
+        assert total_covered([iv(4, 6), iv(0, 2), iv(1, 5)]) == 6

@@ -1,0 +1,163 @@
+"""Tests for media objects and derived media objects."""
+
+import pytest
+
+from repro.core.derivation import Derivation, DerivationCategory, DerivationObject
+from repro.core.elements import MediaElement
+from repro.core.media_object import (
+    MediaObject,
+    StillMediaObject,
+    StreamMediaObject,
+)
+from repro.core.media_types import MediaKind, media_type_registry
+from repro.core.streams import TimedStream
+from repro.errors import MediaModelError
+
+
+@pytest.fixture
+def video_type():
+    return media_type_registry.get("pal-video")
+
+
+@pytest.fixture
+def video_obj(video_type):
+    stream = TimedStream.from_elements(
+        video_type, [MediaElement(payload=i, size=8) for i in range(4)]
+    )
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+        color_model="RGB",
+    )
+    return StreamMediaObject(video_type, descriptor, stream, name="clip")
+
+
+class TestStreamMediaObject:
+    def test_identity(self, video_obj):
+        assert video_obj.name == "clip"
+        assert video_obj.kind is MediaKind.VIDEO
+        assert not video_obj.is_derived
+        assert video_obj.object_id.startswith("mo")
+
+    def test_ids_unique(self, video_type, video_obj):
+        stream = video_obj.stream()
+        other = StreamMediaObject(
+            video_type, video_obj.descriptor, stream, name="clip2"
+        )
+        assert other.object_id != video_obj.object_id
+
+    def test_stream_access(self, video_obj):
+        assert len(video_obj.stream()) == 4
+
+    def test_value_raises(self, video_obj):
+        with pytest.raises(MediaModelError):
+            video_obj.value()
+
+    def test_descriptor_validated(self, video_type):
+        stream = TimedStream(video_type, [])
+        bad = video_type.make_media_descriptor(
+            frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+            color_model="RGB",
+        ).without("frame_rate")
+        with pytest.raises(Exception):
+            StreamMediaObject(video_type, bad, stream)
+
+    def test_stream_type_must_match(self, video_type, video_obj):
+        cd = media_type_registry.get("cd-audio")
+        audio_stream = TimedStream.from_elements(cd, [MediaElement(size=4)])
+        with pytest.raises(MediaModelError, match="does not match"):
+            StreamMediaObject(video_type, video_obj.descriptor, audio_stream)
+
+
+class TestStillMediaObject:
+    def test_value(self):
+        image_type = media_type_registry.get("image")
+        descriptor = image_type.make_media_descriptor(
+            width=4, height=4, depth=24, color_model="RGB",
+        )
+        obj = StillMediaObject(image_type, descriptor, "PIXELS", name="img")
+        assert obj.value() == "PIXELS"
+        with pytest.raises(MediaModelError):
+            obj.stream()
+
+    def test_rejects_time_based_type(self, video_type, video_obj):
+        with pytest.raises(MediaModelError, match="time-based"):
+            StillMediaObject(video_type, video_obj.descriptor, b"x")
+
+
+def _identity_derivation(video_type):
+    def expand(inputs, params):
+        return inputs[0]
+
+    return Derivation(
+        name="identity-test",
+        category=DerivationCategory.CHANGE_OF_TIMING,
+        input_kinds=(MediaKind.VIDEO,),
+        result_kind=MediaKind.VIDEO,
+        expand=expand,
+        describe=lambda inputs, params: (inputs[0].media_type,
+                                         inputs[0].descriptor),
+    )
+
+
+class TestDerivedMediaObject:
+    def test_is_derived(self, video_obj, video_type):
+        derivation = _identity_derivation(video_type)
+        derived = derivation([video_obj], name="derived1")
+        assert derived.is_derived
+        assert derived.name == "derived1"
+        assert derived.antecedents() == [video_obj]
+
+    def test_expand_not_cached(self, video_obj, video_type):
+        calls = []
+
+        def expand(inputs, params):
+            calls.append(1)
+            return inputs[0]
+
+        derivation = Derivation(
+            name="count-test", category=DerivationCategory.CHANGE_OF_TIMING,
+            input_kinds=(MediaKind.VIDEO,), result_kind=MediaKind.VIDEO,
+            expand=expand,
+            describe=lambda i, p: (i[0].media_type, i[0].descriptor),
+        )
+        derived = derivation([video_obj])
+        derived.expand()
+        derived.expand()
+        assert len(calls) == 2
+
+    def test_materialize_caches(self, video_obj, video_type):
+        calls = []
+
+        def expand(inputs, params):
+            calls.append(1)
+            return inputs[0]
+
+        derivation = Derivation(
+            name="cache-test", category=DerivationCategory.CHANGE_OF_TIMING,
+            input_kinds=(MediaKind.VIDEO,), result_kind=MediaKind.VIDEO,
+            expand=expand,
+            describe=lambda i, p: (i[0].media_type, i[0].descriptor),
+        )
+        derived = derivation([video_obj])
+        assert not derived.is_materialized
+        derived.materialize()
+        derived.materialize()
+        assert len(calls) == 1
+        assert derived.is_materialized
+
+    def test_discard_materialization(self, video_obj, video_type):
+        derivation = _identity_derivation(video_type)
+        derived = derivation([video_obj])
+        derived.materialize()
+        derived.discard_materialization()
+        assert not derived.is_materialized
+
+    def test_stream_goes_through_expansion(self, video_obj, video_type):
+        derivation = _identity_derivation(video_type)
+        derived = derivation([video_obj])
+        assert len(derived.stream()) == 4
+
+    def test_repr_flags_derived(self, video_obj, video_type):
+        derivation = _identity_derivation(video_type)
+        derived = derivation([video_obj])
+        assert "derived" in repr(derived)

@@ -1,0 +1,161 @@
+"""Tests for media types (Definition 1)."""
+
+import pytest
+
+from repro.core.media_types import (
+    AttributeSpec,
+    MediaKind,
+    MediaType,
+    MediaTypeRegistry,
+    media_type_registry,
+)
+from repro.core.time_system import CD_AUDIO_TIME, PAL_TIME
+from repro.errors import DescriptorError, MediaTypeError
+
+
+class TestMediaKind:
+    def test_time_based_kinds(self):
+        assert MediaKind.AUDIO.is_time_based
+        assert MediaKind.VIDEO.is_time_based
+        assert MediaKind.MUSIC.is_time_based
+        assert MediaKind.ANIMATION.is_time_based
+
+    def test_still_kinds(self):
+        assert not MediaKind.IMAGE.is_time_based
+        assert not MediaKind.TEXT.is_time_based
+
+
+class TestAttributeSpec:
+    def test_choices(self):
+        spec = AttributeSpec("sample_rate", choices=(44100,))
+        spec.check(44100)
+        with pytest.raises(DescriptorError):
+            spec.check(48000)
+
+    def test_validator(self):
+        spec = AttributeSpec("width", validator=lambda v: v > 0)
+        spec.check(640)
+        with pytest.raises(DescriptorError):
+            spec.check(-1)
+
+
+class TestMediaTypeInvariants:
+    def test_time_based_needs_time_system(self):
+        with pytest.raises(MediaTypeError):
+            MediaType(name="x", kind=MediaKind.AUDIO)
+
+    def test_still_needs_no_time_system(self):
+        MediaType(name="x", kind=MediaKind.IMAGE)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MediaTypeError):
+            MediaType(name="", kind=MediaKind.IMAGE)
+
+    def test_event_based_with_duration_rejected(self):
+        with pytest.raises(MediaTypeError):
+            MediaType(name="x", kind=MediaKind.MUSIC,
+                      time_system=CD_AUDIO_TIME,
+                      event_based=True, fixed_duration=5)
+
+    def test_event_based_and_continuous_conflict(self):
+        with pytest.raises(MediaTypeError):
+            MediaType(name="x", kind=MediaKind.MUSIC,
+                      time_system=CD_AUDIO_TIME,
+                      event_based=True, continuous=True)
+
+
+class TestBuiltinCdAudio:
+    """Definition 1's example: CD audio at 44.1 kHz, 16 bit, 2 channels."""
+
+    def test_specification(self):
+        cd = media_type_registry.get("cd-audio")
+        assert cd.time_system == CD_AUDIO_TIME
+        assert cd.fixed_duration == 1
+        assert cd.continuous
+
+    def test_descriptor_accepts_cd_parameters(self):
+        cd = media_type_registry.get("cd-audio")
+        descriptor = cd.make_media_descriptor(
+            sample_rate=44100, sample_size=16, channels=2, encoding="PCM",
+        )
+        assert descriptor["kind"] == "audio"
+        assert descriptor["media_type"] == "cd-audio"
+
+    def test_descriptor_rejects_wrong_rate(self):
+        cd = media_type_registry.get("cd-audio")
+        with pytest.raises(DescriptorError):
+            cd.make_media_descriptor(
+                sample_rate=48000, sample_size=16, channels=2, encoding="PCM",
+            )
+
+    def test_missing_required_attribute(self):
+        cd = media_type_registry.get("cd-audio")
+        with pytest.raises(DescriptorError, match="sample_rate"):
+            cd.make_media_descriptor(sample_size=16, channels=2, encoding="PCM")
+
+    def test_no_element_descriptors_needed(self):
+        # "element descriptors are not necessary since all elements have
+        # the same form"
+        cd = media_type_registry.get("cd-audio")
+        assert not cd.has_element_descriptors
+
+
+class TestBuiltinAdpcm:
+    """The paper's heterogeneous example: per-element encoding state."""
+
+    def test_requires_element_descriptors(self):
+        adpcm = media_type_registry.get("adpcm-audio")
+        assert adpcm.has_element_descriptors
+
+    def test_element_descriptor_validation(self):
+        adpcm = media_type_registry.get("adpcm-audio")
+        adpcm.make_element_descriptor(predictor=0, step_index=30)
+        with pytest.raises(DescriptorError):
+            adpcm.make_element_descriptor(predictor=0, step_index=89)
+        with pytest.raises(DescriptorError):
+            adpcm.make_element_descriptor(predictor=40000, step_index=0)
+
+
+class TestBuiltinVideo:
+    def test_pal_time_system(self):
+        assert media_type_registry.get("pal-video").time_system == PAL_TIME
+
+    def test_optional_element_attributes_do_not_force_descriptors(self):
+        video = media_type_registry.get("pal-video")
+        assert video.element_attributes
+        assert not video.has_element_descriptors
+
+    def test_frame_kind_choices(self):
+        video = media_type_registry.get("pal-video")
+        video.make_element_descriptor(frame_kind="I")
+        with pytest.raises(DescriptorError):
+            video.make_element_descriptor(frame_kind="X")
+
+
+class TestRegistry:
+    def test_unknown_type(self):
+        with pytest.raises(MediaTypeError, match="unknown media type"):
+            media_type_registry.get("no-such-type")
+
+    def test_contains(self):
+        assert "cd-audio" in media_type_registry
+        assert "nope" not in media_type_registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = MediaTypeRegistry()
+        mt = MediaType(name="x", kind=MediaKind.IMAGE)
+        registry.register(mt)
+        with pytest.raises(MediaTypeError):
+            registry.register(mt)
+        registry.register(mt, replace=True)
+
+    def test_by_kind(self):
+        audio_types = media_type_registry.by_kind(MediaKind.AUDIO)
+        names = {t.name for t in audio_types}
+        assert {"cd-audio", "adpcm-audio", "block-audio"} <= names
+
+    def test_builtin_names_present(self):
+        names = media_type_registry.names()
+        for expected in ("cd-audio", "pal-video", "ntsc-video", "film-video",
+                         "midi-music", "score-music", "animation", "image"):
+            assert expected in names

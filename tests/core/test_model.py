@@ -1,0 +1,172 @@
+"""Tests for the schema layer (the VideoClip example of §4)."""
+
+import pytest
+
+from repro.core.composition import MultimediaObject
+from repro.core.media_types import MediaKind
+from repro.core.model import (
+    AttributeType,
+    Entity,
+    EntityType,
+    ScalarKind,
+    video_clip_type,
+)
+from repro.core.quality import VIDEO_QUALITY
+from repro.errors import MediaModelError
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+
+
+@pytest.fixture
+def vhs_video():
+    return video_object(frames.scene(16, 16, 5, "pan"), "clip",
+                        quality_factor="VHS quality")
+
+
+@pytest.fixture
+def preview_video():
+    return video_object(frames.scene(16, 16, 5, "pan"), "proxy",
+                        quality_factor="preview quality")
+
+
+@pytest.fixture
+def soundtrack(tone):
+    return audio_object(tone, "music", sample_rate=8000, block_samples=250)
+
+
+class TestAttributeType:
+    def test_exactly_one_domain(self):
+        with pytest.raises(MediaModelError, match="exactly one"):
+            AttributeType("x", scalar=ScalarKind.CHAR,
+                          media_kind=MediaKind.VIDEO)
+        with pytest.raises(MediaModelError, match="exactly one"):
+            AttributeType("x")
+
+    def test_scalar_check(self):
+        spec = AttributeType("title", scalar=ScalarKind.CHAR)
+        spec.check("ok")
+        with pytest.raises(MediaModelError):
+            spec.check(42)
+
+    def test_int_rejects_bool(self):
+        spec = AttributeType("year", scalar=ScalarKind.INT)
+        spec.check(1994)
+        with pytest.raises(MediaModelError):
+            spec.check(True)
+
+    def test_media_kind_check(self, vhs_video, soundtrack):
+        spec = AttributeType("content", media_kind=MediaKind.VIDEO)
+        spec.check(vhs_video)
+        with pytest.raises(MediaModelError, match="expected video"):
+            spec.check(soundtrack)
+        with pytest.raises(MediaModelError, match="media object"):
+            spec.check("not-media")
+
+    def test_min_quality_needs_ladder(self):
+        with pytest.raises(MediaModelError, match="ladder"):
+            AttributeType("content", media_kind=MediaKind.VIDEO,
+                          min_quality="VHS quality")
+
+    def test_min_quality_only_for_media(self):
+        with pytest.raises(MediaModelError):
+            AttributeType("title", scalar=ScalarKind.CHAR,
+                          min_quality="VHS quality",
+                          quality_ladder=VIDEO_QUALITY)
+
+    def test_quality_floor_enforced(self, vhs_video, preview_video):
+        spec = AttributeType("content", media_kind=MediaKind.VIDEO,
+                             min_quality="VHS quality",
+                             quality_ladder=VIDEO_QUALITY)
+        spec.check(vhs_video)
+        with pytest.raises(MediaModelError, match="below"):
+            spec.check(preview_video)
+
+    def test_multimedia_check(self, vhs_video):
+        spec = AttributeType("presentation", multimedia=True)
+        spec.check(MultimediaObject("m"))
+        with pytest.raises(MediaModelError):
+            spec.check(vhs_video)
+
+
+class TestEntityType:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(MediaModelError, match="duplicate"):
+            EntityType("X", [
+                AttributeType("a", scalar=ScalarKind.INT),
+                AttributeType("a", scalar=ScalarKind.CHAR),
+            ])
+
+    def test_unknown_attribute(self):
+        schema = EntityType("X", [AttributeType("a", scalar=ScalarKind.INT)])
+        with pytest.raises(MediaModelError, match="no attribute"):
+            schema.attribute("b")
+
+    def test_media_attributes_listing(self):
+        clip_type = video_clip_type()
+        names = {a.name for a in clip_type.media_attributes()}
+        assert names == {"content", "soundtrack"}
+
+
+class TestVideoClipEntity:
+    """The paper's example: title/director + video-valued content."""
+
+    def test_valid_clip(self, vhs_video, soundtrack):
+        clip_type = video_clip_type()
+        clip = clip_type.new(
+            title="The Timed Stream", director="Gibbs",
+            content=vhs_video, soundtrack=soundtrack,
+        )
+        assert clip["title"] == "The Timed Stream"
+        assert clip["content"] is vhs_video
+        assert set(clip.media_values()) == {"content", "soundtrack"}
+
+    def test_optional_attributes(self, vhs_video):
+        clip_type = video_clip_type()
+        clip = clip_type.new(title="T", director="D", content=vhs_video)
+        assert "soundtrack" not in clip
+        assert clip.get("soundtrack") is None
+        assert clip.get("year", 1994) == 1994
+
+    def test_missing_required(self, vhs_video):
+        clip_type = video_clip_type()
+        with pytest.raises(MediaModelError, match="missing required"):
+            clip_type.new(title="T", content=vhs_video)
+
+    def test_unknown_value_rejected(self, vhs_video):
+        clip_type = video_clip_type()
+        with pytest.raises(MediaModelError, match="unknown attributes"):
+            clip_type.new(title="T", director="D", content=vhs_video,
+                          producer="nobody")
+
+    def test_quality_floor_on_content(self, preview_video):
+        clip_type = video_clip_type()
+        with pytest.raises(MediaModelError, match="below"):
+            clip_type.new(title="T", director="D", content=preview_video)
+
+    def test_unset_access(self, vhs_video):
+        clip_type = video_clip_type()
+        clip = clip_type.new(title="T", director="D", content=vhs_video)
+        with pytest.raises(MediaModelError, match="not set"):
+            clip["soundtrack"]
+
+    def test_with_value_immutably(self, vhs_video):
+        clip_type = video_clip_type()
+        clip = clip_type.new(title="T", director="D", content=vhs_video)
+        updated = clip.with_value("title", "T2")
+        assert clip["title"] == "T"
+        assert updated["title"] == "T2"
+
+    def test_with_value_validates(self, vhs_video):
+        clip_type = video_clip_type()
+        clip = clip_type.new(title="T", director="D", content=vhs_video)
+        with pytest.raises(MediaModelError):
+            clip.with_value("title", 42)
+
+    def test_derived_content_accepted(self, vhs_video):
+        """Media-valued attributes may hold *derived* objects."""
+        from repro.edit import MediaEditor
+
+        cut = MediaEditor().cut(vhs_video, 0, 3, name="clip-cut")
+        clip_type = video_clip_type()
+        clip = clip_type.new(title="T", director="D", content=cut)
+        assert clip["content"].is_derived

@@ -1,0 +1,85 @@
+"""Tests for the provenance graph."""
+
+import pytest
+
+from repro.core.provenance import ProvenanceGraph
+from repro.errors import MediaModelError
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.edit import MediaEditor
+
+
+@pytest.fixture
+def production():
+    """A small Figure 4-style derivation chain."""
+    v1 = video_object(frames.scene(16, 16, 10, "orbit"), "video1")
+    v2 = video_object(frames.scene(16, 16, 10, "cut"), "video2")
+    editor = MediaEditor()
+    cut1 = editor.cut(v1, 0, 5, name="cut1")
+    cut2 = editor.cut(v2, 5, 10, name="cut2")
+    fade = editor.transition(v1, v2, 4, kind="fade", a_start=5, b_start=0,
+                             name="fade")
+    final = editor.concat(cut1, fade, cut2, name="final")
+    return v1, v2, cut1, cut2, fade, final, editor.provenance
+
+
+class TestRegistration:
+    def test_recursive_registration(self, production):
+        v1, v2, cut1, cut2, fade, final, graph = production
+        # Registering `final` pulled in the whole chain.
+        assert len(graph) == 6
+        assert v1 in graph and fade in graph
+
+    def test_idempotent(self, production):
+        *_, final, graph = production
+        before = len(graph)
+        graph.register(final)
+        assert len(graph) == before
+
+    def test_by_name(self, production):
+        v1, *_, graph = production
+        assert graph.by_name("video1") is v1
+        with pytest.raises(MediaModelError):
+            graph.by_name("nope")
+
+
+class TestQueries:
+    def test_antecedents(self, production):
+        v1, v2, cut1, cut2, fade, final, graph = production
+        assert graph.antecedents(final) == [cut1, fade, cut2]
+        assert set(graph.antecedents(fade)) == {v1, v2}
+        assert graph.antecedents(v1) == []
+
+    def test_derivatives(self, production):
+        v1, v2, cut1, cut2, fade, final, graph = production
+        assert set(graph.derivatives(v1)) == {cut1, fade}
+        assert graph.derivatives(final) == []
+
+    def test_lineage(self, production):
+        v1, v2, cut1, cut2, fade, final, graph = production
+        lineage = graph.lineage(final)
+        assert set(lineage) == {cut1, cut2, fade, v1, v2}
+        # Nearest antecedents come first (BFS).
+        assert lineage[0] in {cut1, cut2, fade}
+
+    def test_descendants(self, production):
+        v1, v2, cut1, cut2, fade, final, graph = production
+        assert set(graph.descendants(v2)) == {cut2, fade, final}
+
+    def test_roots(self, production):
+        v1, v2, *_, graph = production
+        assert set(graph.roots()) == {v1, v2}
+
+    def test_production_order_topological(self, production):
+        v1, v2, cut1, cut2, fade, final, graph = production
+        order = graph.production_order()
+        positions = {obj.object_id: i for i, obj in enumerate(order)}
+        assert positions[v1.object_id] < positions[cut1.object_id]
+        assert positions[fade.object_id] < positions[final.object_id]
+        assert len(order) == 6
+
+    def test_derivation_steps_readable(self, production):
+        *_, final, graph = production
+        steps = graph.derivation_steps(final)
+        assert steps[-1].startswith("final = video-edit(")
+        assert any("fade = video-transition" in s for s in steps)

@@ -1,0 +1,82 @@
+"""Tests for descriptive quality factors."""
+
+import pytest
+
+from repro.core.quality import (
+    AUDIO_QUALITY,
+    QualityFactor,
+    QualityLadder,
+    VIDEO_QUALITY,
+)
+from repro.errors import QualityError
+
+
+class TestQualityFactor:
+    def test_ordering(self):
+        vhs = VIDEO_QUALITY.get("VHS quality")
+        broadcast = VIDEO_QUALITY.get("broadcast quality")
+        assert vhs < broadcast
+        assert vhs <= vhs
+
+    def test_str_is_descriptive_name(self):
+        assert str(VIDEO_QUALITY.get("VHS quality")) == "VHS quality"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QualityError):
+            QualityFactor("", 1)
+
+
+class TestLadderInvariants:
+    def test_needs_factors(self):
+        with pytest.raises(QualityError):
+            QualityLadder("x", [])
+
+    def test_distinct_ranks(self):
+        with pytest.raises(QualityError):
+            QualityLadder("x", [QualityFactor("a", 1), QualityFactor("b", 1)])
+
+    def test_distinct_names(self):
+        with pytest.raises(QualityError):
+            QualityLadder("x", [QualityFactor("a", 1), QualityFactor("a", 2)])
+
+
+class TestVideoLadder:
+    def test_unknown_quality_lists_known(self):
+        with pytest.raises(QualityError, match="VHS quality"):
+            VIDEO_QUALITY.get("potato quality")
+
+    def test_contains(self):
+        assert "VHS quality" in VIDEO_QUALITY
+        assert "potato quality" not in VIDEO_QUALITY
+
+    def test_ordered_low_to_high(self):
+        ranks = [f.rank for f in VIDEO_QUALITY.ordered()]
+        assert ranks == sorted(ranks)
+
+    def test_lowest_highest(self):
+        assert VIDEO_QUALITY.lowest().name == "preview quality"
+        assert VIDEO_QUALITY.highest().name == "lossless quality"
+
+    def test_at_most(self):
+        names = [f.name for f in VIDEO_QUALITY.at_most("VHS quality")]
+        assert names == ["preview quality", "VHS quality"]
+
+    def test_codec_params_hidden_behind_name(self):
+        # The data-modeling level sees "VHS quality"; the codec level
+        # gets the numeric parameter (§2.2 "Quality Factors").
+        params = VIDEO_QUALITY.codec_params("VHS quality")
+        assert "jpeg_quality" in params
+        assert isinstance(params["jpeg_quality"], int)
+
+    def test_vhs_nominal_bpp_matches_paper(self):
+        # Figure 2: "about 0.5 bits per pixel (this will give VHS quality)".
+        assert VIDEO_QUALITY.get("VHS quality").nominal_bits_per_unit == 0.5
+
+
+class TestAudioLadder:
+    def test_cd_quality_params(self):
+        params = AUDIO_QUALITY.codec_params("CD quality")
+        assert params == {"sample_rate": 44100, "sample_size": 16}
+
+    def test_cd_below_dat(self):
+        assert AUDIO_QUALITY.get("CD quality") < AUDIO_QUALITY.get("DAT quality")

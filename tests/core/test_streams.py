@@ -1,0 +1,309 @@
+"""Tests for timed streams (Definition 3) and Figure 1 categories."""
+
+import pytest
+
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.rational import Rational
+from repro.core.streams import StreamCategory, TimedStream, TimedTuple
+from repro.core.time_system import CD_AUDIO_TIME, PAL_TIME
+from repro.errors import StreamConstraintError, StreamError
+
+
+def raw(size=100):
+    return MediaElement(size=size)
+
+
+@pytest.fixture
+def video(video_type):
+    return video_type
+
+
+class TestTimedTuple:
+    def test_end(self):
+        assert TimedTuple(raw(), 5, 3).end == 8
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(StreamError):
+            TimedTuple(raw(), 0, -1)
+
+    def test_zero_duration_allowed(self):
+        assert TimedTuple(raw(), 5, 0).end == 5
+
+
+class TestDefinition3Invariants:
+    def test_start_times_non_decreasing(self, video):
+        tuples = [TimedTuple(raw(), 5, 1), TimedTuple(raw(), 3, 1)]
+        with pytest.raises(StreamError, match="non-decreasing"):
+            TimedStream(video, tuples, validate_constraints=False)
+
+    def test_equal_starts_allowed(self, video):
+        # s_{i+1} >= s_i admits simultaneous elements (chords).
+        tuples = [TimedTuple(raw(), 3, 1), TimedTuple(raw(), 3, 1)]
+        TimedStream(video, tuples, validate_constraints=False)
+
+    def test_non_time_based_type_needs_explicit_system(self):
+        image = media_type_registry.get("image")
+        with pytest.raises(StreamError):
+            TimedStream(image, [])
+        TimedStream(image, [], time_system=PAL_TIME)
+
+    def test_default_time_system_from_type(self, video):
+        assert TimedStream(video, []).time_system == PAL_TIME
+
+
+class TestSequenceProtocol:
+    def test_len_iter_getitem(self, uniform_video_stream):
+        assert len(uniform_video_stream) == 10
+        assert list(uniform_video_stream)[0].start == 0
+        assert uniform_video_stream[3].start == 3
+
+    def test_slice_returns_stream(self, uniform_video_stream):
+        sliced = uniform_video_stream[2:5]
+        assert isinstance(sliced, TimedStream)
+        assert len(sliced) == 3
+        assert sliced.start == 2
+
+    def test_equality_and_hash(self, video):
+        a = TimedStream.from_elements(video, [raw(), raw()])
+        b = TimedStream.from_elements(video, [raw(), raw()])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_elements_iterator(self, uniform_video_stream):
+        assert all(e.size == 1536 for e in uniform_video_stream.elements())
+
+
+class TestExtent:
+    def test_empty(self, video):
+        stream = TimedStream(video, [])
+        assert stream.is_empty
+        assert stream.start == 0
+        assert stream.end == 0
+        assert stream.duration_seconds() == 0
+
+    def test_span(self, uniform_video_stream):
+        assert uniform_video_stream.span_ticks == 10
+        assert uniform_video_stream.duration_seconds() == Rational(10, 25)
+
+    def test_end_with_overlaps(self, video):
+        # The last tuple need not end last.
+        tuples = [
+            TimedTuple(raw(), 0, 10),
+            TimedTuple(raw(), 2, 3),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.end == 10
+
+    def test_interval(self, uniform_video_stream):
+        interval = uniform_video_stream.interval()
+        assert interval.start == 0
+        assert interval.end == Rational(10, 25)
+
+    def test_total_size_and_rate(self, uniform_video_stream):
+        assert uniform_video_stream.total_size() == 15360
+        assert uniform_video_stream.average_data_rate() == Rational(15360 * 25, 10)
+
+    def test_rate_of_empty_stream(self, video):
+        assert TimedStream(video, []).average_data_rate() == 0
+
+
+class TestLookup:
+    def test_at_tick_continuous(self, uniform_video_stream):
+        matches = uniform_video_stream.at_tick(3)
+        assert len(matches) == 1
+        assert matches[0].start == 3
+
+    def test_at_tick_in_gap(self, gapped_stream):
+        assert gapped_stream.at_tick(4) == []
+
+    def test_at_tick_overlap_returns_all(self, video):
+        tuples = [
+            TimedTuple(raw(1), 0, 4),
+            TimedTuple(raw(2), 1, 1),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert len(stream.at_tick(1)) == 2
+
+    def test_at_tick_event(self, video):
+        tuples = [TimedTuple(raw(), 5, 0)]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert len(stream.at_tick(5)) == 1
+        assert stream.at_tick(6) == []
+
+    def test_at_time_seconds(self, uniform_video_stream):
+        matches = uniform_video_stream.at_time(Rational(1, 5))  # tick 5
+        assert matches[0].start == 5
+
+    def test_index_at_tick(self, gapped_stream):
+        assert gapped_stream.index_at_tick(0) == 0
+        assert gapped_stream.index_at_tick(6) == 2
+        assert gapped_stream.index_at_tick(5) is None
+
+
+class TestFigure1Categories:
+    def test_homogeneous(self, uniform_video_stream):
+        assert uniform_video_stream.is_homogeneous()
+        assert not uniform_video_stream.is_heterogeneous()
+
+    def test_heterogeneous(self, video):
+        d1 = video.make_element_descriptor(frame_kind="I")
+        d2 = video.make_element_descriptor(frame_kind="P")
+        tuples = [
+            TimedTuple(MediaElement(size=10, descriptor=d1), 0, 1),
+            TimedTuple(MediaElement(size=5, descriptor=d2), 1, 1),
+        ]
+        stream = TimedStream(video, tuples)
+        assert stream.is_heterogeneous()
+
+    def test_empty_stream_is_homogeneous_and_continuous(self, video):
+        stream = TimedStream(video, [])
+        assert stream.is_homogeneous()
+        assert stream.is_continuous()
+
+    def test_continuous(self, uniform_video_stream):
+        assert uniform_video_stream.is_continuous()
+        assert not uniform_video_stream.is_non_continuous()
+
+    def test_gap_makes_non_continuous(self, gapped_stream):
+        assert gapped_stream.is_non_continuous()
+        assert gapped_stream.has_gaps()
+        assert not gapped_stream.has_overlaps()
+
+    def test_overlap_makes_non_continuous(self, video):
+        tuples = [
+            TimedTuple(raw(), 0, 4),
+            TimedTuple(raw(), 2, 4),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.is_non_continuous()
+        assert stream.has_overlaps()
+        assert not stream.has_gaps()
+
+    def test_overlap_detection_with_long_first_note(self, video):
+        # A long element overlapping a later short one, with another
+        # element in between that doesn't touch it.
+        tuples = [
+            TimedTuple(raw(), 0, 10),
+            TimedTuple(raw(), 1, 2),
+            TimedTuple(raw(), 5, 2),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.has_overlaps()
+
+    def test_event_based(self, video):
+        tuples = [TimedTuple(raw(), t, 0) for t in (0, 3, 3, 9)]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.is_event_based()
+
+    def test_empty_stream_not_event_based(self, video):
+        assert not TimedStream(video, []).is_event_based()
+
+    def test_constant_frequency(self, uniform_video_stream):
+        assert uniform_video_stream.is_constant_frequency()
+
+    def test_varying_duration_not_constant_frequency(self, video):
+        tuples = [
+            TimedTuple(raw(), 0, 1),
+            TimedTuple(raw(), 1, 2),
+            TimedTuple(raw(), 3, 1),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.is_continuous()
+        assert not stream.is_constant_frequency()
+
+    def test_constant_data_rate_with_varying_sizes(self, video):
+        # size/duration constant although neither is: 100/1 == 200/2.
+        tuples = [
+            TimedTuple(raw(100), 0, 1),
+            TimedTuple(raw(200), 1, 2),
+            TimedTuple(raw(100), 3, 1),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.is_constant_data_rate()
+        assert not stream.is_uniform()
+
+    def test_uniform_implies_constant_data_rate_and_frequency(
+            self, uniform_video_stream):
+        categories = uniform_video_stream.categories()
+        assert StreamCategory.UNIFORM in categories
+        assert StreamCategory.CONSTANT_DATA_RATE in categories
+        assert StreamCategory.CONSTANT_FREQUENCY in categories
+
+    def test_variable_size_constant_frequency_not_cbr(self, video):
+        tuples = [
+            TimedTuple(raw(100), 0, 1),
+            TimedTuple(raw(250), 1, 1),
+        ]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert stream.is_constant_frequency()
+        assert not stream.is_constant_data_rate()
+
+    def test_category_label_cd_audio(self, cd_type):
+        stream = TimedStream.from_elements(cd_type, [MediaElement(size=4)] * 5)
+        assert stream.category_label() == "homogeneous, uniform"
+
+    def test_event_stream_category_label(self, video):
+        tuples = [TimedTuple(raw(), t, 0) for t in (0, 3)]
+        stream = TimedStream(video, tuples, validate_constraints=False)
+        assert "event-based" in stream.category_label()
+
+
+class TestMediaTypeConstraints:
+    """"Generally a media type imposes restrictions on the form of timed
+    streams based on that type" — Definition 3's CD-audio example."""
+
+    def test_cd_audio_fixed_duration_enforced(self, cd_type):
+        tuples = [TimedTuple(raw(4), 0, 2)]
+        with pytest.raises(StreamConstraintError, match="duration"):
+            TimedStream(cd_type, tuples)
+
+    def test_cd_audio_continuity_enforced(self, cd_type):
+        tuples = [
+            TimedTuple(raw(4), 0, 1),
+            TimedTuple(raw(4), 5, 1),
+        ]
+        with pytest.raises(StreamConstraintError, match="continuous"):
+            TimedStream(cd_type, tuples)
+
+    def test_cd_audio_valid_stream(self, cd_type):
+        stream = TimedStream.from_elements(cd_type, [raw(4)] * 3)
+        assert stream.is_uniform()
+
+    def test_midi_event_basedness_enforced(self):
+        midi = media_type_registry.get("midi-music")
+        descriptor = midi.make_element_descriptor(status=0x90, channel=0)
+        good = [TimedTuple(MediaElement(size=3, descriptor=descriptor), 0, 0)]
+        TimedStream(midi, good)
+        bad = [TimedTuple(MediaElement(size=3, descriptor=descriptor), 0, 5)]
+        with pytest.raises(StreamConstraintError, match="event-based"):
+            TimedStream(midi, bad)
+
+    def test_adpcm_requires_element_descriptors(self):
+        adpcm = media_type_registry.get("adpcm-audio")
+        tuples = [TimedTuple(MediaElement(size=259), 0, 505)]
+        with pytest.raises(StreamConstraintError, match="descriptor"):
+            TimedStream(adpcm, tuples)
+
+    def test_validation_can_be_deferred(self, cd_type):
+        tuples = [TimedTuple(raw(4), 0, 2)]
+        stream = TimedStream(cd_type, tuples, validate_constraints=False)
+        with pytest.raises(StreamConstraintError):
+            stream.validate_type_constraints()
+
+
+class TestFromElements:
+    def test_consecutive_starts(self, video):
+        stream = TimedStream.from_elements(video, [raw()] * 4, start=10)
+        assert [t.start for t in stream] == [10, 11, 12, 13]
+
+    def test_custom_duration(self):
+        block_audio = media_type_registry.get("block-audio")
+        stream = TimedStream.from_elements(
+            block_audio, [raw()] * 2, duration=5,
+        )
+        assert stream.span_ticks == 10
+        assert stream.is_continuous()
+
+    def test_repr_mentions_category(self, uniform_video_stream):
+        assert "uniform" in repr(uniform_video_stream)

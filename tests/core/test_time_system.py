@@ -1,0 +1,106 @@
+"""Tests for discrete time systems (Definition 2)."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.core.time_system import (
+    CD_AUDIO_TIME,
+    DAT_TIME,
+    DiscreteTimeSystem,
+    FILM_TIME,
+    NTSC_TIME,
+    PAL_TIME,
+)
+from repro.errors import TimeSystemError
+
+
+class TestDefinition2:
+    """D_f : i -> (1/f) i."""
+
+    def test_pal_mapping(self):
+        assert PAL_TIME.to_continuous(25) == 1
+        assert PAL_TIME.to_continuous(1) == Rational(1, 25)
+
+    def test_cd_mapping(self):
+        assert CD_AUDIO_TIME.to_continuous(44100) == 1
+
+    def test_film_mapping(self):
+        assert FILM_TIME.to_continuous(48) == 2
+
+    def test_ntsc_is_exactly_30000_1001(self):
+        assert NTSC_TIME.frequency == Rational(30000, 1001)
+        assert NTSC_TIME.to_continuous(30000) == Rational(1001)
+
+    def test_zero_maps_to_zero(self):
+        assert PAL_TIME.to_continuous(0) == 0
+
+    def test_negative_ticks_allowed(self):
+        # The domain is the integers.
+        assert PAL_TIME.to_continuous(-25) == -1
+
+    def test_period(self):
+        assert PAL_TIME.period == Rational(1, 25)
+
+    def test_positive_frequency_required(self):
+        with pytest.raises(TimeSystemError):
+            DiscreteTimeSystem(Rational(0))
+        with pytest.raises(TimeSystemError):
+            DiscreteTimeSystem(Rational(-25))
+
+
+class TestInverse:
+    def test_exact_inverse(self):
+        assert PAL_TIME.to_discrete(Rational(2)) == 50
+
+    def test_inexact_raises(self):
+        with pytest.raises(TimeSystemError):
+            PAL_TIME.to_discrete(Rational(1, 3))
+
+    def test_floor(self):
+        assert PAL_TIME.floor(Rational(1, 10)) == 2  # 2.5 ticks -> 2
+
+    def test_ceil(self):
+        assert PAL_TIME.ceil(Rational(1, 10)) == 3
+
+    def test_round(self):
+        assert PAL_TIME.round(Rational(1, 10)) == 2  # 2.5 ties to even
+
+    def test_floor_of_exact_tick(self):
+        assert PAL_TIME.floor(Rational(1)) == 25
+
+
+class TestConversion:
+    def test_convert_pal_to_cd(self):
+        # One PAL frame covers 1764 CD samples.
+        assert PAL_TIME.convert(1, CD_AUDIO_TIME) == 1764
+
+    def test_rescale_rounds(self):
+        assert FILM_TIME.rescale(1, PAL_TIME) == 1  # 1/24 s ~ 1.04 PAL ticks
+
+    def test_rescale_ntsc_to_pal(self):
+        # 30000 NTSC ticks = 1001 s = 25025 PAL ticks.
+        assert NTSC_TIME.rescale(30000, PAL_TIME) == 25025
+
+    def test_commensurate_cd_pal(self):
+        assert CD_AUDIO_TIME.is_commensurate(PAL_TIME)
+
+    def test_not_commensurate_ntsc_pal(self):
+        assert not NTSC_TIME.is_commensurate(PAL_TIME)
+
+    def test_commensurate_self(self):
+        assert DAT_TIME.is_commensurate(DAT_TIME)
+
+
+class TestDisplay:
+    def test_str_integer_frequency(self):
+        assert str(PAL_TIME) == "PAL(25 Hz)"
+
+    def test_str_rational_frequency(self):
+        assert str(NTSC_TIME) == "NTSC(30000/1001 Hz)"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAL_TIME.frequency = Rational(30)
+
+    def test_equality_by_value(self):
+        assert DiscreteTimeSystem(Rational(25), "PAL") == PAL_TIME

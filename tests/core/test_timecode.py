@@ -1,0 +1,106 @@
+"""Tests for SMPTE timecode, including NTSC drop-frame."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.core.timecode import (
+    Timecode,
+    frame_to_timecode,
+    timecode_seconds,
+    timecode_to_frame,
+)
+from repro.errors import TimeSystemError
+
+
+class TestTimecodeValue:
+    def test_str_non_drop(self):
+        assert str(Timecode(1, 2, 3, 4)) == "01:02:03:04"
+
+    def test_str_drop_uses_semicolon(self):
+        assert str(Timecode(0, 1, 0, 2, drop_frame=True)) == "00:01:00;02"
+
+    def test_rejects_dropped_label(self):
+        with pytest.raises(TimeSystemError):
+            Timecode(0, 1, 0, 0, drop_frame=True)
+        with pytest.raises(TimeSystemError):
+            Timecode(0, 1, 0, 1, drop_frame=True)
+
+    def test_tenth_minute_keeps_labels(self):
+        # Minutes divisible by 10 do not drop labels 00/01.
+        Timecode(0, 10, 0, 0, drop_frame=True)
+        Timecode(0, 20, 0, 1, drop_frame=True)
+
+    def test_range_validation(self):
+        with pytest.raises(TimeSystemError):
+            Timecode(0, 60, 0, 0)
+        with pytest.raises(TimeSystemError):
+            Timecode(0, 0, 60, 0)
+        with pytest.raises(TimeSystemError):
+            Timecode(-1, 0, 0, 0)
+
+
+class TestNonDrop:
+    @pytest.mark.parametrize("frame,expected", [
+        (0, "00:00:00:00"),
+        (29, "00:00:00:29"),
+        (30, "00:00:01:00"),
+        (1800, "00:01:00:00"),
+        (108000, "01:00:00:00"),
+    ])
+    def test_frame_to_timecode_30fps(self, frame, expected):
+        assert str(frame_to_timecode(frame, fps=30)) == expected
+
+    def test_pal_25fps(self):
+        assert str(frame_to_timecode(25, fps=25)) == "00:00:01:00"
+
+    def test_roundtrip(self):
+        for frame in (0, 1, 29, 30, 1799, 1800, 54321):
+            tc = frame_to_timecode(frame, fps=30)
+            assert timecode_to_frame(tc, fps=30) == frame
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(TimeSystemError):
+            frame_to_timecode(-1)
+
+
+class TestDropFrame:
+    def test_first_dropped_label(self):
+        # Frame 1800 is one minute in: labels ;00 and ;01 are dropped.
+        assert str(frame_to_timecode(1800, fps=30, drop_frame=True)) == "00:01:00;02"
+
+    def test_tenth_minute_not_dropped(self):
+        frame = 17982  # exactly ten drop-frame minutes
+        assert str(frame_to_timecode(frame, fps=30, drop_frame=True)) == "00:10:00;00"
+
+    def test_end_of_first_minute(self):
+        assert str(frame_to_timecode(1799, fps=30, drop_frame=True)) == "00:00:59;29"
+
+    def test_roundtrip_dense(self):
+        for frame in range(0, 20000, 37):
+            tc = frame_to_timecode(frame, fps=30, drop_frame=True)
+            assert timecode_to_frame(tc, fps=30) == frame
+
+    def test_one_hour_drift_is_small(self):
+        # Drop-frame labels track wall time within 3.6 ms/hour: the
+        # label 01:00:00;00 must land within 0.1 s of 3600 s.
+        frame = timecode_to_frame(
+            Timecode(1, 0, 0, 0, drop_frame=True), fps=30
+        )
+        seconds = float(frame) * 1001 / 30000
+        assert abs(seconds - 3600.0) < 0.1
+
+    def test_requires_30fps(self):
+        with pytest.raises(TimeSystemError):
+            frame_to_timecode(10, fps=25, drop_frame=True)
+        with pytest.raises(TimeSystemError):
+            timecode_to_frame(Timecode(0, 0, 1, 0, drop_frame=True), fps=25)
+
+
+class TestTimecodeSeconds:
+    def test_ntsc_seconds_exact(self):
+        tc = Timecode(0, 0, 1, 0)
+        assert timecode_seconds(tc) == Rational(30 * 1001, 30000)
+
+    def test_drop_frame_seconds(self):
+        tc = Timecode(0, 1, 0, 2, drop_frame=True)
+        assert timecode_seconds(tc) == Rational(1800 * 1001, 30000)

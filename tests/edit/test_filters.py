@@ -1,0 +1,109 @@
+"""Tests for audio normalization and image filters."""
+
+import numpy as np
+import pytest
+
+from repro.core.derivation import derivation_registry
+from repro.edit.filters import box_blur, normalize_signal, sharpen
+from repro.errors import DerivationError
+from repro.media import frames, signals
+from repro.media.objects import audio_object, image_object, signal_of
+
+
+class TestNormalizeSignal:
+    def test_whole_signal_normalized(self):
+        samples = (signals.sine(440, 0.1, 8000) * 3000).astype(np.int16)
+        normalized = normalize_signal(samples, target_peak=0.98)
+        peak = np.abs(normalized.astype(int)).max()
+        assert peak == pytest.approx(0.98 * 32767, rel=0.01)
+
+    def test_region_only(self):
+        samples = np.full(100, 1000, dtype=np.int16)
+        normalized = normalize_signal(samples, start=0, end=50)
+        assert np.abs(normalized[:50]).max() > 30000
+        assert np.all(normalized[50:] == 1000)
+
+    def test_defaults_to_whole_object(self):
+        """'If no parameters are specified, normalization is performed
+        for the whole audio object.'"""
+        samples = np.full(100, 500, dtype=np.int16)
+        normalized = normalize_signal(samples)
+        assert np.abs(normalized).min() > 30000
+
+    def test_silence_unchanged(self):
+        silence = np.zeros(100, dtype=np.int16)
+        assert np.array_equal(normalize_signal(silence), silence)
+
+    def test_stereo(self):
+        samples = np.full((100, 2), 1000, dtype=np.int16)
+        normalized = normalize_signal(samples)
+        assert normalized.shape == (100, 2)
+        assert np.abs(normalized).max() > 30000
+
+    def test_bad_range(self):
+        samples = np.zeros(10, dtype=np.int16)
+        with pytest.raises(DerivationError):
+            normalize_signal(samples, start=5, end=2)
+        with pytest.raises(DerivationError):
+            normalize_signal(samples, start=0, end=11)
+
+    def test_bad_target(self):
+        with pytest.raises(DerivationError):
+            normalize_signal(np.zeros(4, dtype=np.int16), target_peak=1.5)
+
+    def test_no_clipping(self):
+        samples = np.array([100, -32000], dtype=np.int16)
+        normalized = normalize_signal(samples, target_peak=1.0)
+        assert normalized.min() >= -32768
+
+
+class TestNormalizationDerivation:
+    def test_quiet_audio_boosted(self, tone):
+        quiet = audio_object(tone * 0.1, "quiet", sample_rate=8000,
+                             block_samples=250)
+        derivation = derivation_registry.get("audio-normalization")
+        derived = derivation([quiet], {})
+        loud = derived.expand()
+        assert np.abs(signal_of(loud)).max() > 30000
+        # Source untouched (non-destructive).
+        assert np.abs(signal_of(quiet)).max() < 5000
+
+    def test_descriptor_preserved(self, tone):
+        quiet = audio_object(tone * 0.1, "quiet", sample_rate=8000)
+        derivation = derivation_registry.get("audio-normalization")
+        derived = derivation([quiet], {})
+        assert derived.descriptor["sample_rate"] == 8000
+
+
+class TestImageFilters:
+    def test_blur_smooths(self):
+        image = frames.texture_frame(32, 32, seed=3, smoothness=1)
+        blurred = box_blur(image, radius=2)
+        assert blurred.std() < image.std()
+        assert blurred.shape == image.shape
+
+    def test_blur_preserves_constant(self):
+        flat = np.full((16, 16, 3), 77, dtype=np.uint8)
+        assert np.array_equal(box_blur(flat, radius=1), flat)
+
+    def test_blur_radius_validation(self):
+        with pytest.raises(DerivationError):
+            box_blur(np.zeros((8, 8, 3), dtype=np.uint8), radius=0)
+
+    def test_sharpen_increases_contrast(self):
+        image = frames.gradient_frame(32, 32)
+        sharpened = sharpen(image, amount=2.0)
+        assert sharpened.astype(int).std() >= image.astype(int).std()
+
+    def test_filter_derivation(self, small_frame):
+        source = image_object(small_frame, "img")
+        derivation = derivation_registry.get("image-filter")
+        blurred = derivation([source], {"kind": "blur", "radius": 2}).expand()
+        assert blurred.value().shape == small_frame.shape
+
+    def test_unknown_filter_kind(self, small_frame):
+        source = image_object(small_frame, "img")
+        derivation = derivation_registry.get("image-filter")
+        derived = derivation([source], {"kind": "emboss"})
+        with pytest.raises(DerivationError):
+            derived.expand()

@@ -1,0 +1,163 @@
+"""Tests for the activity dataflow engine (§6's forward pointer)."""
+
+import pytest
+
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.rational import Rational
+from repro.core.streams import TimedStream, TimedTuple
+from repro.engine.activities import (
+    ActivityGraph,
+    Consumer,
+    Port,
+    Producer,
+    Transform,
+    pipeline,
+)
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def stream():
+    video = media_type_registry.get("pal-video")
+    return TimedStream.from_elements(
+        video, [MediaElement(payload=i, size=10) for i in range(8)]
+    )
+
+
+class TestPort:
+    def test_fifo(self):
+        port = Port("p", capacity=2)
+        a = TimedTuple(MediaElement(size=1), 0, 1)
+        b = TimedTuple(MediaElement(size=1), 1, 1)
+        port.put(a)
+        port.put(b)
+        assert port.take() is a
+        assert port.take() is b
+        assert port.take() is None
+
+    def test_overflow(self):
+        port = Port("p", capacity=1)
+        port.put(TimedTuple(MediaElement(size=1), 0, 1))
+        with pytest.raises(EngineError, match="overflow"):
+            port.put(TimedTuple(MediaElement(size=1), 1, 1))
+
+    def test_capacity_validation(self):
+        with pytest.raises(EngineError):
+            Port("p", capacity=0)
+
+
+class TestPipeline:
+    def test_identity_flow(self, stream):
+        consumer = pipeline(stream)
+        assert consumer.count == 8
+        assert consumer.bytes == 80
+        assert [t.element.payload for t in consumer.collected] == list(range(8))
+
+    def test_transform_applied(self, stream):
+        double = lambda e: MediaElement(payload=e.payload * 2, size=e.size)
+        consumer = pipeline(stream, double)
+        assert [t.element.payload for t in consumer.collected] == \
+            [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_filter_drops(self, stream):
+        keep_even = lambda e: e if e.payload % 2 == 0 else None
+        consumer = pipeline(stream, keep_even)
+        assert consumer.count == 4
+
+    def test_chained_transforms(self, stream):
+        add1 = lambda e: MediaElement(payload=e.payload + 1, size=e.size)
+        consumer = pipeline(stream, add1, add1, add1)
+        assert consumer.collected[0].element.payload == 3
+
+    def test_timing_preserved(self, stream):
+        consumer = pipeline(stream, lambda e: e)
+        assert [t.start for t in consumer.collected] == list(range(8))
+
+
+class TestClockedExecution:
+    def test_arrival_times_follow_element_starts(self, stream):
+        graph = ActivityGraph()
+        producer = graph.add(Producer("src", stream))
+        consumer = graph.add(Consumer("sink"))
+        graph.connect(producer, consumer)
+        final = graph.run()
+        # Element i becomes available at i/25 s; the last at 7/25.
+        assert final == Rational(7, 25)
+        assert consumer.arrival_times[0] == 0
+        assert consumer.arrival_times[-1] == Rational(7, 25)
+
+    def test_two_producers_merge_in_time(self, stream):
+        from repro.core import stream_ops
+
+        shifted = stream_ops.translate(stream, 4)
+        graph = ActivityGraph()
+        a = graph.add(Producer("a", stream))
+        b = graph.add(Producer("b", shifted))
+        consumer = graph.add(Consumer("sink"))
+        graph.connect(a, consumer)
+        graph.connect(b, consumer)
+        graph.run()
+        assert consumer.count == 16
+        # Arrivals are non-decreasing in media time.
+        assert consumer.arrival_times == sorted(consumer.arrival_times)
+
+    def test_fan_out(self, stream):
+        graph = ActivityGraph()
+        producer = graph.add(Producer("src", stream))
+        left = graph.add(Consumer("left"))
+        right = graph.add(Consumer("right"))
+        graph.connect(producer, left)
+        graph.connect(producer, right)
+        graph.run()
+        assert left.count == right.count == 8
+
+    def test_backpressure_through_small_ports(self, stream):
+        graph = ActivityGraph()
+        producer = graph.add(Producer("src", stream))
+        slow = graph.add(Transform("slow", lambda e: e))
+        consumer = graph.add(Consumer("sink"))
+        graph.connect(producer, slow, capacity=1)
+        graph.connect(slow, consumer, capacity=1)
+        graph.run()
+        assert consumer.count == 8
+
+    def test_transform_counters(self, stream):
+        graph = ActivityGraph()
+        producer = graph.add(Producer("src", stream))
+        filt = graph.add(Transform("f", lambda e: None))
+        consumer = graph.add(Consumer("sink"))
+        graph.connect(producer, filt)
+        graph.connect(filt, consumer)
+        graph.run()
+        assert filt.processed == 8
+        assert filt.dropped == 8
+        assert consumer.count == 0
+
+    def test_duplicate_names_rejected(self, stream):
+        graph = ActivityGraph()
+        graph.add(Producer("x", stream))
+        with pytest.raises(EngineError, match="already"):
+            graph.add(Consumer("x"))
+
+    def test_connect_requires_membership(self, stream):
+        graph = ActivityGraph()
+        producer = Producer("src", stream)
+        consumer = graph.add(Consumer("sink"))
+        with pytest.raises(EngineError):
+            graph.connect(producer, consumer)
+
+    def test_empty_stream(self):
+        video = media_type_registry.get("pal-video")
+        empty = TimedStream(video, [])
+        consumer = pipeline(empty)
+        assert consumer.count == 0
+
+    def test_consumer_without_retention(self, stream):
+        graph = ActivityGraph()
+        producer = graph.add(Producer("src", stream))
+        consumer = graph.add(Consumer("sink", keep_elements=False))
+        graph.connect(producer, consumer)
+        graph.run()
+        assert consumer.count == 8
+        assert consumer.collected == []

@@ -1,0 +1,101 @@
+"""Tests for ring buffers and prefetch simulation."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.engine.buffers import RingBuffer, simulate_prefetch
+from repro.errors import EngineError
+
+
+class TestRingBuffer:
+    def test_fifo(self):
+        buffer = RingBuffer(3)
+        buffer.push(1)
+        buffer.push(2)
+        assert buffer.pop() == 1
+        assert buffer.pop() == 2
+
+    def test_overflow(self):
+        buffer = RingBuffer(1)
+        buffer.push(1)
+        with pytest.raises(EngineError, match="overflow"):
+            buffer.push(2)
+        assert not buffer.try_push(2)
+
+    def test_underflow(self):
+        buffer = RingBuffer(1)
+        with pytest.raises(EngineError, match="underflow"):
+            buffer.pop()
+        assert buffer.try_pop() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(EngineError):
+            RingBuffer(0)
+
+    def test_state_flags(self):
+        buffer = RingBuffer(2)
+        assert buffer.is_empty
+        buffer.push(1)
+        buffer.push(2)
+        assert buffer.is_full
+        assert len(buffer) == 2
+
+
+def rationals(values):
+    return [Rational(*v) if isinstance(v, tuple) else Rational(v) for v in values]
+
+
+class TestPrefetchSimulation:
+    def test_fast_producer_no_underruns(self):
+        # Production finishes well ahead of each (shifted) deadline.
+        production = rationals([(1, 100), (2, 100), (3, 100), (4, 100)])
+        deadlines = rationals([0, 1, 2, 3])
+        report = simulate_prefetch(production, deadlines, depth=1)
+        assert report.underruns == 0
+        assert report.startup_delay == Rational(1, 100)
+
+    def test_slow_producer_underruns_without_buffering(self):
+        # Elements take 1.5x their presentation interval to produce.
+        production = rationals([(3, 2), 3, (9, 2), 6])
+        deadlines = rationals([0, 1, 2, 3])
+        report = simulate_prefetch(production, deadlines, depth=1)
+        assert report.underruns > 0
+
+    def test_deeper_prefetch_absorbs_jitter(self):
+        # Bursty production: slow elements early, fast later.
+        production = rationals([2, 4, (17, 4), (18, 4), (19, 4), (20, 4)])
+        deadlines = rationals([0, 1, 2, 3, 4, 5])
+        shallow = simulate_prefetch(production, deadlines, depth=1)
+        deep = simulate_prefetch(production, deadlines, depth=3)
+        assert deep.underruns < shallow.underruns
+
+    def test_startup_delay_grows_with_depth(self):
+        production = rationals([1, 2, 3, 4])
+        deadlines = rationals([0, 1, 2, 3])
+        d1 = simulate_prefetch(production, deadlines, depth=1)
+        d3 = simulate_prefetch(production, deadlines, depth=3)
+        assert d3.startup_delay > d1.startup_delay
+
+    def test_depth_capped_by_element_count(self):
+        production = rationals([1, 2])
+        deadlines = rationals([0, 1])
+        report = simulate_prefetch(production, deadlines, depth=10)
+        assert report.startup_delay == 2
+
+    def test_underrun_fraction(self):
+        production = rationals([1, 10])
+        deadlines = rationals([0, 1])
+        report = simulate_prefetch(production, deadlines, depth=1)
+        assert report.underrun_fraction == 0.5
+        assert report.max_wait == 10 - (1 + 1)
+
+    def test_empty(self):
+        report = simulate_prefetch([], [], depth=3)
+        assert report.presented == 0
+        assert report.underrun_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            simulate_prefetch([Rational(1)], [], depth=1)
+        with pytest.raises(EngineError):
+            simulate_prefetch([Rational(1)], [Rational(0)], depth=0)

@@ -1,0 +1,64 @@
+"""Tests for the simulated media clock."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.engine.clock import MediaClock
+from repro.errors import EngineError
+
+
+class TestMediaClock:
+    def test_normal_rate(self):
+        clock = MediaClock()
+        assert clock.now() == 0
+        clock.advance(Rational(1, 2))
+        assert clock.now() == Rational(1, 2)
+
+    def test_double_speed(self):
+        clock = MediaClock(rate=2)
+        clock.advance(3)
+        assert clock.now() == 6
+
+    def test_pause(self):
+        clock = MediaClock()
+        clock.advance(1)
+        clock.set_rate(0)
+        clock.advance(10)
+        assert clock.now() == 1
+
+    def test_reverse(self):
+        clock = MediaClock(start=10, rate=-1)
+        clock.advance(4)
+        assert clock.now() == 6
+
+    def test_reference_time_monotone(self):
+        clock = MediaClock()
+        with pytest.raises(EngineError):
+            clock.advance(-1)
+
+    def test_seek(self):
+        clock = MediaClock()
+        clock.seek(Rational(130))
+        assert clock.now() == 130
+
+    def test_until(self):
+        clock = MediaClock(rate=2)
+        assert clock.until(10) == 5
+
+    def test_until_unreachable(self):
+        clock = MediaClock(start=5)
+        with pytest.raises(EngineError):
+            clock.until(1)
+        clock.set_rate(0)
+        with pytest.raises(EngineError):
+            clock.until(10)
+
+    def test_until_backwards_rate(self):
+        clock = MediaClock(start=10, rate=-1)
+        assert clock.until(4) == 6
+
+    def test_exact_arithmetic(self):
+        clock = MediaClock(rate=Rational(30000, 1001))
+        for _ in range(1001):
+            clock.advance(Rational(1, 30000))
+        assert clock.now() == 1  # exactly

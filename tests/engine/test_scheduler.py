@@ -1,0 +1,103 @@
+"""Tests for deadline scheduling of presentation events."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.engine.scheduler import (
+    PresentationEvent,
+    schedule_events,
+    utilization,
+)
+from repro.errors import SchedulingError
+
+
+def event(label, release, cost, deadline):
+    return PresentationEvent(label, Rational(*release) if isinstance(release, tuple) else release,
+                             Rational(*cost) if isinstance(cost, tuple) else cost,
+                             Rational(*deadline) if isinstance(deadline, tuple) else deadline)
+
+
+class TestValidation:
+    def test_negative_cost(self):
+        with pytest.raises(SchedulingError):
+            event("a", 0, -1, 1)
+
+    def test_negative_release(self):
+        with pytest.raises(SchedulingError):
+            event("a", -1, 0, 1)
+
+    def test_duplicate_labels(self):
+        with pytest.raises(SchedulingError):
+            schedule_events([event("a", 0, 1, 2), event("a", 0, 1, 3)])
+
+
+class TestFeasibleSets:
+    def test_underloaded_meets_all_deadlines(self):
+        # 25 fps frames each costing 10 ms: utilization 0.25.
+        events = [
+            event(f"f{i}", 0, (1, 100), ((i + 1), 25)) for i in range(25)
+        ]
+        report = schedule_events(events)
+        assert report.miss_count == 0
+        assert report.max_lateness <= 0
+        assert report.on_time_fraction() == 1.0
+
+    def test_makespan(self):
+        events = [event("a", 0, 2, 10), event("b", 0, 3, 10)]
+        assert schedule_events(events).makespan == 5
+
+    def test_respects_release_times(self):
+        events = [event("a", 5, 1, 10)]
+        report = schedule_events(events)
+        assert report.completion["a"] == 6
+
+    def test_idle_gap_between_releases(self):
+        events = [event("a", 0, 1, 2), event("b", 10, 1, 12)]
+        report = schedule_events(events)
+        assert report.completion["b"] == 11
+
+
+class TestEdfOrdering:
+    def test_earliest_deadline_first(self):
+        events = [
+            event("late", 0, 1, 100),
+            event("urgent", 0, 1, 2),
+        ]
+        report = schedule_events(events)
+        assert report.completion["urgent"] < report.completion["late"]
+
+    def test_overload_misses_reported(self):
+        # Two unit-cost jobs both due at 1: one must be late.
+        events = [event("a", 0, 1, 1), event("b", 0, 1, 1)]
+        report = schedule_events(events)
+        assert report.miss_count == 1
+        assert report.max_lateness == 1
+
+    def test_jitter_zero_when_all_on_time(self):
+        events = [event(f"e{i}", 0, (1, 10), i + 1) for i in range(5)]
+        report = schedule_events(events)
+        assert report.jitter == 0
+
+    def test_jitter_positive_under_overload(self):
+        events = [event(f"e{i}", 0, 1, 1) for i in range(4)]
+        report = schedule_events(events)
+        assert report.jitter > 0
+
+    def test_empty(self):
+        report = schedule_events([])
+        assert report.makespan == 0
+        assert report.miss_count == 0
+
+
+class TestUtilization:
+    def test_value(self):
+        events = [event(f"e{i}", 0, (1, 10), (i + 1, 2)) for i in range(4)]
+        # 0.4 s of work over a 2 s horizon.
+        assert utilization(events) == Rational(1, 5)
+
+    def test_empty(self):
+        assert utilization([]) == 0
+
+    def test_instant_horizon(self):
+        events = [event("a", 0, 1, 0)]
+        assert utilization(events) > 1

@@ -1,0 +1,102 @@
+"""Tests for sync measurement and the resource model."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.engine.resources import ExpansionDecision, ResourceModel
+from repro.engine.scheduler import PresentationEvent
+from repro.engine.sync import measure_sync
+from repro.errors import EngineError, ResourceError
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.edit import MediaEditor
+
+
+def rl(values):
+    return [Rational(*v) if isinstance(v, tuple) else Rational(v) for v in values]
+
+
+class TestMeasureSync:
+    def test_perfect_sync(self):
+        lateness = rl([0, 0, 0])
+        deadlines = rl([0, 1, 2])
+        report = measure_sync(lateness, deadlines, lateness, deadlines)
+        assert report.max_skew == 0
+        assert report.within_tolerance(Rational(1, 100))
+
+    def test_one_stream_lags(self):
+        deadlines = rl([0, 1, 2])
+        a = rl([0, 0, 0])
+        b = rl([(1, 10), (1, 10), (1, 10)])
+        report = measure_sync(a, deadlines, b, deadlines)
+        assert report.max_skew == Rational(1, 10)
+        assert not report.within_tolerance(Rational(8, 100))  # > 80 ms
+
+    def test_nearest_deadline_pairing(self):
+        a_deadlines = rl([0, 1])
+        b_deadlines = rl([(1, 2), (3, 2)])
+        a = rl([0, 0])
+        b = rl([(1, 20), (3, 20)])
+        report = measure_sync(a, a_deadlines, b, b_deadlines)
+        assert report.samples == 2
+        assert report.max_skew == Rational(3, 20)
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(EngineError):
+            measure_sync(rl([0]), [], rl([0]), rl([0]))
+
+    def test_empty(self):
+        report = measure_sync([], [], [], [])
+        assert report.samples == 0
+
+
+@pytest.fixture
+def derived_clip():
+    video = video_object(frames.scene(24, 16, 10, "pan"), "v")
+    return MediaEditor().cut(video, 0, 5, name="clip")
+
+
+class TestResourceModel:
+    def test_fast_machine_stores_derivation(self, derived_clip):
+        model = ResourceModel(speed_factor=10_000.0)
+        decision = model.assess_expansion(derived_clip)
+        assert decision.real_time
+        assert decision.recommendation == "store derivation object"
+        assert decision.margin > 1
+
+    def test_slow_machine_materializes(self, derived_clip):
+        model = ResourceModel(speed_factor=0.0)
+        decision = model.assess_expansion(derived_clip)
+        assert not decision.real_time
+        assert decision.recommendation == "materialize"
+
+    def test_choose_storage_follows_rule(self, derived_clip):
+        fast = ResourceModel(speed_factor=10_000.0)
+        assert fast.choose_storage(derived_clip) is derived_clip
+        slow = ResourceModel(speed_factor=0.0)
+        stored = slow.choose_storage(derived_clip)
+        assert stored is not derived_clip
+        assert derived_clip.is_materialized
+
+    def test_needs_duration(self, derived_clip):
+        bare = MediaEditor().cut(
+            video_object(frames.scene(24, 16, 4, "pan"), "w"), 0, 2,
+        )
+        bare.descriptor = bare.descriptor.without("duration")
+        with pytest.raises(ResourceError, match="duration"):
+            ResourceModel().assess_expansion(bare)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ResourceError):
+            ResourceModel(speed_factor=-1)
+        with pytest.raises(ResourceError):
+            ResourceModel(safety_margin=0.5)
+
+    def test_admission_control(self):
+        light = [PresentationEvent(f"e{i}", Rational(0), Rational(1, 100),
+                                   Rational(i + 1)) for i in range(5)]
+        heavy = [PresentationEvent(f"e{i}", Rational(0), Rational(2),
+                                   Rational(i + 1)) for i in range(5)]
+        model = ResourceModel(speed_factor=1.0)
+        assert model.admit(light)
+        assert not model.admit(heavy)

@@ -1,0 +1,88 @@
+"""Tests for the shared bench utilities (reporting + workloads)."""
+
+import pytest
+
+from repro.bench.reporting import format_bytes, format_rate, table_text
+from repro.bench.workloads import (
+    figure1_streams,
+    figure2_capture,
+    figure2_paper_arithmetic,
+    figure4_production,
+    multilingual_movie,
+)
+from repro.core.rational import Rational
+
+
+class TestReporting:
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 2**20) == "3.00 MiB"
+        assert format_bytes(5 * 2**30) == "5.00 GiB"
+
+    def test_format_rate(self):
+        assert format_rate(1024) == "1.00 KiB/s"
+
+    def test_table_alignment(self):
+        text = table_text(("a", "long header"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows share the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_table_title(self):
+        text = table_text(("x",), [(1,)], title="caption")
+        assert text.splitlines()[0] == "caption"
+
+
+class TestWorkloadDeterminism:
+    def test_figure1_deterministic(self):
+        first = figure1_streams()
+        second = figure1_streams()
+        for name in first:
+            assert first[name].category_label() == second[name].category_label()
+            assert len(first[name]) == len(second[name])
+
+    def test_figure2_capture_deterministic(self):
+        a = figure2_capture(width=48, height=32, seconds=0.2)
+        b = figure2_capture(width=48, height=32, seconds=0.2)
+        assert a.measured_video_bpp == b.measured_video_bpp
+        assert a.interpretation.blob.read_all() == \
+            b.interpretation.blob.read_all()
+
+    def test_figure2_arithmetic_constants(self):
+        arithmetic = figure2_paper_arithmetic()
+        assert arithmetic.width == 640
+        assert arithmetic.duration_seconds == 600
+
+
+class TestFigure4Scaling:
+    @pytest.mark.parametrize("scale", [0.05, 0.1])
+    def test_proportions_invariant_under_scale(self, scale):
+        production = figure4_production(width=32, height=24, scale=scale)
+        timeline = dict(production.multimedia.timeline())
+        total = production.multimedia.duration()
+        # audio2 always enters at 60/130 of the presentation.
+        ratio = timeline["audio2"].start / total
+        assert ratio == Rational(60, 130)
+
+    def test_video3_matches_timeline(self):
+        production = figure4_production(width=32, height=24, scale=0.05)
+        stream = production.video3.expand().stream()
+        declared = production.video3.descriptor["duration"]
+        assert stream.duration_seconds() == declared
+
+
+class TestMultilingualMovie:
+    def test_languages_cataloged(self):
+        db, movie = multilingual_movie(seconds=0.2)
+        languages = {
+            db.attributes_of(o.name).get("language")
+            for o in db.objects(role="soundtrack")
+        }
+        assert languages == {"en", "fr", "de"}
+
+    def test_movie_components(self):
+        _, movie = multilingual_movie(seconds=0.2)
+        labels = {r.label for r in movie}
+        assert labels == {"picture", "audio-en", "audio-fr", "audio-de"}

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; they must keep working. Each is
+imported as a module and its ``main()`` executed with output captured.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "movie_production",
+    "multilingual_query",
+    "midi_studio",
+    "animation_pipeline",
+    "database_tour",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output) > 100  # produced a real report
+
+
+def test_quickstart_mentions_placement_table(capsys):
+    load_example("quickstart").main()
+    output = capsys.readouterr().out
+    assert "placement table" in output
+    assert "playback" in output
+
+
+def test_movie_production_shows_figure4_structure(capsys):
+    load_example("movie_production").main()
+    output = capsys.readouterr().out
+    assert "video3 = video-edit(videoc1, videoF, videoc2)" in output
+    assert "audio2" in output
+
+
+def test_multilingual_query_selects_french(capsys):
+    load_example("multilingual_query").main()
+    output = capsys.readouterr().out
+    assert "feature-audio-fr" in output
+    assert "fidelity" in output
+
+
+def test_animation_pipeline_shows_out_of_order(capsys):
+    load_example("animation_pipeline").main()
+    output = capsys.readouterr().out
+    assert "storage pos" in output
+    assert "decoded 16 frames" in output

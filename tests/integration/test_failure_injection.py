@@ -1,0 +1,175 @@
+"""Failure injection: corruption and inconsistency must fail loudly.
+
+The paper's warning (§4.1): if an interpretation and its BLOB drift
+apart, "media elements within the BLOB may be effectively lost". These
+tests corrupt real captures and check that every layer raises a typed
+error instead of returning garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.codecs.adpcm import AdpcmCodec
+from repro.codecs.jpeg_like import JpegLikeCodec
+from repro.codecs.pcm import PcmCodec
+from repro.core.interpretation import Interpretation, PlacementEntry
+from repro.engine.recorder import Recorder
+from repro.errors import (
+    BlobBoundsError,
+    CodecError,
+    ContainerFormatError,
+    InterpretationError,
+)
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+from repro.storage.container import deserialize_container, serialize_container
+
+
+@pytest.fixture
+def capture():
+    video = video_object(frames.scene(32, 24, 6, "orbit"), "v")
+    audio = audio_object(signals.sine(440, 0.24, 8000), "a",
+                         sample_rate=8000, block_samples=320)
+    codec = JpegLikeCodec(quality=50)
+    blob = MemoryBlob()
+    interpretation = Recorder(blob).record(
+        [video, audio],
+        encoders={"v": codec.encode, "a": PcmCodec(16, 1).encode},
+    )
+    return blob, interpretation, codec
+
+
+class TestTruncatedBlob:
+    def test_interpretation_over_short_blob_detected(self, capture):
+        blob, interpretation, _ = capture
+        truncated = MemoryBlob(blob.read(0, len(blob) - 100))
+        orphan = Interpretation(truncated, "orphan")
+        for name in interpretation.names():
+            sequence = interpretation.sequence(name)
+            orphan.add(name, sequence.media_type, sequence.media_descriptor,
+                       sequence.entries, time_system=sequence.time_system)
+        with pytest.raises(InterpretationError, match="beyond BLOB"):
+            orphan.validate()
+
+    def test_read_past_end_is_bounds_error(self, capture):
+        blob, interpretation, _ = capture
+        last = interpretation.sequence("v").entries[-1]
+        bad = PlacementEntry(
+            element_number=last.element_number + 1,
+            start=last.end, duration=1,
+            size=last.size, blob_offset=len(blob) - 10,
+        )
+        with pytest.raises(BlobBoundsError):
+            blob.read(bad.blob_offset, bad.size)
+
+
+class TestCorruptedElements:
+    def test_corrupt_frame_fails_cleanly(self, capture):
+        blob, interpretation, codec = capture
+        entry = interpretation.sequence("v").entry(2)
+        raw = bytearray(blob.read(entry.blob_offset, entry.size))
+        raw[0] ^= 0xFF  # destroy the magic
+        with pytest.raises(CodecError):
+            codec.decode(bytes(raw))
+
+    def test_other_frames_unaffected(self, capture):
+        """Intra coding localizes damage: frame 2 dying leaves 3 intact."""
+        blob, interpretation, codec = capture
+        good = interpretation.read_element("v", 3)
+        frame = codec.decode(good)
+        assert frame.shape == (24, 32, 3)
+
+    def test_truncated_frame_payload(self, capture):
+        _, interpretation, codec = capture
+        raw = interpretation.read_element("v", 0)
+        with pytest.raises(CodecError):
+            codec.decode(raw[:len(raw) // 2])
+
+    def test_bitflip_in_entropy_stream(self, capture):
+        """A flipped bit inside the Huffman payload either decodes to
+        wrong-but-bounded data or raises; it never crashes outside the
+        codec error type."""
+        _, interpretation, codec = capture
+        raw = bytearray(interpretation.read_element("v", 1))
+        raw[len(raw) // 2] ^= 0x10
+        try:
+            frame = codec.decode(bytes(raw))
+            assert frame.dtype == np.uint8
+            assert frame.shape == (24, 32, 3)
+        except CodecError:
+            pass
+
+    def test_adpcm_garbage(self):
+        with pytest.raises(CodecError):
+            AdpcmCodec().decode(b"\x01\x02\x03")
+
+
+class TestTamperedContainer:
+    def test_header_length_overflow(self, capture):
+        _, interpretation, _ = capture
+        data = bytearray(serialize_container(interpretation))
+        data[4:8] = (2**31).to_bytes(4, "big")
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(bytes(data))
+
+    def test_placement_tampering_caught_on_load(self, capture):
+        """A container whose table points past its BLOB fails validation
+        at deserialization time, not at first read."""
+        import json
+        import struct
+
+        _, interpretation, _ = capture
+        data = serialize_container(interpretation)
+        (header_length,) = struct.unpack_from(">I", data, 4)
+        header = json.loads(data[8:8 + header_length].decode())
+        header["sequences"][0]["entries"][0][4] = 10**9  # blob offset
+        new_header = json.dumps(header, separators=(",", ":")).encode()
+        tampered = (data[:4] + struct.pack(">I", len(new_header))
+                    + new_header + data[8 + header_length:])
+        with pytest.raises(InterpretationError):
+            deserialize_container(tampered)
+
+    def test_blob_truncation_caught(self, capture):
+        _, interpretation, _ = capture
+        data = serialize_container(interpretation)
+        with pytest.raises(ContainerFormatError, match="mismatch"):
+            deserialize_container(data[:-1])
+
+
+class TestRateStress:
+    def test_double_speed_doubles_required_bandwidth(self, capture):
+        from repro.engine.player import CostModel, Player
+
+        _, interpretation, _ = capture
+        # Bandwidth that comfortably sustains 1x.
+        normal = Player(CostModel(bandwidth=400_000), rate=1)
+        assert normal.play(interpretation).underruns == 0
+        # The same bandwidth at 2x starves.
+        fast = Player(CostModel(bandwidth=400_000), rate=2,
+                      prefetch_depth=1)
+        assert fast.play(interpretation).underruns > 0
+        # Doubling bandwidth restores 2x.
+        fast_fat = Player(CostModel(bandwidth=900_000), rate=2)
+        assert fast_fat.play(interpretation).underruns == 0
+
+    def test_slow_motion_relaxes(self, capture):
+        from repro.engine.player import CostModel, Player
+        from repro.core.rational import Rational
+
+        _, interpretation, _ = capture
+        starved = Player(CostModel(bandwidth=150_000), rate=1,
+                         prefetch_depth=1)
+        slow = Player(CostModel(bandwidth=150_000), rate=Rational(1, 4),
+                      prefetch_depth=1)
+        assert slow.play(interpretation).underruns <= \
+            starved.play(interpretation).underruns
+
+    def test_invalid_rate(self):
+        from repro.engine.player import Player
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            Player(rate=0)
+        with pytest.raises(EngineError):
+            Player(rate=-1)

@@ -1,0 +1,74 @@
+"""The Figure 2 media descriptors, field by field.
+
+The paper prints both descriptors in §4.1; this test reproduces every
+attribute the text shows (at reduced duration) from a real capture.
+"""
+
+import pytest
+
+from repro.bench.workloads import figure2_capture
+from repro.core.rational import Rational
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return figure2_capture(width=640, height=480, seconds=0.4)
+
+
+class TestVideo1Descriptor:
+    """paper: category = homogeneous, constant frequency;
+    quality factor = "VHS quality"; duration = 10 minutes;
+    frame rate = 25; frame width = 640; frame height = 480;
+    frame depth = 24; color model = RGB; encoding = YUV 8:2:2, JPEG."""
+
+    def test_all_paper_fields(self, capture):
+        descriptor = capture.interpretation.sequence("video1").media_descriptor
+        assert descriptor["category"] == "homogeneous, constant frequency"
+        assert descriptor["quality_factor"] == "VHS quality"
+        assert descriptor["duration"] == Rational(2, 5)
+        assert descriptor["frame_rate"] == 25
+        assert descriptor["frame_width"] == 640
+        assert descriptor["frame_height"] == 480
+        assert descriptor["frame_depth"] == 24
+        assert descriptor["color_model"] == "RGB"
+        assert descriptor["encoding"] == "YUV 8:2:2, JPEG"
+
+    def test_resource_attributes_present(self, capture):
+        """"The descriptors should also contain information that helps
+        allocate resources for playback" — average and peak rates."""
+        descriptor = capture.interpretation.sequence("video1").media_descriptor
+        assert descriptor["average_data_rate"] > 0
+        assert descriptor["peak_data_rate"] >= descriptor["average_data_rate"]
+
+
+class TestAudio1Descriptor:
+    """paper: category = homogeneous, uniform;
+    quality factor = "CD quality"; duration = 10 minutes;
+    sample rate = 44100; sample size = 16; number of channels = 2;
+    encoding = PCM."""
+
+    def test_all_paper_fields(self, capture):
+        descriptor = capture.interpretation.sequence("audio1").media_descriptor
+        assert descriptor["category"] == "homogeneous, uniform"
+        assert descriptor["quality_factor"] == "CD quality"
+        assert descriptor["duration"] == Rational(2, 5)
+        assert descriptor["sample_rate"] == 44100
+        assert descriptor["sample_size"] == 16
+        assert descriptor["channels"] == 2
+        assert descriptor["encoding"] == "PCM"
+
+    def test_uniform_because_blocks_equal(self, capture):
+        # 0.4 s at 44100 = 17640 samples = exactly 10 blocks of 1764.
+        sequence = capture.interpretation.sequence("audio1")
+        assert len(sequence) == 10
+        assert not sequence.is_variable_size()
+
+
+class TestDescribeRendering:
+    def test_figure2_text_shape(self, capture):
+        text = capture.interpretation.sequence(
+            "video1"
+        ).media_descriptor.describe()
+        assert "category = homogeneous, constant frequency" in text
+        assert 'quality_factor = VHS quality' in text
+        assert "encoding = YUV 8:2:2, JPEG" in text

@@ -1,0 +1,155 @@
+"""Figure 4 with the paper's exact storage layout.
+
+§4.3: "The two audio sequences contain music and narration and are
+intended to be presented simultaneously. For this reason they are
+interleaved in a single BLOB. Suppose the two video sequences result
+from a single capture operation ... and so also reside in a single
+BLOB."
+
+This test builds that storage state for real — two BLOBs, four
+sequences — and runs the whole production (cuts, fade, concat,
+composition) *through the interpretations*: derivation expansion reads
+encoded frames from the BLOB and decodes them on the way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.codecs.jpeg_like import JpegLikeCodec
+from repro.codecs.pcm import PcmCodec
+from repro.core.composition import MultimediaObject
+from repro.core.media_object import InterpretedMediaObject
+from repro.core.rational import Rational
+from repro.edit import MediaEditor
+from repro.engine.recorder import Recorder
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+
+
+FPS = 25
+CUT_TICKS = 20   # scaled stand-in for the paper's 1:00 sections
+FADE_TICKS = 5   # scaled stand-in for the 10 s fade
+
+
+@pytest.fixture(scope="module")
+def storage():
+    """Two BLOBs exactly as §4.3 describes."""
+    codec = JpegLikeCodec(quality=45)
+    pcm = PcmCodec(16, 1)
+
+    # One capture operation -> one video BLOB with both shots.
+    shot1 = video_object(
+        frames.scene(48, 32, CUT_TICKS + FADE_TICKS, "orbit"), "video1",
+    )
+    shot2 = video_object(
+        frames.scene(48, 32, CUT_TICKS + FADE_TICKS, "cut"), "video2",
+    )
+    video_blob = MemoryBlob()
+    video_interpretation = Recorder(video_blob).record(
+        [shot1, shot2],
+        encoders={"video1": codec.encode, "video2": codec.encode},
+        interpretation_name="video-tape",
+    )
+
+    # Music and narration interleaved in a single audio BLOB.
+    total_seconds = (2 * CUT_TICKS + FADE_TICKS) / FPS
+    music = audio_object(
+        signals.sine(220, total_seconds, 8000) * 0.4, "audio1",
+        sample_rate=8000, block_samples=320,
+    )
+    narration = audio_object(
+        signals.chirp(200, 500, total_seconds - CUT_TICKS / FPS, 8000) * 0.4,
+        "audio2", sample_rate=8000, block_samples=320,
+    )
+    audio_blob = MemoryBlob()
+    audio_interpretation = Recorder(audio_blob).record(
+        [music, narration],
+        encoders={"audio1": pcm.encode, "audio2": pcm.encode},
+        interpretation_name="audio-tape",
+    )
+    return video_interpretation, audio_interpretation, codec, pcm
+
+
+@pytest.fixture(scope="module")
+def production(storage):
+    video_interpretation, audio_interpretation, codec, pcm = storage
+
+    def decode_frame(raw, entry):
+        return codec.decode(raw)
+
+    def decode_audio(raw, entry):
+        return pcm.decode(raw)
+
+    video1 = InterpretedMediaObject(video_interpretation, "video1",
+                                    decode=decode_frame)
+    video2 = InterpretedMediaObject(video_interpretation, "video2",
+                                    decode=decode_frame)
+    audio1 = InterpretedMediaObject(audio_interpretation, "audio1",
+                                    decode=decode_audio)
+    audio2 = InterpretedMediaObject(audio_interpretation, "audio2",
+                                    decode=decode_audio)
+
+    editor = MediaEditor()
+    cut1 = editor.cut(video1, 0, CUT_TICKS, name="videoc1")
+    cut2 = editor.cut(video2, FADE_TICKS, FADE_TICKS + CUT_TICKS,
+                      name="videoc2")
+    fade = editor.transition(video1, video2, FADE_TICKS, kind="fade",
+                             a_start=CUT_TICKS, b_start=0, name="videoF")
+    video3 = editor.concat(cut1, fade, cut2, name="video3")
+
+    multimedia = MultimediaObject("m")
+    multimedia.add_temporal(video3, at=0, label="video3")
+    multimedia.add_temporal(audio1, at=0, label="audio1")
+    multimedia.add_temporal(audio2, at=Rational(CUT_TICKS, FPS),
+                            label="audio2")
+    return editor, video3, multimedia
+
+
+class TestStorageState:
+    def test_both_videos_one_blob(self, storage):
+        video_interpretation, _, _, _ = storage
+        assert video_interpretation.names() == ["video1", "video2"]
+
+    def test_both_audios_one_blob_interleaved(self, storage):
+        _, audio_interpretation, _, _ = storage
+        assert audio_interpretation.names() == ["audio1", "audio2"]
+        offsets1 = [e.blob_offset for e in audio_interpretation.sequence("audio1")]
+        offsets2 = [e.blob_offset for e in audio_interpretation.sequence("audio2")]
+        # Interleaved: each stream's elements are not contiguous.
+        assert offsets2[0] < offsets1[-1]
+
+
+class TestProductionOverBlobs:
+    def test_expansion_decodes_from_blob(self, production):
+        _, video3, _ = production
+        stream = video3.expand().stream()
+        assert len(stream) == 2 * CUT_TICKS + FADE_TICKS
+        frame = stream.tuples[0].element.payload
+        assert isinstance(frame, np.ndarray)
+        assert frame.shape == (32, 48, 3)
+
+    def test_fade_blends_both_sources(self, production):
+        _, video3, _ = production
+        stream = video3.expand().stream()
+        mid_fade = stream.tuples[CUT_TICKS + FADE_TICKS // 2].element.payload
+        before = stream.tuples[CUT_TICKS - 1].element.payload
+        after = stream.tuples[CUT_TICKS + FADE_TICKS].element.payload
+        assert not np.array_equal(mid_fade, before)
+        assert not np.array_equal(mid_fade, after)
+
+    def test_timeline_matches_figure(self, production):
+        _, _, multimedia = production
+        timeline = dict(multimedia.timeline())
+        assert timeline["audio2"].start == Rational(CUT_TICKS, FPS)
+        assert multimedia.duration() == Rational(2 * CUT_TICKS + FADE_TICKS,
+                                                 FPS)
+
+    def test_provenance_reaches_interpreted_objects(self, production):
+        editor, video3, _ = production
+        roots = {o.name for o in editor.provenance.roots()}
+        assert roots == {"video1", "video2"}
+        assert all(
+            isinstance(o, InterpretedMediaObject)
+            for o in editor.provenance.roots()
+        )

@@ -1,0 +1,146 @@
+"""Integration tests: the paper's figure workloads end-to-end."""
+
+import pytest
+
+from repro.bench.workloads import (
+    figure1_streams,
+    figure2_capture,
+    figure2_paper_arithmetic,
+    figure4_production,
+)
+from repro.core.intervals import IntervalRelation
+from repro.core.rational import Rational
+from repro.core.streams import StreamCategory
+
+
+class TestFigure1:
+    """Every category row of Figure 1 is realizable and classified."""
+
+    @pytest.fixture(scope="class")
+    def streams(self):
+        return figure1_streams()
+
+    EXPECTED = {
+        "homogeneous": StreamCategory.HOMOGENEOUS,
+        "heterogeneous": StreamCategory.HETEROGENEOUS,
+        "continuous": StreamCategory.CONTINUOUS,
+        "non-continuous": StreamCategory.NON_CONTINUOUS,
+        "event-based": StreamCategory.EVENT_BASED,
+        "constant frequency": StreamCategory.CONSTANT_FREQUENCY,
+        "constant data rate": StreamCategory.CONSTANT_DATA_RATE,
+        "uniform": StreamCategory.UNIFORM,
+    }
+
+    @pytest.mark.parametrize("label", sorted(EXPECTED))
+    def test_category_realized(self, streams, label):
+        assert self.EXPECTED[label] in streams[label].categories()
+
+    def test_event_based_is_non_continuous(self, streams):
+        """§3.3: 'a special case of non-continuous streams'."""
+        categories = streams["event-based"].categories()
+        assert StreamCategory.NON_CONTINUOUS in categories
+
+    def test_uniform_subsumes_cbr(self, streams):
+        categories = streams["uniform"].categories()
+        assert StreamCategory.CONSTANT_DATA_RATE in categories
+        assert StreamCategory.CONSTANT_FREQUENCY in categories
+
+
+class TestFigure2Arithmetic:
+    """§4.1's numbers reproduced exactly."""
+
+    @pytest.fixture(scope="class")
+    def arithmetic(self):
+        return figure2_paper_arithmetic()
+
+    def test_raw_rate_22_mb_per_s(self, arithmetic):
+        assert arithmetic.raw_video_rate / 2 ** 20 == pytest.approx(21.97, abs=0.01)
+
+    def test_yuv_rate_halved(self, arithmetic):
+        assert arithmetic.yuv_video_rate == arithmetic.raw_video_rate / 2
+
+    def test_compressed_rate_half_mb(self, arithmetic):
+        assert arithmetic.compressed_video_rate / 2 ** 20 == pytest.approx(
+            0.458, abs=0.01,  # "roughly 0.5 Mbyte/sec"
+        )
+
+    def test_audio_rate_172_kb(self, arithmetic):
+        assert arithmetic.audio_data_rate / 1024 == pytest.approx(172.3, abs=0.1)
+
+    def test_1764_sample_pairs_per_frame(self, arithmetic):
+        assert arithmetic.samples_per_frame == 1764
+
+
+class TestFigure2Capture:
+    """The pipeline run for real at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def capture(self):
+        return figure2_capture(width=96, height=64, seconds=0.6)
+
+    def test_interleaved_blob_complete(self, capture):
+        interpretation = capture.interpretation
+        interpretation.validate()
+        assert interpretation.coverage() == 1.0
+        assert interpretation.names() == ["audio1", "video1"]
+
+    def test_table_shapes_match_paper(self, capture):
+        video = capture.interpretation.sequence("video1")
+        audio = capture.interpretation.sequence("audio1")
+        assert video.table_columns() == (
+            "elementNumber", "elementSize", "blobPlacement",
+        )
+        assert audio.table_columns() == ("elementNumber", "blobPlacement")
+
+    def test_video_compressed_well_below_raw(self, capture):
+        raw_rate = capture.width * capture.height * 3 * 25
+        assert capture.measured_video_rate < raw_rate / 5
+
+    def test_audio_rate_is_pcm_rate(self, capture):
+        assert capture.measured_audio_rate == pytest.approx(44100 * 4, rel=0.01)
+
+    def test_frames_decodable(self, capture):
+        codec = capture.video_codec
+        raw = capture.interpretation.read_element("video1", 0)
+        frame = codec.decode(raw)
+        assert frame.shape == (64, 96, 3)
+
+
+class TestFigure4:
+    """The composed multimedia object of Figure 4."""
+
+    @pytest.fixture(scope="class")
+    def production(self):
+        return figure4_production(width=48, height=32, scale=0.05)
+
+    def test_timeline_proportions(self, production):
+        """0:00 / 1:00 / 1:10 / 2:10 scaled by 0.05 -> 0 / 3 / 3.5 / 6.5."""
+        timeline = dict(production.multimedia.timeline())
+        assert timeline["video3"].start == 0
+        assert timeline["audio1"].start == 0
+        assert timeline["audio2"].start == 3
+        assert production.multimedia.duration() == Rational(13, 2)
+
+    def test_video3_is_cut_fade_cut(self, production):
+        steps = production.editor.steps(production.video3)
+        assert steps[-1].startswith("video3 = video-edit(")
+        assert any("videoF = video-transition" in s for s in steps)
+
+    def test_expanded_length(self, production):
+        stream = production.video3.expand().stream()
+        # 75 + 12 + 75 frames within rounding of scale.
+        assert len(stream) == 75 + 12 + 75
+        assert stream.is_continuous()
+
+    def test_narration_during_music(self, production):
+        relation = production.multimedia.relation("audio2", "audio1")
+        assert relation in (IntervalRelation.FINISHES, IntervalRelation.DURING)
+
+    def test_provenance_roots_are_raw_material(self, production):
+        roots = {o.name for o in production.editor.provenance.roots()}
+        assert roots == {"video1", "video2"}
+
+    def test_derivation_objects_tiny(self, production):
+        total = production.editor.total_derivation_bytes(production.video3)
+        expanded = production.video3.expand().stream().total_size()
+        assert expanded / total > 1000

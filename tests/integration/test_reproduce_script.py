@@ -1,0 +1,43 @@
+"""Tests for the one-command reproduction script."""
+
+import pytest
+
+from repro.bench.reproduce import (
+    figure1_table,
+    figure2_tables,
+    figure4_tables,
+    main,
+    table1_table,
+)
+
+
+class TestReproduceScript:
+    def test_main_fast(self, capsys):
+        assert main(["--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "Figure 2" in output
+        assert "Table 1" in output
+        assert "Figure 4" in output
+
+    def test_figure1_rows(self):
+        text = figure1_table()
+        for row in ("homogeneous", "event-based", "uniform"):
+            assert row in text
+
+    def test_figure2_numbers(self):
+        text = figure2_tables(fast=True)
+        assert "21.97 MiB/s" in text
+        assert "172.27 KiB/s" in text
+        assert "1764" in text
+
+    def test_table1_complete(self):
+        text = table1_table()
+        for name in ("color-separation", "audio-normalization", "video-edit",
+                     "video-transition", "midi-synthesis"):
+            assert name in text
+
+    def test_figure4_structure(self):
+        text = figure4_tables(fast=True)
+        assert "video3 = video-edit(videoc1, videoF, videoc2)" in text
+        assert "derivation chain" in text

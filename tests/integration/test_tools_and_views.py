@@ -1,0 +1,103 @@
+"""Tests for the inspector CLI, edit views, and per-stream sync."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.codecs.pcm import PcmCodec
+from repro.core.rational import Rational
+from repro.engine import CostModel, Player, Recorder
+from repro.engine.sync import measure_sync
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+from repro.storage.container import write_container
+from repro.tools.inspect import main as inspect_main
+
+
+@pytest.fixture
+def recorded():
+    video = video_object(frames.scene(24, 16, 10, "orbit"), "v")
+    audio = audio_object(signals.sine(440, 0.4, 8000), "a",
+                         sample_rate=8000, block_samples=320)
+    return Recorder(MemoryBlob()).record(
+        [video, audio], encoders={"a": PcmCodec(16, 1).encode},
+    )
+
+
+@pytest.fixture
+def container_path(recorded, tmp_path):
+    path = tmp_path / "movie.rmf"
+    write_container(recorded, path)
+    return str(path)
+
+
+class TestInspectCli:
+    def test_summary(self, container_path, capsys):
+        assert inspect_main([container_path]) == 0
+        output = capsys.readouterr().out
+        assert "v:" in output and "a:" in output
+        assert "category" in output
+        assert "elements" in output
+
+    def test_table_option(self, container_path, capsys):
+        assert inspect_main([container_path, "--table", "v"]) == 0
+        output = capsys.readouterr().out
+        assert "placement table" in output
+        assert "blobPlacement" in output
+
+    def test_play_option(self, container_path, capsys):
+        assert inspect_main([container_path, "--play", "1000000"]) == 0
+        output = capsys.readouterr().out
+        assert "playback at" in output
+        assert "underruns" in output
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert inspect_main([str(tmp_path / "nope.rmf")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEditViews:
+    def test_cut_and_reorder(self, recorded):
+        """§4.1: a second interpretation formed from the first table."""
+        view = recorded.edit_view("v", keep=[5, 6, 7, 0, 1])
+        sequence = view.sequence("v")
+        assert len(sequence) == 5
+        assert [e.element_number for e in sequence] == [0, 1, 2, 3, 4]
+        # The view reads the same underlying bytes, reordered.
+        assert view.read_element("v", 0) == recorded.read_element("v", 5)
+        assert view.read_element("v", 3) == recorded.read_element("v", 0)
+
+    def test_retimed_back_to_back(self, recorded):
+        view = recorded.edit_view("v", keep=[9, 0])
+        stream = view.materialize("v", read_payloads=False)
+        assert stream.is_continuous()
+        assert stream.start == 0
+        assert stream.span_ticks == 2
+
+    def test_original_untouched(self, recorded):
+        before = len(recorded.sequence("v"))
+        recorded.edit_view("v", keep=[0])
+        assert len(recorded.sequence("v")) == before
+
+    def test_view_is_playable(self, recorded):
+        view = recorded.edit_view("v", keep=[2, 4, 6])
+        report = Player(CostModel(bandwidth=10_000_000)).play(view)
+        assert report.element_count == 3
+
+
+class TestPerStreamSync:
+    def test_streams_in_sync_with_ample_bandwidth(self, recorded):
+        report = Player(CostModel(bandwidth=10_000_000)).play(recorded)
+        video_late, video_deadlines = report.stream_lateness("v[")
+        audio_late, audio_deadlines = report.stream_lateness("a[")
+        assert len(video_late) == 10
+        assert len(audio_late) == 10
+        sync = measure_sync(video_late, video_deadlines,
+                            audio_late, audio_deadlines)
+        # Conventional lip-sync tolerance is ~80 ms.
+        assert sync.within_tolerance(Rational(8, 100))
+
+    def test_per_read_records_complete(self, recorded):
+        report = Player(CostModel(bandwidth=10_000_000)).play(recorded)
+        assert len(report.per_read) == report.element_count
+        labels = {label.split("[")[0] for label, _, _ in report.per_read}
+        assert labels == {"v", "a"}

@@ -1,0 +1,107 @@
+"""Tests for the animation model (non-continuous streams)."""
+
+import pytest
+
+from repro.errors import MediaModelError
+from repro.media.animation import (
+    AnimationOp,
+    AnimationScene,
+    Sprite,
+    demo_scene,
+)
+
+
+class TestSprite:
+    def test_validation(self):
+        with pytest.raises(MediaModelError):
+            Sprite("x", 0, 5, (1, 2, 3))
+
+
+class TestAnimationOp:
+    def test_end(self):
+        assert AnimationOp("s", "move", 10, 5).end == 15
+
+    def test_unknown_op(self):
+        with pytest.raises(MediaModelError):
+            AnimationOp("s", "explode", 0, 0)
+
+    def test_negative_timing(self):
+        with pytest.raises(MediaModelError):
+            AnimationOp("s", "move", -1, 0)
+
+
+class TestScene:
+    def test_unknown_sprite_rejected(self):
+        scene = AnimationScene()
+        with pytest.raises(MediaModelError, match="unknown sprite"):
+            scene.appear("ghost", 0, 0, 0)
+
+    def test_duplicate_sprite_rejected(self):
+        scene = AnimationScene()
+        scene.add_sprite(Sprite("a", 5, 5, (0, 0, 0)))
+        with pytest.raises(MediaModelError, match="already"):
+            scene.add_sprite(Sprite("a", 5, 5, (0, 0, 0)))
+
+    def test_span(self):
+        scene = demo_scene()
+        assert scene.span_ticks() == 125
+
+    def test_rest_period_has_no_elements(self):
+        """§3.3: 'At times when the animated object is at rest there are
+        no associated media elements.'"""
+        stream = demo_scene().to_stream()
+        assert stream.at_tick(60) == []  # the rest: ticks 50-74
+        assert stream.has_gaps()
+        assert stream.is_non_continuous()
+
+    def test_stream_elements_are_ops(self):
+        stream = demo_scene().to_stream()
+        assert all(t.element.descriptor["op"] in
+                   ("move", "appear", "disappear", "recolor")
+                   for t in stream)
+
+
+class TestPositions:
+    @pytest.fixture
+    def scene(self):
+        scene = AnimationScene(100, 100)
+        scene.add_sprite(Sprite("box", 10, 10, (255, 0, 0)))
+        scene.appear("box", 0, 0, 0)
+        scene.move("box", 0, 10, 100, 0)
+        return scene
+
+    def test_before_appear(self):
+        scene = AnimationScene(100, 100)
+        scene.add_sprite(Sprite("box", 10, 10, (255, 0, 0)))
+        scene.appear("box", 5, 0, 0)
+        assert scene.positions_at(0) == {}
+
+    def test_appear_position(self, scene):
+        x, y, color = scene.positions_at(0)["box"]
+        assert (x, y) == (0, 0)
+        assert color == (255, 0, 0)
+
+    def test_move_interpolates(self, scene):
+        x, y, _ = scene.positions_at(5)["box"]
+        assert 40 <= x <= 60
+        assert y == 0
+
+    def test_move_completes(self, scene):
+        x, y, _ = scene.positions_at(10)["box"]
+        assert (x, y) == (100, 0)
+
+    def test_disappear(self, scene):
+        scene.disappear("box", 20)
+        assert scene.positions_at(25) == {}
+        assert "box" in scene.positions_at(15)
+
+    def test_recolor(self, scene):
+        scene.recolor("box", 15, (0, 255, 0))
+        _, _, color = scene.positions_at(16)["box"]
+        assert color == (0, 255, 0)
+
+    def test_demo_scene_rest(self):
+        scene = demo_scene()
+        at_rest = scene.positions_at(60)
+        moving = scene.positions_at(30)
+        assert "box" in at_rest and "box" in moving

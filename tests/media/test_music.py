@@ -1,0 +1,124 @@
+"""Tests for the note/score model (non-continuous streams)."""
+
+import pytest
+
+from repro.errors import MediaModelError
+from repro.media.music import (
+    Note,
+    PPQ,
+    Score,
+    demo_score,
+    frequency_of,
+    pitch_from_name,
+)
+
+
+class TestPitch:
+    @pytest.mark.parametrize("name,expected", [
+        ("A4", 69), ("C4", 60), ("C#5", 73), ("Bb3", 58), ("C-1", 0),
+    ])
+    def test_names(self, name, expected):
+        assert pitch_from_name(name) == expected
+
+    def test_bad_names(self):
+        for bad in ("", "H4", "C", "Cx4"):
+            with pytest.raises(MediaModelError):
+                pitch_from_name(bad)
+
+    def test_out_of_range(self):
+        with pytest.raises(MediaModelError):
+            pitch_from_name("C99")
+
+    def test_frequency_a4(self):
+        assert frequency_of(69) == pytest.approx(440.0)
+
+    def test_frequency_octave_doubles(self):
+        assert frequency_of(81) == pytest.approx(880.0)
+
+
+class TestNote:
+    def test_end(self):
+        assert Note(60, 100, 50).end == 150
+
+    def test_validation(self):
+        with pytest.raises(MediaModelError):
+            Note(200, 0, 10)
+        with pytest.raises(MediaModelError):
+            Note(60, -1, 10)
+        with pytest.raises(MediaModelError):
+            Note(60, 0, 0)
+        with pytest.raises(MediaModelError):
+            Note(60, 0, 10, velocity=0)
+
+
+class TestScore:
+    def test_melody_with_rest(self):
+        score = Score().add_melody(["C4", None, "E4"], note_ticks=100)
+        assert len(score) == 2
+        assert score.notes[1].start == 200  # rest consumed a slot
+
+    def test_chord(self):
+        score = Score().add_chord(["C4", "E4", "G4"], start=0, duration=100)
+        assert len(score) == 3
+        assert all(n.start == 0 for n in score.notes)
+
+    def test_notes_kept_sorted(self):
+        score = Score()
+        score.add(Note(60, 500, 100))
+        score.add(Note(64, 0, 100))
+        assert score.notes[0].start == 0
+
+    def test_span_and_duration(self):
+        score = Score(tempo_bpm=120).add_melody(["C4"], note_ticks=PPQ)
+        # One quarter note at 120 bpm = 0.5 s.
+        assert score.span_ticks() == PPQ
+        assert score.duration_seconds() == pytest.approx(0.5)
+
+    def test_tempo_validation(self):
+        with pytest.raises(MediaModelError):
+            Score(tempo_bpm=0)
+
+    def test_transpose(self):
+        score = Score().add_melody(["C4", "E4"])
+        up = score.transpose(12)
+        assert [n.pitch for n in up.notes] == [72, 76]
+        # original untouched
+        assert [n.pitch for n in score.notes] == [60, 64]
+
+
+class TestStreamConversion:
+    def test_chord_overlaps_and_rest_gaps(self):
+        """The paper's §3.3 example: chords overlap, rests gap."""
+        stream = demo_score().to_stream()
+        assert stream.is_non_continuous()
+        assert stream.has_overlaps()
+        assert stream.has_gaps()
+
+    def test_stream_elements_carry_descriptors(self):
+        stream = demo_score().to_stream()
+        first = stream.tuples[0]
+        assert first.element.descriptor["pitch"] == first.element.payload.pitch
+
+    def test_event_stream_is_event_based(self):
+        stream = demo_score().to_event_stream()
+        assert stream.is_event_based()
+        assert all(t.duration == 0 for t in stream)
+
+    def test_event_stream_has_on_off_pairs(self):
+        score = Score().add_melody(["C4"])
+        events = score.to_midi_events()
+        assert len(events) == 2
+        assert events[0].is_note_on
+        assert events[1].is_note_off
+
+    def test_midi_roundtrip(self):
+        score = demo_score()
+        events = score.to_midi_events()
+        restored = Score.from_midi_events(events, tempo_bpm=score.tempo_bpm)
+        assert len(restored) == len(score)
+        original = {(n.pitch, n.start, n.duration) for n in score.notes}
+        recovered = {(n.pitch, n.start, n.duration) for n in restored.notes}
+        assert original == recovered
+
+    def test_repr(self):
+        assert "notes" in repr(demo_score())

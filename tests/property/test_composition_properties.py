@@ -1,0 +1,101 @@
+"""Property-based tests for composition and the derivation economics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composition import MultimediaObject, TemporalComposition
+from repro.core.elements import MediaElement
+from repro.core.media_types import media_type_registry
+from repro.core.rational import Rational
+from repro.core.streams import TimedStream
+
+
+def make_clip(name, frame_count):
+    from repro.core.media_object import StreamMediaObject
+
+    video_type = media_type_registry.get("pal-video")
+    stream = TimedStream.from_elements(
+        video_type, [MediaElement(size=100) for _ in range(frame_count)]
+    )
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+        color_model="RGB",
+        duration=video_type.time_system.to_continuous(frame_count),
+    )
+    return StreamMediaObject(video_type, descriptor, stream, name=name)
+
+
+offsets = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(1, 50)),
+    min_size=1, max_size=8,
+)
+
+
+class TestCompositionProperties:
+    @given(offsets)
+    def test_duration_is_max_end(self, placements):
+        m = MultimediaObject("m")
+        expected_end = Rational(0)
+        for index, (start, frame_count) in enumerate(placements):
+            clip = make_clip(f"c{index}", frame_count)
+            m.add_temporal(clip, at=start, label=f"c{index}")
+            end = Rational(start) + Rational(frame_count, 25)
+            expected_end = max(expected_end, end)
+        assert m.duration() == expected_end
+
+    @given(offsets, st.integers(0, 50))
+    def test_nesting_translation_invariant(self, placements, shift):
+        """Flattening a nested composition shifts every leaf by the
+        outer offset, exactly."""
+        inner = MultimediaObject("inner")
+        for index, (start, frame_count) in enumerate(placements):
+            inner.add_temporal(make_clip(f"c{index}", frame_count),
+                               at=start, label=f"c{index}")
+        outer = MultimediaObject("outer")
+        outer.add_temporal(inner, at=shift, label="nested")
+
+        flat_inner = {label: iv for label, _, iv in inner.flatten()}
+        flat_outer = {
+            label.split("/", 1)[1]: iv for label, _, iv in outer.flatten()
+        }
+        for label, interval in flat_inner.items():
+            assert flat_outer[label] == interval.translate(shift)
+
+    @given(offsets)
+    def test_timeline_sorted_and_complete(self, placements):
+        m = MultimediaObject("m")
+        for index, (start, frame_count) in enumerate(placements):
+            m.add_temporal(make_clip(f"c{index}", frame_count),
+                           at=start, label=f"c{index}")
+        timeline = m.timeline()
+        assert len(timeline) == len(placements)
+        starts = [interval.start for _, interval in timeline]
+        assert starts == sorted(starts)
+
+    @given(offsets, st.integers(0, 150))
+    def test_simultaneous_at_agrees_with_intervals(self, placements, probe):
+        m = MultimediaObject("m")
+        for index, (start, frame_count) in enumerate(placements):
+            m.add_temporal(make_clip(f"c{index}", frame_count),
+                           at=start, label=f"c{index}")
+        t = Rational(probe)
+        found = set(m.simultaneous_at(t))
+        expected = {
+            label for label, interval in m.timeline()
+            if interval.contains_time(t)
+        }
+        assert found == expected
+
+
+class TestDerivationEconomicsProperty:
+    @settings(max_examples=20)
+    @given(st.integers(10, 60), st.integers(0, 9))
+    def test_edit_size_independent_of_selection(self, frame_count, offset):
+        """A derivation object's size does not grow with the media it
+        references — only with its parameters."""
+        from repro.edit import MediaEditor
+
+        clip = make_clip("c", frame_count)
+        editor = MediaEditor()
+        derived = editor.cut(clip, offset, offset + 5)
+        assert derived.derivation_object.storage_size() < 80

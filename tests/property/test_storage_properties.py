@@ -1,0 +1,125 @@
+"""Property-based tests on storage: layout invariants, container roundtrip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blob.blob import MemoryBlob, PagedBlob
+from repro.blob.pages import MemoryPager, PageStore
+from repro.core.interpretation import Interpretation, PlacementEntry
+from repro.core.media_types import media_type_registry
+from repro.core.time_system import PAL_TIME
+from repro.storage.container import deserialize_container, serialize_container
+from repro.storage.layout import (
+    TrackSpec,
+    write_interleaved,
+    write_sequential,
+)
+
+
+element_lists = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=1, max_size=30,
+)
+
+
+def make_tracks(size_lists):
+    tracks = []
+    for index, sizes in enumerate(size_lists):
+        track = TrackSpec(f"t{index}", PAL_TIME)
+        for i, size in enumerate(sizes):
+            track.add(bytes([index + 1]) * size, i, 1)
+        tracks.append(track)
+    return tracks
+
+
+class TestLayoutInvariants:
+    @given(st.lists(element_lists, min_size=1, max_size=3))
+    def test_placements_disjoint_and_faithful(self, size_lists):
+        """No two placements overlap, and every placed span holds
+        exactly the bytes that were written."""
+        tracks = make_tracks(size_lists)
+        blob = MemoryBlob()
+        placements = write_interleaved(blob, tracks)
+        spans = []
+        for track in tracks:
+            rows = placements[track.name]
+            assert len(rows) == len(track.elements)
+            for entry, element in zip(rows, track.elements):
+                assert blob.read(entry.blob_offset, entry.size) == element.data
+                spans.append((entry.blob_offset, entry.blob_offset + entry.size))
+        spans.sort()
+        for (a_begin, a_end), (b_begin, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_begin
+
+    @given(st.lists(element_lists, min_size=1, max_size=3))
+    def test_unpadded_interleave_covers_blob(self, size_lists):
+        tracks = make_tracks(size_lists)
+        blob = MemoryBlob()
+        write_interleaved(blob, tracks)
+        assert len(blob) == sum(t.total_bytes() for t in tracks)
+
+    @given(st.lists(element_lists, min_size=1, max_size=3),
+           st.sampled_from([64, 256, 2324]))
+    def test_padding_aligns_every_element(self, size_lists, sector):
+        tracks = make_tracks(size_lists)
+        blob = MemoryBlob()
+        placements = write_interleaved(blob, tracks, sector_size=sector)
+        for rows in placements.values():
+            for entry in rows:
+                assert entry.blob_offset % sector == 0
+
+    @given(st.lists(element_lists, min_size=1, max_size=3))
+    def test_sequential_equals_interleaved_content(self, size_lists):
+        tracks = make_tracks(size_lists)
+        sequential = write_sequential(MemoryBlob(), tracks)
+        interleaved = write_interleaved(MemoryBlob(), tracks)
+        for name in sequential:
+            seq_sizes = [e.size for e in sequential[name]]
+            int_sizes = [e.size for e in interleaved[name]]
+            assert seq_sizes == int_sizes
+
+
+class TestPagedBlobProperties:
+    @given(st.lists(st.binary(max_size=200), max_size=20),
+           st.integers(min_value=8, max_value=64))
+    def test_paged_equals_memory(self, chunks, page_size):
+        """PagedBlob and MemoryBlob satisfy an identical contract."""
+        paged = PagedBlob(PageStore(MemoryPager(page_size=page_size)))
+        memory = MemoryBlob()
+        for chunk in chunks:
+            assert paged.append(chunk) == memory.append(chunk)
+        assert paged.read_all() == memory.read_all()
+        if len(memory) >= 2:
+            mid = len(memory) // 2
+            assert paged.read(1, mid) == memory.read(1, mid)
+
+
+class TestContainerProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=1, max_size=15))
+    def test_roundtrip_preserves_everything(self, sizes):
+        video_type = media_type_registry.get("pal-video")
+        blob = MemoryBlob()
+        entries = []
+        for i, size in enumerate(sizes):
+            offset = blob.append(bytes([i % 251]) * size)
+            entries.append(PlacementEntry(i, i, 1, size, offset))
+        descriptor = video_type.make_media_descriptor(
+            frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+            color_model="RGB",
+        )
+        interpretation = Interpretation(blob, "prop")
+        interpretation.add("v", video_type, descriptor, entries)
+
+        restored = deserialize_container(serialize_container(interpretation))
+        assert restored.blob.read_all() == blob.read_all()
+        recovered = restored.sequence("v")
+        assert [e.size for e in recovered] == sizes
+        assert [e.blob_offset for e in recovered] == \
+            [e.blob_offset for e in entries]
+        # Double roundtrip is a fixed point.
+        twice = serialize_container(
+            deserialize_container(serialize_container(interpretation))
+        )
+        assert twice == serialize_container(interpretation)

@@ -1,0 +1,118 @@
+"""Tests for authorization and rights tracking (conclusion's open item)."""
+
+import pytest
+
+from repro.edit import MediaEditor
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.query.authorization import (
+    AuthorizationError,
+    Operation,
+    RightsRegistry,
+)
+
+
+@pytest.fixture
+def footage():
+    return video_object(frames.scene(16, 16, 10, "pan"), "footage")
+
+
+@pytest.fixture
+def registry(footage):
+    registry = RightsRegistry()
+    registry.register(footage, holder="studio",
+                      notice="(c) 1994 Studio Pictures")
+    return registry
+
+
+class TestGrants:
+    def test_holder_has_all_rights(self, registry, footage):
+        for operation in Operation:
+            assert registry.allowed("studio", footage, operation)
+
+    def test_stranger_has_none(self, registry, footage):
+        assert not registry.allowed("pirate", footage, Operation.READ)
+        with pytest.raises(AuthorizationError, match="pirate"):
+            registry.check("pirate", footage, Operation.READ)
+
+    def test_grant_and_revoke(self, registry, footage):
+        registry.grant(footage, "editor", Operation.READ)
+        assert registry.allowed("editor", footage, Operation.READ)
+        registry.revoke(footage, "editor")
+        assert not registry.allowed("editor", footage, Operation.READ)
+
+    def test_implication_lattice(self, registry, footage):
+        registry.grant(footage, "viewer", Operation.PRESENT)
+        assert registry.allowed("viewer", footage, Operation.READ)
+        assert not registry.allowed("viewer", footage, Operation.DERIVE)
+
+        registry.grant(footage, "exporter", Operation.EXPORT)
+        assert registry.allowed("exporter", footage, Operation.DERIVE)
+        assert registry.allowed("exporter", footage, Operation.READ)
+        assert not registry.allowed("exporter", footage, Operation.PRESENT)
+
+    def test_double_registration_rejected(self, registry, footage):
+        with pytest.raises(AuthorizationError, match="already"):
+            registry.register(footage, holder="other")
+
+    def test_grant_needs_record(self, footage):
+        registry = RightsRegistry()
+        with pytest.raises(AuthorizationError, match="no rights record"):
+            registry.grant(footage, "x", Operation.READ)
+
+    def test_unowned_material_is_public(self, footage):
+        registry = RightsRegistry()
+        assert registry.allowed("anyone", footage, Operation.EXPORT)
+
+
+class TestProvenanceAwareness:
+    """Rights follow derivation: a composite is governed by its raw
+    material's rights."""
+
+    def test_derived_governed_by_antecedents(self, registry, footage):
+        editor = MediaEditor()
+        cut = editor.cut(footage, 0, 5, name="cut")
+        # No record on the cut itself: the footage's rights govern.
+        assert registry.allowed("studio", cut, Operation.PRESENT)
+        assert not registry.allowed("pirate", cut, Operation.PRESENT)
+
+    def test_license_on_composite_cannot_launder(self, registry, footage):
+        editor = MediaEditor()
+        cut = editor.cut(footage, 0, 5, name="cut")
+        registry.register(cut, holder="editor")
+        # The editor owns the cut but still lacks rights on the footage.
+        assert not registry.allowed("editor", cut, Operation.PRESENT)
+        registry.grant(footage, "editor", Operation.PRESENT)
+        assert registry.allowed("editor", cut, Operation.PRESENT)
+
+    def test_check_names_blocking_object(self, registry, footage):
+        editor = MediaEditor()
+        cut = editor.cut(footage, 0, 5, name="cut")
+        with pytest.raises(AuthorizationError, match="footage"):
+            registry.check("pirate", cut, Operation.PRESENT)
+
+    def test_notices_accumulate(self, registry, footage):
+        other = video_object(frames.scene(16, 16, 10, "cut"), "broll")
+        registry.register(other, holder="agency", notice="(c) Agency")
+        editor = MediaEditor()
+        fade = editor.transition(footage, other, 4, name="fade")
+        notices = registry.notices(fade)
+        assert "(c) 1994 Studio Pictures" in notices
+        assert "(c) Agency" in notices
+
+    def test_derive_checked(self, registry, footage):
+        registry.grant(footage, "editor", Operation.DERIVE)
+        derived = registry.derive_checked(
+            "editor", "video-edit", [footage],
+            {"edit_list": [(0, 0, 5)]}, name="licensed-cut",
+        )
+        assert derived.is_derived
+        record = registry.record_of(derived)
+        assert record.holder == "editor"
+
+    def test_derive_checked_blocks_without_right(self, registry, footage):
+        with pytest.raises(AuthorizationError):
+            registry.derive_checked(
+                "pirate", "video-edit", [footage],
+                {"edit_list": [(0, 0, 5)]},
+            )

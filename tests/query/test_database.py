@@ -1,0 +1,119 @@
+"""Tests for the media database catalog."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.core.composition import MultimediaObject
+from repro.core.media_types import MediaKind
+from repro.engine.recorder import Recorder
+from repro.errors import CatalogError
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+from repro.query.database import MediaDatabase
+
+
+@pytest.fixture
+def db():
+    database = MediaDatabase("test-db")
+    video = video_object(frames.scene(16, 16, 5, "pan"), "clip1")
+    database.add_object(video, title="Clip One", director="Gibbs")
+    audio = audio_object(signals.sine(440, 0.1, 8000), "track1",
+                         sample_rate=8000, block_samples=266)
+    database.add_object(audio, title="Clip One", language="en")
+    return database
+
+
+class TestObjects:
+    def test_add_get(self, db):
+        assert db.get_object("clip1").name == "clip1"
+        assert "clip1" in db
+        assert len(db) == 2
+
+    def test_duplicate_rejected(self, db):
+        with pytest.raises(CatalogError, match="already"):
+            db.add_object(db.get_object("clip1"))
+
+    def test_unknown(self, db):
+        with pytest.raises(CatalogError, match="clip1"):
+            db.get_object("nope")
+
+    def test_attributes(self, db):
+        assert db.attributes_of("clip1")["director"] == "Gibbs"
+        db.set_attribute("clip1", "year", 1994)
+        assert db.attributes_of("clip1")["year"] == 1994
+
+    def test_select_by_kind(self, db):
+        assert [o.name for o in db.objects(kind=MediaKind.VIDEO)] == ["clip1"]
+
+    def test_select_by_media_type(self, db):
+        assert [o.name for o in db.objects(media_type="block-audio")] == ["track1"]
+
+    def test_select_by_attribute(self, db):
+        """The paper's VideoClip example: title/director attributes
+        alongside the media-valued content."""
+        assert len(db.objects(title="Clip One")) == 2
+        assert [o.name for o in db.objects(director="Gibbs")] == ["clip1"]
+        assert db.objects(director="Kubrick") == []
+
+    def test_select_with_predicate(self, db):
+        found = db.objects(where=lambda e: "language" in e.attributes)
+        assert [o.name for o in found] == ["track1"]
+
+
+class TestInterpretations:
+    def test_sequences_cataloged_as_objects(self, db):
+        video = video_object(frames.scene(16, 16, 3, "pan"), "src-video")
+        interpretation = Recorder(MemoryBlob()).record([video])
+        db.add_interpretation(interpretation)
+        assert "src-video" in db
+        obj = db.get_object("src-video")
+        assert len(obj.stream()) == 3
+        assert db.attributes_of("src-video")["interpretation"] == "capture"
+
+    def test_duplicate_interpretation_rejected(self, db):
+        video = video_object(frames.scene(16, 16, 2, "pan"), "v2")
+        interpretation = Recorder(MemoryBlob()).record([video])
+        db.add_interpretation(interpretation)
+        with pytest.raises(CatalogError):
+            db.add_interpretation(interpretation)
+
+    def test_get_interpretation(self, db):
+        video = video_object(frames.scene(16, 16, 2, "pan"), "v3")
+        interpretation = Recorder(MemoryBlob()).record([video])
+        db.add_interpretation(interpretation)
+        assert db.get_interpretation("capture") is interpretation
+        with pytest.raises(CatalogError):
+            db.get_interpretation("nope")
+
+
+class TestMultimedia:
+    def test_add_get(self, db):
+        movie = MultimediaObject("movie")
+        movie.add_temporal(db.get_object("clip1"), at=0, label="picture")
+        db.add_multimedia(movie)
+        assert db.get_multimedia("movie") is movie
+        assert db.multimedia() == ["movie"]
+
+    def test_duplicate_rejected(self, db):
+        db.add_multimedia(MultimediaObject("m"))
+        with pytest.raises(CatalogError):
+            db.add_multimedia(MultimediaObject("m"))
+
+
+class TestLineage:
+    def test_derived_lineage_queryable(self, db):
+        from repro.edit import MediaEditor
+
+        editor = MediaEditor()
+        clip = db.get_object("clip1")
+        cut = editor.cut(clip, 0, 3, name="cut1")
+        db.add_object(cut, title="Clip One (cut)")
+        lineage = db.lineage("cut1")
+        assert clip in lineage
+        assert db.derived_from("clip1") == [cut]
+
+    def test_stats(self, db):
+        stats = db.stats()
+        assert stats["objects"] == 2
+        assert stats["derived_objects"] == 0
+        assert "blob_store" in stats

@@ -1,0 +1,86 @@
+"""Tests for clip-repository ingestion."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.codecs.pcm import PcmCodec
+from repro.engine.recorder import Recorder
+from repro.errors import CatalogError
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+from repro.query.database import MediaDatabase
+from repro.storage.container import write_container
+
+
+@pytest.fixture
+def clip_directory(tmp_path):
+    """Three container files, two of which reuse the track name video1."""
+    for index, kind in enumerate(("orbit", "cut")):
+        video = video_object(frames.scene(24, 16, 4, kind), "video1")
+        interpretation = Recorder(MemoryBlob()).record([video])
+        write_container(interpretation, tmp_path / f"clip{index}.rmf")
+    audio = audio_object(signals.sine(440, 0.2, 8000), "narration",
+                         sample_rate=8000, block_samples=320)
+    interpretation = Recorder(MemoryBlob()).record(
+        [audio], encoders={"narration": PcmCodec(16, 1).encode},
+    )
+    write_container(interpretation, tmp_path / "voiceover.rmf")
+    (tmp_path / "notes.txt").write_text("not a container")
+    return tmp_path
+
+
+class TestIngestDirectory:
+    def test_ingests_all_containers(self, clip_directory):
+        db = MediaDatabase("clips")
+        added = db.ingest_directory(clip_directory)
+        assert added == ["clip0", "clip1", "voiceover"]
+        assert db.interpretations() == ["clip0", "clip1", "voiceover"]
+
+    def test_name_collisions_namespaced(self, clip_directory):
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        # Both clips had a video1 track; both are addressable.
+        assert "clip0/video1" in db
+        assert "clip1/video1" in db
+        assert len(db.get_object("clip0/video1").stream()) == 4
+
+    def test_source_file_attribute(self, clip_directory):
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        attributes = db.attributes_of("voiceover/narration")
+        assert attributes["source_file"].endswith("voiceover.rmf")
+        assert attributes["interpretation"] == "voiceover"
+
+    def test_non_containers_ignored(self, clip_directory):
+        db = MediaDatabase("clips")
+        added = db.ingest_directory(clip_directory)
+        assert "notes" not in added
+
+    def test_reingest_rejected(self, clip_directory):
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        with pytest.raises(CatalogError, match="already"):
+            db.ingest_directory(clip_directory)
+
+    def test_ingested_objects_queryable(self, clip_directory):
+        from repro.core.media_types import MediaKind
+
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        audio = db.objects(kind=MediaKind.AUDIO)
+        assert [o.name for o in audio] == ["voiceover/narration"]
+
+    def test_ingested_objects_playable(self, clip_directory):
+        from repro.engine.player import CostModel, Player
+
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        report = Player(CostModel(bandwidth=5_000_000)).play(
+            db.get_interpretation("clip0")
+        )
+        assert report.element_count == 4
+
+    def test_empty_directory(self, tmp_path):
+        db = MediaDatabase("clips")
+        assert db.ingest_directory(tmp_path / "nothing_here",
+                                   pattern="*.rmf") == []

@@ -1,0 +1,130 @@
+"""Tests for the RMF container format."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.core.interpretation import Interpretation, PlacementEntry
+from repro.core.media_types import media_type_registry
+from repro.core.rational import Rational
+from repro.core.time_system import CD_AUDIO_TIME
+from repro.errors import ContainerFormatError
+from repro.storage.container import (
+    deserialize_container,
+    read_container,
+    serialize_container,
+    write_container,
+)
+
+
+@pytest.fixture
+def interpretation():
+    blob = MemoryBlob()
+    video_type = media_type_registry.get("pal-video")
+    adpcm_type = media_type_registry.get("adpcm-audio")
+    video_descriptor = video_type.make_media_descriptor(
+        frame_rate=Rational(25), frame_width=16, frame_height=16,
+        frame_depth=24, color_model="RGB", encoding="JPEG",
+        quality_factor="VHS quality", duration=Rational(2, 25),
+    )
+    audio_descriptor = adpcm_type.make_media_descriptor(
+        sample_rate=44100, channels=1, encoding="IMA-ADPCM",
+        block_samples=505,
+    )
+    interp = Interpretation(blob, "movie")
+    video_rows = []
+    for i in range(2):
+        offset = blob.append(bytes([i]) * (20 + i))
+        video_rows.append(PlacementEntry(i, i, 1, 20 + i, offset))
+    audio_rows = []
+    for i in range(2):
+        descriptor = adpcm_type.make_element_descriptor(
+            predictor=i * 10, step_index=i,
+        )
+        offset = blob.append(bytes([0xA0 + i]) * 15)
+        audio_rows.append(PlacementEntry(
+            i, i * 505, 505, 15, offset, element_descriptor=descriptor,
+        ))
+    interp.add("video1", video_type, video_descriptor, video_rows)
+    interp.add("audio1", adpcm_type, audio_descriptor, audio_rows,
+               time_system=CD_AUDIO_TIME)
+    return interp
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip(self, interpretation):
+        restored = deserialize_container(serialize_container(interpretation))
+        assert restored.names() == ["audio1", "video1"]
+        assert restored.blob.read_all() == interpretation.blob.read_all()
+
+    def test_descriptors_survive(self, interpretation):
+        restored = deserialize_container(serialize_container(interpretation))
+        descriptor = restored.sequence("video1").media_descriptor
+        assert descriptor["quality_factor"] == "VHS quality"
+        assert descriptor["duration"] == Rational(2, 25)
+        assert isinstance(descriptor["duration"], Rational)
+
+    def test_element_descriptors_survive(self, interpretation):
+        restored = deserialize_container(serialize_container(interpretation))
+        entry = restored.sequence("audio1").entry(1)
+        assert entry.element_descriptor["predictor"] == 10
+        assert entry.element_descriptor["step_index"] == 1
+
+    def test_time_systems_survive(self, interpretation):
+        restored = deserialize_container(serialize_container(interpretation))
+        assert restored.sequence("audio1").time_system.frequency == 44100
+        assert restored.sequence("video1").time_system.frequency == 25
+
+    def test_materialization_identical(self, interpretation):
+        restored = deserialize_container(serialize_container(interpretation))
+        original = interpretation.materialize("video1")
+        recovered = restored.materialize("video1")
+        assert [t.element.payload for t in original] == \
+            [t.element.payload for t in recovered]
+
+    def test_file_roundtrip(self, interpretation, tmp_path):
+        path = tmp_path / "movie.rmf"
+        written = write_container(interpretation, path)
+        assert path.stat().st_size == written
+        restored = read_container(path)
+        assert restored.names() == ["audio1", "video1"]
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, interpretation):
+        data = bytearray(serialize_container(interpretation))
+        data[0] = 0x00
+        with pytest.raises(ContainerFormatError, match="magic"):
+            deserialize_container(bytes(data))
+
+    def test_truncated_header(self, interpretation):
+        data = serialize_container(interpretation)
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(data[:10])
+
+    def test_truncated_blob(self, interpretation):
+        data = serialize_container(interpretation)
+        with pytest.raises(ContainerFormatError, match="mismatch"):
+            deserialize_container(data[:-5])
+
+    def test_corrupt_json(self, interpretation):
+        data = bytearray(serialize_container(interpretation))
+        data[8] = 0xFF
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(bytes(data))
+
+    def test_tiny_input(self):
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(b"RM")
+
+    def test_unserializable_descriptor_value(self):
+        blob = MemoryBlob(b"x")
+        video_type = media_type_registry.get("pal-video")
+        descriptor = video_type.make_media_descriptor(
+            frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+            color_model="RGB", encoding=object(),
+        )
+        interp = Interpretation(blob)
+        interp.add("v", video_type, descriptor,
+                   [PlacementEntry(0, 0, 1, 1, 0)])
+        with pytest.raises(ContainerFormatError, match="serialize"):
+            serialize_container(interp)

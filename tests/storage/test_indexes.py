@@ -1,0 +1,266 @@
+"""Tests for the QuickTime-style index structures."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.indexes import (
+    ChunkOffsetTable,
+    CompositionOffsetTable,
+    EditListTable,
+    EditSegment,
+    MediaIndex,
+    SampleSizeTable,
+    SampleToChunkTable,
+    SyncSampleTable,
+    TimeToSampleTable,
+)
+
+
+class TestTimeToSample:
+    def test_constant_rate_compacts_to_one_run(self):
+        table = TimeToSampleTable.from_durations([2] * 100)
+        assert table.entry_count() == 1
+        assert table.sample_count == 100
+        assert table.total_ticks == 200
+
+    def test_time_of(self):
+        table = TimeToSampleTable([(3, 10), (2, 5)])
+        assert table.time_of(0) == 0
+        assert table.time_of(2) == 20
+        assert table.time_of(3) == 30
+        assert table.time_of(4) == 35
+
+    def test_duration_of(self):
+        table = TimeToSampleTable([(3, 10), (2, 5)])
+        assert table.duration_of(0) == 10
+        assert table.duration_of(4) == 5
+
+    def test_sample_at(self):
+        table = TimeToSampleTable([(3, 10), (2, 5)])
+        assert table.sample_at(0) == 0
+        assert table.sample_at(9) == 0
+        assert table.sample_at(10) == 1
+        assert table.sample_at(30) == 3
+        assert table.sample_at(39) == 4
+
+    def test_sample_at_out_of_range(self):
+        table = TimeToSampleTable([(2, 10)])
+        with pytest.raises(StorageError):
+            table.sample_at(20)
+        with pytest.raises(StorageError):
+            table.sample_at(-1)
+
+    def test_inverse_property(self):
+        table = TimeToSampleTable([(5, 3), (4, 7), (2, 1)])
+        for sample in range(table.sample_count):
+            t = table.time_of(sample)
+            assert table.sample_at(t) == sample
+
+    def test_invalid_runs(self):
+        with pytest.raises(StorageError):
+            TimeToSampleTable([(0, 5)])
+        with pytest.raises(StorageError):
+            TimeToSampleTable([(1, -1)])
+
+
+class TestSampleSize:
+    def test_constant_collapse(self):
+        table = SampleSizeTable.from_sizes([100] * 50)
+        assert table.is_constant
+        assert table.size_of(33) == 100
+        assert table.total_bytes() == 5000
+
+    def test_variable(self):
+        table = SampleSizeTable.from_sizes([10, 20, 30])
+        assert not table.is_constant
+        assert table.size_of(1) == 20
+        assert table.total_bytes() == 60
+
+    def test_bounds(self):
+        table = SampleSizeTable.from_sizes([10, 20])
+        with pytest.raises(StorageError):
+            table.size_of(2)
+
+    def test_exactly_one_form(self):
+        with pytest.raises(StorageError):
+            SampleSizeTable(sizes=[1], constant_size=1)
+        with pytest.raises(StorageError):
+            SampleSizeTable()
+
+
+class TestSampleToChunk:
+    def test_uniform(self):
+        table = SampleToChunkTable.uniform(5, 4)
+        assert table.sample_count == 20
+        assert table.chunk_of(0) == (0, 0)
+        assert table.chunk_of(7) == (1, 2)
+        assert table.first_sample_of(3) == 15
+        assert table.samples_in_chunk(3) == 5
+
+    def test_varying_runs(self):
+        # chunks 0-1 hold 3 samples, chunks 2+ hold 1.
+        table = SampleToChunkTable([(0, 3), (2, 1)], chunk_count=4)
+        assert table.sample_count == 3 + 3 + 1 + 1
+        assert table.chunk_of(5) == (1, 2)
+        assert table.chunk_of(6) == (2, 0)
+        assert table.chunk_of(7) == (3, 0)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            SampleToChunkTable([(1, 3)], chunk_count=2)
+        with pytest.raises(StorageError):
+            SampleToChunkTable([(0, 3), (0, 1)], chunk_count=2)
+        with pytest.raises(StorageError):
+            SampleToChunkTable([(0, 0)], chunk_count=1)
+        with pytest.raises(StorageError):
+            SampleToChunkTable([(0, 3), (5, 1)], chunk_count=3)
+
+
+class TestSyncSamples:
+    def test_sync_before(self):
+        table = SyncSampleTable([0, 12, 24])
+        assert table.sync_before(0) == 0
+        assert table.sync_before(11) == 0
+        assert table.sync_before(12) == 12
+        assert table.sync_before(30) == 24
+
+    def test_is_sync(self):
+        table = SyncSampleTable([0, 12])
+        assert table.is_sync(12)
+        assert not table.is_sync(5)
+
+    def test_decode_span(self):
+        table = SyncSampleTable([0, 12])
+        assert table.decode_span(15) == (12, 15)
+
+    def test_no_sync_before(self):
+        table = SyncSampleTable([10])
+        with pytest.raises(StorageError):
+            table.sync_before(5)
+
+
+class TestCompositionOffsets:
+    def test_paper_placement(self):
+        """Decode order I P B B displaying as I B B P — 1, 4, 2, 3."""
+        table = CompositionOffsetTable([0, 3, 1, 2])
+        assert table.display_index(1) == 3
+        assert table.decode_index(3) == 1
+        assert not table.is_identity()
+        assert table.max_reorder_distance() == 2
+
+    def test_identity(self):
+        table = CompositionOffsetTable([0, 1, 2])
+        assert table.is_identity()
+        assert table.max_reorder_distance() == 0
+
+    def test_must_be_permutation(self):
+        with pytest.raises(StorageError):
+            CompositionOffsetTable([0, 0, 2])
+
+    def test_bounds(self):
+        table = CompositionOffsetTable([0, 1])
+        with pytest.raises(StorageError):
+            table.display_index(2)
+
+
+class TestEditList:
+    def test_identity(self):
+        table = EditListTable.identity(100)
+        assert table.total_ticks == 100
+        assert table.media_time(42) == 42
+
+    def test_segments_remap(self):
+        table = EditListTable([
+            EditSegment(10, 50),   # movie 0-9 -> media 50-59
+            EditSegment(5, 0),     # movie 10-14 -> media 0-4
+        ])
+        assert table.media_time(0) == 50
+        assert table.media_time(9) == 59
+        assert table.media_time(10) == 0
+        assert table.media_time(14) == 4
+
+    def test_empty_segment(self):
+        table = EditListTable([EditSegment(5, -1), EditSegment(5, 0)])
+        assert table.media_time(2) is None
+        assert table.media_time(7) == 2
+
+    def test_out_of_range(self):
+        table = EditListTable.identity(10)
+        with pytest.raises(StorageError):
+            table.media_time(10)
+
+    def test_segment_validation(self):
+        with pytest.raises(StorageError):
+            EditSegment(0, 0)
+        with pytest.raises(StorageError):
+            EditSegment(5, -2)
+
+
+class TestMediaIndex:
+    @pytest.fixture
+    def index(self):
+        """Ten variable-size samples, 2 per chunk, IBBP-style reorder on
+        the first GOP (decode order 0,3,1,2)."""
+        sizes = [100, 50, 60, 70, 110, 55, 65, 75, 120, 80]
+        chunk_offsets = []
+        offset = 0
+        for chunk in range(5):
+            chunk_offsets.append(offset)
+            offset += sizes[2 * chunk] + sizes[2 * chunk + 1]
+        return MediaIndex(
+            time_to_sample=TimeToSampleTable([(10, 4)]),
+            sample_sizes=SampleSizeTable.from_sizes(sizes),
+            sample_to_chunk=SampleToChunkTable.uniform(2, 5),
+            chunk_offsets=ChunkOffsetTable(chunk_offsets),
+            sync_samples=SyncSampleTable([0, 4, 8]),
+            composition=CompositionOffsetTable([0, 3, 1, 2, 4, 7, 5, 6, 8, 9]),
+        )
+
+    def test_placement_first_in_chunk(self, index):
+        assert index.placement(0) == (0, 100)
+
+    def test_placement_second_in_chunk(self, index):
+        assert index.placement(1) == (100, 50)
+
+    def test_placement_later_chunk(self, index):
+        # chunk 2 starts at 100+50+60+70 = 280.
+        assert index.placement(4) == (280, 110)
+        assert index.placement(5) == (390, 55)
+
+    def test_sample_at_time(self, index):
+        assert index.sample_at_time(0) == 0
+        assert index.sample_at_time(4) == 1
+        assert index.sample_at_time(39) == 9
+
+    def test_placement_at_time_applies_reorder(self, index):
+        # Display sample 1 was stored at decode position 2.
+        assert index.placement_at_time(4) == index.placement(2)
+        # Display sample 3 was stored at decode position 1.
+        assert index.placement_at_time(12) == index.placement(1)
+
+    def test_seek_decode_work(self, index):
+        assert index.seek_decode_work(0) == 1       # on a key
+        assert index.seek_decode_work(12) == 4      # 3 after key 0
+        assert index.seek_decode_work(16) == 1      # key at 4
+
+    def test_consistency_checks(self, index):
+        with pytest.raises(StorageError):
+            MediaIndex(
+                time_to_sample=TimeToSampleTable([(9, 4)]),
+                sample_sizes=SampleSizeTable.from_sizes([1] * 10),
+                sample_to_chunk=SampleToChunkTable.uniform(2, 5),
+                chunk_offsets=ChunkOffsetTable([0] * 5),
+            )
+
+    def test_edit_list_integration(self, index):
+        from repro.storage.indexes import EditListTable, EditSegment
+
+        edited = MediaIndex(
+            time_to_sample=index.time_to_sample,
+            sample_sizes=index.sample_sizes,
+            sample_to_chunk=index.sample_to_chunk,
+            chunk_offsets=index.chunk_offsets,
+            edit_list=EditListTable([EditSegment(8, 20)]),
+        )
+        # Movie tick 0 maps to media tick 20 = sample 5.
+        assert edited.sample_at_time(0) == 5

@@ -1,0 +1,126 @@
+"""Tests for BLOB compaction."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.codecs.pcm import PcmCodec
+from repro.engine.recorder import Recorder
+from repro.errors import StorageError
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+from repro.storage.vacuum import compact, referenced_spans
+
+
+@pytest.fixture
+def recorded():
+    video = video_object(frames.scene(24, 16, 10, "orbit"), "v")
+    audio = audio_object(signals.sine(440, 0.4, 8000), "a",
+                         sample_rate=8000, block_samples=320)
+    blob = MemoryBlob()
+    interpretation = Recorder(blob).record(
+        [video, audio], encoders={"a": PcmCodec(16, 1).encode},
+    )
+    return blob, interpretation
+
+
+class TestReferencedSpans:
+    def test_full_coverage_merges_to_one_span(self, recorded):
+        blob, interpretation = recorded
+        spans = referenced_spans([interpretation])
+        assert spans == [(0, len(blob))]
+
+    def test_view_leaves_holes(self, recorded):
+        blob, interpretation = recorded
+        view = interpretation.edit_view("v", keep=[0, 5, 9])
+        spans = referenced_spans([view])
+        assert len(spans) == 3
+        total = sum(end - begin for begin, end in spans)
+        assert total == sum(e.size for e in view.sequence("v"))
+
+    def test_overlapping_views_counted_once(self, recorded):
+        blob, interpretation = recorded
+        a = interpretation.edit_view("v", keep=[0, 1, 2], view_name="a")
+        b = interpretation.edit_view("v", keep=[2, 3], view_name="b")
+        spans = referenced_spans([a, b])
+        total = sum(end - begin for begin, end in spans)
+        sizes = {e.blob_offset: e.size for v in (a, b)
+                 for e in v.sequence("v")}
+        assert total == sum(sizes.values())
+
+
+class TestCompact:
+    def test_full_interpretation_compacts_losslessly(self, recorded):
+        blob, interpretation = recorded
+        new_blob, rebuilt, stats = compact(blob, [interpretation])
+        assert stats.reclaimed_bytes == 0
+        assert len(new_blob) == len(blob)
+        assert rebuilt[0].materialize("v").tuples[3].element.payload == \
+            interpretation.materialize("v").tuples[3].element.payload
+
+    def test_edit_view_reclaims_cut_material(self, recorded):
+        blob, interpretation = recorded
+        view = interpretation.edit_view("v", keep=[0, 1, 2])
+        new_blob, rebuilt, stats = compact(blob, [view])
+        assert stats.reclaimed_fraction > 0.5
+        assert len(new_blob) < len(blob)
+        # The surviving elements read identical bytes.
+        for i in range(3):
+            assert rebuilt[0].read_element("v", i) == view.read_element("v", i)
+
+    def test_rebuilt_timing_preserved(self, recorded):
+        blob, interpretation = recorded
+        view = interpretation.edit_view("v", keep=[4, 2, 0])
+        _, rebuilt, _ = compact(blob, [view])
+        old_stream = view.materialize("v", read_payloads=False)
+        new_stream = rebuilt[0].materialize("v", read_payloads=False)
+        assert [t.start for t in new_stream] == [t.start for t in old_stream]
+        assert [t.element.size for t in new_stream] == \
+            [t.element.size for t in old_stream]
+
+    def test_multiple_interpretations_share_bytes(self, recorded):
+        blob, interpretation = recorded
+        a = interpretation.edit_view("v", keep=[0, 1], view_name="view-a")
+        b = interpretation.edit_view("v", keep=[1, 0], view_name="view-b")
+        new_blob, rebuilt, stats = compact(blob, [a, b])
+        # Shared elements copied once: compacted size is two elements.
+        expected = sum(e.size for e in a.sequence("v"))
+        assert len(new_blob) == expected
+        assert rebuilt[0].read_element("v", 0) == rebuilt[1].read_element("v", 1)
+
+    def test_original_untouched(self, recorded):
+        blob, interpretation = recorded
+        before = blob.read_all()
+        view = interpretation.edit_view("v", keep=[0])
+        compact(blob, [view])
+        assert blob.read_all() == before
+        interpretation.validate()
+
+    def test_wrong_blob_rejected(self, recorded):
+        blob, interpretation = recorded
+        with pytest.raises(StorageError, match="different BLOB"):
+            compact(MemoryBlob(b"xx"), [interpretation])
+
+    def test_needs_interpretations(self, recorded):
+        blob, _ = recorded
+        with pytest.raises(StorageError):
+            compact(blob, [])
+
+    def test_stats_fields(self, recorded):
+        blob, interpretation = recorded
+        view = interpretation.edit_view("v", keep=[0, 1])
+        _, _, stats = compact(blob, [view])
+        assert stats.original_bytes == len(blob)
+        assert stats.compacted_bytes == stats.referenced_bytes
+        assert stats.sequences == 1
+        assert 0 < stats.reclaimed_fraction < 1
+
+    def test_compact_into_paged_blob(self, recorded):
+        from repro.blob.blob import PagedBlob
+        from repro.blob.pages import MemoryPager, PageStore
+
+        blob, interpretation = recorded
+        target = PagedBlob(PageStore(MemoryPager(page_size=512)))
+        view = interpretation.edit_view("v", keep=[0, 1, 2])
+        new_blob, rebuilt, _ = compact(blob, [view], target=target)
+        assert new_blob is target
+        assert rebuilt[0].read_element("v", 2) == view.read_element("v", 2)
