@@ -30,6 +30,9 @@ Subpackages
     Non-destructive editing: EDLs, transitions, filters, separation.
 ``repro.engine``
     Simulated real-time playback/recording: clock, scheduler, buffers.
+``repro.faults``
+    Deterministic fault injection: seeded fault plans, a fault-injecting
+    pager, and the degradation machinery the engine uses to survive them.
 ``repro.query``
     Media database catalog and query API.
 """

@@ -13,9 +13,10 @@ data modeling" (§4.1) — but the model must tolerate it, so we build it.
 from __future__ import annotations
 
 import os
+import zlib
 from typing import Iterable
 
-from repro.errors import BlobError
+from repro.errors import BlobCorruptionError, BlobError
 
 #: Default page size (bytes). Small enough that test blobs fragment,
 #: large enough to amortize per-page bookkeeping.
@@ -104,8 +105,13 @@ class FilePager:
         self._file.seek(page_no * self.page_size + offset)
         self._file.write(data)
 
+    def flush(self) -> None:
+        self._file.flush()
+
     def close(self) -> None:
-        self._file.close()
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
 
     def __enter__(self) -> "FilePager":
         return self
@@ -119,13 +125,30 @@ class FilePager:
 
 
 class PageStore:
-    """Page allocator with a free list over a backing pager."""
+    """Page allocator with a free list over a backing pager.
 
-    def __init__(self, pager: MemoryPager | FilePager | None = None):
+    With ``checksums=True`` the store keeps a CRC-32 per page, updated
+    on every write and verified on every read, so silent corruption
+    beneath the pager (bad media, an injected bit flip) surfaces as
+    :class:`~repro.errors.BlobCorruptionError` instead of decoding
+    garbage downstream. Checksums are computed from the write path's own
+    data — a fault-injecting pager may expose ``read_page_raw`` so the
+    maintenance read bypasses injected read faults (the controller
+    checksums bytes still in its buffer).
+    """
+
+    def __init__(self, pager: MemoryPager | FilePager | None = None,
+                 checksums: bool = False):
         # Explicit None check: an empty pager is falsy (len() == 0), so
         # `pager or MemoryPager()` would silently discard it.
         self.pager = MemoryPager() if pager is None else pager
-        self._free: list[int] = []
+        # Free pages: the set answers membership in O(1) (double-free
+        # checks, bulk release of large blobs), the list preserves LIFO
+        # reuse order. Both are updated together.
+        self._free: set[int] = set()
+        self._free_order: list[int] = []
+        self.checksums = checksums
+        self._checksums: dict[int, int] = {}
 
     @property
     def page_size(self) -> int:
@@ -141,9 +164,14 @@ class PageStore:
 
     def allocate(self) -> int:
         """Return a page number, reusing freed pages before growing."""
-        if self._free:
-            return self._free.pop()
-        return self.pager.grow()
+        if self._free_order:
+            page_no = self._free_order.pop()
+            self._free.discard(page_no)
+            return page_no
+        page_no = self.pager.grow()
+        if self.checksums:
+            self._checksums[page_no] = zlib.crc32(bytes(self.page_size))
+        return page_no
 
     def allocate_many(self, count: int) -> list[int]:
         return [self.allocate() for _ in range(count)]
@@ -151,17 +179,63 @@ class PageStore:
     def free(self, page_no: int) -> None:
         if page_no in self._free:
             raise BlobError(f"double free of page {page_no}")
-        self._free.append(page_no)
+        self._free.add(page_no)
+        self._free_order.append(page_no)
 
     def free_many(self, pages: Iterable[int]) -> None:
         for page_no in pages:
             self.free(page_no)
 
-    def read(self, page_no: int) -> bytes:
-        return self.pager.read_page(page_no)
+    def read(self, page_no: int, verify: bool = True) -> bytes:
+        data = self.pager.read_page(page_no)
+        if verify and self.checksums:
+            expected = self._checksums.get(page_no)
+            if expected is not None and zlib.crc32(data) != expected:
+                raise BlobCorruptionError(
+                    f"page {page_no} failed checksum verification"
+                )
+        return data
 
     def write(self, page_no: int, data: bytes, offset: int = 0) -> None:
         self.pager.write_page(page_no, data, offset)
+        if self.checksums:
+            if offset == 0 and len(data) == self.page_size:
+                self._checksums[page_no] = zlib.crc32(data)
+            else:
+                self._checksums[page_no] = zlib.crc32(self._read_raw(page_no))
+
+    def verify_page(self, page_no: int) -> bool:
+        """Does ``page_no`` currently match its recorded checksum?
+
+        Pages never written through a checksumming store (e.g. from a
+        reopened file) have no recorded checksum and verify trivially;
+        use :meth:`rebuild_checksums` to adopt them.
+        """
+        expected = self._checksums.get(page_no)
+        if expected is None:
+            return True
+        return zlib.crc32(self.pager.read_page(page_no)) == expected
+
+    def rebuild_checksums(self) -> None:
+        """Recompute checksums for every page from the raw backing data."""
+        self._checksums = {
+            page_no: zlib.crc32(self._read_raw(page_no))
+            for page_no in range(len(self.pager))
+        }
+
+    def _read_raw(self, page_no: int) -> bytes:
+        raw_read = getattr(self.pager, "read_page_raw", self.pager.read_page)
+        return raw_read(page_no)
+
+    def flush(self) -> None:
+        flush = getattr(self.pager, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        close = getattr(self.pager, "close", None)
+        if close is not None:
+            close()
 
     def fragmentation(self, chain: list[int]) -> float:
         """Fraction of non-adjacent successors in a page chain.

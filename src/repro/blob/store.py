@@ -4,6 +4,9 @@ The :class:`BlobStore` is the storage-manager face of the database: it
 creates, looks up and deletes BLOBs, and reports aggregate statistics.
 It deliberately knows nothing about media — interpretation is layered on
 top (Definition 5), never pushed down here.
+
+File-backed stores own an open file handle; use the store as a context
+manager (or call :meth:`BlobStore.close`) so it is flushed and released.
 """
 
 from __future__ import annotations
@@ -21,12 +24,30 @@ class BlobStore:
         self._blobs: dict[str, PagedBlob] = {}
 
     @classmethod
-    def file_backed(cls, path, page_size: int | None = None) -> "BlobStore":
+    def file_backed(cls, path, page_size: int | None = None,
+                    checksums: bool = False) -> "BlobStore":
         """A store persisting pages in a single file at ``path``."""
         pager = (
             FilePager(path, page_size) if page_size else FilePager(path)
         )
-        return cls(PageStore(pager))
+        return cls(PageStore(pager, checksums=checksums))
+
+    def flush(self) -> None:
+        """Flush a file-backed page store to disk (no-op in memory)."""
+        self.pages.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing store's file handle, if any.
+
+        Safe to call more than once; a memory-backed store is a no-op.
+        """
+        self.pages.close()
+
+    def __enter__(self) -> "BlobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def create(self, name: str) -> PagedBlob:
         if name in self._blobs:

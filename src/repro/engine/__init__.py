@@ -21,7 +21,13 @@ makes these statements measurable without wall-clock dependence:
 from repro.engine.clock import MediaClock
 from repro.engine.scheduler import PresentationEvent, ScheduleReport, schedule_events
 from repro.engine.buffers import PrefetchReport, RingBuffer, simulate_prefetch
-from repro.engine.player import CostModel, PlaybackReport, Player
+from repro.engine.player import (
+    AdaptationPolicy,
+    CostModel,
+    PlaybackReport,
+    Player,
+    RetryPolicy,
+)
 from repro.engine.recorder import Recorder
 from repro.engine.sync import SyncReport, measure_sync
 from repro.engine.resources import ExpansionDecision, ResourceModel
@@ -36,9 +42,11 @@ __all__ = [
     "PrefetchReport",
     "RingBuffer",
     "simulate_prefetch",
+    "AdaptationPolicy",
     "CostModel",
     "PlaybackReport",
     "Player",
+    "RetryPolicy",
     "Recorder",
     "SyncReport",
     "measure_sync",

@@ -14,13 +14,16 @@ time is involved, so reports are reproducible to the bit.
 
 from __future__ import annotations
 
+import math
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.composition import MultimediaObject
 from repro.core.interpretation import Interpretation
 from repro.core.rational import Rational, as_rational
 from repro.engine.buffers import simulate_prefetch
-from repro.errors import EngineError
+from repro.errors import EngineError, PlaybackAbortError
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -47,14 +50,145 @@ class CostModel:
             object.__setattr__(self, "decode_rate", as_rational(self.decode_rate))
         if self.bandwidth <= 0:
             raise EngineError("bandwidth must be positive")
+        if self.seek_time < 0:
+            raise EngineError(
+                f"seek_time must be non-negative, got {self.seek_time}"
+            )
+        if self.decode_rate is not None and self.decode_rate <= 0:
+            raise EngineError(
+                f"decode_rate must be positive, got {self.decode_rate}"
+            )
 
-    def element_cost(self, size: int, contiguous: bool) -> Rational:
-        cost = Rational(size) / self.bandwidth
+    def element_cost(self, size: int, contiguous: bool,
+                     bandwidth_factor: Rational | None = None) -> Rational:
+        """Seconds to read (and decode) ``size`` bytes.
+
+        ``bandwidth_factor`` scales only the transfer term — a degraded
+        link slows the bytes, not the head movement or the decoder.
+        """
+        bandwidth = self.bandwidth
+        if bandwidth_factor is not None and bandwidth_factor != 1:
+            bandwidth = bandwidth * bandwidth_factor
+        cost = Rational(size) / bandwidth
         if not contiguous:
             cost += self.seek_time
         if self.decode_rate:
             cost += Rational(size) / self.decode_rate
         return cost
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How playback responds to injected read faults.
+
+    A failed attempt is retried up to ``max_retries`` times; each retry
+    charges the re-read *plus* a backoff pause, all as simulated time,
+    so recovery shows up as lateness and underruns rather than
+    disappearing into a wall-clock sleep. When retries exhaust (or the
+    page is permanently bad) the element is skipped with a glitch.
+    ``abort_skip_fraction`` bounds tolerance: if more than that fraction
+    of elements are skipped, playback raises
+    :class:`~repro.errors.PlaybackAbortError` instead of presenting a
+    slideshow.
+    """
+
+    max_retries: int = 3
+    backoff: Rational = Rational(1, 200)
+    backoff_factor: Rational = Rational(2)
+    abort_skip_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backoff", as_rational(self.backoff))
+        object.__setattr__(
+            self, "backoff_factor", as_rational(self.backoff_factor)
+        )
+        if self.max_retries < 0:
+            raise EngineError("max_retries must be non-negative")
+        if self.backoff < 0:
+            raise EngineError("backoff must be non-negative")
+        if self.backoff_factor < 1:
+            raise EngineError("backoff_factor must be >= 1")
+        if (self.abort_skip_fraction is not None
+                and not 0 < self.abort_skip_fraction <= 1):
+            raise EngineError("abort_skip_fraction must be in (0, 1]")
+
+    def backoff_cost(self, attempt: int) -> Rational:
+        """Simulated pause before retrying after failed attempt ``attempt``."""
+        return self.backoff * self.backoff_factor ** attempt
+
+
+@dataclass(frozen=True)
+class AdaptationPolicy:
+    """Quality degradation for scalable streams (§2.2, Definition 5).
+
+    A scalable element is stored base-layer-first, so a player can read
+    a prefix and present reduced fidelity. ``fractions[k]`` is the
+    fraction of the element's bytes needed to present layer ``k``
+    (defaults to a linear ramp); under a degraded bandwidth window the
+    player picks the highest layer whose fraction fits the available
+    factor, never dropping below ``min_level``. ``sequences`` restricts
+    adaptation to the named sequences (None adapts every stream).
+    """
+
+    levels: int
+    fractions: tuple[Rational, ...] | None = None
+    sequences: frozenset[str] | None = None
+    min_level: int = 0
+    max_level: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise EngineError("levels must be >= 1")
+        if not 0 <= self.min_level < self.levels:
+            raise EngineError(
+                f"min_level must be in [0, {self.levels}), got {self.min_level}"
+            )
+        if (self.max_level is not None
+                and not self.min_level <= self.max_level < self.levels):
+            raise EngineError(
+                f"max_level must be in [{self.min_level}, {self.levels}), "
+                f"got {self.max_level}"
+            )
+        if self.fractions is not None:
+            fractions = tuple(as_rational(f) for f in self.fractions)
+            if len(fractions) != self.levels:
+                raise EngineError(
+                    f"need {self.levels} fractions, got {len(fractions)}"
+                )
+            if any(not 0 < f <= 1 for f in fractions):
+                raise EngineError("fractions must be in (0, 1]")
+            if any(a > b for a, b in zip(fractions, fractions[1:])):
+                raise EngineError("fractions must be non-decreasing")
+            if fractions[-1] != 1:
+                raise EngineError("top level must read the full element")
+            object.__setattr__(self, "fractions", fractions)
+        if self.sequences is not None:
+            object.__setattr__(self, "sequences", frozenset(self.sequences))
+
+    def fraction(self, level: int) -> Rational:
+        if self.fractions is not None:
+            return self.fractions[level]
+        return Rational(level + 1, self.levels)
+
+    def level_for(self, bandwidth_factor: Rational) -> int:
+        """Highest layer whose byte fraction fits the bandwidth factor.
+
+        ``max_level`` caps the search — a server in fallback mode pins
+        quality down by lowering the cap, not by lying about bandwidth.
+        """
+        top = self.levels - 1 if self.max_level is None else self.max_level
+        level = self.min_level
+        for candidate in range(top, self.min_level - 1, -1):
+            if self.fraction(candidate) <= bandwidth_factor:
+                level = candidate
+                break
+        return level
+
+    def applies_to(self, label: str) -> bool:
+        if self.sequences is None:
+            return True
+        name = label.split("[", 1)[0]
+        return name in self.sequences
 
 
 @dataclass
@@ -79,24 +213,31 @@ class PlaybackReport:
     per_read: list[tuple[str, Rational, Rational]] = field(
         default_factory=list
     )
+    retries: int = 0
+    skipped_elements: int = 0
+    glitches: int = 0
+    delivered_quality: Rational = Rational(1)
 
     def stream_lateness(self, prefix: str) -> tuple[list[Rational], list[Rational]]:
-        """(lateness, deadlines) of reads whose label starts with ``prefix``.
+        """(lateness, deadlines) of reads of the sequence named ``prefix``.
 
-        Labels are ``sequence[n]``, so the sequence name is the natural
-        prefix. Both lists are deadline-ordered, ready for
+        Labels are ``sequence[n]``; matching anchors on the ``[`` so the
+        sequence ``"audio"`` never swallows ``"audio2"``'s reads. A
+        prefix already containing ``[`` is matched verbatim. Both lists
+        are deadline-ordered, ready for
         :func:`~repro.engine.sync.measure_sync`.
         """
+        needle = prefix if "[" in prefix else f"{prefix}["
         lateness = []
         deadlines = []
         for label, deadline, late in self.per_read:
-            if label.startswith(prefix):
+            if label.startswith(needle):
                 deadlines.append(deadline)
                 lateness.append(late)
         return lateness, deadlines
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.element_count} elements over "
             f"{self.duration.to_timestamp()}; required rate "
             f"{float(self.required_rate) / 1024:.0f} KiB/s; startup "
@@ -104,6 +245,13 @@ class PlaybackReport:
             f"{self.underruns} underruns ({self.underrun_fraction:.1%}); "
             f"jitter {float(self.jitter) * 1000:.2f} ms; {self.seeks} seeks"
         )
+        if self.retries or self.skipped_elements or self.delivered_quality != 1:
+            text += (
+                f"; {self.retries} retries, {self.skipped_elements} skipped "
+                f"({self.glitches} glitches), delivered quality "
+                f"{float(self.delivered_quality):.0%}"
+            )
+        return text
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,12 +266,21 @@ class Player:
     """Simulates synchronized playback of interpreted sequences."""
 
     def __init__(self, cost_model: CostModel | None = None,
-                 prefetch_depth: int = 4, rate=1):
+                 prefetch_depth: int = 4, rate=1,
+                 fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 adaptation: AdaptationPolicy | None = None):
         """``rate`` is the playback rate: 2 plays double speed (deadlines
         arrive twice as fast, so the storage system must sustain twice
         the data rate); rates in (0, 1) play slow motion. Reverse
         playback is a derivation (``video-reverse``), not a negative
         rate, because read order must still move forward through time.
+
+        ``fault_plan`` makes the simulated storage path misbehave per
+        the plan's schedule; ``retry_policy`` (default
+        :class:`RetryPolicy`) governs recovery and ``adaptation``
+        trades fidelity for feasibility on scalable streams. Without a
+        fault plan the simulation is exactly the clean happy path.
         """
         self.cost_model = cost_model or CostModel()
         if prefetch_depth < 1:
@@ -132,6 +289,9 @@ class Player:
         self.rate = as_rational(rate)
         if self.rate <= 0:
             raise EngineError(f"playback rate must be positive, got {self.rate}")
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.adaptation = adaptation
 
     # -- planning -------------------------------------------------------------
 
@@ -184,6 +344,8 @@ class Player:
                 max_lateness=Rational(0), jitter=Rational(0),
                 prefetch_depth=self.prefetch_depth, seeks=0,
             )
+        if self.fault_plan is not None:
+            return self._run_faulted(reads)
         production = []
         clock = Rational(0)
         cursor: int | None = None
@@ -225,6 +387,154 @@ class Player:
                 (read.label, deadline, late)
                 for read, deadline, late in zip(reads, deadlines, lateness)
             ],
+        )
+
+    # -- faulted playback ---------------------------------------------------------
+
+    def _run_faulted(self, reads: list[_PlannedRead]) -> PlaybackReport:
+        """Simulate playback against the fault plan's storage behaviour.
+
+        Every recovery action costs simulated time: a failed attempt
+        charges the full read it wasted plus the policy's backoff, so
+        faults surface as startup delay, lateness and underruns. An
+        element whose pages stay unreadable is skipped (a glitch — runs
+        of consecutive skips merge into one); scalable reads shrink to
+        the layer prefix that fits degraded bandwidth. The walk mirrors
+        :class:`~repro.faults.pager.FaultyPager`'s bookkeeping — visits
+        per page, global read index — so the same plan produces the
+        same storage behaviour at either enforcement point.
+        """
+        plan = self.fault_plan
+        policy = self.retry_policy
+        adaptation = self.adaptation
+        clock = Rational(0)
+        cursor: int | None = None
+        seeks = 0
+        retries = 0
+        skipped = 0
+        glitches = 0
+        in_glitch = False
+        visits: Counter = Counter()
+        presented: list[tuple[_PlannedRead, Rational]] = []
+        quality_sum = Rational(0)
+        adapted_reads = 0
+        total_bytes = 0
+
+        for index, read in enumerate(reads):
+            factor = plan.bandwidth_factor(index)
+            latency = plan.extra_latency(index)
+            size = read.size
+            delivered_share: Rational | None = None
+            if (adaptation is not None and read.size > 0
+                    and adaptation.applies_to(read.label)):
+                adapted_reads += 1
+                level = adaptation.level_for(factor)
+                size = min(
+                    read.size,
+                    math.ceil(Rational(read.size) * adaptation.fraction(level)),
+                )
+                delivered_share = Rational(level + 1, adaptation.levels)
+            contiguous = cursor is not None and read.offset == cursor
+            if cursor is not None and not contiguous:
+                seeks += 1
+            attempt_cost = self.cost_model.element_cost(
+                size, contiguous, bandwidth_factor=factor
+            ) + latency
+            cursor = read.offset + size
+
+            pages = plan.pages_of(read.offset, size)
+            if any(plan.is_bad_page(p) for p in pages):
+                # Permanently bad region: one probing attempt discovers
+                # it; retrying cannot help, so skip immediately.
+                clock += attempt_cost
+                skipped += 1
+                if not in_glitch:
+                    glitches += 1
+                in_glitch = True
+                continue
+
+            success = False
+            for attempt in range(policy.max_retries + 1):
+                failed = False
+                for page_no in pages:
+                    visit = visits[page_no]
+                    visits[page_no] += 1
+                    # A transient error aborts the gather at this page; a
+                    # corrupted visit completes but fails verification.
+                    # Either way the whole element is re-read.
+                    if (plan.is_transient(page_no, visit)
+                            or plan.is_corrupted(page_no, visit)):
+                        failed = True
+                        break
+                clock += attempt_cost
+                if not failed:
+                    success = True
+                    break
+                if attempt < policy.max_retries:
+                    clock += policy.backoff_cost(attempt)
+                    retries += 1
+
+            if success:
+                presented.append((read, clock))
+                total_bytes += size
+                if delivered_share is not None:
+                    quality_sum += delivered_share
+                in_glitch = False
+            else:
+                skipped += 1
+                if not in_glitch:
+                    glitches += 1
+                in_glitch = True
+
+        if (policy.abort_skip_fraction is not None
+                and skipped > policy.abort_skip_fraction * len(reads)):
+            raise PlaybackAbortError(
+                f"skipped {skipped}/{len(reads)} elements, beyond the "
+                f"policy's tolerance of {policy.abort_skip_fraction:.0%}"
+            )
+
+        first_deadline = reads[0].deadline
+        production = [p for _, p in presented]
+        deadlines = [
+            (r.deadline - first_deadline) / self.rate for r, _ in presented
+        ]
+        prefetch = simulate_prefetch(production, deadlines, self.prefetch_depth)
+        # The timeline is the content's: skipping an element glitches the
+        # presentation but does not shorten the programme.
+        duration = max(
+            (r.deadline - first_deadline) / self.rate for r in reads
+        )
+        required = (
+            Rational(total_bytes) / duration if duration > 0 else Rational(0)
+        )
+        lateness = [
+            max(p - (prefetch.startup_delay + d), Rational(0))
+            for p, d in zip(production, deadlines)
+        ]
+        delivered_quality = (
+            quality_sum / adapted_reads if adapted_reads else Rational(1)
+        )
+        return PlaybackReport(
+            element_count=len(presented),
+            duration=duration,
+            required_rate=required,
+            startup_delay=prefetch.startup_delay,
+            underruns=prefetch.underruns,
+            underrun_fraction=prefetch.underrun_fraction,
+            max_lateness=max(lateness) if lateness else Rational(0),
+            jitter=(max(lateness) - min(lateness)) if lateness else Rational(0),
+            prefetch_depth=self.prefetch_depth,
+            seeks=seeks,
+            per_read=[
+                (read.label, deadline, late)
+                for (read, _), deadline, late in zip(
+                    presented, deadlines, lateness
+                )
+            ],
+            retries=retries,
+            skipped_elements=skipped,
+            glitches=glitches,
+            delivered_quality=delivered_quality,
         )
 
     # -- multimedia objects ------------------------------------------------------

@@ -16,41 +16,86 @@ crossover the benchmark sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.interpretation import Interpretation
 from repro.core.rational import Rational, as_rational
-from repro.engine.player import CostModel, PlaybackReport, Player
-from repro.errors import EngineError, ResourceError
+from repro.engine.player import (
+    AdaptationPolicy,
+    CostModel,
+    PlaybackReport,
+    Player,
+    RetryPolicy,
+)
+from repro.errors import EngineError, MediaModelError, ResourceError
+from repro.faults.plan import FaultPlan
 
 
 @dataclass
 class Session:
-    """One admitted client session."""
+    """One admitted client session.
+
+    ``degraded`` marks a session the server had to re-admit in fallback
+    mode (base quality, unbounded skip tolerance) after its first
+    playback aborted on storage faults.
+    """
 
     client: str
     title: str
     report: PlaybackReport
+    degraded: bool = False
 
 
 @dataclass
 class ServerReport:
-    """Outcome of serving a batch of concurrent requests."""
+    """Outcome of serving a batch of concurrent requests.
+
+    Sessions fall into disjoint quality tiers: *clean* (no underruns,
+    no fault damage), *underrun* (late but intact), *degraded* (glitches,
+    skipped elements or reduced delivered quality — whether from in-band
+    adaptation or server-side failover). ``failed`` lists admitted
+    sessions the server could not complete even in fallback mode.
+    """
 
     admitted: list[Session]
     rejected: list[tuple[str, str]]
     bandwidth: int
     per_client_bandwidth: int
+    failed: list[tuple[str, str, str]] = field(default_factory=list)
 
     @property
     def admitted_count(self) -> int:
         return len(self.admitted)
 
+    @staticmethod
+    def _is_degraded(session: Session) -> bool:
+        report = session.report
+        return (session.degraded or report.glitches > 0
+                or report.skipped_elements > 0
+                or report.delivered_quality < 1)
+
     def clean_sessions(self) -> int:
-        return sum(1 for s in self.admitted if s.report.underruns == 0)
+        return sum(
+            1 for s in self.admitted
+            if s.report.underruns == 0 and not self._is_degraded(s)
+        )
 
     def underrun_sessions(self) -> int:
         return sum(1 for s in self.admitted if s.report.underruns > 0)
+
+    def degraded_sessions(self) -> int:
+        return sum(1 for s in self.admitted if self._is_degraded(s))
+
+    def failed_sessions(self) -> int:
+        return len(self.failed)
+
+    def mean_delivered_quality(self) -> float:
+        if not self.admitted:
+            return 1.0
+        total = sum(
+            float(s.report.delivered_quality) for s in self.admitted
+        )
+        return total / len(self.admitted)
 
 
 class VodServer:
@@ -120,13 +165,25 @@ class VodServer:
         return admitted, rejected
 
     def serve(self, requests: list[tuple[str, str]],
-              enforce_admission: bool = True) -> ServerReport:
+              enforce_admission: bool = True,
+              fault_plan: FaultPlan | None = None,
+              retry_policy: RetryPolicy | None = None,
+              adaptation: AdaptationPolicy | None = None) -> ServerReport:
         """Simulate serving ``requests`` concurrently.
 
         With ``enforce_admission`` the admission test runs first;
         without it every request is served (the overload experiment).
         Each admitted session plays its title against an equal share of
         the server bandwidth.
+
+        ``fault_plan`` subjects every session to the same storage
+        faults (they share the disk). A session whose playback aborts —
+        faults beyond its retry policy's tolerance — is not dropped:
+        the server re-admits it in fallback mode (base-layer quality if
+        an adaptation policy exists, unbounded skip tolerance) and
+        accounts it as *degraded*. Only a session that fails even the
+        fallback lands in ``ServerReport.failed``; ``serve`` itself
+        never propagates a storage fault.
         """
         if not requests:
             raise EngineError("serve needs at least one request")
@@ -135,14 +192,27 @@ class VodServer:
         else:
             admitted, rejected = list(requests), []
         sessions: list[Session] = []
+        failed: list[tuple[str, str, str]] = []
         if admitted:
             share = max(1, self.bandwidth // len(admitted))
             player = Player(
                 CostModel(bandwidth=share),
                 prefetch_depth=self.prefetch_depth,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                adaptation=adaptation,
             )
             for client, title in admitted:
-                report = player.play(self._titles[title])
+                try:
+                    report = player.play(self._titles[title])
+                except MediaModelError:
+                    session = self._serve_degraded(
+                        client, title, share, fault_plan, retry_policy,
+                        adaptation, failed,
+                    )
+                    if session is not None:
+                        sessions.append(session)
+                    continue
                 sessions.append(Session(client, title, report))
         else:
             share = 0
@@ -151,7 +221,51 @@ class VodServer:
             rejected=rejected,
             bandwidth=self.bandwidth,
             per_client_bandwidth=share,
+            failed=failed,
         )
+
+    def _serve_degraded(self, client: str, title: str, share: int,
+                        fault_plan: FaultPlan | None,
+                        retry_policy: RetryPolicy | None,
+                        adaptation: AdaptationPolicy | None,
+                        failed: list[tuple[str, str, str]]) -> Session | None:
+        """Replay a faulted session in fallback mode.
+
+        The fallback tolerates any number of skips and, when the title
+        is scalable, pins quality to the base layer so each element
+        needs the fewest bytes (and the fewest pages — shrinking the
+        fault surface). Records the session in ``failed`` and returns
+        None when even that cannot complete.
+        """
+        base = retry_policy or RetryPolicy()
+        lenient = RetryPolicy(
+            max_retries=base.max_retries,
+            backoff=base.backoff,
+            backoff_factor=base.backoff_factor,
+            abort_skip_fraction=None,
+        )
+        fallback_adaptation = adaptation
+        if adaptation is not None:
+            fallback_adaptation = AdaptationPolicy(
+                levels=adaptation.levels,
+                fractions=adaptation.fractions,
+                sequences=adaptation.sequences,
+                min_level=adaptation.min_level,
+                max_level=adaptation.min_level,
+            )
+        fallback = Player(
+            CostModel(bandwidth=share),
+            prefetch_depth=self.prefetch_depth,
+            fault_plan=fault_plan,
+            retry_policy=lenient,
+            adaptation=fallback_adaptation,
+        )
+        try:
+            report = fallback.play(self._titles[title])
+        except MediaModelError as exc:
+            failed.append((client, title, str(exc)))
+            return None
+        return Session(client, title, report, degraded=True)
 
     def capacity(self, title: str) -> int:
         """How many concurrent sessions of ``title`` the admission test

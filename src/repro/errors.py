@@ -44,6 +44,18 @@ class BlobBoundsError(BlobError):
     """A read or placement refers to bytes outside the BLOB."""
 
 
+class TransientBlobError(BlobError):
+    """A read failed for a transient reason; retrying may succeed."""
+
+
+class BlobCorruptionError(BlobError):
+    """Page data is unreadable or failed integrity verification.
+
+    Unlike :class:`TransientBlobError` this is permanent: retrying the
+    same read cannot recover the bytes.
+    """
+
+
 class InterpretationError(MediaModelError):
     """An interpretation is inconsistent with its BLOB (Definition 5)."""
 
@@ -74,6 +86,10 @@ class EngineError(MediaModelError):
 
 class SchedulingError(EngineError):
     """The scheduler was given an infeasible or malformed task set."""
+
+
+class PlaybackAbortError(EngineError):
+    """Playback gave up: faults exceeded the retry policy's tolerance."""
 
 
 class ResourceError(EngineError):

@@ -1,0 +1,99 @@
+"""A fault-injecting wrapper around a backing pager.
+
+:class:`FaultyPager` sits between a :class:`~repro.blob.pages.PageStore`
+and its real pager (memory or file) and perturbs the *read* path
+according to a :class:`~repro.faults.plan.FaultPlan`: permanently bad
+pages raise :class:`~repro.errors.BlobCorruptionError`, transient faults
+raise :class:`~repro.errors.TransientBlobError` (a retry re-reads and may
+succeed), and corrupted visits silently flip one bit — which page-level
+checksums upstream are expected to catch. Writes pass through untouched:
+capture is assumed verified; it is playback that must survive the disk.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.faults.plan import FaultPlan
+from repro.errors import BlobCorruptionError, TransientBlobError
+
+
+class FaultyPager:
+    """Wraps a pager, injecting deterministic faults on reads.
+
+    The wrapper tracks how many times each page has been read (its
+    *visit* count) and a global read index; the plan keys its decisions
+    on those, so a fixed access pattern always faults identically.
+    """
+
+    def __init__(self, pager, plan: FaultPlan):
+        self.pager = pager
+        self.plan = plan
+        self.reads = 0
+        self.fault_counts: Counter = Counter()
+        self._visits: Counter = Counter()
+
+    @property
+    def page_size(self) -> int:
+        return self.pager.page_size
+
+    def __len__(self) -> int:
+        return len(self.pager)
+
+    # -- write path: pass-through ------------------------------------------------
+
+    def grow(self) -> int:
+        return self.pager.grow()
+
+    def write_page(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        self.pager.write_page(page_no, data, offset)
+
+    # -- read path: faulted --------------------------------------------------------
+
+    def read_page(self, page_no: int) -> bytes:
+        visit = self._visits[page_no]
+        self._visits[page_no] += 1
+        self.reads += 1
+        if self.plan.is_bad_page(page_no):
+            self.fault_counts["bad_page"] += 1
+            raise BlobCorruptionError(
+                f"page {page_no} is permanently unreadable (injected)"
+            )
+        if self.plan.is_transient(page_no, visit):
+            self.fault_counts["transient"] += 1
+            raise TransientBlobError(
+                f"transient read failure on page {page_no} "
+                f"(visit {visit}, injected)"
+            )
+        data = self.pager.read_page(page_no)
+        if self.plan.is_corrupted(page_no, visit):
+            self.fault_counts["corrupted"] += 1
+            data = self.plan.corrupt(data, page_no, visit)
+        return data
+
+    def read_page_raw(self, page_no: int) -> bytes:
+        """Read without fault injection.
+
+        Used by the write path's checksum maintenance, which models a
+        controller checksumming data still in its buffer — injected
+        read faults model the medium, not the controller.
+        """
+        return self.pager.read_page(page_no)
+
+    # -- lifecycle: delegate when supported -----------------------------------------
+
+    def flush(self) -> None:
+        flush = getattr(self.pager, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        close = getattr(self.pager, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "FaultyPager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -89,3 +89,65 @@ class TestPageStore:
         assert store.fragmentation([0, 2, 4]) == 1.0
         assert store.fragmentation([0, 1, 5]) == 0.5
         assert store.fragmentation([7]) == 0.0
+
+
+class TestFreeListScaling:
+    """The free list is set-backed: bulk release must stay linear and
+    reuse must remain LIFO."""
+
+    def test_bulk_free_and_reuse_order(self):
+        store = PageStore(MemoryPager(page_size=16))
+        pages = store.allocate_many(500)
+        store.free_many(pages)
+        assert store.free_pages == 500
+        # LIFO: the most recently freed page comes back first.
+        assert store.allocate() == pages[-1]
+        assert store.allocate() == pages[-2]
+        assert store.free_pages == 498
+
+    def test_interleaved_free_allocate(self):
+        store = PageStore(MemoryPager(page_size=16))
+        pages = store.allocate_many(10)
+        store.free_many(pages[:5])
+        got = {store.allocate() for _ in range(5)}
+        assert got == set(pages[:5])
+        with pytest.raises(BlobError, match="double free"):
+            store.free_many([pages[5], pages[5]])
+
+
+class TestChecksums:
+    def test_disabled_by_default(self):
+        store = PageStore(MemoryPager(page_size=16))
+        assert not store.checksums
+
+    def test_roundtrip_with_checksums(self):
+        store = PageStore(MemoryPager(page_size=16), checksums=True)
+        page = store.allocate()
+        store.write(page, b"0123456789abcdef")
+        assert store.read(page) == b"0123456789abcdef"
+
+    def test_fresh_page_verifies(self):
+        store = PageStore(MemoryPager(page_size=16), checksums=True)
+        page = store.allocate()
+        assert store.read(page) == bytes(16)
+
+    def test_detects_underlying_corruption(self):
+        from repro.errors import BlobCorruptionError
+
+        pager = MemoryPager(page_size=16)
+        store = PageStore(pager, checksums=True)
+        page = store.allocate()
+        store.write(page, b"a" * 16)
+        pager._pages[page][3] ^= 0x01  # rot on the medium
+        with pytest.raises(BlobCorruptionError, match="checksum"):
+            store.read(page)
+        assert store.read(page, verify=False)  # escape hatch for salvage
+
+    def test_reused_page_keeps_valid_checksum(self):
+        store = PageStore(MemoryPager(page_size=16), checksums=True)
+        page = store.allocate()
+        store.write(page, b"b" * 16)
+        store.free(page)
+        again = store.allocate()
+        assert again == page
+        assert store.read(again) == b"b" * 16

@@ -56,3 +56,38 @@ class TestBlobStore:
         store.create("x").append(b"persisted")
         assert store.get("x").read_all() == b"persisted"
         assert path.exists()
+
+
+class TestLifecycle:
+    def test_close_releases_file_handle(self, tmp_path):
+        path = tmp_path / "store.dat"
+        store = BlobStore.file_backed(path)
+        store.create("x").append(b"payload")
+        store.close()
+        assert store.pages.pager._file.closed
+        # Close is idempotent.
+        store.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "store.dat"
+        with BlobStore.file_backed(path, page_size=16) as store:
+            store.create("x").append(b"y" * 40)
+        assert store.pages.pager._file.closed
+        # Reopening sees the persisted pages.
+        with BlobStore.file_backed(path, page_size=16) as reopened:
+            assert reopened.pages.allocated_pages == 3
+
+    def test_flush_persists_without_closing(self, tmp_path):
+        path = tmp_path / "store.dat"
+        with BlobStore.file_backed(path, page_size=16) as store:
+            store.create("x").append(b"z" * 16)
+            store.flush()
+            assert path.stat().st_size == 16
+            assert not store.pages.pager._file.closed
+
+    def test_memory_store_close_is_noop(self):
+        store = BlobStore()
+        store.create("x").append(b"data")
+        store.close()
+        with BlobStore() as ctx_store:
+            ctx_store.create("y")

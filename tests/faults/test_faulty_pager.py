@@ -1,0 +1,168 @@
+"""Tests for the fault-injecting pager and checksum integration."""
+
+import pytest
+
+from repro.blob.blob import PagedBlob
+from repro.blob.pages import MemoryPager, PageStore
+from repro.blob.store import BlobStore
+from repro.errors import BlobCorruptionError, TransientBlobError
+from repro.faults import FaultPlan, FaultyPager
+
+
+def make_pager(**rates):
+    plan = FaultPlan(seed=77, page_size=32, **rates)
+    return FaultyPager(MemoryPager(page_size=32), plan)
+
+
+class TestPassThrough:
+    def test_clean_plan_is_transparent(self):
+        pager = make_pager()
+        page = pager.grow()
+        pager.write_page(page, b"x" * 32)
+        assert pager.read_page(page) == b"x" * 32
+        assert len(pager) == 1
+        assert pager.page_size == 32
+        assert pager.reads == 1
+        assert not pager.fault_counts
+
+    def test_writes_never_fault(self):
+        pager = make_pager(transient_rate=1.0, bad_page_rate=1.0)
+        page = pager.grow()
+        pager.write_page(page, b"y" * 32)  # must not raise
+
+
+class TestTransient:
+    def test_transient_raises_and_clears(self):
+        pager = make_pager(transient_rate=0.5)
+        page = pager.grow()
+        pager.write_page(page, b"z" * 32)
+        outcomes = []
+        for _ in range(50):
+            try:
+                assert pager.read_page(page) == b"z" * 32
+                outcomes.append(True)
+            except TransientBlobError:
+                outcomes.append(False)
+        assert True in outcomes and False in outcomes
+        assert pager.fault_counts["transient"] == outcomes.count(False)
+
+    def test_visit_sequence_is_reproducible(self):
+        results = []
+        for _ in range(2):
+            pager = make_pager(transient_rate=0.5)
+            page = pager.grow()
+            pager.write_page(page, b"z" * 32)
+            run = []
+            for _ in range(30):
+                try:
+                    pager.read_page(page)
+                    run.append("ok")
+                except TransientBlobError:
+                    run.append("fail")
+            results.append(run)
+        assert results[0] == results[1]
+
+
+class TestBadPages:
+    def test_bad_page_fails_persistently(self):
+        pager = make_pager(bad_page_rate=1.0)
+        page = pager.grow()
+        pager.write_page(page, b"q" * 32)
+        for _ in range(5):
+            with pytest.raises(BlobCorruptionError, match="permanently"):
+                pager.read_page(page)
+        assert pager.fault_counts["bad_page"] == 5
+
+    def test_raw_read_bypasses_faults(self):
+        pager = make_pager(bad_page_rate=1.0, transient_rate=1.0)
+        page = pager.grow()
+        pager.write_page(page, b"q" * 32)
+        assert pager.read_page_raw(page) == b"q" * 32
+
+
+class TestCorruptionAndChecksums:
+    def test_silent_corruption_without_checksums(self):
+        pager = make_pager(corruption_rate=1.0)
+        page = pager.grow()
+        pager.write_page(page, b"a" * 32)
+        data = pager.read_page(page)
+        assert data != b"a" * 32  # flipped, and nobody noticed
+        assert len(data) == 32
+
+    def test_checksums_catch_corruption(self):
+        pager = make_pager(corruption_rate=1.0)
+        store = PageStore(pager, checksums=True)
+        page = store.allocate()
+        store.write(page, b"a" * 32)
+        with pytest.raises(BlobCorruptionError, match="checksum"):
+            store.read(page)
+
+    def test_checksums_catch_every_injected_corruption(self):
+        plan = FaultPlan(seed=13, page_size=32, corruption_rate=0.4)
+        pager = FaultyPager(MemoryPager(page_size=32), plan)
+        store = PageStore(pager, checksums=True)
+        page = store.allocate()
+        store.write(page, bytes(range(32)))
+        caught = clean = 0
+        for visit in range(100):
+            expected_corrupt = plan.is_corrupted(page, visit)
+            try:
+                data = store.read(page)
+            except BlobCorruptionError:
+                assert expected_corrupt
+                caught += 1
+            else:
+                assert not expected_corrupt
+                assert data == bytes(range(32))
+                clean += 1
+        assert caught and clean
+        assert caught == pager.fault_counts["corrupted"]
+
+    def test_partial_writes_keep_checksums_current(self):
+        pager = make_pager()
+        store = PageStore(pager, checksums=True)
+        page = store.allocate()
+        store.write(page, b"ab", offset=7)
+        data = store.read(page)
+        assert data[7:9] == b"ab"
+
+    def test_verify_page_and_rebuild(self):
+        base = MemoryPager(page_size=32)
+        store = PageStore(base, checksums=True)
+        page = store.allocate()
+        store.write(page, b"c" * 32)
+        assert store.verify_page(page)
+        # Corrupt the medium behind the store's back.
+        base._pages[page][0] ^= 0xFF
+        assert not store.verify_page(page)
+        store.rebuild_checksums()
+        assert store.verify_page(page)
+
+
+class TestBlobIntegration:
+    def test_paged_blob_over_faulty_store_roundtrips_or_raises_typed(self):
+        plan = FaultPlan(seed=5, page_size=32, transient_rate=0.2,
+                         corruption_rate=0.2)
+        store = PageStore(FaultyPager(MemoryPager(page_size=32), plan),
+                          checksums=True)
+        blob = PagedBlob(store)
+        payload = bytes(range(256))
+        blob.append(payload)
+        seen = set()
+        for _ in range(100):
+            try:
+                assert blob.read(0, 256) == payload
+                seen.add("ok")
+            except TransientBlobError:
+                seen.add("transient")
+            except BlobCorruptionError:
+                seen.add("corrupt")
+        assert seen == {"ok", "transient", "corrupt"}
+
+    def test_blob_store_over_faulty_pager(self):
+        plan = FaultPlan(seed=1, page_size=32)
+        store = BlobStore(PageStore(FaultyPager(MemoryPager(page_size=32),
+                                                plan), checksums=True))
+        blob = store.create("movie")
+        blob.append(b"d" * 100)
+        assert store.get("movie").read_all() == b"d" * 100

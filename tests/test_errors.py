@@ -27,6 +27,9 @@ class TestHierarchy:
         assert issubclass(errors.SchedulingError, errors.EngineError)
         assert issubclass(errors.ResourceError, errors.EngineError)
         assert issubclass(errors.CatalogError, errors.QueryError)
+        assert issubclass(errors.TransientBlobError, errors.BlobError)
+        assert issubclass(errors.BlobCorruptionError, errors.BlobError)
+        assert issubclass(errors.PlaybackAbortError, errors.EngineError)
 
     def test_authorization_error_in_query_family(self):
         from repro.query.authorization import AuthorizationError
@@ -41,4 +44,4 @@ class TestHierarchy:
     def test_count_is_stable(self):
         """The hierarchy is part of the public API; additions are fine
         but should be deliberate (update this count when extending)."""
-        assert len(all_error_classes()) == 20
+        assert len(all_error_classes()) == 23
