@@ -34,23 +34,27 @@ def report() -> BenchReport:
     return BenchReport()
 
 
+def pytest_collection_modifyitems(config, items):
+    # Everything under benchmarks/ is a benchmark: mark it so tier-1
+    # runs can exclude the sweeps with ``-m "not bench"``.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _collected:
         return
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     terminalreporter.section("paper tables and figures (reproduced)")
+    written: set[str] = set()
     for experiment_id, text in _collected:
         terminalreporter.write_line("")
         for line in text.splitlines():
             terminalreporter.write_line(line)
         path = os.path.join(_RESULTS_DIR, f"{experiment_id}.txt")
-        with open(path, "a") as handle:
+        # Fresh file per experiment per run; append within a run so a
+        # partial benchmark selection doesn't clobber other results.
+        mode = "a" if path in written else "w"
+        written.add(path)
+        with open(path, mode) as handle:
             handle.write(text + "\n\n")
-
-
-def pytest_sessionstart(session):
-    # Fresh results per run.
-    if os.path.isdir(_RESULTS_DIR):
-        for name in os.listdir(_RESULTS_DIR):
-            if name.endswith(".txt"):
-                os.unlink(os.path.join(_RESULTS_DIR, name))

@@ -9,9 +9,12 @@ mechanisms: *interpretation* of BLOBs, *derivation* of media objects, and
 
 Quickstart::
 
-    from repro.core import TimedStream, media_type_registry
-    from repro.media import signals
+    from repro.api import Player, CostModel, MediaDatabase
     # see examples/quickstart.py
+
+``repro.api`` is the supported public surface; the subpackages below
+are importable directly but their internals are not stable across
+versions.
 
 Subpackages
 -----------
@@ -35,6 +38,10 @@ Subpackages
     pager, and the degradation machinery the engine uses to survive them.
 ``repro.query``
     Media database catalog and query API.
+``repro.obs``
+    Deterministic observability: metrics, spans, exporters.
+``repro.api``
+    The supported public facade (explicit ``__all__``).
 """
 
 __version__ = "1.0.0"

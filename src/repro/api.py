@@ -1,0 +1,153 @@
+"""The supported public surface of :mod:`repro`.
+
+Import from here::
+
+    from repro.api import MediaDatabase, Player, Observability
+
+Everything in ``__all__`` is the blessed, stable face of the library —
+the data model (timed streams, interpretation, derivation,
+composition), the storage substrate, the playback engine, fault
+injection, observability and the query catalog. Subpackage-internal
+names (codecs' DCT helpers, pager internals, benchmark plumbing) are
+deliberately excluded; reaching past this module into submodules is
+possible but unsupported across versions.
+
+The facade re-exports; it defines nothing, so ``repro.api.Player is
+repro.engine.Player`` — instances cross the boundary freely.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.blob import (
+    PAGE_SIZE,
+    Blob,
+    BlobStore,
+    FilePager,
+    MemoryBlob,
+    MemoryPager,
+    PagedBlob,
+    PageStore,
+)
+from repro.core import (
+    DerivationObject,
+    Derivation,
+    DerivedMediaObject,
+    DiscreteTimeSystem,
+    ElementDescriptor,
+    Interpretation,
+    Interval,
+    MediaDescriptor,
+    MediaElement,
+    MediaKind,
+    MediaObject,
+    MediaType,
+    MultimediaObject,
+    PlacementEntry,
+    ProvenanceGraph,
+    QualityFactor,
+    Rational,
+    StreamCategory,
+    TimedStream,
+    TimedTuple,
+    as_rational,
+    derivation_registry,
+    media_type_registry,
+)
+from repro.engine import (
+    AdaptationPolicy,
+    CostModel,
+    MediaClock,
+    PlaybackReport,
+    Player,
+    PrefetchReport,
+    Recorder,
+    RetryPolicy,
+    ServerReport,
+    VodServer,
+    measure_sync,
+)
+from repro.faults import FaultPlan, FaultyPager
+from repro.obs import (
+    Instrumented,
+    LogicalClock,
+    MetricsRegistry,
+    NullObservability,
+    Observability,
+    Tracer,
+    to_json_lines,
+    to_table,
+)
+from repro.query import (
+    MediaDatabase,
+    frames_at_fidelity,
+    select_duration,
+    select_track,
+)
+
+__all__ = [
+    # errors
+    "errors",
+    # data model
+    "Rational",
+    "as_rational",
+    "DiscreteTimeSystem",
+    "Interval",
+    "MediaKind",
+    "MediaType",
+    "media_type_registry",
+    "MediaDescriptor",
+    "ElementDescriptor",
+    "QualityFactor",
+    "MediaElement",
+    "TimedStream",
+    "TimedTuple",
+    "StreamCategory",
+    "MediaObject",
+    "DerivedMediaObject",
+    "Interpretation",
+    "PlacementEntry",
+    "Derivation",
+    "DerivationObject",
+    "derivation_registry",
+    "MultimediaObject",
+    "ProvenanceGraph",
+    # storage
+    "Blob",
+    "MemoryBlob",
+    "PagedBlob",
+    "PageStore",
+    "BlobStore",
+    "MemoryPager",
+    "FilePager",
+    "PAGE_SIZE",
+    # engine
+    "Player",
+    "CostModel",
+    "RetryPolicy",
+    "AdaptationPolicy",
+    "PlaybackReport",
+    "PrefetchReport",
+    "Recorder",
+    "MediaClock",
+    "VodServer",
+    "ServerReport",
+    "measure_sync",
+    # faults
+    "FaultPlan",
+    "FaultyPager",
+    # observability
+    "Observability",
+    "NullObservability",
+    "MetricsRegistry",
+    "Tracer",
+    "LogicalClock",
+    "Instrumented",
+    "to_json_lines",
+    "to_table",
+    # query
+    "MediaDatabase",
+    "select_track",
+    "select_duration",
+    "frames_at_fidelity",
+]

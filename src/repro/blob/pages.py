@@ -17,6 +17,7 @@ import zlib
 from typing import Iterable
 
 from repro.errors import BlobCorruptionError, BlobError
+from repro.obs.instrument import Instrumented, Observability
 
 #: Default page size (bytes). Small enough that test blobs fragment,
 #: large enough to amortize per-page bookkeeping.
@@ -124,7 +125,7 @@ class FilePager:
             raise BlobError(f"page {page_no} out of range (have {self._page_count})")
 
 
-class PageStore:
+class PageStore(Instrumented):
     """Page allocator with a free list over a backing pager.
 
     With ``checksums=True`` the store keeps a CRC-32 per page, updated
@@ -138,10 +139,13 @@ class PageStore:
     """
 
     def __init__(self, pager: MemoryPager | FilePager | None = None,
-                 checksums: bool = False):
+                 checksums: bool = False,
+                 obs: Observability | None = None):
         # Explicit None check: an empty pager is falsy (len() == 0), so
         # `pager or MemoryPager()` would silently discard it.
         self.pager = MemoryPager() if pager is None else pager
+        if obs is not None:
+            self.instrument(obs)
         # Free pages: the set answers membership in O(1) (double-free
         # checks, bulk release of large blobs), the list preserves LIFO
         # reuse order. Both are updated together.
@@ -149,6 +153,10 @@ class PageStore:
         self._free_order: list[int] = []
         self.checksums = checksums
         self._checksums: dict[int, int] = {}
+
+    def _instrument_children(self, obs: Observability) -> None:
+        if isinstance(self.pager, Instrumented):
+            self.pager.instrument(obs)
 
     @property
     def page_size(self) -> int:
@@ -167,10 +175,14 @@ class PageStore:
         if self._free_order:
             page_no = self._free_order.pop()
             self._free.discard(page_no)
+            self._obs.metrics.counter("blob.page.allocations").inc(
+                source="reuse"
+            )
             return page_no
         page_no = self.pager.grow()
         if self.checksums:
             self._checksums[page_no] = zlib.crc32(bytes(self.page_size))
+        self._obs.metrics.counter("blob.page.allocations").inc(source="grow")
         return page_no
 
     def allocate_many(self, count: int) -> list[int]:
@@ -181,22 +193,32 @@ class PageStore:
             raise BlobError(f"double free of page {page_no}")
         self._free.add(page_no)
         self._free_order.append(page_no)
+        self._obs.metrics.counter("blob.page.frees").inc()
 
     def free_many(self, pages: Iterable[int]) -> None:
         for page_no in pages:
             self.free(page_no)
 
     def read(self, page_no: int, verify: bool = True) -> bytes:
+        metrics = self._obs.metrics
+        metrics.counter("blob.page.reads").inc()
         data = self.pager.read_page(page_no)
+        metrics.counter("blob.page.bytes_read").inc(len(data))
         if verify and self.checksums:
             expected = self._checksums.get(page_no)
-            if expected is not None and zlib.crc32(data) != expected:
-                raise BlobCorruptionError(
-                    f"page {page_no} failed checksum verification"
-                )
+            if expected is not None:
+                metrics.counter("blob.page.checksum_verifications").inc()
+                if zlib.crc32(data) != expected:
+                    metrics.counter("blob.page.checksum_failures").inc()
+                    raise BlobCorruptionError(
+                        f"page {page_no} failed checksum verification"
+                    )
         return data
 
     def write(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        metrics = self._obs.metrics
+        metrics.counter("blob.page.writes").inc()
+        metrics.counter("blob.page.bytes_written").inc(len(data))
         self.pager.write_page(page_no, data, offset)
         if self.checksums:
             if offset == 0 and len(data) == self.page_size:

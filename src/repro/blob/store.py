@@ -14,23 +14,31 @@ from __future__ import annotations
 from repro.blob.blob import PagedBlob
 from repro.blob.pages import FilePager, MemoryPager, PageStore
 from repro.errors import BlobError
+from repro.obs.instrument import Instrumented, Observability
 
 
-class BlobStore:
+class BlobStore(Instrumented):
     """Named BLOBs sharing a single :class:`PageStore`."""
 
-    def __init__(self, store: PageStore | None = None):
+    def __init__(self, store: PageStore | None = None,
+                 obs: Observability | None = None):
         self.pages = store or PageStore(MemoryPager())
         self._blobs: dict[str, PagedBlob] = {}
+        if obs is not None:
+            self.instrument(obs)
+
+    def _instrument_children(self, obs: Observability) -> None:
+        self.pages.instrument(obs)
 
     @classmethod
     def file_backed(cls, path, page_size: int | None = None,
-                    checksums: bool = False) -> "BlobStore":
+                    checksums: bool = False,
+                    obs: Observability | None = None) -> "BlobStore":
         """A store persisting pages in a single file at ``path``."""
         pager = (
             FilePager(path, page_size) if page_size else FilePager(path)
         )
-        return cls(PageStore(pager, checksums=checksums))
+        return cls(PageStore(pager, checksums=checksums), obs=obs)
 
     def flush(self) -> None:
         """Flush a file-backed page store to disk (no-op in memory)."""
@@ -54,6 +62,8 @@ class BlobStore:
             raise BlobError(f"BLOB {name!r} already exists")
         blob = PagedBlob(self.pages)
         self._blobs[name] = blob
+        self._obs.metrics.counter("blob.store.creates").inc()
+        self._obs.metrics.gauge("blob.store.blobs").set(len(self._blobs))
         return blob
 
     def get(self, name: str) -> PagedBlob:
@@ -69,6 +79,8 @@ class BlobStore:
         blob = self.get(name)
         blob.release()
         del self._blobs[name]
+        self._obs.metrics.counter("blob.store.deletes").inc()
+        self._obs.metrics.gauge("blob.store.blobs").set(len(self._blobs))
 
     def __contains__(self, name: str) -> bool:
         return name in self._blobs

@@ -37,6 +37,7 @@ from repro.core.media_types import MediaType
 from repro.core.streams import TimedStream, TimedTuple
 from repro.core.time_system import DiscreteTimeSystem
 from repro.errors import InterpretationError
+from repro.obs.instrument import Instrumented
 
 
 @dataclass(frozen=True, slots=True)
@@ -202,8 +203,14 @@ class InterpretedSequence:
         return max(e.end for e in self._entries) - self._entries[0].start
 
 
-class Interpretation:
-    """Definition 5: a mapping from a BLOB to a set of media objects."""
+class Interpretation(Instrumented):
+    """Definition 5: a mapping from a BLOB to a set of media objects.
+
+    Instrumentable (:class:`~repro.obs.instrument.Instrumented`):
+    attaching an observability sink counts materializations, element
+    reads and bytes pulled through placement tables — the §4.2
+    expansion-cost side of the store-or-expand decision.
+    """
 
     def __init__(self, blob: Blob, name: str = "interpretation"):
         self.blob = blob
@@ -272,26 +279,40 @@ class Interpretation:
         queries and scheduling without touching the BLOB.
         """
         sequence = self.sequence(name)
-        tuples = []
-        for e in sequence:
-            payload = None
-            if read_payloads:
-                raw = self.blob.read(e.blob_offset, e.size)
-                payload = decode(raw, e) if decode else raw
-            element = MediaElement(
-                payload=payload, size=e.size, descriptor=e.element_descriptor
+        with self._obs.tracer.span(
+            "core.materialize", interpretation=self.name, sequence=name,
+        ) as span:
+            tuples = []
+            bytes_read = 0
+            for e in sequence:
+                payload = None
+                if read_payloads:
+                    raw = self.blob.read(e.blob_offset, e.size)
+                    payload = decode(raw, e) if decode else raw
+                    bytes_read += e.size
+                element = MediaElement(
+                    payload=payload, size=e.size, descriptor=e.element_descriptor
+                )
+                tuples.append(TimedTuple(element, e.start, e.duration))
+            span.set(elements=len(tuples), bytes=bytes_read)
+            metrics = self._obs.metrics
+            metrics.counter("core.interpretation.materializations").inc(
+                sequence=name
             )
-            tuples.append(TimedTuple(element, e.start, e.duration))
-        return TimedStream(
-            sequence.media_type,
-            tuples,
-            time_system=sequence.time_system,
-            validate_constraints=False,
-        )
+            metrics.counter("core.interpretation.bytes_read").inc(bytes_read)
+            return TimedStream(
+                sequence.media_type,
+                tuples,
+                time_system=sequence.time_system,
+                validate_constraints=False,
+            )
 
     def read_element(self, name: str, element_number: int) -> bytes:
         """Read one element's bytes through its placement row."""
         entry = self.sequence(name).entry(element_number)
+        metrics = self._obs.metrics
+        metrics.counter("core.interpretation.element_reads").inc(sequence=name)
+        metrics.counter("core.interpretation.bytes_read").inc(entry.size)
         return self.blob.read(entry.blob_offset, entry.size)
 
     def iter_stream(
@@ -306,7 +327,12 @@ class Interpretation:
         streams" (§2.2) without holding a 10-minute movie in memory.
         """
         sequence = self.sequence(name)
+        metrics = self._obs.metrics
         for entry in sequence:
+            metrics.counter("core.interpretation.element_reads").inc(
+                sequence=name
+            )
+            metrics.counter("core.interpretation.bytes_read").inc(entry.size)
             raw = self.blob.read(entry.blob_offset, entry.size)
             payload = decode(raw, entry) if decode else raw
             element = MediaElement(

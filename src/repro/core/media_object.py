@@ -23,6 +23,7 @@ from repro.core.descriptors import MediaDescriptor
 from repro.core.media_types import MediaKind, MediaType
 from repro.core.streams import TimedStream
 from repro.errors import MediaModelError
+from repro.obs.instrument import Instrumented
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.derivation import DerivationObject
@@ -159,7 +160,7 @@ class InterpretedMediaObject(MediaObject):
         )
 
 
-class DerivedMediaObject(MediaObject):
+class DerivedMediaObject(MediaObject, Instrumented):
     """A derived media object (§4.2): content computed on demand.
 
     Holds a :class:`~repro.core.derivation.DerivationObject` — "the
@@ -168,6 +169,11 @@ class DerivedMediaObject(MediaObject):
     expand it; :meth:`materialize` expands once and caches, modeling the
     decision to store the expansion when real-time expansion is
     infeasible.
+
+    Instrumentable: with a sink attached, expansions, cache hits and
+    materializations are counted per derivation kind and each expansion
+    is a logical-clock span — the data behind the §4.2 store-or-expand
+    decision.
     """
 
     def __init__(
@@ -191,25 +197,41 @@ class DerivedMediaObject(MediaObject):
 
     def expand(self) -> MediaObject:
         """Compute the non-derived equivalent (never cached)."""
-        return self.derivation_object.expand()
+        kind = self.derivation_object.derivation.name
+        with self._obs.tracer.span(
+            "core.expand", derivation=kind, object=self.name,
+        ):
+            self._obs.metrics.counter("core.derivation.expansions").inc(
+                derivation=kind
+            )
+            return self.derivation_object.expand()
 
     def materialize(self) -> MediaObject:
         """Expand once and cache — "store a non-derived object" (§4.2)."""
         if self._expanded is None:
             self._expanded = self.expand()
+            self._obs.metrics.counter(
+                "core.derivation.materializations"
+            ).inc(derivation=self.derivation_object.derivation.name)
         return self._expanded
 
     def discard_materialization(self) -> None:
         """Drop the cached expansion, keeping only the derivation object."""
         self._expanded = None
 
+    def _target(self) -> MediaObject:
+        if self._expanded is not None:
+            self._obs.metrics.counter("core.derivation.cache_hits").inc(
+                derivation=self.derivation_object.derivation.name
+            )
+            return self._expanded
+        return self.expand()
+
     def stream(self) -> TimedStream:
-        target = self._expanded if self._expanded is not None else self.expand()
-        return target.stream()
+        return self._target().stream()
 
     def value(self) -> Any:
-        target = self._expanded if self._expanded is not None else self.expand()
-        return target.value()
+        return self._target().value()
 
     def antecedents(self) -> list[MediaObject]:
         """The media objects this object is derived from."""

@@ -60,13 +60,19 @@ class RingBuffer:
 
 @dataclass
 class PrefetchReport:
-    """Underrun analysis for one prefetch depth."""
+    """Underrun analysis for one prefetch depth.
+
+    ``high_water`` is the maximum number of elements simultaneously
+    buffered (produced but not yet presented) — the actual memory the
+    prefetch buffer needed, at most ``depth`` during steady state.
+    """
 
     depth: int
     startup_delay: Rational
     underruns: int
     max_wait: Rational
     presented: int
+    high_water: int = 0
 
     @property
     def underrun_fraction(self) -> float:
@@ -100,16 +106,31 @@ def simulate_prefetch(
     startup = as_rational(production_times[fill - 1])
     underruns = 0
     max_wait = Rational(0)
+    presentations = []
     for produced, deadline in zip(production_times, deadlines):
         produced = as_rational(produced)
         shifted_deadline = startup + as_rational(deadline)
         if produced > shifted_deadline:
             underruns += 1
             max_wait = max(max_wait, produced - shifted_deadline)
+        presentations.append(max(produced, shifted_deadline))
+    # Buffer occupancy high-water: both production and presentation
+    # times are non-decreasing, so a single forward scan counting
+    # elements produced but not yet presented at each production
+    # instant finds the peak.
+    high_water = 0
+    presented_before = 0
+    for index, produced in enumerate(production_times):
+        produced = as_rational(produced)
+        while (presented_before < index
+               and presentations[presented_before] < produced):
+            presented_before += 1
+        high_water = max(high_water, index + 1 - presented_before)
     return PrefetchReport(
         depth=depth,
         startup_delay=startup,
         underruns=underruns,
         max_wait=max_wait,
         presented=count,
+        high_water=high_water,
     )

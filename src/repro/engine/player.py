@@ -14,7 +14,9 @@ time is involved, so reports are reproducible to the bit.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -24,6 +26,13 @@ from repro.core.rational import Rational, as_rational
 from repro.engine.buffers import simulate_prefetch
 from repro.errors import EngineError, PlaybackAbortError
 from repro.faults.plan import FaultPlan
+from repro.obs.instrument import NULL_OBS, Observability
+
+#: Fixed lateness-histogram boundaries (seconds). Fixed so per-stream
+#: lateness distributions are comparable across runs and workloads.
+LATENESS_BUCKETS: tuple[float, ...] = (
+    0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+)
 
 
 @dataclass(frozen=True)
@@ -76,8 +85,12 @@ class CostModel:
             cost += Rational(size) / self.decode_rate
         return cost
 
+    def replace(self, **overrides) -> "CostModel":
+        """A copy with ``overrides`` applied (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, kw_only=True)
 class RetryPolicy:
     """How playback responds to injected read faults.
 
@@ -116,8 +129,12 @@ class RetryPolicy:
         """Simulated pause before retrying after failed attempt ``attempt``."""
         return self.backoff * self.backoff_factor ** attempt
 
+    def replace(self, **overrides) -> "RetryPolicy":
+        """A copy with ``overrides`` applied (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, kw_only=True)
 class AdaptationPolicy:
     """Quality degradation for scalable streams (§2.2, Definition 5).
 
@@ -190,6 +207,10 @@ class AdaptationPolicy:
         name = label.split("[", 1)[0]
         return name in self.sequences
 
+    def replace(self, **overrides) -> "AdaptationPolicy":
+        """A copy with ``overrides`` applied (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
 
 @dataclass
 class PlaybackReport:
@@ -217,6 +238,9 @@ class PlaybackReport:
     skipped_elements: int = 0
     glitches: int = 0
     delivered_quality: Rational = Rational(1)
+    #: Metric snapshot captured at report time when the player ran with
+    #: an observability sink (``Player(obs=...)``); None otherwise.
+    metrics: dict | None = None
 
     def stream_lateness(self, prefix: str) -> tuple[list[Rational], list[Rational]]:
         """(lateness, deadlines) of reads of the sequence named ``prefix``.
@@ -251,7 +275,22 @@ class PlaybackReport:
                 f"({self.glitches} glitches), delivered quality "
                 f"{float(self.delivered_quality):.0%}"
             )
+        if self.metrics:
+            text += "\n  " + self.metrics_summary()
         return text
+
+    def metrics_summary(self) -> str:
+        """Compact one-line rendering of the embedded counter snapshot."""
+        if not self.metrics:
+            return "metrics: (none captured)"
+        parts = []
+        for name in sorted(self.metrics):
+            body = self.metrics[name]
+            if body.get("type") != "counter":
+                continue
+            total = sum(entry["value"] for entry in body["series"])
+            parts.append(f"{name}={total}")
+        return "metrics: " + (" ".join(parts) or "(no counters)")
 
 
 @dataclass(frozen=True, slots=True)
@@ -269,7 +308,8 @@ class Player:
                  prefetch_depth: int = 4, rate=1,
                  fault_plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 adaptation: AdaptationPolicy | None = None):
+                 adaptation: AdaptationPolicy | None = None,
+                 obs: Observability | None = None):
         """``rate`` is the playback rate: 2 plays double speed (deadlines
         arrive twice as fast, so the storage system must sustain twice
         the data rate); rates in (0, 1) play slow motion. Reverse
@@ -281,6 +321,11 @@ class Player:
         :class:`RetryPolicy`) governs recovery and ``adaptation``
         trades fidelity for feasibility on scalable streams. Without a
         fault plan the simulation is exactly the clean happy path.
+
+        ``obs`` attaches an observability sink: counters and lateness
+        histograms per run, and retry/glitch/adaptation spans stamped
+        with the *simulated* clock, so traces are bit-identical for
+        identical runs.
         """
         self.cost_model = cost_model or CostModel()
         if prefetch_depth < 1:
@@ -292,6 +337,7 @@ class Player:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy or RetryPolicy()
         self.adaptation = adaptation
+        self.obs = NULL_OBS if obs is None else obs
 
     # -- planning -------------------------------------------------------------
 
@@ -323,17 +369,71 @@ class Player:
         reads.sort(key=lambda r: (r.deadline, r.offset))
         return reads
 
+    def plan_multimedia(self, multimedia: MultimediaObject) -> list[_PlannedRead]:
+        """Presentation-ordered reads for a composed multimedia object.
+
+        Components are flattened to leaf media objects; each leaf's
+        stream supplies element sizes and timing, shifted by its
+        composition offset. Leaves without in-memory streams (derived,
+        unexpanded) are expanded via their normal access path.
+        """
+        reads: list[_PlannedRead] = []
+        synthetic_offset = 0
+        for label, obj, interval in multimedia.flatten():
+            if not obj.media_type.kind.is_time_based:
+                continue
+            stream = obj.stream()
+            for index, t in enumerate(stream):
+                deadline = interval.start + stream.time_system.to_continuous(
+                    t.start - stream.start
+                )
+                reads.append(_PlannedRead(
+                    label=f"{label}[{index}]",
+                    offset=synthetic_offset,
+                    size=t.element.size,
+                    deadline=deadline,
+                ))
+                synthetic_offset += t.element.size
+        reads.sort(key=lambda r: (r.deadline, r.offset))
+        return reads
+
     # -- playback -------------------------------------------------------------
 
-    def play(self, interpretation: Interpretation,
-             names: list[str] | None = None,
+    def play(self, target, names: list[str] | None = None,
              offsets: dict[str, Rational] | None = None) -> PlaybackReport:
-        """Simulate playback of an interpretation's sequences."""
-        reads = self.plan_interpretation(interpretation, names, offsets)
-        return self._run(reads)
+        """Simulate playback of ``target``.
+
+        Polymorphic front door: ``target`` may be an
+        :class:`~repro.core.interpretation.Interpretation` (optionally
+        restricted to ``names`` and shifted by per-sequence
+        ``offsets``), a :class:`~repro.core.composition.MultimediaObject`,
+        or a pre-planned read list from :meth:`plan_interpretation` /
+        :meth:`plan_multimedia`.
+        """
+        if isinstance(target, Interpretation):
+            return self._run(self.plan_interpretation(target, names, offsets))
+        if names is not None or offsets is not None:
+            raise EngineError(
+                "names/offsets only apply when playing an Interpretation"
+            )
+        if isinstance(target, MultimediaObject):
+            return self._run(self.plan_multimedia(target))
+        if isinstance(target, (list, tuple)):
+            reads = list(target)
+            if all(isinstance(r, _PlannedRead) for r in reads):
+                return self._run(reads)
+        raise EngineError(
+            f"cannot play {type(target).__name__}; expected an "
+            "Interpretation, a MultimediaObject, or a list of planned reads"
+        )
 
     def play_reads(self, reads: list[_PlannedRead]) -> PlaybackReport:
-        return self._run(reads)
+        """Deprecated: use :meth:`play` with the read list directly."""
+        warnings.warn(
+            "Player.play_reads is deprecated; use Player.play(reads)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.play(list(reads))
 
     def _run(self, reads: list[_PlannedRead]) -> PlaybackReport:
         if not reads:
@@ -372,7 +472,7 @@ class Player:
             for p, d in zip(production, deadlines)
         ]
         jitter = (max(lateness) - min(lateness)) if lateness else Rational(0)
-        return PlaybackReport(
+        report = PlaybackReport(
             element_count=len(reads),
             duration=duration,
             required_rate=required,
@@ -388,6 +488,40 @@ class Player:
                 for read, deadline, late in zip(reads, deadlines, lateness)
             ],
         )
+        if self.obs.enabled:
+            self.obs.tracer.record(
+                "engine.play", Rational(0), clock,
+                mode="clean", elements=len(reads), bytes=total_bytes,
+            )
+            self._record_metrics(report, total_bytes, prefetch, faulted=False)
+        return report
+
+    def _record_metrics(self, report: PlaybackReport, total_bytes: int,
+                        prefetch, faulted: bool) -> None:
+        """Fold one run's outcome into the attached metrics registry and
+        embed the resulting snapshot in the report."""
+        metrics = self.obs.metrics
+        mode = "faulted" if faulted else "clean"
+        metrics.counter("engine.play.runs").inc(mode=mode)
+        metrics.counter("engine.play.elements").inc(report.element_count)
+        metrics.counter("engine.play.bytes").inc(total_bytes)
+        metrics.counter("engine.play.seeks").inc(report.seeks)
+        metrics.counter("engine.play.underruns").inc(report.underruns)
+        if report.retries:
+            metrics.counter("engine.play.retries").inc(report.retries)
+        if report.skipped_elements:
+            metrics.counter("engine.play.skips").inc(report.skipped_elements)
+        if report.glitches:
+            metrics.counter("engine.play.glitches").inc(report.glitches)
+        metrics.gauge("engine.play.buffer_high_water").set_max(
+            prefetch.high_water
+        )
+        lateness = metrics.histogram(
+            "engine.play.lateness_seconds", buckets=LATENESS_BUCKETS
+        )
+        for label, _, late in report.per_read:
+            lateness.observe(float(late), sequence=label.split("[", 1)[0])
+        report.metrics = metrics.snapshot()
 
     # -- faulted playback ---------------------------------------------------------
 
@@ -407,6 +541,7 @@ class Player:
         plan = self.fault_plan
         policy = self.retry_policy
         adaptation = self.adaptation
+        tracer = self.obs.tracer if self.obs.enabled else None
         clock = Rational(0)
         cursor: int | None = None
         seeks = 0
@@ -434,6 +569,11 @@ class Player:
                     math.ceil(Rational(read.size) * adaptation.fraction(level)),
                 )
                 delivered_share = Rational(level + 1, adaptation.levels)
+                if tracer is not None and level < adaptation.levels - 1:
+                    tracer.event(
+                        "engine.adaptation", at=clock, element=read.label,
+                        level=level, bytes=size,
+                    )
             contiguous = cursor is not None and read.offset == cursor
             if cursor is not None and not contiguous:
                 seeks += 1
@@ -446,11 +586,20 @@ class Player:
             if any(plan.is_bad_page(p) for p in pages):
                 # Permanently bad region: one probing attempt discovers
                 # it; retrying cannot help, so skip immediately.
+                self.obs.metrics.counter("faults.injected").inc(
+                    kind="bad_page"
+                )
+                probe_start = clock
                 clock += attempt_cost
                 skipped += 1
                 if not in_glitch:
                     glitches += 1
                 in_glitch = True
+                if tracer is not None:
+                    tracer.record(
+                        "engine.glitch", probe_start, clock,
+                        element=read.label, reason="bad_page",
+                    )
                 continue
 
             success = False
@@ -462,10 +611,19 @@ class Player:
                     # A transient error aborts the gather at this page; a
                     # corrupted visit completes but fails verification.
                     # Either way the whole element is re-read.
-                    if (plan.is_transient(page_no, visit)
-                            or plan.is_corrupted(page_no, visit)):
+                    if plan.is_transient(page_no, visit):
+                        self.obs.metrics.counter("faults.injected").inc(
+                            kind="transient"
+                        )
                         failed = True
                         break
+                    if plan.is_corrupted(page_no, visit):
+                        self.obs.metrics.counter("faults.injected").inc(
+                            kind="corrupted"
+                        )
+                        failed = True
+                        break
+                attempt_start = clock
                 clock += attempt_cost
                 if not failed:
                     success = True
@@ -473,6 +631,16 @@ class Player:
                 if attempt < policy.max_retries:
                     clock += policy.backoff_cost(attempt)
                     retries += 1
+                    if tracer is not None:
+                        tracer.record(
+                            "engine.retry", attempt_start, clock,
+                            element=read.label, attempt=attempt,
+                        )
+                elif tracer is not None:
+                    tracer.record(
+                        "engine.glitch", attempt_start, clock,
+                        element=read.label, reason="retries_exhausted",
+                    )
 
             if success:
                 presented.append((read, clock))
@@ -488,6 +656,7 @@ class Player:
 
         if (policy.abort_skip_fraction is not None
                 and skipped > policy.abort_skip_fraction * len(reads)):
+            self.obs.metrics.counter("engine.play.aborts").inc()
             raise PlaybackAbortError(
                 f"skipped {skipped}/{len(reads)} elements, beyond the "
                 f"policy's tolerance of {policy.abort_skip_fraction:.0%}"
@@ -514,7 +683,7 @@ class Player:
         delivered_quality = (
             quality_sum / adapted_reads if adapted_reads else Rational(1)
         )
-        return PlaybackReport(
+        report = PlaybackReport(
             element_count=len(presented),
             duration=duration,
             required_rate=required,
@@ -536,33 +705,22 @@ class Player:
             glitches=glitches,
             delivered_quality=delivered_quality,
         )
+        if self.obs.enabled:
+            self.obs.tracer.record(
+                "engine.play", Rational(0), clock,
+                mode="faulted", elements=len(reads),
+                presented=len(presented), bytes=total_bytes,
+            )
+            self._record_metrics(report, total_bytes, prefetch, faulted=True)
+        return report
 
     # -- multimedia objects ------------------------------------------------------
 
     def play_multimedia(self, multimedia: MultimediaObject) -> PlaybackReport:
-        """Simulate playback of a composed multimedia object.
-
-        Components are flattened to leaf media objects; each leaf's
-        stream supplies element sizes and timing, shifted by its
-        composition offset. Leaves without in-memory streams (derived,
-        unexpanded) are expanded via their normal access path.
-        """
-        reads: list[_PlannedRead] = []
-        synthetic_offset = 0
-        for label, obj, interval in multimedia.flatten():
-            if not obj.media_type.kind.is_time_based:
-                continue
-            stream = obj.stream()
-            for index, t in enumerate(stream):
-                deadline = interval.start + stream.time_system.to_continuous(
-                    t.start - stream.start
-                )
-                reads.append(_PlannedRead(
-                    label=f"{label}[{index}]",
-                    offset=synthetic_offset,
-                    size=t.element.size,
-                    deadline=deadline,
-                ))
-                synthetic_offset += t.element.size
-        reads.sort(key=lambda r: (r.deadline, r.offset))
-        return self._run(reads)
+        """Deprecated: use :meth:`play` with the multimedia object."""
+        warnings.warn(
+            "Player.play_multimedia is deprecated; "
+            "use Player.play(multimedia)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.play(multimedia)

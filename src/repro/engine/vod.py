@@ -29,6 +29,7 @@ from repro.engine.player import (
 )
 from repro.errors import EngineError, MediaModelError, ResourceError
 from repro.faults.plan import FaultPlan
+from repro.obs.instrument import NULL_OBS, Observability
 
 
 @dataclass
@@ -102,9 +103,12 @@ class VodServer:
     """Serves cataloged titles under a shared bandwidth budget."""
 
     def __init__(self, bandwidth: int, prefetch_depth: int = 8,
-                 admission_margin: float = 1.0):
+                 admission_margin: float = 1.0,
+                 obs: Observability | None = None):
         """``bandwidth`` is outbound bytes/second; ``admission_margin``
-        scales the admission test (1.2 keeps 20% headroom)."""
+        scales the admission test (1.2 keeps 20% headroom). ``obs``
+        attaches an observability sink, shared with every session's
+        player, so one registry captures the whole serving run."""
         if bandwidth <= 0:
             raise EngineError("bandwidth must be positive")
         if admission_margin < 1.0:
@@ -112,6 +116,7 @@ class VodServer:
         self.bandwidth = bandwidth
         self.prefetch_depth = prefetch_depth
         self.admission_margin = admission_margin
+        self.obs = NULL_OBS if obs is None else obs
         self._titles: dict[str, Interpretation] = {}
 
     # -- catalog ---------------------------------------------------------------
@@ -191,6 +196,10 @@ class VodServer:
             admitted, rejected = self.admit(requests)
         else:
             admitted, rejected = list(requests), []
+        metrics = self.obs.metrics
+        metrics.counter("vod.requests").inc(len(requests))
+        metrics.counter("vod.admitted").inc(len(admitted))
+        metrics.counter("vod.rejected").inc(len(rejected))
         sessions: list[Session] = []
         failed: list[tuple[str, str, str]] = []
         if admitted:
@@ -201,19 +210,26 @@ class VodServer:
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
                 adaptation=adaptation,
+                obs=self.obs,
             )
             for client, title in admitted:
-                try:
-                    report = player.play(self._titles[title])
-                except MediaModelError:
-                    session = self._serve_degraded(
-                        client, title, share, fault_plan, retry_policy,
-                        adaptation, failed,
-                    )
-                    if session is not None:
-                        sessions.append(session)
-                    continue
-                sessions.append(Session(client, title, report))
+                with self.obs.tracer.span(
+                    "vod.session", client=client, title=title,
+                ) as span:
+                    try:
+                        report = player.play(self._titles[title])
+                    except MediaModelError:
+                        metrics.counter("vod.fallbacks").inc()
+                        span.set(outcome="fallback")
+                        session = self._serve_degraded(
+                            client, title, share, fault_plan, retry_policy,
+                            adaptation, failed,
+                        )
+                        if session is not None:
+                            sessions.append(session)
+                        continue
+                    span.set(outcome="served", underruns=report.underruns)
+                    sessions.append(Session(client, title, report))
         else:
             share = 0
         return ServerReport(
@@ -238,20 +254,11 @@ class VodServer:
         None when even that cannot complete.
         """
         base = retry_policy or RetryPolicy()
-        lenient = RetryPolicy(
-            max_retries=base.max_retries,
-            backoff=base.backoff,
-            backoff_factor=base.backoff_factor,
-            abort_skip_fraction=None,
-        )
+        lenient = base.replace(abort_skip_fraction=None)
         fallback_adaptation = adaptation
         if adaptation is not None:
-            fallback_adaptation = AdaptationPolicy(
-                levels=adaptation.levels,
-                fractions=adaptation.fractions,
-                sequences=adaptation.sequences,
-                min_level=adaptation.min_level,
-                max_level=adaptation.min_level,
+            fallback_adaptation = adaptation.replace(
+                max_level=adaptation.min_level
             )
         fallback = Player(
             CostModel(bandwidth=share),
@@ -259,11 +266,13 @@ class VodServer:
             fault_plan=fault_plan,
             retry_policy=lenient,
             adaptation=fallback_adaptation,
+            obs=self.obs,
         )
         try:
             report = fallback.play(self._titles[title])
         except MediaModelError as exc:
             failed.append((client, title, str(exc)))
+            self.obs.metrics.counter("vod.failed").inc()
             return None
         return Session(client, title, report, degraded=True)
 

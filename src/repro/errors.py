@@ -96,6 +96,10 @@ class ResourceError(EngineError):
     """Admission control rejected a real-time task set."""
 
 
+class ObservabilityError(MediaModelError):
+    """Misuse of the metrics/tracing layer (type clash, bad buckets)."""
+
+
 class QueryError(MediaModelError):
     """Malformed query or unknown catalog entry."""
 

@@ -16,9 +16,10 @@ from collections import Counter
 
 from repro.faults.plan import FaultPlan
 from repro.errors import BlobCorruptionError, TransientBlobError
+from repro.obs.instrument import Instrumented, Observability
 
 
-class FaultyPager:
+class FaultyPager(Instrumented):
     """Wraps a pager, injecting deterministic faults on reads.
 
     The wrapper tracks how many times each page has been read (its
@@ -26,12 +27,15 @@ class FaultyPager:
     on those, so a fixed access pattern always faults identically.
     """
 
-    def __init__(self, pager, plan: FaultPlan):
+    def __init__(self, pager, plan: FaultPlan,
+                 obs: Observability | None = None):
         self.pager = pager
         self.plan = plan
         self.reads = 0
         self.fault_counts: Counter = Counter()
         self._visits: Counter = Counter()
+        if obs is not None:
+            self.instrument(obs)
 
     @property
     def page_size(self) -> int:
@@ -54,13 +58,17 @@ class FaultyPager:
         visit = self._visits[page_no]
         self._visits[page_no] += 1
         self.reads += 1
+        metrics = self._obs.metrics
+        metrics.counter("faults.pager.reads").inc()
         if self.plan.is_bad_page(page_no):
             self.fault_counts["bad_page"] += 1
+            metrics.counter("faults.injected").inc(kind="bad_page")
             raise BlobCorruptionError(
                 f"page {page_no} is permanently unreadable (injected)"
             )
         if self.plan.is_transient(page_no, visit):
             self.fault_counts["transient"] += 1
+            metrics.counter("faults.injected").inc(kind="transient")
             raise TransientBlobError(
                 f"transient read failure on page {page_no} "
                 f"(visit {visit}, injected)"
@@ -68,6 +76,7 @@ class FaultyPager:
         data = self.pager.read_page(page_no)
         if self.plan.is_corrupted(page_no, visit):
             self.fault_counts["corrupted"] += 1
+            metrics.counter("faults.injected").inc(kind="corrupted")
             data = self.plan.corrupt(data, page_no, visit)
         return data
 

@@ -1,0 +1,71 @@
+"""Deterministic observability: metrics, spans and the hook protocol.
+
+The storage/engine/query stack simulates time exactly — fault schedules
+are pure functions of a seed, playback arithmetic is rational — so its
+observability can be exact too. This package records *what happened
+inside* a run (per-page read counts, retry/backoff spans, buffer
+high-water marks, expansion costs, query selectivity) without breaking
+that determinism: same seed, byte-identical trace and metric exports.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms;
+* :mod:`repro.obs.tracing` — :class:`Tracer` whose timestamps come from
+  a simulated clock or a monotonic :class:`LogicalClock`, never the
+  wall clock;
+* :mod:`repro.obs.instrument` — :class:`Observability` (the bundle) and
+  the :class:`Instrumented` mixin the stack's classes adopt;
+* :mod:`repro.obs.export` — nested-dict, JSON-lines and aligned-table
+  exporters.
+
+Usage::
+
+    from repro.obs import Observability
+    from repro.obs.export import to_table
+
+    obs = Observability()
+    player = Player(cost_model, obs=obs)
+    player.play(interpretation)
+    print(to_table(obs))
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import LogicalClock, Span, Tracer
+from repro.obs.instrument import (
+    NULL_OBS,
+    Instrumented,
+    NullObservability,
+    Observability,
+)
+from repro.obs.export import (
+    metrics_rows,
+    spans_to_table,
+    to_dict,
+    to_json_lines,
+    to_table,
+)
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LogicalClock",
+    "Span",
+    "Tracer",
+    "NULL_OBS",
+    "Instrumented",
+    "NullObservability",
+    "Observability",
+    "metrics_rows",
+    "spans_to_table",
+    "to_dict",
+    "to_json_lines",
+    "to_table",
+]

@@ -1,0 +1,104 @@
+"""Snapshot exporters: nested dict, JSON lines, aligned text table.
+
+All three formats are deterministic renderings of the same nested-dict
+snapshot (:meth:`repro.obs.instrument.Observability.snapshot`): keys are
+sorted, timestamps are exact strings or logical ticks, floats keep their
+``repr``. Byte-identical runs produce byte-identical exports in every
+format — asserted by the test suite, relied on by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.obs.instrument import Observability
+
+
+def to_dict(obs: Observability) -> dict[str, Any]:
+    """The canonical nested-dict snapshot (metrics + spans)."""
+    return obs.snapshot()
+
+
+def to_json_lines(obs: Observability) -> str:
+    """One JSON object per line: metrics first (sorted), then spans.
+
+    Line shapes: ``{"metric": name, "type": ..., "series": [...]}`` and
+    ``{"span": name, "span_id": ..., ...}``. Keys are sorted within
+    every object, making the output stable enough to diff or hash.
+    """
+    lines = []
+    snapshot = obs.snapshot()
+    for name in sorted(snapshot["metrics"]):
+        body = {"metric": name, **snapshot["metrics"][name]}
+        lines.append(json.dumps(body, sort_keys=True))
+    for span in snapshot["spans"]:
+        lines.append(json.dumps({"span": span["name"], **span},
+                                sort_keys=True))
+    return "\n".join(lines)
+
+
+def _format_labels(labels: Mapping[str, Any] | None) -> str:
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def _format_value(entry: Mapping[str, Any]) -> str:
+    value = entry["value"]
+    if isinstance(value, Mapping):  # histogram
+        return (
+            f"count={value['count']} sum={value['sum']:.6g} "
+            f"buckets={value['counts']}"
+        )
+    return str(value)
+
+
+def metrics_rows(obs: Observability) -> list[tuple[str, str, str, str]]:
+    """Flatten a snapshot to ``(metric, type, labels, value)`` rows."""
+    rows = []
+    for name, body in sorted(obs.snapshot()["metrics"].items()):
+        for entry in body["series"]:
+            rows.append((
+                name,
+                body["type"],
+                _format_labels(entry.get("labels")),
+                _format_value(entry),
+            ))
+    return rows
+
+
+def to_table(obs: Observability, title: str | None = None) -> str:
+    """Aligned text table of every metric series, benchmark-style."""
+    from repro.bench.reporting import table_text
+
+    return table_text(
+        ("metric", "type", "labels", "value"),
+        metrics_rows(obs),
+        title=title,
+    )
+
+
+def spans_to_table(obs: Observability, title: str | None = None,
+                   limit: int | None = None) -> str:
+    """Aligned text table of recorded spans (first ``limit`` rows)."""
+    from repro.bench.reporting import table_text
+
+    spans = obs.snapshot()["spans"]
+    shown = spans if limit is None else spans[:limit]
+    rows = [
+        (
+            span["span_id"],
+            "" if span["parent_id"] is None else span["parent_id"],
+            span["name"],
+            span["start"],
+            span["end"],
+            _format_labels(span["attributes"]),
+        )
+        for span in shown
+    ]
+    return table_text(
+        ("id", "parent", "span", "start", "end", "attributes"),
+        rows,
+        title=title,
+    )

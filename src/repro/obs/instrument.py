@@ -1,0 +1,165 @@
+"""The hook protocol connecting the stack to an observability sink.
+
+:class:`Observability` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.tracing.Tracer`; :class:`Instrumented` is the
+mixin instrumentable classes adopt. The default sink is :data:`NULL_OBS`,
+whose metrics and tracer are inert no-ops — uninstrumented code pays one
+attribute load and a no-op call per hook, and never accumulates state.
+
+Wiring is explicit and propagates downward: calling
+``instrument(obs)`` on a container (a :class:`~repro.blob.store.BlobStore`,
+a :class:`~repro.query.database.MediaDatabase`) re-instruments the
+components it owns via the ``_instrument_children`` hook, so one call at
+the top of an object graph observes the whole stack.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+class Observability:
+    """A metrics registry and a tracer, exported together.
+
+    ``clock`` (optional) is handed to the tracer as its time source —
+    pass a simulated clock's ``now`` to put spans on simulated time.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 clock: Callable[[], Any] | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full nested-dict export: metrics plus spans."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.export(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability({len(self.metrics.names())} metrics, "
+            f"{len(self.tracer)} spans)"
+        )
+
+
+class _NullMetric:
+    """Accepts every metric call and records nothing."""
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        pass
+
+    def set(self, value: Any, **labels: Any) -> None:
+        pass
+
+    def set_max(self, value: Any, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: Any, **labels: Any) -> None:
+        pass
+
+    def value(self, default: Any = None, **labels: Any) -> Any:
+        return default
+
+    def total(self) -> int:
+        return 0
+
+    def count(self, **labels: Any) -> int:
+        return 0
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = Span(span_id=-1, parent_id=None, name="null", start=0, end=0)
+
+
+class _NullMetricsRegistry:
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets: Any = None,
+                  help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+class _NullTracer:
+    spans: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any):
+        yield _NULL_SPAN
+
+    def record(self, name: str, start: Any, end: Any,
+               **attributes: Any) -> Span:
+        return _NULL_SPAN
+
+    def event(self, name: str, at: Any = None, **attributes: Any) -> Span:
+        return _NULL_SPAN
+
+    def named(self, name: str) -> list[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def export(self) -> list[dict[str, Any]]:
+        return []
+
+
+class NullObservability(Observability):
+    """The disabled sink: shares the metrics/tracer API, records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = _NullMetricsRegistry()  # type: ignore[assignment]
+        self.tracer = _NullTracer()  # type: ignore[assignment]
+
+
+#: Shared inert sink; the default for every :class:`Instrumented` object.
+NULL_OBS = NullObservability()
+
+
+class Instrumented:
+    """Mixin giving a class an observability hook.
+
+    ``self.obs`` is always usable — :data:`NULL_OBS` until
+    :meth:`instrument` attaches a live sink. Subclasses that own other
+    instrumented components override ``_instrument_children`` to
+    propagate the sink downward.
+    """
+
+    _obs: Observability = NULL_OBS
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
+
+    def instrument(self, obs: Observability | None) -> "Instrumented":
+        """Attach (or, with None, detach) an observability sink.
+
+        Returns ``self`` so construction chains:
+        ``BlobStore().instrument(obs)``.
+        """
+        self._obs = NULL_OBS if obs is None else obs
+        self._instrument_children(self._obs)
+        return self
+
+    def _instrument_children(self, obs: Observability) -> None:
+        """Propagate the sink to owned components (override as needed)."""

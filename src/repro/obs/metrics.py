@@ -1,0 +1,252 @@
+"""Deterministic metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the numerical half of :mod:`repro.obs`. Three metric
+kinds cover the stack's needs:
+
+* :class:`Counter` — monotonically increasing totals (page reads, retry
+  attempts, injected faults);
+* :class:`Gauge` — last-value or high-water readings (buffer occupancy,
+  cataloged objects);
+* :class:`Histogram` — distributions over *fixed* bucket boundaries
+  declared at creation time (per-read lateness). Fixed boundaries are
+  what makes snapshots comparable across runs and machines.
+
+Determinism contract: metric values derive only from the instrumented
+code's own (simulated or logical) arithmetic — never wall clock, never
+process state — and every export path iterates in sorted order, so two
+identical runs produce byte-identical snapshots.
+
+Naming scheme: dotted ``subsystem.noun.event`` (``blob.page.reads``,
+``engine.play.retries``), with variation expressed as labels
+(``kind="transient"``, ``sequence="video1"``) rather than name suffixes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Default histogram boundaries (seconds): spans sub-millisecond jitter
+#: through multi-second stalls. Values above the last boundary land in
+#: the implicit +inf overflow bucket.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def export_value(value: Any) -> Any:
+    """A JSON-stable representation of a metric or timestamp value.
+
+    Integers, floats, bools and None pass through (float ``repr`` is
+    deterministic for identical inputs); everything else — notably
+    :class:`~repro.core.rational.Rational` timestamps — becomes its
+    exact ``str`` so no precision is lost.
+    """
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    return str(value)
+
+
+class Metric:
+    """Common labeled-series bookkeeping for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, Any] = {}
+
+    def labels_seen(self) -> list[LabelKey]:
+        return sorted(self._series)
+
+    def _export_series(self, key: LabelKey, value: Any) -> dict[str, Any]:
+        entry: dict[str, Any] = {}
+        if key:
+            entry["labels"] = dict(key)
+        entry["value"] = value
+        return entry
+
+    def export(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "series": [
+                self._export_series(key, self._export_value(key))
+                for key in self.labels_seen()
+            ],
+        }
+
+    def _export_value(self, key: LabelKey) -> Any:
+        return export_value(self._series[key])
+
+
+class Counter(Metric):
+    """A monotonically increasing total, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> int:
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> int:
+        """Sum across all label combinations."""
+        return sum(self._series.values())
+
+
+class Gauge(Metric):
+    """A point-in-time reading; ``set_max`` keeps high-water marks."""
+
+    kind = "gauge"
+
+    def set(self, value: Any, **labels: Any) -> None:
+        self._series[_label_key(labels)] = value
+
+    def set_max(self, value: Any, **labels: Any) -> None:
+        """Record ``value`` only if it exceeds the current reading."""
+        key = _label_key(labels)
+        current = self._series.get(key)
+        if current is None or value > current:
+            self._series[key] = value
+
+    def value(self, default: Any = None, **labels: Any) -> Any:
+        return self._series.get(_label_key(labels), default)
+
+
+class Histogram(Metric):
+    """Counts of observations falling into fixed, pre-declared buckets.
+
+    ``buckets`` are ascending upper bounds; an implicit overflow bucket
+    catches everything beyond the last boundary. Per series the
+    histogram keeps the bucket counts, the observation count and the
+    running sum (accumulated in observation order, so it is
+    reproducible for identical runs).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+                 help: str = ""):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(f"histogram {self.name!r} needs buckets")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {self.name!r} buckets must be strictly ascending"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: Any, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = {"counts": [0] * (len(self.buckets) + 1),
+                      "count": 0, "sum": 0.0}
+            self._series[key] = series
+        numeric = float(value)
+        slot = len(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if numeric <= bound:
+                slot = index
+                break
+        series["counts"][slot] += 1
+        series["count"] += 1
+        series["sum"] += numeric
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return series["count"] if series else 0
+
+    def bucket_counts(self, **labels: Any) -> list[int]:
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return [0] * (len(self.buckets) + 1)
+        return list(series["counts"])
+
+    def _export_value(self, key: LabelKey) -> Any:
+        series = self._series[key]
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(series["counts"]),
+            "count": series["count"],
+            "sum": series["sum"],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Re-requesting a name returns the existing metric; requesting it as a
+    different kind (or a histogram with different buckets) raises
+    :class:`~repro.errors.ObservabilityError` — silent divergence would
+    corrupt snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type[Metric], factory) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not kind:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested {kind.kind}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+                  help: str = "") -> Histogram:
+        metric = self._get(name, Histogram,
+                           lambda: Histogram(name, buckets, help))
+        bounds = tuple(float(b) for b in buckets)
+        if metric.buckets != bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets}, requested {bounds}"
+            )
+        return metric
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ObservabilityError(
+                f"no metric named {name!r}; have: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, Any]:
+        """Nested-dict export, sorted at every level."""
+        return {name: self._metrics[name].export() for name in self.names()}

@@ -1,0 +1,155 @@
+"""Deterministic span tracing.
+
+A :class:`Tracer` records :class:`Span` rows — named, timestamped,
+attributed intervals — for retries, backoffs, expansions and query
+evaluations. Timestamps never come from the wall clock: they are either
+
+* supplied explicitly by the instrumented code from its *simulated*
+  clock (the playback engine's exact rational time), via
+  :meth:`Tracer.record`; or
+* drawn from a :class:`LogicalClock` — a monotonic counter that ticks
+  once per observation — for code with no simulated time of its own,
+  via :meth:`Tracer.span` / :meth:`Tracer.event`.
+
+Either way a same-seed run replays the same sequence of observations
+and therefore the same timestamps, so exported traces are bit-identical
+across runs (the determinism the fault plans already guarantee for
+storage behaviour).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.metrics import export_value
+
+
+class LogicalClock:
+    """A monotonic logical counter standing in for time.
+
+    ``tick()`` advances and returns the counter; ``now()`` peeks. The
+    unit is "observations so far", which is meaningless as a duration
+    but totally ordered and perfectly reproducible.
+    """
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    def now(self) -> int:
+        return self._now
+
+    def tick(self) -> int:
+        self._now += 1
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"LogicalClock(t={self._now})"
+
+
+@dataclass
+class Span:
+    """One recorded interval: name, [start, end], attributes.
+
+    ``span_id`` is assigned in creation order; ``parent_id`` links
+    nested spans (None at the root). Times are whatever the clock
+    supplied — exact :class:`~repro.core.rational.Rational` seconds from
+    a simulated clock, or logical ticks.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: Any
+    end: Any = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def export(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": export_value(self.start),
+            "end": export_value(self.end),
+            "attributes": {
+                key: export_value(self.attributes[key])
+                for key in sorted(self.attributes)
+            },
+        }
+
+
+class Tracer:
+    """Collects spans; see the module docstring for the time contract."""
+
+    def __init__(self, clock: Callable[[], Any] | None = None):
+        """``clock`` overrides the time source for :meth:`span` /
+        :meth:`event` (any zero-argument callable, e.g. a simulated
+        clock's ``now``); by default a private :class:`LogicalClock`
+        ticks once per observation."""
+        self._logical = LogicalClock()
+        self._clock = clock
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    def _time(self) -> Any:
+        if self._clock is not None:
+            return self._clock()
+        return self._logical.tick()
+
+    def _next_id(self) -> int:
+        return len(self.spans)
+
+    def _open(self, name: str, start: Any, attributes: dict[str, Any]) -> Span:
+        span = Span(
+            span_id=self._next_id(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start=start,
+            attributes=attributes,
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any):
+        """Context manager: a span from entry to exit, clock-timed.
+
+        Yields the :class:`Span` so the body can attach attributes
+        discovered mid-flight (``span.set(bytes=n)``).
+        """
+        span = self._open(name, self._time(), attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self._time()
+
+    def record(self, name: str, start: Any, end: Any,
+               **attributes: Any) -> Span:
+        """A completed span with explicit (simulated-time) endpoints."""
+        span = self._open(name, start, attributes)
+        span.end = end
+        return span
+
+    def event(self, name: str, at: Any = None, **attributes: Any) -> Span:
+        """A zero-length span marking an instant."""
+        moment = self._time() if at is None else at
+        span = self._open(name, moment, attributes)
+        span.end = moment
+        return span
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def export(self) -> list[dict[str, Any]]:
+        """Spans in creation order, each a sorted-key dict."""
+        return [span.export() for span in self.spans]

@@ -20,6 +20,7 @@ from repro.core.media_object import MediaObject
 from repro.core.media_types import MediaKind
 from repro.core.provenance import ProvenanceGraph
 from repro.errors import CatalogError
+from repro.obs.instrument import Instrumented, Observability
 
 
 class CatalogEntry:
@@ -39,17 +40,31 @@ class CatalogEntry:
         return f"CatalogEntry({self.object.name!r}, {self.attributes})"
 
 
-class MediaDatabase:
-    """A catalog of BLOBs, interpretations, media and multimedia objects."""
+class MediaDatabase(Instrumented):
+    """A catalog of BLOBs, interpretations, media and multimedia objects.
+
+    Instrumentable: an attached sink counts catalog lookups and misses,
+    and records each :meth:`objects` query's candidate/match counts —
+    filter selectivity, the input to any future index decision. The
+    sink propagates to the blob store and to cataloged interpretations.
+    """
 
     def __init__(self, name: str = "media-db",
-                 blob_store: BlobStore | None = None):
+                 blob_store: BlobStore | None = None,
+                 obs: Observability | None = None):
         self.name = name
         self.blobs = blob_store or BlobStore()
         self.provenance = ProvenanceGraph()
         self._entries: dict[str, CatalogEntry] = {}
         self._interpretations: dict[str, Interpretation] = {}
         self._multimedia: dict[str, MultimediaObject] = {}
+        if obs is not None:
+            self.instrument(obs)
+
+    def _instrument_children(self, obs: Observability) -> None:
+        self.blobs.instrument(obs)
+        for interpretation in self._interpretations.values():
+            interpretation.instrument(obs)
 
     # -- media objects -----------------------------------------------------------
 
@@ -76,9 +91,11 @@ class MediaDatabase:
         self._entry(name).attributes[key] = value
 
     def _entry(self, name: str) -> CatalogEntry:
+        self._obs.metrics.counter("query.catalog.lookups").inc()
         try:
             return self._entries[name]
         except KeyError:
+            self._obs.metrics.counter("query.catalog.misses").inc()
             raise CatalogError(
                 f"no object named {name!r}; have: "
                 f"{', '.join(sorted(self._entries)) or '(none)'}"
@@ -92,19 +109,28 @@ class MediaDatabase:
         **attribute_filters: Any,
     ) -> list[MediaObject]:
         """Select cataloged objects by kind, type and domain attributes."""
-        result = []
-        for entry in self._entries.values():
-            obj = entry.object
-            if kind is not None and obj.kind is not kind:
-                continue
-            if media_type is not None and obj.media_type.name != media_type:
-                continue
-            if not entry.matches(**attribute_filters):
-                continue
-            if where is not None and not where(entry):
-                continue
-            result.append(obj)
-        return sorted(result, key=lambda o: o.name)
+        with self._obs.tracer.span(
+            "query.objects",
+            filters=",".join(sorted(attribute_filters)) or "(none)",
+        ) as span:
+            result = []
+            for entry in self._entries.values():
+                obj = entry.object
+                if kind is not None and obj.kind is not kind:
+                    continue
+                if media_type is not None and obj.media_type.name != media_type:
+                    continue
+                if not entry.matches(**attribute_filters):
+                    continue
+                if where is not None and not where(entry):
+                    continue
+                result.append(obj)
+            metrics = self._obs.metrics
+            metrics.counter("query.objects.calls").inc()
+            metrics.counter("query.objects.candidates").inc(len(self._entries))
+            metrics.counter("query.objects.matches").inc(len(result))
+            span.set(candidates=len(self._entries), matches=len(result))
+            return sorted(result, key=lambda o: o.name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -122,6 +148,8 @@ class MediaDatabase:
             )
         interpretation.validate()
         self._interpretations[interpretation.name] = interpretation
+        if self._obs.enabled:
+            interpretation.instrument(self._obs)
         for obj in interpretation.media_objects():
             if obj.name not in self._entries:
                 self.add_object(obj, interpretation=interpretation.name)

@@ -6,7 +6,9 @@ Usage::
 
 Prints the interpretation summary (sequences, descriptors, categories),
 optionally one sequence's placement table, and optionally a simulated
-playback report at the given bandwidth (bytes/second).
+playback report at the given bandwidth (bytes/second). With ``--obs``
+the playback runs instrumented and the collected metrics are printed
+as a table.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import sys
 from repro.bench.reporting import format_rate, table_text
 from repro.core.interpretation import Interpretation
 from repro.engine.player import CostModel, Player
+from repro.obs import Observability, to_table
 from repro.storage.container import read_container
 
 
@@ -58,9 +61,14 @@ def placement_table_text(interpretation: Interpretation, name: str,
     )
 
 
-def playback_text(interpretation: Interpretation, bandwidth: int) -> str:
-    report = Player(CostModel(bandwidth=bandwidth)).play(interpretation)
-    return f"playback at {format_rate(bandwidth)}: {report.summary()}"
+def playback_text(interpretation: Interpretation, bandwidth: int,
+                  obs: Observability | None = None) -> str:
+    player = Player(CostModel(bandwidth=bandwidth), obs=obs)
+    report = player.play(interpretation)
+    text = f"playback at {format_rate(bandwidth)}: {report.summary()}"
+    if obs is not None:
+        text += "\n\n" + to_table(obs)
+    return text
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,6 +81,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="print NAME's placement table")
     parser.add_argument("--play", metavar="BANDWIDTH", type=int,
                         help="simulate playback at BANDWIDTH bytes/second")
+    parser.add_argument("--obs", action="store_true",
+                        help="instrument --play and print the metric table")
     args = parser.parse_args(argv)
 
     try:
@@ -86,7 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         print(placement_table_text(interpretation, args.table))
         print()
     if args.play:
-        print(playback_text(interpretation, args.play))
+        obs = Observability() if args.obs else None
+        print(playback_text(interpretation, args.play, obs=obs))
     return 0
 
 

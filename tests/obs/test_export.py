@@ -1,0 +1,66 @@
+"""Tests for snapshot exporters."""
+
+import json
+
+from repro.obs import Observability, to_json_lines, to_table
+from repro.obs.export import metrics_rows, spans_to_table, to_dict
+
+
+def populated_obs():
+    obs = Observability()
+    obs.metrics.counter("blob.page.reads").inc(3)
+    obs.metrics.counter("faults.injected").inc(2, kind="transient")
+    obs.metrics.gauge("engine.play.buffer_high_water").set(5)
+    obs.metrics.histogram("lateness", buckets=(0.1, 1.0)).observe(0.05)
+    with obs.tracer.span("engine.retry", attempt=1):
+        pass
+    return obs
+
+
+class TestToDict:
+    def test_has_metrics_and_spans(self):
+        snap = to_dict(populated_obs())
+        assert set(snap) == {"metrics", "spans"}
+        assert "blob.page.reads" in snap["metrics"]
+        assert snap["spans"][0]["name"] == "engine.retry"
+
+
+class TestJsonLines:
+    def test_every_line_is_json(self):
+        text = to_json_lines(populated_obs())
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 metrics + 1 span
+        for line in lines:
+            json.loads(line)
+
+    def test_metrics_precede_spans_and_are_sorted(self):
+        parsed = [json.loads(l) for l in
+                  to_json_lines(populated_obs()).splitlines()]
+        metric_names = [p["metric"] for p in parsed if "metric" in p]
+        assert metric_names == sorted(metric_names)
+        assert "span" in parsed[-1]
+
+    def test_identical_observations_export_identically(self):
+        assert to_json_lines(populated_obs()) == to_json_lines(populated_obs())
+
+
+class TestTables:
+    def test_metrics_rows_flatten_series(self):
+        rows = metrics_rows(populated_obs())
+        by_name = {row[0]: row for row in rows}
+        assert by_name["blob.page.reads"][1:] == ("counter", "", "3")
+        assert by_name["faults.injected"][2] == "kind=transient"
+        assert "count=1" in by_name["lateness"][3]
+
+    def test_to_table_renders_every_metric(self):
+        text = to_table(populated_obs(), title="obs")
+        assert text.startswith("obs")
+        for name in ("blob.page.reads", "faults.injected", "lateness"):
+            assert name in text
+
+    def test_spans_table_renders_and_limits(self):
+        obs = populated_obs()
+        obs.tracer.event("second")
+        text = spans_to_table(obs, limit=1)
+        assert "engine.retry" in text
+        assert "second" not in text

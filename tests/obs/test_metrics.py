@@ -1,0 +1,152 @@
+"""Tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.metrics import export_value
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        counter = MetricsRegistry().counter("x")
+        assert counter.value() == 0
+        assert counter.total() == 0
+
+    def test_increments(self):
+        counter = MetricsRegistry().counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labels_partition_the_series(self):
+        counter = MetricsRegistry().counter("faults.injected")
+        counter.inc(kind="transient")
+        counter.inc(2, kind="bad_page")
+        assert counter.value(kind="transient") == 1
+        assert counter.value(kind="bad_page") == 2
+        assert counter.value(kind="corrupted") == 0
+        assert counter.total() == 3
+
+    def test_rejects_decrement(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_label_order_is_irrelevant(self):
+        counter = MetricsRegistry().counter("x")
+        counter.inc(a=1, b=2)
+        assert counter.value(b=2, a=1) == 1
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        assert gauge.value() == 7
+        gauge.set(3)
+        assert gauge.value() == 3
+
+    def test_set_max_keeps_high_water(self):
+        gauge = MetricsRegistry().gauge("high_water")
+        gauge.set_max(3)
+        gauge.set_max(9)
+        gauge.set_max(5)
+        assert gauge.value() == 9
+
+    def test_default_when_unset(self):
+        assert MetricsRegistry().gauge("g").value(default=-1) == -1
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        hist = MetricsRegistry().histogram("t", buckets=(0.1, 1.0))
+        hist.observe(0.05)   # <= 0.1
+        hist.observe(0.5)    # <= 1.0
+        hist.observe(2.0)    # overflow
+        assert hist.bucket_counts() == [1, 1, 1]
+        assert hist.count() == 3
+
+    def test_boundary_is_inclusive(self):
+        hist = MetricsRegistry().histogram("t", buckets=(0.1,))
+        hist.observe(0.1)
+        assert hist.bucket_counts() == [1, 0]
+
+    def test_labeled_series_are_independent(self):
+        hist = MetricsRegistry().histogram("lateness")
+        hist.observe(0.002, sequence="video1")
+        hist.observe(0.002, sequence="audio1")
+        assert hist.count(sequence="video1") == 1
+        assert hist.count(sequence="audio1") == 1
+        assert hist.count() == 0
+
+    def test_rejects_empty_or_unsorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ObservabilityError):
+            registry.histogram("b", buckets=(1.0, 0.5))
+
+    def test_default_buckets(self):
+        hist = MetricsRegistry().histogram("t")
+        assert hist.buckets == DEFAULT_TIME_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+
+    def test_bucket_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().get("missing")
+
+    def test_contains_and_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        assert "z" in registry
+        assert "missing" not in registry
+        assert registry.names() == ["a", "z"]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, kind="transient")
+        registry.gauge("g").set(5)
+        snap = registry.snapshot()
+        assert snap["c"] == {
+            "type": "counter",
+            "series": [{"labels": {"kind": "transient"}, "value": 2}],
+        }
+        assert snap["g"] == {"type": "gauge", "series": [{"value": 5}]}
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.counter("aa").inc()
+        assert list(registry.snapshot()) == ["aa", "zz"]
+
+
+class TestExportValue:
+    def test_scalars_pass_through(self):
+        assert export_value(3) == 3
+        assert export_value(0.5) == 0.5
+        assert export_value(True) is True
+        assert export_value(None) is None
+
+    def test_rational_exports_exact_string(self):
+        from repro.core.rational import Rational
+
+        assert export_value(Rational(1, 3)) == str(Rational(1, 3))

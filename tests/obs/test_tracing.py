@@ -1,0 +1,84 @@
+"""Tests for the deterministic span tracer."""
+
+from repro.core.rational import Rational
+from repro.obs import LogicalClock, Tracer
+
+
+class TestLogicalClock:
+    def test_ticks_monotonically(self):
+        clock = LogicalClock()
+        assert clock.now() == 0
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.now() == 2
+
+
+class TestTracer:
+    def test_span_uses_logical_ticks_by_default(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.spans
+        assert span.start == 1
+        assert span.end == 2
+
+    def test_nesting_links_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        # ids are assigned in creation order
+        assert [s.span_id for s in tracer.spans] == [0, 1]
+
+    def test_span_attributes_settable_mid_flight(self):
+        tracer = Tracer()
+        with tracer.span("work", phase="setup") as span:
+            span.set(bytes=100)
+        assert span.attributes == {"phase": "setup", "bytes": 100}
+
+    def test_record_takes_explicit_simulated_times(self):
+        tracer = Tracer()
+        span = tracer.record("engine.play", Rational(0), Rational(3, 2),
+                             mode="clean")
+        assert span.start == Rational(0)
+        assert span.end == Rational(3, 2)
+        # explicit timestamps must not advance the logical clock
+        with tracer.span("next") as nxt:
+            pass
+        assert nxt.start == 1
+
+    def test_event_is_zero_length(self):
+        tracer = Tracer()
+        span = tracer.event("glitch", at=Rational(5))
+        assert span.start == span.end == Rational(5)
+
+    def test_named_filters(self):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.event("b")
+        tracer.event("a")
+        assert len(tracer.named("a")) == 2
+        assert len(tracer) == 3
+
+    def test_custom_clock_source(self):
+        times = iter([10, 20])
+        tracer = Tracer(clock=lambda: next(times))
+        with tracer.span("timed") as span:
+            pass
+        assert (span.start, span.end) == (10, 20)
+
+    def test_export_sorts_attribute_keys(self):
+        tracer = Tracer()
+        tracer.event("e", at=0, zebra=1, apple=2)
+        (exported,) = tracer.export()
+        assert list(exported["attributes"]) == ["apple", "zebra"]
+        assert exported["start"] == 0
+
+    def test_export_stringifies_rational_times(self):
+        tracer = Tracer()
+        tracer.record("r", Rational(1, 3), Rational(2, 3))
+        (exported,) = tracer.export()
+        assert exported["start"] == str(Rational(1, 3))
+        assert exported["end"] == str(Rational(2, 3))

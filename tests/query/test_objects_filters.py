@@ -1,0 +1,78 @@
+"""Edge cases for ``MediaDatabase.objects(**filters)``."""
+
+import pytest
+
+from repro.core.media_types import MediaKind
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.query.database import MediaDatabase
+
+
+@pytest.fixture
+def db():
+    database = MediaDatabase("filters-db")
+    for name, attrs in [
+        ("news1", {"topic": "news", "year": 1994}),
+        ("news2", {"topic": "news"}),
+        ("sport1", {"topic": "sport", "year": 1993}),
+    ]:
+        clip = video_object(frames.scene(16, 16, 2, "pan"), name)
+        database.add_object(clip, **attrs)
+    return database
+
+
+class TestNoMatch:
+    def test_unknown_attribute_value(self, db):
+        assert db.objects(topic="weather") == []
+
+    def test_unknown_attribute_key(self, db):
+        assert db.objects(channel="BBC") == []
+
+    def test_conjunction_must_fully_match(self, db):
+        # topic matches two entries, year only one of them
+        assert [o.name for o in db.objects(topic="news", year=1994)] == [
+            "news1"
+        ]
+        assert db.objects(topic="sport", year=1994) == []
+
+    def test_empty_database(self):
+        assert MediaDatabase("empty").objects() == []
+        assert MediaDatabase("empty").objects(topic="news") == []
+
+
+class TestAttributeAbsence:
+    def test_absent_attribute_never_matches_a_value(self, db):
+        # news2 has no year at all
+        assert "news2" not in [o.name for o in db.objects(year=1994)]
+
+    def test_none_matches_absent_attribute(self, db):
+        """``attributes.get(key)`` yields None for absent keys, so
+        filtering on ``key=None`` selects entries *without* the
+        attribute — pinned as the documented semantics."""
+        assert [o.name for o in db.objects(year=None)] == ["news2"]
+
+
+class TestCallableFilters:
+    def test_where_predicate(self, db):
+        recent = db.objects(where=lambda e: e.attributes.get("year", 0) > 1993)
+        assert [o.name for o in recent] == ["news1"]
+
+    def test_where_composes_with_attribute_filters(self, db):
+        found = db.objects(
+            topic="news", where=lambda e: "year" in e.attributes,
+        )
+        assert [o.name for o in found] == ["news1"]
+
+    def test_where_rejecting_everything(self, db):
+        assert db.objects(where=lambda e: False) == []
+
+    def test_where_sees_catalog_entry(self, db):
+        seen = []
+        db.objects(where=lambda e: seen.append(e.object.name) or True)
+        assert sorted(seen) == ["news1", "news2", "sport1"]
+
+
+class TestResultOrdering:
+    def test_results_sorted_by_name(self, db):
+        names = [o.name for o in db.objects(kind=MediaKind.VIDEO)]
+        assert names == sorted(names)

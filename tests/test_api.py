@@ -1,0 +1,40 @@
+"""Smoke tests for the public API facade."""
+
+import importlib
+
+import repro.api
+
+
+class TestFacade:
+    def test_all_names_import_cleanly(self):
+        module = importlib.import_module("repro.api")
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, name
+
+    def test_star_import_exposes_exactly_all(self):
+        namespace = {}
+        exec("from repro.api import *", namespace)
+        exported = {k for k in namespace if not k.startswith("__")}
+        assert exported == set(repro.api.__all__)
+
+    def test_no_duplicates_in_all(self):
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+    def test_facade_reexports_identity(self):
+        # The facade defines nothing: objects are the originals.
+        from repro.engine.player import Player
+        from repro.query.database import MediaDatabase
+
+        assert repro.api.Player is Player
+        assert repro.api.MediaDatabase is MediaDatabase
+
+    def test_core_surface_present(self):
+        for name in ("Rational", "TimedStream", "Interpretation",
+                     "Player", "VodServer", "MediaDatabase",
+                     "Observability", "FaultPlan", "BlobStore"):
+            assert name in repro.api.__all__, name
+
+    def test_errors_namespace_exported(self):
+        from repro import errors
+
+        assert repro.api.errors is errors

@@ -1,0 +1,54 @@
+"""Tests for the container-inspection CLI."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.engine.recorder import Recorder
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.storage.container import write_container
+from repro.tools.inspect import main
+
+
+@pytest.fixture(scope="module")
+def container_path(tmp_path_factory):
+    video = video_object(frames.scene(32, 24, 6, "orbit"), "video1")
+    movie = Recorder(MemoryBlob()).record([video])
+    path = tmp_path_factory.mktemp("inspect") / "movie.rmf"
+    write_container(movie, path)
+    return str(path)
+
+
+class TestInspectCli:
+    def test_describe(self, container_path, capsys):
+        assert main([container_path]) == 0
+        out = capsys.readouterr().out
+        assert "video1" in out
+        assert "media type" in out
+
+    def test_placement_table(self, container_path, capsys):
+        assert main([container_path, "--table", "video1"]) == 0
+        out = capsys.readouterr().out
+        assert "placement table" in out
+
+    def test_play(self, container_path, capsys):
+        assert main([container_path, "--play", "2000000"]) == 0
+        out = capsys.readouterr().out
+        assert "playback at" in out
+        assert "elements" in out
+
+    def test_play_with_obs_prints_metric_table(self, container_path, capsys):
+        assert main([container_path, "--play", "2000000", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.play.runs" in out
+        assert "counter" in out
+
+    def test_obs_without_play_is_quiet(self, container_path, capsys):
+        assert main([container_path, "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.play.runs" not in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.rmf")]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
