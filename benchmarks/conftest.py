@@ -28,6 +28,12 @@ class BenchReport:
         caption = f"[{experiment_id}] {title}".rstrip()
         self.add(experiment_id, table_text(headers, rows, title=caption))
 
+    def kv(self, experiment_id: str, pairs, title: str = "") -> None:
+        """A two-column metric/value table from (name, value) pairs."""
+        self.table(experiment_id, ("metric", "value"),
+                   [(name, str(value)) for name, value in pairs],
+                   title=title)
+
 
 @pytest.fixture
 def report() -> BenchReport:

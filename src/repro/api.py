@@ -6,8 +6,9 @@ Import from here::
 
 Everything in ``__all__`` is the blessed, stable face of the library —
 the data model (timed streams, interpretation, derivation,
-composition), the storage substrate, the playback engine, fault
-injection, observability and the query catalog. Subpackage-internal
+composition), the storage substrate, the caching layer (``BufferPool``,
+``DerivationCache``), the playback engine, fault injection,
+observability and the query catalog. Subpackage-internal
 names (codecs' DCT helpers, pager internals, benchmark plumbing) are
 deliberately excluded; reaching past this module into submodules is
 possible but unsupported across versions.
@@ -29,6 +30,7 @@ from repro.blob import (
     PagedBlob,
     PageStore,
 )
+from repro.cache import BufferPool, DerivationCache
 from repro.core import (
     DerivationObject,
     Derivation,
@@ -121,6 +123,9 @@ __all__ = [
     "MemoryPager",
     "FilePager",
     "PAGE_SIZE",
+    # caching
+    "BufferPool",
+    "DerivationCache",
     # engine
     "Player",
     "CostModel",

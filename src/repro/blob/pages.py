@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import os
 import zlib
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import BlobCorruptionError, BlobError
 from repro.obs.instrument import Instrumented, Observability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.pool import BufferPool
 
 #: Default page size (bytes). Small enough that test blobs fragment,
 #: large enough to amortize per-page bookkeeping.
@@ -136,14 +139,22 @@ class PageStore(Instrumented):
     data — a fault-injecting pager may expose ``read_page_raw`` so the
     maintenance read bypasses injected read faults (the controller
     checksums bytes still in its buffer).
+
+    With a ``buffer_pool`` (:class:`~repro.cache.pool.BufferPool`) the
+    store reads through a bounded LRU page cache: hits skip the pager
+    *and* checksum verification (only verified bytes are cached), and
+    every write, free or reuse invalidates or refreshes the cached copy
+    so the pool never serves stale data.
     """
 
     def __init__(self, pager: MemoryPager | FilePager | None = None,
                  checksums: bool = False,
+                 buffer_pool: "BufferPool | None" = None,
                  obs: Observability | None = None):
         # Explicit None check: an empty pager is falsy (len() == 0), so
         # `pager or MemoryPager()` would silently discard it.
         self.pager = MemoryPager() if pager is None else pager
+        self.buffer_pool = buffer_pool
         if obs is not None:
             self.instrument(obs)
         # Free pages: the set answers membership in O(1) (double-free
@@ -153,10 +164,14 @@ class PageStore(Instrumented):
         self._free_order: list[int] = []
         self.checksums = checksums
         self._checksums: dict[int, int] = {}
+        self._zero_page = bytes(self.page_size)
+        self._zero_crc = zlib.crc32(self._zero_page)
 
     def _instrument_children(self, obs: Observability) -> None:
         if isinstance(self.pager, Instrumented):
             self.pager.instrument(obs)
+        if self.buffer_pool is not None:
+            self.buffer_pool.instrument(obs)
 
     @property
     def page_size(self) -> int:
@@ -171,17 +186,28 @@ class PageStore(Instrumented):
         return len(self._free)
 
     def allocate(self) -> int:
-        """Return a page number, reusing freed pages before growing."""
+        """Return a zeroed page number, reusing freed pages before growing.
+
+        A reused page is zeroed (and its checksum reset) before it is
+        handed out — freshly grown pages arrive zeroed from the pager,
+        and the new owner must never see the previous owner's bytes.
+        """
         if self._free_order:
             page_no = self._free_order.pop()
             self._free.discard(page_no)
+            self.pager.write_page(page_no, self._zero_page)
+            if self.checksums:
+                self._checksums[page_no] = self._zero_crc
+            if self.buffer_pool is not None:
+                self.buffer_pool.invalidate(page_no)
+            self._obs.metrics.counter("blob.page.zeroed").inc()
             self._obs.metrics.counter("blob.page.allocations").inc(
                 source="reuse"
             )
             return page_no
         page_no = self.pager.grow()
         if self.checksums:
-            self._checksums[page_no] = zlib.crc32(bytes(self.page_size))
+            self._checksums[page_no] = self._zero_crc
         self._obs.metrics.counter("blob.page.allocations").inc(source="grow")
         return page_no
 
@@ -189,10 +215,17 @@ class PageStore(Instrumented):
         return [self.allocate() for _ in range(count)]
 
     def free(self, page_no: int) -> None:
+        if not 0 <= page_no < len(self.pager):
+            raise BlobError(
+                f"cannot free page {page_no}: out of range "
+                f"(have {len(self.pager)})"
+            )
         if page_no in self._free:
             raise BlobError(f"double free of page {page_no}")
         self._free.add(page_no)
         self._free_order.append(page_no)
+        if self.buffer_pool is not None:
+            self.buffer_pool.invalidate(page_no)
         self._obs.metrics.counter("blob.page.frees").inc()
 
     def free_many(self, pages: Iterable[int]) -> None:
@@ -202,7 +235,17 @@ class PageStore(Instrumented):
     def read(self, page_no: int, verify: bool = True) -> bytes:
         metrics = self._obs.metrics
         metrics.counter("blob.page.reads").inc()
+        pool = self.buffer_pool
+        if pool is not None:
+            cached = pool.get(page_no)
+            if cached is not None:
+                # Cached bytes were verified at fill time; serving the
+                # hit skips both the pager and the CRC pass.
+                metrics.counter("blob.page.cache_hits").inc()
+                metrics.counter("blob.page.bytes_read").inc(len(cached))
+                return cached
         data = self.pager.read_page(page_no)
+        metrics.counter("blob.page.pager_reads").inc()
         metrics.counter("blob.page.bytes_read").inc(len(data))
         if verify and self.checksums:
             expected = self._checksums.get(page_no)
@@ -213,6 +256,10 @@ class PageStore(Instrumented):
                     raise BlobCorruptionError(
                         f"page {page_no} failed checksum verification"
                     )
+        if pool is not None and (verify or not self.checksums):
+            # Only verified (or checksum-free) bytes may enter the pool;
+            # a salvage read with verify=False must not poison it.
+            pool.put(page_no, data)
         return data
 
     def write(self, page_no: int, data: bytes, offset: int = 0) -> None:
@@ -220,11 +267,20 @@ class PageStore(Instrumented):
         metrics.counter("blob.page.writes").inc()
         metrics.counter("blob.page.bytes_written").inc(len(data))
         self.pager.write_page(page_no, data, offset)
+        full_page = offset == 0 and len(data) == self.page_size
         if self.checksums:
-            if offset == 0 and len(data) == self.page_size:
+            if full_page:
                 self._checksums[page_no] = zlib.crc32(data)
             else:
                 self._checksums[page_no] = zlib.crc32(self._read_raw(page_no))
+        pool = self.buffer_pool
+        if pool is not None and page_no in pool:
+            # Write-through: refresh a cached full page in place, drop a
+            # partially overwritten one (the pool never holds stale data).
+            if full_page:
+                pool.put(page_no, data)
+            else:
+                pool.invalidate(page_no)
 
     def verify_page(self, page_no: int) -> bool:
         """Does ``page_no`` currently match its recorded checksum?
@@ -246,8 +302,19 @@ class PageStore(Instrumented):
         }
 
     def _read_raw(self, page_no: int) -> bytes:
+        """Maintenance read for checksum upkeep, accounted separately.
+
+        Raw re-reads (partial-write checksum refresh, rebuilds) are
+        *not* logical page reads: they bump ``blob.page.raw_reads`` /
+        ``raw_bytes_read``, never ``blob.page.reads`` or ``bytes_read``,
+        so cache hit-ratio math over the read counters stays truthful.
+        """
         raw_read = getattr(self.pager, "read_page_raw", self.pager.read_page)
-        return raw_read(page_no)
+        data = raw_read(page_no)
+        metrics = self._obs.metrics
+        metrics.counter("blob.page.raw_reads").inc()
+        metrics.counter("blob.page.raw_bytes_read").inc(len(data))
+        return data
 
     def flush(self) -> None:
         flush = getattr(self.pager, "flush", None)

@@ -11,18 +11,34 @@ manager (or call :meth:`BlobStore.close`) so it is flushed and released.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.blob.blob import PagedBlob
 from repro.blob.pages import FilePager, MemoryPager, PageStore
 from repro.errors import BlobError
 from repro.obs.instrument import Instrumented, Observability
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.pool import BufferPool
+
 
 class BlobStore(Instrumented):
-    """Named BLOBs sharing a single :class:`PageStore`."""
+    """Named BLOBs sharing a single :class:`PageStore`.
+
+    ``buffer_pool`` attaches a :class:`~repro.cache.pool.BufferPool` to
+    the page store (only when the store is built here; an explicit
+    ``store`` keeps whatever pool it already has).
+    """
 
     def __init__(self, store: PageStore | None = None,
+                 buffer_pool: "BufferPool | None" = None,
                  obs: Observability | None = None):
-        self.pages = store or PageStore(MemoryPager())
+        if store is not None and buffer_pool is not None:
+            raise BlobError(
+                "pass buffer_pool to the PageStore when supplying one "
+                "explicitly"
+            )
+        self.pages = store or PageStore(MemoryPager(), buffer_pool=buffer_pool)
         self._blobs: dict[str, PagedBlob] = {}
         if obs is not None:
             self.instrument(obs)
@@ -30,15 +46,24 @@ class BlobStore(Instrumented):
     def _instrument_children(self, obs: Observability) -> None:
         self.pages.instrument(obs)
 
+    @property
+    def buffer_pool(self) -> "BufferPool | None":
+        """The page cache the underlying store reads through, if any."""
+        return self.pages.buffer_pool
+
     @classmethod
     def file_backed(cls, path, page_size: int | None = None,
                     checksums: bool = False,
+                    buffer_pool: "BufferPool | None" = None,
                     obs: Observability | None = None) -> "BlobStore":
         """A store persisting pages in a single file at ``path``."""
         pager = (
             FilePager(path, page_size) if page_size else FilePager(path)
         )
-        return cls(PageStore(pager, checksums=checksums), obs=obs)
+        return cls(
+            PageStore(pager, checksums=checksums, buffer_pool=buffer_pool),
+            obs=obs,
+        )
 
     def flush(self) -> None:
         """Flush a file-backed page store to disk (no-op in memory)."""
@@ -93,7 +118,7 @@ class BlobStore(Instrumented):
 
     def stats(self) -> dict:
         """Aggregate storage statistics for reporting."""
-        return {
+        stats = {
             "blobs": len(self._blobs),
             "total_bytes": self.total_bytes(),
             "pages_allocated": self.pages.allocated_pages,
@@ -105,3 +130,6 @@ class BlobStore(Instrumented):
                 if self._blobs else 0.0
             ),
         }
+        if self.buffer_pool is not None:
+            stats["cache"] = self.buffer_pool.stats()
+        return stats

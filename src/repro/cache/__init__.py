@@ -1,0 +1,38 @@
+"""Caching between storage and delivery.
+
+The paper's §4.2 derivation mechanism explicitly trades storage for
+recomputation; this package supplies the two bounded caches that make
+the trade measurable and fast:
+
+* :class:`~repro.cache.pool.BufferPool` — a bounded LRU page cache with
+  pin/unpin and write-through invalidation, read through by
+  :class:`~repro.blob.pages.PageStore` so repeated playback of the same
+  interpretation stops re-reading and re-checksumming every page;
+* :class:`~repro.cache.derivations.DerivationCache` — a global,
+  byte-budgeted cache of expanded derived objects whose admission and
+  eviction policy is driven by the playback
+  :class:`~repro.engine.player.CostModel` (cache what is expensive to
+  recompute relative to the bytes it occupies — the paper's
+  materialize-vs-expand decision).
+
+Both are deterministic: hit/miss/eviction behaviour is a pure function
+of the call sequence, so same-seed runs export byte-identical
+observability snapshots with caching enabled.
+"""
+
+from repro.cache.pool import OCCUPANCY_BUCKETS, BufferPool
+from repro.cache.derivations import (
+    DEFAULT_BUDGET_BYTES,
+    ENTRY_BUCKETS,
+    DerivationCache,
+    object_bytes,
+)
+
+__all__ = [
+    "BufferPool",
+    "OCCUPANCY_BUCKETS",
+    "DerivationCache",
+    "DEFAULT_BUDGET_BYTES",
+    "ENTRY_BUCKETS",
+    "object_bytes",
+]

@@ -1,0 +1,206 @@
+"""A bounded LRU page cache between :class:`~repro.blob.pages.PageStore`
+and its backing pager.
+
+The paper treats BLOB layout as "a performance issue and not directly
+relevant to data modeling" (§4.1) — the buffer pool is exactly that
+performance issue. Repeated playback of the same interpretation walks
+the same placement tables and therefore the same pages; without a pool
+every walk re-reads and re-checksums every page through the pager. With
+one, warm replay is served from memory.
+
+Semantics:
+
+* **Bounded**: at most ``capacity_pages`` entries; inserting into a full
+  pool evicts the least-recently-used *unpinned* entry.
+* **Deterministic eviction**: recency is a pure function of the
+  get/put sequence (an insertion-ordered dict, touched on hit), so two
+  identical runs evict identically — the obs determinism contract
+  extends through the cache.
+* **Pin/unpin**: pinned pages are never evicted by capacity pressure
+  (a reader gathering a multi-page element pins the pages it is
+  walking). Pins nest; explicit :meth:`invalidate` removes a page
+  regardless of pins — an invalidated page's bytes are stale by
+  definition.
+* **Write-through invalidation**: the pool never holds dirty data. The
+  owning store writes to the pager first and then either refreshes the
+  cached copy (full-page write) or invalidates it (partial write,
+  free, reuse).
+
+The pool keeps its own hit/miss/eviction tallies so it is useful
+without an observability sink; with one attached it additionally
+exports ``cache.pool.*`` counters, a hit-ratio gauge and a fixed-bucket
+byte-occupancy histogram.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CacheError
+from repro.obs.instrument import Instrumented, Observability
+
+#: Fixed byte-occupancy histogram boundaries: page-ish through tens of
+#: megabytes. Fixed at module level so snapshots are comparable across
+#: runs and pool sizes.
+OCCUPANCY_BUCKETS: tuple[float, ...] = (
+    4096.0, 16384.0, 65536.0, 262144.0,
+    1048576.0, 4194304.0, 16777216.0, 67108864.0,
+)
+
+
+class BufferPool(Instrumented):
+    """A bounded, deterministic LRU cache of page images."""
+
+    def __init__(self, capacity_pages: int,
+                 obs: Observability | None = None):
+        if capacity_pages < 1:
+            raise CacheError(
+                f"buffer pool needs capacity >= 1 page, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        # Insertion order is recency order: oldest first. A hit re-inserts.
+        self._pages: dict[int, bytes] = {}
+        self._pins: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.rejections = 0
+        if obs is not None:
+            self.instrument(obs)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_no: int) -> bool:
+        return page_no in self._pages
+
+    def pages(self) -> list[int]:
+        """Cached page numbers in eviction order (oldest first)."""
+        return list(self._pages)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return sum(len(data) for data in self._pages.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def is_pinned(self, page_no: int) -> bool:
+        return self._pins.get(page_no, 0) > 0
+
+    def stats(self) -> dict:
+        return {
+            "capacity_pages": self.capacity_pages,
+            "cached_pages": len(self._pages),
+            "occupancy_bytes": self.occupancy_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "rejections": self.rejections,
+            "pinned_pages": sum(1 for c in self._pins.values() if c > 0),
+        }
+
+    # -- cache operations ---------------------------------------------------------
+
+    def get(self, page_no: int) -> bytes | None:
+        """The cached bytes of ``page_no``, or None; a hit renews recency."""
+        data = self._pages.get(page_no)
+        metrics = self._obs.metrics
+        if data is None:
+            self.misses += 1
+            metrics.counter("cache.pool.misses").inc()
+        else:
+            self.hits += 1
+            metrics.counter("cache.pool.hits").inc()
+            # Touch: move to the most-recent end.
+            del self._pages[page_no]
+            self._pages[page_no] = data
+        metrics.gauge("cache.pool.hit_ratio").set(self.hit_ratio)
+        return data
+
+    def put(self, page_no: int, data: bytes) -> bool:
+        """Insert (or refresh) a page image; returns False when a full
+        pool of pinned pages forced a rejection."""
+        data = bytes(data)
+        if page_no in self._pages:
+            del self._pages[page_no]
+            self._pages[page_no] = data
+            self._observe_occupancy()
+            return True
+        while len(self._pages) >= self.capacity_pages:
+            victim = self._eviction_victim()
+            if victim is None:
+                self.rejections += 1
+                self._obs.metrics.counter("cache.pool.rejections").inc()
+                return False
+            del self._pages[victim]
+            self.evictions += 1
+            self._obs.metrics.counter("cache.pool.evictions").inc()
+        self._pages[page_no] = data
+        self._observe_occupancy()
+        return True
+
+    def _eviction_victim(self) -> int | None:
+        """Oldest unpinned page, or None when every entry is pinned."""
+        for page_no in self._pages:
+            if self._pins.get(page_no, 0) == 0:
+                return page_no
+        return None
+
+    def invalidate(self, page_no: int) -> bool:
+        """Drop ``page_no`` if cached (regardless of pins); stale bytes
+        must never be served after the page is rewritten or reused."""
+        if page_no not in self._pages:
+            return False
+        del self._pages[page_no]
+        self.invalidations += 1
+        self._obs.metrics.counter("cache.pool.invalidations").inc()
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry and every pin."""
+        self.invalidations += len(self._pages)
+        if self._pages:
+            self._obs.metrics.counter("cache.pool.invalidations").inc(
+                len(self._pages)
+            )
+        self._pages.clear()
+        self._pins.clear()
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self, page_no: int) -> None:
+        """Protect ``page_no`` from eviction until unpinned (pins nest)."""
+        self._pins[page_no] = self._pins.get(page_no, 0) + 1
+
+    def unpin(self, page_no: int) -> None:
+        count = self._pins.get(page_no, 0)
+        if count <= 0:
+            raise CacheError(f"page {page_no} is not pinned")
+        if count == 1:
+            del self._pins[page_no]
+        else:
+            self._pins[page_no] = count - 1
+
+    # -- observability ---------------------------------------------------------
+
+    def _observe_occupancy(self) -> None:
+        metrics = self._obs.metrics
+        occupancy = self.occupancy_bytes
+        metrics.gauge("cache.pool.pages").set(len(self._pages))
+        metrics.gauge("cache.pool.occupancy_bytes").set(occupancy)
+        metrics.histogram(
+            "cache.pool.occupancy_bytes_distribution",
+            buckets=OCCUPANCY_BUCKETS,
+        ).observe(occupancy)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool({len(self._pages)}/{self.capacity_pages} pages, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

@@ -26,6 +26,7 @@ from repro.errors import MediaModelError
 from repro.obs.instrument import Instrumented
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.derivations import DerivationCache
     from repro.core.derivation import DerivationObject
 
 _ids = itertools.count(1)
@@ -170,6 +171,15 @@ class DerivedMediaObject(MediaObject, Instrumented):
     decision to store the expansion when real-time expansion is
     infeasible.
 
+    Materialization state lives in one of two places. Standalone, the
+    object keeps a private single-expansion memo (the original
+    behaviour). With a :class:`~repro.cache.derivations.DerivationCache`
+    attached (:meth:`attach_cache`, or implicitly through a
+    cache-carrying :class:`~repro.engine.player.Player`), the memo is
+    bypassed entirely: expansions are offered to the cache, which admits
+    and evicts them under a global byte budget using its cost-driven
+    policy — the §4.2 materialize-vs-expand decision made continuously.
+
     Instrumentable: with a sink attached, expansions, cache hits and
     materializations are counted per derivation kind and each expansion
     is a logical-clock span — the data behind the §4.2 store-or-expand
@@ -186,6 +196,7 @@ class DerivedMediaObject(MediaObject, Instrumented):
         super().__init__(media_type, descriptor, name)
         self.derivation_object = derivation_object
         self._expanded: MediaObject | None = None
+        self._cache: "DerivationCache | None" = None
 
     @property
     def is_derived(self) -> bool:
@@ -193,7 +204,24 @@ class DerivedMediaObject(MediaObject, Instrumented):
 
     @property
     def is_materialized(self) -> bool:
+        if self._cache is not None:
+            return self in self._cache
         return self._expanded is not None
+
+    def attach_cache(self, cache: "DerivationCache | None") -> "DerivedMediaObject":
+        """Route materialization through ``cache`` (None detaches).
+
+        Attaching moves any existing memoized expansion into the cache
+        (subject to its admission policy) and clears the memo, so the
+        unbounded per-object memo is fully replaced by the shared,
+        byte-budgeted cache. Returns ``self`` for chaining.
+        """
+        if cache is not None and self._expanded is not None:
+            cache.put(self, self._expanded)
+        self._cache = cache
+        if cache is not None:
+            self._expanded = None
+        return self
 
     def expand(self) -> MediaObject:
         """Compute the non-derived equivalent (never cached)."""
@@ -208,18 +236,36 @@ class DerivedMediaObject(MediaObject, Instrumented):
 
     def materialize(self) -> MediaObject:
         """Expand once and cache — "store a non-derived object" (§4.2)."""
+        kind = self.derivation_object.derivation.name
+        if self._cache is not None:
+            cached = self._cache.get(self)
+            if cached is not None:
+                self._obs.metrics.counter("core.derivation.cache_hits").inc(
+                    derivation=kind
+                )
+                return cached
+            expanded = self.expand()
+            self._cache.put(self, expanded)
+            self._obs.metrics.counter(
+                "core.derivation.materializations"
+            ).inc(derivation=kind)
+            return expanded
         if self._expanded is None:
             self._expanded = self.expand()
             self._obs.metrics.counter(
                 "core.derivation.materializations"
-            ).inc(derivation=self.derivation_object.derivation.name)
+            ).inc(derivation=kind)
         return self._expanded
 
     def discard_materialization(self) -> None:
         """Drop the cached expansion, keeping only the derivation object."""
         self._expanded = None
+        if self._cache is not None:
+            self._cache.discard(self)
 
     def _target(self) -> MediaObject:
+        if self._cache is not None:
+            return self.materialize()
         if self._expanded is not None:
             self._obs.metrics.counter("core.derivation.cache_hits").inc(
                 derivation=self.derivation_object.derivation.name

@@ -20,6 +20,8 @@ import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.core.composition import MultimediaObject
 from repro.core.interpretation import Interpretation
 from repro.core.rational import Rational, as_rational
@@ -27,6 +29,9 @@ from repro.engine.buffers import simulate_prefetch
 from repro.errors import EngineError, PlaybackAbortError
 from repro.faults.plan import FaultPlan
 from repro.obs.instrument import NULL_OBS, Observability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.derivations import DerivationCache
 
 #: Fixed lateness-histogram boundaries (seconds). Fixed so per-stream
 #: lateness distributions are comparable across runs and workloads.
@@ -309,6 +314,7 @@ class Player:
                  fault_plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
                  adaptation: AdaptationPolicy | None = None,
+                 derivation_cache: "DerivationCache | None" = None,
                  obs: Observability | None = None):
         """``rate`` is the playback rate: 2 plays double speed (deadlines
         arrive twice as fast, so the storage system must sustain twice
@@ -321,6 +327,11 @@ class Player:
         :class:`RetryPolicy`) governs recovery and ``adaptation``
         trades fidelity for feasibility on scalable streams. Without a
         fault plan the simulation is exactly the clean happy path.
+
+        ``derivation_cache`` routes the expansion of derived components
+        (when planning a multimedia object) through a shared
+        :class:`~repro.cache.derivations.DerivationCache`, so replaying
+        the same composition stops recomputing its derived objects.
 
         ``obs`` attaches an observability sink: counters and lateness
         histograms per run, and retry/glitch/adaptation spans stamped
@@ -337,6 +348,7 @@ class Player:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy or RetryPolicy()
         self.adaptation = adaptation
+        self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
 
     # -- planning -------------------------------------------------------------
@@ -375,14 +387,19 @@ class Player:
         Components are flattened to leaf media objects; each leaf's
         stream supplies element sizes and timing, shifted by its
         composition offset. Leaves without in-memory streams (derived,
-        unexpanded) are expanded via their normal access path.
+        unexpanded) are expanded via their normal access path — or
+        through the player's :class:`DerivationCache` when one is
+        attached, so replanning the same composition is a cache hit.
         """
         reads: list[_PlannedRead] = []
         synthetic_offset = 0
         for label, obj, interval in multimedia.flatten():
             if not obj.media_type.kind.is_time_based:
                 continue
-            stream = obj.stream()
+            if self.derivation_cache is not None and obj.is_derived:
+                stream = self.derivation_cache.materialize(obj).stream()
+            else:
+                stream = obj.stream()
             for index, t in enumerate(stream):
                 deadline = interval.start + stream.time_system.to_continuous(
                     t.start - stream.start

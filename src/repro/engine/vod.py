@@ -17,6 +17,7 @@ crossover the benchmark sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.interpretation import Interpretation
 from repro.core.rational import Rational, as_rational
@@ -30,6 +31,9 @@ from repro.engine.player import (
 from repro.errors import EngineError, MediaModelError, ResourceError
 from repro.faults.plan import FaultPlan
 from repro.obs.instrument import NULL_OBS, Observability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.derivations import DerivationCache
 
 
 @dataclass
@@ -104,11 +108,15 @@ class VodServer:
 
     def __init__(self, bandwidth: int, prefetch_depth: int = 8,
                  admission_margin: float = 1.0,
+                 derivation_cache: "DerivationCache | None" = None,
                  obs: Observability | None = None):
         """``bandwidth`` is outbound bytes/second; ``admission_margin``
-        scales the admission test (1.2 keeps 20% headroom). ``obs``
-        attaches an observability sink, shared with every session's
-        player, so one registry captures the whole serving run."""
+        scales the admission test (1.2 keeps 20% headroom).
+        ``derivation_cache`` is handed to every session's player so
+        derived components expand once per server, not once per
+        session. ``obs`` attaches an observability sink, shared with
+        every session's player, so one registry captures the whole
+        serving run."""
         if bandwidth <= 0:
             raise EngineError("bandwidth must be positive")
         if admission_margin < 1.0:
@@ -116,6 +124,7 @@ class VodServer:
         self.bandwidth = bandwidth
         self.prefetch_depth = prefetch_depth
         self.admission_margin = admission_margin
+        self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
         self._titles: dict[str, Interpretation] = {}
 
@@ -129,6 +138,31 @@ class VodServer:
 
     def titles(self) -> list[str]:
         return sorted(self._titles)
+
+    def prefetch(self, title: str) -> int:
+        """Warm the storage path beneath ``title``; returns bytes pulled.
+
+        Materializes each of the title's sequences once, pulling every
+        referenced page up through the BLOB. Over a buffer-pool-backed
+        page store this loads the pool before the first session
+        arrives, so cold-start page reads land on the prefetch instead
+        of on a paying client; the replay benchmark measures the
+        difference.
+        """
+        try:
+            interpretation = self._titles[title]
+        except KeyError:
+            raise EngineError(f"unknown title {title!r}") from None
+        warmed = 0
+        with self.obs.tracer.span("vod.prefetch", title=title) as span:
+            for name in interpretation.names():
+                stream = interpretation.materialize(name)
+                warmed += stream.total_size()
+            span.set(bytes=warmed)
+        metrics = self.obs.metrics
+        metrics.counter("vod.prefetches").inc()
+        metrics.counter("vod.prefetch_bytes").inc(warmed)
+        return warmed
 
     def required_rate(self, title: str) -> Rational:
         """Mean data rate the title needs (from its descriptors)."""
@@ -210,6 +244,7 @@ class VodServer:
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
                 adaptation=adaptation,
+                derivation_cache=self.derivation_cache,
                 obs=self.obs,
             )
             for client, title in admitted:
@@ -266,6 +301,7 @@ class VodServer:
             fault_plan=fault_plan,
             retry_policy=lenient,
             adaptation=fallback_adaptation,
+            derivation_cache=self.derivation_cache,
             obs=self.obs,
         )
         try:

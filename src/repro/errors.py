@@ -100,6 +100,10 @@ class ObservabilityError(MediaModelError):
     """Misuse of the metrics/tracing layer (type clash, bad buckets)."""
 
 
+class CacheError(MediaModelError):
+    """Misuse of the caching layer (bad capacity, unbalanced pin)."""
+
+
 class QueryError(MediaModelError):
     """Malformed query or unknown catalog entry."""
 

@@ -8,7 +8,9 @@ Prints the interpretation summary (sequences, descriptors, categories),
 optionally one sequence's placement table, and optionally a simulated
 playback report at the given bandwidth (bytes/second). With ``--obs``
 the playback runs instrumented and the collected metrics are printed
-as a table.
+as a table. With ``--cache PAGES`` the container is replayed through a
+``PAGES``-page buffer pool (cold pass, then warm pass) and the
+cache-hit accounting is printed.
 """
 
 from __future__ import annotations
@@ -17,6 +19,9 @@ import argparse
 import sys
 
 from repro.bench.reporting import format_rate, table_text
+from repro.blob.blob import PagedBlob
+from repro.blob.pages import MemoryPager, PageStore
+from repro.cache import BufferPool
 from repro.core.interpretation import Interpretation
 from repro.engine.player import CostModel, Player
 from repro.obs import Observability, to_table
@@ -71,6 +76,54 @@ def playback_text(interpretation: Interpretation, bandwidth: int,
     return text
 
 
+def paged_copy(interpretation: Interpretation,
+               pool: BufferPool) -> Interpretation:
+    """The same interpretation over a paged, pool-backed copy of its BLOB.
+
+    Placement offsets are unchanged — only the backing store differs —
+    so the copy replays identically while exercising the page cache.
+    """
+    store = PageStore(MemoryPager(), checksums=True, buffer_pool=pool)
+    blob = PagedBlob(store)
+    blob.append(interpretation.blob.read_all())
+    copy = Interpretation(blob, f"{interpretation.name}-cached")
+    for name in interpretation.names():
+        copy.add_sequence(interpretation.sequence(name))
+    return copy
+
+
+def cached_replay_text(interpretation: Interpretation, pages: int) -> str:
+    """Cold-then-warm replay through a buffer pool, with hit accounting."""
+    obs = Observability()
+    pool = BufferPool(pages)
+    cached = paged_copy(interpretation, pool)
+    cached.instrument(obs)
+    cached.blob.store.instrument(obs)
+    pager_reads = obs.metrics.counter("blob.page.pager_reads")
+
+    def replay() -> int:
+        before = pager_reads.total()
+        for name in cached.names():
+            cached.materialize(name)
+        return pager_reads.total() - before
+
+    cold = replay()
+    warm = replay()
+    rows = [
+        ("buffer pool pages", pool.capacity_pages),
+        ("cold pager reads", cold),
+        ("warm pager reads", warm),
+        ("cache hits", pool.hits),
+        ("cache hit ratio", f"{pool.hit_ratio:.1%}"),
+        ("evictions", pool.evictions),
+        ("occupancy bytes", pool.occupancy_bytes),
+    ]
+    return table_text(
+        ("metric", "value"), rows,
+        title=f"cached replay through a {pages}-page buffer pool",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.inspect",
@@ -83,6 +136,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="simulate playback at BANDWIDTH bytes/second")
     parser.add_argument("--obs", action="store_true",
                         help="instrument --play and print the metric table")
+    parser.add_argument("--cache", metavar="PAGES", type=int,
+                        help="replay cold/warm through a PAGES-page "
+                             "buffer pool and print hit accounting")
     args = parser.parse_args(argv)
 
     try:
@@ -98,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.play:
         obs = Observability() if args.obs else None
         print(playback_text(interpretation, args.play, obs=obs))
+    if args.cache:
+        print(cached_replay_text(interpretation, args.cache))
     return 0
 
 

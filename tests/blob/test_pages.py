@@ -4,6 +4,7 @@ import pytest
 
 from repro.blob.pages import PAGE_SIZE, FilePager, MemoryPager, PageStore
 from repro.errors import BlobError
+from repro.obs import Observability
 
 
 class TestMemoryPager:
@@ -90,6 +91,76 @@ class TestPageStore:
         assert store.fragmentation([0, 1, 5]) == 0.5
         assert store.fragmentation([7]) == 0.0
 
+    def test_reused_page_returns_zeroes_without_checksums(self):
+        """Regression: zero-on-reuse must not depend on checksumming."""
+        store = PageStore(MemoryPager(page_size=16))
+        page = store.allocate()
+        store.write(page, b"secret!!secret!!")
+        store.free(page)
+        again = store.allocate()
+        assert again == page
+        assert store.read(again) == bytes(16)
+
+    def test_free_out_of_range_raises(self):
+        """Regression: freeing a nonexistent page must not poison the
+        free list."""
+        store = PageStore(MemoryPager(page_size=16))
+        store.allocate()
+        with pytest.raises(BlobError, match="out of range"):
+            store.free(1)
+        with pytest.raises(BlobError, match="out of range"):
+            store.free(-1)
+        # The free list stayed clean: the next allocation grows.
+        assert store.allocate() == 1
+
+    def test_free_many_out_of_range_raises(self):
+        store = PageStore(MemoryPager(page_size=16))
+        pages = store.allocate_many(2)
+        with pytest.raises(BlobError, match="out of range"):
+            store.free_many([pages[0], 99])
+        # The valid prefix was freed before the failure surfaced.
+        assert store.free_pages == 1
+
+
+class TestRawReadAccounting:
+    """Maintenance re-reads are accounted apart from logical reads, so
+    hit-ratio arithmetic over the read counters stays truthful."""
+
+    def test_partial_write_counts_raw_read_not_logical(self):
+        obs = Observability()
+        store = PageStore(MemoryPager(page_size=16), checksums=True, obs=obs)
+        page = store.allocate()
+        store.write(page, b"abc", offset=4)  # partial: checksum re-read
+        counters = obs.metrics
+        assert counters.counter("blob.page.raw_reads").total() == 1
+        assert counters.counter("blob.page.raw_bytes_read").total() == 16
+        assert counters.counter("blob.page.reads").total() == 0
+        assert counters.counter("blob.page.bytes_read").total() == 0
+
+    def test_full_page_write_needs_no_raw_read(self):
+        obs = Observability()
+        store = PageStore(MemoryPager(page_size=16), checksums=True, obs=obs)
+        page = store.allocate()
+        store.write(page, b"x" * 16)
+        assert obs.metrics.counter("blob.page.raw_reads").total() == 0
+
+    def test_rebuild_checksums_counts_raw_reads(self):
+        obs = Observability()
+        store = PageStore(MemoryPager(page_size=16), checksums=True, obs=obs)
+        store.allocate_many(3)
+        store.rebuild_checksums()
+        assert obs.metrics.counter("blob.page.raw_reads").total() == 3
+
+    def test_logical_read_counts_pager_read(self):
+        obs = Observability()
+        store = PageStore(MemoryPager(page_size=16), obs=obs)
+        page = store.allocate()
+        store.read(page)
+        counters = obs.metrics
+        assert counters.counter("blob.page.reads").total() == 1
+        assert counters.counter("blob.page.pager_reads").total() == 1
+        assert counters.counter("blob.page.raw_reads").total() == 0
+
 
 class TestFreeListScaling:
     """The free list is set-backed: bulk release must stay linear and
@@ -143,11 +214,14 @@ class TestChecksums:
             store.read(page)
         assert store.read(page, verify=False)  # escape hatch for salvage
 
-    def test_reused_page_keeps_valid_checksum(self):
+    def test_reused_page_is_zeroed_with_valid_checksum(self):
+        """Regression: a reused free-list page must come back zeroed —
+        never the previous owner's bytes — and verify cleanly."""
         store = PageStore(MemoryPager(page_size=16), checksums=True)
         page = store.allocate()
         store.write(page, b"b" * 16)
         store.free(page)
         again = store.allocate()
         assert again == page
-        assert store.read(again) == b"b" * 16
+        assert store.read(again) == bytes(16)
+        assert store.verify_page(again)

@@ -1,0 +1,218 @@
+"""BufferPool semantics: bounded LRU, pins, invalidation, PageStore wiring."""
+
+import pytest
+
+from repro.blob.blob import PagedBlob
+from repro.blob.pages import MemoryPager, PageStore
+from repro.cache import OCCUPANCY_BUCKETS, BufferPool
+from repro.errors import CacheError
+from repro.obs import Observability
+
+
+class TestBufferPool:
+    def test_capacity_validated(self):
+        with pytest.raises(CacheError, match="capacity"):
+            BufferPool(0)
+
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert pool.get(1) is None
+        pool.put(1, b"one")
+        assert pool.get(1) == b"one"
+        assert (pool.hits, pool.misses) == (1, 1)
+        assert pool.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.put(1, b"a")
+        pool.put(2, b"b")
+        pool.get(1)  # touch: 2 is now the oldest
+        pool.put(3, b"c")
+        assert 2 not in pool
+        assert pool.pages() == [1, 3]
+        assert pool.evictions == 1
+
+    def test_put_refresh_renews_recency(self):
+        pool = BufferPool(2)
+        pool.put(1, b"a")
+        pool.put(2, b"b")
+        pool.put(1, b"a2")  # refresh, no eviction
+        pool.put(3, b"c")
+        assert pool.pages() == [1, 3]
+        assert pool.get(1) == b"a2"
+
+    def test_pinned_pages_survive_pressure(self):
+        pool = BufferPool(2)
+        pool.put(1, b"a")
+        pool.put(2, b"b")
+        pool.pin(1)
+        pool.put(3, b"c")  # must evict 2, not pinned 1
+        assert 1 in pool and 2 not in pool and 3 in pool
+
+    def test_full_pool_of_pins_rejects(self):
+        pool = BufferPool(1)
+        pool.put(1, b"a")
+        pool.pin(1)
+        assert not pool.put(2, b"b")
+        assert pool.rejections == 1
+        assert 2 not in pool
+
+    def test_pins_nest(self):
+        pool = BufferPool(1)
+        pool.put(1, b"a")
+        pool.pin(1)
+        pool.pin(1)
+        pool.unpin(1)
+        assert pool.is_pinned(1)
+        pool.unpin(1)
+        assert not pool.is_pinned(1)
+        with pytest.raises(CacheError, match="not pinned"):
+            pool.unpin(1)
+
+    def test_invalidate_ignores_pins(self):
+        pool = BufferPool(2)
+        pool.put(1, b"a")
+        pool.pin(1)
+        assert pool.invalidate(1)
+        assert 1 not in pool
+        assert not pool.invalidate(1)
+
+    def test_clear(self):
+        pool = BufferPool(4)
+        pool.put(1, b"a")
+        pool.put(2, b"b")
+        pool.pin(2)
+        pool.clear()
+        assert len(pool) == 0
+        assert not pool.is_pinned(2)
+
+    def test_metrics_exported(self):
+        obs = Observability()
+        pool = BufferPool(1, obs=obs)
+        pool.put(1, b"a")
+        pool.get(1)
+        pool.get(2)
+        pool.put(2, b"b")
+        counters = obs.metrics
+        assert counters.counter("cache.pool.hits").total() == 1
+        assert counters.counter("cache.pool.misses").total() == 1
+        assert counters.counter("cache.pool.evictions").total() == 1
+        assert counters.gauge("cache.pool.hit_ratio").value() == 0.5
+        histogram = counters.histogram(
+            "cache.pool.occupancy_bytes_distribution",
+            buckets=OCCUPANCY_BUCKETS,
+        )
+        assert histogram.count() == 2
+
+
+class TestPageStoreWiring:
+    def make(self, pool_pages=4, page_size=16, checksums=True):
+        obs = Observability()
+        pool = BufferPool(pool_pages)
+        store = PageStore(MemoryPager(page_size=page_size),
+                          checksums=checksums, buffer_pool=pool, obs=obs)
+        return store, pool, obs
+
+    def test_warm_read_skips_pager(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"d" * 16)
+        first = store.read(page)
+        second = store.read(page)
+        assert first == second == b"d" * 16
+        counters = obs.metrics
+        assert counters.counter("blob.page.reads").total() == 2
+        assert counters.counter("blob.page.pager_reads").total() == 1
+        assert counters.counter("blob.page.cache_hits").total() == 1
+
+    def test_warm_read_skips_checksum_verification(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"d" * 16)
+        store.read(page)
+        store.read(page)
+        # One verification (the fill); the hit serves verified bytes.
+        assert obs.metrics.counter(
+            "blob.page.checksum_verifications"
+        ).total() == 1
+
+    def test_write_through_full_page_refreshes_cache(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"a" * 16)
+        store.read(page)  # fill
+        store.write(page, b"b" * 16)  # refresh in place
+        assert store.read(page) == b"b" * 16
+        # Second read is still a hit: the refreshed copy is current.
+        assert obs.metrics.counter("blob.page.pager_reads").total() == 1
+
+    def test_write_through_partial_write_invalidates(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"a" * 16)
+        store.read(page)  # fill
+        store.write(page, b"XY", offset=3)  # partial: drop cached copy
+        assert page not in pool
+        assert store.read(page) == b"aaaXYaaaaaaaaaaa"
+
+    def test_free_invalidates(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"a" * 16)
+        store.read(page)
+        store.free(page)
+        assert page not in pool
+
+    def test_reuse_never_serves_stale_bytes(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"a" * 16)
+        store.read(page)  # cached
+        store.free(page)
+        again = store.allocate()
+        assert again == page
+        assert store.read(again) == bytes(16)
+
+    def test_unverified_read_not_cached(self):
+        store, pool, obs = self.make()
+        page = store.allocate()
+        store.write(page, b"a" * 16)
+        store.read(page, verify=False)
+        assert page not in pool
+        store.read(page)
+        assert page in pool
+
+    def test_uncached_store_unchanged(self):
+        obs = Observability()
+        store = PageStore(MemoryPager(page_size=16), obs=obs)
+        page = store.allocate()
+        store.read(page)
+        store.read(page)
+        counters = obs.metrics
+        assert counters.counter("blob.page.pager_reads").total() == 2
+        assert counters.counter("blob.page.cache_hits").total() == 0
+
+
+class TestWarmReplaySmoke:
+    """Tier-1-safe smoke check: a warm replay of the same byte span
+    performs strictly fewer pager reads than the cold pass."""
+
+    def test_warm_blob_replay_reads_fewer_pages(self):
+        obs = Observability()
+        pool = BufferPool(64)
+        store = PageStore(MemoryPager(page_size=64), checksums=True,
+                          buffer_pool=pool, obs=obs)
+        blob = PagedBlob(store)
+        blob.append(bytes(range(256)) * 8)  # 2 KiB over 32 pages
+        pager_reads = obs.metrics.counter("blob.page.pager_reads")
+
+        def replay() -> int:
+            before = pager_reads.total()
+            blob.read(0, len(blob))
+            return pager_reads.total() - before
+
+        cold = replay()
+        warm = replay()
+        assert warm < cold
+        assert warm == 0  # pool is large enough to hold the whole blob
+        assert pool.hits > 0

@@ -71,3 +71,34 @@ class TestDeterminism:
             return to_json_lines(obs)
 
         assert clean_export() == clean_export()
+
+    def test_cached_runs_export_byte_identically(self):
+        """The caching layer honors the contract too: with a buffer
+        pool under the page store and a derivation cache on the server,
+        hit/miss/eviction metrics replay byte-identically."""
+        from repro.blob.blob import PagedBlob
+        from repro.blob.pages import MemoryPager, PageStore
+        from repro.cache import BufferPool, DerivationCache
+
+        def cached_export():
+            obs = Observability()
+            pool = BufferPool(32, obs=obs)
+            store = PageStore(MemoryPager(page_size=512), checksums=True,
+                              buffer_pool=pool, obs=obs)
+            title = Recorder(PagedBlob(store)).record(
+                [video_object(frames.scene(32, 24, 12, "pan"), "feature")],
+            )
+            cache = DerivationCache(budget_bytes=1 << 20, obs=obs)
+            server = VodServer(bandwidth=2_000_000, prefetch_depth=8,
+                               derivation_cache=cache, obs=obs)
+            server.publish("feature", title)
+            server.prefetch("feature")
+            server.serve([("c0", "feature"), ("c1", "feature")])
+            server.prefetch("feature")
+            return to_json_lines(obs)
+
+        first = cached_export()
+        second = cached_export()
+        assert first == second
+        assert "cache.pool.hits" in first
+        assert "vod.prefetch" in first

@@ -1,0 +1,104 @@
+"""Property-based tests on the cache layer.
+
+Two invariants carry the whole design:
+
+* **Transparency** — a pool-backed :class:`PageStore` is observationally
+  identical to a bare one under any interleaving of allocate / free /
+  write / read operations. The cache may change *how many* pager reads
+  happen, never *what bytes* come back or *which errors* are raised.
+* **Determinism** — the pool's eviction order, hit counts and final
+  contents are a pure function of the operation sequence, so two
+  identical runs agree exactly (the obs determinism contract depends
+  on this).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blob.pages import MemoryPager, PageStore
+from repro.cache import BufferPool
+from repro.errors import BlobError
+
+
+PAGE_SIZE = 16
+
+#: One storage operation: (kind, argument). Page numbers and free
+#: targets are drawn small so interleavings collide with the free list
+#: and with out-of-range pages often.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("allocate"), st.just(0)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("write"),
+                  st.tuples(st.integers(min_value=0, max_value=7),
+                            st.binary(min_size=0, max_size=PAGE_SIZE))),
+        st.tuples(st.just("read"), st.integers(min_value=0, max_value=7)),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def run(store: PageStore, ops) -> list:
+    """Apply ``ops``, recording every observable outcome (bytes read,
+    allocation results, error types) in order."""
+    trace: list = []
+    for kind, arg in ops:
+        try:
+            if kind == "allocate":
+                trace.append(("allocated", store.allocate()))
+            elif kind == "free":
+                store.free(arg)
+                trace.append(("freed", arg))
+            elif kind == "write":
+                page, data = arg
+                store.write(page, data)
+                trace.append(("wrote", page, len(data)))
+            else:
+                trace.append(("read", arg, store.read(arg)))
+        except BlobError as exc:
+            trace.append(("error", kind, type(exc).__name__))
+    return trace
+
+
+class TestPoolTransparency:
+    @given(ops=operations,
+           capacity=st.integers(min_value=1, max_value=8),
+           checksums=st.booleans())
+    @settings(max_examples=60)
+    def test_pooled_store_observationally_identical(self, ops, capacity,
+                                                    checksums):
+        bare = PageStore(MemoryPager(page_size=PAGE_SIZE),
+                         checksums=checksums)
+        pooled = PageStore(MemoryPager(page_size=PAGE_SIZE),
+                           checksums=checksums,
+                           buffer_pool=BufferPool(capacity))
+        assert run(bare, ops) == run(pooled, ops)
+
+    @given(ops=operations, capacity=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_pool_never_overflows_or_serves_stale(self, ops, capacity):
+        pool = BufferPool(capacity)
+        store = PageStore(MemoryPager(page_size=PAGE_SIZE),
+                          checksums=True, buffer_pool=pool)
+        run(store, ops)
+        assert len(pool) <= capacity
+        # Every resident page mirrors the pager exactly (no staleness).
+        for page_no in pool.pages():
+            assert pool.get(page_no) == store.pager.read_page(page_no)
+
+
+class TestPoolDeterminism:
+    @given(ops=operations, capacity=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60)
+    def test_same_sequence_same_pool_state(self, ops, capacity):
+        """Eviction order, counters and contents replay identically."""
+
+        def final_state():
+            pool = BufferPool(capacity)
+            store = PageStore(MemoryPager(page_size=PAGE_SIZE),
+                              buffer_pool=pool)
+            run(store, ops)
+            return (pool.pages(), pool.stats(),
+                    [pool.get(p) for p in pool.pages()])
+
+        assert final_state() == final_state()
