@@ -65,18 +65,30 @@ from repro.engine import (
     PrefetchReport,
     Recorder,
     RetryPolicy,
+    ServerHealth,
     ServerReport,
     VodServer,
     measure_sync,
 )
 from repro.faults import FaultPlan, FaultyPager
 from repro.obs import (
+    Event,
+    FlightRecorder,
     Instrumented,
     LogicalClock,
     MetricsRegistry,
     NullObservability,
     Observability,
+    PipelineProfile,
+    Severity,
+    Slo,
+    SloPolicy,
+    SloVerdict,
     Tracer,
+    default_slo_policy,
+    profile_stages,
+    self_time_breakdown,
+    to_chrome_trace,
     to_json_lines,
     to_table,
 )
@@ -136,6 +148,7 @@ __all__ = [
     "Recorder",
     "MediaClock",
     "VodServer",
+    "ServerHealth",
     "ServerReport",
     "measure_sync",
     # faults
@@ -148,6 +161,17 @@ __all__ = [
     "Tracer",
     "LogicalClock",
     "Instrumented",
+    "FlightRecorder",
+    "Event",
+    "Severity",
+    "Slo",
+    "SloPolicy",
+    "SloVerdict",
+    "default_slo_policy",
+    "PipelineProfile",
+    "profile_stages",
+    "self_time_breakdown",
+    "to_chrome_trace",
     "to_json_lines",
     "to_table",
     # query

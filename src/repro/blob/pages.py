@@ -17,6 +17,7 @@ import zlib
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import BlobCorruptionError, BlobError
+from repro.obs.events import Severity
 from repro.obs.instrument import Instrumented, Observability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -253,6 +254,10 @@ class PageStore(Instrumented):
                 metrics.counter("blob.page.checksum_verifications").inc()
                 if zlib.crc32(data) != expected:
                     metrics.counter("blob.page.checksum_failures").inc()
+                    self._obs.events.record(
+                        Severity.ERROR, "blob.pages", "checksum.failure",
+                        page=page_no,
+                    )
                     raise BlobCorruptionError(
                         f"page {page_no} failed checksum verification"
                     )

@@ -43,6 +43,7 @@ from repro.core.media_object import (
 )
 from repro.engine.player import CostModel
 from repro.errors import CacheError
+from repro.obs.events import Severity
 from repro.obs.instrument import Instrumented, Observability
 
 #: Fixed per-entry size histogram boundaries (bytes).
@@ -261,6 +262,10 @@ class DerivationCache(Instrumented):
         self._obs.metrics.counter("cache.derivation.rejections").inc(
             derivation=kind, reason=reason,
         )
+        self._obs.events.record(
+            Severity.WARNING, "cache.derivation", "put.rejected",
+            derivation=kind, reason=reason,
+        )
         return False
 
     def _plan_evictions(self, need: int, density: float) -> list[str] | None:
@@ -287,6 +292,10 @@ class DerivationCache(Instrumented):
         self._occupancy -= entry.size
         self.evictions += 1
         self._obs.metrics.counter("cache.derivation.evictions").inc()
+        self._obs.events.record(
+            Severity.DEBUG, "cache.derivation", "entry.evicted",
+            key=key, bytes=entry.size,
+        )
 
     def _observe_occupancy(self) -> None:
         metrics = self._obs.metrics

@@ -35,6 +35,7 @@ byte-occupancy histogram.
 from __future__ import annotations
 
 from repro.errors import CacheError
+from repro.obs.events import Severity
 from repro.obs.instrument import Instrumented, Observability
 
 #: Fixed byte-occupancy histogram boundaries: page-ish through tens of
@@ -137,10 +138,18 @@ class BufferPool(Instrumented):
             if victim is None:
                 self.rejections += 1
                 self._obs.metrics.counter("cache.pool.rejections").inc()
+                self._obs.events.record(
+                    Severity.WARNING, "cache.pool", "put.rejected",
+                    page=page_no, pinned=len(self._pins),
+                )
                 return False
             del self._pages[victim]
             self.evictions += 1
             self._obs.metrics.counter("cache.pool.evictions").inc()
+            self._obs.events.record(
+                Severity.DEBUG, "cache.pool", "page.evicted",
+                page=victim, for_page=page_no,
+            )
         self._pages[page_no] = data
         self._observe_occupancy()
         return True

@@ -31,7 +31,7 @@ from repro.engine.player import (
 from repro.engine.recorder import Recorder
 from repro.engine.sync import SyncReport, measure_sync
 from repro.engine.resources import ExpansionDecision, ResourceModel
-from repro.engine.vod import ServerReport, Session, VodServer
+from repro.engine.vod import ServerHealth, ServerReport, Session, VodServer
 from repro.engine.activities import ActivityGraph, Consumer, Producer, Transform, pipeline
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "measure_sync",
     "ExpansionDecision",
     "ResourceModel",
+    "ServerHealth",
     "ServerReport",
     "Session",
     "VodServer",

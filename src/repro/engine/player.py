@@ -28,7 +28,10 @@ from repro.core.rational import Rational, as_rational
 from repro.engine.buffers import simulate_prefetch
 from repro.errors import EngineError, PlaybackAbortError
 from repro.faults.plan import FaultPlan
+from repro.obs.events import Severity
 from repro.obs.instrument import NULL_OBS, Observability
+from repro.obs.profile import STAGE_BUCKETS, STAGE_METRIC
+from repro.obs.slo import SloPolicy, SloVerdict, default_slo_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.derivations import DerivationCache
@@ -89,6 +92,26 @@ class CostModel:
         if self.decode_rate:
             cost += Rational(size) / self.decode_rate
         return cost
+
+    def cost_breakdown(self, size: int, contiguous: bool,
+                       bandwidth_factor: Rational | None = None,
+                       ) -> tuple[Rational, Rational]:
+        """``element_cost`` split for stage attribution.
+
+        Returns ``(read_seconds, decode_seconds)`` where the read term
+        is seek + transfer; their sum equals :meth:`element_cost` for
+        the same arguments — the profiler never invents time the engine
+        didn't charge.
+        """
+        bandwidth = self.bandwidth
+        if bandwidth_factor is not None and bandwidth_factor != 1:
+            bandwidth = bandwidth * bandwidth_factor
+        read = Rational(size) / bandwidth
+        if not contiguous:
+            read += self.seek_time
+        decode = (Rational(size) / self.decode_rate if self.decode_rate
+                  else Rational(0))
+        return read, decode
 
     def replace(self, **overrides) -> "CostModel":
         """A copy with ``overrides`` applied (and re-validated)."""
@@ -246,6 +269,18 @@ class PlaybackReport:
     #: Metric snapshot captured at report time when the player ran with
     #: an observability sink (``Player(obs=...)``); None otherwise.
     metrics: dict | None = None
+    #: Per-session SLO verdicts, populated when the player ran with an
+    #: SLO policy (explicit ``slo_policy=`` or the default policy under
+    #: an observability sink).
+    slo: list[SloVerdict] = field(default_factory=list)
+
+    def slo_ok(self) -> bool:
+        """Did this session meet every evaluated SLO? (Vacuously true
+        when no policy ran.)"""
+        return all(v.ok for v in self.slo)
+
+    def slo_violations(self) -> list[SloVerdict]:
+        return [v for v in self.slo if not v.ok]
 
     def stream_lateness(self, prefix: str) -> tuple[list[Rational], list[Rational]]:
         """(lateness, deadlines) of reads of the sequence named ``prefix``.
@@ -280,6 +315,12 @@ class PlaybackReport:
                 f"({self.glitches} glitches), delivered quality "
                 f"{float(self.delivered_quality):.0%}"
             )
+        if self.slo:
+            violated = self.slo_violations()
+            met = len(self.slo) - len(violated)
+            text += f"; SLO {met}/{len(self.slo)} met"
+            if violated:
+                text += " (" + ", ".join(v.slo for v in violated) + " violated)"
         if self.metrics:
             text += "\n  " + self.metrics_summary()
         return text
@@ -315,7 +356,8 @@ class Player:
                  retry_policy: RetryPolicy | None = None,
                  adaptation: AdaptationPolicy | None = None,
                  derivation_cache: "DerivationCache | None" = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 slo_policy: SloPolicy | None = None):
         """``rate`` is the playback rate: 2 plays double speed (deadlines
         arrive twice as fast, so the storage system must sustain twice
         the data rate); rates in (0, 1) play slow motion. Reverse
@@ -334,9 +376,15 @@ class Player:
         the same composition stops recomputing its derived objects.
 
         ``obs`` attaches an observability sink: counters and lateness
-        histograms per run, and retry/glitch/adaptation spans stamped
-        with the *simulated* clock, so traces are bit-identical for
-        identical runs.
+        histograms per run, retry/glitch/adaptation spans and
+        flight-recorder events stamped with the *simulated* clock, and
+        per-stage time attribution into ``pipeline.stage_seconds`` —
+        all bit-identical for identical runs.
+
+        ``slo_policy`` evaluates service-level objectives against every
+        report; with an observability sink but no explicit policy the
+        stock :func:`~repro.obs.slo.default_slo_policy` runs, and every
+        non-OK verdict lands in the flight recorder.
         """
         self.cost_model = cost_model or CostModel()
         if prefetch_depth < 1:
@@ -350,6 +398,7 @@ class Player:
         self.adaptation = adaptation
         self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
+        self.slo_policy = slo_policy
 
     # -- planning -------------------------------------------------------------
 
@@ -391,15 +440,32 @@ class Player:
         through the player's :class:`DerivationCache` when one is
         attached, so replanning the same composition is a cache hit.
         """
+        instrumented = self.obs.enabled
+        stage_hist = self._stage_histogram() if instrumented else None
         reads: list[_PlannedRead] = []
         synthetic_offset = 0
         for label, obj, interval in multimedia.flatten():
             if not obj.media_type.kind.is_time_based:
                 continue
             if self.derivation_cache is not None and obj.is_derived:
+                cached = obj in self.derivation_cache
                 stream = self.derivation_cache.materialize(obj).stream()
             else:
+                cached = obj.is_derived and obj.is_materialized
                 stream = obj.stream()
+            if stage_hist is not None:
+                # Composition itself is pointer arithmetic (§5): count
+                # the component, charge zero simulated time.
+                stage_hist.observe(0.0, stage="compose")
+                if obj.is_derived:
+                    estimate = 0.0 if cached else self._expand_cost_estimate(
+                        obj, stream.total_size()
+                    )
+                    stage_hist.observe(estimate, stage="derivation_expand")
+                    self.obs.tracer.event(
+                        "engine.expand", component=label,
+                        cached=cached, cost_seconds=estimate,
+                    )
             for index, t in enumerate(stream):
                 deadline = interval.start + stream.time_system.to_continuous(
                     t.start - stream.start
@@ -413,6 +479,24 @@ class Player:
                 synthetic_offset += t.element.size
         reads.sort(key=lambda r: (r.deadline, r.offset))
         return reads
+
+    def _stage_histogram(self):
+        """The shared per-stage attribution histogram (instrumented only)."""
+        return self.obs.metrics.histogram(STAGE_METRIC, buckets=STAGE_BUCKETS)
+
+    def _expand_cost_estimate(self, obj, expanded_size: int) -> float:
+        """CostModel seconds to materialize a derived component: one
+        non-contiguous read of the inputs' bytes plus the expanded
+        bytes — the same estimate the derivation cache prices benefit
+        with."""
+        from repro.cache.derivations import object_bytes
+
+        input_bytes = sum(
+            object_bytes(inp) for inp in obj.derivation_object.inputs
+        )
+        return float(self.cost_model.element_cost(
+            input_bytes + expanded_size, contiguous=False,
+        ))
 
     # -- playback -------------------------------------------------------------
 
@@ -463,6 +547,7 @@ class Player:
             )
         if self.fault_plan is not None:
             return self._run_faulted(reads)
+        stage_hist = self._stage_histogram() if self.obs.enabled else None
         production = []
         clock = Rational(0)
         cursor: int | None = None
@@ -471,7 +556,16 @@ class Player:
             contiguous = cursor is not None and read.offset == cursor
             if cursor is not None and not contiguous:
                 seeks += 1
-            clock += self.cost_model.element_cost(read.size, contiguous)
+            if stage_hist is None:
+                clock += self.cost_model.element_cost(read.size, contiguous)
+            else:
+                read_cost, decode_cost = self.cost_model.cost_breakdown(
+                    read.size, contiguous
+                )
+                stage_hist.observe(float(read_cost), stage="page_read")
+                if decode_cost:
+                    stage_hist.observe(float(decode_cost), stage="decode")
+                clock += read_cost + decode_cost
             production.append(clock)
             cursor = read.offset + read.size
         first_deadline = reads[0].deadline
@@ -505,6 +599,7 @@ class Player:
                 for read, deadline, late in zip(reads, deadlines, lateness)
             ],
         )
+        self._evaluate_slo(report, at=clock)
         if self.obs.enabled:
             self.obs.tracer.record(
                 "engine.play", Rational(0), clock,
@@ -533,12 +628,49 @@ class Player:
         metrics.gauge("engine.play.buffer_high_water").set_max(
             prefetch.high_water
         )
+        stage_hist = self._stage_histogram()
+        stage_hist.observe(float(prefetch.startup_delay), stage="deliver")
         lateness = metrics.histogram(
             "engine.play.lateness_seconds", buckets=LATENESS_BUCKETS
         )
-        for label, _, late in report.per_read:
+        for label, deadline, late in report.per_read:
             lateness.observe(float(late), sequence=label.split("[", 1)[0])
+            if late > 0:
+                self.obs.events.record(
+                    Severity.WARNING, "engine.player", "deadline.miss",
+                    at=prefetch.startup_delay + deadline + late,
+                    element=label, late_seconds=float(late),
+                )
         report.metrics = metrics.snapshot()
+
+    def _evaluate_slo(self, report: PlaybackReport, at: Rational) -> None:
+        """Attach SLO verdicts to the report and alert on burn.
+
+        Uses the explicit ``slo_policy`` when one was given, else the
+        stock policy whenever the player is instrumented. Every non-OK
+        or budget-burning verdict lands in the flight recorder stamped
+        with the run's simulated end time.
+        """
+        policy = self.slo_policy
+        if policy is None and self.obs.enabled:
+            policy = default_slo_policy()
+        if policy is None:
+            return
+        report.slo = policy.evaluate_report(report)
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        for verdict in report.slo:
+            metrics.counter("slo.evaluations").inc(slo=verdict.slo)
+            if not verdict.ok:
+                metrics.counter("slo.violations").inc(slo=verdict.slo)
+            if verdict.severity >= Severity.WARNING:
+                self.obs.events.record(
+                    verdict.severity, "engine.slo",
+                    "slo.violation" if not verdict.ok else "slo.burn",
+                    at=at, slo=verdict.slo, measured=verdict.measured,
+                    threshold=verdict.threshold, burn=verdict.burn,
+                )
 
     # -- faulted playback ---------------------------------------------------------
 
@@ -558,7 +690,10 @@ class Player:
         plan = self.fault_plan
         policy = self.retry_policy
         adaptation = self.adaptation
-        tracer = self.obs.tracer if self.obs.enabled else None
+        instrumented = self.obs.enabled
+        tracer = self.obs.tracer if instrumented else None
+        events = self.obs.events if instrumented else None
+        stage_hist = self._stage_histogram() if instrumented else None
         clock = Rational(0)
         cursor: int | None = None
         seeks = 0
@@ -586,17 +721,30 @@ class Player:
                     math.ceil(Rational(read.size) * adaptation.fraction(level)),
                 )
                 delivered_share = Rational(level + 1, adaptation.levels)
-                if tracer is not None and level < adaptation.levels - 1:
+                if instrumented and level < adaptation.levels - 1:
                     tracer.event(
                         "engine.adaptation", at=clock, element=read.label,
                         level=level, bytes=size,
                     )
+                    events.record(
+                        Severity.INFO, "engine.player", "quality.adapted",
+                        at=clock, element=read.label, level=level,
+                        bytes=size,
+                    )
             contiguous = cursor is not None and read.offset == cursor
             if cursor is not None and not contiguous:
                 seeks += 1
-            attempt_cost = self.cost_model.element_cost(
-                size, contiguous, bandwidth_factor=factor
-            ) + latency
+            if stage_hist is None:
+                attempt_cost = self.cost_model.element_cost(
+                    size, contiguous, bandwidth_factor=factor
+                ) + latency
+                read_part = decode_part = Rational(0)
+            else:
+                read_part, decode_part = self.cost_model.cost_breakdown(
+                    size, contiguous, bandwidth_factor=factor
+                )
+                read_part += latency
+                attempt_cost = read_part + decode_part
             cursor = read.offset + size
 
             pages = plan.pages_of(read.offset, size)
@@ -612,16 +760,22 @@ class Player:
                 if not in_glitch:
                     glitches += 1
                 in_glitch = True
-                if tracer is not None:
+                if instrumented:
+                    stage_hist.observe(float(attempt_cost), stage="deliver")
                     tracer.record(
                         "engine.glitch", probe_start, clock,
                         element=read.label, reason="bad_page",
+                    )
+                    events.record(
+                        Severity.ERROR, "engine.player", "element.skipped",
+                        at=clock, element=read.label, reason="bad_page",
                     )
                 continue
 
             success = False
             for attempt in range(policy.max_retries + 1):
                 failed = False
+                fault_kind = None
                 for page_no in pages:
                     visit = visits[page_no]
                     visits[page_no] += 1
@@ -633,30 +787,51 @@ class Player:
                             kind="transient"
                         )
                         failed = True
+                        fault_kind = "transient"
                         break
                     if plan.is_corrupted(page_no, visit):
                         self.obs.metrics.counter("faults.injected").inc(
                             kind="corrupted"
                         )
                         failed = True
+                        fault_kind = "corrupted"
                         break
                 attempt_start = clock
                 clock += attempt_cost
                 if not failed:
                     success = True
+                    if stage_hist is not None:
+                        stage_hist.observe(float(read_part),
+                                           stage="page_read")
+                        if decode_part:
+                            stage_hist.observe(float(decode_part),
+                                               stage="decode")
                     break
                 if attempt < policy.max_retries:
                     clock += policy.backoff_cost(attempt)
                     retries += 1
-                    if tracer is not None:
+                    if instrumented:
+                        stage_hist.observe(float(clock - attempt_start),
+                                           stage="deliver")
                         tracer.record(
                             "engine.retry", attempt_start, clock,
                             element=read.label, attempt=attempt,
                         )
-                elif tracer is not None:
+                        events.record(
+                            Severity.WARNING, "engine.player", "read.retry",
+                            at=clock, element=read.label, attempt=attempt,
+                            fault=fault_kind,
+                        )
+                elif instrumented:
+                    stage_hist.observe(float(attempt_cost), stage="deliver")
                     tracer.record(
                         "engine.glitch", attempt_start, clock,
                         element=read.label, reason="retries_exhausted",
+                    )
+                    events.record(
+                        Severity.ERROR, "engine.player", "element.skipped",
+                        at=clock, element=read.label,
+                        reason="retries_exhausted", fault=fault_kind,
                     )
 
             if success:
@@ -674,6 +849,11 @@ class Player:
         if (policy.abort_skip_fraction is not None
                 and skipped > policy.abort_skip_fraction * len(reads)):
             self.obs.metrics.counter("engine.play.aborts").inc()
+            if instrumented:
+                events.record(
+                    Severity.CRITICAL, "engine.player", "playback.aborted",
+                    at=clock, skipped=skipped, elements=len(reads),
+                )
             raise PlaybackAbortError(
                 f"skipped {skipped}/{len(reads)} elements, beyond the "
                 f"policy's tolerance of {policy.abort_skip_fraction:.0%}"
@@ -722,6 +902,7 @@ class Player:
             glitches=glitches,
             delivered_quality=delivered_quality,
         )
+        self._evaluate_slo(report, at=clock)
         if self.obs.enabled:
             self.obs.tracer.record(
                 "engine.play", Rational(0), clock,

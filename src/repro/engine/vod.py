@@ -30,7 +30,10 @@ from repro.engine.player import (
 )
 from repro.errors import EngineError, MediaModelError, ResourceError
 from repro.faults.plan import FaultPlan
+from repro.obs.events import Severity
 from repro.obs.instrument import NULL_OBS, Observability
+from repro.obs.profile import profile_stages
+from repro.obs.slo import SloVerdict, worst_verdicts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.derivations import DerivationCache
@@ -95,12 +98,87 @@ class ServerReport:
         return len(self.failed)
 
     def mean_delivered_quality(self) -> float:
+        """Mean delivered quality over admitted sessions.
+
+        A batch with nobody admitted delivered nothing: 0.0, not a
+        vacuous 1.0 (and never an exception) — capacity sweeps divide
+        by this without special-casing the overloaded end.
+        """
         if not self.admitted:
-            return 1.0
+            return 0.0
         total = sum(
             float(s.report.delivered_quality) for s in self.admitted
         )
         return total / len(self.admitted)
+
+
+@dataclass(frozen=True)
+class ServerHealth:
+    """Point-in-time serving health, aggregated over every ``serve``.
+
+    ``status`` is ``"ok"``, ``"degraded"`` (underruns, degraded or
+    rejected sessions, or a violated SLO) or ``"critical"`` (failed
+    sessions or an SLO burning past its critical rate). ``slo`` holds
+    the worst verdict per objective across all sessions;
+    ``recent_critical`` is the tail of ERROR-and-above flight-recorder
+    events, newest last.
+    """
+
+    status: str
+    sessions: int
+    clean: int
+    underrun: int
+    degraded: int
+    failed: int
+    rejected: int
+    slo: tuple[SloVerdict, ...]
+    cache_hit_ratios: dict[str, float]
+    dominant_stage: str | None
+    recent_critical: tuple[dict, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def export(self) -> dict:
+        return {
+            "status": self.status,
+            "sessions": self.sessions,
+            "clean": self.clean,
+            "underrun": self.underrun,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "slo": [v.export() for v in self.slo],
+            "cache_hit_ratios": {
+                name: self.cache_hit_ratios[name]
+                for name in sorted(self.cache_hit_ratios)
+            },
+            "dominant_stage": self.dominant_stage,
+            "recent_critical": list(self.recent_critical),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"status: {self.status}",
+            f"sessions: {self.sessions} ({self.clean} clean, "
+            f"{self.underrun} underrun, {self.degraded} degraded, "
+            f"{self.failed} failed, {self.rejected} rejected)",
+        ]
+        for verdict in self.slo:
+            lines.append(f"slo {verdict.summary()}")
+        for name in sorted(self.cache_hit_ratios):
+            lines.append(
+                f"cache {name}: hit ratio {self.cache_hit_ratios[name]:.1%}"
+            )
+        if self.dominant_stage is not None:
+            lines.append(f"dominant stage: {self.dominant_stage}")
+        for event in self.recent_critical:
+            lines.append(
+                f"event [{event['severity']}] {event['component']} "
+                f"{event['name']} at={event['at']}"
+            )
+        return "\n".join(lines)
 
 
 class VodServer:
@@ -127,6 +205,7 @@ class VodServer:
         self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
         self._titles: dict[str, Interpretation] = {}
+        self._reports: list[ServerReport] = []
 
     # -- catalog ---------------------------------------------------------------
 
@@ -256,6 +335,10 @@ class VodServer:
                     except MediaModelError:
                         metrics.counter("vod.fallbacks").inc()
                         span.set(outcome="fallback")
+                        self.obs.events.record(
+                            Severity.WARNING, "vod.server",
+                            "session.fallback", client=client, title=title,
+                        )
                         session = self._serve_degraded(
                             client, title, share, fault_plan, retry_policy,
                             adaptation, failed,
@@ -267,13 +350,15 @@ class VodServer:
                     sessions.append(Session(client, title, report))
         else:
             share = 0
-        return ServerReport(
+        report = ServerReport(
             admitted=sessions,
             rejected=rejected,
             bandwidth=self.bandwidth,
             per_client_bandwidth=share,
             failed=failed,
         )
+        self._reports.append(report)
+        return report
 
     def _serve_degraded(self, client: str, title: str, share: int,
                         fault_plan: FaultPlan | None,
@@ -309,8 +394,69 @@ class VodServer:
         except MediaModelError as exc:
             failed.append((client, title, str(exc)))
             self.obs.metrics.counter("vod.failed").inc()
+            self.obs.events.record(
+                Severity.CRITICAL, "vod.server", "session.failed",
+                client=client, title=title, reason=str(exc),
+            )
             return None
         return Session(client, title, report, degraded=True)
+
+    # -- health ------------------------------------------------------------------
+
+    def health(self) -> ServerHealth:
+        """The server's aggregate health across every ``serve`` so far.
+
+        Folds all session outcomes, the worst SLO verdict per
+        objective, cache hit ratios (derivation cache directly, buffer
+        pool via its exported gauge), the pipeline's dominant stage and
+        the tail of ERROR-and-above flight-recorder events into one
+        :class:`ServerHealth`. A pure function of the recorded state —
+        same-seed runs report identical health.
+        """
+        reports = self._reports
+        sessions = sum(r.admitted_count for r in reports)
+        clean = sum(r.clean_sessions() for r in reports)
+        underrun = sum(r.underrun_sessions() for r in reports)
+        degraded = sum(r.degraded_sessions() for r in reports)
+        failed = sum(r.failed_sessions() for r in reports)
+        rejected = sum(len(r.rejected) for r in reports)
+        slo = tuple(worst_verdicts(
+            s.report.slo for r in reports for s in r.admitted
+        ))
+        ratios: dict[str, float] = {}
+        if self.derivation_cache is not None:
+            ratios["derivation"] = self.derivation_cache.hit_ratio
+        if self.obs.enabled and "cache.pool.hit_ratio" in self.obs.metrics:
+            pool_ratio = self.obs.metrics.get("cache.pool.hit_ratio").value()
+            if pool_ratio is not None:
+                ratios["pool"] = pool_ratio
+        recent = tuple(
+            event.export()
+            for event in self.obs.events.recent(
+                10, min_severity=Severity.ERROR
+            )
+        )
+        if failed or any(
+                v.severity >= Severity.CRITICAL for v in slo):
+            status = "critical"
+        elif (degraded or underrun or rejected
+                or any(not v.ok for v in slo)):
+            status = "degraded"
+        else:
+            status = "ok"
+        return ServerHealth(
+            status=status,
+            sessions=sessions,
+            clean=clean,
+            underrun=underrun,
+            degraded=degraded,
+            failed=failed,
+            rejected=rejected,
+            slo=slo,
+            cache_hit_ratios=ratios,
+            dominant_stage=profile_stages(self.obs).dominant_stage(),
+            recent_critical=recent,
+        )
 
     def capacity(self, title: str) -> int:
         """How many concurrent sessions of ``title`` the admission test

@@ -16,6 +16,7 @@ from collections import Counter
 
 from repro.faults.plan import FaultPlan
 from repro.errors import BlobCorruptionError, TransientBlobError
+from repro.obs.events import Severity
 from repro.obs.instrument import Instrumented, Observability
 
 
@@ -63,12 +64,20 @@ class FaultyPager(Instrumented):
         if self.plan.is_bad_page(page_no):
             self.fault_counts["bad_page"] += 1
             metrics.counter("faults.injected").inc(kind="bad_page")
+            self._obs.events.record(
+                Severity.ERROR, "faults.pager", "fault.bad_page",
+                page=page_no,
+            )
             raise BlobCorruptionError(
                 f"page {page_no} is permanently unreadable (injected)"
             )
         if self.plan.is_transient(page_no, visit):
             self.fault_counts["transient"] += 1
             metrics.counter("faults.injected").inc(kind="transient")
+            self._obs.events.record(
+                Severity.WARNING, "faults.pager", "fault.transient",
+                page=page_no, visit=visit,
+            )
             raise TransientBlobError(
                 f"transient read failure on page {page_no} "
                 f"(visit {visit}, injected)"
@@ -77,6 +86,10 @@ class FaultyPager(Instrumented):
         if self.plan.is_corrupted(page_no, visit):
             self.fault_counts["corrupted"] += 1
             metrics.counter("faults.injected").inc(kind="corrupted")
+            self._obs.events.record(
+                Severity.WARNING, "faults.pager", "fault.corrupted",
+                page=page_no, visit=visit,
+            )
             data = self.plan.corrupt(data, page_no, visit)
         return data
 

@@ -36,18 +36,46 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.tracing import LogicalClock, Span, Tracer
+from repro.obs.events import (
+    DEFAULT_EVENT_CAPACITY,
+    Event,
+    FlightRecorder,
+    Severity,
+)
 from repro.obs.instrument import (
     NULL_OBS,
     Instrumented,
     NullObservability,
     Observability,
 )
+from repro.obs.slo import (
+    Slo,
+    SloPolicy,
+    SloVerdict,
+    default_slo_policy,
+    report_measurements,
+    worst_verdicts,
+)
+from repro.obs.profile import (
+    STAGE_BUCKETS,
+    STAGE_METRIC,
+    STAGES,
+    PipelineProfile,
+    SpanSelfTime,
+    StageStats,
+    profile_stages,
+    self_time_breakdown,
+    self_time_table,
+)
 from repro.obs.export import (
+    events_to_table,
     metrics_rows,
     spans_to_table,
+    to_chrome_trace,
     to_dict,
     to_json_lines,
     to_table,
+    trace_events,
 )
 
 __all__ = [
@@ -59,13 +87,35 @@ __all__ = [
     "LogicalClock",
     "Span",
     "Tracer",
+    "DEFAULT_EVENT_CAPACITY",
+    "Event",
+    "FlightRecorder",
+    "Severity",
     "NULL_OBS",
     "Instrumented",
     "NullObservability",
     "Observability",
+    "Slo",
+    "SloPolicy",
+    "SloVerdict",
+    "default_slo_policy",
+    "report_measurements",
+    "worst_verdicts",
+    "STAGE_BUCKETS",
+    "STAGE_METRIC",
+    "STAGES",
+    "PipelineProfile",
+    "SpanSelfTime",
+    "StageStats",
+    "profile_stages",
+    "self_time_breakdown",
+    "self_time_table",
+    "events_to_table",
     "metrics_rows",
     "spans_to_table",
+    "to_chrome_trace",
     "to_dict",
     "to_json_lines",
     "to_table",
+    "trace_events",
 ]

@@ -1,0 +1,172 @@
+"""A deterministic, bounded flight recorder of structured events.
+
+Metrics say *how often* and spans say *how long*; the flight recorder
+says *what happened, in order* — every fault, retry, eviction,
+degradation and deadline miss, as a structured :class:`Event` with a
+severity, a timestamp from the same simulated/logical time sources the
+tracer uses, the emitting component and free-form attributes.
+
+The buffer is a bounded ring: when full, recording a new event drops
+the oldest one (``dropped`` counts the losses), so the recorder keeps
+the *newest* window of history at a fixed memory cost — the post-hoc
+"what went wrong just before the report" view a long serving run needs.
+
+Determinism contract (same as the rest of :mod:`repro.obs`): sequence
+numbers are assigned in emission order, timestamps come from simulated
+clocks or a private :class:`~repro.obs.tracing.LogicalClock`, never the
+wall clock, and exports iterate in ring order with sorted keys — two
+same-seed runs produce byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import export_value
+from repro.obs.tracing import LogicalClock
+
+#: Default ring capacity: enough for a serving run's interesting tail
+#: without unbounded growth.
+DEFAULT_EVENT_CAPACITY = 1024
+
+
+class Severity(IntEnum):
+    """Event severity, ordered so recorders and views can filter on it."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+    CRITICAL = 50
+
+    @classmethod
+    def coerce(cls, value: "Severity | int | str") -> "Severity":
+        """A :class:`Severity` from an enum member, int level or name."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            raise ObservabilityError(
+                f"unknown severity {value!r}; use one of "
+                f"{', '.join(m.name for m in cls)}"
+            ) from None
+
+
+@dataclass
+class Event:
+    """One recorded occurrence.
+
+    ``seq`` is the global emission index (monotonic even across ring
+    drops); ``at`` is a simulated-clock value or a logical tick,
+    whatever the emitter supplied — the same time contract spans obey.
+    """
+
+    seq: int
+    at: Any
+    severity: Severity
+    component: str
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def export(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "at": export_value(self.at),
+            "severity": self.severity.name,
+            "component": self.component,
+            "name": self.name,
+            "attributes": {
+                key: export_value(self.attributes[key])
+                for key in sorted(self.attributes)
+            },
+        }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`Event` rows.
+
+    ``clock`` (any zero-argument callable) supplies timestamps for
+    events recorded without an explicit ``at``; by default a private
+    :class:`LogicalClock` ticks once per event.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY,
+                 clock: Callable[[], Any] | None = None):
+        if capacity < 1:
+            raise ObservabilityError(
+                f"flight recorder needs capacity >= 1 event, got {capacity}"
+            )
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._logical = LogicalClock()
+        self._clock = clock
+        self._seq = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, severity: Severity | int | str, component: str,
+               name: str, at: Any = None, **attributes: Any) -> Event:
+        """Append an event; a full ring drops its oldest entry."""
+        if at is None:
+            at = self._clock() if self._clock is not None else \
+                self._logical.tick()
+        event = Event(
+            seq=self._seq,
+            at=at,
+            severity=Severity.coerce(severity),
+            component=component,
+            name=name,
+            attributes=attributes,
+        )
+        self._seq += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    def events(self, min_severity: Severity | int | str | None = None,
+               component: str | None = None,
+               name: str | None = None) -> list[Event]:
+        """Retained events in emission order, optionally filtered."""
+        floor = None if min_severity is None else Severity.coerce(min_severity)
+        return [
+            e for e in self._events
+            if (floor is None or e.severity >= floor)
+            and (component is None or e.component == component)
+            and (name is None or e.name == name)
+        ]
+
+    def recent(self, count: int,
+               min_severity: Severity | int | str | None = None) -> list[Event]:
+        """The newest ``count`` events (after severity filtering)."""
+        matched = self.events(min_severity=min_severity)
+        return matched[-count:] if count > 0 else []
+
+    def export(self) -> list[dict[str, Any]]:
+        """Retained events in emission order, each a sorted-key dict."""
+        return [event.export() for event in self._events]
+
+
+def events_rows(events: Iterable[Event]) -> list[tuple]:
+    """Flatten events to ``(seq, at, severity, component, name, attrs)``
+    rows for the benchmark-style table renderers."""
+    rows = []
+    for event in events:
+        attrs = ",".join(
+            f"{k}={export_value(event.attributes[k])}"
+            for k in sorted(event.attributes)
+        )
+        rows.append((
+            event.seq, export_value(event.at), event.severity.name,
+            event.component, event.name, attrs,
+        ))
+    return rows

@@ -18,36 +18,46 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable
 
+from repro.obs.events import DEFAULT_EVENT_CAPACITY, Event, FlightRecorder, Severity
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 
 
 class Observability:
-    """A metrics registry and a tracer, exported together.
+    """A metrics registry, a tracer and a flight recorder, exported
+    together.
 
-    ``clock`` (optional) is handed to the tracer as its time source —
-    pass a simulated clock's ``now`` to put spans on simulated time.
+    ``clock`` (optional) is handed to the tracer and the flight
+    recorder as their time source — pass a simulated clock's ``now`` to
+    put spans and events on simulated time. ``event_capacity`` bounds
+    the flight-recorder ring when no explicit recorder is supplied.
     """
 
     enabled = True
 
     def __init__(self, metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
-                 clock: Callable[[], Any] | None = None):
+                 events: FlightRecorder | None = None,
+                 clock: Callable[[], Any] | None = None,
+                 event_capacity: int = DEFAULT_EVENT_CAPACITY):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        self.events = events if events is not None else FlightRecorder(
+            capacity=event_capacity, clock=clock,
+        )
 
     def snapshot(self) -> dict[str, Any]:
-        """The full nested-dict export: metrics plus spans."""
+        """The full nested-dict export: metrics, spans and events."""
         return {
             "metrics": self.metrics.snapshot(),
             "spans": self.tracer.export(),
+            "events": self.events.export(),
         }
 
     def __repr__(self) -> str:
         return (
             f"Observability({len(self.metrics.names())} metrics, "
-            f"{len(self.tracer)} spans)"
+            f"{len(self.tracer)} spans, {len(self.events)} events)"
         )
 
 
@@ -74,6 +84,12 @@ class _NullMetric:
 
     def count(self, **labels: Any) -> int:
         return 0
+
+    def sum(self, **labels: Any) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        return 0.0
 
 
 _NULL_METRIC = _NullMetric()
@@ -122,14 +138,42 @@ class _NullTracer:
         return []
 
 
+_NULL_EVENT = Event(seq=-1, at=0, severity=Severity.DEBUG,
+                    component="null", name="null")
+
+
+class _NullFlightRecorder:
+    capacity = 0
+    dropped = 0
+
+    def record(self, severity: Any, component: str, name: str,
+               at: Any = None, **attributes: Any) -> Event:
+        return _NULL_EVENT
+
+    def events(self, min_severity: Any = None, component: str | None = None,
+               name: str | None = None) -> list[Event]:
+        return []
+
+    def recent(self, count: int, min_severity: Any = None) -> list[Event]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def export(self) -> list[dict[str, Any]]:
+        return []
+
+
 class NullObservability(Observability):
-    """The disabled sink: shares the metrics/tracer API, records nothing."""
+    """The disabled sink: shares the metrics/tracer/events API, records
+    nothing."""
 
     enabled = False
 
     def __init__(self) -> None:
         self.metrics = _NullMetricsRegistry()  # type: ignore[assignment]
         self.tracer = _NullTracer()  # type: ignore[assignment]
+        self.events = _NullFlightRecorder()  # type: ignore[assignment]
 
 
 #: Shared inert sink; the default for every :class:`Instrumented` object.

@@ -178,6 +178,45 @@ class Histogram(Metric):
             return [0] * (len(self.buckets) + 1)
         return list(series["counts"])
 
+    def sum(self, **labels: Any) -> float:
+        """Running sum of observations for one labeled series (0.0 when
+        the series has never been observed)."""
+        series = self._series.get(_label_key(labels))
+        return series["sum"] if series else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """The ``q``-quantile estimated by linear interpolation within
+        the bucket containing the target rank.
+
+        Deterministic: a pure function of the bucket counts and the
+        declared boundaries. The lower edge of the first bucket is
+        taken as 0.0 (or the boundary itself when it is negative); a
+        rank landing in the overflow bucket returns the last boundary —
+        the histogram cannot see past it. An unobserved series is 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        series = self._series.get(_label_key(labels))
+        if series is None or series["count"] == 0:
+            return 0.0
+        target = q * series["count"]
+        cumulative = 0
+        for index, count in enumerate(series["counts"]):
+            if count == 0:
+                cumulative += count
+                continue
+            if cumulative + count >= target:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                hi = self.buckets[index]
+                lo = self.buckets[index - 1] if index > 0 else min(0.0, hi)
+                fraction = (target - cumulative) / count
+                return lo + fraction * (hi - lo)
+            cumulative += count
+        return self.buckets[-1]
+
     def _export_value(self, key: LabelKey) -> Any:
         series = self._series[key]
         return {

@@ -11,6 +11,15 @@ the playback runs instrumented and the collected metrics are printed
 as a table. With ``--cache PAGES`` the container is replayed through a
 ``PAGES``-page buffer pool (cold pass, then warm pass) and the
 cache-hit accounting is printed.
+
+``--health [CLIENTS]`` serves the container to CLIENTS concurrent
+sessions (default 2, admission disabled so overload is visible) through
+an instrumented :class:`~repro.engine.vod.VodServer` and prints the
+server's health: status, SLO verdicts, pipeline stage profile and
+recent flight-recorder events. ``--timeline PATH`` writes the same
+instrumented run's spans and events as Chrome ``trace_event`` JSON,
+loadable in chrome://tracing or Perfetto. Both take the serving
+bandwidth from ``--play`` when given, else 2 MB/s.
 """
 
 from __future__ import annotations
@@ -24,8 +33,18 @@ from repro.blob.pages import MemoryPager, PageStore
 from repro.cache import BufferPool
 from repro.core.interpretation import Interpretation
 from repro.engine.player import CostModel, Player
-from repro.obs import Observability, to_table
+from repro.engine.vod import VodServer
+from repro.obs import (
+    Observability,
+    events_to_table,
+    profile_stages,
+    to_chrome_trace,
+    to_table,
+)
 from repro.storage.container import read_container
+
+#: Serving bandwidth for --health/--timeline when --play gives none.
+DEFAULT_HEALTH_BANDWIDTH = 2_000_000
 
 
 def describe_interpretation(interpretation: Interpretation) -> str:
@@ -124,6 +143,30 @@ def cached_replay_text(interpretation: Interpretation, pages: int) -> str:
     )
 
 
+def serve_instrumented(interpretation: Interpretation, bandwidth: int,
+                       clients: int, obs: Observability) -> VodServer:
+    """Serve ``clients`` concurrent sessions of the container's title
+    through an instrumented VOD server (admission disabled)."""
+    server = VodServer(bandwidth, obs=obs)
+    server.publish(interpretation.name, interpretation)
+    requests = [
+        (f"client-{i}", interpretation.name) for i in range(clients)
+    ]
+    server.serve(requests, enforce_admission=False)
+    return server
+
+
+def health_text(server: VodServer, obs: Observability) -> str:
+    """The server's health summary, stage profile and recent events."""
+    parts = [server.health().summary()]
+    profile = profile_stages(obs)
+    if profile.stages:
+        parts.append(profile.table())
+    if len(obs.events):
+        parts.append(events_to_table(obs, title="recent events", limit=15))
+    return "\n\n".join(parts)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.inspect",
@@ -139,6 +182,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache", metavar="PAGES", type=int,
                         help="replay cold/warm through a PAGES-page "
                              "buffer pool and print hit accounting")
+    parser.add_argument("--health", metavar="CLIENTS", type=int,
+                        nargs="?", const=2,
+                        help="serve CLIENTS concurrent sessions (default "
+                             "2) and print the server's health: status, "
+                             "SLO verdicts, stage profile, recent events")
+    parser.add_argument("--timeline", metavar="PATH",
+                        help="write the instrumented serving run as "
+                             "Chrome trace_event JSON to PATH")
     args = parser.parse_args(argv)
 
     try:
@@ -156,6 +207,20 @@ def main(argv: list[str] | None = None) -> int:
         print(playback_text(interpretation, args.play, obs=obs))
     if args.cache:
         print(cached_replay_text(interpretation, args.cache))
+    if args.health is not None or args.timeline:
+        obs = Observability()
+        server = serve_instrumented(
+            interpretation,
+            bandwidth=args.play or DEFAULT_HEALTH_BANDWIDTH,
+            clients=args.health if args.health is not None else 1,
+            obs=obs,
+        )
+        if args.health is not None:
+            print(health_text(server, obs))
+        if args.timeline:
+            with open(args.timeline, "w", encoding="utf-8") as handle:
+                handle.write(to_chrome_trace(obs))
+            print(f"wrote Chrome trace to {args.timeline}")
     return 0
 
 

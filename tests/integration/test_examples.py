@@ -19,6 +19,7 @@ EXAMPLES = [
     "midi_studio",
     "animation_pipeline",
     "database_tour",
+    "observability_tour",
 ]
 
 
@@ -64,3 +65,13 @@ def test_animation_pipeline_shows_out_of_order(capsys):
     output = capsys.readouterr().out
     assert "storage pos" in output
     assert "decoded 16 frames" in output
+
+
+def test_observability_tour_reports_health_and_trace(capsys):
+    load_example("observability_tour").main()
+    output = capsys.readouterr().out
+    assert "status: critical" in output
+    assert "slo startup-latency" in output
+    assert "pipeline stage profile" in output
+    assert "trace_event JSON" in output
+    assert "reproduces trace and event log: True" in output

@@ -15,7 +15,12 @@ from repro.engine.vod import VodServer
 from repro.faults import FaultPlan
 from repro.media import frames
 from repro.media.objects import video_object
-from repro.obs import Observability, to_json_lines
+from repro.obs import (
+    Observability,
+    Severity,
+    to_chrome_trace,
+    to_json_lines,
+)
 
 
 @pytest.fixture(scope="module")
@@ -26,14 +31,31 @@ def movie():
     )
 
 
-def faulted_export(movie):
-    obs = Observability()
+def faulted_run(movie, event_capacity=1024):
+    obs = Observability(event_capacity=event_capacity)
     server = VodServer(bandwidth=2_000_000, prefetch_depth=8, obs=obs)
     server.publish("feature", movie)
     plan = FaultPlan(seed=55, transient_rate=0.2, bad_page_rate=0.1,
                      corruption_rate=0.1, degraded_fraction=0.3)
     server.serve([(f"c{i}", "feature") for i in range(3)], fault_plan=plan)
-    return to_json_lines(obs)
+    return obs
+
+
+def faulted_export(movie):
+    return to_json_lines(faulted_run(movie))
+
+
+def starved_run(movie):
+    """A bandwidth-starved, heavily faulted serve: retries, skips and
+    SLO violations all occur."""
+    obs = Observability()
+    server = VodServer(bandwidth=15_000, prefetch_depth=8, obs=obs)
+    server.publish("feature", movie)
+    plan = FaultPlan(seed=7, transient_rate=0.5, bad_page_rate=0.3,
+                     corruption_rate=0.1, degraded_fraction=1.0)
+    server.serve([(f"c{i}", "feature") for i in range(3)],
+                 enforce_admission=False, fault_plan=plan)
+    return obs
 
 
 class TestDeterminism:
@@ -102,3 +124,45 @@ class TestDeterminism:
         assert first == second
         assert "cache.pool.hits" in first
         assert "vod.prefetch" in first
+
+
+class TestFlightRecorderDeterminism:
+    def test_same_seed_event_logs_identical(self, movie):
+        first = faulted_run(movie).events.export()
+        second = faulted_run(movie).events.export()
+        assert first == second
+        assert first  # faults were actually recorded
+
+    def test_chrome_trace_byte_identical(self, movie):
+        assert to_chrome_trace(faulted_run(movie)) == \
+            to_chrome_trace(faulted_run(movie))
+
+    def test_events_capture_faults_and_slo(self, movie):
+        """A starved, heavily-faulted serve records the full event mix:
+        retries, skipped elements and SLO violations."""
+        recorder = starved_run(movie).events
+        names = {e.name for e in recorder.events()}
+        assert "read.retry" in names
+        assert "element.skipped" in names
+        assert "slo.violation" in names
+
+    def test_ring_overflow_keeps_newest(self, movie):
+        full = faulted_run(movie).events
+        assert full.dropped == 0
+        capacity = max(len(full) // 2, 1)
+        clipped = faulted_run(movie, event_capacity=capacity).events
+        assert len(clipped) == capacity
+        assert clipped.dropped == len(full) - capacity
+        # The retained window is exactly the tail of the full log.
+        assert clipped.export() == full.export()[-capacity:]
+
+    def test_severity_filter_is_ordered(self, movie):
+        recorder = starved_run(movie).events
+        all_events = recorder.events()
+        errors = recorder.events(min_severity=Severity.ERROR)
+        assert errors
+        assert len(errors) < len(all_events)
+        assert all(e.severity >= Severity.ERROR for e in errors)
+        # Filtering preserves emission order.
+        sequence = [e.seq for e in errors]
+        assert sequence == sorted(sequence)

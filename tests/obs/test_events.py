@@ -1,0 +1,147 @@
+"""Flight recorder: ring semantics, severity, timestamps, export."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.errors import ObservabilityError
+from repro.obs import FlightRecorder, Observability, Severity
+from repro.obs.events import events_rows
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.DEBUG < Severity.INFO < Severity.WARNING \
+            < Severity.ERROR < Severity.CRITICAL
+
+    def test_coerce_accepts_member_int_and_name(self):
+        assert Severity.coerce(Severity.ERROR) is Severity.ERROR
+        assert Severity.coerce(40) is Severity.ERROR
+        assert Severity.coerce("error") is Severity.ERROR
+        assert Severity.coerce("CRITICAL") is Severity.CRITICAL
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ObservabilityError, match="unknown severity"):
+            Severity.coerce("loud")
+
+
+class TestRecord:
+    def test_sequence_numbers_are_emission_order(self):
+        recorder = FlightRecorder()
+        for i in range(5):
+            event = recorder.record(Severity.INFO, "c", "tick", n=i)
+            assert event.seq == i
+
+    def test_default_timestamps_tick_logically(self):
+        recorder = FlightRecorder()
+        first = recorder.record(Severity.INFO, "c", "a")
+        second = recorder.record(Severity.INFO, "c", "b")
+        assert isinstance(first.at, int)
+        assert second.at == first.at + 1
+
+    def test_explicit_clock_supplies_timestamps(self):
+        ticks = iter([Rational(1, 2), Rational(3, 4)])
+        recorder = FlightRecorder(clock=lambda: next(ticks))
+        assert recorder.record(Severity.INFO, "c", "a").at == Rational(1, 2)
+        assert recorder.record(Severity.INFO, "c", "b").at == Rational(3, 4)
+
+    def test_explicit_at_wins_over_clock(self):
+        recorder = FlightRecorder(clock=lambda: 99)
+        event = recorder.record(Severity.INFO, "c", "a", at=Rational(7))
+        assert event.at == Rational(7)
+
+    def test_attributes_preserved(self):
+        recorder = FlightRecorder()
+        event = recorder.record(Severity.WARNING, "cache", "evicted",
+                                page=3, reason="full")
+        assert event.attributes == {"page": 3, "reason": "full"}
+
+
+class TestRing:
+    def test_overflow_drops_oldest_keeps_newest(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record(Severity.INFO, "c", "tick", n=i)
+        kept = [e.attributes["n"] for e in recorder.events()]
+        assert kept == [7, 8, 9]
+        assert recorder.dropped == 7
+        assert len(recorder) == 3
+
+    def test_seq_survives_drops(self):
+        recorder = FlightRecorder(capacity=2)
+        for _ in range(5):
+            recorder.record(Severity.INFO, "c", "tick")
+        assert [e.seq for e in recorder.events()] == [3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+
+class TestFilters:
+    def build(self):
+        recorder = FlightRecorder()
+        recorder.record(Severity.DEBUG, "cache", "evicted")
+        recorder.record(Severity.WARNING, "pager", "fault")
+        recorder.record(Severity.ERROR, "pager", "fault")
+        recorder.record(Severity.CRITICAL, "player", "abort")
+        return recorder
+
+    def test_min_severity(self):
+        recorder = self.build()
+        assert len(recorder.events(min_severity=Severity.WARNING)) == 3
+        assert len(recorder.events(min_severity="error")) == 2
+
+    def test_component_and_name(self):
+        recorder = self.build()
+        assert len(recorder.events(component="pager")) == 2
+        assert len(recorder.events(name="fault")) == 2
+        assert len(recorder.events(component="pager",
+                                   min_severity=Severity.ERROR)) == 1
+
+    def test_recent_returns_newest(self):
+        recorder = self.build()
+        recent = recorder.recent(2)
+        assert [e.name for e in recent] == ["fault", "abort"]
+        assert recorder.recent(0) == []
+
+
+class TestExport:
+    def test_export_shape_and_key_order(self):
+        recorder = FlightRecorder()
+        recorder.record(Severity.ERROR, "pager", "fault",
+                        page=1, at=Rational(1, 4))
+        (row,) = recorder.export()
+        assert row == {
+            "seq": 0,
+            "at": "1/4",
+            "severity": "ERROR",
+            "component": "pager",
+            "name": "fault",
+            "attributes": {"page": 1},
+        }
+
+    def test_events_rows_flatten_attributes_sorted(self):
+        recorder = FlightRecorder()
+        recorder.record(Severity.INFO, "c", "e", zeta=1, alpha=2)
+        (row,) = events_rows(recorder.events())
+        assert row[5] == "alpha=2,zeta=1"
+
+
+class TestObservabilityIntegration:
+    def test_snapshot_includes_events(self):
+        obs = Observability()
+        obs.events.record(Severity.INFO, "c", "hello")
+        snap = obs.snapshot()
+        assert [e["name"] for e in snap["events"]] == ["hello"]
+
+    def test_event_capacity_configurable(self):
+        obs = Observability(event_capacity=4)
+        assert obs.events.capacity == 4
+
+    def test_null_observability_swallows_events(self):
+        from repro.obs import NULL_OBS
+
+        NULL_OBS.events.record(Severity.CRITICAL, "c", "ignored")
+        assert NULL_OBS.events.events() == []
+        assert NULL_OBS.events.recent(5) == []
+        assert NULL_OBS.events.export() == []

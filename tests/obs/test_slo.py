@@ -1,0 +1,158 @@
+"""SLO declarations, burn-rate arithmetic and policy evaluation."""
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.engine.player import CostModel, Player
+from repro.engine.recorder import Recorder
+from repro.errors import ObservabilityError
+from repro.media import frames
+from repro.media.objects import video_object
+from repro.obs import (
+    Severity,
+    Slo,
+    SloPolicy,
+    default_slo_policy,
+    report_measurements,
+    worst_verdicts,
+)
+
+
+class TestSloValidation:
+    def test_unknown_measurement_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown measurement"):
+            Slo(name="x", measurement="cpu_seconds", threshold=1.0)
+
+    def test_objective_direction_validated(self):
+        with pytest.raises(ObservabilityError, match="objective"):
+            Slo(name="x", measurement="startup_seconds", threshold=1.0,
+                objective="exactly")
+
+    def test_burn_bounds_validated(self):
+        with pytest.raises(ObservabilityError, match="warn_burn"):
+            Slo(name="x", measurement="startup_seconds", threshold=1.0,
+                warn_burn=1.5)
+        with pytest.raises(ObservabilityError, match="critical_burn"):
+            Slo(name="x", measurement="startup_seconds", threshold=1.0,
+                critical_burn=0.5)
+
+
+class TestBurnAndVerdicts:
+    def slo(self, **overrides):
+        base = dict(name="startup", measurement="startup_seconds",
+                    threshold=2.0, objective="max")
+        base.update(overrides)
+        return Slo(**base)
+
+    def test_max_objective_burn_is_linear(self):
+        slo = self.slo()
+        assert slo.burn(0.0) == 0.0
+        assert slo.burn(1.0) == 0.5
+        assert slo.burn(2.0) == 1.0
+        assert slo.burn(4.0) == 2.0
+
+    def test_min_objective_burn_counts_shortfall(self):
+        slo = Slo(name="quality", measurement="delivered_quality",
+                  threshold=0.5, objective="min")
+        assert slo.burn(1.0) == 0.0
+        assert slo.burn(0.75) == pytest.approx(0.5)
+        assert slo.burn(0.5) == pytest.approx(1.0)
+        assert slo.burn(0.0) == pytest.approx(2.0)
+
+    def test_verdict_severity_ladder(self):
+        slo = self.slo(warn_burn=0.75, critical_burn=2.0)
+        assert slo.evaluate(0.5).severity is Severity.INFO
+        warn = slo.evaluate(1.8)
+        assert warn.ok and warn.severity is Severity.WARNING
+        error = slo.evaluate(2.5)
+        assert not error.ok and error.severity is Severity.ERROR
+        critical = slo.evaluate(5.0)
+        assert not critical.ok and critical.severity is Severity.CRITICAL
+
+    def test_verdict_export_and_summary(self):
+        verdict = self.slo().evaluate(3.0)
+        exported = verdict.export()
+        assert exported["slo"] == "startup"
+        assert exported["ok"] is False
+        assert exported["severity"] == "ERROR"
+        assert "startup: ERROR" in verdict.summary()
+        assert "burn 1.50" in verdict.summary()
+
+
+class TestPolicy:
+    def test_duplicate_names_rejected(self):
+        slo = Slo(name="a", measurement="startup_seconds", threshold=1.0)
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            SloPolicy([slo, slo])
+
+    def test_evaluate_skips_missing_measurements(self):
+        policy = SloPolicy([
+            Slo(name="a", measurement="startup_seconds", threshold=1.0),
+            Slo(name="b", measurement="rebuffer_ratio", threshold=0.1),
+        ])
+        verdicts = policy.evaluate({"startup_seconds": 0.5})
+        assert [v.slo for v in verdicts] == ["a"]
+
+    def test_default_policy_covers_all_measurements(self):
+        policy = default_slo_policy()
+        assert len(policy) == 4
+        assert {s.measurement for s in policy} == {
+            "startup_seconds", "deadline_miss_rate",
+            "rebuffer_ratio", "delivered_quality",
+        }
+
+
+def record_movie():
+    video = video_object(frames.scene(32, 24, 8, "pan"), "v")
+    return Recorder(MemoryBlob()).record([video])
+
+
+class TestReportIntegration:
+    def play(self, bandwidth):
+        return Player(CostModel(bandwidth=bandwidth)).play(record_movie())
+
+    def test_report_measurements_vector(self):
+        report = self.play(8_000_000)
+        measured = report_measurements(report)
+        assert set(measured) == {
+            "startup_seconds", "deadline_miss_rate",
+            "rebuffer_ratio", "delivered_quality",
+        }
+        assert measured["startup_seconds"] == float(report.startup_delay)
+        assert measured["delivered_quality"] == 1.0
+
+    def test_uninstrumented_player_attaches_no_verdicts(self):
+        assert self.play(8_000_000).slo == []
+
+    def test_explicit_policy_attaches_verdicts_without_obs(self):
+        player = Player(CostModel(bandwidth=8_000_000),
+                        slo_policy=default_slo_policy())
+        report = player.play(record_movie())
+        assert len(report.slo) == 4
+        assert report.slo_ok()
+        assert "SLO 4/4 met" in report.summary()
+
+    def test_starved_playback_violates_startup(self):
+        player = Player(CostModel(bandwidth=2_000),
+                        slo_policy=default_slo_policy())
+        report = player.play(record_movie())
+        violated = {v.slo for v in report.slo_violations()}
+        assert "startup-latency" in violated
+        assert not report.slo_ok()
+        assert "violated" in report.summary()
+
+
+class TestWorstVerdicts:
+    def test_keeps_highest_burn_per_slo_in_first_seen_order(self):
+        slo = Slo(name="s", measurement="startup_seconds", threshold=2.0)
+        other = Slo(name="q", measurement="delivered_quality",
+                    threshold=0.5, objective="min")
+        lists = [
+            [slo.evaluate(1.0), other.evaluate(0.9)],
+            [slo.evaluate(3.0), other.evaluate(0.8)],
+            [slo.evaluate(0.5)],
+        ]
+        worst = worst_verdicts(lists)
+        assert [v.slo for v in worst] == ["s", "q"]
+        assert worst[0].measured == 3.0
+        assert worst[1].measured == 0.8

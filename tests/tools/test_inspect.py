@@ -52,3 +52,29 @@ class TestInspectCli:
         assert main([str(tmp_path / "nope.rmf")]) == 1
         err = capsys.readouterr().err
         assert "error:" in err
+
+    def test_health_prints_status_and_slo(self, container_path, capsys):
+        assert main([container_path, "--health", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "status:" in out
+        assert "sessions: 3" in out
+        assert "slo startup-latency" in out
+        assert "pipeline stage profile" in out
+
+    def test_health_default_client_count(self, container_path, capsys):
+        assert main([container_path, "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions: 2" in out
+
+    def test_timeline_writes_valid_trace(self, container_path, tmp_path,
+                                         capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main([container_path, "--timeline", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+        names = {row["name"] for row in document["traceEvents"]}
+        assert "vod.session" in names
