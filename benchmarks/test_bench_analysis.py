@@ -1,0 +1,70 @@
+"""ANALYSIS — the static verification layer priced on the repo itself.
+
+The gate is only usable in CI if it is fast: this benchmark runs the
+full self-lint (every source file under ``src/repro``) and the graph
+checker over the Figure-5 production pipeline inside fixed wall-clock
+budgets, and records the sweep sizes so a regression in either engine's
+cost is visible next to its coverage.
+"""
+
+import time
+
+from test_bench_figure5_pipeline import build_stack
+
+from repro.analysis import check_media_graph, lint_repo
+from repro.analysis.lint import LintEngine
+from repro.engine import CostModel
+
+#: Wall-clock ceilings (seconds). Generous — a cold laptop run is well
+#: under half of each — so only a real cost regression trips them.
+LINT_BUDGET_SECONDS = 20.0
+GRAPH_BUDGET_SECONDS = 10.0
+
+
+def test_self_lint_within_budget(report, benchmark):
+    started = time.perf_counter()
+    lint = benchmark.pedantic(lint_repo, iterations=1, rounds=1)
+    elapsed = time.perf_counter() - started
+    files = len(LintEngine().files())
+
+    report.kv(
+        "analysis-self-lint",
+        [
+            ("files linted", files),
+            ("findings", len(lint)),
+            ("errors", len(lint.errors())),
+            ("seconds", f"{elapsed:.3f}"),
+            ("budget seconds", LINT_BUDGET_SECONDS),
+        ],
+        title="ANALYSIS — full-repo self-lint under a fixed budget",
+    )
+    assert lint.ok
+    assert files > 40
+    assert elapsed < LINT_BUDGET_SECONDS
+
+
+def test_graph_check_within_budget(report, benchmark):
+    blob, interpretation, editor, final, movie = build_stack()
+    cost_model = CostModel(bandwidth=40_000_000)
+
+    def check():
+        return check_media_graph(movie, cost_model=cost_model)
+
+    started = time.perf_counter()
+    graph = benchmark.pedantic(check, iterations=1, rounds=1)
+    elapsed = time.perf_counter() - started
+
+    report.kv(
+        "analysis-graph-check",
+        [
+            ("subject", graph.subject),
+            ("findings", len(graph)),
+            ("seconds", f"{elapsed:.3f}"),
+            ("budget seconds", GRAPH_BUDGET_SECONDS),
+        ],
+        title="ANALYSIS — Figure-5 pipeline graph check under budget",
+    )
+    assert graph.ok
+    assert elapsed < GRAPH_BUDGET_SECONDS
+    # Static: checking must not have expanded the edited picture.
+    assert not final.is_materialized

@@ -1,0 +1,44 @@
+"""Media-graph rule registry.
+
+Each rule is a function ``(GraphContext) -> list[Diagnostic]`` registered
+under a stable ``MG###`` id via :func:`graph_rule`. The decorator also
+records the rule's metadata in the shared
+:data:`~repro.analysis.diagnostics.rule_registry`, so ``--list-rules``
+and the DESIGN.md table stay in sync with the code.
+
+Importing this package pulls in the rule modules, which register
+themselves as a side effect — the same pattern the derivation registry
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.diagnostics import Diagnostic, rule_registry
+from repro.obs.events import Severity
+
+#: rule id -> rule function. Execution order is sorted id order.
+GRAPH_RULES: dict[str, Callable] = {}
+
+
+def graph_rule(rule_id: str, title: str, severity: Severity, doc: str = ""):
+    """Register a media-graph rule under ``rule_id``."""
+
+    def decorate(func: Callable) -> Callable:
+        rule_registry.register(rule_id, title, severity, engine="graph",
+                               doc=doc or (func.__doc__ or "").strip())
+        GRAPH_RULES[rule_id] = func
+        func.rule_id = rule_id
+        func.default_severity = severity
+        return func
+
+    return decorate
+
+
+# Rule modules register on import (order fixes nothing; ids sort at run).
+from repro.analysis.rules import composition as _composition  # noqa: E402,F401
+from repro.analysis.rules import derivation as _derivation  # noqa: E402,F401
+from repro.analysis.rules import feasibility as _feasibility  # noqa: E402,F401
+
+__all__ = ["Diagnostic", "GRAPH_RULES", "graph_rule"]

@@ -1,0 +1,202 @@
+"""Temporal-composition and quality rules.
+
+MG004 — non-commensurate time systems composed or derived together;
+MG005 — same-kind components overlapping with no spatial disambiguation;
+MG006 — dead air: gaps in a temporal composition's timeline;
+MG007 — a derivation silently downgrading the descriptive quality factor.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.graph import GraphContext, Placement, static_time_system
+from repro.analysis.rules import graph_rule
+from repro.core.media_types import MediaKind
+from repro.core.quality import AUDIO_QUALITY, VIDEO_QUALITY, QualityLadder
+from repro.errors import QualityError
+from repro.obs.events import Severity
+
+
+def _time_based(placement: Placement) -> bool:
+    return placement.obj.media_type.kind.is_time_based
+
+
+@graph_rule(
+    "MG004", "time-system mismatch", Severity.WARNING,
+    doc="Components or derivation inputs run on non-commensurate discrete "
+        "time systems (D_f); synchronized presentation needs resampling.",
+)
+def check_time_systems(context: GraphContext) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    seen: set[tuple[str, str]] = set()
+
+    def note(location: str, a, b, what: str) -> None:
+        key = (location, f"{a.frequency}/{b.frequency}")
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Diagnostic(
+            rule="MG004", severity=Severity.WARNING, location=location,
+            message=(
+                f"{what} on non-commensurate time systems "
+                f"{a} and {b}; synchronization requires resampling"
+            ),
+            hint="resample one side (change-of-timing derivation) or pick "
+                 "commensurate frequencies",
+        ))
+
+    timed = [
+        (p, static_time_system(p.obj))
+        for p in context.placements
+        if _time_based(p) and p.interval is not None
+    ]
+    for (pa, tsa), (pb, tsb) in itertools.combinations(timed, 2):
+        if tsa is None or tsb is None or tsa.is_commensurate(tsb):
+            continue
+        if not pa.interval.intersects(pb.interval):
+            continue
+        note(pa.path, tsa, tsb, f"components {pa.path!r} and {pb.path!r}")
+
+    for derived in context.derived:
+        inputs = derived.derivation_object.inputs
+        systems = [
+            (inp, static_time_system(inp)) for inp in inputs
+            if inp.media_type.kind.is_time_based
+        ]
+        for (ia, tsa), (ib, tsb) in itertools.combinations(systems, 2):
+            if tsa is None or tsb is None or tsa.is_commensurate(tsb):
+                continue
+            note(f"derived:{derived.name}", tsa, tsb,
+                 f"derivation inputs {ia.name!r} and {ib.name!r}")
+    return findings
+
+
+@graph_rule(
+    "MG005", "overlap conflict", Severity.ERROR,
+    doc="Two same-kind components overlap in time with no spatial "
+        "placement to disambiguate; only one can be presented.",
+)
+def check_overlaps(context: GraphContext) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    timed = [
+        p for p in context.placements
+        if _time_based(p) and p.interval is not None
+        and not p.interval.is_instant
+    ]
+    for pa, pb in itertools.combinations(timed, 2):
+        if pa.obj.kind is not pb.obj.kind:
+            continue
+        if pa.has_spatial or pb.has_spatial:
+            continue
+        if not pa.interval.intersects(pb.interval):
+            continue
+        # Overlapping audio is mixing — plausible intent; overlapping
+        # video with no spatial layout cannot both be shown.
+        visual = pa.obj.kind in (MediaKind.VIDEO, MediaKind.ANIMATION)
+        severity = Severity.ERROR if visual else Severity.WARNING
+        overlap = pa.interval.intersection(pb.interval)
+        findings.append(Diagnostic(
+            rule="MG005", severity=severity, location=pa.path,
+            message=(
+                f"{pa.obj.kind.value} components {pa.path!r} and "
+                f"{pb.path!r} overlap during {overlap}"
+            ),
+            hint="give one a spatial placement, shift its start offset, "
+                 "or merge them with a transition derivation",
+        ))
+    return findings
+
+
+@graph_rule(
+    "MG006", "timeline gap", Severity.WARNING,
+    doc="Dead air: an interior span of the composed timeline where no "
+        "time-based component is presented.",
+)
+def check_gaps(context: GraphContext) -> list[Diagnostic]:
+    intervals = sorted(
+        (p.interval for p in context.placements
+         if _time_based(p) and p.interval is not None
+         and not p.interval.is_instant),
+        key=lambda iv: (iv.start, iv.end),
+    )
+    if len(intervals) < 2:
+        return []
+    findings: list[Diagnostic] = []
+    cursor = intervals[0].end
+    for interval in intervals[1:]:
+        if interval.start > cursor:
+            findings.append(Diagnostic(
+                rule="MG006", severity=Severity.WARNING,
+                location=context.subject,
+                message=(
+                    f"nothing is presented during "
+                    f"[{cursor.to_timestamp()}, "
+                    f"{interval.start.to_timestamp()})"
+                ),
+                hint="close the gap with a start-offset change or fill it "
+                     "with a component",
+            ))
+        if interval.end > cursor:
+            cursor = interval.end
+    return findings
+
+
+def _ladder_for(kind: MediaKind) -> QualityLadder | None:
+    if kind in (MediaKind.VIDEO, MediaKind.ANIMATION, MediaKind.IMAGE):
+        return VIDEO_QUALITY
+    if kind in (MediaKind.AUDIO, MediaKind.MUSIC):
+        return AUDIO_QUALITY
+    return None
+
+
+def _rank(obj) -> int | None:
+    ladder = _ladder_for(obj.media_type.kind)
+    name = obj.descriptor.get("quality_factor")
+    if ladder is None or name is None:
+        return None
+    try:
+        return ladder.get(name).rank
+    except QualityError:
+        return None
+
+
+@graph_rule(
+    "MG007", "silent quality downgrade", Severity.WARNING,
+    doc="A derived object's quality factor is below its inputs' without "
+        "the derivation being asked for it (no quality parameter).",
+)
+def check_quality(context: GraphContext) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    floor = context.quality_floor
+    for derived in context.derived:
+        if "quality_factor" in derived.derivation_object.params:
+            continue  # requested, not silent
+        out_rank = _rank(derived)
+        if out_rank is None:
+            continue
+        in_ranks = [
+            r for r in (
+                _rank(inp) for inp in derived.derivation_object.inputs
+            ) if r is not None
+        ]
+        if not in_ranks:
+            continue
+        best_in = max(in_ranks)
+        if out_rank >= best_in:
+            continue
+        if floor is not None and (out_rank >= floor or best_in < floor):
+            continue  # the drop does not cross the configured threshold
+        findings.append(Diagnostic(
+            rule="MG007", severity=Severity.WARNING,
+            location=f"derived:{derived.name}",
+            message=(
+                f"derivation {derived.derivation_object.derivation.name!r} "
+                f"silently downgrades quality rank {best_in} -> {out_rank} "
+                f"({derived.descriptor.get('quality_factor')!r})"
+            ),
+            hint="pass quality_factor explicitly to the derivation, or "
+                 "raise the derived descriptor's quality",
+        ))
+    return findings

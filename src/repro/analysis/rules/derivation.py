@@ -1,0 +1,132 @@
+"""Structural rules over derivation and composition graphs.
+
+MG001 — derivation/composition cycles (a graph that can never expand);
+MG002 — dangling inputs (placement rows beyond the BLOB, or a sequence
+reference its interpretation no longer maps);
+MG003 — media-kind mismatches a derived object's declaration hides.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.graph import GraphContext
+from repro.analysis.rules import graph_rule
+from repro.core.media_object import InterpretedMediaObject
+from repro.errors import InterpretationError
+from repro.obs.events import Severity
+
+
+@graph_rule(
+    "MG001", "derivation/composition cycle", Severity.ERROR,
+    doc="A multimedia object or derivation transitively contains itself; "
+        "expansion would never terminate.",
+)
+def check_cycles(context: GraphContext) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            rule="MG001", severity=Severity.ERROR, location=path,
+            message="object graph contains itself; expansion would not "
+                    "terminate",
+            hint="break the cycle: a component or derivation input must "
+                 "not reach its own ancestor",
+        )
+        for path in context.cycles
+    ]
+
+
+def _dangling_interpreted(obj: InterpretedMediaObject) -> str | None:
+    """Why ``obj``'s placement cannot be honoured, or None if it can."""
+    interp = obj.interpretation
+    if obj.sequence_name not in interp:
+        return (
+            f"sequence {obj.sequence_name!r} is no longer mapped by "
+            f"interpretation {interp.name!r}"
+        )
+    length = len(interp.blob)
+    for e in interp.sequence(obj.sequence_name):
+        if e.blob_offset + e.size > length:
+            return (
+                f"element {e.element_number} spans "
+                f"[{e.blob_offset}, {e.blob_offset + e.size}) beyond "
+                f"BLOB length {length}"
+            )
+    return None
+
+
+@graph_rule(
+    "MG002", "dangling input", Severity.ERROR,
+    doc="A placement or derivation input references bytes that are not "
+        "there: a sequence missing from its interpretation, or placement "
+        "rows beyond the BLOB.",
+)
+def check_dangling(context: GraphContext) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+
+    def note(location: str, reason: str) -> None:
+        findings.append(Diagnostic(
+            rule="MG002", severity=Severity.ERROR, location=location,
+            message=f"dangling input: {reason}",
+            hint="re-run Interpretation.validate() after editing BLOBs; "
+                 "rebuild the interpretation before playback",
+        ))
+
+    seen: set[int] = set()
+    for placement in context.placements:
+        if isinstance(placement.obj, InterpretedMediaObject):
+            seen.add(id(placement.obj))
+            reason = _dangling_interpreted(placement.obj)
+            if reason:
+                note(placement.path, reason)
+    for derived in context.derived:
+        for inp in derived.derivation_object.inputs:
+            if isinstance(inp, InterpretedMediaObject) and id(inp) not in seen:
+                seen.add(id(inp))
+                reason = _dangling_interpreted(inp)
+                if reason:
+                    note(f"{derived.name}<-{inp.name}", reason)
+    for interp in context.interpretations:
+        try:
+            interp.validate()
+        except InterpretationError as exc:
+            note(f"interpretation:{interp.name}", str(exc))
+    return findings
+
+
+@graph_rule(
+    "MG003", "media-kind mismatch", Severity.ERROR,
+    doc="A derived object declares a kind other than its derivation "
+        "produces, or a kind-generic derivation mixes input kinds.",
+)
+def check_kinds(context: GraphContext) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for derived in context.derived:
+        derivation = derived.derivation_object.derivation
+        if not derivation.any_kind and derived.kind is not derivation.result_kind:
+            findings.append(Diagnostic(
+                rule="MG003", severity=Severity.ERROR,
+                location=f"derived:{derived.name}",
+                message=(
+                    f"declared kind {derived.kind.value!r} but derivation "
+                    f"{derivation.name!r} produces "
+                    f"{derivation.result_kind.value!r}"
+                ),
+                hint="pass a descriptor of the result kind to derive(), "
+                     "or fix the derivation's result_kind",
+            ))
+        if derivation.any_kind and len(derived.derivation_object.inputs) > 1:
+            kinds = {
+                inp.kind for inp in derived.derivation_object.inputs
+            }
+            if len(kinds) > 1:
+                listed = ", ".join(sorted(k.value for k in kinds))
+                findings.append(Diagnostic(
+                    rule="MG003", severity=Severity.ERROR,
+                    location=f"derived:{derived.name}",
+                    message=(
+                        f"kind-generic derivation {derivation.name!r} "
+                        f"mixes input kinds ({listed})"
+                    ),
+                    hint="a timing derivation applies to streams of one "
+                         "kind at a time; derive each kind separately",
+                ))
+    return findings

@@ -8,7 +8,7 @@ Everything in ``__all__`` is the blessed, stable face of the library —
 the data model (timed streams, interpretation, derivation,
 composition), the storage substrate, the caching layer (``BufferPool``,
 ``DerivationCache``), the playback engine, fault injection,
-observability and the query catalog. Subpackage-internal
+observability, the static verification layer and the query catalog. Subpackage-internal
 names (codecs' DCT helpers, pager internals, benchmark plumbing) are
 deliberately excluded; reaching past this module into submodules is
 possible but unsupported across versions.
@@ -20,6 +20,16 @@ repro.engine.Player`` — instances cross the boundary freely.
 from __future__ import annotations
 
 from repro import errors
+from repro.analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    GraphChecker,
+    LintEngine,
+    blocking_diagnostics,
+    check_media_graph,
+    lint_repo,
+    rule_registry,
+)
 from repro.blob import (
     PAGE_SIZE,
     Blob,
@@ -102,6 +112,15 @@ from repro.query import (
 __all__ = [
     # errors
     "errors",
+    # static analysis
+    "Diagnostic",
+    "DiagnosticReport",
+    "GraphChecker",
+    "LintEngine",
+    "blocking_diagnostics",
+    "check_media_graph",
+    "lint_repo",
+    "rule_registry",
     # data model
     "Rational",
     "as_rational",

@@ -19,6 +19,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Union
 
+from repro.errors import RationalConversionError
+
 RationalLike = Union["Rational", Fraction, int, str, tuple]
 
 
@@ -37,13 +39,15 @@ class Rational(Fraction):
 
     def __new__(cls, numerator: RationalLike = 0, denominator: int | None = None):
         if isinstance(numerator, float) or isinstance(denominator, float):
-            raise TypeError(
+            raise RationalConversionError(
                 "refusing to construct Rational from float; "
                 "use Rational.from_float() if the rounding is intended"
             )
         if isinstance(numerator, tuple):
             if denominator is not None:
-                raise TypeError("cannot pass denominator with tuple numerator")
+                raise RationalConversionError(
+                    "cannot pass denominator with tuple numerator"
+                )
             numerator, denominator = numerator
         return super().__new__(cls, numerator, denominator)
 

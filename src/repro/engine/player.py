@@ -273,6 +273,10 @@ class PlaybackReport:
     #: SLO policy (explicit ``slo_policy=`` or the default policy under
     #: an observability sink).
     slo: list[SloVerdict] = field(default_factory=list)
+    #: Static plan-check findings (:class:`repro.analysis.Diagnostic`)
+    #: that did not block the plan under the player's ``plan_check``
+    #: policy — e.g. rate-infeasibility warnings in the default mode.
+    plan_diagnostics: list = field(default_factory=list)
 
     def slo_ok(self) -> bool:
         """Did this session meet every evaluated SLO? (Vacuously true
@@ -357,7 +361,9 @@ class Player:
                  adaptation: AdaptationPolicy | None = None,
                  derivation_cache: "DerivationCache | None" = None,
                  obs: Observability | None = None,
-                 slo_policy: SloPolicy | None = None):
+                 slo_policy: SloPolicy | None = None,
+                 plan_check: str = "check",
+                 plan_checker=None):
         """``rate`` is the playback rate: 2 plays double speed (deadlines
         arrive twice as fast, so the storage system must sustain twice
         the data rate); rates in (0, 1) play slow motion. Reverse
@@ -385,6 +391,18 @@ class Player:
         report; with an observability sink but no explicit policy the
         stock :func:`~repro.obs.slo.default_slo_policy` runs, and every
         non-OK verdict lands in the flight recorder.
+
+        ``plan_check`` gates :meth:`plan_multimedia` behind the static
+        graph checker (:mod:`repro.analysis.graph`) *before any page is
+        read*: ``"check"`` (the default) raises
+        :class:`~repro.errors.PlanRejectedError` on structurally
+        unexecutable plans (cycles, dangling inputs, kind mismatches)
+        and attaches everything else to the report's
+        ``plan_diagnostics``; ``"strict"`` also rejects statically
+        infeasible plans (MG008/MG009 at error severity); ``"off"``
+        skips the check. ``plan_checker`` overrides the default
+        :class:`~repro.analysis.graph.GraphChecker` (which prices
+        feasibility from this player's cost model).
         """
         self.cost_model = cost_model or CostModel()
         if prefetch_depth < 1:
@@ -399,6 +417,16 @@ class Player:
         self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
         self.slo_policy = slo_policy
+        from repro.analysis.graph import PLAN_POLICIES
+
+        if plan_check not in PLAN_POLICIES:
+            raise EngineError(
+                f"plan_check must be one of {PLAN_POLICIES}, "
+                f"got {plan_check!r}"
+            )
+        self.plan_check = plan_check
+        self.plan_checker = plan_checker
+        self._plan_findings: list = []
 
     # -- planning -------------------------------------------------------------
 
@@ -430,16 +458,60 @@ class Player:
         reads.sort(key=lambda r: (r.deadline, r.offset))
         return reads
 
+    def verify_plan(self, multimedia: MultimediaObject):
+        """Statically verify ``multimedia`` per the ``plan_check`` policy.
+
+        Runs the media-graph checker without expanding anything — no
+        derivation runs, no BLOB page is read. Raises
+        :class:`~repro.errors.PlanRejectedError` when the policy blocks
+        the plan; otherwise returns the
+        :class:`~repro.analysis.diagnostics.DiagnosticReport` (whose
+        non-blocking findings the next :meth:`play` attaches to its
+        report). Returns None when the policy is ``"off"``.
+        """
+        if self.plan_check == "off":
+            self._plan_findings = []
+            return None
+        from repro.analysis.graph import GraphChecker, blocking_diagnostics
+        from repro.errors import PlanRejectedError
+
+        checker = self.plan_checker or GraphChecker(
+            cost_model=self.cost_model
+        )
+        report = checker.check_multimedia(multimedia)
+        blocking = blocking_diagnostics(report, self.plan_check)
+        if self.obs.enabled:
+            for diagnostic in report:
+                self.obs.events.record(
+                    diagnostic.severity, "engine.plan_check",
+                    f"plan.{diagnostic.rule}", at=Rational(0),
+                    location=diagnostic.location,
+                    message=diagnostic.message,
+                )
+        if blocking:
+            self.obs.metrics.counter("engine.plan.rejections").inc()
+            raise PlanRejectedError(
+                f"plan for {multimedia.name!r} rejected by static "
+                f"verification ({self.plan_check} policy): "
+                + "; ".join(str(d) for d in blocking),
+                diagnostics=tuple(blocking),
+            )
+        self._plan_findings = list(report)
+        return report
+
     def plan_multimedia(self, multimedia: MultimediaObject) -> list[_PlannedRead]:
         """Presentation-ordered reads for a composed multimedia object.
 
-        Components are flattened to leaf media objects; each leaf's
-        stream supplies element sizes and timing, shifted by its
-        composition offset. Leaves without in-memory streams (derived,
-        unexpanded) are expanded via their normal access path — or
-        through the player's :class:`DerivationCache` when one is
-        attached, so replanning the same composition is a cache hit.
+        The static plan check (:meth:`verify_plan`) runs first, before
+        any expansion or page read. Components are then flattened to
+        leaf media objects; each leaf's stream supplies element sizes
+        and timing, shifted by its composition offset. Leaves without
+        in-memory streams (derived, unexpanded) are expanded via their
+        normal access path — or through the player's
+        :class:`DerivationCache` when one is attached, so replanning
+        the same composition is a cache hit.
         """
+        self.verify_plan(multimedia)
         instrumented = self.obs.enabled
         stage_hist = self._stage_histogram() if instrumented else None
         reads: list[_PlannedRead] = []
@@ -518,7 +590,9 @@ class Player:
                 "names/offsets only apply when playing an Interpretation"
             )
         if isinstance(target, MultimediaObject):
-            return self._run(self.plan_multimedia(target))
+            report = self._run(self.plan_multimedia(target))
+            report.plan_diagnostics = list(self._plan_findings)
+            return report
         if isinstance(target, (list, tuple)):
             reads = list(target)
             if all(isinstance(r, _PlannedRead) for r in reads):

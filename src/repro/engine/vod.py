@@ -187,33 +187,90 @@ class VodServer:
     def __init__(self, bandwidth: int, prefetch_depth: int = 8,
                  admission_margin: float = 1.0,
                  derivation_cache: "DerivationCache | None" = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 plan_check: str = "check"):
         """``bandwidth`` is outbound bytes/second; ``admission_margin``
         scales the admission test (1.2 keeps 20% headroom).
         ``derivation_cache`` is handed to every session's player so
         derived components expand once per server, not once per
         session. ``obs`` attaches an observability sink, shared with
         every session's player, so one registry captures the whole
-        serving run."""
+        serving run.
+
+        ``plan_check`` gates :meth:`publish` behind the static graph
+        checker (same policies as :class:`Player`): the default
+        ``"check"`` rejects structurally broken titles — placement rows
+        beyond the BLOB, cycles — with
+        :class:`~repro.errors.PlanRejectedError` before they can ever
+        be admitted; ``"strict"`` also rejects statically infeasible
+        ones; ``"off"`` publishes anything."""
         if bandwidth <= 0:
             raise EngineError("bandwidth must be positive")
         if admission_margin < 1.0:
             raise EngineError("admission margin must be >= 1.0")
+        from repro.analysis.graph import PLAN_POLICIES
+
+        if plan_check not in PLAN_POLICIES:
+            raise EngineError(
+                f"plan_check must be one of {PLAN_POLICIES}, "
+                f"got {plan_check!r}"
+            )
         self.bandwidth = bandwidth
         self.prefetch_depth = prefetch_depth
         self.admission_margin = admission_margin
         self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
+        self.plan_check = plan_check
         self._titles: dict[str, Interpretation] = {}
         self._reports: list[ServerReport] = []
 
     # -- catalog ---------------------------------------------------------------
 
     def publish(self, title: str, interpretation: Interpretation) -> None:
+        """Add a title to the catalog after static verification.
+
+        Under the server's ``plan_check`` policy the graph checker runs
+        over the interpretation before it is accepted; a blocked title
+        raises :class:`~repro.errors.PlanRejectedError` and is not
+        published, so admission and serving never see it.
+        """
         if title in self._titles:
             raise EngineError(f"title {title!r} already published")
+        if self.plan_check != "off":
+            from repro.analysis.graph import blocking_diagnostics
+            from repro.errors import PlanRejectedError
+
+            report = self._check_interpretation(interpretation)
+            blocking = blocking_diagnostics(report, self.plan_check)
+            if blocking:
+                self.obs.metrics.counter("vod.publish.rejections").inc()
+                self.obs.events.record(
+                    Severity.ERROR, "vod.server", "publish.rejected",
+                    title=title, findings=len(blocking),
+                )
+                raise PlanRejectedError(
+                    f"title {title!r} rejected by static verification: "
+                    + "; ".join(str(d) for d in blocking),
+                    diagnostics=tuple(blocking),
+                )
         interpretation.validate()
         self._titles[title] = interpretation
+
+    def _check_interpretation(self, interpretation: Interpretation):
+        from repro.analysis.graph import GraphChecker
+
+        per_client = self.bandwidth  # best case: a lone session
+        return GraphChecker(
+            cost_model=CostModel(bandwidth=per_client),
+        ).check_interpretation(interpretation)
+
+    def verify_title(self, title: str):
+        """The static checker's full report for a published title."""
+        try:
+            interpretation = self._titles[title]
+        except KeyError:
+            raise EngineError(f"unknown title {title!r}") from None
+        return self._check_interpretation(interpretation)
 
     def titles(self) -> list[str]:
         return sorted(self._titles)

@@ -12,6 +12,22 @@ class MediaModelError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+#: Canonical alias for the taxonomy root. The static linter
+#: (:mod:`repro.analysis.lint`, rule LN003) enforces that every ``raise``
+#: in ``src/repro`` uses this taxonomy — builtin exceptions are reserved
+#: for genuine interpreter-level failures.
+ReproError = MediaModelError
+
+
+class RationalConversionError(MediaModelError, TypeError):
+    """A value cannot be converted to an exact :class:`Rational`.
+
+    Doubles as a :class:`TypeError` because refusing a ``float`` where an
+    exact number is required is a typing failure by Python convention;
+    existing ``except TypeError`` call sites keep working.
+    """
+
+
 class TimeSystemError(MediaModelError):
     """Invalid discrete time system or time value (Definition 2)."""
 
@@ -94,6 +110,25 @@ class PlaybackAbortError(EngineError):
 
 class ResourceError(EngineError):
     """Admission control rejected a real-time task set."""
+
+
+class PlanRejectedError(EngineError):
+    """Static plan verification rejected a playback plan.
+
+    Raised by :meth:`~repro.engine.player.Player.plan_multimedia` (and the
+    :class:`~repro.engine.vod.VodServer` catalog) before any page reads
+    occur. ``diagnostics`` holds the
+    :class:`~repro.analysis.diagnostics.Diagnostic` rows that justified
+    the rejection.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
+class AnalysisError(MediaModelError):
+    """Misuse of the static analysis layer (bad rule id, bad target)."""
 
 
 class ObservabilityError(MediaModelError):

@@ -68,14 +68,21 @@ class MediaDatabase(Instrumented):
 
     # -- media objects -----------------------------------------------------------
 
-    def add_object(self, obj: MediaObject, **attributes: Any) -> CatalogEntry:
+    def add_object(self, obj: MediaObject, *, verify: bool = False,
+                   **attributes: Any) -> CatalogEntry:
         """Catalog a media object with domain attributes.
 
         The object's derivation lineage (if any) is registered in the
-        provenance graph automatically.
+        provenance graph automatically. With ``verify`` the static
+        graph checker runs first and a structurally broken object
+        (derivation cycle, dangling input, kind mismatch) is refused
+        with :class:`~repro.errors.PlanRejectedError` instead of
+        poisoning the catalog.
         """
         if obj.name in self._entries:
             raise CatalogError(f"object {obj.name!r} already cataloged")
+        if verify:
+            self._verify(obj)
         entry = CatalogEntry(obj, attributes)
         self._entries[obj.name] = entry
         self.provenance.register(obj)
@@ -89,6 +96,21 @@ class MediaDatabase(Instrumented):
 
     def set_attribute(self, name: str, key: str, value: Any) -> None:
         self._entry(name).attributes[key] = value
+
+    @staticmethod
+    def _verify(target) -> None:
+        """Refuse structurally broken graphs at the catalog door."""
+        from repro.analysis.graph import blocking_diagnostics, check_media_graph
+        from repro.errors import PlanRejectedError
+
+        report = check_media_graph(target)
+        blocking = blocking_diagnostics(report, "check")
+        if blocking:
+            raise PlanRejectedError(
+                f"refusing to catalog {getattr(target, 'name', target)!r}: "
+                + "; ".join(str(d) for d in blocking),
+                diagnostics=tuple(blocking),
+            )
 
     def _entry(self, name: str) -> CatalogEntry:
         self._obs.metrics.counter("query.catalog.lookups").inc()
@@ -140,12 +162,19 @@ class MediaDatabase(Instrumented):
 
     # -- interpretations ------------------------------------------------------------
 
-    def add_interpretation(self, interpretation: Interpretation) -> Interpretation:
-        """Catalog an interpretation and its sequences as media objects."""
+    def add_interpretation(self, interpretation: Interpretation,
+                           verify: bool = False) -> Interpretation:
+        """Catalog an interpretation and its sequences as media objects.
+
+        ``verify`` additionally runs the static graph checker (placement
+        bounds are always validated, with or without it).
+        """
         if interpretation.name in self._interpretations:
             raise CatalogError(
                 f"interpretation {interpretation.name!r} already cataloged"
             )
+        if verify:
+            self._verify(interpretation)
         interpretation.validate()
         self._interpretations[interpretation.name] = interpretation
         if self._obs.enabled:
@@ -166,11 +195,16 @@ class MediaDatabase(Instrumented):
 
     # -- multimedia objects -----------------------------------------------------------
 
-    def add_multimedia(self, multimedia: MultimediaObject) -> MultimediaObject:
+    def add_multimedia(self, multimedia: MultimediaObject,
+                       verify: bool = False) -> MultimediaObject:
+        """Catalog a multimedia object; ``verify`` gates it behind the
+        static graph checker (cycles and dangling inputs are refused)."""
         if multimedia.name in self._multimedia:
             raise CatalogError(
                 f"multimedia object {multimedia.name!r} already cataloged"
             )
+        if verify:
+            self._verify(multimedia)
         self._multimedia[multimedia.name] = multimedia
         return multimedia
 

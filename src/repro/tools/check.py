@@ -1,0 +1,182 @@
+"""The repo's static verification gate.
+
+Usage::
+
+    python -m repro.tools.check --all
+
+Runs the static verification layer end to end and exits non-zero on
+any ERROR-level finding, so CI can gate on it:
+
+* ``--graph`` checks exemplar media graphs (the Figure 2 capture, the
+  Figure 4 production and the §1.2 multilingual movie, rebuilt at
+  reduced scale) through the media-graph rules (MG001-MG009);
+* ``--lint`` runs the determinism/taxonomy linter (LN001-LN006) over
+  the library's own sources;
+* ``--style`` and ``--types`` invoke ``ruff`` and ``mypy`` when they
+  are installed, and are skipped (without failing) when they are not —
+  the in-tree engines above carry the gate either way.
+
+``--all`` selects every stage and is the default when no stage flag is
+given. ``--list-rules`` prints the rule table; ``--json`` switches the
+graph/lint output to the deterministic JSON reporters; ``--ignore
+RULE`` (repeatable) suppresses a rule id in both engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    DiagnosticReport,
+    GraphChecker,
+    lint_repo,
+    rule_registry,
+)
+from repro.bench.reporting import table_text
+
+#: Bandwidth (bytes/second) the exemplar graphs are priced against —
+#: generous enough that the reduced-scale examples are feasible, so a
+#: clean tree checks clean.
+EXEMPLAR_BANDWIDTH = 40_000_000
+
+
+def exemplar_graphs() -> list[tuple[str, object]]:
+    """The worked examples the graph stage verifies, at reduced scale.
+
+    Each is a real build of a paper figure — derived objects stay
+    unexpanded, which is exactly what the static checker wants.
+    """
+    from repro.bench.workloads import (
+        figure2_capture,
+        figure4_production,
+        multilingual_movie,
+    )
+
+    capture = figure2_capture(width=64, height=48, seconds=0.4, fps=10)
+    production = figure4_production(width=48, height=36, fps=10, scale=0.05)
+    _, movie = multilingual_movie(seconds=0.5, fps=10, width=48, height=36)
+    return [
+        ("figure2", capture.interpretation),
+        ("figure4", production.multimedia),
+        ("multilingual", movie),
+    ]
+
+
+def run_graph(ignore: tuple[str, ...] = ()) -> DiagnosticReport:
+    """Check every exemplar graph; one merged report."""
+    from repro.engine.player import CostModel
+
+    checker = GraphChecker(
+        cost_model=CostModel(bandwidth=EXEMPLAR_BANDWIDTH), ignore=ignore,
+    )
+    merged = DiagnosticReport(subject="graph:exemplars")
+    for _, target in exemplar_graphs():
+        merged.merge(checker.check(target))
+    return merged
+
+
+def run_external(tool: str, arguments: list[str]) -> tuple[str, str]:
+    """Run an optional external tool; ``(status, detail)``.
+
+    ``status`` is ``"ok"``, ``"failed"`` or ``"skipped"`` (tool not
+    installed — the baked-in toolchain may not carry it, and the gate
+    must not depend on it).
+    """
+    executable = shutil.which(tool)
+    if executable is None:
+        return "skipped", f"{tool} not installed"
+    result = subprocess.run(
+        [executable, *arguments], capture_output=True, text=True,
+    )
+    detail = (result.stdout + result.stderr).strip()
+    if result.returncode == 0:
+        return "ok", detail or f"{tool} clean"
+    return "failed", detail
+
+
+def list_rules_text() -> str:
+    """The registered rule table (the same source DESIGN.md renders)."""
+    return table_text(
+        ("rule", "engine", "severity", "title"),
+        rule_registry.table(),
+        title="registered analysis rules",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.check",
+        description="Static verification gate: graph rules, self-lint, "
+                    "and (when installed) ruff/mypy.",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="run every stage (default when no stage "
+                             "flag is given)")
+    parser.add_argument("--graph", action="store_true",
+                        help="check the exemplar media graphs")
+    parser.add_argument("--lint", action="store_true",
+                        help="lint the library's own sources")
+    parser.add_argument("--style", action="store_true",
+                        help="run ruff if installed (skipped otherwise)")
+    parser.add_argument("--types", action="store_true",
+                        help="run mypy if installed (skipped otherwise)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rule table and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit graph/lint reports as JSON")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="RULE",
+                        help="suppress a rule id (repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+
+    selected = {
+        stage for stage in ("graph", "lint", "style", "types")
+        if getattr(args, stage)
+    }
+    if args.all or not selected:
+        selected = {"graph", "lint", "style", "types"}
+    ignore = tuple(args.ignore)
+
+    failed = []
+    for stage in ("graph", "lint"):
+        if stage not in selected:
+            continue
+        report = run_graph(ignore) if stage == "graph" else lint_repo(ignore)
+        print(report.to_json() if args.json else report.render_text())
+        print()
+        if not report.ok:
+            failed.append(stage)
+
+    src_root = str(Path(__file__).resolve().parents[2])
+    external = {
+        "style": ("ruff", ["check", src_root]),
+        "types": ("mypy", ["--ignore-missing-imports", src_root]),
+    }
+    for stage in ("style", "types"):
+        if stage not in selected:
+            continue
+        tool, arguments = external[stage]
+        status, detail = run_external(tool, arguments)
+        print(f"{stage} ({tool}): {status}")
+        if status == "failed":
+            print(detail)
+            failed.append(stage)
+        print()
+
+    if failed:
+        print(f"check failed: {', '.join(failed)}")
+        return 1
+    print("check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

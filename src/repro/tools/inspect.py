@@ -20,6 +20,11 @@ recent flight-recorder events. ``--timeline PATH`` writes the same
 instrumented run's spans and events as Chrome ``trace_event`` JSON,
 loadable in chrome://tracing or Perfetto. Both take the serving
 bandwidth from ``--play`` when given, else 2 MB/s.
+
+``--verify`` runs the static media-graph checker over the container's
+interpretation and prints its findings; the exit code turns non-zero
+on any ERROR-level diagnostic, so a broken container is caught before
+anything tries to play it.
 """
 
 from __future__ import annotations
@@ -190,6 +195,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeline", metavar="PATH",
                         help="write the instrumented serving run as "
                              "Chrome trace_event JSON to PATH")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the static graph checker over the "
+                             "container and fail on any error finding")
     args = parser.parse_args(argv)
 
     try:
@@ -199,6 +207,19 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     print(describe_interpretation(interpretation))
+    if args.verify:
+        from repro.analysis import GraphChecker
+
+        checker = GraphChecker(
+            cost_model=CostModel(
+                bandwidth=args.play or DEFAULT_HEALTH_BANDWIDTH
+            )
+        )
+        report = checker.check(interpretation)
+        print(report.render_text())
+        print()
+        if not report.ok:
+            return 1
     if args.table:
         print(placement_table_text(interpretation, args.table))
         print()

@@ -1,0 +1,145 @@
+"""Tests for the shared diagnostic core."""
+
+import json
+
+import pytest
+
+from repro.analysis import Diagnostic, DiagnosticReport, RuleRegistry, rule_registry
+from repro.errors import AnalysisError
+from repro.obs import Severity
+
+
+def make(rule="MG001", severity=Severity.ERROR, location="multimedia:m",
+         message="boom", **kw):
+    return Diagnostic(rule=rule, severity=severity, location=location,
+                      message=message, **kw)
+
+
+class TestDiagnostic:
+    def test_str_carries_rule_location_and_hint(self):
+        d = make(hint="fix it")
+        assert str(d) == (
+            "multimedia:m: error [MG001] boom (hint: fix it)"
+        )
+
+    def test_where_appends_line_when_known(self):
+        assert make().where() == "multimedia:m"
+        assert make(line=12).where() == "multimedia:m:12"
+
+    def test_severity_coerced_from_string(self):
+        d = make(severity="warning")
+        assert d.severity is Severity.WARNING
+        assert not d.is_error
+
+    def test_is_error_includes_critical(self):
+        assert make(severity=Severity.CRITICAL).is_error
+        assert not make(severity=Severity.INFO).is_error
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(AnalysisError):
+            Diagnostic(rule="", severity=Severity.ERROR,
+                       location="x", message="y")
+
+    def test_export_keys_are_stable(self):
+        assert list(make().export()) == [
+            "rule", "severity", "location", "line", "message", "hint",
+        ]
+
+
+class TestDiagnosticReport:
+    def test_ordering_is_insertion_independent(self):
+        a = make(location="b", rule="MG002", message="second")
+        b = make(location="a", rule="MG001", message="first")
+        assert (DiagnosticReport([a, b]).diagnostics
+                == DiagnosticReport([b, a]).diagnostics == [b, a])
+
+    def test_ok_only_without_errors(self):
+        report = DiagnosticReport([make(severity=Severity.WARNING)])
+        assert report.ok
+        report.add(make())
+        assert not report.ok
+
+    def test_errors_warnings_split(self):
+        report = DiagnosticReport([
+            make(), make(severity=Severity.WARNING, rule="MG006"),
+            make(severity=Severity.INFO, rule="MG007"),
+        ])
+        assert [d.rule for d in report.errors()] == ["MG001"]
+        assert [d.rule for d in report.warnings()] == ["MG006"]
+
+    def test_by_rule_and_rules(self):
+        report = DiagnosticReport([make(), make(message="again"),
+                                   make(rule="MG005")])
+        assert len(report.by_rule("MG001")) == 2
+        assert report.rules() == ["MG001", "MG005"]
+
+    def test_render_text_footer(self):
+        report = DiagnosticReport([make()], subject="multimedia:m")
+        text = report.render_text()
+        assert text.splitlines()[-1] == (
+            "multimedia:m: 1 finding(s), 1 error(s), 0 warning(s)"
+        )
+
+    def test_merge_combines(self):
+        left = DiagnosticReport([make()], subject="s")
+        left.merge(DiagnosticReport([make(rule="MG002")]))
+        assert len(left) == 2
+
+    def test_json_golden(self):
+        report = DiagnosticReport(
+            [make(hint="break the cycle", line=None)], subject="multimedia:m",
+        )
+        assert report.to_json() == (
+            '{\n'
+            '  "counts": {\n'
+            '    "errors": 1,\n'
+            '    "total": 1,\n'
+            '    "warnings": 0\n'
+            '  },\n'
+            '  "findings": [\n'
+            '    {\n'
+            '      "hint": "break the cycle",\n'
+            '      "line": null,\n'
+            '      "location": "multimedia:m",\n'
+            '      "message": "boom",\n'
+            '      "rule": "MG001",\n'
+            '      "severity": "ERROR"\n'
+            '    }\n'
+            '  ],\n'
+            '  "ok": false,\n'
+            '  "subject": "multimedia:m"\n'
+            '}'
+        )
+
+    def test_json_roundtrips_deterministically(self):
+        report = DiagnosticReport([make(), make(rule="MG005")], subject="s")
+        assert report.to_json() == report.to_json()
+        payload = json.loads(report.to_json())
+        assert payload["counts"]["total"] == 2
+        assert payload["ok"] is False
+
+
+class TestRuleRegistry:
+    def test_process_registry_has_both_engines(self):
+        assert rule_registry.ids("graph") == [
+            f"MG{n:03d}" for n in range(1, 10)
+        ]
+        assert rule_registry.ids("lint") == [
+            f"LN{n:03d}" for n in range(1, 7)
+        ]
+
+    def test_duplicate_registration_rejected(self):
+        registry = RuleRegistry()
+        registry.register("XX001", "x", Severity.ERROR, engine="graph")
+        with pytest.raises(AnalysisError):
+            registry.register("XX001", "x", Severity.ERROR, engine="graph")
+
+    def test_unknown_rule_lookup_fails(self):
+        with pytest.raises(AnalysisError):
+            RuleRegistry().get("nope")
+
+    def test_table_rows_match_ids(self):
+        rows = rule_registry.table()
+        assert [row[0] for row in rows] == rule_registry.ids()
+        assert ("MG001", "graph", "ERROR", "derivation/composition cycle") \
+            in rows

@@ -1,0 +1,304 @@
+"""Tests for the static media-graph checker (rules MG001-MG009)."""
+
+import pytest
+
+from repro.analysis import (
+    GraphChecker,
+    blocking_diagnostics,
+    check_media_graph,
+    classify_derivations,
+    static_bytes,
+    static_duration,
+    static_rate,
+)
+from repro.analysis.graph import GraphWalker
+from repro.blob.blob import MemoryBlob
+from repro.core.composition import MultimediaObject
+from repro.core.media_object import DerivedMediaObject
+from repro.core.rational import Rational
+from repro.edit.editor import MediaEditor
+from repro.engine.player import CostModel
+from repro.engine.recorder import Recorder
+from repro.errors import AnalysisError
+from repro.media import frames, signals
+from repro.media.objects import audio_object, video_object
+
+FAST = CostModel(bandwidth=40_000_000)
+
+
+def tiny_video(name="v1", count=6, content="orbit", **kw):
+    return video_object(frames.scene(32, 24, count, content), name, **kw)
+
+
+def tiny_audio(name="a1", seconds=0.25, tone=440):
+    return audio_object(signals.sine(tone, seconds, 8000) * 0.5, name,
+                        sample_rate=8000, block_samples=80)
+
+
+@pytest.fixture
+def editor():
+    return MediaEditor()
+
+
+class TestStaticEstimates:
+    def test_duration_from_descriptor(self):
+        video = tiny_video()
+        assert static_duration(video) == Rational(6, 25)
+
+    def test_bytes_of_stream_object(self):
+        video = tiny_video()
+        assert static_bytes(video) == video.stream().total_size()
+
+    def test_derived_bytes_sum_inputs_without_expanding(self, editor):
+        video = tiny_video()
+        cut = editor.cut(video, 0, 4, name="c1")
+        assert static_bytes(cut) == static_bytes(video)
+        assert not cut.is_materialized  # nothing expanded
+
+    def test_rate_falls_back_to_bytes_over_duration(self):
+        audio = tiny_audio()
+        rate = static_rate(audio)
+        assert rate == Rational(static_bytes(audio)) / static_duration(audio)
+
+
+class TestCleanPipeline:
+    def test_figure5_style_pipeline_checks_clean(self, editor):
+        """The paper's production pipeline yields zero diagnostics."""
+        video = tiny_video(count=8)
+        audio = tiny_audio(seconds=0.32)
+        cut = editor.cut(video, 0, 8, name="picture-cut")
+        movie = MultimediaObject("movie")
+        movie.add_temporal(cut, at=0, label="picture")
+        movie.add_temporal(audio, at=0, label="music")
+        report = check_media_graph(movie, cost_model=FAST)
+        assert report.ok
+        assert len(report) == 0
+
+    def test_recorded_interpretation_checks_clean(self):
+        interp = Recorder(MemoryBlob()).record([tiny_video()])
+        report = check_media_graph(interp, cost_model=FAST)
+        assert len(report) == 0
+        assert report.subject == f"interpretation:{interp.name}"
+
+
+class TestCycles:
+    def test_composition_cycle_is_mg001_not_recursion(self):
+        outer = MultimediaObject("outer")
+        inner = MultimediaObject("inner")
+        outer.add_temporal(inner, at=0, label="inner")
+        inner.add_temporal(outer, at=0, label="outer")
+        report = check_media_graph(outer, cost_model=FAST)
+        findings = report.by_rule("MG001")
+        assert [d.location for d in findings] == ["outer/inner/outer"]
+        assert not report.ok
+
+    def test_derivation_cycle_is_mg001(self, editor):
+        cut = editor.cut(tiny_video(), 0, 4, name="cyc")
+        cut.derivation_object.inputs = (cut,)
+        report = check_media_graph(cut, cost_model=FAST)
+        findings = report.by_rule("MG001")
+        assert len(findings) == 1
+        assert findings[0].location == "cyc<-cyc"
+
+
+class TestDangling:
+    def test_blob_truncation_is_mg002(self):
+        interp = Recorder(MemoryBlob()).record([tiny_video()])
+        interp.blob = MemoryBlob()  # placements now point past the BLOB
+        report = check_media_graph(interp, cost_model=FAST)
+        locations = [d.location for d in report.by_rule("MG002")]
+        assert f"{interp.name}/v1" in locations
+        assert f"interpretation:{interp.name}" in locations
+        assert not report.ok
+
+
+class TestKinds:
+    def test_declared_kind_contradicting_derivation_is_mg003(self, editor):
+        video = tiny_video()
+        audio = tiny_audio()
+        cut = editor.cut(video, 0, 4, name="c1")
+        mislabeled = DerivedMediaObject(
+            audio.media_type, audio.descriptor, cut.derivation_object,
+            name="badkind",
+        )
+        report = check_media_graph(mislabeled, cost_model=FAST)
+        findings = report.by_rule("MG003")
+        assert [d.location for d in findings] == ["derived:badkind"]
+        assert "video-edit" in findings[0].message
+
+
+class TestTimeSystems:
+    def test_non_commensurate_overlap_is_mg004(self):
+        ntsc = tiny_video("nv", media_type_name="ntsc-video")
+        audio = tiny_audio()  # 8000 Hz vs 30000/1001: non-commensurate
+        movie = MultimediaObject("m")
+        movie.add_temporal(ntsc, at=0, label="video")
+        movie.add_temporal(audio, at=0, label="audio")
+        report = check_media_graph(movie, cost_model=FAST)
+        assert report.rules() == ["MG004"]
+        assert report.ok  # a warning, not an error
+
+    def test_commensurate_pal_and_audio_are_silent(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_video(), at=0, label="video")
+        movie.add_temporal(tiny_audio(), at=0, label="audio")  # 8000 = 320*25
+        report = check_media_graph(movie, cost_model=FAST)
+        assert report.by_rule("MG004") == []
+
+    def test_derivation_inputs_checked_too(self, editor):
+        ntsc = tiny_video("nv", media_type_name="ntsc-video")
+        pal = tiny_video("pv")
+        fade = editor.transition(ntsc, pal, 2, kind="fade", name="f")
+        report = check_media_graph(fade, cost_model=FAST)
+        findings = report.by_rule("MG004")
+        assert [d.location for d in findings] == ["derived:f"]
+
+
+class TestOverlapsAndGaps:
+    def test_video_overlap_is_an_error(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_video("v1"), at=0, label="v1")
+        movie.add_temporal(tiny_video("v2", content="cut"), at=0, label="v2")
+        report = check_media_graph(movie, cost_model=FAST)
+        findings = report.by_rule("MG005")
+        assert len(findings) == 1
+        assert findings[0].is_error
+        assert not report.ok
+
+    def test_spatial_placement_disambiguates(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_video("v1"), at=0, label="v1")
+        movie.add_spatial(tiny_video("v2", content="cut"), 10, 20)
+        report = check_media_graph(movie, cost_model=FAST)
+        assert report.by_rule("MG005") == []
+
+    def test_audio_overlap_is_only_a_warning(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_audio("a1"), at=0, label="a1")
+        movie.add_temporal(tiny_audio("a2", tone=330), at=0, label="a2")
+        report = check_media_graph(movie, cost_model=FAST)
+        findings = report.by_rule("MG005")
+        assert len(findings) == 1
+        assert not findings[0].is_error
+        assert report.ok
+
+    def test_interior_gap_is_mg006(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_video("v1"), at=0, label="v1")
+        movie.add_temporal(tiny_video("v2", content="cut"), at=5, label="v2")
+        report = check_media_graph(movie, cost_model=FAST)
+        findings = report.by_rule("MG006")
+        assert len(findings) == 1
+        assert findings[0].location == "multimedia:m"
+        assert "0:05.000" in findings[0].message
+
+
+class TestQuality:
+    def make_downgrade(self, editor):
+        video = tiny_video(quality_factor="production quality")
+        low = tiny_video("low", quality_factor="VHS quality")
+        cut = editor.cut(video, 0, 4, name="c1")
+        return DerivedMediaObject(
+            video.media_type, low.descriptor, cut.derivation_object,
+            name="down",
+        )
+
+    def test_silent_downgrade_is_mg007(self, editor):
+        report = check_media_graph(self.make_downgrade(editor),
+                                   cost_model=FAST)
+        findings = report.by_rule("MG007")
+        assert [d.location for d in findings] == ["derived:down"]
+        assert "VHS quality" in findings[0].message
+
+    def test_quality_floor_scopes_the_rule(self, editor):
+        downgrade = self.make_downgrade(editor)
+        # VHS rank 20 stays above a floor of 10: tolerated.
+        lenient = GraphChecker(cost_model=FAST, quality_floor=10)
+        assert lenient.check(downgrade).by_rule("MG007") == []
+        # ... but crosses a floor of 30: flagged.
+        strict = GraphChecker(cost_model=FAST, quality_floor=30)
+        assert len(strict.check(downgrade).by_rule("MG007")) == 1
+
+    def test_preserved_quality_is_silent(self, editor):
+        video = tiny_video(quality_factor="production quality")
+        cut = editor.cut(video, 0, 4, name="c1")
+        report = check_media_graph(cut, cost_model=FAST)
+        assert report.by_rule("MG007") == []
+
+
+class TestFeasibility:
+    def test_tight_budget_forces_materialization_mg008(self, editor):
+        movie = MultimediaObject("m")
+        movie.add_temporal(editor.cut(tiny_video(), 0, 4, name="c1"),
+                           at=0, label="picture")
+        checker = GraphChecker(cost_model=CostModel(),
+                               startup_budget=Rational(1, 1000))
+        report = checker.check(movie)
+        findings = report.by_rule("MG008")
+        assert [d.location for d in findings] == ["m/picture"]
+        assert report.ok  # advisory: a warning under the default gate
+
+    def test_materialized_derivation_needs_no_warning(self, editor):
+        cut = editor.cut(tiny_video(), 0, 4, name="c1")
+        cut.materialize()
+        movie = MultimediaObject("m")
+        movie.add_temporal(cut, at=0, label="picture")
+        checker = GraphChecker(cost_model=CostModel(),
+                               startup_budget=Rational(1, 1000))
+        assert checker.check(movie).by_rule("MG008") == []
+
+    def test_classify_derivations_prices_the_choice(self, editor):
+        movie = MultimediaObject("m")
+        movie.add_temporal(editor.cut(tiny_video(), 0, 4, name="c1"),
+                           at=0, label="picture")
+        walker = GraphWalker("multimedia:m")
+        context = walker.walk_multimedia(movie)
+        context.cost_model = CostModel()
+        context.startup_budget = Rational(1, 1000)
+        verdicts = classify_derivations(context)
+        assert len(verdicts) == 1
+        assert verdicts[0].must_materialize
+        assert verdicts[0].cost > verdicts[0].budget
+
+    def test_overcommitted_bandwidth_is_mg009(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_audio("a1"), at=0, label="a1")
+        movie.add_temporal(tiny_audio("a2", tone=330), at=0, label="a2")
+        report = GraphChecker(bandwidth=20_000).check(movie)
+        findings = report.by_rule("MG009")
+        assert len(findings) == 1
+        assert findings[0].is_error
+        # Either track alone fits the same bandwidth.
+        solo = MultimediaObject("solo")
+        solo.add_temporal(tiny_audio("a1"), at=0, label="a1")
+        assert GraphChecker(bandwidth=20_000).check(solo).by_rule("MG009") \
+            == []
+
+
+class TestCheckerApi:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(AnalysisError):
+            check_media_graph(object())
+
+    def test_ignore_suppresses_by_id(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_video("v1"), at=0, label="v1")
+        movie.add_temporal(tiny_video("v2", content="cut"), at=0, label="v2")
+        report = check_media_graph(movie, cost_model=FAST, ignore=("MG005",))
+        assert report.by_rule("MG005") == []
+
+    def test_negative_startup_budget_rejected(self):
+        with pytest.raises(AnalysisError):
+            GraphChecker(startup_budget=-1)
+
+    def test_blocking_policies(self):
+        movie = MultimediaObject("m")
+        movie.add_temporal(tiny_audio("a1"), at=0, label="a1")
+        movie.add_temporal(tiny_audio("a2", tone=330), at=0, label="a2")
+        report = GraphChecker(bandwidth=20_000).check(movie)
+        assert blocking_diagnostics(report, "off") == []
+        assert blocking_diagnostics(report, "check") == []  # MG009 not structural
+        assert [d.rule for d in blocking_diagnostics(report, "strict")] \
+            == ["MG009"]
+        with pytest.raises(AnalysisError):
+            blocking_diagnostics(report, "paranoid")

@@ -1,0 +1,204 @@
+"""Tests for the determinism/taxonomy linter (rules LN001-LN006)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, lint_paths
+from repro.analysis.lint import RNG_ALLOWLIST, WALLCLOCK_ALLOWLIST
+from repro.errors import AnalysisError
+from repro.obs import Severity
+
+
+def lint_source(tmp_path, source, name="fixture.py", ignore=()):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], ignore=ignore)
+
+
+class TestWallClock:
+    def test_time_time_flagged_with_line(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        findings = report.by_rule("LN001")
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert findings[0].location.endswith("fixture.py")
+
+    def test_monotonic_and_sleep_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            def nap():
+                time.sleep(1)
+                return time.monotonic()
+            """)
+        assert len(report.by_rule("LN001")) == 2
+
+    def test_simulated_clock_calls_pass(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def advance(clock):
+                return clock.now() + clock.tick()
+            """)
+        assert report.by_rule("LN001") == []
+
+    def test_resources_module_is_sanctioned(self):
+        assert "repro/engine/resources.py" in WALLCLOCK_ALLOWLIST
+
+
+class TestRandomness:
+    def test_global_random_import_flagged(self, tmp_path):
+        report = lint_source(tmp_path, "import random\n")
+        assert len(report.by_rule("LN002")) == 1
+
+    def test_from_random_import_flagged(self, tmp_path):
+        report = lint_source(tmp_path, "from random import shuffle\n")
+        assert len(report.by_rule("LN002")) == 1
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """)
+        findings = report.by_rule("LN002")
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_seeded_default_rng_passes(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import numpy as np
+
+            rng = np.random.default_rng(7)
+            other = np.random.default_rng(seed=11)
+            """)
+        assert report.by_rule("LN002") == []
+
+    def test_seeded_media_modules_are_allowlisted(self):
+        assert RNG_ALLOWLIST == {
+            "repro/media/frames.py",
+            "repro/media/signals.py",
+            "repro/bench/workloads.py",
+        }
+
+
+class TestErrorTaxonomy:
+    def test_builtin_raise_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def f(x):
+                raise ValueError(f"bad {x}")
+            """)
+        findings = report.by_rule("LN003")
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+
+    def test_taxonomy_and_sanctioned_raises_pass(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            from repro.errors import EngineError
+
+            def f():
+                raise EngineError("nope")
+
+            def g():
+                raise NotImplementedError
+            """)
+        assert report.by_rule("LN003") == []
+
+    def test_unparsable_file_is_critical(self, tmp_path):
+        report = lint_source(tmp_path, "def broken(:\n")
+        findings = report.by_rule("LN003")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.CRITICAL
+
+
+class TestMutableDefaults:
+    def test_list_and_dict_call_defaults_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def f(items=[], table=dict()):
+                return items, table
+            """)
+        assert len(report.by_rule("LN004")) == 2
+
+    def test_immutable_defaults_pass(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def f(items=(), name=None, flags=frozenset()):
+                return items, name, flags
+            """)
+        assert report.by_rule("LN004") == []
+
+
+class TestApiAllSync:
+    def lint_facade(self, tmp_path, source):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "api.py").write_text(textwrap.dedent(source))
+        return LintEngine(root).run()
+
+    def test_matching_all_passes(self, tmp_path):
+        report = self.lint_facade(tmp_path, """\
+            from __future__ import annotations
+
+            from os.path import join
+
+            __all__ = ["join"]
+            """)
+        assert report.by_rule("LN005") == []
+
+    def test_both_drift_directions_flagged(self, tmp_path):
+        report = self.lint_facade(tmp_path, """\
+            from os.path import join, split
+
+            __all__ = ["join", "phantom"]
+            """)
+        messages = [d.message for d in report.by_rule("LN005")]
+        assert any("phantom" in m for m in messages)
+        assert any("split" in m for m in messages)
+
+    def test_missing_all_flagged(self, tmp_path):
+        report = self.lint_facade(tmp_path, "from os.path import join\n")
+        assert len(report.by_rule("LN005")) == 1
+
+
+class TestEventSeverity:
+    def test_record_without_severity_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def emit(obs):
+                obs.events.record("engine", "started")
+            """)
+        assert len(report.by_rule("LN006")) == 1
+
+    def test_severity_first_passes(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def emit(obs, verdict):
+                obs.events.record(Severity.WARNING, "engine", "late")
+                obs.events.record(verdict.severity, "engine", "slo")
+            """)
+        assert report.by_rule("LN006") == []
+
+    def test_media_recorder_record_not_confused(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def capture(recorder, objects):
+                return recorder.record(objects)
+            """)
+        assert report.by_rule("LN006") == []
+
+
+class TestEngineApi:
+    def test_ignore_suppresses_by_id(self, tmp_path):
+        report = lint_source(tmp_path, "import random\n", ignore=("LN002",))
+        assert len(report) == 0
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            LintEngine(tmp_path / "absent")
+
+    def test_locations_are_root_relative(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("import random\n")
+        report = LintEngine(tmp_path / "pkg").run()
+        assert [d.location for d in report] == ["pkg/sub/mod.py"]

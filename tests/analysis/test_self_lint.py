@@ -1,0 +1,30 @@
+"""The repo lints itself: the contracts the linter enforces hold here.
+
+This is the CI teeth of the determinism/taxonomy contracts — a wall
+clock, an unseeded RNG or a stray builtin raise introduced anywhere in
+``src/repro`` fails this test.
+"""
+
+from repro.analysis import lint_repo
+
+
+def test_repo_is_clean():
+    report = lint_repo()
+    assert report.ok, "\n" + report.render_text()
+    assert len(report) == 0, "\n" + report.render_text()
+
+
+def test_self_lint_covers_the_whole_package():
+    from repro.analysis.lint import LintEngine
+
+    files = LintEngine().files()
+    names = {path.name for path in files}
+    # Spot-check that the sweep reaches every layer, facade included.
+    assert "api.py" in names
+    assert "player.py" in names
+    assert "lint.py" in names
+    assert len(files) > 40
+
+
+def test_self_lint_is_deterministic():
+    assert lint_repo().to_json() == lint_repo().to_json()

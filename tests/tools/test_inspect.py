@@ -48,6 +48,11 @@ class TestInspectCli:
         out = capsys.readouterr().out
         assert "engine.play.runs" not in out
 
+    def test_verify_clean_container(self, container_path, capsys):
+        assert main([container_path, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s), 0 error(s)" in out
+
     def test_missing_file_fails(self, tmp_path, capsys):
         assert main([str(tmp_path / "nope.rmf")]) == 1
         err = capsys.readouterr().err
