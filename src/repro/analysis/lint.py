@@ -19,6 +19,11 @@ linter makes those promises checkable:
 * **LN006** — flight-recorder emissions (``*.events.record(...)``)
   always pass a severity first, so the recorder's ring can be filtered
   by level without guessing.
+* **LN007** — durability-critical writes route through the durability
+  layer: the builtin ``open()`` with a write mode is banned outside
+  :mod:`repro.durability.fs` (the single raw-IO funnel), so every
+  mutation can be crash-tested through the simulated medium and the
+  WAL/atomic-commit helpers.
 
 Pure ``ast`` — nothing is imported or executed, so linting the codebase
 cannot perturb it.
@@ -46,6 +51,13 @@ RNG_ALLOWLIST: frozenset[str] = frozenset({
     "repro/media/frames.py",
     "repro/media/signals.py",
     "repro/bench/workloads.py",
+})
+
+#: Modules allowed to call the builtin ``open()`` with a write mode.
+#: Everything else writes through ``repro.durability`` (WAL, atomic
+#: commit, or a Filesystem handle) so the crash matrix can intercept it.
+RAW_WRITE_ALLOWLIST: frozenset[str] = frozenset({
+    "repro/durability/fs.py",
 })
 
 #: Builtin raises that stay legitimate: abstract methods and iterator
@@ -84,6 +96,9 @@ for _rule, _title, _sev, _doc in (
      "repro.api exports and __all__ disagree."),
     ("LN006", "severity-less event emission", Severity.ERROR,
      "A flight-recorder record() call does not lead with a severity."),
+    ("LN007", "raw write bypasses the durability layer", Severity.ERROR,
+     "A builtin open() with a write mode outside repro.durability.fs; "
+     "such writes are invisible to the crash matrix."),
 ):
     rule_registry.register(_rule, _title, _sev, engine="lint", doc=_doc)
 
@@ -135,6 +150,7 @@ class _FileLinter(ast.NodeVisitor):
         self.ignore = ignore
         self.allow_wallclock = location in WALLCLOCK_ALLOWLIST
         self.allow_rng = location in RNG_ALLOWLIST
+        self.allow_raw_write = location in RAW_WRITE_ALLOWLIST
 
     def _emit(self, rule: str, line: int, message: str, hint: str) -> None:
         if rule in self.ignore:
@@ -195,6 +211,18 @@ class _FileLinter(ast.NodeVisitor):
                 f"call into global random state: random.{method}()",
                 "use a seeded numpy Generator instead",
             )
+        if (not self.allow_raw_write and receiver is None
+                and method == "open"):
+            mode = self._open_mode(node)
+            if mode is not None and any(ch in mode for ch in "wax+"):
+                self._emit(
+                    "LN007", node.lineno,
+                    f"builtin open(..., {mode!r}) bypasses the "
+                    "durability layer",
+                    "write through repro.durability (atomic_write_bytes, "
+                    "a WriteAheadLog, or a Filesystem handle) so the "
+                    "crash matrix can intercept the write",
+                )
         if method == "record" and self._is_events_receiver(node.func):
             first = node.args[0] if node.args else None
             if first is None or not _is_severity_expression(first):
@@ -205,6 +233,20 @@ class _FileLinter(ast.NodeVisitor):
                     "first argument",
                 )
         self.generic_visit(node)
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The constant mode string of an ``open()`` call, if present."""
+        mode: ast.AST | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
 
     @staticmethod
     def _is_events_receiver(func: ast.AST) -> bool:
@@ -405,6 +447,7 @@ def lint_paths(paths: Iterable[Path | str],
 
 __all__ = [
     "LintEngine",
+    "RAW_WRITE_ALLOWLIST",
     "RNG_ALLOWLIST",
     "SANCTIONED_BUILTIN_RAISES",
     "WALLCLOCK_ALLOWLIST",

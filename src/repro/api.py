@@ -7,7 +7,8 @@ Import from here::
 Everything in ``__all__`` is the blessed, stable face of the library —
 the data model (timed streams, interpretation, derivation,
 composition), the storage substrate, the caching layer (``BufferPool``,
-``DerivationCache``), the playback engine, fault injection,
+``DerivationCache``), the playback engine, fault injection, the
+durability layer (WAL, atomic commits, recovery, the crash matrix),
 observability, the static verification layer and the query catalog. Subpackage-internal
 names (codecs' DCT helpers, pager internals, benchmark plumbing) are
 deliberately excluded; reaching past this module into submodules is
@@ -41,6 +42,16 @@ from repro.blob import (
     PageStore,
 )
 from repro.cache import BufferPool, DerivationCache
+from repro.durability import (
+    CrashMatrix,
+    CrashMatrixReport,
+    DurablePageStore,
+    RecoveryReport,
+    WriteAheadLog,
+    atomic_write_bytes,
+    default_scenarios,
+    recover_page_store,
+)
 from repro.core import (
     DerivationObject,
     Derivation,
@@ -80,7 +91,12 @@ from repro.engine import (
     VodServer,
     measure_sync,
 )
-from repro.faults import FaultPlan, FaultyPager
+from repro.faults import (
+    CrashInjector,
+    FaultPlan,
+    FaultyPager,
+    SimulatedMedium,
+)
 from repro.obs import (
     Event,
     FlightRecorder,
@@ -171,8 +187,19 @@ __all__ = [
     "ServerReport",
     "measure_sync",
     # faults
+    "CrashInjector",
     "FaultPlan",
     "FaultyPager",
+    "SimulatedMedium",
+    # durability
+    "CrashMatrix",
+    "CrashMatrixReport",
+    "DurablePageStore",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "default_scenarios",
+    "recover_page_store",
     # observability
     "Observability",
     "NullObservability",

@@ -67,19 +67,43 @@ class FilePager:
     The file is opened (and created if missing) in binary read/write
     mode. Pages are addressed by number; growing extends the file with a
     zeroed page.
+
+    ``fs`` selects the filesystem the pager writes through — the real OS
+    by default, or a crashable
+    :class:`~repro.faults.disk.SimulatedMedium` under the crash matrix.
+    :meth:`sync` is the durability barrier
+    :class:`~repro.durability.store.DurablePageStore` checkpoints
+    against.
     """
 
-    def __init__(self, path: str | os.PathLike, page_size: int = PAGE_SIZE):
+    def __init__(self, path: str | os.PathLike, page_size: int = PAGE_SIZE,
+                 fs=None, repair: bool = False):
+        # Imported lazily: repro.durability.fs is dependency-free, but
+        # pulling it in at module scope would run repro.durability's
+        # package init, which imports this module right back.
+        from repro.durability.fs import resolve
+
         self.page_size = page_size
         self.path = os.fspath(path)
-        mode = "r+b" if os.path.exists(self.path) else "w+b"
-        self._file = open(self.path, mode)
+        self.fs = resolve(fs)
+        self.repaired_bytes = 0
+        mode = "r+b" if self.fs.exists(self.path) else "w+b"
+        self._file = self.fs.open(self.path, mode)
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % page_size:
-            raise BlobError(
-                f"{self.path} size {size} is not a multiple of page size"
-            )
+            if not repair:
+                raise BlobError(
+                    f"{self.path} size {size} is not a multiple of page size"
+                )
+            # A crash can tear the file's last page mid-write. Pad it
+            # back to a page boundary: WAL replay rewrites any damaged
+            # committed page from its full image, and bytes past the
+            # last commit were never acknowledged.
+            pad = page_size - (size % page_size)
+            self._file.write(b"\x00" * pad)
+            self.repaired_bytes = pad
+            size += pad
         self._page_count = size // page_size
 
     def __len__(self) -> int:
@@ -112,6 +136,19 @@ class FilePager:
 
     def flush(self) -> None:
         self._file.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync the backing file: pages are durable after this.
+
+        Also fsyncs the parent directory — a file this pager *created*
+        has no durable name until its directory entry is synced, and a
+        crash would otherwise resurrect an empty namespace around a
+        perfectly synced file (the crash matrix caught exactly that).
+        """
+        self.fs.fsync(self._file)
+        fsync_dir = getattr(self.fs, "fsync_dir", None)
+        if fsync_dir is not None:
+            fsync_dir(os.path.dirname(self.path) or ".")
 
     def close(self) -> None:
         if not self._file.closed:

@@ -151,6 +151,38 @@ class DerivationCache(Instrumented):
             "rejections": self.rejections,
         }
 
+    def manifest(self) -> dict:
+        """JSON-safe snapshot of the cache's *metadata* for a checkpoint.
+
+        Records which expansions were resident with their sizes,
+        benefits and recency — not the expanded bytes themselves, which
+        can be recomputed from the derivation objects. A restored
+        server re-expands on demand; the manifest tells it (and the
+        operator reading the checkpoint) exactly what warm state was
+        lost at the crash. Deterministic: entries sort by key.
+        """
+        return {
+            "budget_bytes": self.budget_bytes,
+            "min_benefit_seconds": self.min_benefit_seconds,
+            "occupancy_bytes": self._occupancy,
+            "entries": [
+                {
+                    "key": key,
+                    "size": entry.size,
+                    "benefit_seconds": entry.benefit_seconds,
+                    "density": entry.density,
+                    "last_use": entry.last_use,
+                }
+                for key, entry in sorted(self._entries.items())
+            ],
+            "counters": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejections": self.rejections,
+            },
+        }
+
     # -- cost model ---------------------------------------------------------------
 
     def benefit_seconds(self, derived: DerivedMediaObject,

@@ -1,0 +1,66 @@
+"""Atomic whole-file commit: shadow write + fsync barrier + rename.
+
+The classic three-step protocol for replacing a file so that a reader —
+or a recovery pass — sees either the complete old bytes or the complete
+new bytes, never a prefix:
+
+1. write the new content to ``<path>.tmp`` *in the same directory*
+   (same filesystem, so the rename below is atomic) and fsync it;
+2. ``os.replace`` the temp file over the target — the atomicity point;
+3. fsync the parent directory so the rename itself is durable.
+
+Skipping step 3 is the classic bug: on a real filesystem the rename
+lives only in the directory's page cache, and a crash resurrects the
+old file. :class:`~repro.faults.disk.SimulatedMedium` models exactly
+that, so the crash matrix fails if the barrier is ever dropped.
+"""
+
+from __future__ import annotations
+
+from repro.durability.fs import dirname, resolve
+from repro.faults.crash import NULL_CRASH, CrashInjector
+
+#: Suffix of in-flight shadow files; readers must ignore these.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_bytes(path: str, data: bytes, fs=None,
+                       crash: CrashInjector | None = None) -> None:
+    """Durably replace ``path``'s content with ``data``, atomically."""
+    fs = resolve(fs)
+    crash = crash or NULL_CRASH
+    path = str(path)
+    temp = path + TMP_SUFFIX
+    crash.point("atomic.begin")
+    handle = fs.open(temp, "wb")
+    try:
+        handle.write(data)
+        crash.point("atomic.after_write")
+        fs.fsync(handle)
+    finally:
+        handle.close()
+    crash.point("atomic.after_sync")
+    fs.replace(temp, path)
+    crash.point("atomic.after_replace")
+    fs.fsync_dir(dirname(path))
+    crash.point("atomic.after_dir_sync")
+
+
+def read_bytes(path: str, fs=None) -> bytes:
+    """Read a whole file through the same filesystem interface."""
+    fs = resolve(fs)
+    with fs.open(str(path), "rb") as handle:
+        return handle.read()
+
+
+def remove_stale_temp(path: str, fs=None) -> bool:
+    """Delete a leftover ``<path>.tmp`` from a crashed commit, if any.
+
+    Returns True when one was found. Safe to call unconditionally
+    before reading ``path`` after a restart."""
+    fs = resolve(fs)
+    temp = str(path) + TMP_SUFFIX
+    if fs.exists(temp):
+        fs.remove(temp)
+        return True
+    return False

@@ -1,0 +1,87 @@
+"""The filesystem interface the durability layer writes through.
+
+Everything durable — WAL segments, atomic container commits, server
+checkpoints — goes through this small surface (``open``/``fsync``/
+``replace``/``fsync_dir``/…) instead of the builtin ``open``, so the
+same code runs over the real OS (:class:`OsFilesystem`, the default)
+and over the crashable in-memory
+:class:`~repro.faults.disk.SimulatedMedium` used by the crash matrix.
+
+The interface is duck-typed on purpose: the durability modules accept
+any object with these methods, and the blob layer's
+:class:`~repro.blob.pages.FilePager` takes the same ``fs`` parameter.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class OsFilesystem:
+    """The real thing: thin wrappers over ``os`` and builtin ``open``."""
+
+    @staticmethod
+    def open(path: str | os.PathLike, mode: str = "rb"):
+        return open(path, mode)
+
+    @staticmethod
+    def exists(path: str | os.PathLike) -> bool:
+        return os.path.exists(path)
+
+    @staticmethod
+    def listdir(path: str | os.PathLike) -> list[str]:
+        return sorted(os.listdir(path))
+
+    @staticmethod
+    def makedirs(path: str | os.PathLike, exist_ok: bool = True) -> None:
+        os.makedirs(path, exist_ok=exist_ok)
+
+    @staticmethod
+    def remove(path: str | os.PathLike) -> None:
+        os.remove(path)
+
+    @staticmethod
+    def replace(src: str | os.PathLike, dst: str | os.PathLike) -> None:
+        os.replace(src, dst)
+
+    @staticmethod
+    def getsize(path: str | os.PathLike) -> int:
+        return os.path.getsize(path)
+
+    @staticmethod
+    def fsync(handle) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    @staticmethod
+    def fsync_dir(path: str | os.PathLike) -> None:
+        """fsync a directory so renames/creations under it are durable.
+
+        Platforms without directory fds (Windows) silently skip — the
+        OS's own metadata journaling is the best available there.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+
+#: Shared real-OS filesystem; the default for every durability entry point.
+REAL_FS = OsFilesystem()
+
+
+def resolve(fs) -> object:
+    """``fs`` or the real filesystem when None."""
+    return REAL_FS if fs is None else fs
+
+
+def dirname(path: str | os.PathLike) -> str:
+    """The parent directory of ``path`` (``"."`` for bare names)."""
+    parent = os.path.dirname(os.fspath(path))
+    return parent or "."

@@ -1,0 +1,369 @@
+"""A crash-safe page store: no-steal buffering over a write-ahead log.
+
+:class:`DurablePageStore` keeps the :class:`~repro.blob.pages.PageStore`
+API but changes the contract underneath: writes accumulate as full page
+images in an in-memory overlay (*no-steal* — an uncommitted byte never
+reaches the backing pager), and :meth:`DurablePageStore.commit` is the
+acknowledgment point — it appends every pending image plus a commit
+marker to the :class:`~repro.durability.wal.WriteAheadLog`, fsyncs, and
+only then applies the images to the pager. A crash anywhere leaves one
+of two recoverable states:
+
+* commit marker durable → redo recovery replays the full page images
+  (idempotently — replaying twice is byte-neutral);
+* commit marker missing/torn → the transaction was never acknowledged,
+  and its records are discarded with the torn tail.
+
+:func:`recover_page_store` is the reboot path: scan, replay committed
+transactions onto the pager, fsync, truncate the log, and hand back a
+fresh store plus a :class:`RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.blob.pages import PageStore
+from repro.durability.wal import GROW, WRITE, WriteAheadLog
+from repro.errors import BlobError, DurabilityError, WalCorruptionError
+from repro.faults.crash import NULL_CRASH, CrashInjector
+from repro.obs.events import Severity
+from repro.obs.instrument import Observability
+
+
+class DurablePageStore(PageStore):
+    """Page store whose writes survive crashes once :meth:`commit` returns.
+
+    ``auto_checkpoint_bytes``, when set, bounds recovery time: after any
+    commit that leaves the WAL at or above the threshold, the store
+    checkpoints (fsync the main file, truncate the log) automatically.
+    """
+
+    def __init__(self, pager=None, wal: WriteAheadLog | None = None,
+                 checksums: bool = False, buffer_pool=None,
+                 auto_checkpoint_bytes: int | None = None,
+                 crash: CrashInjector | None = None,
+                 obs: Observability | None = None):
+        if wal is None:
+            raise DurabilityError(
+                "DurablePageStore requires a WriteAheadLog"
+            )
+        self.wal = wal
+        self.crash = crash or NULL_CRASH
+        self.auto_checkpoint_bytes = auto_checkpoint_bytes
+        # page -> full merged image of every uncommitted write.
+        self._dirty: dict[int, bytearray] = {}
+        self._pending_grows = 0
+        self._txn_reused: list[int] = []
+        self.committed_txns = 0
+        super().__init__(pager, checksums=checksums,
+                         buffer_pool=buffer_pool, obs=obs)
+
+    def _instrument_children(self, obs: Observability) -> None:
+        super()._instrument_children(obs)
+        self.wal.instrument(obs)
+
+    # -- transaction state --------------------------------------------------------
+
+    @property
+    def pending_writes(self) -> int:
+        """Dirty pages buffered for the next commit."""
+        return len(self._dirty)
+
+    @property
+    def pending_grows(self) -> int:
+        return self._pending_grows
+
+    @property
+    def allocated_pages(self) -> int:
+        return (len(self.pager) + self._pending_grows) - len(self._free)
+
+    def _page_limit(self) -> int:
+        return len(self.pager) + self._pending_grows
+
+    # -- PageStore API, rerouted through the overlay ------------------------------
+
+    def allocate(self) -> int:
+        if self._free_order:
+            page_no = self._free_order.pop()
+            self._free.discard(page_no)
+            self._txn_reused.append(page_no)
+            # The zeroing is itself a buffered write, journaled and
+            # applied at commit — a crash must not expose the previous
+            # owner's bytes as an acknowledged zero page.
+            self._dirty[page_no] = bytearray(self.page_size)
+            if self.buffer_pool is not None:
+                self.buffer_pool.invalidate(page_no)
+            self._obs.metrics.counter("blob.page.zeroed").inc()
+            self._obs.metrics.counter("blob.page.allocations").inc(
+                source="reuse"
+            )
+            return page_no
+        page_no = self._page_limit()
+        self._pending_grows += 1
+        self._obs.metrics.counter("blob.page.allocations").inc(source="grow")
+        return page_no
+
+    def write(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        end = offset + len(data)
+        if end > self.page_size:
+            raise BlobError(
+                f"write of {len(data)} bytes at offset {offset} exceeds "
+                f"page size {self.page_size}"
+            )
+        limit = self._page_limit()
+        if not 0 <= page_no < limit:
+            raise BlobError(
+                f"page {page_no} out of range (have {limit})"
+            )
+        if page_no in self._free:
+            raise BlobError(f"write to freed page {page_no}")
+        image = self._dirty.get(page_no)
+        if image is None:
+            if page_no < len(self.pager):
+                image = bytearray(self._read_raw(page_no))
+            else:
+                image = bytearray(self.page_size)
+            self._dirty[page_no] = image
+        image[offset:end] = data
+        metrics = self._obs.metrics
+        metrics.counter("blob.page.writes").inc()
+        metrics.counter("blob.page.bytes_written").inc(len(data))
+
+    def read(self, page_no: int, verify: bool = True) -> bytes:
+        image = self._dirty.get(page_no)
+        if image is not None:
+            metrics = self._obs.metrics
+            metrics.counter("blob.page.reads").inc()
+            metrics.counter("blob.page.dirty_reads").inc()
+            metrics.counter("blob.page.bytes_read").inc(len(image))
+            return bytes(image)
+        if page_no >= len(self.pager):
+            if page_no < self._page_limit():
+                # Allocated by grow this transaction, never written.
+                metrics = self._obs.metrics
+                metrics.counter("blob.page.reads").inc()
+                metrics.counter("blob.page.bytes_read").inc(self.page_size)
+                return bytes(self._zero_page)
+            raise BlobError(
+                f"page {page_no} out of range (have {self._page_limit()})"
+            )
+        return super().read(page_no, verify=verify)
+
+    def free(self, page_no: int) -> None:
+        limit = self._page_limit()
+        if not 0 <= page_no < limit:
+            raise BlobError(
+                f"cannot free page {page_no}: out of range (have {limit})"
+            )
+        if page_no in self._free:
+            raise BlobError(f"double free of page {page_no}")
+        self._free.add(page_no)
+        self._free_order.append(page_no)
+        self._dirty.pop(page_no, None)
+        if self.buffer_pool is not None:
+            self.buffer_pool.invalidate(page_no)
+        self._obs.metrics.counter("blob.page.frees").inc()
+
+    # -- commit / rollback / checkpoint -------------------------------------------
+
+    def commit(self) -> int | None:
+        """Make every buffered write durable; returns the txn id.
+
+        The fsync inside :meth:`WriteAheadLog.commit` is the
+        acknowledgment barrier: before it, a crash discards the
+        transaction wholesale; after it, recovery replays it
+        completely. Returns None when nothing is pending."""
+        if not self._dirty and not self._pending_grows:
+            return None
+        self.crash.point("store.commit.begin")
+        txn = self.wal.begin()
+        base = len(self.pager)
+        for i in range(self._pending_grows):
+            self.wal.log_grow(txn, base + i)
+        dirty_pages = sorted(self._dirty)
+        for page_no in dirty_pages:
+            self.wal.log_write(txn, page_no, bytes(self._dirty[page_no]))
+        self.wal.commit(txn)
+        # -- acknowledged: everything below is redone by recovery ------
+        self.crash.point("store.commit.acknowledged")
+        for _ in range(self._pending_grows):
+            self.pager.grow()
+        self.crash.point("store.commit.apply")
+        for page_no in dirty_pages:
+            self._apply_page(page_no, bytes(self._dirty[page_no]))
+        grows = self._pending_grows
+        self._dirty.clear()
+        self._pending_grows = 0
+        self._txn_reused.clear()
+        self.committed_txns += 1
+        metrics = self._obs.metrics
+        metrics.counter("durability.commits").inc()
+        metrics.counter("durability.pages_committed").inc(len(dirty_pages))
+        self._obs.events.record(
+            Severity.DEBUG, "durability.store", "txn.committed",
+            txn=txn, pages=len(dirty_pages), grows=grows,
+        )
+        if self.auto_checkpoint_bytes is not None \
+                and self.wal.size_bytes() >= self.auto_checkpoint_bytes:
+            self.checkpoint()
+        return txn
+
+    def _apply_page(self, page_no: int, image: bytes) -> None:
+        """Physically install a committed full-page image."""
+        self.pager.write_page(page_no, image)
+        if self.checksums:
+            self._checksums[page_no] = zlib.crc32(image)
+        pool = self.buffer_pool
+        if pool is not None and page_no in pool:
+            pool.put(page_no, image)
+
+    def rollback(self) -> int:
+        """Discard every buffered write; returns how many were dropped.
+
+        Pages allocated during the transaction are abandoned: reused
+        pages return to the free list, grown pages were never
+        materialized. Page numbers handed out since the last commit are
+        invalid afterwards."""
+        discarded = len(self._dirty) + self._pending_grows
+        self._dirty.clear()
+        self._pending_grows = 0
+        for page_no in reversed(self._txn_reused):
+            self._free.add(page_no)
+            self._free_order.append(page_no)
+        self._txn_reused.clear()
+        self._obs.metrics.counter("durability.rollbacks").inc()
+        return discarded
+
+    def checkpoint(self) -> None:
+        """fsync the main file, then truncate the now-redundant WAL."""
+        if self._dirty or self._pending_grows:
+            raise DurabilityError(
+                "cannot checkpoint with uncommitted writes pending; "
+                "commit or rollback first"
+            )
+        self.crash.point("store.checkpoint.begin")
+        self.flush()
+        sync = getattr(self.pager, "sync", None)
+        if sync is not None:
+            sync()
+        self.crash.point("store.checkpoint.synced")
+        removed = self.wal.truncate()
+        self.crash.point("store.checkpoint.done")
+        self._obs.metrics.counter("durability.checkpoints").inc()
+        self._obs.events.record(
+            Severity.INFO, "durability.store", "checkpoint",
+            segments_truncated=removed,
+        )
+
+    def close(self) -> None:
+        if self._dirty or self._pending_grows:
+            self._obs.events.record(
+                Severity.WARNING, "durability.store",
+                "close.uncommitted_discarded",
+                pages=len(self._dirty), grows=self._pending_grows,
+            )
+            self.rollback()
+        self.wal.close()
+        super().close()
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What redo recovery found and did."""
+
+    committed_txns: int
+    records_replayed: int
+    pages_applied: int
+    grows_applied: int
+    discarded_records: int
+    torn_tail: bool
+    segments_scanned: int
+    bytes_scanned: int
+
+    def summary(self) -> str:
+        return (
+            f"recovered {self.committed_txns} txns "
+            f"({self.pages_applied} pages, {self.grows_applied} grows) "
+            f"from {self.segments_scanned} segments; discarded "
+            f"{self.discarded_records} uncommitted records"
+            + (" (torn tail)" if self.torn_tail else "")
+        )
+
+
+def recover_page_store(pager, wal: WriteAheadLog, checksums: bool = False,
+                       buffer_pool=None,
+                       auto_checkpoint_bytes: int | None = None,
+                       crash: CrashInjector | None = None,
+                       obs: Observability | None = None,
+                       ) -> tuple[DurablePageStore, RecoveryReport]:
+    """Redo recovery: replay the WAL's committed transactions onto ``pager``.
+
+    Idempotent — crashing during recovery and recovering again converges
+    on the same bytes, because records are full page images and the WAL
+    is only truncated after the pager is fsynced."""
+    crash = crash or NULL_CRASH
+    scan = wal.scan()
+    crash.point("recovery.begin")
+    replayed = pages_applied = grows_applied = 0
+    for record in scan.records:
+        if record.type not in (GROW, WRITE):
+            continue
+        if record.txn not in scan.committed_txns:
+            continue
+        page_no = record.page_no()
+        while len(pager) <= page_no:
+            pager.grow()
+        if record.type == GROW:
+            grows_applied += 1
+        else:
+            image = record.page_image()
+            if len(image) != pager.page_size:
+                raise WalCorruptionError(
+                    f"write record for page {page_no} (txn {record.txn}) "
+                    f"carries {len(image)} bytes; page size is "
+                    f"{pager.page_size}"
+                )
+            pager.write_page(page_no, image)
+            pages_applied += 1
+        replayed += 1
+    crash.point("recovery.applied")
+    flush = getattr(pager, "flush", None)
+    if flush is not None:
+        flush()
+    sync = getattr(pager, "sync", None)
+    if sync is not None:
+        sync()
+    crash.point("recovery.synced")
+    wal.truncate()
+    store = DurablePageStore(
+        pager, wal, checksums=checksums, buffer_pool=buffer_pool,
+        auto_checkpoint_bytes=auto_checkpoint_bytes, crash=crash, obs=obs,
+    )
+    if checksums:
+        store.rebuild_checksums()
+    discarded = len(scan.uncommitted_records())
+    report = RecoveryReport(
+        committed_txns=len(scan.committed_txns),
+        records_replayed=replayed,
+        pages_applied=pages_applied,
+        grows_applied=grows_applied,
+        discarded_records=discarded,
+        torn_tail=scan.torn_tail,
+        segments_scanned=scan.segments,
+        bytes_scanned=scan.bytes_scanned,
+    )
+    metrics = store._obs.metrics
+    metrics.counter("recovery.runs").inc()
+    metrics.counter("recovery.txns_replayed").inc(report.committed_txns)
+    metrics.counter("recovery.pages_applied").inc(pages_applied)
+    metrics.counter("recovery.records_discarded").inc(discarded)
+    severity = (Severity.WARNING if scan.torn_tail or discarded
+                else Severity.INFO)
+    store._obs.events.record(
+        severity, "durability.recovery", "recovery.complete",
+        txns=report.committed_txns, pages=pages_applied,
+        discarded=discarded, torn_tail=scan.torn_tail,
+    )
+    return store, report

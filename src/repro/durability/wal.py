@@ -1,0 +1,367 @@
+"""An append-only, checksummed, segment-rotating write-ahead log.
+
+The WAL is the repo's durability primitive: a write is *acknowledged*
+only after its records and a commit marker are appended and fsynced
+here. The main data file may then be updated lazily — a crash between
+the two is repaired by redo recovery
+(:func:`repro.durability.store.recover_page_store`), which replays
+committed records and discards the uncommitted tail.
+
+Physical format, per segment file (``wal-00000001.seg``)::
+
+    record := type u8 | txn u64 BE | payload_len u32 BE | crc u32 BE | payload
+    crc    := CRC-32 of (type | txn | payload_len | payload)
+
+Record types: ``HEADER`` (segment preamble, format version), ``GROW``
+(a page appended to the store), ``WRITE`` (a full page image), and
+``COMMIT`` (transaction boundary — the acknowledgment point). Full page
+images make replay idempotent: recovering twice, or re-applying a
+transaction the main file already holds, is byte-neutral.
+
+A crash can only damage the *tail* of the newest segment (appends are
+sequential and fsync-barriered), so a scan treats a bad record there as
+the torn tail and stops; a bad record with valid data after it raises
+:class:`~repro.errors.WalCorruptionError` — that is disk damage, not a
+crash, and recovery refuses to guess.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.durability.fs import dirname, resolve
+from repro.errors import WalCorruptionError, WalError
+from repro.faults.crash import NULL_CRASH, CrashInjector
+from repro.obs.events import Severity
+from repro.obs.instrument import Instrumented, Observability
+
+#: Record types.
+HEADER, GROW, WRITE, COMMIT = 1, 2, 3, 4
+
+RECORD_NAMES = {HEADER: "header", GROW: "grow", WRITE: "write",
+                COMMIT: "commit"}
+
+_RECORD = struct.Struct(">BQII")  # type, txn, payload_len, crc
+_PAGE_NO = struct.Struct(">Q")
+_HEADER_PAYLOAD = struct.Struct(">I")  # format version
+
+#: WAL format version written into every segment header.
+WAL_VERSION = 1
+
+#: Default segment-rotation threshold (bytes).
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: Guard against absurd payload lengths from corrupt headers.
+_MAX_PAYLOAD = 1 << 26
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded record, with its physical position."""
+
+    segment: int
+    offset: int
+    type: int
+    txn: int
+    payload: bytes
+
+    @property
+    def type_name(self) -> str:
+        return RECORD_NAMES.get(self.type, f"unknown({self.type})")
+
+    def page_no(self) -> int:
+        """The page number of a GROW/WRITE record."""
+        if self.type not in (GROW, WRITE):
+            raise WalError(f"{self.type_name} record carries no page number")
+        return _PAGE_NO.unpack_from(self.payload)[0]
+
+    def page_image(self) -> bytes:
+        """The full page image of a WRITE record."""
+        if self.type != WRITE:
+            raise WalError(f"{self.type_name} record carries no page image")
+        return self.payload[_PAGE_NO.size:]
+
+
+@dataclass
+class WalScan:
+    """Everything a sequential scan of the log learned."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    committed_txns: set[int] = field(default_factory=set)
+    torn_tail: bool = False
+    bytes_scanned: int = 0
+    segments: int = 0
+
+    @property
+    def max_txn(self) -> int:
+        return max((r.txn for r in self.records), default=0)
+
+    def uncommitted_records(self) -> list[WalRecord]:
+        return [
+            r for r in self.records
+            if r.type not in (HEADER, COMMIT)
+            and r.txn not in self.committed_txns
+        ]
+
+
+def encode_record(record_type: int, txn: int, payload: bytes = b"") -> bytes:
+    """One record's wire bytes (exposed for tests and the inspector)."""
+    body = _RECORD.pack(record_type, txn, len(payload), 0)[:-4]
+    crc = zlib.crc32(payload, zlib.crc32(body))
+    return body + struct.pack(">I", crc) + payload
+
+
+class WriteAheadLog(Instrumented):
+    """Segmented redo log over a directory of segment files.
+
+    Appends always open a *fresh* segment — never the possibly-torn
+    tail of an old one — so the monotonic segment numbering doubles as
+    the recovery ordering. ``segment_bytes`` bounds each segment;
+    rotation fsyncs the finished segment and the directory before the
+    next record lands.
+    """
+
+    def __init__(self, directory: str, segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fs=None, crash: CrashInjector | None = None,
+                 obs: Observability | None = None):
+        if segment_bytes < 64:
+            raise WalError(
+                f"segment_bytes must be >= 64, got {segment_bytes}"
+            )
+        self.directory = str(directory)
+        self.segment_bytes = segment_bytes
+        self.fs = resolve(fs)
+        self.crash = crash or NULL_CRASH
+        self.fs.makedirs(self.directory, exist_ok=True)
+        self._existing = self._segment_indices()
+        self._next_segment = (self._existing[-1] + 1 if self._existing
+                              else 1)
+        self._handle = None
+        self._current_bytes = 0
+        self._next_txn = 0  # resolved lazily against the scanned log
+        self.appends = 0
+        self.commits = 0
+        self.syncs = 0
+        self.rotations = 0
+        if obs is not None:
+            self.instrument(obs)
+
+    # -- segment bookkeeping ------------------------------------------------------
+
+    def _segment_path(self, index: int) -> str:
+        return f"{self.directory}/wal-{index:08d}.seg"
+
+    def _segment_indices(self) -> list[int]:
+        indices = []
+        for name in self.fs.listdir(self.directory):
+            if name.startswith("wal-") and name.endswith(".seg"):
+                try:
+                    indices.append(int(name[4:-4]))
+                except ValueError:
+                    raise WalError(
+                        f"unparseable segment name {name!r} in "
+                        f"{self.directory}"
+                    ) from None
+        return sorted(indices)
+
+    def segments(self) -> list[int]:
+        """Segment indices currently on disk, oldest first."""
+        return self._segment_indices()
+
+    def size_bytes(self) -> int:
+        return sum(
+            self.fs.getsize(self._segment_path(i))
+            for i in self._segment_indices()
+        )
+
+    # -- appending ----------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Allocate the next transaction id (monotonic across reopens)."""
+        if self._next_txn == 0:
+            self._next_txn = self.scan().max_txn + 1
+        txn = self._next_txn
+        self._next_txn += 1
+        return txn
+
+    def _open_segment(self) -> None:
+        self.crash.point("wal.rotate")
+        index = self._next_segment
+        self._next_segment += 1
+        path = self._segment_path(index)
+        self._handle = self.fs.open(path, "wb")
+        self._current_bytes = 0
+        header = encode_record(HEADER, 0, _HEADER_PAYLOAD.pack(WAL_VERSION))
+        self._handle.write(header)
+        self._current_bytes += len(header)
+        self.fs.fsync(self._handle)
+        self.fs.fsync_dir(self.directory)
+        self.rotations += 1
+        self._obs.metrics.counter("wal.rotations").inc()
+        self._obs.metrics.gauge("wal.segments").set(
+            len(self._segment_indices())
+        )
+        self._obs.events.record(
+            Severity.DEBUG, "durability.wal", "segment.opened",
+            segment=index,
+        )
+
+    def _append(self, record_type: int, txn: int, payload: bytes) -> None:
+        data = encode_record(record_type, txn, payload)
+        if self._handle is None \
+                or self._current_bytes + len(data) > self.segment_bytes:
+            if self._handle is not None:
+                self.fs.fsync(self._handle)
+                self._handle.close()
+            self._open_segment()
+        self.crash.point("wal.append")
+        self._handle.write(data)
+        self._current_bytes += len(data)
+        self.appends += 1
+        metrics = self._obs.metrics
+        metrics.counter("wal.appends").inc(type=RECORD_NAMES[record_type])
+        metrics.counter("wal.bytes_appended").inc(len(data))
+
+    def log_grow(self, txn: int, page_no: int) -> None:
+        self._append(GROW, txn, _PAGE_NO.pack(page_no))
+
+    def log_write(self, txn: int, page_no: int, image: bytes) -> None:
+        self._append(WRITE, txn, _PAGE_NO.pack(page_no) + image)
+
+    def commit(self, txn: int) -> None:
+        """Append the commit marker and fsync: the acknowledgment barrier.
+
+        When this returns, the transaction survives any crash."""
+        self.crash.point("wal.commit")
+        self._append(COMMIT, txn, b"")
+        self.crash.point("wal.commit.before_sync")
+        self.sync()
+        self.crash.point("wal.commit.after_sync")
+        self.commits += 1
+        self._obs.metrics.counter("wal.commits").inc()
+
+    def sync(self) -> None:
+        if self._handle is not None:
+            self.fs.fsync(self._handle)
+            self.syncs += 1
+            self._obs.metrics.counter("wal.fsyncs").inc()
+
+    # -- scanning -----------------------------------------------------------------
+
+    def scan(self) -> WalScan:
+        """Decode every record, stopping at a torn tail.
+
+        Raises :class:`~repro.errors.WalCorruptionError` when damage is
+        found anywhere a crash could not have put it.
+        """
+        scan = WalScan()
+        indices = self._segment_indices()
+        scan.segments = len(indices)
+        for position, index in enumerate(indices):
+            data = self._read_segment(index)
+            offset = 0
+            clean = True
+            while offset < len(data):
+                record, consumed = self._decode_one(index, data, offset)
+                if record is None:
+                    clean = False
+                    break
+                scan.records.append(record)
+                if record.type == COMMIT:
+                    scan.committed_txns.add(record.txn)
+                offset += consumed
+                scan.bytes_scanned += consumed
+            if not clean:
+                if position != len(indices) - 1:
+                    raise WalCorruptionError(
+                        f"segment {index} is damaged mid-log (valid "
+                        f"segments follow); refusing to replay past it"
+                    )
+                scan.torn_tail = True
+        return scan
+
+    def _read_segment(self, index: int) -> bytes:
+        with self.fs.open(self._segment_path(index), "rb") as handle:
+            return handle.read()
+
+    @staticmethod
+    def _decode_one(segment: int, data: bytes,
+                    offset: int) -> tuple[WalRecord | None, int]:
+        if offset + _RECORD.size > len(data):
+            return None, 0
+        record_type, txn, length, crc = _RECORD.unpack_from(data, offset)
+        if record_type not in RECORD_NAMES or length > _MAX_PAYLOAD:
+            return None, 0
+        start = offset + _RECORD.size
+        if start + length > len(data):
+            return None, 0
+        payload = data[start:start + length]
+        expected = zlib.crc32(payload,
+                              zlib.crc32(data[offset:offset + 13]))
+        if crc != expected:
+            return None, 0
+        return (WalRecord(segment, offset, record_type, txn, payload),
+                _RECORD.size + length)
+
+    # -- truncation ---------------------------------------------------------------
+
+    def truncate(self) -> int:
+        """Delete every segment (a checkpoint made them redundant).
+
+        Deletion runs oldest-first so a crash mid-truncate leaves a
+        suffix of the log — whose committed transactions replay
+        idempotently over the already-synced main file. Returns the
+        number of segments removed."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._current_bytes = 0
+        removed = 0
+        for index in self._segment_indices():
+            self.crash.point("wal.truncate")
+            self.fs.remove(self._segment_path(index))
+            removed += 1
+        self.fs.fsync_dir(self.directory)
+        self._obs.metrics.counter("wal.truncations").inc()
+        self._obs.metrics.gauge("wal.segments").set(0)
+        self._obs.events.record(
+            Severity.DEBUG, "durability.wal", "log.truncated",
+            segments=removed,
+        )
+        return removed
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.fs.fsync(self._handle)
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """Human summary for ``tools.inspect --wal``."""
+        scan = self.scan()
+        counts: dict[str, int] = {}
+        for record in scan.records:
+            counts[record.type_name] = counts.get(record.type_name, 0) + 1
+        discarded = len(scan.uncommitted_records())
+        lines = [
+            f"write-ahead log at {self.directory}",
+            f"  segments      : {scan.segments} "
+            f"({self.size_bytes():,} bytes)",
+            f"  records       : {len(scan.records)} "
+            + "(" + ", ".join(
+                f"{name} {counts[name]}" for name in sorted(counts)
+            ) + ")" if scan.records else "  records       : 0",
+            f"  committed txns: {len(scan.committed_txns)}"
+            + (f" (through txn {scan.max_txn})" if scan.records else ""),
+            f"  uncommitted   : {discarded} records would be discarded",
+            f"  torn tail     : {'yes' if scan.torn_tail else 'no'}",
+        ]
+        return "\n".join(lines)

@@ -16,6 +16,8 @@ crossover the benchmark sweeps.
 
 from __future__ import annotations
 
+import base64
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -28,7 +30,15 @@ from repro.engine.player import (
     Player,
     RetryPolicy,
 )
-from repro.errors import EngineError, MediaModelError, ResourceError
+from repro.errors import (
+    CheckpointError,
+    DurabilityError,
+    EngineError,
+    MediaModelError,
+    ResourceError,
+    SimulatedCrash,
+)
+from repro.faults.crash import NULL_CRASH, CrashInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.events import Severity
 from repro.obs.instrument import NULL_OBS, Observability
@@ -38,6 +48,9 @@ from repro.obs.slo import SloVerdict, worst_verdicts
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.derivations import DerivationCache
 
+#: Checkpoint payload format version; bump on incompatible changes.
+CHECKPOINT_VERSION = 1
+
 
 @dataclass
 class Session:
@@ -45,13 +58,17 @@ class Session:
 
     ``degraded`` marks a session the server had to re-admit in fallback
     mode (base quality, unbounded skip tolerance) after its first
-    playback aborted on storage faults.
+    playback aborted on storage faults. ``resumed`` marks a session
+    served by a server restored from a crash checkpoint — the client
+    was handed off across a failover, which counts as degraded service
+    even when the replay itself was clean.
     """
 
     client: str
     title: str
     report: PlaybackReport
     degraded: bool = False
+    resumed: bool = False
 
 
 @dataclass
@@ -63,6 +80,9 @@ class ServerReport:
     skipped elements or reduced delivered quality — whether from in-band
     adaptation or server-side failover). ``failed`` lists admitted
     sessions the server could not complete even in fallback mode.
+    ``recovered`` counts sessions that finished *before* a crash and
+    whose results were carried over from the checkpoint rather than
+    re-served.
     """
 
     admitted: list[Session]
@@ -70,6 +90,7 @@ class ServerReport:
     bandwidth: int
     per_client_bandwidth: int
     failed: list[tuple[str, str, str]] = field(default_factory=list)
+    recovered: int = 0
 
     @property
     def admitted_count(self) -> int:
@@ -78,7 +99,8 @@ class ServerReport:
     @staticmethod
     def _is_degraded(session: Session) -> bool:
         report = session.report
-        return (session.degraded or report.glitches > 0
+        return (session.degraded or session.resumed
+                or report.glitches > 0
                 or report.skipped_elements > 0
                 or report.delivered_quality < 1)
 
@@ -188,7 +210,8 @@ class VodServer:
                  admission_margin: float = 1.0,
                  derivation_cache: "DerivationCache | None" = None,
                  obs: Observability | None = None,
-                 plan_check: str = "check"):
+                 plan_check: str = "check",
+                 crash: CrashInjector | None = None):
         """``bandwidth`` is outbound bytes/second; ``admission_margin``
         scales the admission test (1.2 keeps 20% headroom).
         ``derivation_cache`` is handed to every session's player so
@@ -203,7 +226,12 @@ class VodServer:
         beyond the BLOB, cycles — with
         :class:`~repro.errors.PlanRejectedError` before they can ever
         be admitted; ``"strict"`` also rejects statically infeasible
-        ones; ``"off"`` publishes anything."""
+        ones; ``"off"`` publishes anything.
+
+        ``crash`` is a :class:`~repro.faults.crash.CrashInjector` for
+        the crash matrix: the server announces a crash point before
+        each session and inside checkpoint writes, so the harness can
+        kill it at every step of a serve."""
         if bandwidth <= 0:
             raise EngineError("bandwidth must be positive")
         if admission_margin < 1.0:
@@ -221,8 +249,14 @@ class VodServer:
         self.derivation_cache = derivation_cache
         self.obs = NULL_OBS if obs is None else obs
         self.plan_check = plan_check
+        self.crash = crash or NULL_CRASH
         self._titles: dict[str, Interpretation] = {}
         self._reports: list[ServerReport] = []
+        # Progress of the serve batch currently running (feeds mid-serve
+        # checkpoints) and the batch a restored server should resume.
+        self._batch_progress: dict | None = None
+        self._pending_batch: dict | None = None
+        self.restored_cache_manifest: dict | None = None
 
     # -- catalog ---------------------------------------------------------------
 
@@ -343,7 +377,9 @@ class VodServer:
               enforce_admission: bool = True,
               fault_plan: FaultPlan | None = None,
               retry_policy: RetryPolicy | None = None,
-              adaptation: AdaptationPolicy | None = None) -> ServerReport:
+              adaptation: AdaptationPolicy | None = None,
+              checkpoint_to: str | None = None,
+              checkpoint_fs=None) -> ServerReport:
         """Simulate serving ``requests`` concurrently.
 
         With ``enforce_admission`` the admission test runs first;
@@ -358,7 +394,14 @@ class VodServer:
         an adaptation policy exists, unbounded skip tolerance) and
         accounts it as *degraded*. Only a session that fails even the
         fallback lands in ``ServerReport.failed``; ``serve`` itself
-        never propagates a storage fault.
+        never propagates a storage fault (an injected
+        :class:`~repro.errors.SimulatedCrash` always propagates — it
+        models the whole process dying).
+
+        With ``checkpoint_to`` the server atomically rewrites a
+        checkpoint file after *every* session, so a crash mid-serve
+        loses at most the in-flight session: :meth:`restore` +
+        :meth:`resume` pick the batch up from the last completed one.
         """
         if not requests:
             raise EngineError("serve needs at least one request")
@@ -383,30 +426,31 @@ class VodServer:
                 derivation_cache=self.derivation_cache,
                 obs=self.obs,
             )
-            for client, title in admitted:
-                with self.obs.tracer.span(
-                    "vod.session", client=client, title=title,
-                ) as span:
-                    try:
-                        report = player.play(self._titles[title])
-                    except MediaModelError:
-                        metrics.counter("vod.fallbacks").inc()
-                        span.set(outcome="fallback")
-                        self.obs.events.record(
-                            Severity.WARNING, "vod.server",
-                            "session.fallback", client=client, title=title,
-                        )
-                        session = self._serve_degraded(
-                            client, title, share, fault_plan, retry_policy,
-                            adaptation, failed,
-                        )
-                        if session is not None:
-                            sessions.append(session)
-                        continue
-                    span.set(outcome="served", underruns=report.underruns)
-                    sessions.append(Session(client, title, report))
+            for position, (client, title) in enumerate(admitted):
+                self.crash.point("vod.serve.session")
+                session = self._serve_one(
+                    player, client, title, share, fault_plan,
+                    retry_policy, adaptation, failed,
+                )
+                if session is not None:
+                    sessions.append(session)
+                if checkpoint_to is not None:
+                    self._batch_progress = {
+                        "requests": [list(r) for r in admitted],
+                        "rejected": [list(r) for r in rejected],
+                        "completed": [
+                            self._session_summary(s) for s in sessions
+                        ],
+                        "failed": [list(f) for f in failed],
+                        "remaining": [
+                            list(r) for r in admitted[position + 1:]
+                        ],
+                        "share": share,
+                    }
+                    self.checkpoint_to(checkpoint_to, fs=checkpoint_fs)
         else:
             share = 0
+        self._batch_progress = None
         report = ServerReport(
             admitted=sessions,
             rejected=rejected,
@@ -416,6 +460,41 @@ class VodServer:
         )
         self._reports.append(report)
         return report
+
+    def _serve_one(self, player: Player, client: str, title: str,
+                   share: int, fault_plan: FaultPlan | None,
+                   retry_policy: RetryPolicy | None,
+                   adaptation: AdaptationPolicy | None,
+                   failed: list[tuple[str, str, str]],
+                   resumed: bool = False) -> Session | None:
+        """Play one admitted session, falling back on storage faults.
+
+        A :class:`~repro.errors.SimulatedCrash` is never treated as a
+        storage fault — it is the machine dying, and must propagate to
+        the crash harness."""
+        with self.obs.tracer.span(
+            "vod.session", client=client, title=title,
+        ) as span:
+            try:
+                report = player.play(self._titles[title])
+            except SimulatedCrash:
+                raise
+            except MediaModelError:
+                self.obs.metrics.counter("vod.fallbacks").inc()
+                span.set(outcome="fallback")
+                self.obs.events.record(
+                    Severity.WARNING, "vod.server",
+                    "session.fallback", client=client, title=title,
+                )
+                session = self._serve_degraded(
+                    client, title, share, fault_plan, retry_policy,
+                    adaptation, failed,
+                )
+                if session is not None:
+                    session.resumed = resumed
+                return session
+            span.set(outcome="served", underruns=report.underruns)
+            return Session(client, title, report, resumed=resumed)
 
     def _serve_degraded(self, client: str, title: str, share: int,
                         fault_plan: FaultPlan | None,
@@ -448,6 +527,8 @@ class VodServer:
         )
         try:
             report = fallback.play(self._titles[title])
+        except SimulatedCrash:
+            raise
         except MediaModelError as exc:
             failed.append((client, title, str(exc)))
             self.obs.metrics.counter("vod.failed").inc()
@@ -457,6 +538,221 @@ class VodServer:
             )
             return None
         return Session(client, title, report, degraded=True)
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    @staticmethod
+    def _session_summary(session: Session) -> dict:
+        return {
+            "client": session.client,
+            "title": session.title,
+            "degraded": session.degraded,
+            "resumed": session.resumed,
+            "underruns": session.report.underruns,
+            "glitches": session.report.glitches,
+            "skipped_elements": session.report.skipped_elements,
+            "delivered_quality": float(session.report.delivered_quality),
+        }
+
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of everything a failover server needs.
+
+        Catalog titles travel as serialized RMF containers (base64), so
+        the checkpoint is self-contained; mid-serve progress (completed
+        session summaries, remaining requests, bandwidth share) rides
+        along when a serve is running with ``checkpoint_to``; the
+        derivation cache contributes its manifest. Deterministic for a
+        given server state."""
+        from repro.storage.container import serialize_container
+
+        titles = {
+            title: base64.b64encode(
+                serialize_container(interpretation)
+            ).decode("ascii")
+            for title, interpretation in sorted(self._titles.items())
+        }
+        reports = self._reports
+        return {
+            "version": CHECKPOINT_VERSION,
+            "config": {
+                "bandwidth": self.bandwidth,
+                "prefetch_depth": self.prefetch_depth,
+                "admission_margin": self.admission_margin,
+                "plan_check": self.plan_check,
+            },
+            "titles": titles,
+            "batch": self._batch_progress,
+            "aggregate": {
+                "serves": len(reports),
+                "sessions": sum(r.admitted_count for r in reports),
+                "failed": sum(r.failed_sessions() for r in reports),
+                "rejected": sum(len(r.rejected) for r in reports),
+                "recovered": sum(r.recovered for r in reports),
+            },
+            "derivation_cache": (
+                None if self.derivation_cache is None
+                else self.derivation_cache.manifest()
+            ),
+        }
+
+    def checkpoint_to(self, path: str, fs=None) -> int:
+        """Atomically write :meth:`checkpoint` to ``path``; returns bytes.
+
+        Uses the shadow-write + fsync + rename protocol, so a crash
+        during the write leaves the previous checkpoint intact."""
+        from repro.durability.atomic import atomic_write_bytes
+
+        payload = json.dumps(
+            self.checkpoint(), sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        self.crash.point("vod.checkpoint.write")
+        atomic_write_bytes(str(path), payload, fs=fs, crash=self.crash)
+        self.obs.metrics.counter("vod.checkpoints").inc()
+        self.obs.events.record(
+            Severity.DEBUG, "vod.server", "checkpoint.written",
+            bytes=len(payload),
+        )
+        return len(payload)
+
+    @classmethod
+    def restore(cls, source: str | dict, fs=None,
+                derivation_cache: "DerivationCache | None" = None,
+                obs: Observability | None = None,
+                crash: CrashInjector | None = None) -> "VodServer":
+        """Rebuild a server from a checkpoint file (or payload dict).
+
+        The catalog is republished through the same static verification
+        as the original ``publish`` calls; a checkpoint taken mid-serve
+        leaves the interrupted batch pending — call :meth:`resume` to
+        finish it. Structural damage raises
+        :class:`~repro.errors.CheckpointError`."""
+        from repro.durability.atomic import read_bytes
+        from repro.storage.container import deserialize_container
+
+        if isinstance(source, dict):
+            payload = source
+        else:
+            try:
+                raw = read_bytes(str(source), fs=fs)
+            except (OSError, DurabilityError) as exc:
+                raise CheckpointError(
+                    f"cannot read checkpoint {source}: {exc}"
+                ) from exc
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CheckpointError(
+                    f"corrupt checkpoint {source}: {exc}"
+                ) from exc
+        try:
+            version = payload["version"]
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {version!r}"
+                )
+            config = payload["config"]
+            server = cls(
+                bandwidth=config["bandwidth"],
+                prefetch_depth=config["prefetch_depth"],
+                admission_margin=config["admission_margin"],
+                derivation_cache=derivation_cache,
+                obs=obs,
+                plan_check=config["plan_check"],
+                crash=crash,
+            )
+            for title, encoded in sorted(payload["titles"].items()):
+                server.publish(
+                    title, deserialize_container(base64.b64decode(encoded))
+                )
+            server._pending_batch = payload.get("batch")
+            server.restored_cache_manifest = payload.get("derivation_cache")
+        except (CheckpointError, MediaModelError):
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint payload: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        server.obs.metrics.counter("vod.restores").inc()
+        server.obs.events.record(
+            Severity.INFO, "vod.server", "checkpoint.restored",
+            titles=len(server._titles),
+            pending=(0 if server._pending_batch is None
+                     else len(server._pending_batch.get("remaining", []))),
+        )
+        return server
+
+    def resume(self, fault_plan: FaultPlan | None = None,
+               retry_policy: RetryPolicy | None = None,
+               adaptation: AdaptationPolicy | None = None) -> ServerReport:
+        """Finish the serve batch interrupted by the crash.
+
+        Sessions completed before the crash are *not* re-served: they
+        arrive as ``ServerReport.recovered``. The remaining requests
+        play at the original bandwidth share, each marked
+        ``Session.resumed`` — which the report accounts as degraded
+        service (the failover itself is a quality event), feeding
+        :meth:`health` and its SLO verdicts."""
+        if self._pending_batch is None:
+            raise CheckpointError(
+                "nothing to resume: this server was not restored from a "
+                "mid-serve checkpoint"
+            )
+        batch = self._pending_batch
+        self._pending_batch = None
+        try:
+            remaining = [(c, t) for c, t in batch["remaining"]]
+            rejected = [(c, t) for c, t in batch["rejected"]]
+            failed = [(c, t, r) for c, t, r in batch["failed"]]
+            share = int(batch["share"])
+            recovered = len(batch["completed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint batch: {type(exc).__name__}: {exc}"
+            ) from exc
+        missing = sorted(
+            {title for _, title in remaining} - set(self._titles)
+        )
+        if missing:
+            raise CheckpointError(
+                f"checkpoint batch references unpublished titles: "
+                f"{missing}"
+            )
+        self.obs.metrics.counter("vod.resumes").inc()
+        self.obs.events.record(
+            Severity.INFO, "vod.server", "serve.resumed",
+            remaining=len(remaining), recovered=recovered,
+        )
+        sessions: list[Session] = []
+        if remaining:
+            share = max(1, share)
+            player = Player(
+                CostModel(bandwidth=share),
+                prefetch_depth=self.prefetch_depth,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                adaptation=adaptation,
+                derivation_cache=self.derivation_cache,
+                obs=self.obs,
+            )
+            for client, title in remaining:
+                self.crash.point("vod.serve.session")
+                session = self._serve_one(
+                    player, client, title, share, fault_plan,
+                    retry_policy, adaptation, failed, resumed=True,
+                )
+                if session is not None:
+                    sessions.append(session)
+        report = ServerReport(
+            admitted=sessions,
+            rejected=rejected,
+            bandwidth=self.bandwidth,
+            per_client_bandwidth=share,
+            failed=failed,
+            recovered=recovered,
+        )
+        self._reports.append(report)
+        return report
 
     # -- health ------------------------------------------------------------------
 

@@ -127,6 +127,37 @@ class PlanRejectedError(EngineError):
         self.diagnostics = tuple(diagnostics)
 
 
+class DurabilityError(MediaModelError):
+    """Failure in the durability layer (WAL, atomic commit, recovery)."""
+
+
+class WalError(DurabilityError):
+    """The write-ahead log cannot accept or replay a record."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment is corrupt beyond the torn tail a crash explains.
+
+    A crash can only tear the *end* of the newest segment; a bad record
+    with valid records (or whole segments) after it means the log itself
+    was damaged, and recovery refuses to guess.
+    """
+
+
+class CheckpointError(DurabilityError):
+    """A server checkpoint cannot be written, parsed, or restored."""
+
+
+class SimulatedCrash(MediaModelError):
+    """An injected crash fired at a durability crash point.
+
+    Raised by :class:`~repro.faults.crash.CrashInjector` when the armed
+    crash site is reached. It deliberately models the process dying:
+    recovery code must never catch and continue past it — the crash-test
+    harness is the only sanctioned handler.
+    """
+
+
 class AnalysisError(MediaModelError):
     """Misuse of the static analysis layer (bad rule id, bad target)."""
 

@@ -16,9 +16,29 @@ adversary that makes those claims testable:
 The playback engine consumes the same plan directly
 (:class:`repro.engine.player.Player` with ``fault_plan=``) to charge
 retries, skips and quality degradation as simulated time.
+
+The write side (PR 6) adds the durability adversary:
+
+* seeded write faults on the plan — short writes, torn unsynced writes,
+  lying fsyncs;
+* :class:`~repro.faults.crash.CrashInjector` — deterministic
+  :class:`~repro.errors.SimulatedCrash` at named durability-critical
+  instructions;
+* :class:`~repro.faults.disk.SimulatedMedium` — a crashable filesystem
+  with an explicit volatile/durable split, consumed by the crash matrix
+  in :mod:`repro.durability.crashtest`.
 """
 
+from repro.faults.crash import NULL_CRASH, CrashInjector, CrashSite
+from repro.faults.disk import SimulatedMedium
 from repro.faults.pager import FaultyPager
 from repro.faults.plan import FaultPlan
 
-__all__ = ["FaultPlan", "FaultyPager"]
+__all__ = [
+    "NULL_CRASH",
+    "CrashInjector",
+    "CrashSite",
+    "FaultPlan",
+    "FaultyPager",
+    "SimulatedMedium",
+]

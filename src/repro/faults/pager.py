@@ -6,8 +6,10 @@ according to a :class:`~repro.faults.plan.FaultPlan`: permanently bad
 pages raise :class:`~repro.errors.BlobCorruptionError`, transient faults
 raise :class:`~repro.errors.TransientBlobError` (a retry re-reads and may
 succeed), and corrupted visits silently flip one bit — which page-level
-checksums upstream are expected to catch. Writes pass through untouched:
-capture is assumed verified; it is playback that must survive the disk.
+checksums upstream are expected to catch. On the write side the plan can
+schedule *short writes*: the controller acknowledges a page write of
+which only a prefix landed — surfacing later as a checksum failure, or
+repaired invisibly when a write-ahead log sits above the store.
 """
 
 from __future__ import annotations
@@ -33,8 +35,10 @@ class FaultyPager(Instrumented):
         self.pager = pager
         self.plan = plan
         self.reads = 0
+        self.writes = 0
         self.fault_counts: Counter = Counter()
         self._visits: Counter = Counter()
+        self._write_visits: Counter = Counter()
         if obs is not None:
             self.instrument(obs)
 
@@ -45,12 +49,26 @@ class FaultyPager(Instrumented):
     def __len__(self) -> int:
         return len(self.pager)
 
-    # -- write path: pass-through ------------------------------------------------
+    # -- write path: short writes when the plan schedules them --------------------
 
     def grow(self) -> int:
         return self.pager.grow()
 
     def write_page(self, page_no: int, data: bytes, offset: int = 0) -> None:
+        visit = self._write_visits[page_no]
+        self._write_visits[page_no] += 1
+        self.writes += 1
+        if data and self.plan.is_short_write(page_no, visit):
+            landed = self.plan.short_length(len(data), page_no, visit)
+            self.fault_counts["short_write"] += 1
+            self._obs.metrics.counter("faults.injected").inc(
+                kind="short_write"
+            )
+            self._obs.events.record(
+                Severity.WARNING, "faults.pager", "fault.short_write",
+                page=page_no, visit=visit, intended=len(data), landed=landed,
+            )
+            data = data[:landed]
         self.pager.write_page(page_no, data, offset)
 
     # -- read path: faulted --------------------------------------------------------
@@ -108,6 +126,11 @@ class FaultyPager(Instrumented):
         flush = getattr(self.pager, "flush", None)
         if flush is not None:
             flush()
+
+    def sync(self) -> None:
+        sync = getattr(self.pager, "sync", None)
+        if sync is not None:
+            sync()
 
     def close(self) -> None:
         close = getattr(self.pager, "close", None)

@@ -53,6 +53,22 @@ class FaultPlan:
         Bandwidth multiplier (in (0, 1]) inside a degraded window.
     degraded_latency:
         Extra seconds of latency charged per read in a degraded window.
+    short_write_rate:
+        Probability a page write is silently truncated to a prefix (the
+        controller acknowledges a partial transfer). Surfaces later as a
+        checksum failure on read, or as a torn page repaired by WAL redo.
+    torn_write_rate:
+        Probability an *unsynced* write survives a crash only partially
+        (a torn page). Drawn per write when the simulated medium crashes.
+    unsynced_survival_rate:
+        Probability an unsynced write survives a crash intact. The
+        default 0.0 is the adversarial disk: everything not fsynced is
+        gone. Survival and tearing are disjoint draws from one uniform;
+        their rates must sum to at most 1.
+    lying_fsync_rate:
+        Probability an fsync reports success without making the data
+        durable. Undetectable by software — the crash matrix documents
+        (rather than masks) the acknowledged-write loss it causes.
     """
 
     seed: int
@@ -64,15 +80,26 @@ class FaultPlan:
     degradation_span: int = 32
     degraded_bandwidth_factor: Rational = Rational(1, 2)
     degraded_latency: Rational = Rational(0)
+    short_write_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    unsynced_survival_rate: float = 0.0
+    lying_fsync_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.page_size < 1:
             raise EngineError("page_size must be >= 1")
         for name in ("transient_rate", "bad_page_rate", "corruption_rate",
-                     "degraded_fraction"):
+                     "degraded_fraction", "short_write_rate",
+                     "torn_write_rate", "unsynced_survival_rate",
+                     "lying_fsync_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise EngineError(f"{name} must be in [0, 1], got {value}")
+        if self.unsynced_survival_rate + self.torn_write_rate > 1.0:
+            raise EngineError(
+                "unsynced_survival_rate + torn_write_rate must not "
+                "exceed 1"
+            )
         if self.degradation_span < 1:
             raise EngineError("degradation_span must be >= 1")
         object.__setattr__(
@@ -129,6 +156,48 @@ class FaultPlan:
         flipped[byte_index] ^= 1 << bit
         return bytes(flipped)
 
+    # -- write-side faults --------------------------------------------------------
+
+    def is_short_write(self, page_no: int, write_index: int) -> bool:
+        """Is the ``write_index``-th write of ``page_no`` acknowledged
+        short (only a prefix reaches the medium)?"""
+        return (self.short_write_rate > 0
+                and self._unit("short", page_no, write_index)
+                < self.short_write_rate)
+
+    def short_length(self, size: int, page_no: int, write_index: int) -> int:
+        """Bytes of a ``size``-byte short write that actually land
+        (deterministic, in ``[1, size - 1]`` whenever ``size >= 2``)."""
+        if size < 2:
+            return size
+        fraction = self._unit("short-len", page_no, write_index)
+        return min(max(int(fraction * size), 1), size - 1)
+
+    def write_outcome(self, write_index: int) -> str:
+        """Fate of the ``write_index``-th *unsynced* write at a crash:
+        ``"kept"`` (survives intact), ``"torn"`` (a prefix survives) or
+        ``"lost"`` (never reached the medium)."""
+        draw = self._unit("write-fate", write_index)
+        if draw < self.unsynced_survival_rate:
+            return "kept"
+        if draw < self.unsynced_survival_rate + self.torn_write_rate:
+            return "torn"
+        return "lost"
+
+    def torn_length(self, size: int, write_index: int) -> int:
+        """Bytes of a ``size``-byte torn write that survive a crash
+        (deterministic, in ``[1, size - 1]`` whenever ``size >= 2``)."""
+        if size < 2:
+            return size
+        fraction = self._unit("torn-len", write_index)
+        return min(max(int(fraction * size), 1), size - 1)
+
+    def is_lying_fsync(self, fsync_index: int) -> bool:
+        """Does the ``fsync_index``-th fsync lie about durability?"""
+        return (self.lying_fsync_rate > 0
+                and self._unit("lying-fsync", fsync_index)
+                < self.lying_fsync_rate)
+
     # -- degradation windows -----------------------------------------------------
 
     def is_degraded(self, read_index: int) -> bool:
@@ -178,9 +247,18 @@ class FaultPlan:
         return replace(self, seed=derived)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"FaultPlan(seed={self.seed}: transient {self.transient_rate:.1%}, "
             f"bad pages {self.bad_page_rate:.1%}, corruption "
             f"{self.corruption_rate:.1%}, degraded windows "
             f"{self.degraded_fraction:.1%} at x{self.degraded_bandwidth_factor})"
         )
+        if (self.short_write_rate or self.torn_write_rate
+                or self.unsynced_survival_rate or self.lying_fsync_rate):
+            text += (
+                f" + writes(short {self.short_write_rate:.1%}, torn "
+                f"{self.torn_write_rate:.1%}, unsynced survival "
+                f"{self.unsynced_survival_rate:.1%}, lying fsync "
+                f"{self.lying_fsync_rate:.1%})"
+            )
+        return text

@@ -7,12 +7,28 @@ association: one header describing every sequence (media descriptor, time
 system, placement table) followed by the raw BLOB bytes — a movie file in
 the QuickTime sense, reduced to essentials.
 
-Format::
+Format (version 2)::
 
-    magic 'RMF1' | header_length u32 BE | header JSON (UTF-8) | blob bytes
+    magic 'RMF2' | header_length u32 BE | header_crc u32 BE
+                 | header JSON (UTF-8) | blob bytes
 
-Descriptor values that JSON cannot express directly (rationals, tuples)
-are wrapped in tagged objects.
+The header carries ``blob_crc32``, so together with ``header_crc`` every
+byte of the file is covered by a checksum — a single flipped bit anywhere
+surfaces as a typed :class:`~repro.errors.ContainerFormatError`, never as
+a silently wrong interpretation. Version-1 files (no checksums) still
+read. Descriptor values that JSON cannot express directly (rationals,
+tuples) are wrapped in tagged objects.
+
+:func:`write_container` commits atomically — shadow write, fsync,
+rename (:func:`repro.durability.atomic.atomic_write_bytes`) — so a crash
+mid-write leaves either the old complete file or the new one, never a
+truncated hybrid.
+
+The decoder trusts nothing: header lengths are bounded, placement
+entries are shape- and bounds-checked against the actual blob, and any
+structural surprise in hostile JSON is wrapped into
+:class:`~repro.errors.ContainerFormatError` rather than escaping as
+``KeyError`` or friends.
 """
 
 from __future__ import annotations
@@ -20,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
 from typing import Any
 
 from repro.blob.blob import MemoryBlob
@@ -32,9 +49,11 @@ from repro.core.interpretation import (
 from repro.core.media_types import media_type_registry
 from repro.core.rational import Rational
 from repro.core.time_system import DiscreteTimeSystem
-from repro.errors import ContainerFormatError
+from repro.durability.atomic import atomic_write_bytes, read_bytes
+from repro.errors import ContainerFormatError, MediaModelError
 
-_MAGIC = b"RMF1"
+_MAGIC = b"RMF2"
+_MAGIC_V1 = b"RMF1"
 
 
 def _encode_value(value: Any) -> Any:
@@ -56,14 +75,31 @@ def _encode_value(value: Any) -> Any:
 def _decode_value(value: Any) -> Any:
     if isinstance(value, dict):
         if "$rational" in value:
-            numerator, denominator = value["$rational"]
-            return Rational(numerator, denominator)
+            pair = value["$rational"]
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not all(_is_int(v) for v in pair)):
+                raise ContainerFormatError(
+                    f"malformed $rational value: {pair!r}"
+                )
+            if pair[1] == 0:
+                raise ContainerFormatError("$rational with zero denominator")
+            return Rational(pair[0], pair[1])
         if "$tuple" in value:
-            return tuple(_decode_value(v) for v in value["$tuple"])
+            items = value["$tuple"]
+            if not isinstance(items, list):
+                raise ContainerFormatError(
+                    f"malformed $tuple value: {items!r}"
+                )
+            return tuple(_decode_value(v) for v in items)
         return {k: _decode_value(v) for k, v in value.items()}
     if isinstance(value, list):
         return [_decode_value(v) for v in value]
     return value
+
+
+def _is_int(value: Any) -> bool:
+    """A real integer — booleans masquerade as ints and are rejected."""
+    return isinstance(value, int) and not isinstance(value, bool)
 
 
 def _encode_sequence(sequence: InterpretedSequence) -> dict:
@@ -91,38 +127,104 @@ def _encode_sequence(sequence: InterpretedSequence) -> dict:
     }
 
 
-def _decode_sequence(payload: dict) -> InterpretedSequence:
-    media_type = media_type_registry.get(payload["media_type"])
-    ts = payload["time_system"]
-    time_system = DiscreteTimeSystem(
-        Rational(ts["frequency"][0], ts["frequency"][1]), ts.get("name", "")
-    )
-    descriptor = MediaDescriptor({
-        k: _decode_value(v) for k, v in payload["descriptor"].items()
-    })
-    entries = []
-    for number, start, duration, size, offset, element_descriptor in payload["entries"]:
-        descriptor_obj = (
-            None if element_descriptor is None
-            else ElementDescriptor({
-                k: _decode_value(v) for k, v in element_descriptor.items()
-            })
+def _decode_entry(row: Any, index: int, blob_length: int) -> PlacementEntry:
+    """One placement row, fully distrusted."""
+    if not isinstance(row, list) or len(row) != 6:
+        raise ContainerFormatError(
+            f"placement entry {index} is not a 6-field row: {row!r}"
         )
-        entries.append(PlacementEntry(
-            element_number=number, start=start, duration=duration,
-            size=size, blob_offset=offset, element_descriptor=descriptor_obj,
-        ))
-    return InterpretedSequence(
-        payload["name"], media_type, descriptor, entries, time_system
+    number, start, duration, size, offset, element_descriptor = row
+    for label, value in (("element_number", number), ("start", start),
+                         ("duration", duration), ("size", size),
+                         ("blob_offset", offset)):
+        if not _is_int(value):
+            raise ContainerFormatError(
+                f"placement entry {index}: {label} must be an integer, "
+                f"got {value!r}"
+            )
+    if size < 0 or offset < 0:
+        raise ContainerFormatError(
+            f"placement entry {index}: negative size or offset "
+            f"({size}, {offset})"
+        )
+    if offset + size > blob_length:
+        raise ContainerFormatError(
+            f"placement entry {index}: [{offset}, {offset + size}) "
+            f"overflows BLOB of {blob_length} bytes"
+        )
+    if element_descriptor is not None \
+            and not isinstance(element_descriptor, dict):
+        raise ContainerFormatError(
+            f"placement entry {index}: element descriptor must be an "
+            f"object or null"
+        )
+    descriptor_obj = (
+        None if element_descriptor is None
+        else ElementDescriptor({
+            k: _decode_value(v) for k, v in element_descriptor.items()
+        })
     )
+    return PlacementEntry(
+        element_number=number, start=start, duration=duration,
+        size=size, blob_offset=offset, element_descriptor=descriptor_obj,
+    )
+
+
+def _decode_sequence(payload: Any, blob_length: int) -> InterpretedSequence:
+    if not isinstance(payload, dict):
+        raise ContainerFormatError(
+            f"sequence payload is not an object: {payload!r}"
+        )
+    try:
+        name = payload["name"]
+        media_type = media_type_registry.get(payload["media_type"])
+        ts = payload["time_system"]
+        frequency = ts["frequency"]
+        if (not isinstance(frequency, list) or len(frequency) != 2
+                or not all(_is_int(v) for v in frequency)
+                or frequency[1] == 0):
+            raise ContainerFormatError(
+                f"malformed time system frequency: {frequency!r}"
+            )
+        time_system = DiscreteTimeSystem(
+            Rational(frequency[0], frequency[1]), ts.get("name", "")
+        )
+        descriptor_payload = payload["descriptor"]
+        if not isinstance(descriptor_payload, dict):
+            raise ContainerFormatError(
+                f"media descriptor is not an object: {descriptor_payload!r}"
+            )
+        descriptor = MediaDescriptor({
+            k: _decode_value(v) for k, v in descriptor_payload.items()
+        })
+        rows = payload["entries"]
+        if not isinstance(rows, list):
+            raise ContainerFormatError(
+                f"placement table is not a list: {rows!r}"
+            )
+        entries = [
+            _decode_entry(row, i, blob_length) for i, row in enumerate(rows)
+        ]
+        return InterpretedSequence(
+            name, media_type, descriptor, entries, time_system
+        )
+    except MediaModelError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError,
+            AttributeError) as exc:
+        raise ContainerFormatError(
+            f"malformed sequence payload: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def serialize_container(interpretation: Interpretation) -> bytes:
     """Serialize an interpretation and its BLOB to container bytes."""
     interpretation.validate()
+    blob_bytes = interpretation.blob.read_all()
     header = {
         "name": interpretation.name,
-        "blob_length": len(interpretation.blob),
+        "blob_length": len(blob_bytes),
+        "blob_crc32": zlib.crc32(blob_bytes),
         "sequences": [
             _encode_sequence(interpretation.sequence(name))
             for name in interpretation.names()
@@ -131,48 +233,102 @@ def serialize_container(interpretation: Interpretation) -> bytes:
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     return b"".join([
         _MAGIC,
-        struct.pack(">I", len(header_bytes)),
+        struct.pack(">II", len(header_bytes), zlib.crc32(header_bytes)),
         header_bytes,
-        interpretation.blob.read_all(),
+        blob_bytes,
     ])
 
 
 def deserialize_container(data: bytes) -> Interpretation:
-    """Invert :func:`serialize_container` (BLOB loads into memory)."""
-    if len(data) < 8 or data[:4] != _MAGIC:
+    """Invert :func:`serialize_container` (BLOB loads into memory).
+
+    Accepts version 1 and 2; raises
+    :class:`~repro.errors.ContainerFormatError` for any corruption,
+    truncation or structurally hostile header."""
+    if len(data) < 8:
+        raise ContainerFormatError(
+            f"not an RMF container ({len(data)} bytes is too short)"
+        )
+    magic = data[:4]
+    if magic == _MAGIC:
+        if len(data) < 12:
+            raise ContainerFormatError("truncated container preamble")
+        header_length, header_crc = struct.unpack_from(">II", data, 4)
+        preamble = 12
+    elif magic == _MAGIC_V1:
+        (header_length,) = struct.unpack_from(">I", data, 4)
+        header_crc = None
+        preamble = 8
+    else:
         raise ContainerFormatError("not an RMF container (bad magic)")
-    (header_length,) = struct.unpack_from(">I", data, 4)
-    header_end = 8 + header_length
-    if header_end > len(data):
-        raise ContainerFormatError("truncated container header")
+    if header_length > len(data) - preamble:
+        raise ContainerFormatError(
+            f"truncated container header (declares {header_length} bytes, "
+            f"{len(data) - preamble} available)"
+        )
+    header_end = preamble + header_length
+    header_bytes = data[preamble:header_end]
+    if header_crc is not None and zlib.crc32(header_bytes) != header_crc:
+        raise ContainerFormatError(
+            "container header failed checksum verification"
+        )
     try:
-        header = json.loads(data[8:header_end].decode("utf-8"))
+        header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ContainerFormatError(f"bad container header: {exc}") from exc
-    blob_bytes = data[header_end:]
-    if len(blob_bytes) != header.get("blob_length"):
+    if not isinstance(header, dict):
         raise ContainerFormatError(
-            f"BLOB length mismatch: header says {header.get('blob_length')}, "
+            f"container header is not an object: {header!r}"
+        )
+    blob_bytes = data[header_end:]
+    declared = header.get("blob_length")
+    if not _is_int(declared) or declared < 0:
+        raise ContainerFormatError(
+            f"bad declared BLOB length: {declared!r}"
+        )
+    if len(blob_bytes) != declared:
+        raise ContainerFormatError(
+            f"BLOB length mismatch: header says {declared}, "
             f"file holds {len(blob_bytes)}"
         )
+    blob_crc = header.get("blob_crc32")
+    if blob_crc is not None:
+        if not _is_int(blob_crc):
+            raise ContainerFormatError(
+                f"bad declared BLOB checksum: {blob_crc!r}"
+            )
+        if zlib.crc32(blob_bytes) != blob_crc:
+            raise ContainerFormatError(
+                "BLOB failed checksum verification"
+            )
     interpretation = Interpretation(
         MemoryBlob(blob_bytes), header.get("name", "container")
     )
-    for sequence_payload in header.get("sequences", []):
-        interpretation.add_sequence(_decode_sequence(sequence_payload))
+    sequences = header.get("sequences", [])
+    if not isinstance(sequences, list):
+        raise ContainerFormatError(
+            f"sequence table is not a list: {sequences!r}"
+        )
+    for sequence_payload in sequences:
+        interpretation.add_sequence(
+            _decode_sequence(sequence_payload, len(blob_bytes))
+        )
     interpretation.validate()
     return interpretation
 
 
-def write_container(interpretation: Interpretation, path: str | os.PathLike) -> int:
-    """Write a container file; returns bytes written."""
+def write_container(interpretation: Interpretation, path: str | os.PathLike,
+                    fs=None, crash=None) -> int:
+    """Atomically write a container file; returns bytes written.
+
+    The commit is shadow-write + fsync + rename + directory fsync: a
+    crash at any instruction leaves either the previous container or
+    the complete new one on disk."""
     data = serialize_container(interpretation)
-    with open(path, "wb") as handle:
-        handle.write(data)
+    atomic_write_bytes(os.fspath(path), data, fs=fs, crash=crash)
     return len(data)
 
 
-def read_container(path: str | os.PathLike) -> Interpretation:
+def read_container(path: str | os.PathLike, fs=None) -> Interpretation:
     """Read a container file back into an in-memory interpretation."""
-    with open(path, "rb") as handle:
-        return deserialize_container(handle.read())
+    return deserialize_container(read_bytes(os.fspath(path), fs=fs))

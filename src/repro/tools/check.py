@@ -10,8 +10,12 @@ any ERROR-level finding, so CI can gate on it:
 * ``--graph`` checks exemplar media graphs (the Figure 2 capture, the
   Figure 4 production and the §1.2 multilingual movie, rebuilt at
   reduced scale) through the media-graph rules (MG001-MG009);
-* ``--lint`` runs the determinism/taxonomy linter (LN001-LN006) over
+* ``--lint`` runs the determinism/taxonomy linter (LN001-LN007) over
   the library's own sources;
+* ``--crash`` runs a reduced crash matrix (the ``small`` scenario set
+  over the simulated medium): every injected crash point is exercised
+  and recovery invariants are asserted — a fast smoke of the full
+  matrix the ``crash``-marked tests run;
 * ``--style`` and ``--types`` invoke ``ruff`` and ``mypy`` when they
   are installed, and are skipped (without failing) when they are not —
   the in-tree engines above carry the gate either way.
@@ -79,6 +83,22 @@ def run_graph(ignore: tuple[str, ...] = ()) -> DiagnosticReport:
     return merged
 
 
+def run_crash() -> tuple[bool, str]:
+    """The reduced crash matrix; ``(passed, rendered summary)``."""
+    from repro.durability import CrashMatrix, default_scenarios
+
+    lines = []
+    passed = True
+    for scenario in default_scenarios(small=True):
+        report = CrashMatrix(scenario).run()
+        lines.append(report.summary())
+        if not report.passed:
+            passed = False
+            for outcome in report.failures:
+                lines.append(f"  FAIL {outcome.site}: {outcome.detail}")
+    return passed, "\n".join(lines)
+
+
 def run_external(tool: str, arguments: list[str]) -> tuple[str, str]:
     """Run an optional external tool; ``(status, detail)``.
 
@@ -120,6 +140,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="check the exemplar media graphs")
     parser.add_argument("--lint", action="store_true",
                         help="lint the library's own sources")
+    parser.add_argument("--crash", action="store_true",
+                        help="run the reduced crash matrix over the "
+                             "simulated medium")
     parser.add_argument("--style", action="store_true",
                         help="run ruff if installed (skipped otherwise)")
     parser.add_argument("--types", action="store_true",
@@ -138,11 +161,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = {
-        stage for stage in ("graph", "lint", "style", "types")
+        stage for stage in ("graph", "lint", "crash", "style", "types")
         if getattr(args, stage)
     }
     if args.all or not selected:
-        selected = {"graph", "lint", "style", "types"}
+        selected = {"graph", "lint", "crash", "style", "types"}
     ignore = tuple(args.ignore)
 
     failed = []
@@ -154,6 +177,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not report.ok:
             failed.append(stage)
+
+    if "crash" in selected:
+        crash_ok, crash_text = run_crash()
+        print(crash_text)
+        print()
+        if not crash_ok:
+            failed.append("crash")
 
     src_root = str(Path(__file__).resolve().parents[2])
     external = {

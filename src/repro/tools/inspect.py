@@ -25,6 +25,11 @@ bandwidth from ``--play`` when given, else 2 MB/s.
 interpretation and prints its findings; the exit code turns non-zero
 on any ERROR-level diagnostic, so a broken container is caught before
 anything tries to play it.
+
+``--wal`` treats the path as a write-ahead-log *directory* instead of
+a container and prints the log's state — segments, record counts,
+committed transactions, and whether the tail is torn — without
+modifying it.
 """
 
 from __future__ import annotations
@@ -198,7 +203,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verify", action="store_true",
                         help="run the static graph checker over the "
                              "container and fail on any error finding")
+    parser.add_argument("--wal", action="store_true",
+                        help="treat PATH as a write-ahead-log directory "
+                             "and print its state")
     args = parser.parse_args(argv)
+
+    if args.wal:
+        from repro.durability import REAL_FS, WriteAheadLog
+        from repro.errors import MediaModelError
+
+        if not REAL_FS.exists(args.path):
+            print(f"error: no WAL directory at {args.path}",
+                  file=sys.stderr)
+            return 1
+        try:
+            with WriteAheadLog(args.path) as wal:
+                print(wal.describe())
+        except (OSError, MediaModelError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
 
     try:
         interpretation = read_container(args.path)
@@ -239,8 +263,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.health is not None:
             print(health_text(server, obs))
         if args.timeline:
-            with open(args.timeline, "w", encoding="utf-8") as handle:
-                handle.write(to_chrome_trace(obs))
+            from repro.durability import atomic_write_bytes
+
+            atomic_write_bytes(args.timeline,
+                               to_chrome_trace(obs).encode("utf-8"))
             print(f"wrote Chrome trace to {args.timeline}")
     return 0
 

@@ -1,11 +1,15 @@
-"""Tests for the determinism/taxonomy linter (rules LN001-LN006)."""
+"""Tests for the determinism/taxonomy linter (rules LN001-LN007)."""
 
 import textwrap
 
 import pytest
 
 from repro.analysis import LintEngine, lint_paths
-from repro.analysis.lint import RNG_ALLOWLIST, WALLCLOCK_ALLOWLIST
+from repro.analysis.lint import (
+    RAW_WRITE_ALLOWLIST,
+    RNG_ALLOWLIST,
+    WALLCLOCK_ALLOWLIST,
+)
 from repro.errors import AnalysisError
 from repro.obs import Severity
 
@@ -185,6 +189,56 @@ class TestEventSeverity:
                 return recorder.record(objects)
             """)
         assert report.by_rule("LN006") == []
+
+
+class TestRawWrites:
+    def test_write_mode_open_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def save(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """)
+        findings = report.by_rule("LN007")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert "durability" in findings[0].hint
+
+    def test_append_exclusive_and_update_modes_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def f(path):
+                open(path, "a").close()
+                open(path, mode="x").close()
+                open(path, "r+b").close()
+            """)
+        assert len(report.by_rule("LN007")) == 3
+
+    def test_read_mode_and_default_pass(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def load(path):
+                with open(path) as a, open(path, "rb") as b:
+                    return a.read(), b.read()
+            """)
+        assert report.by_rule("LN007") == []
+
+    def test_method_named_open_not_confused(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def save(fs, path, data):
+                with fs.open(path, "wb") as handle:
+                    handle.write(data)
+            """)
+        assert report.by_rule("LN007") == []
+
+    def test_variable_mode_passes(self, tmp_path):
+        """A non-constant mode cannot be judged statically; the rule
+        stays quiet rather than guessing."""
+        report = lint_source(tmp_path, """\
+            def reopen(path, mode):
+                return open(path, mode)
+            """)
+        assert report.by_rule("LN007") == []
+
+    def test_fs_module_is_the_only_sanctioned_writer(self):
+        assert RAW_WRITE_ALLOWLIST == {"repro/durability/fs.py"}
 
 
 class TestEngineApi:

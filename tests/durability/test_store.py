@@ -1,0 +1,198 @@
+"""Tests for the durable page store: no-steal commits and redo recovery."""
+
+import pytest
+
+from repro.blob.pages import FilePager, MemoryPager
+from repro.durability import (
+    DurablePageStore,
+    WriteAheadLog,
+    recover_page_store,
+)
+from repro.errors import (
+    BlobError,
+    DurabilityError,
+    SimulatedCrash,
+    WalCorruptionError,
+)
+from repro.faults import CrashInjector, CrashSite, FaultPlan, SimulatedMedium
+
+PAGE = 128
+
+
+@pytest.fixture
+def fs():
+    return SimulatedMedium()
+
+
+def make_store(fs, crash=None, **kwargs):
+    pager = FilePager("/data/store.pg", page_size=PAGE, fs=fs)
+    wal = WriteAheadLog("/data/wal", segment_bytes=4096, fs=fs, crash=crash)
+    return DurablePageStore(pager, wal, crash=crash, **kwargs)
+
+
+def reopen(fs, **kwargs):
+    pager = FilePager("/data/store.pg", page_size=PAGE, fs=fs, repair=True)
+    wal = WriteAheadLog("/data/wal", segment_bytes=4096, fs=fs)
+    return recover_page_store(pager, wal, **kwargs)
+
+
+class TestNoSteal:
+    def test_wal_required(self):
+        with pytest.raises(DurabilityError, match="WriteAheadLog"):
+            DurablePageStore(MemoryPager())
+
+    def test_uncommitted_write_never_reaches_pager(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\x07" * PAGE)
+        assert len(store.pager) == 0  # not even grown yet
+        assert store.read(page) == b"\x07" * PAGE  # served from overlay
+        store.commit()
+        assert store.pager.read_page(page) == b"\x07" * PAGE
+
+    def test_commit_with_nothing_pending_is_none(self, fs):
+        store = make_store(fs)
+        assert store.commit() is None
+
+    def test_partial_write_merges_into_full_image(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\xaa" * PAGE)
+        store.commit()
+        store.write(page, b"\xbb" * 4, offset=8)
+        expected = bytearray(b"\xaa" * PAGE)
+        expected[8:12] = b"\xbb" * 4
+        assert store.read(page) == bytes(expected)
+        store.commit()
+        assert store.pager.read_page(page) == bytes(expected)
+
+    def test_rollback_discards(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\xcc" * PAGE)
+        # Two pending units discarded: the grow and the dirty image.
+        assert store.rollback() == 2
+        assert store.pending_writes == 0
+        assert len(store.pager) == 0
+
+    def test_freed_page_reuse_is_zeroed_and_journaled(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\xdd" * PAGE)
+        store.commit()
+        store.free(page)
+        again = store.allocate()
+        assert again == page
+        assert store.read(again) == b"\x00" * PAGE
+        store.commit()
+        assert store.pager.read_page(again) == b"\x00" * PAGE
+
+    def test_write_bounds_checked(self, fs):
+        store = make_store(fs)
+        with pytest.raises(BlobError, match="out of range"):
+            store.write(3, b"x")
+        page = store.allocate()
+        with pytest.raises(BlobError, match="exceeds page size"):
+            store.write(page, b"x" * (PAGE + 1))
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_wal(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\x01" * PAGE)
+        store.commit()
+        assert store.wal.size_bytes() > 0
+        store.checkpoint()
+        assert store.wal.size_bytes() == 0
+
+    def test_checkpoint_with_pending_rejected(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\x02" * PAGE)
+        with pytest.raises(DurabilityError, match="uncommitted"):
+            store.checkpoint()
+
+    def test_auto_checkpoint(self, fs):
+        store = make_store(fs, auto_checkpoint_bytes=1)
+        page = store.allocate()
+        store.write(page, b"\x03" * PAGE)
+        store.commit()
+        # Any committed byte crosses the 1-byte threshold.
+        assert store.wal.size_bytes() == 0
+
+
+class TestRecovery:
+    def test_acknowledged_commit_survives_crash_before_apply(self, fs):
+        crash = CrashInjector(CrashSite("store.commit.acknowledged"))
+        store = make_store(fs, crash=crash)
+        page = store.allocate()
+        store.write(page, b"\x10" * PAGE)
+        with pytest.raises(SimulatedCrash):
+            store.commit()
+        fs.crash()
+        recovered, report = reopen(fs)
+        assert report.committed_txns == 1
+        assert report.pages_applied == 1
+        assert recovered.read(page) == b"\x10" * PAGE
+
+    def test_unacknowledged_txn_discarded(self):
+        """Records without a durable commit marker are dropped — even
+        when the disk happens to have kept them."""
+        fs = SimulatedMedium(
+            plan=FaultPlan(seed=1, unsynced_survival_rate=1.0)
+        )
+        crash = CrashInjector(CrashSite("wal.commit"))
+        store = make_store(fs, crash=crash)
+        page = store.allocate()
+        store.write(page, b"\x20" * PAGE)
+        with pytest.raises(SimulatedCrash):
+            store.commit()
+        fs.crash()
+        recovered, report = reopen(fs)
+        assert report.committed_txns == 0
+        assert report.pages_applied == 0
+        assert report.discarded_records > 0
+        assert len(recovered.pager) == 0
+
+    def test_recovery_is_idempotent(self, fs):
+        crash = CrashInjector(CrashSite("store.commit.acknowledged"))
+        store = make_store(fs, crash=crash)
+        page = store.allocate()
+        store.write(page, b"\x30" * PAGE)
+        with pytest.raises(SimulatedCrash):
+            store.commit()
+        fs.crash()
+        first, _ = reopen(fs)
+        image = first.read(page)
+        first.close()
+        second, _ = reopen(fs)
+        assert second.read(page) == image
+
+    def test_oversized_write_record_rejected(self, fs):
+        wal = WriteAheadLog("/data/wal", fs=fs)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"short")  # not a full PAGE image
+        wal.commit(txn)
+        pager = FilePager("/data/store.pg", page_size=PAGE, fs=fs)
+        with pytest.raises(WalCorruptionError, match="page size"):
+            recover_page_store(pager, wal)
+
+    def test_checksums_rebuilt_after_recovery(self, fs):
+        crash = CrashInjector(CrashSite("store.commit.apply"))
+        store = make_store(fs, crash=crash, checksums=True)
+        page = store.allocate()
+        store.write(page, b"\x40" * PAGE)
+        with pytest.raises(SimulatedCrash):
+            store.commit()
+        fs.crash()
+        recovered, _ = reopen(fs, checksums=True)
+        assert recovered.verify_page(page)
+
+    def test_close_rolls_back_uncommitted(self, fs):
+        store = make_store(fs)
+        page = store.allocate()
+        store.write(page, b"\x50" * PAGE)
+        store.close()
+        assert store.pending_writes == 0
+        assert store.pending_grows == 0

@@ -1,0 +1,196 @@
+"""Tests for the write-ahead log over the simulated medium."""
+
+import pytest
+
+from repro.durability.wal import (
+    COMMIT,
+    GROW,
+    HEADER,
+    WRITE,
+    WriteAheadLog,
+    encode_record,
+)
+from repro.errors import WalCorruptionError, WalError
+from repro.faults import CrashInjector, CrashSite, FaultPlan, SimulatedMedium
+
+
+def make_wal(fs, **kwargs):
+    return WriteAheadLog("/data/wal", fs=fs, **kwargs)
+
+
+@pytest.fixture
+def fs():
+    return SimulatedMedium()
+
+
+class TestAppendAndScan:
+    def test_roundtrip(self, fs):
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.log_grow(txn, 0)
+        wal.log_write(txn, 0, b"\xaa" * 32)
+        wal.commit(txn)
+        scan = wal.scan()
+        assert scan.committed_txns == {txn}
+        assert scan.max_txn == txn
+        types = [r.type for r in scan.records]
+        assert types == [HEADER, GROW, WRITE, COMMIT]
+        write = scan.records[2]
+        assert write.page_no() == 0
+        assert write.page_image() == b"\xaa" * 32
+        assert not scan.torn_tail
+
+    def test_uncommitted_records_discardable(self, fs):
+        wal = make_wal(fs)
+        committed = wal.begin()
+        wal.log_write(committed, 0, b"x" * 8)
+        wal.commit(committed)
+        orphan = wal.begin()
+        wal.log_write(orphan, 1, b"y" * 8)
+        scan = wal.scan()
+        discarded = scan.uncommitted_records()
+        assert [r.txn for r in discarded] == [orphan]
+
+    def test_txn_ids_monotonic_across_reopen(self, fs):
+        wal = make_wal(fs)
+        first = wal.begin()
+        wal.log_write(first, 0, b"a")
+        wal.commit(first)
+        wal.close()
+        reopened = make_wal(fs)
+        assert reopened.begin() > first
+
+    def test_record_accessors_typed(self, fs):
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.commit(txn)
+        commit = wal.scan().records[-1]
+        with pytest.raises(WalError):
+            commit.page_no()
+        with pytest.raises(WalError):
+            commit.page_image()
+
+    def test_tiny_segment_bytes_rejected(self, fs):
+        with pytest.raises(WalError, match=">= 64"):
+            make_wal(fs, segment_bytes=16)
+
+    def test_unparseable_segment_name_rejected(self, fs):
+        fs.makedirs("/data/wal")
+        fs.open("/data/wal/wal-bogus!.seg", "wb").close()
+        with pytest.raises(WalError, match="unparseable"):
+            make_wal(fs)
+
+
+class TestRotation:
+    def test_small_segments_rotate(self, fs):
+        wal = make_wal(fs, segment_bytes=128)
+        for _ in range(4):
+            txn = wal.begin()
+            wal.log_write(txn, 0, b"z" * 64)
+            wal.commit(txn)
+        assert len(wal.segments()) > 1
+        scan = wal.scan()
+        assert len(scan.committed_txns) == 4
+
+    def test_reopen_never_appends_to_old_tail(self, fs):
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"a" * 16)
+        wal.commit(txn)
+        wal.close()
+        reopened = make_wal(fs)
+        txn = reopened.begin()
+        reopened.log_write(txn, 1, b"b" * 16)
+        reopened.commit(txn)
+        assert len(reopened.segments()) == 2
+
+    def test_truncate_removes_everything(self, fs):
+        wal = make_wal(fs, segment_bytes=128)
+        for _ in range(3):
+            txn = wal.begin()
+            wal.log_write(txn, 0, b"z" * 64)
+            wal.commit(txn)
+        removed = wal.truncate()
+        assert removed >= 1
+        assert wal.segments() == []
+        assert wal.size_bytes() == 0
+
+
+class TestCrashSemantics:
+    def test_committed_survives_crash(self, fs):
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"\x11" * 16)
+        wal.commit(txn)
+        fs.crash()
+        scan = make_wal(fs).scan()
+        assert txn in scan.committed_txns
+
+    def test_unsynced_appends_vanish_cleanly(self, fs):
+        """Without the commit fsync, a crash loses the records — the
+        scan sees an empty (or shorter) log, never an error."""
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"\x22" * 16)
+        fs.crash()
+        scan = make_wal(fs).scan()
+        assert txn not in scan.committed_txns
+        assert scan.uncommitted_records() == []
+
+    def test_torn_tail_detected_and_tolerated(self):
+        """A torn unsynced append is the crash signature the scan
+        forgives: records before it parse, the tail is flagged."""
+        fs = SimulatedMedium(plan=FaultPlan(seed=3, torn_write_rate=1.0))
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"\x33" * 64)
+        wal.commit(txn)
+        orphan = wal.begin()
+        wal.log_write(orphan, 1, b"\x44" * 64)
+        fs.crash()
+        scan = make_wal(fs).scan()
+        assert txn in scan.committed_txns
+        assert scan.torn_tail
+
+    def test_mid_log_damage_refuses_replay(self, fs):
+        wal = make_wal(fs, segment_bytes=128)
+        for _ in range(3):
+            txn = wal.begin()
+            wal.log_write(txn, 0, b"z" * 64)
+            wal.commit(txn)
+        first = wal.segments()[0]
+        with fs.open(f"/data/wal/wal-{first:08d}.seg", "r+b") as handle:
+            handle.seek(20)
+            handle.write(b"\xff")
+        with pytest.raises(WalCorruptionError, match="mid-log"):
+            wal.scan()
+
+
+class TestCrashPoints:
+    def test_commit_crash_point_fires_before_sync(self, fs):
+        crash = CrashInjector(CrashSite("wal.commit.before_sync"))
+        wal = make_wal(fs, crash=crash)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"\x55" * 16)
+        from repro.errors import SimulatedCrash
+
+        with pytest.raises(SimulatedCrash):
+            wal.commit(txn)
+        fs.crash()
+        scan = make_wal(fs).scan()
+        assert txn not in scan.committed_txns
+
+
+class TestEncoding:
+    def test_encode_record_checksummed(self):
+        data = encode_record(WRITE, 7, b"payload")
+        assert len(data) == 17 + len(b"payload")
+
+    def test_describe_renders(self, fs):
+        wal = make_wal(fs)
+        txn = wal.begin()
+        wal.log_write(txn, 0, b"q" * 8)
+        wal.commit(txn)
+        text = wal.describe()
+        assert "committed txns: 1" in text
+        assert "torn tail     : no" in text

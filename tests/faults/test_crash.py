@@ -1,0 +1,65 @@
+"""Tests for deterministic crash-point injection."""
+
+import pytest
+
+from repro.errors import DurabilityError, SimulatedCrash
+from repro.faults import NULL_CRASH, CrashInjector, CrashSite
+
+
+class TestCrashSite:
+    def test_str(self):
+        assert str(CrashSite("wal.commit", 2)) == "wal.commit#2"
+
+    def test_ordering_is_deterministic(self):
+        sites = [CrashSite("b", 0), CrashSite("a", 1), CrashSite("a", 0)]
+        assert sorted(sites) == [
+            CrashSite("a", 0), CrashSite("a", 1), CrashSite("b", 0),
+        ]
+
+    def test_negative_occurrence_rejected(self):
+        with pytest.raises(DurabilityError, match=">= 0"):
+            CrashInjector(CrashSite("x", -1))
+
+
+class TestRecording:
+    def test_unarmed_injector_records(self):
+        injector = CrashInjector()
+        injector.point("a")
+        injector.point("b")
+        injector.point("a")
+        assert injector.sites() == [
+            CrashSite("a", 0), CrashSite("a", 1), CrashSite("b", 0),
+        ]
+        assert injector.fired is None
+
+    def test_null_crash_is_inert(self):
+        NULL_CRASH.point("anything")
+        assert NULL_CRASH.fired is None
+
+
+class TestArmed:
+    def test_fires_at_exact_occurrence(self):
+        injector = CrashInjector(CrashSite("p", 1))
+        injector.point("p")  # occurrence 0: survives
+        with pytest.raises(SimulatedCrash, match="p#1"):
+            injector.point("p")
+        assert injector.fired == CrashSite("p", 1)
+
+    def test_fires_at_most_once(self):
+        """Recovery reuses the injector; the armed site must not
+        re-fire once its occurrence has passed."""
+        injector = CrashInjector(CrashSite("p", 0))
+        with pytest.raises(SimulatedCrash):
+            injector.point("p")
+        injector.point("p")  # occurrence 1: no crash
+
+    def test_other_points_unaffected(self):
+        injector = CrashInjector(CrashSite("p", 0))
+        injector.point("q")
+        injector.point("r")
+        assert injector.fired is None
+
+    def test_simulated_crash_is_a_media_model_error(self):
+        from repro.errors import MediaModelError
+
+        assert issubclass(SimulatedCrash, MediaModelError)

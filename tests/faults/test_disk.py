@@ -1,0 +1,166 @@
+"""Tests for the crashable simulated medium."""
+
+import pytest
+
+from repro.errors import DurabilityError
+from repro.faults import FaultPlan, SimulatedMedium
+
+
+def write_file(fs, path, data, sync=True, sync_dir=True):
+    with fs.open(path, "wb") as handle:
+        handle.write(data)
+        if sync:
+            fs.fsync(handle)
+    if sync_dir:
+        fs.fsync_dir(path.rsplit("/", 1)[0])
+
+
+class TestFileInterface:
+    def test_write_read_roundtrip(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/f", b"hello")
+        with fs.open("/d/f", "rb") as handle:
+            assert handle.read() == b"hello"
+
+    def test_seek_tell_append(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/f", b"abcdef")
+        with fs.open("/d/f", "ab") as handle:
+            assert handle.tell() == 6
+            handle.write(b"gh")
+        with fs.open("/d/f", "rb") as handle:
+            handle.seek(4)
+            assert handle.read() == b"efgh"
+
+    def test_text_mode_rejected(self):
+        fs = SimulatedMedium()
+        with pytest.raises(DurabilityError, match="binary-only"):
+            fs.open("/d/f", "w")
+
+    def test_missing_file_rejected(self):
+        fs = SimulatedMedium()
+        with pytest.raises(DurabilityError, match="no such"):
+            fs.open("/d/absent", "rb")
+
+    def test_exclusive_create(self):
+        fs = SimulatedMedium()
+        fs.open("/d/f", "xb").close()
+        with pytest.raises(DurabilityError, match="exists"):
+            fs.open("/d/f", "xb")
+
+    def test_listdir_getsize_remove(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/a", b"12345")
+        write_file(fs, "/d/b", b"6")
+        assert fs.listdir("/d") == ["a", "b"]
+        assert fs.getsize("/d/a") == 5
+        fs.remove("/d/a")
+        assert fs.listdir("/d") == ["b"]
+
+    def test_closed_handle_rejected(self):
+        fs = SimulatedMedium()
+        handle = fs.open("/d/f", "wb")
+        handle.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            handle.write(b"x")
+
+
+class TestCrashSemantics:
+    def test_unsynced_write_lost_by_default(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/f", b"base")
+        with fs.open("/d/f", "ab") as handle:
+            handle.write(b"-unsynced")  # no fsync
+        fs.crash()
+        with fs.open("/d/f", "rb") as handle:
+            assert handle.read() == b"base"
+
+    def test_fsynced_content_survives(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/f", b"durable")
+        fs.crash()
+        with fs.open("/d/f", "rb") as handle:
+            assert handle.read() == b"durable"
+
+    def test_name_needs_directory_fsync(self):
+        """Content fsync alone is not enough: a created file's *name*
+        survives only after fsync_dir of its parent (the POSIX rule)."""
+        fs = SimulatedMedium()
+        write_file(fs, "/d/f", b"content", sync=True, sync_dir=False)
+        fs.crash()
+        assert not fs.exists("/d/f")
+
+    def test_rename_rolls_back_without_dir_fsync(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/old", b"v1")
+        write_file(fs, "/d/new", b"v2")
+        fs.replace("/d/new", "/d/old")  # no fsync_dir
+        fs.crash()
+        with fs.open("/d/old", "rb") as handle:
+            assert handle.read() == b"v1"
+
+    def test_crash_invalidates_open_handles(self):
+        fs = SimulatedMedium()
+        handle = fs.open("/d/f", "wb")
+        fs.crash()
+        with pytest.raises(DurabilityError, match="closed"):
+            handle.write(b"x")
+
+    def test_crashes_are_reproducible(self):
+        """Same plan, same workload, same surviving bytes."""
+
+        def run():
+            fs = SimulatedMedium(
+                plan=FaultPlan(seed=9, torn_write_rate=0.5,
+                               unsynced_survival_rate=0.3)
+            )
+            write_file(fs, "/d/f", b"base-", sync=True, sync_dir=True)
+            with fs.open("/d/f", "ab") as handle:
+                handle.write(b"pending-one")
+                handle.write(b"pending-two")
+            fs.crash()
+            with fs.open("/d/f", "rb") as handle:
+                return handle.read()
+
+        assert run() == run()
+
+
+class TestWriteFates:
+    def test_torn_write_keeps_a_strict_prefix(self):
+        fs = SimulatedMedium(plan=FaultPlan(seed=3, torn_write_rate=1.0))
+        write_file(fs, "/d/f", b"", sync=True, sync_dir=True)
+        with fs.open("/d/f", "ab") as handle:
+            handle.write(b"A" * 100)
+        fs.crash()
+        survived = fs.durable_bytes("/d/f")
+        assert 1 <= len(survived) <= 99
+        assert survived == b"A" * len(survived)
+        assert fs.writes_torn >= 1
+
+    def test_surviving_unsynced_write_kept_intact(self):
+        fs = SimulatedMedium(
+            plan=FaultPlan(seed=3, unsynced_survival_rate=1.0)
+        )
+        write_file(fs, "/d/f", b"", sync=True, sync_dir=True)
+        with fs.open("/d/f", "ab") as handle:
+            handle.write(b"B" * 64)
+        fs.crash()
+        assert fs.durable_bytes("/d/f") == b"B" * 64
+
+    def test_lying_fsync_promotes_nothing(self):
+        fs = SimulatedMedium(plan=FaultPlan(seed=3, lying_fsync_rate=1.0))
+        write_file(fs, "/d/f", b"", sync=True, sync_dir=True)
+        with fs.open("/d/f", "ab") as handle:
+            handle.write(b"C" * 16)
+            fs.fsync(handle)  # acknowledged, but a lie
+        assert fs.lying_fsyncs >= 1
+        fs.crash()
+        assert fs.durable_bytes("/d/f") == b""
+
+    def test_stats_shape(self):
+        fs = SimulatedMedium()
+        write_file(fs, "/d/f", b"x")
+        stats = fs.stats()
+        assert stats["files"] == 1
+        assert stats["crashes"] == 0
+        assert set(stats) >= {"fsyncs", "writes_kept", "writes_lost"}

@@ -166,3 +166,34 @@ class TestBlobIntegration:
         blob = store.create("movie")
         blob.append(b"d" * 100)
         assert store.get("movie").read_all() == b"d" * 100
+
+
+class TestShortWrites:
+    def test_short_write_lands_a_prefix(self):
+        pager = make_pager(short_write_rate=1.0)
+        page = pager.grow()
+        pager.write_page(page, b"\xee" * 32)
+        landed = pager.read_page(page)
+        prefix = landed.rstrip(b"\x00")
+        assert 1 <= len(prefix) < 32
+        assert prefix == b"\xee" * len(prefix)
+        assert pager.fault_counts["short_write"] == 1
+
+    def test_checksums_catch_short_writes(self):
+        """A checksumming store computes the CRC of the intended bytes,
+        so the torn page surfaces as corruption on the next read."""
+        plan = FaultPlan(seed=77, page_size=32, short_write_rate=1.0)
+        store = PageStore(FaultyPager(MemoryPager(page_size=32), plan),
+                          checksums=True)
+        page = store.allocate()
+        store.write(page, b"\xab" * 32)
+        store.flush()
+        with pytest.raises(BlobCorruptionError):
+            store.read(page)
+
+    def test_clean_plan_writes_fully(self):
+        pager = make_pager()
+        page = pager.grow()
+        pager.write_page(page, b"\xcd" * 32)
+        assert pager.read_page(page) == b"\xcd" * 32
+        assert pager.fault_counts["short_write"] == 0

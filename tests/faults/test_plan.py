@@ -115,3 +115,50 @@ class TestValidation:
             FaultPlan(seed=0, degraded_bandwidth_factor=Rational(0))
         with pytest.raises(EngineError, match="latency"):
             FaultPlan(seed=0, degraded_latency=Rational(-1))
+
+
+class TestWriteFaultDraws:
+    def test_write_outcome_partitions_the_unit_interval(self):
+        plan = FaultPlan(seed=5, torn_write_rate=0.3,
+                         unsynced_survival_rate=0.3)
+        fates = {plan.write_outcome(i) for i in range(200)}
+        assert fates == {"kept", "torn", "lost"}
+
+    def test_write_outcome_deterministic(self):
+        plan = FaultPlan(seed=5, torn_write_rate=0.5)
+        again = FaultPlan(seed=5, torn_write_rate=0.5)
+        assert [plan.write_outcome(i) for i in range(50)] == \
+            [again.write_outcome(i) for i in range(50)]
+
+    def test_default_plan_loses_everything(self):
+        plan = FaultPlan(seed=5)
+        assert all(plan.write_outcome(i) == "lost" for i in range(50))
+
+    def test_torn_length_strictly_partial(self):
+        plan = FaultPlan(seed=5, torn_write_rate=1.0)
+        for index in range(50):
+            length = plan.torn_length(4096, index)
+            assert 1 <= length <= 4095
+        assert plan.torn_length(1, 0) == 1
+
+    def test_short_write_draws(self):
+        plan = FaultPlan(seed=5, short_write_rate=1.0)
+        assert plan.is_short_write(0, 0)
+        for index in range(20):
+            assert 1 <= plan.short_length(256, 3, index) <= 255
+        assert plan.short_length(1, 0, 0) == 1
+
+    def test_lying_fsync_rate_zero_never_lies(self):
+        plan = FaultPlan(seed=5)
+        assert not any(plan.is_lying_fsync(i) for i in range(50))
+
+    def test_fate_rates_must_not_exceed_one(self):
+        with pytest.raises(EngineError, match="must not"):
+            FaultPlan(seed=0, torn_write_rate=0.6,
+                      unsynced_survival_rate=0.6)
+
+    def test_write_rates_validated(self):
+        with pytest.raises(EngineError, match="short_write_rate"):
+            FaultPlan(seed=0, short_write_rate=2.0)
+        with pytest.raises(EngineError, match="lying_fsync_rate"):
+            FaultPlan(seed=0, lying_fsync_rate=-0.5)

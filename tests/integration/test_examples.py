@@ -20,6 +20,7 @@ EXAMPLES = [
     "animation_pipeline",
     "database_tour",
     "observability_tour",
+    "crash_recovery",
 ]
 
 

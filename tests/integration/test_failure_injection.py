@@ -115,19 +115,27 @@ class TestTamperedContainer:
 
     def test_placement_tampering_caught_on_load(self, capture):
         """A container whose table points past its BLOB fails validation
-        at deserialization time, not at first read."""
+        at deserialization time, not at first read.
+
+        The tamper recomputes both CRCs, modeling an attacker (or a
+        tool bug) producing a checksum-valid file — the placement
+        bounds check must still reject it."""
         import json
         import struct
+        import zlib
 
         _, interpretation, _ = capture
         data = serialize_container(interpretation)
-        (header_length,) = struct.unpack_from(">I", data, 4)
-        header = json.loads(data[8:8 + header_length].decode())
+        header_length, _ = struct.unpack_from(">II", data, 4)
+        header = json.loads(data[12:12 + header_length].decode())
         header["sequences"][0]["entries"][0][4] = 10**9  # blob offset
         new_header = json.dumps(header, separators=(",", ":")).encode()
-        tampered = (data[:4] + struct.pack(">I", len(new_header))
-                    + new_header + data[8 + header_length:])
-        with pytest.raises(InterpretationError):
+        tampered = (
+            data[:4]
+            + struct.pack(">II", len(new_header), zlib.crc32(new_header))
+            + new_header + data[12 + header_length:]
+        )
+        with pytest.raises(ContainerFormatError, match="overflows"):
             deserialize_container(tampered)
 
     def test_blob_truncation_caught(self, capture):

@@ -1,0 +1,172 @@
+"""Corruption round-trips: a damaged container parses or raises, only.
+
+Satellite of the durability PR: truncate a serialized container at
+every byte boundary and flip bits across every region (magic, length
+field, CRC fields, header JSON, BLOB). Each mutation must yield either
+a typed :class:`~repro.errors.ContainerFormatError` (or another
+taxonomy error) or a correct parse — never a crash outside the
+taxonomy and never silently wrong data. The RMF2 format checksums every
+byte (header CRC + BLOB CRC), which is what makes "never silently
+wrong" checkable at all.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.blob.blob import MemoryBlob
+from repro.core.interpretation import Interpretation, PlacementEntry
+from repro.core.media_types import media_type_registry
+from repro.errors import ContainerFormatError, MediaModelError
+from repro.storage.container import (
+    deserialize_container,
+    serialize_container,
+)
+
+
+def tiny_interpretation():
+    """A deliberately small container so exhaustive sweeps stay fast."""
+    video_type = media_type_registry.get("pal-video")
+    descriptor = video_type.make_media_descriptor(
+        frame_rate=25, frame_width=8, frame_height=8, frame_depth=24,
+        color_model="RGB", encoding="raw",
+    )
+    blob = MemoryBlob()
+    entries = []
+    for index in range(3):
+        payload = bytes([index * 31 + 5]) * (12 + index)
+        offset = blob.append(payload)
+        entries.append(PlacementEntry(index, index, 1, len(payload), offset))
+    interpretation = Interpretation(blob, "tiny")
+    interpretation.add("video", video_type, descriptor, entries)
+    return interpretation
+
+
+@pytest.fixture(scope="module")
+def container_bytes():
+    return serialize_container(tiny_interpretation())
+
+
+def parse_or_typed_error(data):
+    """Parse ``data``; the only acceptable failure is a taxonomy error.
+
+    Returns the interpretation on success, None on a typed error. Any
+    other exception propagates and fails the test."""
+    try:
+        return deserialize_container(data)
+    except MediaModelError:
+        return None
+
+
+class TestTruncation:
+    def test_every_byte_boundary(self, container_bytes):
+        """No prefix of a valid container crashes the parser or parses
+        to something other than the original."""
+        for end in range(len(container_bytes)):
+            result = parse_or_typed_error(container_bytes[:end])
+            # A strict prefix can never checksum-validate end to end.
+            assert result is None, f"truncation at {end} parsed"
+
+    def test_full_container_parses(self, container_bytes):
+        restored = deserialize_container(container_bytes)
+        assert restored.names() == ["video"]
+        baseline = tiny_interpretation()
+        for index in range(3):
+            assert restored.read_element("video", index) == \
+                baseline.read_element("video", index)
+
+    def test_one_extra_byte_detected(self, container_bytes):
+        assert parse_or_typed_error(container_bytes + b"\x00") is None
+
+
+class TestBitFlips:
+    def test_single_bit_flip_in_every_byte(self, container_bytes):
+        """Flip one bit in each byte of the container: every flip is
+        detected (checksums cover every region), never misparsed."""
+        for index in range(len(container_bytes)):
+            mutated = bytearray(container_bytes)
+            mutated[index] ^= 1 << (index % 8)
+            result = parse_or_typed_error(bytes(mutated))
+            assert result is None, f"bit flip at byte {index} undetected"
+
+    def test_magic_damage_is_format_error(self, container_bytes):
+        mutated = b"XXXX" + container_bytes[4:]
+        with pytest.raises(ContainerFormatError, match="magic"):
+            deserialize_container(mutated)
+
+    def test_header_crc_catches_header_damage(self, container_bytes):
+        header_length, _ = struct.unpack_from(">II", container_bytes, 4)
+        mutated = bytearray(container_bytes)
+        mutated[12 + header_length // 2] ^= 0x01
+        with pytest.raises(ContainerFormatError, match="checksum"):
+            deserialize_container(bytes(mutated))
+
+    def test_blob_crc_catches_blob_damage(self, container_bytes):
+        mutated = bytearray(container_bytes)
+        mutated[-1] ^= 0x80
+        with pytest.raises(ContainerFormatError, match="checksum"):
+            deserialize_container(bytes(mutated))
+
+
+class TestHostileHeaders:
+    """Attacker-style headers with *valid* CRCs: the structural checks
+    behind the checksum must still hold the line."""
+
+    def rebuild(self, container_bytes, mutate):
+        import json
+
+        header_length, _ = struct.unpack_from(">II", container_bytes, 4)
+        header = json.loads(container_bytes[12:12 + header_length].decode())
+        mutate(header)
+        raw = json.dumps(header, separators=(",", ":")).encode()
+        return (
+            container_bytes[:4]
+            + struct.pack(">II", len(raw), zlib.crc32(raw))
+            + raw + container_bytes[12 + header_length:]
+        )
+
+    def test_negative_offset_rejected(self, container_bytes):
+        def mutate(header):
+            header["sequences"][0]["entries"][0][4] = -1
+
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(self.rebuild(container_bytes, mutate))
+
+    def test_overflowing_placement_rejected(self, container_bytes):
+        def mutate(header):
+            header["sequences"][0]["entries"][0][3] = 2**40
+
+        with pytest.raises(ContainerFormatError, match="overflows"):
+            deserialize_container(self.rebuild(container_bytes, mutate))
+
+    def test_wrong_blob_length_rejected(self, container_bytes):
+        def mutate(header):
+            header["blob_length"] += 1
+
+        with pytest.raises(ContainerFormatError, match="mismatch"):
+            deserialize_container(self.rebuild(container_bytes, mutate))
+
+    def test_non_dict_header_rejected(self, container_bytes):
+        raw = b"[1,2]"
+        data = (container_bytes[:4]
+                + struct.pack(">II", len(raw), zlib.crc32(raw)) + raw)
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(data)
+
+    def test_boolean_fields_rejected(self, container_bytes):
+        """Bools are ints in Python; the decoder must not accept
+        ``true`` where a placement size belongs."""
+
+        def mutate(header):
+            header["sequences"][0]["entries"][0][3] = True
+
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(self.rebuild(container_bytes, mutate))
+
+    def test_sequences_not_a_list_rejected(self, container_bytes):
+        def mutate(header):
+            header["sequences"] = {"video": []}
+
+        with pytest.raises(ContainerFormatError):
+            deserialize_container(self.rebuild(container_bytes, mutate))

@@ -46,3 +46,13 @@ class TestGraphStage:
 
     def test_rule_table_text_is_deterministic(self):
         assert list_rules_text() == list_rules_text()
+
+
+class TestCrashStage:
+    def test_crash_stage_passes(self, capsys):
+        assert main(["--crash"]) == 0
+        out = capsys.readouterr().out
+        assert "crash matrix [container]" in out
+        assert "crash matrix [page-store]" in out
+        assert "0 failures" in out
+        assert "check passed" in out

@@ -83,3 +83,27 @@ class TestInspectCli:
         assert document["traceEvents"]
         names = {row["name"] for row in document["traceEvents"]}
         assert "vod.session" in names
+
+
+class TestWalInspection:
+    @pytest.fixture
+    def wal_dir(self, tmp_path):
+        from repro.durability import WriteAheadLog
+
+        directory = str(tmp_path / "wal")
+        with WriteAheadLog(directory) as wal:
+            txn = wal.begin()
+            wal.log_write(txn, 0, b"\x42" * 64)
+            wal.commit(txn)
+        return directory
+
+    def test_wal_summary(self, wal_dir, capsys):
+        assert main([wal_dir, "--wal"]) == 0
+        out = capsys.readouterr().out
+        assert "write-ahead log" in out
+        assert "committed txns: 1" in out
+        assert "torn tail     : no" in out
+
+    def test_missing_wal_directory_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent"), "--wal"]) == 1
+        assert "error" in capsys.readouterr().err
