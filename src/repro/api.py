@@ -80,14 +80,19 @@ from repro.core import (
 from repro.engine import (
     AdaptationPolicy,
     CostModel,
+    EventLoop,
+    Fleet,
+    FleetHealth,
     MediaClock,
     PlaybackReport,
     Player,
     PrefetchReport,
     Recorder,
     RetryPolicy,
+    ServeOptions,
     ServerHealth,
     ServerReport,
+    SessionRequest,
     VodServer,
     measure_sync,
 )
@@ -182,9 +187,14 @@ __all__ = [
     "PrefetchReport",
     "Recorder",
     "MediaClock",
+    "EventLoop",
     "VodServer",
+    "SessionRequest",
+    "ServeOptions",
     "ServerHealth",
     "ServerReport",
+    "Fleet",
+    "FleetHealth",
     "measure_sync",
     # faults
     "CrashInjector",

@@ -383,8 +383,13 @@ class CheckpointCrashScenario:
             interpretation_name="feature-capture",
         )
 
-    def _requests(self) -> list[tuple[str, str]]:
-        return [(f"client-{i}", "feature") for i in range(self.clients)]
+    def _requests(self) -> list:
+        from repro.engine.vod import SessionRequest
+
+        return [
+            SessionRequest(client=f"client-{i}", title="feature")
+            for i in range(self.clients)
+        ]
 
     def run(self, fs, crash, acks: list) -> None:
         from repro.engine.vod import VodServer

@@ -11,6 +11,11 @@ makes these statements measurable without wall-clock dependence:
 * :mod:`repro.engine.buffers` — prefetch buffering and underrun analysis;
 * :mod:`repro.engine.player` — plays multimedia objects against a
   storage/decode cost model;
+* :mod:`repro.engine.kernel` — the heap-scheduled discrete-event
+  kernel: one shared simulated clock, sessions as event-emitting state
+  machines;
+* :mod:`repro.engine.fleet` — N VOD shards behind a rendezvous router
+  with fleet-wide admission, failover and health rollup;
 * :mod:`repro.engine.recorder` — capture: encode + interleave + build
   the interpretation as the BLOB is written;
 * :mod:`repro.engine.sync` — inter-stream skew measurement;
@@ -31,7 +36,21 @@ from repro.engine.player import (
 from repro.engine.recorder import Recorder
 from repro.engine.sync import SyncReport, measure_sync
 from repro.engine.resources import ExpansionDecision, ResourceModel
-from repro.engine.vod import ServerHealth, ServerReport, Session, VodServer
+from repro.engine.kernel import (
+    BandwidthLedger,
+    EventLoop,
+    SessionMachine,
+    SimulatedClock,
+)
+from repro.engine.vod import (
+    ServeOptions,
+    ServerHealth,
+    ServerReport,
+    Session,
+    SessionRequest,
+    VodServer,
+)
+from repro.engine.fleet import Fleet, FleetHealth, place
 from repro.engine.activities import ActivityGraph, Consumer, Producer, Transform, pipeline
 
 __all__ = [
@@ -52,10 +71,19 @@ __all__ = [
     "measure_sync",
     "ExpansionDecision",
     "ResourceModel",
+    "BandwidthLedger",
+    "EventLoop",
+    "SessionMachine",
+    "SimulatedClock",
+    "ServeOptions",
     "ServerHealth",
     "ServerReport",
     "Session",
+    "SessionRequest",
     "VodServer",
+    "Fleet",
+    "FleetHealth",
+    "place",
     "ActivityGraph",
     "Consumer",
     "Producer",

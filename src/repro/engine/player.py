@@ -611,6 +611,40 @@ class Player:
         return self.play(list(reads))
 
     def _run(self, reads: list[_PlannedRead]) -> PlaybackReport:
+        return self._drive(self.stepper(reads))
+
+    @staticmethod
+    def _drive(stepper) -> PlaybackReport:
+        """Run a stepper to completion in one go (the seed behaviour)."""
+        while True:
+            try:
+                next(stepper)
+            except StopIteration as stop:
+                return stop.value
+
+    def stepper(self, reads: list[_PlannedRead], share_factor=None):
+        """The playback simulation as a resumable generator.
+
+        Yields the simulated seconds each element consumed (read +
+        decode + any retries and backoff) in presentation order, and
+        *returns* the finished :class:`PlaybackReport` — the event
+        kernel (:mod:`repro.engine.kernel`) drives one element per
+        scheduled event, while :meth:`play` drains the generator in one
+        loop. Both paths execute the same arithmetic in the same order,
+        so their reports are identical by construction.
+
+        ``share_factor`` (optional) is a zero-argument callable sampled
+        before each element: a bandwidth multiplier over this player's
+        cost-model bandwidth, letting a shared
+        :class:`~repro.engine.kernel.BandwidthLedger` re-price reads as
+        concurrent sessions come and go. None (the default) keeps the
+        cost model's static bandwidth — the seed contract.
+        """
+        if self.fault_plan is not None:
+            return self._step_faulted(reads, share_factor)
+        return self._step_clean(reads, share_factor)
+
+    def _step_clean(self, reads: list[_PlannedRead], share_factor=None):
         if not reads:
             return PlaybackReport(
                 element_count=0, duration=Rational(0),
@@ -619,29 +653,33 @@ class Player:
                 max_lateness=Rational(0), jitter=Rational(0),
                 prefetch_depth=self.prefetch_depth, seeks=0,
             )
-        if self.fault_plan is not None:
-            return self._run_faulted(reads)
         stage_hist = self._stage_histogram() if self.obs.enabled else None
         production = []
         clock = Rational(0)
         cursor: int | None = None
         seeks = 0
         for read in reads:
+            factor = share_factor() if share_factor is not None else None
             contiguous = cursor is not None and read.offset == cursor
             if cursor is not None and not contiguous:
                 seeks += 1
             if stage_hist is None:
-                clock += self.cost_model.element_cost(read.size, contiguous)
+                cost = self.cost_model.element_cost(
+                    read.size, contiguous, bandwidth_factor=factor
+                )
+                clock += cost
             else:
                 read_cost, decode_cost = self.cost_model.cost_breakdown(
-                    read.size, contiguous
+                    read.size, contiguous, bandwidth_factor=factor
                 )
                 stage_hist.observe(float(read_cost), stage="page_read")
                 if decode_cost:
                     stage_hist.observe(float(decode_cost), stage="decode")
-                clock += read_cost + decode_cost
+                cost = read_cost + decode_cost
+                clock += cost
             production.append(clock)
             cursor = read.offset + read.size
+            yield cost
         first_deadline = reads[0].deadline
         # At rate r, media time d is presented at reference time d / r.
         deadlines = [(r.deadline - first_deadline) / self.rate for r in reads]
@@ -748,7 +786,7 @@ class Player:
 
     # -- faulted playback ---------------------------------------------------------
 
-    def _run_faulted(self, reads: list[_PlannedRead]) -> PlaybackReport:
+    def _step_faulted(self, reads: list[_PlannedRead], share_factor=None):
         """Simulate playback against the fault plan's storage behaviour.
 
         Every recovery action costs simulated time: a failed attempt
@@ -760,7 +798,22 @@ class Player:
         :class:`~repro.faults.pager.FaultyPager`'s bookkeeping — visits
         per page, global read index — so the same plan produces the
         same storage behaviour at either enforcement point.
+
+        A generator (see :meth:`stepper`): yields each element's total
+        simulated duration — attempts, backoffs and latency included —
+        and returns the report. ``share_factor`` scales the plan's
+        per-read bandwidth factor, so dynamic processor sharing and
+        injected degradation compose into one multiplier (adaptation
+        sees the combined factor too: more bandwidth, higher layer).
         """
+        if not reads:
+            return PlaybackReport(
+                element_count=0, duration=Rational(0),
+                required_rate=Rational(0), startup_delay=Rational(0),
+                underruns=0, underrun_fraction=0.0,
+                max_lateness=Rational(0), jitter=Rational(0),
+                prefetch_depth=self.prefetch_depth, seeks=0,
+            )
         plan = self.fault_plan
         policy = self.retry_policy
         adaptation = self.adaptation
@@ -782,7 +835,10 @@ class Player:
         total_bytes = 0
 
         for index, read in enumerate(reads):
+            element_start = clock
             factor = plan.bandwidth_factor(index)
+            if share_factor is not None:
+                factor = factor * share_factor()
             latency = plan.extra_latency(index)
             size = read.size
             delivered_share: Rational | None = None
@@ -844,6 +900,7 @@ class Player:
                         Severity.ERROR, "engine.player", "element.skipped",
                         at=clock, element=read.label, reason="bad_page",
                     )
+                yield clock - element_start
                 continue
 
             success = False
@@ -919,6 +976,7 @@ class Player:
                 if not in_glitch:
                     glitches += 1
                 in_glitch = True
+            yield clock - element_start
 
         if (policy.abort_skip_fraction is not None
                 and skipped > policy.abort_skip_fraction * len(reads)):

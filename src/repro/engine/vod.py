@@ -17,12 +17,15 @@ crossover the benchmark sweeps.
 from __future__ import annotations
 
 import base64
+import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.interpretation import Interpretation
 from repro.core.rational import Rational, as_rational
+from repro.engine.kernel import BandwidthLedger, EventLoop, SessionMachine
 from repro.engine.player import (
     AdaptationPolicy,
     CostModel,
@@ -51,6 +54,122 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Checkpoint payload format version; bump on incompatible changes.
 CHECKPOINT_VERSION = 1
 
+#: Sentinel distinguishing "keyword not passed" from an explicit None in
+#: the ``serve``/``resume`` keyword shims.
+_UNSET: Any = object()
+
+#: Kernel drive modes a batch may request.
+_GRANULARITIES = ("auto", "session", "read")
+
+
+@dataclass(frozen=True, kw_only=True)
+class SessionRequest:
+    """One client's request for a title, as a first-class object.
+
+    The redesigned serving API passes these instead of bare
+    ``(client, title)`` tuples. ``arrival_time`` staggers the session's
+    start on the kernel's shared clock (the seed behaviour is every
+    session arriving at time zero); ``retry_policy`` and ``adaptation``
+    override the batch-wide policies for this session only. ``key`` is
+    the session's identity — what fleet rollups count exactly once.
+    """
+
+    client: str
+    title: str
+    arrival_time: Rational = Rational(0)
+    retry_policy: RetryPolicy | None = None
+    adaptation: AdaptationPolicy | None = None
+
+    def __post_init__(self) -> None:
+        arrival = as_rational(self.arrival_time)
+        if arrival < 0:
+            raise EngineError(f"arrival_time must be >= 0, got {arrival}")
+        object.__setattr__(self, "arrival_time", arrival)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.client, self.title)
+
+    def replace(self, **changes: Any) -> "SessionRequest":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServeOptions:
+    """Batch-wide serving policy, as one object instead of loose kwargs.
+
+    ``granularity`` picks the kernel drive mode: ``"session"`` runs
+    each session whole in a single event (exactly the seed stepping
+    semantics); ``"read"`` steps one element per event, so sessions
+    genuinely interleave on the shared clock and bandwidth re-prices as
+    sessions come and go; ``"auto"`` (the default) picks ``"session"``
+    when every arrival is at time zero — provably equivalent to the
+    seed loop — and ``"read"`` otherwise.
+    """
+
+    enforce_admission: bool = True
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    adaptation: AdaptationPolicy | None = None
+    checkpoint_to: str | None = None
+    checkpoint_fs: Any = None
+    granularity: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.granularity not in _GRANULARITIES:
+            raise EngineError(
+                f"granularity must be one of {_GRANULARITIES}, "
+                f"got {self.granularity!r}"
+            )
+
+    def replace(self, **changes: Any) -> "ServeOptions":
+        return dataclasses.replace(self, **changes)
+
+
+def normalize_requests(
+    requests: "Sequence[SessionRequest | tuple[str, str]] | SessionRequest",
+    *, warn: bool = True, stacklevel: int = 3,
+) -> tuple[list[SessionRequest], bool]:
+    """Coerce a request batch to :class:`SessionRequest` objects.
+
+    Native ``SessionRequest`` items pass through untouched; a single
+    request may stand in for a batch of one. Legacy ``(client, title)``
+    pairs are converted — with one :class:`DeprecationWarning` per call
+    unless ``warn`` is off (the same shim pattern as the PR-2
+    ``play_reads`` overloads). Returns ``(requests, legacy)`` where
+    ``legacy`` says whether any tuple form appeared, so callers like
+    :meth:`VodServer.admit` can answer in the shape they were asked.
+    """
+    if isinstance(requests, SessionRequest):
+        return [requests], False
+    normalized: list[SessionRequest] = []
+    legacy = False
+    for request in requests:
+        if isinstance(request, SessionRequest):
+            normalized.append(request)
+            continue
+        if isinstance(request, str):
+            raise EngineError(
+                "requests must be SessionRequest objects or "
+                f"(client, title) pairs, got {request!r}"
+            )
+        try:
+            client, title = request
+        except (TypeError, ValueError):
+            raise EngineError(
+                "requests must be SessionRequest objects or "
+                f"(client, title) pairs, got {request!r}"
+            ) from None
+        legacy = True
+        normalized.append(SessionRequest(client=client, title=title))
+    if legacy and warn:
+        warnings.warn(
+            "passing (client, title) tuples is deprecated; pass "
+            "SessionRequest objects",
+            DeprecationWarning, stacklevel=stacklevel,
+        )
+    return normalized, legacy
+
 
 @dataclass
 class Session:
@@ -69,6 +188,14 @@ class Session:
     report: PlaybackReport
     degraded: bool = False
     resumed: bool = False
+    request: SessionRequest | None = None
+
+    @property
+    def identity(self) -> tuple[str, str]:
+        """The session's request identity (client, title)."""
+        if self.request is not None:
+            return self.request.key
+        return (self.client, self.title)
 
 
 @dataclass
@@ -86,7 +213,7 @@ class ServerReport:
     """
 
     admitted: list[Session]
-    rejected: list[tuple[str, str]]
+    rejected: list[SessionRequest]
     bandwidth: int
     per_client_bandwidth: int
     failed: list[tuple[str, str, str]] = field(default_factory=list)
@@ -132,6 +259,40 @@ class ServerReport:
             float(s.report.delivered_quality) for s in self.admitted
         )
         return total / len(self.admitted)
+
+    #: Per-identity outcome ranking; higher is worse.
+    _OUTCOME_RANK = {"clean": 0, "underrun": 1, "degraded": 2, "failed": 3}
+
+    def outcomes(self) -> dict[tuple[str, str], str]:
+        """Worst outcome per session identity — each counted exactly once.
+
+        The tier counters above keep the seed's per-session semantics,
+        under which a session may show up in more than one bucket (both
+        underrun and degraded, or re-served after a failover). Fleet
+        rollups instead normalize on :attr:`SessionRequest.key`: every
+        identity maps to exactly one of ``failed`` > ``degraded`` >
+        ``underrun`` > ``clean``, with the worst observation winning
+        when reports overlap (a resumed-then-degraded session counts
+        once, as degraded).
+        """
+        ranked: dict[tuple[str, str], str] = {}
+
+        def fold(key: tuple[str, str], outcome: str) -> None:
+            held = ranked.get(key)
+            if (held is None
+                    or self._OUTCOME_RANK[outcome] > self._OUTCOME_RANK[held]):
+                ranked[key] = outcome
+
+        for session in self.admitted:
+            if self._is_degraded(session):
+                fold(session.identity, "degraded")
+            elif session.report.underruns > 0:
+                fold(session.identity, "underrun")
+            else:
+                fold(session.identity, "clean")
+        for client, title, _reason in self.failed:
+            fold((client, title), "failed")
+        return ranked
 
 
 @dataclass(frozen=True)
@@ -251,7 +412,10 @@ class VodServer:
         self.plan_check = plan_check
         self.crash = crash or NULL_CRASH
         self._titles: dict[str, Interpretation] = {}
+        self._plan_cache: dict[str, list] = {}
         self._reports: list[ServerReport] = []
+        # Kernel counters from the most recent batch (census/bench).
+        self.last_loop_stats: dict | None = None
         # Progress of the serve batch currently running (feeds mid-serve
         # checkpoints) and the batch a restored server should resume.
         self._batch_progress: dict | None = None
@@ -289,6 +453,7 @@ class VodServer:
                 )
         interpretation.validate()
         self._titles[title] = interpretation
+        self._plan_cache.pop(title, None)
 
     def _check_interpretation(self, interpretation: Interpretation):
         from repro.analysis.graph import GraphChecker
@@ -354,38 +519,73 @@ class VodServer:
 
     # -- admission + serving ------------------------------------------------------
 
-    def admit(self, requests: list[tuple[str, str]]) -> tuple[
-            list[tuple[str, str]], list[tuple[str, str]]]:
+    def admit(self, requests) -> tuple[list, list]:
         """Greedy admission: accept requests while aggregate required
         rate (with margin) fits the bandwidth. Returns (admitted,
-        rejected)."""
-        admitted: list[tuple[str, str]] = []
-        rejected: list[tuple[str, str]] = []
-        load = Rational(0)
-        budget = Rational(self.bandwidth)
-        for client, title in requests:
-            rate = self.required_rate(title)
-            projected = (load + rate) * as_rational(self.admission_margin)
-            if projected <= budget:
-                admitted.append((client, title))
-                load += rate
-            else:
-                rejected.append((client, title))
+        rejected).
+
+        Accepts :class:`SessionRequest` objects natively. Legacy
+        ``(client, title)`` pairs still work — with a
+        :class:`DeprecationWarning` — and come back in tuple form, so
+        existing callers keep unpacking what they passed.
+        """
+        reqs, legacy = normalize_requests(requests)
+        admitted, rejected = self._admit_requests(reqs)
+        if legacy:
+            return [r.key for r in admitted], [r.key for r in rejected]
         return admitted, rejected
 
-    def serve(self, requests: list[tuple[str, str]],
-              enforce_admission: bool = True,
-              fault_plan: FaultPlan | None = None,
-              retry_policy: RetryPolicy | None = None,
-              adaptation: AdaptationPolicy | None = None,
-              checkpoint_to: str | None = None,
-              checkpoint_fs=None) -> ServerReport:
-        """Simulate serving ``requests`` concurrently.
+    def _admit_requests(self, requests: list[SessionRequest]) -> tuple[
+            list[SessionRequest], list[SessionRequest]]:
+        admitted: list[SessionRequest] = []
+        rejected: list[SessionRequest] = []
+        load = Rational(0)
+        budget = Rational(self.bandwidth)
+        for request in requests:
+            rate = self.required_rate(request.title)
+            projected = (load + rate) * as_rational(self.admission_margin)
+            if projected <= budget:
+                admitted.append(request)
+                load += rate
+            else:
+                rejected.append(request)
+        return admitted, rejected
+
+    @staticmethod
+    def _merge_options(options: ServeOptions | None,
+                       overrides: dict) -> ServeOptions:
+        given = {k: v for k, v in overrides.items() if v is not _UNSET}
+        if options is not None:
+            if given:
+                raise EngineError(
+                    "pass options=ServeOptions(...) or individual "
+                    "keywords, not both"
+                )
+            return options
+        return ServeOptions(**given)
+
+    def serve(self, requests, options: ServeOptions | None = None, *,
+              enforce_admission=_UNSET,
+              fault_plan=_UNSET,
+              retry_policy=_UNSET,
+              adaptation=_UNSET,
+              checkpoint_to=_UNSET,
+              checkpoint_fs=_UNSET,
+              granularity=_UNSET) -> ServerReport:
+        """Simulate serving ``requests`` concurrently on the event kernel.
+
+        ``requests`` is a batch of :class:`SessionRequest` objects
+        (legacy ``(client, title)`` pairs still work, with a
+        :class:`DeprecationWarning`); batch-wide policy comes as a
+        :class:`ServeOptions` or as the individual keywords, not both.
 
         With ``enforce_admission`` the admission test runs first;
         without it every request is served (the overload experiment).
         Each admitted session plays its title against an equal share of
-        the server bandwidth.
+        the server bandwidth; at ``"read"`` granularity (or staggered
+        arrivals under ``"auto"``) sessions interleave one element per
+        event and the bandwidth ledger re-prices reads as sessions come
+        and go.
 
         ``fault_plan`` subjects every session to the same storage
         faults (they share the disk). A session whose playback aborts —
@@ -403,51 +603,100 @@ class VodServer:
         loses at most the in-flight session: :meth:`restore` +
         :meth:`resume` pick the batch up from the last completed one.
         """
-        if not requests:
+        reqs, _ = normalize_requests(requests)
+        opts = self._merge_options(options, dict(
+            enforce_admission=enforce_admission,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            adaptation=adaptation,
+            checkpoint_to=checkpoint_to,
+            checkpoint_fs=checkpoint_fs,
+            granularity=granularity,
+        ))
+        if not reqs:
             raise EngineError("serve needs at least one request")
-        if enforce_admission:
-            admitted, rejected = self.admit(requests)
+        if opts.enforce_admission:
+            admitted, rejected = self._admit_requests(reqs)
         else:
-            admitted, rejected = list(requests), []
+            admitted, rejected = list(reqs), []
         metrics = self.obs.metrics
-        metrics.counter("vod.requests").inc(len(requests))
+        metrics.counter("vod.requests").inc(len(reqs))
+        metrics.counter("vod.admitted").inc(len(admitted))
+        metrics.counter("vod.rejected").inc(len(rejected))
+        share = max(1, self.bandwidth // len(admitted)) if admitted else 0
+        sessions, failed = self._run_batch(admitted, rejected, opts, share)
+        self._batch_progress = None
+        report = ServerReport(
+            admitted=sessions,
+            rejected=rejected,
+            bandwidth=self.bandwidth,
+            per_client_bandwidth=share,
+            failed=failed,
+        )
+        self._reports.append(report)
+        return report
+
+    def serve_stepping(self, requests, options: ServeOptions | None = None, *,
+                       enforce_admission=_UNSET,
+                       fault_plan=_UNSET,
+                       retry_policy=_UNSET,
+                       adaptation=_UNSET,
+                       checkpoint_to=_UNSET,
+                       checkpoint_fs=_UNSET) -> ServerReport:
+        """The seed serving loop, retained as the equivalence oracle.
+
+        Steps each admitted session to completion before touching the
+        next — the pre-kernel semantics. The kernel path at session
+        granularity must produce byte-identical observability exports
+        and an equal :class:`ServerReport`; the equivalence suite holds
+        :meth:`serve` to this implementation. Not deprecated, but new
+        code should call :meth:`serve`.
+        """
+        reqs, _ = normalize_requests(requests, warn=False)
+        opts = self._merge_options(options, dict(
+            enforce_admission=enforce_admission,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            adaptation=adaptation,
+            checkpoint_to=checkpoint_to,
+            checkpoint_fs=checkpoint_fs,
+        ))
+        if not reqs:
+            raise EngineError("serve needs at least one request")
+        if opts.enforce_admission:
+            admitted, rejected = self._admit_requests(reqs)
+        else:
+            admitted, rejected = list(reqs), []
+        metrics = self.obs.metrics
+        metrics.counter("vod.requests").inc(len(reqs))
         metrics.counter("vod.admitted").inc(len(admitted))
         metrics.counter("vod.rejected").inc(len(rejected))
         sessions: list[Session] = []
         failed: list[tuple[str, str, str]] = []
         if admitted:
             share = max(1, self.bandwidth // len(admitted))
-            player = Player(
-                CostModel(bandwidth=share),
-                prefetch_depth=self.prefetch_depth,
-                fault_plan=fault_plan,
-                retry_policy=retry_policy,
-                adaptation=adaptation,
-                derivation_cache=self.derivation_cache,
-                obs=self.obs,
+            player = self._build_player(
+                share, opts.fault_plan, opts.retry_policy, opts.adaptation,
             )
-            for position, (client, title) in enumerate(admitted):
+            for position, request in enumerate(admitted):
                 self.crash.point("vod.serve.session")
                 session = self._serve_one(
-                    player, client, title, share, fault_plan,
-                    retry_policy, adaptation, failed,
+                    self._player_for(request, player, share, opts),
+                    request.client, request.title, share, opts.fault_plan,
+                    request.retry_policy or opts.retry_policy,
+                    request.adaptation or opts.adaptation,
+                    failed, request=request,
                 )
                 if session is not None:
                     sessions.append(session)
-                if checkpoint_to is not None:
-                    self._batch_progress = {
-                        "requests": [list(r) for r in admitted],
-                        "rejected": [list(r) for r in rejected],
-                        "completed": [
-                            self._session_summary(s) for s in sessions
-                        ],
-                        "failed": [list(f) for f in failed],
-                        "remaining": [
-                            list(r) for r in admitted[position + 1:]
-                        ],
-                        "share": share,
-                    }
-                    self.checkpoint_to(checkpoint_to, fs=checkpoint_fs)
+                if opts.checkpoint_to is not None:
+                    self._batch_progress = self._progress_payload(
+                        admitted, rejected, sessions, failed,
+                        admitted[position + 1:], share,
+                    )
+                    self.checkpoint_to(
+                        opts.checkpoint_to, fs=opts.checkpoint_fs,
+                    )
         else:
             share = 0
         self._batch_progress = None
@@ -461,12 +710,219 @@ class VodServer:
         self._reports.append(report)
         return report
 
+    # -- the kernel batch driver ---------------------------------------------------
+
+    def _build_player(self, share: int, fault_plan, retry_policy,
+                      adaptation) -> Player:
+        return Player(
+            CostModel(bandwidth=share),
+            prefetch_depth=self.prefetch_depth,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            adaptation=adaptation,
+            derivation_cache=self.derivation_cache,
+            obs=self.obs,
+        )
+
+    def _player_for(self, request: SessionRequest, default: Player,
+                    share: int, opts: ServeOptions) -> Player:
+        """The batch player, or a private one for per-request overrides."""
+        if request.retry_policy is None and request.adaptation is None:
+            return default
+        return self._build_player(
+            share, opts.fault_plan,
+            request.retry_policy or opts.retry_policy,
+            request.adaptation or opts.adaptation,
+        )
+
+    def _plan_reads(self, player: Player, title: str) -> list:
+        """Planned reads for a title, cached per catalog entry.
+
+        Planning an :class:`Interpretation` is pure and observes
+        nothing, so the plan is computed once per title and shared by
+        every stepper that plays it.
+        """
+        reads = self._plan_cache.get(title)
+        if reads is None:
+            reads = player.plan_interpretation(self._titles[title])
+            self._plan_cache[title] = reads
+        return reads
+
+    @staticmethod
+    def _progress_payload(admitted, rejected, sessions, failed,
+                          remaining, share: int) -> dict:
+        return {
+            "requests": [list(r.key) for r in admitted],
+            "rejected": [list(r.key) for r in rejected],
+            "completed": [
+                VodServer._session_summary(s) for s in sessions
+            ],
+            "failed": [list(f) for f in failed],
+            "remaining": [list(r.key) for r in remaining],
+            "share": share,
+        }
+
+    def _run_batch(self, admitted: list[SessionRequest],
+                   rejected: list[SessionRequest], opts: ServeOptions,
+                   share: int, *, resumed: bool = False,
+                   failed: list | None = None) -> tuple[
+                       list[Session], list[tuple[str, str, str]]]:
+        """Drive one admitted batch on the event kernel.
+
+        One :class:`~repro.engine.kernel.SessionMachine` per request,
+        all on one :class:`~repro.engine.kernel.EventLoop`. At
+        ``"session"`` granularity each machine runs its whole session
+        in a single event; with uniform arrivals the heap pops machines
+        in admitted order, which replays the seed stepping loop exactly
+        (the equivalence suite holds the exports byte-identical). At
+        ``"read"`` granularity machines advance one element per event,
+        genuinely interleaving on the shared clock, with the
+        :class:`~repro.engine.kernel.BandwidthLedger` re-pricing each
+        read by the sessions concurrently active.
+
+        With observability disabled and no fault plan, identical
+        requests are exact replays of the same pure simulation, so the
+        session mode computes each distinct title once per batch and
+        reuses the report — an optimization, not an approximation.
+        """
+        failed = [] if failed is None else failed
+        sessions: list[Session] = []
+        if not admitted:
+            return sessions, failed
+        granularity = opts.granularity
+        if granularity == "auto":
+            granularity = "session" if all(
+                r.arrival_time == 0 for r in admitted
+            ) else "read"
+        default_player = self._build_player(
+            share, opts.fault_plan, opts.retry_policy, opts.adaptation,
+        )
+        loop = EventLoop()
+        done = [False] * len(admitted)
+        checkpointing = opts.checkpoint_to is not None
+
+        def record_progress(index: int) -> None:
+            done[index] = True
+            if not checkpointing:
+                return
+            self._batch_progress = self._progress_payload(
+                admitted, rejected, sessions, failed,
+                [r for i, r in enumerate(admitted) if not done[i]], share,
+            )
+            self.checkpoint_to(opts.checkpoint_to, fs=opts.checkpoint_fs)
+
+        if granularity == "session":
+            # Whole-session replay memo: sound only when sessions are
+            # pure functions of their title (no obs, no shared faults,
+            # no per-request policy).
+            replayable = not self.obs.enabled and opts.fault_plan is None
+            memo: dict[str, Session] = {}
+
+            def runner(request: SessionRequest) -> Session | None:
+                self.crash.point("vod.serve.session")
+                cacheable = (replayable and request.retry_policy is None
+                             and request.adaptation is None)
+                if cacheable:
+                    cached = memo.get(request.title)
+                    if cached is not None:
+                        return Session(
+                            request.client, request.title, cached.report,
+                            degraded=cached.degraded, resumed=resumed,
+                            request=request,
+                        )
+                session = self._serve_one(
+                    self._player_for(request, default_player, share, opts),
+                    request.client, request.title, share, opts.fault_plan,
+                    request.retry_policy or opts.retry_policy,
+                    request.adaptation or opts.adaptation,
+                    failed, resumed=resumed, request=request,
+                )
+                if cacheable and session is not None:
+                    memo[request.title] = session
+                return session
+
+            for index, request in enumerate(admitted):
+                def complete(machine, session, index=index):
+                    if session is not None:
+                        sessions.append(session)
+                    record_progress(index)
+
+                SessionMachine(
+                    request.key, loop,
+                    runner=lambda request=request: runner(request),
+                    on_complete=complete,
+                ).start(request.arrival_time)
+        else:
+            ledger = BandwidthLedger(len(admitted))
+            for index, request in enumerate(admitted):
+                player = self._player_for(request, default_player, share, opts)
+                reads = self._plan_reads(player, request.title)
+
+                def stepper_factory(player=player, reads=reads):
+                    return player.stepper(reads, share_factor=ledger.factor)
+
+                def on_start(machine):
+                    self.crash.point("vod.serve.session")
+
+                def on_error(machine, exc, request=request, reads=reads):
+                    if machine.restarts > 0:
+                        failed.append(
+                            (request.client, request.title, str(exc))
+                        )
+                        self.obs.metrics.counter("vod.failed").inc()
+                        self.obs.events.record(
+                            Severity.CRITICAL, "vod.server",
+                            "session.failed", client=request.client,
+                            title=request.title, reason=str(exc),
+                        )
+                        return None
+                    self.obs.metrics.counter("vod.fallbacks").inc()
+                    self.obs.events.record(
+                        Severity.WARNING, "vod.server", "session.fallback",
+                        client=request.client, title=request.title,
+                    )
+                    fallback = self._fallback_player(
+                        share, opts.fault_plan,
+                        request.retry_policy or opts.retry_policy,
+                        request.adaptation or opts.adaptation,
+                    )
+                    return fallback.stepper(
+                        reads, share_factor=ledger.factor,
+                    )
+
+                def complete(machine, report, index=index, request=request):
+                    if report is not None:
+                        self.obs.tracer.record(
+                            "vod.session", machine.started_at,
+                            machine.finished_at, client=request.client,
+                            title=request.title,
+                            outcome=("fallback" if machine.restarts
+                                     else "served"),
+                            underruns=report.underruns,
+                        )
+                        sessions.append(Session(
+                            request.client, request.title, report,
+                            degraded=machine.restarts > 0, resumed=resumed,
+                            request=request,
+                        ))
+                    record_progress(index)
+
+                SessionMachine(
+                    request.key, loop, stepper_factory=stepper_factory,
+                    ledger=ledger, on_start=on_start, on_error=on_error,
+                    on_complete=complete,
+                ).start(request.arrival_time)
+        loop.run()
+        self.last_loop_stats = loop.stats()
+        return sessions, failed
+
     def _serve_one(self, player: Player, client: str, title: str,
                    share: int, fault_plan: FaultPlan | None,
                    retry_policy: RetryPolicy | None,
                    adaptation: AdaptationPolicy | None,
                    failed: list[tuple[str, str, str]],
-                   resumed: bool = False) -> Session | None:
+                   resumed: bool = False,
+                   request: SessionRequest | None = None) -> Session | None:
         """Play one admitted session, falling back on storage faults.
 
         A :class:`~repro.errors.SimulatedCrash` is never treated as a
@@ -488,27 +944,22 @@ class VodServer:
                 )
                 session = self._serve_degraded(
                     client, title, share, fault_plan, retry_policy,
-                    adaptation, failed,
+                    adaptation, failed, request=request,
                 )
                 if session is not None:
                     session.resumed = resumed
                 return session
             span.set(outcome="served", underruns=report.underruns)
-            return Session(client, title, report, resumed=resumed)
+            return Session(client, title, report, resumed=resumed,
+                           request=request)
 
-    def _serve_degraded(self, client: str, title: str, share: int,
-                        fault_plan: FaultPlan | None,
-                        retry_policy: RetryPolicy | None,
-                        adaptation: AdaptationPolicy | None,
-                        failed: list[tuple[str, str, str]]) -> Session | None:
-        """Replay a faulted session in fallback mode.
-
-        The fallback tolerates any number of skips and, when the title
-        is scalable, pins quality to the base layer so each element
-        needs the fewest bytes (and the fewest pages — shrinking the
-        fault surface). Records the session in ``failed`` and returns
-        None when even that cannot complete.
-        """
+    def _fallback_player(self, share: int, fault_plan: FaultPlan | None,
+                         retry_policy: RetryPolicy | None,
+                         adaptation: AdaptationPolicy | None) -> Player:
+        """The degraded-mode player: unbounded skip tolerance and, when
+        the title is scalable, quality pinned to the base layer so each
+        element needs the fewest bytes (and the fewest pages —
+        shrinking the fault surface)."""
         base = retry_policy or RetryPolicy()
         lenient = base.replace(abort_skip_fraction=None)
         fallback_adaptation = adaptation
@@ -516,14 +967,24 @@ class VodServer:
             fallback_adaptation = adaptation.replace(
                 max_level=adaptation.min_level
             )
-        fallback = Player(
-            CostModel(bandwidth=share),
-            prefetch_depth=self.prefetch_depth,
-            fault_plan=fault_plan,
-            retry_policy=lenient,
-            adaptation=fallback_adaptation,
-            derivation_cache=self.derivation_cache,
-            obs=self.obs,
+        return self._build_player(
+            share, fault_plan, lenient, fallback_adaptation,
+        )
+
+    def _serve_degraded(self, client: str, title: str, share: int,
+                        fault_plan: FaultPlan | None,
+                        retry_policy: RetryPolicy | None,
+                        adaptation: AdaptationPolicy | None,
+                        failed: list[tuple[str, str, str]],
+                        request: SessionRequest | None = None,
+                        ) -> Session | None:
+        """Replay a faulted session in fallback mode.
+
+        Records the session in ``failed`` and returns None when even
+        the fallback cannot complete.
+        """
+        fallback = self._fallback_player(
+            share, fault_plan, retry_policy, adaptation,
         )
         try:
             report = fallback.play(self._titles[title])
@@ -537,7 +998,7 @@ class VodServer:
                 client=client, title=title, reason=str(exc),
             )
             return None
-        return Session(client, title, report, degraded=True)
+        return Session(client, title, report, degraded=True, request=request)
 
     # -- checkpoint / restore -----------------------------------------------------
 
@@ -682,9 +1143,34 @@ class VodServer:
         )
         return server
 
-    def resume(self, fault_plan: FaultPlan | None = None,
-               retry_policy: RetryPolicy | None = None,
-               adaptation: AdaptationPolicy | None = None) -> ServerReport:
+    def adopt_batch(self, batch: dict) -> None:
+        """Hand a displaced mid-serve batch to this server for resume.
+
+        The fleet's failover path: a killed shard's last checkpoint
+        ``batch`` payload is adopted by a surviving shard (whose
+        catalog must cover the remaining titles), then finished with
+        :meth:`resume`. Refuses to clobber a batch already pending.
+        """
+        if self._pending_batch is not None:
+            raise CheckpointError(
+                "server already has a pending batch to resume"
+            )
+        if not isinstance(batch, dict):
+            raise CheckpointError("batch must be a checkpoint batch dict")
+        missing = [
+            key for key in
+            ("remaining", "rejected", "completed", "failed", "share")
+            if key not in batch
+        ]
+        if missing:
+            raise CheckpointError(
+                f"malformed batch: missing keys {missing}"
+            )
+        self._pending_batch = batch
+
+    def resume(self, options: ServeOptions | None = None, *,
+               fault_plan=_UNSET, retry_policy=_UNSET,
+               adaptation=_UNSET) -> ServerReport:
         """Finish the serve batch interrupted by the crash.
 
         Sessions completed before the crash are *not* re-served: they
@@ -698,11 +1184,22 @@ class VodServer:
                 "nothing to resume: this server was not restored from a "
                 "mid-serve checkpoint"
             )
+        opts = self._merge_options(options, dict(
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            adaptation=adaptation,
+        ))
         batch = self._pending_batch
         self._pending_batch = None
         try:
-            remaining = [(c, t) for c, t in batch["remaining"]]
-            rejected = [(c, t) for c, t in batch["rejected"]]
+            remaining = [
+                SessionRequest(client=c, title=t)
+                for c, t in batch["remaining"]
+            ]
+            rejected = [
+                SessionRequest(client=c, title=t)
+                for c, t in batch["rejected"]
+            ]
             failed = [(c, t, r) for c, t, r in batch["failed"]]
             share = int(batch["share"])
             recovered = len(batch["completed"])
@@ -711,7 +1208,7 @@ class VodServer:
                 f"malformed checkpoint batch: {type(exc).__name__}: {exc}"
             ) from exc
         missing = sorted(
-            {title for _, title in remaining} - set(self._titles)
+            {r.title for r in remaining} - set(self._titles)
         )
         if missing:
             raise CheckpointError(
@@ -726,23 +1223,10 @@ class VodServer:
         sessions: list[Session] = []
         if remaining:
             share = max(1, share)
-            player = Player(
-                CostModel(bandwidth=share),
-                prefetch_depth=self.prefetch_depth,
-                fault_plan=fault_plan,
-                retry_policy=retry_policy,
-                adaptation=adaptation,
-                derivation_cache=self.derivation_cache,
-                obs=self.obs,
+            sessions, failed = self._run_batch(
+                remaining, rejected, opts, share,
+                resumed=True, failed=failed,
             )
-            for client, title in remaining:
-                self.crash.point("vod.serve.session")
-                session = self._serve_one(
-                    player, client, title, share, fault_plan,
-                    retry_policy, adaptation, failed, resumed=True,
-                )
-                if session is not None:
-                    sessions.append(session)
         report = ServerReport(
             admitted=sessions,
             rejected=rejected,

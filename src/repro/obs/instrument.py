@@ -54,11 +54,81 @@ class Observability:
             "events": self.events.export(),
         }
 
+    def scoped(self, prefix: str) -> "Observability":
+        """A view of this sink with every metric name under ``prefix.``.
+
+        Components sharing one registry — fleet shards, most notably —
+        get disjoint metric namespaces while the export stays one
+        sorted snapshot. The tracer and flight recorder are shared
+        (spans and events carry their own attributes); only the metric
+        namespace splits. Scoping a scoped view composes prefixes.
+        """
+        view = Observability.__new__(Observability)
+        view.metrics = ScopedMetrics(self.metrics, prefix)  # type: ignore[assignment]
+        view.tracer = self.tracer
+        view.events = self.events
+        return view
+
     def __repr__(self) -> str:
         return (
             f"Observability({len(self.metrics.names())} metrics, "
             f"{len(self.tracer)} spans, {len(self.events)} events)"
         )
+
+
+class ScopedMetrics:
+    """A prefixing view over a :class:`MetricsRegistry`.
+
+    Every metric created or looked up through the view has
+    ``<prefix>.`` prepended to its name in the underlying registry.
+    The view mirrors the registry surface the stack relies on —
+    create (``counter``/``gauge``/``histogram``), ``get``, ``in``,
+    ``names`` and ``snapshot`` — with ``names``/``snapshot``
+    restricted to the view's own namespace (full prefixed names, so
+    snapshots splice cleanly into the shared export).
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        from repro.errors import ObservabilityError
+
+        if not prefix:
+            raise ObservabilityError("scoped metrics need a non-empty prefix")
+        self.registry = registry
+        self.prefix = prefix
+
+    def scoped_name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str, help: str = ""):
+        return self.registry.counter(self.scoped_name(name), help)
+
+    def gauge(self, name: str, help: str = ""):
+        return self.registry.gauge(self.scoped_name(name), help)
+
+    def histogram(self, name: str, buckets: Any = None, help: str = ""):
+        if buckets is None:
+            return self.registry.histogram(self.scoped_name(name), help=help)
+        return self.registry.histogram(
+            self.scoped_name(name), buckets, help,
+        )
+
+    def get(self, name: str):
+        return self.registry.get(self.scoped_name(name))
+
+    def __contains__(self, name: str) -> bool:
+        return self.scoped_name(name) in self.registry
+
+    def names(self) -> list[str]:
+        marker = f"{self.prefix}."
+        return [n for n in self.registry.names() if n.startswith(marker)]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            name: self.registry.get(name).export() for name in self.names()
+        }
+
+    def __repr__(self) -> str:
+        return f"ScopedMetrics({self.prefix!r}, {len(self.names())} metrics)"
 
 
 class _NullMetric:
@@ -174,6 +244,10 @@ class NullObservability(Observability):
         self.metrics = _NullMetricsRegistry()  # type: ignore[assignment]
         self.tracer = _NullTracer()  # type: ignore[assignment]
         self.events = _NullFlightRecorder()  # type: ignore[assignment]
+
+    def scoped(self, prefix: str) -> "NullObservability":
+        """Scoping an inert sink is a no-op: nothing is recorded anyway."""
+        return self
 
 
 #: Shared inert sink; the default for every :class:`Instrumented` object.

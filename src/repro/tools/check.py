@@ -16,6 +16,10 @@ any ERROR-level finding, so CI can gate on it:
   over the simulated medium): every injected crash point is exercised
   and recovery invariants are asserted — a fast smoke of the full
   matrix the ``crash``-marked tests run;
+* ``--fleet`` runs the fleet failover smoke: a three-shard fleet loses
+  its owning shard mid-batch to an injected crash; the kill must be
+  absorbed by checkpoint-backed failover with every displaced session
+  accounted exactly once and the deadline-miss SLO still green;
 * ``--style`` and ``--types`` invoke ``ruff`` and ``mypy`` when they
   are installed, and are skipped (without failing) when they are not —
   the in-tree engines above carry the gate either way.
@@ -99,6 +103,71 @@ def run_crash() -> tuple[bool, str]:
     return passed, "\n".join(lines)
 
 
+def run_fleet() -> tuple[bool, str]:
+    """The fleet failover smoke; ``(passed, rendered summary)``.
+
+    Three shards serve a small synthetic title; the owning shard is
+    killed mid-batch by an injected crash. The smoke passes when the
+    failover is absorbed (no crash propagates), every displaced session
+    is accounted exactly once, and the deadline-miss SLO stays green.
+    """
+    from repro.blob.blob import MemoryBlob
+    from repro.codecs.jpeg_like import JpegLikeCodec
+    from repro.engine.fleet import Fleet
+    from repro.engine.recorder import Recorder
+    from repro.engine.vod import SessionRequest
+    from repro.faults.crash import CrashInjector, CrashSite
+    from repro.faults.disk import SimulatedMedium
+    from repro.media import frames
+    from repro.media.objects import video_object
+    from repro.obs import Observability
+
+    video = video_object(frames.scene(48, 36, 20, "orbit"), "feature")
+    movie = Recorder(MemoryBlob()).record(
+        [video], encoders={"feature": JpegLikeCodec(quality=40).encode},
+    )
+
+    def build(**kwargs) -> Fleet:
+        fleet = Fleet(bandwidth=2_000_000, shards=3, **kwargs)
+        fleet.publish("feature", movie)
+        return fleet
+
+    owner = build().route("feature")
+    clients = 5
+    fleet = build(
+        obs=Observability(),
+        checkpoint_fs=SimulatedMedium(),
+        crash={owner: CrashInjector(CrashSite("vod.serve.session", 2))},
+    )
+    report = fleet.serve([
+        SessionRequest(client=f"client-{i}", title="feature")
+        for i in range(clients)
+    ])
+    health = fleet.health()
+
+    checks = [
+        ("shard marked dead", owner in fleet.dead_shards),
+        ("exactly-once accounting",
+         report.recovered + report.admitted_count
+         + len(report.failed) == clients),
+        ("no failed sessions", not report.failed),
+        ("deadline-miss SLO green", any(
+            v.slo == "deadline-miss-rate" and v.ok for v in health.slo
+        )),
+    ]
+    passed = all(ok for _, ok in checks)
+    rows = [(name, "ok" if ok else "FAIL") for name, ok in checks]
+    rows.append(("dead shard", owner))
+    rows.append(("recovered / resumed / failed",
+                 f"{report.recovered} / {report.admitted_count} / "
+                 f"{len(report.failed)}"))
+    rows.append(("fleet status", health.status))
+    return passed, table_text(
+        ("check", "result"), rows,
+        title="fleet failover smoke (3 shards, mid-serve shard kill)",
+    )
+
+
 def run_external(tool: str, arguments: list[str]) -> tuple[str, str]:
     """Run an optional external tool; ``(status, detail)``.
 
@@ -143,6 +212,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--crash", action="store_true",
                         help="run the reduced crash matrix over the "
                              "simulated medium")
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the fleet failover smoke: 3 shards, "
+                             "mid-serve shard kill, SLO must stay green")
     parser.add_argument("--style", action="store_true",
                         help="run ruff if installed (skipped otherwise)")
     parser.add_argument("--types", action="store_true",
@@ -161,11 +233,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = {
-        stage for stage in ("graph", "lint", "crash", "style", "types")
+        stage for stage in ("graph", "lint", "crash", "fleet", "style",
+                            "types")
         if getattr(args, stage)
     }
     if args.all or not selected:
-        selected = {"graph", "lint", "crash", "style", "types"}
+        selected = {"graph", "lint", "crash", "fleet", "style", "types"}
     ignore = tuple(args.ignore)
 
     failed = []
@@ -184,6 +257,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not crash_ok:
             failed.append("crash")
+
+    if "fleet" in selected:
+        fleet_ok, fleet_text = run_fleet()
+        print(fleet_text)
+        print()
+        if not fleet_ok:
+            failed.append("fleet")
 
     src_root = str(Path(__file__).resolve().parents[2])
     external = {

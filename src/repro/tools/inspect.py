@@ -21,6 +21,11 @@ instrumented run's spans and events as Chrome ``trace_event`` JSON,
 loadable in chrome://tracing or Perfetto. Both take the serving
 bandwidth from ``--play`` when given, else 2 MB/s.
 
+``--fleet [SHARDS]`` serves the container across a SHARDS-shard
+:class:`~repro.engine.fleet.Fleet` (default 3) and prints the shard
+census — routing, per-shard session counts, event-loop stats — and the
+fleet health rollup.
+
 ``--verify`` runs the static media-graph checker over the container's
 interpretation and prints its findings; the exit code turns non-zero
 on any ERROR-level diagnostic, so a broken container is caught before
@@ -43,7 +48,7 @@ from repro.blob.pages import MemoryPager, PageStore
 from repro.cache import BufferPool
 from repro.core.interpretation import Interpretation
 from repro.engine.player import CostModel, Player
-from repro.engine.vod import VodServer
+from repro.engine.vod import SessionRequest, VodServer
 from repro.obs import (
     Observability,
     events_to_table,
@@ -160,10 +165,51 @@ def serve_instrumented(interpretation: Interpretation, bandwidth: int,
     server = VodServer(bandwidth, obs=obs)
     server.publish(interpretation.name, interpretation)
     requests = [
-        (f"client-{i}", interpretation.name) for i in range(clients)
+        SessionRequest(client=f"client-{i}", title=interpretation.name)
+        for i in range(clients)
     ]
     server.serve(requests, enforce_admission=False)
     return server
+
+
+def fleet_census_text(interpretation: Interpretation, bandwidth: int,
+                      shards: int, clients: int = 6) -> str:
+    """Serve the container across a small fleet and print the shard
+    census: routing, per-shard session counts, event-loop stats and
+    the fleet health rollup."""
+    from repro.engine.fleet import Fleet
+
+    obs = Observability()
+    fleet = Fleet(bandwidth, shards=shards, obs=obs)
+    title = interpretation.name
+    fleet.publish(title, interpretation)
+    fleet.serve(
+        [SessionRequest(client=f"client-{i}", title=title)
+         for i in range(clients)],
+        enforce_admission=False,
+    )
+    health = fleet.health()
+    rows = []
+    for name in fleet.shard_names:
+        shard = fleet.shard(name)
+        shard_health = health.shards[name]
+        stats = shard.last_loop_stats
+        rows.append((
+            name,
+            "live" if name in fleet.live_shards else "DEAD",
+            "yes" if fleet.route(title) == name else "",
+            shard_health.sessions,
+            shard_health.status,
+            stats["events_processed"] if stats else 0,
+        ))
+    census = table_text(
+        ("shard", "state", f"owns {title!r}", "sessions", "status",
+         "events"),
+        rows,
+        title=f"fleet census: {shards} shards at "
+              f"{format_rate(bandwidth)} each, {clients} sessions",
+    )
+    return census + "\n\n" + health.summary()
 
 
 def health_text(server: VodServer, obs: Observability) -> str:
@@ -197,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve CLIENTS concurrent sessions (default "
                              "2) and print the server's health: status, "
                              "SLO verdicts, stage profile, recent events")
+    parser.add_argument("--fleet", metavar="SHARDS", type=int,
+                        nargs="?", const=3,
+                        help="serve the container across a SHARDS-shard "
+                             "fleet (default 3) and print the shard "
+                             "census and fleet health rollup")
     parser.add_argument("--timeline", metavar="PATH",
                         help="write the instrumented serving run as "
                              "Chrome trace_event JSON to PATH")
@@ -252,6 +303,13 @@ def main(argv: list[str] | None = None) -> int:
         print(playback_text(interpretation, args.play, obs=obs))
     if args.cache:
         print(cached_replay_text(interpretation, args.cache))
+    if args.fleet is not None:
+        print(fleet_census_text(
+            interpretation,
+            bandwidth=args.play or DEFAULT_HEALTH_BANDWIDTH,
+            shards=args.fleet,
+        ))
+        print()
     if args.health is not None or args.timeline:
         obs = Observability()
         server = serve_instrumented(

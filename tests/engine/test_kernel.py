@@ -1,0 +1,313 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.core.rational import Rational
+from repro.engine.kernel import (
+    DONE,
+    FAILED,
+    PENDING,
+    STREAMING,
+    BandwidthLedger,
+    EventLoop,
+    SessionMachine,
+    SimulatedClock,
+)
+from repro.errors import EngineError, MediaModelError, SimulatedCrash
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == Rational(0)
+
+    def test_advances_forward(self):
+        clock = SimulatedClock()
+        assert clock.advance_to(Rational(3, 2)) == Rational(3, 2)
+        assert clock.now() == Rational(3, 2)
+
+    def test_never_runs_backwards(self):
+        clock = SimulatedClock(start=5)
+        with pytest.raises(EngineError, match="backwards"):
+            clock.advance_to(4)
+
+    def test_advance_to_now_is_fine(self):
+        clock = SimulatedClock(start=5)
+        assert clock.advance_to(5) == Rational(5)
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(3, fired.append, "late")
+        loop.at(1, fired.append, "early")
+        loop.at(2, fired.append, "middle")
+        assert loop.run() == 3
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_instant_fires_in_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("a", "b", "c", "d"):
+            loop.at(1, fired.append, tag)
+        loop.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_callbacks_may_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.after(1, chain, n + 1)
+
+        loop.at(0, chain, 0)
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert loop.clock.now() == Rational(3)
+
+    def test_cannot_schedule_into_the_past(self):
+        loop = EventLoop()
+        loop.at(2, lambda: None)
+        loop.run()
+        with pytest.raises(EngineError, match="past"):
+            loop.at(1, lambda: None)
+
+    def test_run_until_leaves_later_events_pending(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(1, fired.append, "in")
+        loop.at(2, fired.append, "boundary")
+        loop.at(3, fired.append, "out")
+        assert loop.run(until=2) == 2
+        assert fired == ["in", "boundary"]
+        assert loop.pending == 1
+        loop.run()
+        assert fired == ["in", "boundary", "out"]
+
+    def test_crash_propagates_and_preserves_heap(self):
+        loop = EventLoop()
+
+        def die():
+            raise SimulatedCrash("armed")
+
+        loop.at(1, die)
+        loop.at(2, lambda: None)
+        with pytest.raises(SimulatedCrash):
+            loop.run()
+        # The survivor event is the work the dead process lost.
+        assert loop.pending == 1
+
+    def test_stats_are_deterministic_counters(self):
+        loop = EventLoop()
+        loop.at(1, lambda: None)
+        loop.at(1, lambda: None)
+        loop.run()
+        stats = loop.stats()
+        assert stats["events_processed"] == 2
+        assert stats["pending"] == 0
+        assert stats["peak_pending"] == 2
+        assert stats["now"] == Rational(1)
+
+
+class TestBandwidthLedger:
+    def test_factor_is_planned_over_active(self):
+        ledger = BandwidthLedger(4)
+        ledger.enter()
+        assert ledger.factor() == Rational(4, 1)
+        ledger.enter()
+        assert ledger.factor() == Rational(2, 1)
+        ledger.leave()
+        assert ledger.factor() == Rational(4, 1)
+
+    def test_peak_active_tracks_high_water(self):
+        ledger = BandwidthLedger(3)
+        ledger.enter()
+        ledger.enter()
+        ledger.leave()
+        ledger.enter()
+        assert ledger.peak_active == 2
+
+    def test_underflow_rejected(self):
+        ledger = BandwidthLedger(1)
+        with pytest.raises(EngineError, match="underflow"):
+            ledger.leave()
+
+    def test_needs_a_planned_session(self):
+        with pytest.raises(EngineError):
+            BandwidthLedger(0)
+
+
+def counting_stepper(durations, result="report"):
+    """A stepper yielding fixed durations and returning ``result``."""
+    def factory():
+        def gen():
+            for d in durations:
+                yield Rational(d)
+            return result
+        return gen()
+    return factory
+
+
+class TestSessionMachine:
+    def test_needs_exactly_one_drive_mode(self):
+        loop = EventLoop()
+        with pytest.raises(EngineError, match="exactly one"):
+            SessionMachine("s", loop)
+        with pytest.raises(EngineError, match="exactly one"):
+            SessionMachine(
+                "s", loop, runner=lambda: None,
+                stepper_factory=counting_stepper([]),
+            )
+
+    def test_runner_mode_runs_whole_session_in_one_event(self):
+        loop = EventLoop()
+        machine = SessionMachine("s", loop, runner=lambda: "done")
+        machine.start(Rational(2))
+        assert machine.state == PENDING
+        loop.run()
+        assert machine.state == DONE
+        assert machine.result == "done"
+        assert machine.started_at == Rational(2)
+        assert loop.events_processed == 1
+
+    def test_runner_none_result_fails_session(self):
+        loop = EventLoop()
+        machine = SessionMachine("s", loop, runner=lambda: None)
+        machine.start(0)
+        loop.run()
+        assert machine.state == FAILED
+
+    def test_stepper_mode_advances_one_element_per_event(self):
+        loop = EventLoop()
+        machine = SessionMachine(
+            "s", loop, stepper_factory=counting_stepper([1, 2, 3]),
+        )
+        machine.start(0)
+        loop.run()
+        assert machine.state == DONE
+        assert machine.result == "report"
+        assert machine.finished_at == Rational(6)
+        # begin + first-advance + one event per element.
+        assert loop.events_processed == 5
+
+    def test_two_sessions_interleave_on_one_clock(self):
+        loop = EventLoop()
+        order = []
+
+        def tracked(key, durations):
+            def factory():
+                def gen():
+                    for d in durations:
+                        order.append((key, loop.clock.now()))
+                        yield Rational(d)
+                    return key
+                return gen()
+            return factory
+
+        a = SessionMachine("a", loop, stepper_factory=tracked("a", [2, 2]))
+        b = SessionMachine("b", loop, stepper_factory=tracked("b", [3]))
+        a.start(0)
+        b.start(0)
+        loop.run()
+        assert order == [
+            ("a", Rational(0)), ("b", Rational(0)), ("a", Rational(2)),
+        ]
+        assert a.finished_at == Rational(4)
+        assert b.finished_at == Rational(3)
+
+    def test_ledger_entered_before_any_element_prices(self):
+        loop = EventLoop()
+        ledger = BandwidthLedger(2)
+        factors = []
+
+        def factory():
+            def gen():
+                factors.append(ledger.factor())
+                yield Rational(1)
+                return "ok"
+            return gen()
+        for key in ("a", "b"):
+            SessionMachine(
+                key, loop, stepper_factory=factory, ledger=ledger,
+            ).start(0)
+        loop.run()
+        # Both arrivals at t=0 enter before either prices a read.
+        assert factors == [Rational(1), Rational(1)]
+        assert ledger.active == 0
+        assert ledger.peak_active == 2
+
+    def test_on_error_replacement_stepper_restarts(self):
+        loop = EventLoop()
+
+        def broken():
+            def gen():
+                yield Rational(1)
+                raise MediaModelError("storage gave out")
+            return gen()
+
+        def on_error(machine, exc):
+            return counting_stepper([1], result="fallback")()
+
+        machine = SessionMachine(
+            "s", loop, stepper_factory=broken, on_error=on_error,
+        )
+        machine.start(0)
+        loop.run()
+        assert machine.state == DONE
+        assert machine.result == "fallback"
+        assert machine.restarts == 1
+
+    def test_on_error_none_fails_session(self):
+        loop = EventLoop()
+
+        def broken():
+            def gen():
+                raise MediaModelError("dead")
+                yield  # pragma: no cover
+            return gen()
+
+        machine = SessionMachine(
+            "s", loop, stepper_factory=broken,
+            on_error=lambda machine, exc: None,
+        )
+        machine.start(0)
+        loop.run()
+        assert machine.state == FAILED
+        assert machine.result is None
+
+    def test_crash_always_propagates(self):
+        loop = EventLoop()
+
+        def dying():
+            def gen():
+                raise SimulatedCrash("armed")
+                yield  # pragma: no cover
+            return gen()
+
+        SessionMachine(
+            "s", loop, stepper_factory=dying,
+            on_error=lambda machine, exc: counting_stepper([])(),
+        ).start(0)
+        with pytest.raises(SimulatedCrash):
+            loop.run()
+
+    def test_cannot_start_twice(self):
+        loop = EventLoop()
+        machine = SessionMachine("s", loop, runner=lambda: "x")
+        machine.start(0)
+        with pytest.raises(EngineError, match="already started"):
+            machine.start(1)
+
+    def test_on_start_and_on_complete_hooks(self):
+        loop = EventLoop()
+        calls = []
+        machine = SessionMachine(
+            "s", loop, runner=lambda: "r",
+            on_start=lambda m: calls.append(("start", m.state)),
+            on_complete=lambda m, result: calls.append(("done", result)),
+        )
+        machine.start(0)
+        loop.run()
+        assert calls == [("start", STREAMING), ("done", "r")]

@@ -21,6 +21,7 @@ EXAMPLES = [
     "database_tour",
     "observability_tour",
     "crash_recovery",
+    "fleet_failover",
 ]
 
 

@@ -1,0 +1,68 @@
+"""Property tests for rendezvous placement (:func:`repro.engine.fleet.place`).
+
+The router's contract: deterministic (a pure function of the names),
+total (every title maps to exactly one member of the live set, before
+and after a kill), and minimal (killing a shard moves only the titles
+it owned).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.fleet import place
+
+shard_name = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+shard_sets = st.lists(shard_name, min_size=1, max_size=8, unique=True)
+title = st.text(min_size=0, max_size=24)
+
+
+@given(title=title, shards=shard_sets)
+def test_placement_is_deterministic(title, shards):
+    first = place(title, shards)
+    assert place(title, list(shards)) == first
+    assert place(title, tuple(shards)) == first
+
+
+@given(title=title, shards=shard_sets)
+def test_placement_is_total(title, shards):
+    assert place(title, shards) in shards
+
+
+@given(title=title, shards=shard_sets)
+def test_placement_ignores_listing_order(title, shards):
+    assert place(title, shards) == place(title, sorted(shards))
+    assert place(title, shards) == place(title, list(reversed(shards)))
+
+
+@settings(max_examples=60)
+@given(
+    titles=st.lists(title, min_size=1, max_size=20, unique=True),
+    shards=st.lists(shard_name, min_size=2, max_size=8, unique=True),
+    victim_index=st.integers(min_value=0, max_value=7),
+)
+def test_kill_moves_only_the_victims_titles(titles, shards, victim_index):
+    victim = shards[victim_index % len(shards)]
+    survivors = [s for s in shards if s != victim]
+    before = {t: place(t, shards) for t in titles}
+    after = {t: place(t, survivors) for t in titles}
+    for t in titles:
+        # Total after the kill...
+        assert after[t] in survivors
+        # ...and minimal: only the victim's titles move.
+        if before[t] != victim:
+            assert after[t] == before[t]
+
+
+@given(
+    title=title,
+    shards=st.lists(shard_name, min_size=2, max_size=8, unique=True),
+)
+def test_adding_a_shard_only_attracts_titles_to_it(title, shards):
+    # The dual of minimal movement: growing the set either leaves a
+    # title where it was or moves it to the new shard.
+    old = place(title, shards[:-1])
+    new = place(title, shards)
+    assert new == old or new == shards[-1]
