@@ -125,7 +125,13 @@ from repro.obs import (
 )
 from repro.query import (
     MediaDatabase,
+    TemporalIndex,
+    components_during,
+    components_overlapping,
+    demonstrate_correctness,
     frames_at_fidelity,
+    gaps_in_presentation,
+    relation_matrix,
     select_duration,
     select_track,
 )
@@ -232,7 +238,13 @@ __all__ = [
     "to_table",
     # query
     "MediaDatabase",
+    "TemporalIndex",
+    "demonstrate_correctness",
     "select_track",
     "select_duration",
     "frames_at_fidelity",
+    "components_during",
+    "components_overlapping",
+    "gaps_in_presentation",
+    "relation_matrix",
 ]

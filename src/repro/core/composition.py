@@ -157,16 +157,30 @@ class MultimediaObject:
     def __init__(self, name: str = "multimedia-object"):
         self.name = name
         self._relationships: list[CompositionRelationship] = []
+        self._labels: set[str] = set()
+        self._version = 0
 
     # -- construction -------------------------------------------------------------
 
+    @property
+    def version(self) -> int:
+        """Monotonic edit counter, bumped on every :meth:`add`.
+
+        Index layers (:mod:`repro.query.index`) snapshot this to detect
+        compositions mutated after they were indexed and re-encode them
+        lazily, keeping indexed timelines write-through consistent.
+        """
+        return self._version
+
     def add(self, relationship: CompositionRelationship) -> CompositionRelationship:
-        if any(r.label == relationship.label for r in self._relationships):
+        if relationship.label in self._labels:
             raise CompositionError(
                 f"{self.name!r} already has a component labelled "
                 f"{relationship.label!r}"
             )
         self._relationships.append(relationship)
+        self._labels.add(relationship.label)
+        self._version += 1
         return relationship
 
     def add_temporal(self, component: Component, at, duration=None,

@@ -139,19 +139,27 @@ def relate(a: Interval, b: Interval) -> IntervalRelation:
     """Return the unique Allen relation holding between ``a`` and ``b``.
 
     The thirteen relations are jointly exhaustive and pairwise disjoint
-    over pairs of (possibly zero-length) intervals; zero-length intervals
-    follow the endpoint comparisons directly.
+    over pairs of (possibly zero-length) intervals, and the
+    classification agrees with :meth:`Interval.intersects`: a pair lands
+    on ``BEFORE``/``AFTER``/``MEETS``/``MET_BY`` exactly when the two
+    intervals share no time. Under the half-open convention an instant
+    ``[t, t)`` shares time with ``[t, e)`` (it is presented at ``t``),
+    so it *starts* that interval; an instant sitting strictly inside is
+    ``DURING``; an instant at ``[s, t)``'s end shares nothing and is
+    adjacent, hence ``MET_BY``. ``relate(a, b).inverse`` always equals
+    ``relate(b, a)``.
     """
+    if not a.intersects(b):
+        if a.end < b.start:
+            return IntervalRelation.BEFORE
+        if b.end < a.start:
+            return IntervalRelation.AFTER
+        if a.end == b.start:
+            return IntervalRelation.MEETS
+        # Only adjacency at a's start remains: b.end == a.start.
+        return IntervalRelation.MET_BY
     if a.start == b.start and a.end == b.end:
         return IntervalRelation.EQUAL
-    if a.end < b.start:
-        return IntervalRelation.BEFORE
-    if b.end < a.start:
-        return IntervalRelation.AFTER
-    if a.end == b.start:
-        return IntervalRelation.MEETS
-    if b.end == a.start:
-        return IntervalRelation.MET_BY
     if a.start == b.start:
         return IntervalRelation.STARTS if a.end < b.end else IntervalRelation.STARTED_BY
     if a.end == b.end:

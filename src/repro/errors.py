@@ -176,3 +176,7 @@ class QueryError(MediaModelError):
 
 class CatalogError(QueryError):
     """A database catalog entry is missing or duplicated."""
+
+
+class QueryIndexError(QueryError):
+    """The relational temporal index is missing, stale, or unusable."""

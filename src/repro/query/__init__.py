@@ -10,10 +10,18 @@ a specific visual fidelity."
   media objects with domain attributes, multimedia objects, provenance;
 * :mod:`repro.query.query` — those three §1.2 queries (and more) over
   the catalog;
-* :mod:`repro.query.temporal` — temporal predicates over compositions.
+* :mod:`repro.query.temporal` — temporal predicates over compositions;
+* :mod:`repro.query.index` — the relational temporal-index accelerator
+  (pre/post/level axis encodings, exact-rational timeline columns,
+  window-function rollups) behind ``MediaDatabase(index=True)``.
 """
 
 from repro.query.database import MediaDatabase
+from repro.query.index import (
+    TemporalIndex,
+    demonstrate_correctness,
+    encode_attribute,
+)
 from repro.query.query import (
     frames_at_fidelity,
     select_duration,
@@ -23,16 +31,21 @@ from repro.query.query import (
 from repro.query.temporal import (
     components_during,
     components_overlapping,
+    gaps_in_presentation,
     relation_matrix,
 )
 
 __all__ = [
     "MediaDatabase",
+    "TemporalIndex",
+    "demonstrate_correctness",
+    "encode_attribute",
     "frames_at_fidelity",
     "select_duration",
     "select_objects",
     "select_track",
     "components_during",
     "components_overlapping",
+    "gaps_in_presentation",
     "relation_matrix",
 ]

@@ -7,6 +7,16 @@ catalog models exactly that: media objects carry *domain attributes*
 (title, director, language, topic...) alongside their media-valued
 content, and multimedia objects, interpretations and the provenance graph
 are registered beside them.
+
+Queries run on one of two backends. The **linear** backend scans the
+live Python objects — always available, always correct, the oracle. The
+**indexed** backend (``MediaDatabase(index=True)``) writes every catalog
+mutation through to a :class:`~repro.query.index.TemporalIndex` and
+serves selections, temporal predicates and lineage axes from indexed
+SQLite relations. Every dual-backend query takes ``backend="auto" |
+"index" | "linear"``; ``auto`` uses the index when one is attached and
+the query is expressible there, falling back to the linear scan
+otherwise — so exotic filter values lose speed, never answers.
 """
 
 from __future__ import annotations
@@ -16,11 +26,13 @@ from typing import Any, Callable
 from repro.blob.store import BlobStore
 from repro.core.composition import MultimediaObject
 from repro.core.interpretation import Interpretation
+from repro.core.intervals import Interval
 from repro.core.media_object import MediaObject
 from repro.core.media_types import MediaKind
 from repro.core.provenance import ProvenanceGraph
-from repro.errors import CatalogError
+from repro.errors import CatalogError, QueryError, QueryIndexError
 from repro.obs.instrument import Instrumented, Observability
+from repro.query.index import TemporalIndex
 
 
 class CatalogEntry:
@@ -43,28 +55,64 @@ class CatalogEntry:
 class MediaDatabase(Instrumented):
     """A catalog of BLOBs, interpretations, media and multimedia objects.
 
+    With ``index=True`` (or ``index="/path/to.db"`` for a file-backed
+    index) a :class:`~repro.query.index.TemporalIndex` shadows the
+    catalog: mutations write through synchronously, and ``objects()``,
+    the temporal predicates and the lineage axes gain an indexed fast
+    path. The linear scan stays available via ``backend="linear"`` as
+    the correctness oracle.
+
     Instrumentable: an attached sink counts catalog lookups and misses,
     and records each :meth:`objects` query's candidate/match counts —
-    filter selectivity, the input to any future index decision. The
-    sink propagates to the blob store and to cataloged interpretations.
+    filter selectivity, the input to the index decision. The sink
+    propagates to the blob store, cataloged interpretations and the
+    index.
     """
 
     def __init__(self, name: str = "media-db",
                  blob_store: BlobStore | None = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 index: bool | str = False):
         self.name = name
         self.blobs = blob_store or BlobStore()
         self.provenance = ProvenanceGraph()
         self._entries: dict[str, CatalogEntry] = {}
         self._interpretations: dict[str, Interpretation] = {}
         self._multimedia: dict[str, MultimediaObject] = {}
+        self._index: TemporalIndex | None = None
+        if index:
+            path = index if isinstance(index, str) else ":memory:"
+            self._index = TemporalIndex(path)
         if obs is not None:
             self.instrument(obs)
+
+    @property
+    def index(self) -> TemporalIndex | None:
+        """The attached relational index, if any."""
+        return self._index
 
     def _instrument_children(self, obs: Observability) -> None:
         self.blobs.instrument(obs)
         for interpretation in self._interpretations.values():
             interpretation.instrument(obs)
+        if self._index is not None:
+            self._index.instrument(obs)
+
+    def _use_index(self, backend: str) -> bool:
+        if backend not in ("auto", "index", "linear"):
+            raise QueryError(
+                f"unknown backend {backend!r}; use 'auto', 'index' or 'linear'"
+            )
+        if backend == "linear":
+            return False
+        if self._index is None:
+            if backend == "index":
+                raise QueryIndexError(
+                    f"database {self.name!r} has no index; construct with "
+                    "MediaDatabase(index=True)"
+                )
+            return False
+        return True
 
     # -- media objects -----------------------------------------------------------
 
@@ -77,7 +125,9 @@ class MediaDatabase(Instrumented):
         graph checker runs first and a structurally broken object
         (derivation cycle, dangling input, kind mismatch) is refused
         with :class:`~repro.errors.PlanRejectedError` instead of
-        poisoning the catalog.
+        poisoning the catalog. When an index is attached the object,
+        its attributes and its derivation chain write through in the
+        same call.
         """
         if obj.name in self._entries:
             raise CatalogError(f"object {obj.name!r} already cataloged")
@@ -86,6 +136,10 @@ class MediaDatabase(Instrumented):
         entry = CatalogEntry(obj, attributes)
         self._entries[obj.name] = entry
         self.provenance.register(obj)
+        if self._index is not None:
+            self._index.index_object(obj, entry.attributes)
+            if obj.is_derived:
+                self._index.index_provenance(obj)
         return entry
 
     def get_object(self, name: str) -> MediaObject:
@@ -95,7 +149,15 @@ class MediaDatabase(Instrumented):
         return dict(self._entry(name).attributes)
 
     def set_attribute(self, name: str, key: str, value: Any) -> None:
+        """Set one domain attribute, writing through to the index.
+
+        Without the write-through an indexed query issued after the
+        mutation would answer from the stale relation — the catalog and
+        the index must never disagree.
+        """
         self._entry(name).attributes[key] = value
+        if self._index is not None:
+            self._index.set_attribute(name, key, value)
 
     @staticmethod
     def _verify(target) -> None:
@@ -128,9 +190,20 @@ class MediaDatabase(Instrumented):
         kind: MediaKind | None = None,
         media_type: str | None = None,
         where: Callable[[CatalogEntry], bool] | None = None,
+        backend: str = "auto",
         **attribute_filters: Any,
     ) -> list[MediaObject]:
-        """Select cataloged objects by kind, type and domain attributes."""
+        """Select cataloged objects by kind, type and domain attributes.
+
+        Name-sorted on both backends. ``where`` (an arbitrary Python
+        predicate) always runs on the linear scan; attribute equality,
+        kind and media-type filters use the index when attached.
+        """
+        if self._use_index(backend) and where is None:
+            names = self._index.object_names(kind, media_type,
+                                             attribute_filters)
+            if names is not None:
+                return [self._entries[name].object for name in names]
         with self._obs.tracer.span(
             "query.objects",
             filters=",".join(sorted(attribute_filters)) or "(none)",
@@ -198,7 +271,10 @@ class MediaDatabase(Instrumented):
     def add_multimedia(self, multimedia: MultimediaObject,
                        verify: bool = False) -> MultimediaObject:
         """Catalog a multimedia object; ``verify`` gates it behind the
-        static graph checker (cycles and dangling inputs are refused)."""
+        static graph checker (cycles and dangling inputs are refused).
+        When an index is attached the composition tree is encoded
+        immediately (and re-encoded lazily if the object's version
+        counter later moves)."""
         if multimedia.name in self._multimedia:
             raise CatalogError(
                 f"multimedia object {multimedia.name!r} already cataloged"
@@ -206,6 +282,8 @@ class MediaDatabase(Instrumented):
         if verify:
             self._verify(multimedia)
         self._multimedia[multimedia.name] = multimedia
+        if self._index is not None:
+            self._index.ensure_multimedia(multimedia)
         return multimedia
 
     def get_multimedia(self, name: str) -> MultimediaObject:
@@ -217,18 +295,131 @@ class MediaDatabase(Instrumented):
     def multimedia(self) -> list[str]:
         return sorted(self._multimedia)
 
+    def refresh_index(self) -> None:
+        """Force re-encoding of every cataloged composition.
+
+        Top-level ``add`` calls are caught automatically through the
+        version counter; mutations *inside* nested component objects
+        are not visible from the root, so call this after editing a
+        composition's interior.
+        """
+        if self._index is None:
+            raise QueryIndexError(
+                f"database {self.name!r} has no index to refresh"
+            )
+        for multimedia in self._multimedia.values():
+            self._index.reindex_multimedia(multimedia)
+
+    # -- temporal predicates -----------------------------------------------------------
+
+    def _indexed_multimedia(self, name: str) -> MultimediaObject:
+        multimedia = self.get_multimedia(name)
+        self._index.ensure_multimedia(multimedia)
+        return multimedia
+
+    def components_overlapping(self, name: str, label: str,
+                               backend: str = "auto") -> list[str]:
+        """Labels of ``name``'s components sharing time with ``label``."""
+        from repro.query import temporal
+
+        if self._use_index(backend):
+            self._indexed_multimedia(name)
+            return self._index.components_overlapping(name, label)
+        return temporal.components_overlapping(self.get_multimedia(name), label)
+
+    def components_during(self, name: str, start, end,
+                          backend: str = "auto") -> list[str]:
+        """Labels of ``name``'s components intersecting ``[start, end)``."""
+        from repro.query import temporal
+
+        if self._use_index(backend):
+            self._indexed_multimedia(name)
+            return self._index.components_during(name, start, end)
+        return temporal.components_during(self.get_multimedia(name), start, end)
+
+    def occurrences_of(self, object_name: str, backend: str = "auto",
+                       ) -> list[tuple[str, str, Interval]]:
+        """Every leaf placement of ``object_name`` across all cataloged
+        compositions: ``(multimedia, path, absolute interval)`` in
+        (multimedia name, document order)."""
+        if self._use_index(backend):
+            for multimedia in self._multimedia.values():
+                self._index.ensure_multimedia(multimedia)
+            return self._index.occurrences_of(object_name)
+        result = []
+        for mm_name in sorted(self._multimedia):
+            for path, obj, interval in self._multimedia[mm_name].flatten():
+                if obj.name == object_name:
+                    result.append((mm_name, path, interval))
+        return result
+
+    def component_descendants(self, name: str, path: str = "",
+                              backend: str = "auto") -> list[str]:
+        """Paths of every relationship below ``path`` in ``name``'s
+        composition tree, document order. An empty path addresses the
+        root (the whole tree)."""
+        if self._use_index(backend):
+            self._indexed_multimedia(name)
+            return self._index.component_descendants(name, path)
+        multimedia = self.get_multimedia(name)
+        all_paths = _composition_paths(multimedia)
+        if path == "":
+            return [p for p, _ in all_paths]
+        for i, (p, post) in enumerate(all_paths):
+            if p == path:
+                return [q for q, _ in all_paths[i + 1:post]]
+        raise QueryError(f"{name!r} has no component path {path!r}")
+
+    def duration_rollup(self, name: str) -> list[dict[str, Any]]:
+        """Window-function duration statistics over ``name``'s top-level
+        components (indexed backends only)."""
+        if self._index is None:
+            raise QueryIndexError(
+                "duration_rollup needs an index; construct with "
+                "MediaDatabase(index=True)"
+            )
+        self._indexed_multimedia(name)
+        return self._index.duration_rollup(name)
+
+    def fidelity_rollup(self) -> list[dict[str, Any]]:
+        """Catalog-wide kind/media-type quality census (indexed only)."""
+        if self._index is None:
+            raise QueryIndexError(
+                "fidelity_rollup needs an index; construct with "
+                "MediaDatabase(index=True)"
+            )
+        return self._index.fidelity_rollup()
+
     # -- lineage queries ---------------------------------------------------------------
 
-    def lineage(self, name: str) -> list[MediaObject]:
-        """"Keep track of, and query, manipulations to media objects."""
-        return self.provenance.lineage(self.get_object(name))
+    def lineage(self, name: str,
+                backend: str = "auto") -> list[MediaObject]:
+        """"Keep track of, and query, manipulations to media objects."
 
-    def derived_from(self, name: str) -> list[MediaObject]:
-        return self.provenance.descendants(self.get_object(name))
+        Transitive derivation inputs of ``name``, nearest first (ties
+        by name then object id) on both backends.
+        """
+        obj = self.get_object(name)
+        if self._use_index(backend):
+            return [self.provenance.get(node)
+                    for node, _, _ in self._index.ancestors_of(obj.object_id)]
+        return _ranked(self.provenance, obj,
+                       self.provenance.lineage(obj), "up")
+
+    def derived_from(self, name: str,
+                     backend: str = "auto") -> list[MediaObject]:
+        """Objects transitively derived from ``name``, nearest first."""
+        obj = self.get_object(name)
+        if self._use_index(backend):
+            return [self.provenance.get(node)
+                    for node, _, _ in self._index.descendants_of(obj.object_id)]
+        return _ranked(self.provenance, obj,
+                       self.provenance.descendants(obj), "down")
 
     # -- clip repositories --------------------------------------------------------
 
-    def ingest_directory(self, path, pattern: str = "*.rmf") -> list[str]:
+    def ingest_directory(self, path, pattern: str = "*.rmf",
+                         verify: bool = False) -> list[str]:
         """Ingest a directory of container files — §1.1's "clip media"
         repositories, "often loosely organized collections of files",
         brought under the catalog.
@@ -238,6 +429,16 @@ class MediaDatabase(Instrumented):
         (different clips routinely reuse track names like ``video1``)
         with ``source_file`` attributes. Returns the interpretation
         names added, in file order.
+
+        Ingest is **per-file atomic**: every check for a file runs
+        before its first catalog mutation, so a failing file leaves no
+        partial state (files ingested before it remain cataloged). The
+        loaded interpretation is **copied on rename** — the container's
+        objects are never mutated in place, so callers holding
+        references to a previously loaded interpretation see no
+        aliasing and a retried ingest cannot double-prefix names.
+        ``verify`` gates each file behind the static graph checker,
+        exactly like :meth:`add_interpretation`.
         """
         import glob
         import os
@@ -245,27 +446,69 @@ class MediaDatabase(Instrumented):
         from repro.storage.container import read_container
 
         added = []
-        for file_path in sorted(glob.glob(os.path.join(str(path), pattern))):
-            stem = os.path.splitext(os.path.basename(file_path))[0]
-            if stem in self._interpretations:
-                raise CatalogError(
-                    f"interpretation {stem!r} already cataloged; "
-                    f"cannot ingest {file_path}"
-                )
-            interpretation = read_container(file_path)
-            interpretation.name = stem
-            interpretation.validate()
-            self._interpretations[stem] = interpretation
-            for obj in interpretation.media_objects():
-                obj.name = f"{stem}/{obj.name}"
-                self.add_object(
-                    obj, interpretation=stem, source_file=file_path,
-                )
-            added.append(stem)
+        with self._obs.tracer.span(
+            "query.ingest", directory=str(path), pattern=pattern,
+        ) as span:
+            for file_path in sorted(
+                glob.glob(os.path.join(str(path), pattern))
+            ):
+                stem = os.path.splitext(os.path.basename(file_path))[0]
+                try:
+                    self._ingest_file(file_path, stem, verify)
+                except Exception:
+                    self._obs.metrics.counter("query.ingest.failures").inc(
+                        file=os.path.basename(file_path)
+                    )
+                    span.set(ingested=len(added), failed_at=stem)
+                    raise
+                added.append(stem)
+            span.set(ingested=len(added))
         return added
 
+    def _ingest_file(self, file_path: str, stem: str, verify: bool) -> None:
+        """Load, validate and catalog one container file atomically.
+
+        Order matters: every raise happens before the first mutation.
+        """
+        from repro.storage.container import read_container
+
+        if stem in self._interpretations:
+            raise CatalogError(
+                f"interpretation {stem!r} already cataloged; "
+                f"cannot ingest {file_path}"
+            )
+        source = read_container(file_path)
+        # Copy-on-rename: a fresh Interpretation over the same BLOB and
+        # sequence tables, named after the file stem. ``source`` (and
+        # anything aliasing it) is never touched.
+        interpretation = Interpretation(source.blob, stem)
+        for sequence_name in source.names():
+            interpretation.add_sequence(source.sequence(sequence_name))
+        interpretation.validate()
+        if verify:
+            self._verify(interpretation)
+        objects = interpretation.media_objects()
+        for obj in objects:
+            # Fresh InterpretedMediaObject instances — renaming them
+            # cannot alias any caller-visible object.
+            obj.name = f"{stem}/{obj.name}"
+            if obj.name in self._entries:
+                raise CatalogError(
+                    f"object {obj.name!r} already cataloged; "
+                    f"cannot ingest {file_path}"
+                )
+        # All checks passed — commit.
+        self._interpretations[stem] = interpretation
+        if self._obs.enabled:
+            interpretation.instrument(self._obs)
+        for obj in objects:
+            self.add_object(obj, interpretation=stem, source_file=file_path)
+        metrics = self._obs.metrics
+        metrics.counter("query.ingest.files").inc()
+        metrics.counter("query.ingest.objects").inc(len(objects))
+
     def stats(self) -> dict[str, Any]:
-        return {
+        stats = {
             "objects": len(self._entries),
             "interpretations": len(self._interpretations),
             "multimedia_objects": len(self._multimedia),
@@ -274,3 +517,55 @@ class MediaDatabase(Instrumented):
             ),
             "blob_store": self.blobs.stats(),
         }
+        if self._index is not None:
+            stats["index"] = self._index.census()
+        return stats
+
+
+def _ranked(provenance: ProvenanceGraph, obj: MediaObject,
+            related: list[MediaObject], direction: str) -> list[MediaObject]:
+    """Order a lineage/descendants result by (depth, name, object id).
+
+    BFS order depends on dict insertion history; both backends instead
+    rank by minimum derivation distance with deterministic tie-breaks,
+    so indexed and linear answers are byte-identical.
+    """
+    step = (provenance.antecedents if direction == "up"
+            else provenance.derivatives)
+    depth: dict[str, int] = {obj.object_id: 0}
+    frontier = [obj]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in step(node):
+                if neighbor.object_id not in depth:
+                    depth[neighbor.object_id] = depth[node.object_id] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return sorted(
+        related,
+        key=lambda o: (depth.get(o.object_id, len(depth)), o.name,
+                       o.object_id),
+    )
+
+
+def _composition_paths(multimedia: MultimediaObject) -> list[tuple[str, int]]:
+    """All relationship paths in document (pre) order.
+
+    Each entry is ``(path, subtree_end)`` where ``subtree_end`` is the
+    index one past the node's last descendant — the linear mirror of
+    the index's pre/post range.
+    """
+    result: list[tuple[str, int]] = []
+
+    def walk(node: MultimediaObject, prefix: str) -> None:
+        for r in node.relationships:
+            path = f"{prefix}/{r.label}" if prefix else r.label
+            slot = len(result)
+            result.append((path, 0))
+            if isinstance(r.component, MultimediaObject):
+                walk(r.component, path)
+            result[slot] = (path, len(result))
+
+    walk(multimedia, "")
+    return result

@@ -1,0 +1,1090 @@
+"""Relational temporal-index accelerator for the media catalog.
+
+The paper's §1.2 promise is that modeled structure makes media
+*queryable* — "select a specific sound track, or select a specific
+duration". The catalog (:mod:`repro.query.database`) answers those
+queries by scanning Python objects linearly, which is fine for a shelf
+of clips and hopeless for a million-object library. This module maps
+the modeled structure onto indexed SQLite (stdlib) relations in the
+style of the XPath-accelerator line of work:
+
+* **composition trees** are unfolded into *occurrence* rows carrying a
+  pre/post/level numbering, so descendant and ancestor axes over nested
+  multimedia objects become indexed range predicates
+  (``parent.pre < node.pre < parent.post``);
+* **derivation graphs** (provenance) get the same encoding over the
+  DAG's tree unfolding — one occurrence row per path — so lineage and
+  derived-from queries are containment ranges with depth =
+  ``MIN(level difference)`` over occurrences;
+* **component timelines** are stored as exact-rational
+  ``(start_num, start_den, end_num, end_den)`` columns plus a
+  conservative float approximation used only to *narrow* candidates
+  through a B-tree range (never to decide): the final temporal
+  predicate re-checks candidates with the exact interval algebra of
+  :mod:`repro.core.intervals`, so indexed answers are byte-identical
+  to the linear scan;
+* **rollups** (duration shares, fidelity statistics) use SQL window
+  functions over the encoded rows.
+
+Write-through is the invariant: every catalog mutation
+(:meth:`~repro.query.database.MediaDatabase.add_object`,
+``set_attribute``, ``ingest_directory``) updates the relations in the
+same call, and mutable compositions carry a version counter the index
+snapshots, re-encoding a changed tree lazily before answering for it.
+The linear scan is retained throughout as the correctness oracle —
+:func:`demonstrate_correctness` runs both backends over randomized
+catalogs and insists on identical result sets in identical order.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from fractions import Fraction
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.intervals import Interval
+from repro.core.rational import Rational, as_rational
+from repro.errors import QueryError, QueryIndexError
+from repro.obs.instrument import Instrumented, Observability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.composition import MultimediaObject
+    from repro.core.media_object import MediaObject
+
+#: Relative slack added to float prefilter bounds. Approximations are
+#: correctly-rounded doubles (error ~1e-16 relative); a 1e-9 margin is
+#: conservatively wide without dragging in meaningful over-fetch.
+_EPS_REL = 1e-9
+
+#: Ceiling on derivation occurrence rows; the tree unfolding of a DAG
+#: can explode on adversarial sharing, and a runaway rebuild should
+#: fail loudly rather than fill memory.
+_MAX_OCCURRENCES = 5_000_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS objects (
+    id          INTEGER PRIMARY KEY,
+    name        TEXT NOT NULL UNIQUE,
+    kind        TEXT NOT NULL,
+    media_type  TEXT NOT NULL,
+    is_derived  INTEGER NOT NULL,
+    duration    REAL,
+    quality     REAL
+);
+CREATE TABLE IF NOT EXISTS attributes (
+    object_id   INTEGER NOT NULL REFERENCES objects(id),
+    key         TEXT NOT NULL,
+    value       TEXT,
+    PRIMARY KEY (object_id, key)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_attributes_kv ON attributes(key, value);
+CREATE TABLE IF NOT EXISTS prov_nodes (
+    node        TEXT PRIMARY KEY,
+    name        TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS prov_edges (
+    child       TEXT NOT NULL,
+    parent      TEXT NOT NULL,
+    position    INTEGER NOT NULL,
+    PRIMARY KEY (child, position)
+);
+CREATE INDEX IF NOT EXISTS idx_prov_edges_parent ON prov_edges(parent);
+CREATE TABLE IF NOT EXISTS prov_occ (
+    node        TEXT NOT NULL,
+    pre         INTEGER NOT NULL,
+    post        INTEGER NOT NULL,
+    level       INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_prov_occ_node ON prov_occ(node);
+CREATE INDEX IF NOT EXISTS idx_prov_occ_pre ON prov_occ(pre);
+CREATE TABLE IF NOT EXISTS composition (
+    mm          TEXT NOT NULL,
+    pre         INTEGER NOT NULL,
+    post        INTEGER NOT NULL,
+    level       INTEGER NOT NULL,
+    path        TEXT NOT NULL,
+    label       TEXT NOT NULL,
+    obj_name    TEXT,
+    is_leaf     INTEGER NOT NULL,
+    start_num   INTEGER NOT NULL,
+    start_den   INTEGER NOT NULL,
+    end_num     INTEGER NOT NULL,
+    end_den     INTEGER NOT NULL,
+    start_approx REAL NOT NULL,
+    end_approx  REAL NOT NULL,
+    PRIMARY KEY (mm, pre)
+);
+CREATE INDEX IF NOT EXISTS idx_comp_window
+    ON composition(mm, level, start_approx);
+CREATE INDEX IF NOT EXISTS idx_comp_obj ON composition(obj_name);
+CREATE INDEX IF NOT EXISTS idx_comp_path ON composition(mm, path);
+CREATE TABLE IF NOT EXISTS composition_meta (
+    mm          TEXT PRIMARY KEY,
+    version     INTEGER NOT NULL,
+    rows        INTEGER NOT NULL,
+    max_dur     REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS attr_stats (
+    key         TEXT NOT NULL,
+    value       TEXT NOT NULL,
+    n           INTEGER NOT NULL,
+    PRIMARY KEY (key, value)
+) WITHOUT ROWID;
+"""
+
+
+#: Incremental upsert keeping ``attr_stats`` exact under write-through;
+#: the counts feed the query planner's choice of driving filter.
+_STATS_BUMP = (
+    "INSERT INTO attr_stats (key, value, n) VALUES (?, ?, 1)"
+    " ON CONFLICT (key, value) DO UPDATE SET n = n + 1"
+)
+
+
+def encode_attribute(value: Any) -> str | None:
+    """Canonical text encoding of an attribute value, or ``None``.
+
+    ``None`` means the value is not indexable (arbitrary objects, NaN)
+    and queries filtering on it must fall back to the linear scan.
+    Python equality quirks are honoured: ``True == 1 == 1.0 ==
+    Fraction(1)`` all encode identically, so indexed equality agrees
+    with ``dict.__eq__`` on the linear path.
+    """
+    if value is None:
+        return "none:"
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return None
+        value = Fraction(value)
+    if isinstance(value, (int, Fraction)):
+        value = Fraction(value)
+        return f"num:{value.numerator}/{value.denominator}"
+    if isinstance(value, str):
+        return "str:" + value
+    return None
+
+
+def _approx(value: Fraction) -> float:
+    try:
+        return float(value)
+    except OverflowError:  # pragma: no cover - astronomical timestamps
+        return math.inf if value > 0 else -math.inf
+
+
+def _margin(value: float) -> float:
+    return _EPS_REL * (1.0 + abs(value))
+
+
+def _rational(num: int, den: int) -> Rational:
+    return Rational(num, den)
+
+
+class TemporalIndex(Instrumented):
+    """A stdlib-SQLite relational backend for the media catalog.
+
+    One instance backs one :class:`~repro.query.database.MediaDatabase`;
+    the database writes through on every mutation and routes queries
+    here when a fast path applies. All temporal answers are *exact*:
+    float columns only narrow the candidate set, the decision is made
+    by the interval algebra over the exact rational columns.
+
+    Instrumented: ``query.index.*`` counters (writes, fast-path hits,
+    fallbacks, rebuilds) and ``query.index.build``/``query.index.select``
+    spans.
+    """
+
+    def __init__(self, path: str = ":memory:",
+                 obs: Observability | None = None):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(
+            "PRAGMA journal_mode=MEMORY;"
+            "PRAGMA synchronous=OFF;"
+            "PRAGMA temp_store=MEMORY;"
+        )
+        self._conn.executescript(_SCHEMA)
+        self._prov_dirty = False
+        self._prov_known: set[str] = set()
+        # Keys that ever carried a value with no canonical encoding;
+        # equality filters on them must use the linear oracle.
+        self._opaque_keys: set[str] = set()
+        self._write_seq = 0
+        self.last_write: tuple[int, str, str] | None = None
+        if obs is not None:
+            self.instrument(obs)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "TemporalIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _wrote(self, op: str, detail: str, rows: int = 1) -> None:
+        self._write_seq += 1
+        self.last_write = (self._write_seq, op, detail)
+        self._obs.metrics.counter("query.index.writes").inc(rows, op=op)
+
+    def _fastpath(self, op: str) -> None:
+        self._obs.metrics.counter("query.index.fastpath").inc(op=op)
+
+    def fallback(self, op: str, reason: str) -> None:
+        """Record that a query could not be served and fell back."""
+        self._obs.metrics.counter("query.index.fallbacks").inc(
+            op=op, reason=reason,
+        )
+
+    # -- object / attribute write-through ----------------------------------------
+
+    def index_object(self, obj: "MediaObject",
+                     attributes: dict[str, Any]) -> None:
+        """Write one cataloged object (and its attributes) through."""
+        duration = _stat_float(obj.descriptor.get("duration"))
+        quality = _stat_float(obj.descriptor.get("quality_factor"))
+        cursor = self._conn.execute(
+            "INSERT INTO objects"
+            " (name, kind, media_type, is_derived, duration, quality)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (obj.name, obj.kind.value, obj.media_type.name,
+             int(obj.is_derived), duration, quality),
+        )
+        object_id = cursor.lastrowid
+        if attributes:
+            rows = []
+            for key, value in attributes.items():
+                encoded = encode_attribute(value)
+                if encoded is None:
+                    self._opaque_keys.add(key)
+                rows.append((object_id, key, encoded))
+            self._conn.executemany(
+                "INSERT INTO attributes (object_id, key, value)"
+                " VALUES (?, ?, ?)", rows,
+            )
+            self._conn.executemany(
+                _STATS_BUMP, [(k, v) for _, k, v in rows if v is not None],
+            )
+        self._wrote("object", obj.name, rows=1 + len(attributes))
+
+    def set_attribute(self, name: str, key: str, value: Any) -> None:
+        """Write one attribute mutation through (the stale-index fix)."""
+        row = self._conn.execute(
+            "SELECT id FROM objects WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise QueryIndexError(
+                f"index has no object {name!r}; write-through is broken"
+            )
+        encoded = encode_attribute(value)
+        if encoded is None:
+            self._opaque_keys.add(key)
+        old = self._conn.execute(
+            "SELECT value FROM attributes WHERE object_id = ? AND key = ?",
+            (row[0], key),
+        ).fetchone()
+        if old is not None and old[0] is not None:
+            self._conn.execute(
+                "UPDATE attr_stats SET n = n - 1 WHERE key = ? AND value = ?",
+                (key, old[0]),
+            )
+        if encoded is not None:
+            self._conn.execute(_STATS_BUMP, (key, encoded))
+        self._conn.execute(
+            "INSERT OR REPLACE INTO attributes (object_id, key, value)"
+            " VALUES (?, ?, ?)",
+            (row[0], key, encoded),
+        )
+        self._wrote("set_attribute", f"{name}.{key}")
+
+    # -- provenance write-through --------------------------------------------------
+
+    def index_provenance(self, obj: "MediaObject") -> None:
+        """Write ``obj``'s derivation chain through (nodes + edges).
+
+        Mirrors :meth:`repro.core.provenance.ProvenanceGraph.register`:
+        walking inputs recursively so one call captures the whole
+        production chain. The pre/post occurrence encoding is rebuilt
+        lazily on the next axis query.
+        """
+        from repro.core.media_object import DerivedMediaObject
+
+        stack = [obj]
+        nodes: list[tuple[str, str]] = []
+        edges: list[tuple[str, str, int]] = []
+        while stack:
+            o = stack.pop()
+            if o.object_id in self._prov_known:
+                continue
+            self._prov_known.add(o.object_id)
+            nodes.append((o.object_id, o.name))
+            if isinstance(o, DerivedMediaObject):
+                for position, parent in enumerate(o.derivation_object.inputs):
+                    edges.append((o.object_id, parent.object_id, position))
+                    stack.append(parent)
+        if not nodes:
+            return
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO prov_nodes (node, name) VALUES (?, ?)",
+            nodes,
+        )
+        if edges:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO prov_edges (child, parent, position)"
+                " VALUES (?, ?, ?)", edges,
+            )
+        self._prov_dirty = True
+        self._wrote("provenance", obj.name, rows=len(nodes) + len(edges))
+
+    def _ensure_provenance_occ(self) -> None:
+        if not self._prov_dirty:
+            return
+        with self._obs.tracer.span("query.index.build", what="provenance"):
+            children: dict[str, list[str]] = {}
+            has_parent: set[str] = set()
+            for child, parent in self._conn.execute(
+                "SELECT child, parent FROM prov_edges"
+                " ORDER BY parent, child"
+            ):
+                children.setdefault(parent, []).append(child)
+                has_parent.add(child)
+            all_nodes = [row[0] for row in self._conn.execute(
+                "SELECT node FROM prov_nodes ORDER BY node"
+            )]
+            roots = [n for n in all_nodes if n not in has_parent]
+            rows: list[tuple[str, int, int, int]] = []
+            counter = 0
+            for root in roots:
+                # Iterative DFS: (node, level, iterator-state) frames so
+                # ten-thousand-deep production chains don't hit the
+                # recursion limit. ``on_path`` guards against cycles.
+                on_path: set[str] = set()
+                stack: list[list] = [[root, 0, 0, None]]
+                while stack:
+                    frame = stack[-1]
+                    node, level, child_i, pre = frame
+                    if pre is None:
+                        if node in on_path:
+                            raise QueryIndexError(
+                                "derivation graph contains a cycle at "
+                                f"{node!r}"
+                            )
+                        on_path.add(node)
+                        frame[3] = counter
+                        counter += 1
+                    kids = children.get(node, ())
+                    if child_i < len(kids):
+                        frame[2] += 1
+                        stack.append([kids[child_i], level + 1, 0, None])
+                        continue
+                    rows.append((node, frame[3], counter, level))
+                    counter += 1
+                    on_path.discard(node)
+                    stack.pop()
+                    if len(rows) > _MAX_OCCURRENCES:
+                        raise QueryIndexError(
+                            "derivation unfolding exceeds "
+                            f"{_MAX_OCCURRENCES} occurrences; the sharing "
+                            "in this DAG defeats the interval encoding"
+                        )
+            self._conn.execute("DELETE FROM prov_occ")
+            self._conn.executemany(
+                "INSERT INTO prov_occ (node, pre, post, level)"
+                " VALUES (?, ?, ?, ?)", rows,
+            )
+            self._prov_dirty = False
+            self._obs.metrics.counter("query.index.rebuilds").inc(
+                what="provenance"
+            )
+
+    # -- composition write-through -------------------------------------------------
+
+    def ensure_multimedia(self, multimedia: "MultimediaObject") -> None:
+        """(Re-)encode ``multimedia`` unless the stored version is current.
+
+        ``MultimediaObject.version`` bumps on every top-level ``add``,
+        so post-catalog mutation is caught here and re-encoded before
+        the query runs — the index can never silently disagree with the
+        live object. Mutations *inside* nested component objects do not
+        bump the root version; call
+        :meth:`~repro.query.database.MediaDatabase.refresh_index` after
+        editing a composition's interior.
+        """
+        row = self._conn.execute(
+            "SELECT version FROM composition_meta WHERE mm = ?",
+            (multimedia.name,),
+        ).fetchone()
+        if row is not None and row[0] == multimedia.version:
+            return
+        self._index_multimedia(multimedia)
+        if row is not None:
+            self._obs.metrics.counter("query.index.rebuilds").inc(
+                what="composition"
+            )
+
+    def reindex_multimedia(self, multimedia: "MultimediaObject") -> None:
+        """Force re-encoding, bypassing the version check.
+
+        Needed after *deep* mutations — edits inside a nested component
+        object do not bump the root's version counter, so
+        :meth:`ensure_multimedia` alone would not notice them.
+        """
+        self._index_multimedia(multimedia)
+        self._obs.metrics.counter("query.index.rebuilds").inc(
+            what="composition"
+        )
+
+    def _index_multimedia(self, multimedia: "MultimediaObject") -> None:
+        from repro.core.composition import MultimediaObject
+
+        with self._obs.tracer.span(
+            "query.index.build", what="composition", mm=multimedia.name,
+        ):
+            name = multimedia.name
+            rows: list[tuple] = []
+            max_dur = 0.0
+            counter = 0
+
+            # Iterative DFS in relationship insertion order — the same
+            # order ``flatten`` walks — assigning pre on entry and post
+            # on exit from one shared counter.
+            duration = multimedia.duration()
+            root_iv = Interval.of(Rational(0), duration)
+            root_frame = [multimedia, "", 0, root_iv, Rational(0), 0,
+                          counter, None]
+            counter += 1
+            stack = [root_frame]
+            seen_on_path = {id(multimedia)}
+            while stack:
+                frame = stack[-1]
+                node, path, level, interval, offset, child_i, pre, _ = frame
+                relationships = node.relationships
+                if child_i < len(relationships):
+                    frame[5] += 1
+                    r = relationships[child_i]
+                    r_offset = (r.start_offset if r.is_temporal
+                                else Rational(0))
+                    absolute = offset + r_offset
+                    child_path = (f"{path}/{r.label}" if path else r.label)
+                    child_iv = Interval.of(absolute, r.duration())
+                    component = r.component
+                    if isinstance(component, MultimediaObject):
+                        if id(component) in seen_on_path:
+                            raise QueryIndexError(
+                                f"composition {name!r} contains a cycle "
+                                f"at {child_path!r}"
+                            )
+                        seen_on_path.add(id(component))
+                        stack.append([component, child_path, level + 1,
+                                      child_iv, absolute, 0, counter,
+                                      r.label])
+                        counter += 1
+                    else:
+                        pre_leaf = counter
+                        counter += 2
+                        leaf_iv = Interval.of(absolute, r.duration())
+                        rows.append(_composition_row(
+                            name, pre_leaf, pre_leaf + 1, level + 1,
+                            child_path, r.label, component.name, 1,
+                            leaf_iv,
+                        ))
+                        if level == 0:
+                            max_dur = max(
+                                max_dur, _approx(leaf_iv.duration)
+                            )
+                    continue
+                post = counter
+                counter += 1
+                obj_name = getattr(node, "name", None)
+                label = frame[7] if frame[7] is not None else node.name
+                rows.append(_composition_row(
+                    name, pre, post, level, path, label, obj_name,
+                    0, interval,
+                ))
+                if level == 1:
+                    max_dur = max(max_dur, _approx(interval.duration))
+                seen_on_path.discard(id(node))
+                stack.pop()
+
+            self._conn.execute(
+                "DELETE FROM composition WHERE mm = ?", (name,)
+            )
+            insert = (
+                "INSERT INTO composition (mm, pre, post, level, path,"
+                " label, obj_name, is_leaf, start_num, start_den,"
+                " end_num, end_den, start_approx, end_approx)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+            )
+            for begin in range(0, len(rows), 50_000):
+                self._conn.executemany(insert, rows[begin:begin + 50_000])
+            self._conn.execute(
+                "INSERT OR REPLACE INTO composition_meta"
+                " (mm, version, rows, max_dur) VALUES (?, ?, ?, ?)",
+                (name, multimedia.version, len(rows), max_dur),
+            )
+            self._wrote("composition", name, rows=len(rows))
+
+    # -- object selection ----------------------------------------------------------
+
+    def object_names(self, kind: Any = None, media_type: str | None = None,
+                     attribute_filters: dict[str, Any] | None = None,
+                     ) -> list[str] | None:
+        """Names matching the filters, sorted — or ``None`` to fall back.
+
+        ``None`` is returned when a filter value has no canonical
+        encoding (arbitrary objects); the caller then runs the linear
+        oracle instead, so exotic values lose speed, never answers.
+        """
+        clauses: list[str] = []
+        params: list[Any] = []
+        equality: list[tuple[int, str, str]] = []
+        for key, value in (attribute_filters or {}).items():
+            encoded = encode_attribute(value)
+            if encoded is None or key in self._opaque_keys:
+                # Either the filter value or some stored value for this
+                # key has no canonical encoding; only Python ``==`` can
+                # judge those, so hand the query to the oracle.
+                self.fallback("objects", "unindexable-filter")
+                return None
+            if value is not None:
+                # Defer: the planner below orders equality filters by
+                # their exact match count from ``attr_stats``.
+                row = self._conn.execute(
+                    "SELECT n FROM attr_stats WHERE key = ? AND value = ?",
+                    (key, encoded),
+                ).fetchone()
+                count = row[0] if row is not None else 0
+                if count <= 0:
+                    # Nothing in the catalog carries this (key, value):
+                    # the answer is empty without touching a row.
+                    self._fastpath("objects")
+                    return []
+                equality.append((count, key, encoded))
+                continue
+            # Linear semantics: ``attributes.get(key)`` is None both
+            # for a stored None and for a missing key.
+            clauses.append(
+                "(EXISTS (SELECT 1 FROM attributes a WHERE"
+                " a.object_id = o.id AND a.key = ? AND a.value = ?)"
+                " OR NOT EXISTS (SELECT 1 FROM attributes a WHERE"
+                " a.object_id = o.id AND a.key = ?))"
+            )
+            params.extend((key, encoded, key))
+        if kind is not None:
+            clauses.append("o.kind = ?")
+            params.append(kind.value)
+        if media_type is not None:
+            clauses.append("o.media_type = ?")
+            params.append(media_type)
+        # The most selective equality filter drives the plan: the
+        # ``(key, value)`` index enumerates its matching object ids and
+        # each is one rowid lookup, so cost follows the smallest match
+        # count, not the catalog size. The rest become per-row probes.
+        for position, (_, key, encoded) in enumerate(sorted(equality)):
+            if position == 0:
+                clauses.insert(0, (
+                    "o.id IN (SELECT a.object_id FROM attributes a"
+                    " WHERE a.key = ? AND a.value = ?)"
+                ))
+                params[0:0] = (key, encoded)
+            else:
+                clauses.append(
+                    "EXISTS (SELECT 1 FROM attributes a WHERE"
+                    " a.object_id = o.id AND a.key = ? AND a.value = ?)"
+                )
+                params.extend((key, encoded))
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        with self._obs.tracer.span("query.index.select", op="objects"):
+            # Sorted in Python rather than ORDER BY: an ORDER BY tempts
+            # the planner into walking the whole name index instead of
+            # the selective attribute probe.
+            names = [row[0] for row in self._conn.execute(
+                f"SELECT o.name FROM objects o{where}", params,
+            )]
+        names.sort()
+        self._fastpath("objects")
+        return names
+
+    # -- temporal predicates ---------------------------------------------------------
+
+    def _level1_candidates(self, mm: str,
+                           window: Interval) -> list[tuple[str, Interval]]:
+        """Top-level components possibly intersecting ``window``.
+
+        The float B-tree range narrows: an intersecting component's
+        start lies in ``[window.start - max_dur, window.end]`` (padded
+        by the conservative margin). Exactness comes from re-checking
+        each candidate with the rational interval algebra.
+        """
+        meta = self._conn.execute(
+            "SELECT max_dur FROM composition_meta WHERE mm = ?", (mm,)
+        ).fetchone()
+        if meta is None:
+            raise QueryIndexError(f"multimedia {mm!r} is not indexed")
+        ws, we = _approx(window.start), _approx(window.end)
+        lo = ws - meta[0]
+        lo -= _margin(lo)
+        hi = we + _margin(we)
+        rows = self._conn.execute(
+            "SELECT label, start_num, start_den, end_num, end_den"
+            " FROM composition WHERE mm = ? AND level = 1"
+            " AND start_approx >= ? AND start_approx <= ?",
+            (mm, lo, hi),
+        ).fetchall()
+        candidates = [
+            (label, Interval(_rational(sn, sd), _rational(en, ed)))
+            for label, sn, sd, en, ed in rows
+        ]
+        candidates.sort(key=lambda item: (item[1].start, item[0]))
+        return candidates
+
+    def component_interval(self, mm: str, label: str) -> Interval:
+        """The exact top-level interval of one labelled component."""
+        row = self._conn.execute(
+            "SELECT start_num, start_den, end_num, end_den"
+            " FROM composition WHERE mm = ? AND level = 1 AND label = ?",
+            (mm, label),
+        ).fetchone()
+        if row is None:
+            raise QueryError(f"{mm!r} has no component {label!r}")
+        return Interval(_rational(row[0], row[1]), _rational(row[2], row[3]))
+
+    def components_overlapping(self, mm: str, label: str) -> list[str]:
+        """Labels of top-level components sharing time with ``label``."""
+        target = self.component_interval(mm, label)
+        with self._obs.tracer.span(
+            "query.index.select", op="overlapping", mm=mm,
+        ):
+            result = [
+                other for other, interval in self._level1_candidates(mm, target)
+                if other != label and interval.intersects(target)
+            ]
+        self._fastpath("overlapping")
+        return result
+
+    def components_during(self, mm: str, start, end) -> list[str]:
+        """Labels of top-level components intersecting ``[start, end)``."""
+        window = Interval(as_rational(start), as_rational(end))
+        with self._obs.tracer.span(
+            "query.index.select", op="during", mm=mm,
+        ):
+            result = [
+                label for label, interval in self._level1_candidates(mm, window)
+                if interval.intersects(window)
+            ]
+        self._fastpath("during")
+        return result
+
+    # -- composition axes --------------------------------------------------------------
+
+    def occurrences_of(self, object_name: str
+                       ) -> list[tuple[str, str, Interval]]:
+        """Every leaf placement of ``object_name`` across indexed trees.
+
+        The ancestor-flavoured axis query: "where does this clip
+        appear, and when". Returns ``(multimedia, path, interval)`` in
+        (multimedia name, document order), matching a flatten-based
+        linear walk.
+        """
+        with self._obs.tracer.span(
+            "query.index.select", op="occurrences", object=object_name,
+        ):
+            rows = self._conn.execute(
+                "SELECT mm, path, start_num, start_den, end_num, end_den"
+                " FROM composition WHERE obj_name = ? AND is_leaf = 1"
+                " ORDER BY mm, pre", (object_name,),
+            ).fetchall()
+        self._fastpath("occurrences")
+        return [
+            (mm, path, Interval(_rational(sn, sd), _rational(en, ed)))
+            for mm, path, sn, sd, en, ed in rows
+        ]
+
+    def component_descendants(self, mm: str, path: str = "") -> list[str]:
+        """Paths of every relationship below ``path``, document order.
+
+        The descendant axis as a pre/post range predicate: rows with
+        ``parent.pre < pre < parent.post``. An empty path addresses the
+        root (the whole tree).
+        """
+        row = self._conn.execute(
+            "SELECT pre, post FROM composition WHERE mm = ? AND path = ?",
+            (mm, path),
+        ).fetchone()
+        if row is None:
+            raise QueryError(f"{mm!r} has no component path {path!r}")
+        with self._obs.tracer.span(
+            "query.index.select", op="descendants", mm=mm,
+        ):
+            rows = self._conn.execute(
+                "SELECT path FROM composition"
+                " WHERE mm = ? AND pre > ? AND pre < ? ORDER BY pre",
+                (mm, row[0], row[1]),
+            ).fetchall()
+        self._fastpath("descendants")
+        return [r[0] for r in rows]
+
+    def component_ancestors(self, mm: str, path: str) -> list[str]:
+        """Paths of the containing compositions, root-first.
+
+        The ancestor axis: rows whose range brackets the node's.
+        """
+        row = self._conn.execute(
+            "SELECT pre, post FROM composition WHERE mm = ? AND path = ?",
+            (mm, path),
+        ).fetchone()
+        if row is None:
+            raise QueryError(f"{mm!r} has no component path {path!r}")
+        with self._obs.tracer.span(
+            "query.index.select", op="ancestors", mm=mm,
+        ):
+            rows = self._conn.execute(
+                "SELECT path FROM composition"
+                " WHERE mm = ? AND pre < ? AND post > ? AND level > 0"
+                " ORDER BY pre", (mm, row[0], row[1]),
+            ).fetchall()
+        self._fastpath("ancestors")
+        return [r[0] for r in rows]
+
+    # -- derivation axes ---------------------------------------------------------------
+
+    def ancestors_of(self, node: str) -> list[tuple[str, str, int]]:
+        """Transitive derivation inputs of ``node``: (node, name, depth).
+
+        Ordered nearest-first (min depth over occurrence pairs), ties
+        by name then node id.
+        """
+        self._ensure_provenance_occ()
+        with self._obs.tracer.span(
+            "query.index.select", op="lineage", node=node,
+        ):
+            rows = self._conn.execute(
+                "SELECT n.node, n.name, MIN(a.level - d.level) AS depth"
+                " FROM prov_occ a JOIN prov_occ d"
+                "   ON d.pre < a.pre AND d.post > a.post"
+                " JOIN prov_nodes n ON n.node = d.node"
+                " WHERE a.node = ?"
+                " GROUP BY n.node, n.name"
+                " ORDER BY depth, n.name, n.node", (node,),
+            ).fetchall()
+        self._fastpath("lineage")
+        return [(n, name, depth) for n, name, depth in rows]
+
+    def descendants_of(self, node: str) -> list[tuple[str, str, int]]:
+        """Objects transitively derived from ``node``: (node, name, depth)."""
+        self._ensure_provenance_occ()
+        with self._obs.tracer.span(
+            "query.index.select", op="derived_from", node=node,
+        ):
+            rows = self._conn.execute(
+                "SELECT n.node, n.name, MIN(d.level - a.level) AS depth"
+                " FROM prov_occ a JOIN prov_occ d"
+                "   ON d.pre > a.pre AND d.pre < a.post"
+                " JOIN prov_nodes n ON n.node = d.node"
+                " WHERE a.node = ?"
+                " GROUP BY n.node, n.name"
+                " ORDER BY depth, n.name, n.node", (node,),
+            ).fetchall()
+        self._fastpath("derived_from")
+        return [(n, name, depth) for n, name, depth in rows]
+
+    # -- rollups -----------------------------------------------------------------------
+
+    def duration_rollup(self, mm: str) -> list[dict[str, Any]]:
+        """Window-function duration statistics over top-level components.
+
+        Per component: duration, rank by duration, share of the summed
+        component time, and running coverage in timeline order. Floats
+        (these are statistics, not predicates).
+        """
+        rows = self._conn.execute(
+            "SELECT label,"
+            "  end_approx - start_approx AS dur,"
+            "  RANK() OVER (ORDER BY end_approx - start_approx DESC,"
+            "               label) AS rank,"
+            "  (end_approx - start_approx) /"
+            "    NULLIF(SUM(end_approx - start_approx) OVER (), 0)"
+            "    AS share,"
+            "  SUM(end_approx - start_approx) OVER ("
+            "    ORDER BY start_approx, label"
+            "    ROWS UNBOUNDED PRECEDING) AS running"
+            " FROM composition WHERE mm = ? AND level = 1"
+            " ORDER BY rank", (mm,),
+        ).fetchall()
+        self._fastpath("duration_rollup")
+        return [
+            {"label": label, "duration": dur, "rank": rank,
+             "share": share if share is not None else 0.0,
+             "running": running}
+            for label, dur, rank, share, running in rows
+        ]
+
+    def fidelity_rollup(self) -> list[dict[str, Any]]:
+        """Per kind/media-type census with quality and duration stats.
+
+        ``RANK() OVER (PARTITION BY kind ...)`` orders media types
+        within each kind by mean quality factor — "retrieve frames at a
+        specific visual fidelity" as a catalog-wide statistic.
+        """
+        rows = self._conn.execute(
+            "SELECT kind, media_type, COUNT(*) AS n,"
+            "  AVG(quality) AS mean_quality,"
+            "  SUM(COALESCE(duration, 0)) AS total_duration,"
+            "  CAST(COUNT(*) AS REAL) /"
+            "    SUM(COUNT(*)) OVER (PARTITION BY kind) AS kind_share,"
+            "  RANK() OVER (PARTITION BY kind"
+            "    ORDER BY AVG(quality) DESC NULLS LAST,"
+            "             media_type) AS quality_rank"
+            " FROM objects GROUP BY kind, media_type"
+            " ORDER BY kind, media_type",
+        ).fetchall()
+        self._fastpath("fidelity_rollup")
+        return [
+            {"kind": kind, "media_type": mt, "objects": n,
+             "mean_quality": mq, "total_duration": td,
+             "kind_share": share, "quality_rank": rank}
+            for kind, mt, n, mq, td, share, rank in rows
+        ]
+
+    # -- census ------------------------------------------------------------------------
+
+    def census(self) -> dict[str, Any]:
+        """Row counts, relation/index inventory, size and write state."""
+        tables = ("objects", "attributes", "attr_stats", "prov_nodes",
+                  "prov_edges", "prov_occ", "composition",
+                  "composition_meta")
+        counts = {
+            table: self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()[0]
+            for table in tables
+        }
+        indexes = [row[0] for row in self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+            " AND name LIKE 'idx_%' ORDER BY name"
+        )]
+        page_count = self._conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = self._conn.execute("PRAGMA page_size").fetchone()[0]
+        return {
+            "path": self.path,
+            "rows": counts,
+            "indexes": indexes,
+            "size_bytes": page_count * page_size,
+            "provenance_dirty": self._prov_dirty,
+            "writes": self._write_seq,
+            "last_write": self.last_write,
+        }
+
+
+def _composition_row(mm: str, pre: int, post: int, level: int, path: str,
+                     label: str, obj_name: str | None, is_leaf: int,
+                     interval: Interval) -> tuple:
+    start = Fraction(interval.start)
+    end = Fraction(interval.end)
+    return (
+        mm, pre, post, level, path, label, obj_name, is_leaf,
+        start.numerator, start.denominator, end.numerator, end.denominator,
+        _approx(start), _approx(end),
+    )
+
+
+def _stat_float(value: Any) -> float | None:
+    """Best-effort float for the statistics columns (never predicates)."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+# -- dual-backend correctness harness ------------------------------------------------
+
+
+def demonstrate_correctness(seed: int = 0, objects: int = 96,
+                            components: int = 64, windows: int = 24,
+                            mutations: int = 16) -> dict[str, Any]:
+    """Prove the indexed and linear backends answer identically.
+
+    Builds a seeded randomized catalog (attribute-rich objects, a
+    derivation chain, a nested composition with instants, duplicate
+    starts and contained intervals), then runs every dual-backend query
+    through both paths and insists on *byte-identical* result sets —
+    same names, same order — including after ``set_attribute``
+    mutations. Returns a report dict; ``report["ok"]`` is the gate.
+    """
+    import numpy as np
+
+    from repro.core.composition import MultimediaObject
+    from repro.query.database import MediaDatabase
+
+    rng = np.random.default_rng(seed)
+
+    def pick(seq):
+        return seq[int(rng.integers(len(seq)))]
+
+    db = MediaDatabase(f"correctness-{seed}", index=True)
+    genres = ("drama", "news", "sport", "music", "archive")
+    langs = ("en", "de", "fr", None)
+
+    for i in range(objects):
+        obj = _cheap_still(f"obj-{i:04d}")
+        db.add_object(
+            obj,
+            genre=pick(genres),
+            year=int(rng.integers(1990, 2000)),
+            rating=pick((1, 2, 3, True, 4.5)),
+            language=pick(langs),
+        )
+
+    # A small derivation chain for the lineage axes.
+    chain = _derivation_chain(db, length=6)
+
+    mm = MultimediaObject("random-timeline")
+    shared = _cheap_still("shared-leaf")
+    nested = MultimediaObject("nested")
+    nested.add_temporal(shared, at=0, duration=Rational(1, 2), label="inner-a")
+    nested.add_temporal(shared, at=Rational(1, 4), duration=0,
+                        label="inner-instant")
+    mm.add_temporal(nested, at=1, label="nested")
+    for i in range(components):
+        start = Rational(int(rng.integers(0, 41)), pick((1, 2, 3, 4)))
+        duration = Rational(int(rng.integers(0, 13)), pick((1, 2, 3)))
+        mm.add_temporal(shared, at=start, duration=duration,
+                        label=f"c{i:03d}")
+    db.add_multimedia(mm)
+
+    report: dict[str, Any] = {"seed": seed, "checks": 0, "disagreements": []}
+
+    def compare(what: str, indexed, linear) -> None:
+        report["checks"] += 1
+        if indexed != linear:
+            report["disagreements"].append(
+                {"query": what, "indexed": indexed, "linear": linear}
+            )
+
+    def sweep(round_label: str) -> None:
+        for genre in genres:
+            compare(
+                f"{round_label} objects(genre={genre})",
+                [o.name for o in db.objects(backend="index", genre=genre)],
+                [o.name for o in db.objects(backend="linear", genre=genre)],
+            )
+        for year in (1990, 1994, 1999):
+            compare(
+                f"{round_label} objects(year={year}, rating=1)",
+                [o.name for o in db.objects(backend="index", year=year,
+                                            rating=1)],
+                [o.name for o in db.objects(backend="linear", year=year,
+                                            rating=1)],
+            )
+        compare(
+            f"{round_label} objects(language=None)",
+            [o.name for o in db.objects(backend="index", language=None)],
+            [o.name for o in db.objects(backend="linear", language=None)],
+        )
+
+    sweep("initial")
+
+    labels = [label for label, _ in mm.timeline()]
+    sampled = rng.choice(len(labels), size=min(12, len(labels)),
+                         replace=False)
+    for label in (labels[int(i)] for i in sampled):
+        compare(
+            f"overlapping({label})",
+            db.components_overlapping("random-timeline", label,
+                                      backend="index"),
+            db.components_overlapping("random-timeline", label,
+                                      backend="linear"),
+        )
+    for _ in range(windows):
+        a = Rational(int(rng.integers(0, 51)), pick((1, 2, 4)))
+        b = a + Rational(int(rng.integers(0, 11)), pick((1, 2)))
+        compare(
+            f"during([{a}, {b}))",
+            db.components_during("random-timeline", a, b, backend="index"),
+            db.components_during("random-timeline", a, b, backend="linear"),
+        )
+    compare(
+        "occurrences_of(shared-leaf)",
+        db.occurrences_of("shared-leaf", backend="index"),
+        db.occurrences_of("shared-leaf", backend="linear"),
+    )
+    compare(
+        "component_descendants(root)",
+        db.component_descendants("random-timeline", backend="index"),
+        db.component_descendants("random-timeline", backend="linear"),
+    )
+    compare(
+        "component_descendants(nested)",
+        db.component_descendants("random-timeline", "nested",
+                                 backend="index"),
+        db.component_descendants("random-timeline", "nested",
+                                 backend="linear"),
+    )
+    compare(
+        f"lineage({chain[-1]})",
+        [o.name for o in db.lineage(chain[-1], backend="index")],
+        [o.name for o in db.lineage(chain[-1], backend="linear")],
+    )
+    compare(
+        f"derived_from({chain[0]})",
+        [o.name for o in db.derived_from(chain[0], backend="index")],
+        [o.name for o in db.derived_from(chain[0], backend="linear")],
+    )
+
+    # Mutations must write through: mutate, then re-compare.
+    for i in range(mutations):
+        name = f"obj-{int(rng.integers(objects)):04d}"
+        db.set_attribute(name, "genre", pick(genres))
+        db.set_attribute(name, "restored", bool(i % 2))
+    sweep("post-mutation")
+    compare(
+        "objects(restored=True)",
+        [o.name for o in db.objects(backend="index", restored=True)],
+        [o.name for o in db.objects(backend="linear", restored=True)],
+    )
+
+    report["ok"] = not report["disagreements"]
+    return report
+
+
+def _cheap_still(name: str):
+    """A minimal cataloguable still object (shared type/descriptor)."""
+    from repro.core.media_object import StillMediaObject
+    from repro.core.media_types import media_type_registry
+
+    media_type = media_type_registry.get("text")
+    descriptor = media_type.make_media_descriptor(charset="utf-8")
+    return StillMediaObject(media_type, descriptor, name, name=name)
+
+
+def _derivation_chain(db, length: int = 6) -> list[str]:
+    """Catalog a cut-of-a-cut derivation chain; returns names, root first."""
+    from repro.edit import MediaEditor
+    from repro.media import frames
+    from repro.media.objects import video_object
+
+    editor = MediaEditor()
+    clip = video_object(frames.scene(8, 8, 12, "pan"), "chain-root")
+    db.add_object(clip, genre="archive")
+    names = ["chain-root"]
+    current = clip
+    for i in range(length):
+        current = editor.cut(current, 0, max(2, 12 - i),
+                             name=f"chain-cut-{i}")
+        db.add_object(current, genre="archive")
+        names.append(current.name)
+    return names
+
+
+__all__ = [
+    "TemporalIndex",
+    "demonstrate_correctness",
+    "encode_attribute",
+]

@@ -20,6 +20,11 @@ any ERROR-level finding, so CI can gate on it:
   its owning shard mid-batch to an injected crash; the kill must be
   absorbed by checkpoint-backed failover with every displaced session
   accounted exactly once and the deadline-miss SLO still green;
+* ``--query`` runs the dual-backend agreement smoke: seeded randomized
+  catalogs are queried through both the relational temporal index and
+  the linear oracle, and every result set (selections, temporal
+  predicates, composition axes, lineage — including after
+  ``set_attribute`` mutations) must be byte-identical;
 * ``--style`` and ``--types`` invoke ``ruff`` and ``mypy`` when they
   are installed, and are skipped (without failing) when they are not —
   the in-tree engines above carry the gate either way.
@@ -168,6 +173,32 @@ def run_fleet() -> tuple[bool, str]:
     )
 
 
+def run_query(seeds: tuple[int, ...] = (0, 1, 2)) -> tuple[bool, str]:
+    """The dual-backend agreement smoke; ``(passed, rendered summary)``.
+
+    Each seed builds a randomized catalog behind ``MediaDatabase(
+    index=True)`` and replays every dual-backend query through both the
+    indexed and linear paths; any disagreement fails the stage.
+    """
+    from repro.query.index import demonstrate_correctness
+
+    rows = []
+    passed = True
+    for seed in seeds:
+        report = demonstrate_correctness(seed=seed)
+        rows.append((
+            str(seed), str(report["checks"]),
+            str(len(report["disagreements"])),
+            "ok" if report["ok"] else "FAIL",
+        ))
+        if not report["ok"]:
+            passed = False
+    return passed, table_text(
+        ("seed", "checks", "disagreements", "result"), rows,
+        title="dual-backend agreement smoke (indexed vs linear oracle)",
+    )
+
+
 def run_external(tool: str, arguments: list[str]) -> tuple[str, str]:
     """Run an optional external tool; ``(status, detail)``.
 
@@ -215,6 +246,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fleet", action="store_true",
                         help="run the fleet failover smoke: 3 shards, "
                              "mid-serve shard kill, SLO must stay green")
+    parser.add_argument("--query", action="store_true",
+                        help="run the dual-backend agreement smoke: "
+                             "indexed vs linear answers must match")
     parser.add_argument("--style", action="store_true",
                         help="run ruff if installed (skipped otherwise)")
     parser.add_argument("--types", action="store_true",
@@ -233,12 +267,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = {
-        stage for stage in ("graph", "lint", "crash", "fleet", "style",
-                            "types")
+        stage for stage in ("graph", "lint", "crash", "fleet", "query",
+                            "style", "types")
         if getattr(args, stage)
     }
     if args.all or not selected:
-        selected = {"graph", "lint", "crash", "fleet", "style", "types"}
+        selected = {"graph", "lint", "crash", "fleet", "query", "style",
+                    "types"}
     ignore = tuple(args.ignore)
 
     failed = []
@@ -264,6 +299,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not fleet_ok:
             failed.append("fleet")
+
+    if "query" in selected:
+        query_ok, query_text = run_query()
+        print(query_text)
+        print()
+        if not query_ok:
+            failed.append("query")
 
     src_root = str(Path(__file__).resolve().parents[2])
     external = {

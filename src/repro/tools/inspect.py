@@ -31,6 +31,11 @@ interpretation and prints its findings; the exit code turns non-zero
 on any ERROR-level diagnostic, so a broken container is caught before
 anything tries to play it.
 
+``--index`` catalogs the container into an indexed
+:class:`~repro.query.database.MediaDatabase` and prints the relational
+temporal index's census: per-relation row counts, the index inventory,
+on-disk size and the last write-through.
+
 ``--wal`` treats the path as a write-ahead-log *directory* instead of
 a container and prints the log's state — segments, record counts,
 committed transactions, and whether the tail is torn — without
@@ -212,6 +217,29 @@ def fleet_census_text(interpretation: Interpretation, bandwidth: int,
     return census + "\n\n" + health.summary()
 
 
+def index_census_text(interpretation: Interpretation) -> str:
+    """Catalog the container behind a relational index; print its census."""
+    from repro.query.database import MediaDatabase
+
+    db = MediaDatabase(f"{interpretation.name}-catalog", index=True)
+    db.add_interpretation(interpretation)
+    census = db.index.census()
+    rows = [
+        (relation, count)
+        for relation, count in sorted(census["rows"].items())
+    ]
+    rows.append(("(total writes)", census["writes"]))
+    seq, op, detail = census["last_write"] or (0, "-", "-")
+    rows.append(("(last write-through)", f"#{seq} {op} {detail}"))
+    rows.append(("(size bytes)", census["size_bytes"]))
+    relations = table_text(
+        ("relation", "rows"), rows,
+        title=f"temporal index census for {interpretation.name!r}",
+    )
+    indexes = "indexes: " + ", ".join(census["indexes"])
+    return relations + "\n" + indexes
+
+
 def health_text(server: VodServer, obs: Observability) -> str:
     """The server's health summary, stage profile and recent events."""
     parts = [server.health().summary()]
@@ -254,6 +282,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verify", action="store_true",
                         help="run the static graph checker over the "
                              "container and fail on any error finding")
+    parser.add_argument("--index", action="store_true",
+                        help="catalog the container behind the relational "
+                             "temporal index and print its census")
     parser.add_argument("--wal", action="store_true",
                         help="treat PATH as a write-ahead-log directory "
                              "and print its state")
@@ -295,6 +326,9 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not report.ok:
             return 1
+    if args.index:
+        print(index_census_text(interpretation))
+        print()
     if args.table:
         print(placement_table_text(interpretation, args.table))
         print()

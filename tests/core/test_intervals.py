@@ -129,3 +129,45 @@ class TestAggregates:
 
     def test_total_covered_unsorted_input(self):
         assert total_covered([iv(4, 6), iv(0, 2), iv(1, 5)]) == 6
+
+
+class TestInstantRelations:
+    """Instants must classify consistently with ``intersects``.
+
+    The regression fixed here: an instant at another interval's start
+    used to classify as MEETS (a disjoint relation) even though
+    ``intersects`` says the pair shares time.
+    """
+
+    def test_instant_at_start_starts(self):
+        assert relate(iv(1, 1), iv(1, 4)) is IntervalRelation.STARTS
+        assert relate(iv(1, 4), iv(1, 1)) is IntervalRelation.STARTED_BY
+
+    def test_instant_inside_is_during(self):
+        assert relate(iv(2, 2), iv(1, 4)) is IntervalRelation.DURING
+        assert relate(iv(1, 4), iv(2, 2)) is IntervalRelation.CONTAINS
+
+    def test_instant_at_end_is_met_by(self):
+        # [1, 4) does not present time 4, so the pair is disjoint and
+        # adjacent: the instant is met by the interval.
+        assert relate(iv(4, 4), iv(1, 4)) is IntervalRelation.MET_BY
+        assert relate(iv(1, 4), iv(4, 4)) is IntervalRelation.MEETS
+
+    def test_equal_instants(self):
+        assert relate(iv(3, 3), iv(3, 3)) is IntervalRelation.EQUAL
+
+    def test_adjacent_instants(self):
+        assert relate(iv(1, 1), iv(2, 2)) is IntervalRelation.BEFORE
+        assert relate(iv(2, 2), iv(1, 1)) is IntervalRelation.AFTER
+
+    @pytest.mark.parametrize("a,b", [
+        (iv(1, 1), iv(1, 4)), (iv(2, 2), iv(1, 4)), (iv(4, 4), iv(1, 4)),
+        (iv(0, 0), iv(1, 4)), (iv(3, 3), iv(3, 3)), (iv(0, 2), iv(2, 5)),
+    ])
+    def test_relate_agrees_with_intersects(self, a, b):
+        disjoint = {
+            IntervalRelation.BEFORE, IntervalRelation.AFTER,
+            IntervalRelation.MEETS, IntervalRelation.MET_BY,
+        }
+        assert (relate(a, b) in disjoint) == (not a.intersects(b))
+        assert relate(a, b).inverse is relate(b, a)

@@ -84,3 +84,125 @@ class TestIngestDirectory:
         db = MediaDatabase("clips")
         assert db.ingest_directory(tmp_path / "nothing_here",
                                    pattern="*.rmf") == []
+
+
+@pytest.fixture
+def broken_directory(tmp_path):
+    """Valid, corrupt, valid — sorted ingest hits the corruption mid-run."""
+    for stem, kind in (("aaa", "orbit"), ("ccc", "cut")):
+        video = video_object(frames.scene(24, 16, 4, kind), "video1")
+        interpretation = Recorder(MemoryBlob()).record([video])
+        write_container(interpretation, tmp_path / f"{stem}.rmf")
+    (tmp_path / "bbb.rmf").write_bytes(b"this is not a container")
+    return tmp_path
+
+
+class TestIngestAtomicity:
+    def test_failure_is_per_file_atomic(self, broken_directory):
+        """A corrupt file fails its own ingest and nothing else:
+        earlier files stay cataloged, the failing file leaves zero
+        partial state."""
+        from repro.errors import MediaModelError
+
+        db = MediaDatabase("clips")
+        with pytest.raises(MediaModelError):
+            db.ingest_directory(broken_directory)
+        assert db.interpretations() == ["aaa"]
+        assert "aaa/video1" in db
+        assert "bbb/video1" not in db
+        assert not any(name.startswith("bbb") for name in db.interpretations())
+
+    def test_object_collision_leaves_no_partial_state(self, clip_directory):
+        """A name collision detected mid-file rolls the file back to
+        nothing: no interpretation, no subset of its objects."""
+        db = MediaDatabase("clips")
+        db.add_object(
+            video_object(frames.scene(8, 8, 2, "orbit"), "clip0/video1")
+        )
+        with pytest.raises(CatalogError, match="already cataloged"):
+            db.ingest_directory(clip_directory)
+        assert db.interpretations() == []
+
+    def test_retry_after_failure_resumes_cleanly(self, broken_directory):
+        """Re-running after fixing the bad file ingests only the
+        missing files — no double-prefixed names, no duplicates."""
+        from repro.errors import MediaModelError
+
+        db = MediaDatabase("clips")
+        with pytest.raises(MediaModelError):
+            db.ingest_directory(broken_directory)
+        (broken_directory / "bbb.rmf").unlink()
+        with pytest.raises(CatalogError, match="already"):
+            db.ingest_directory(broken_directory)
+        # Only the already-ingested file blocks; a scoped retry of the
+        # remaining file succeeds with clean names.
+        added = db.ingest_directory(broken_directory, pattern="ccc.rmf")
+        assert added == ["ccc"]
+        assert sorted(n for n in db.interpretations()) == ["aaa", "ccc"]
+        assert "ccc/video1" in db
+        assert "ccc/ccc/video1" not in db
+
+
+class TestIngestCopyOnRename:
+    def test_source_container_is_not_mutated(self, clip_directory):
+        """Ingest renames a private copy; reloading the file still
+        yields the original names."""
+        from repro.storage.container import read_container
+
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        source = read_container(clip_directory / "clip0.rmf")
+        assert source.names() == ["video1"]
+        assert [o.name for o in source.media_objects()] == ["video1"]
+
+    def test_ingested_interpretation_named_after_stem(self, clip_directory):
+        db = MediaDatabase("clips")
+        db.ingest_directory(clip_directory)
+        assert db.get_interpretation("clip0").name == "clip0"
+        assert db.get_interpretation("clip0").names() == ["video1"]
+
+
+class TestIngestVerifyAndObservability:
+    def test_verify_gate_accepts_clean_containers(self, clip_directory):
+        db = MediaDatabase("clips")
+        added = db.ingest_directory(clip_directory, verify=True)
+        assert added == ["clip0", "clip1", "voiceover"]
+
+    def test_ingest_counters(self, clip_directory):
+        from repro.obs import Observability
+
+        obs = Observability()
+        db = MediaDatabase("clips", obs=obs)
+        db.ingest_directory(clip_directory)
+        assert obs.metrics.counter("query.ingest.files").total() == 3
+        assert obs.metrics.counter("query.ingest.objects").total() == 3
+
+    def test_failure_counter(self, broken_directory):
+        from repro.errors import MediaModelError
+        from repro.obs import Observability
+
+        obs = Observability()
+        db = MediaDatabase("clips", obs=obs)
+        with pytest.raises(MediaModelError):
+            db.ingest_directory(broken_directory)
+        assert obs.metrics.counter("query.ingest.failures").total() == 1
+
+    def test_ingested_interpretations_are_instrumented(self, clip_directory):
+        from repro.obs import Observability
+
+        obs = Observability()
+        db = MediaDatabase("clips", obs=obs)
+        db.ingest_directory(clip_directory)
+        db.get_interpretation("clip0").materialize("video1")
+        assert obs.metrics.counter(
+            "core.interpretation.materializations"
+        ).total() == 1
+
+    def test_write_through_to_index(self, clip_directory):
+        db = MediaDatabase("clips", index=True)
+        db.ingest_directory(clip_directory)
+        indexed = [o.name for o in db.objects(backend="index",
+                                              interpretation="clip0")]
+        linear = [o.name for o in db.objects(backend="linear",
+                                             interpretation="clip0")]
+        assert indexed == linear == ["clip0/video1"]

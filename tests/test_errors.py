@@ -44,4 +44,4 @@ class TestHierarchy:
     def test_count_is_stable(self):
         """The hierarchy is part of the public API; additions are fine
         but should be deliberate (update this count when extending)."""
-        assert len(all_error_classes()) == 34
+        assert len(all_error_classes()) == 35

@@ -56,3 +56,19 @@ class TestCrashStage:
         assert "crash matrix [page-store]" in out
         assert "0 failures" in out
         assert "check passed" in out
+
+
+class TestQueryStage:
+    def test_query_stage_passes(self, capsys):
+        assert main(["--query"]) == 0
+        out = capsys.readouterr().out
+        assert "dual-backend agreement smoke" in out
+        assert "check passed" in out
+
+    def test_query_stage_reports_per_seed_rows(self, capsys):
+        from repro.tools.check import run_query
+
+        passed, text = run_query(seeds=(7,))
+        assert passed
+        assert "7" in text
+        assert "ok" in text

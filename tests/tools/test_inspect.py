@@ -107,3 +107,12 @@ class TestWalInspection:
     def test_missing_wal_directory_fails(self, tmp_path, capsys):
         assert main([str(tmp_path / "absent"), "--wal"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestIndexCensus:
+    def test_index_census_output(self, container_path, capsys):
+        assert main([container_path, "--index"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal index census" in out
+        assert "objects" in out
+        assert "writes" in out
