@@ -3,21 +3,27 @@
 Benchmarks regenerate the paper's tables and figures. Each benchmark
 registers its rendered table with the ``report`` fixture; the collected
 tables are printed in the terminal summary (so they survive pytest's
-output capture) and written to ``benchmarks/results/``.
+output capture) and written to ``benchmarks/results/``. Numeric
+readings registered with :meth:`BenchReport.metric` are additionally
+written machine-readably as ``BENCH_<experiment>.json`` next to the
+text tables, which is what ``tools.check --bench-compare`` diffs
+against a saved baseline.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _collected: list[tuple[str, str]] = []
+_collected_json: dict[str, dict[str, float]] = {}
 
 
 class BenchReport:
-    """Collects rendered tables keyed by experiment id."""
+    """Collects rendered tables and numeric metrics per experiment id."""
 
     def add(self, experiment_id: str, text: str) -> None:
         _collected.append((experiment_id, text))
@@ -34,6 +40,15 @@ class BenchReport:
                    [(name, str(value)) for name, value in pairs],
                    title=title)
 
+    def metric(self, experiment_id: str, name: str, value) -> None:
+        """Register one machine-readable reading for the experiment.
+
+        Lands in ``results/BENCH_<experiment_id>.json``; name metrics
+        containing ``per_second``/``throughput`` gate the
+        ``--bench-compare`` regression check.
+        """
+        _collected_json.setdefault(experiment_id, {})[name] = float(value)
+
 
 @pytest.fixture
 def report() -> BenchReport:
@@ -48,9 +63,20 @@ def pytest_collection_modifyitems(config, items):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _collected:
+    if not _collected and not _collected_json:
         return
     os.makedirs(_RESULTS_DIR, exist_ok=True)
+    for experiment_id in sorted(_collected_json):
+        path = os.path.join(_RESULTS_DIR, f"BENCH_{experiment_id}.json")
+        with open(path, "w") as handle:
+            json.dump(
+                {"experiment": experiment_id,
+                 "metrics": _collected_json[experiment_id]},
+                handle, sort_keys=True, indent=2,
+            )
+            handle.write("\n")
+    if not _collected:
+        return
     terminalreporter.section("paper tables and figures (reproduced)")
     written: set[str] = set()
     for experiment_id, text in _collected:

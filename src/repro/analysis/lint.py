@@ -24,6 +24,12 @@ linter makes those promises checkable:
   :mod:`repro.durability.fs` (the single raw-IO funnel), so every
   mutation can be crash-tested through the simulated medium and the
   WAL/atomic-commit helpers.
+* **LN008** — flight-recorder events carry a simulated-clock
+  timestamp: an ``at=`` keyword whose value is a wall-clock call is
+  banned everywhere, and modules in :data:`SIMCLOCK_EVENT_MODULES`
+  (which emit outside any recorder-installed clock scope) must pass
+  ``at=`` explicitly so their events never fall back to the logical
+  tick counter mid-serve.
 
 Pure ``ast`` — nothing is imported or executed, so linting the codebase
 cannot perturb it.
@@ -58,6 +64,14 @@ RNG_ALLOWLIST: frozenset[str] = frozenset({
 #: commit, or a Filesystem handle) so the crash matrix can intercept it.
 RAW_WRITE_ALLOWLIST: frozenset[str] = frozenset({
     "repro/durability/fs.py",
+})
+
+#: Modules whose flight-recorder emissions must pass ``at=`` explicitly
+#: (LN008): they record during a simulated run but outside any
+#: recorder-installed clock scope, so an omitted timestamp would
+#: silently mix logical ticks into a simulated-time series.
+SIMCLOCK_EVENT_MODULES: frozenset[str] = frozenset({
+    "repro/obs/telemetry.py",
 })
 
 #: Builtin raises that stay legitimate: abstract methods and iterator
@@ -99,6 +113,9 @@ for _rule, _title, _sev, _doc in (
     ("LN007", "raw write bypasses the durability layer", Severity.ERROR,
      "A builtin open() with a write mode outside repro.durability.fs; "
      "such writes are invisible to the crash matrix."),
+    ("LN008", "wall-clock event timestamp", Severity.ERROR,
+     "A flight-recorder record() stamps at= from a wall clock, or a "
+     "module required to pass simulated time omits at= entirely."),
 ):
     rule_registry.register(_rule, _title, _sev, engine="lint", doc=_doc)
 
@@ -134,6 +151,9 @@ def _is_severity_expression(node: ast.AST) -> bool:
         return node.attr == "severity"
     if isinstance(node, ast.Name):
         return "severity" in node.id.lower()
+    if isinstance(node, ast.Subscript):
+        # a lookup in a severity table, e.g. _TRANSITION_SEVERITY[state]
+        return _is_severity_expression(node.value)
     if isinstance(node, ast.Call):
         _, method = _call_name(node)
         return method == "coerce"
@@ -151,6 +171,8 @@ class _FileLinter(ast.NodeVisitor):
         self.allow_wallclock = location in WALLCLOCK_ALLOWLIST
         self.allow_rng = location in RNG_ALLOWLIST
         self.allow_raw_write = location in RAW_WRITE_ALLOWLIST
+        self.require_event_at = location in SIMCLOCK_EVENT_MODULES
+        self._function_stack: list[str] = []
 
     def _emit(self, rule: str, line: int, message: str, hint: str) -> None:
         if rule in self.ignore:
@@ -232,6 +254,26 @@ class _FileLinter(ast.NodeVisitor):
                     "pass a Severity (e.g. Severity.WARNING) as the "
                     "first argument",
                 )
+            at = next((kw.value for kw in node.keywords
+                       if kw.arg == "at"), None)
+            if isinstance(at, ast.Call) \
+                    and _call_name(at) in _WALLCLOCK_CALLS:
+                self._emit(
+                    "LN008", node.lineno,
+                    "flight-recorder record() stamps at= from a wall "
+                    "clock",
+                    "pass the simulated clock (loop.clock.now()) or a "
+                    "logical tick instead",
+                )
+            elif at is None and self.require_event_at:
+                self._emit(
+                    "LN008", node.lineno,
+                    "flight-recorder record() without an explicit "
+                    "simulated-clock at=",
+                    "this module emits outside a recorder clock scope; "
+                    "pass at=<simulated time> so events never fall "
+                    "back to logical ticks",
+                )
         self.generic_visit(node)
 
     @staticmethod
@@ -268,8 +310,17 @@ class _FileLinter(ast.NodeVisitor):
             name = exc.func.id
         elif isinstance(exc, ast.Name):
             name = exc.id
+        # PEP 562 module __getattr__ (and class __getattribute__) MUST
+        # raise a genuine AttributeError for hasattr/import machinery
+        protocol_raise = (
+            name == "AttributeError"
+            and self._function_stack
+            and self._function_stack[-1] in ("__getattr__",
+                                             "__getattribute__")
+        )
         if name in _BUILTIN_EXCEPTIONS \
-                and name not in SANCTIONED_BUILTIN_RAISES:
+                and name not in SANCTIONED_BUILTIN_RAISES \
+                and not protocol_raise:
             self._emit(
                 "LN003", node.lineno,
                 f"raises builtin {name}; library errors use the "
@@ -303,11 +354,15 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
 
 def _public_bindings(tree: ast.Module) -> set[str]:
@@ -450,6 +505,7 @@ __all__ = [
     "RAW_WRITE_ALLOWLIST",
     "RNG_ALLOWLIST",
     "SANCTIONED_BUILTIN_RAISES",
+    "SIMCLOCK_EVENT_MODULES",
     "WALLCLOCK_ALLOWLIST",
     "lint_paths",
     "lint_repo",

@@ -59,6 +59,7 @@ from repro.obs.slo import SloVerdict, worst_verdicts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.derivations import DerivationCache
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["Fleet", "FleetHealth", "place"]
 
@@ -112,10 +113,17 @@ class FleetHealth:
     rejected: int
     recovered: int
     slo: tuple[SloVerdict, ...]
+    #: Fleet-wide burn-rate alert exports (every shard's, in shard
+    #: order) from the shared telemetry pipeline; empty without one.
+    alerts: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def firing_alerts(self) -> tuple[dict, ...]:
+        return tuple(a for a in self.alerts if a["state"] == "firing")
 
     def export(self) -> dict:
         return {
@@ -134,6 +142,7 @@ class FleetHealth:
             "rejected": self.rejected,
             "recovered": self.recovered,
             "slo": [v.export() for v in self.slo],
+            "alerts": list(self.alerts),
         }
 
     def summary(self) -> str:
@@ -147,6 +156,11 @@ class FleetHealth:
         ]
         for verdict in self.slo:
             lines.append(f"slo {verdict.summary()}")
+        for alert in self.alerts:
+            lines.append(
+                f"alert {alert['name']} [{alert['state']}] "
+                f"source={alert['source']}"
+            )
         for name in sorted(self.shards):
             marker = "live" if name in self.live else "DEAD"
             lines.append(
@@ -187,13 +201,18 @@ class Fleet:
                  plan_check: str = "check",
                  crash: dict[str, CrashInjector] | None = None,
                  checkpoint_fs=None,
-                 checkpoint_dir: str = "/fleet"):
+                 checkpoint_dir: str = "/fleet",
+                 telemetry: "Telemetry | None" = None):
         if shards < 1:
             raise EngineError("a fleet needs at least one shard")
         self.obs = NULL_OBS if obs is None else obs
         self.derivation_cache = derivation_cache
         self.checkpoint_fs = checkpoint_fs
         self.checkpoint_dir = checkpoint_dir.rstrip("/")
+        # One pipeline for the whole fleet: every shard scrapes into
+        # the same store under its own source name, so cross-shard
+        # rollups and the dashboard's heat row come from one place.
+        self._telemetry = telemetry
         crash = crash or {}
         unknown = sorted(set(crash) - {f"shard{i}" for i in range(shards)})
         if unknown:
@@ -209,6 +228,7 @@ class Fleet:
                 obs=(None if obs is None else self.obs.scoped(name)),
                 plan_check=plan_check,
                 crash=crash.get(name),
+                telemetry=telemetry,
             )
         self._live: list[str] = list(self._shards)
         self._reports: list[ServerReport] = []
@@ -527,6 +547,11 @@ class Fleet:
         slo = tuple(worst_verdicts(
             s.report.slo for report in self._reports for s in report.admitted
         ))
+        alerts: tuple[dict, ...] = ()
+        if self._telemetry is not None:
+            alerts = tuple(
+                alert.export() for alert in self._telemetry.alerts.all()
+            )
         dead = tuple(self.dead_shards)
         if (counts["failed"]
                 or any(h.status == "critical" for h in shard_health.values())
@@ -552,7 +577,13 @@ class Fleet:
             rejected=rejected,
             recovered=recovered,
             slo=slo,
+            alerts=alerts,
         )
+
+    @property
+    def telemetry(self) -> "Telemetry | None":
+        """The shared telemetry pipeline, when one was attached."""
+        return self._telemetry
 
     def __repr__(self) -> str:
         return (

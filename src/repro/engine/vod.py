@@ -47,9 +47,11 @@ from repro.obs.events import Severity
 from repro.obs.instrument import NULL_OBS, Observability
 from repro.obs.profile import profile_stages
 from repro.obs.slo import SloVerdict, worst_verdicts
+from repro.obs.tracing import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.derivations import DerivationCache
+    from repro.obs.telemetry import Telemetry
 
 #: Checkpoint payload format version; bump on incompatible changes.
 CHECKPOINT_VERSION = 1
@@ -318,10 +320,18 @@ class ServerHealth:
     cache_hit_ratios: dict[str, float]
     dominant_stage: str | None
     recent_critical: tuple[dict, ...]
+    #: Burn-rate alert exports from the attached telemetry pipeline
+    #: (empty without one). A currently-firing alert degrades status
+    #: even while sessions are still streaming.
+    alerts: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def firing_alerts(self) -> tuple[dict, ...]:
+        return tuple(a for a in self.alerts if a["state"] == "firing")
 
     def export(self) -> dict:
         return {
@@ -339,6 +349,7 @@ class ServerHealth:
             },
             "dominant_stage": self.dominant_stage,
             "recent_critical": list(self.recent_critical),
+            "alerts": list(self.alerts),
         }
 
     def summary(self) -> str:
@@ -356,12 +367,35 @@ class ServerHealth:
             )
         if self.dominant_stage is not None:
             lines.append(f"dominant stage: {self.dominant_stage}")
+        for alert in self.alerts:
+            lines.append(
+                f"alert {alert['name']} [{alert['state']}] "
+                f"source={alert['source']} "
+                f"burn={alert['burn_short']:.2f}/{alert['burn_long']:.2f}"
+            )
         for event in self.recent_critical:
             lines.append(
                 f"event [{event['severity']}] {event['component']} "
                 f"{event['name']} at={event['at']}"
             )
         return "\n".join(lines)
+
+
+def _trace_steps(obs: Observability, context: TraceContext, stepper):
+    """Wrap a player stepper so each step runs under ``context``.
+
+    The kernel interleaves many sessions' steps on one loop; pushing
+    the context only around ``next(stepper)`` (never across a yield)
+    keeps each session's spans and events stamped with its own trace
+    id. ``StopIteration.value`` — the session report — passes through.
+    """
+    while True:
+        with obs.trace(context):
+            try:
+                dt = next(stepper)
+            except StopIteration as stop:
+                return stop.value
+        yield dt
 
 
 class VodServer:
@@ -372,7 +406,8 @@ class VodServer:
                  derivation_cache: "DerivationCache | None" = None,
                  obs: Observability | None = None,
                  plan_check: str = "check",
-                 crash: CrashInjector | None = None):
+                 crash: CrashInjector | None = None,
+                 telemetry: "Telemetry | None" = None):
         """``bandwidth`` is outbound bytes/second; ``admission_margin``
         scales the admission test (1.2 keeps 20% headroom).
         ``derivation_cache`` is handed to every session's player so
@@ -392,7 +427,13 @@ class VodServer:
         ``crash`` is a :class:`~repro.faults.crash.CrashInjector` for
         the crash matrix: the server announces a crash point before
         each session and inside checkpoint writes, so the harness can
-        kill it at every step of a serve."""
+        kill it at every step of a serve.
+
+        ``telemetry`` is a :class:`~repro.obs.telemetry.Telemetry`
+        pipeline: when attached (and ``obs`` is live), every serve
+        batch schedules a repeating scrape on its event loop, sampling
+        the registry into the telemetry store and evaluating burn-rate
+        alerts mid-serve."""
         if bandwidth <= 0:
             raise EngineError("bandwidth must be positive")
         if admission_margin < 1.0:
@@ -411,6 +452,7 @@ class VodServer:
         self.obs = NULL_OBS if obs is None else obs
         self.plan_check = plan_check
         self.crash = crash or NULL_CRASH
+        self.telemetry = telemetry
         self._titles: dict[str, Interpretation] = {}
         self._plan_cache: dict[str, list] = {}
         self._reports: list[ServerReport] = []
@@ -857,49 +899,40 @@ class VodServer:
             for index, request in enumerate(admitted):
                 player = self._player_for(request, default_player, share, opts)
                 reads = self._plan_reads(player, request.title)
+                context = TraceContext.for_session(request.client,
+                                                   request.title)
 
-                def stepper_factory(player=player, reads=reads):
-                    return player.stepper(reads, share_factor=ledger.factor)
+                def stepper_factory(player=player, reads=reads,
+                                    context=context):
+                    stepper = player.stepper(reads,
+                                             share_factor=ledger.factor)
+                    if not self.obs.enabled:
+                        return stepper
+                    return _trace_steps(self.obs, context, stepper)
 
                 def on_start(machine):
                     self.crash.point("vod.serve.session")
 
-                def on_error(machine, exc, request=request, reads=reads):
-                    if machine.restarts > 0:
-                        failed.append(
-                            (request.client, request.title, str(exc))
+                def on_error(machine, exc, request=request, reads=reads,
+                             context=context):
+                    with self.obs.trace(context):
+                        return self._read_session_error(
+                            machine, exc, request, reads, ledger, share,
+                            opts, failed, context,
                         )
-                        self.obs.metrics.counter("vod.failed").inc()
-                        self.obs.events.record(
-                            Severity.CRITICAL, "vod.server",
-                            "session.failed", client=request.client,
-                            title=request.title, reason=str(exc),
-                        )
-                        return None
-                    self.obs.metrics.counter("vod.fallbacks").inc()
-                    self.obs.events.record(
-                        Severity.WARNING, "vod.server", "session.fallback",
-                        client=request.client, title=request.title,
-                    )
-                    fallback = self._fallback_player(
-                        share, opts.fault_plan,
-                        request.retry_policy or opts.retry_policy,
-                        request.adaptation or opts.adaptation,
-                    )
-                    return fallback.stepper(
-                        reads, share_factor=ledger.factor,
-                    )
 
-                def complete(machine, report, index=index, request=request):
+                def complete(machine, report, index=index, request=request,
+                             context=context):
                     if report is not None:
-                        self.obs.tracer.record(
-                            "vod.session", machine.started_at,
-                            machine.finished_at, client=request.client,
-                            title=request.title,
-                            outcome=("fallback" if machine.restarts
-                                     else "served"),
-                            underruns=report.underruns,
-                        )
+                        with self.obs.trace(context):
+                            self.obs.tracer.record(
+                                "vod.session", machine.started_at,
+                                machine.finished_at, client=request.client,
+                                title=request.title,
+                                outcome=("fallback" if machine.restarts
+                                         else "served"),
+                                underruns=report.underruns,
+                            )
                         sessions.append(Session(
                             request.client, request.title, report,
                             degraded=machine.restarts > 0, resumed=resumed,
@@ -912,9 +945,54 @@ class VodServer:
                     ledger=ledger, on_start=on_start, on_error=on_error,
                     on_complete=complete,
                 ).start(request.arrival_time)
+        scraping = self.telemetry is not None and self.obs.enabled
+        if scraping:
+            self.telemetry.attach(loop, self.obs, self._telemetry_source())
         loop.run()
+        if scraping:
+            self.telemetry.drain(loop, self.obs, self._telemetry_source())
         self.last_loop_stats = loop.stats()
         return sessions, failed
+
+    def _read_session_error(self, machine, exc, request: SessionRequest,
+                            reads, ledger: BandwidthLedger, share: int,
+                            opts: ServeOptions, failed: list,
+                            context: TraceContext):
+        """Read-granularity fault handling: fall back once, then fail.
+
+        Events are stamped with the kernel clock — the simulated
+        instant the fault surfaced — and the trace context the caller
+        pushed, so a failed session's whole story shares one track.
+        """
+        now = machine.loop.clock.now()
+        if machine.restarts > 0:
+            failed.append((request.client, request.title, str(exc)))
+            self.obs.metrics.counter("vod.failed").inc()
+            self.obs.events.record(
+                Severity.CRITICAL, "vod.server", "session.failed",
+                at=now, client=request.client, title=request.title,
+                reason=str(exc),
+            )
+            return None
+        self.obs.metrics.counter("vod.fallbacks").inc()
+        self.obs.events.record(
+            Severity.WARNING, "vod.server", "session.fallback",
+            at=now, client=request.client, title=request.title,
+        )
+        fallback = self._fallback_player(
+            share, opts.fault_plan,
+            request.retry_policy or opts.retry_policy,
+            request.adaptation or opts.adaptation,
+        )
+        stepper = fallback.stepper(reads, share_factor=ledger.factor)
+        if not self.obs.enabled:
+            return stepper
+        return _trace_steps(self.obs, context, stepper)
+
+    def _telemetry_source(self) -> str:
+        """This server's name in the telemetry store: its scope prefix
+        when it is a fleet shard, else ``"server"``."""
+        return getattr(self.obs, "scope", None) or "server"
 
     def _serve_one(self, player: Player, client: str, title: str,
                    share: int, fault_plan: FaultPlan | None,
@@ -928,9 +1006,10 @@ class VodServer:
         A :class:`~repro.errors.SimulatedCrash` is never treated as a
         storage fault — it is the machine dying, and must propagate to
         the crash harness."""
-        with self.obs.tracer.span(
-            "vod.session", client=client, title=title,
-        ) as span:
+        with self.obs.trace(TraceContext.for_session(client, title)), \
+                self.obs.tracer.span(
+                    "vod.session", client=client, title=title,
+                ) as span:
             try:
                 report = player.play(self._titles[title])
             except SimulatedCrash:
@@ -1273,10 +1352,17 @@ class VodServer:
                 10, min_severity=Severity.ERROR
             )
         )
+        alerts: tuple[dict, ...] = ()
+        if self.telemetry is not None:
+            alerts = tuple(
+                alert.export() for alert in
+                self.telemetry.alerts.for_source(self._telemetry_source())
+            )
+        firing = any(a["state"] == "firing" for a in alerts)
         if failed or any(
                 v.severity >= Severity.CRITICAL for v in slo):
             status = "critical"
-        elif (degraded or underrun or rejected
+        elif (degraded or underrun or rejected or firing
                 or any(not v.ok for v in slo)):
             status = "degraded"
         else:
@@ -1293,6 +1379,7 @@ class VodServer:
             cache_hit_ratios=ratios,
             dominant_stage=profile_stages(self.obs).dominant_stage(),
             recent_critical=recent,
+            alerts=alerts,
         )
 
     def capacity(self, title: str) -> int:

@@ -35,7 +35,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.tracing import LogicalClock, Span, Tracer
+from repro.obs.tracing import LogicalClock, Span, TraceContext, Tracer
 from repro.obs.events import (
     DEFAULT_EVENT_CAPACITY,
     Event,
@@ -77,6 +77,29 @@ from repro.obs.export import (
     to_table,
     trace_events,
 )
+# Telemetry is re-exported lazily (PEP 562): it is the one obs module
+# that needs repro.core (exact-rational scrape times), and repro.core
+# reaches back through repro.blob into this package at import time —
+# an eager import here would be a cycle for anyone importing
+# repro.blob first.
+_TELEMETRY_NAMES = frozenset({
+    "DEFAULT_SCRAPE_INTERVAL",
+    "Alert",
+    "AlertManager",
+    "BurnRateRule",
+    "Telemetry",
+    "TelemetryStore",
+    "default_burn_rate_rules",
+})
+
+
+def __getattr__(name):
+    if name in _TELEMETRY_NAMES:
+        from repro.obs import telemetry
+
+        return getattr(telemetry, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
@@ -86,6 +109,7 @@ __all__ = [
     "MetricsRegistry",
     "LogicalClock",
     "Span",
+    "TraceContext",
     "Tracer",
     "DEFAULT_EVENT_CAPACITY",
     "Event",
@@ -118,4 +142,11 @@ __all__ = [
     "to_json_lines",
     "to_table",
     "trace_events",
+    "DEFAULT_SCRAPE_INTERVAL",
+    "Alert",
+    "AlertManager",
+    "BurnRateRule",
+    "Telemetry",
+    "TelemetryStore",
+    "default_burn_rate_rules",
 ]

@@ -108,10 +108,19 @@ class FlightRecorder:
         self._logical = LogicalClock()
         self._clock = clock
         self._seq = 0
+        self._context: list[Any] = []
         self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)
+
+    def push_context(self, context: Any) -> None:
+        """Stamp subsequent events with the
+        :class:`~repro.obs.tracing.TraceContext` until popped."""
+        self._context.append(context)
+
+    def pop_context(self) -> Any:
+        return self._context.pop()
 
     def record(self, severity: Severity | int | str, component: str,
                name: str, at: Any = None, **attributes: Any) -> Event:
@@ -119,6 +128,9 @@ class FlightRecorder:
         if at is None:
             at = self._clock() if self._clock is not None else \
                 self._logical.tick()
+        for frame in reversed(self._context):
+            for key, value in frame.attributes().items():
+                attributes.setdefault(key, value)
         event = Event(
             seq=self._seq,
             at=at,

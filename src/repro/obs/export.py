@@ -152,14 +152,21 @@ def trace_events(obs: Observability) -> list[dict[str, Any]]:
 
     * every finished span becomes a complete ("X") event with ``ts`` /
       ``dur`` in microseconds;
-    * track (``tid``) assignment keeps nesting well-formed despite the
-      two time domains: a span shares a track with its nearest ancestor
-      in a *different* time domain (so one VOD session's simulated
-      spans land on that session's track), falling back to its tree
-      root — per-session playbacks that all start at simulated t=0
-      therefore never interleave on one track;
+    * track (``tid``) assignment is by correlation first: a span or
+      event carrying a ``trace_id`` attribute (stamped by
+      :class:`~repro.obs.tracing.TraceContext`) lands on that trace's
+      own track regardless of which component recorded it — one
+      causally-linked per-session track across router, shards, player
+      and page store. A ``scope`` attribute (a fleet shard's tagged
+      view) is the next tiebreak, giving each shard a stable track;
+    * otherwise the structural fallback keeps nesting well-formed
+      despite the two time domains: a span shares a track with its
+      nearest ancestor in a *different* time domain (so one VOD
+      session's simulated spans land on that session's track), falling
+      back to its tree root — per-session playbacks that all start at
+      simulated t=0 therefore never interleave on one track;
     * flight-recorder events become instant ("i") events on one track
-      per (component, time-domain);
+      per trace / (component, time-domain);
     * the full list is sorted by ``(ts, -dur)``, so ``ts`` is monotonic
       on every track and an enclosing span always precedes its
       same-time-domain children (a cross-domain parent lives on a
@@ -170,8 +177,15 @@ def trace_events(obs: Observability) -> list[dict[str, Any]]:
     by_id = {s.span_id: s for s in spans}
 
     def anchor(span) -> tuple:
-        """Track key: nearest differing-domain ancestor, else tree root."""
+        """Track key: trace id, scope, nearest differing-domain
+        ancestor, else tree root."""
         domain = _time_domain(span.start)
+        trace_id = span.attributes.get("trace_id")
+        if trace_id is not None:
+            return ("trace", str(trace_id))
+        scope = span.attributes.get("scope")
+        if scope is not None:
+            return ("scope", str(scope), domain)
         node = span
         root = span
         while node.parent_id is not None and node.parent_id in by_id:
@@ -216,6 +230,12 @@ def trace_events(obs: Observability) -> list[dict[str, Any]]:
         }
         args["seq"] = event.seq
         args["severity"] = event.severity.name
+        trace_id = event.attributes.get("trace_id")
+        if trace_id is not None:
+            event_key: tuple = ("trace", str(trace_id))
+        else:
+            event_key = ("events", event.component,
+                         _time_domain(event.at))
         rows.append({
             "name": f"{event.component}:{event.name}",
             "cat": event.severity.name,
@@ -223,14 +243,17 @@ def trace_events(obs: Observability) -> list[dict[str, Any]]:
             "s": "t",
             "ts": _trace_ts(event.at),
             "pid": 1,
-            "tid": tid_for(("events", event.component,
-                            _time_domain(event.at))),
+            "tid": tid_for(event_key),
             "args": args,
         })
     rows.sort(key=lambda r: (r["ts"], -r.get("dur", 0.0)))
     names = []
     for key, tid in sorted(track_ids.items(), key=lambda kv: kv[1]):
-        if key[0] == "span":
+        if key[0] == "trace":
+            label = f"trace:{key[1]}"
+        elif key[0] == "scope":
+            label = f"scope:{key[1]}:{key[2]}"
+        elif key[0] == "span":
             root = by_id[key[1]]
             label = f"{key[2]}:{root.name}#{root.span_id}"
         else:

@@ -20,7 +20,7 @@ from typing import Any, Callable
 
 from repro.obs.events import DEFAULT_EVENT_CAPACITY, Event, FlightRecorder, Severity
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import Span, TraceContext, Tracer
 
 
 class Observability:
@@ -35,6 +35,10 @@ class Observability:
 
     enabled = True
 
+    #: Flat scope prefix of this sink — None at the root, the dotted
+    #: prefix on views minted by :meth:`scoped`.
+    scope: str | None = None
+
     def __init__(self, metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
                  events: FlightRecorder | None = None,
@@ -45,6 +49,7 @@ class Observability:
         self.events = events if events is not None else FlightRecorder(
             capacity=event_capacity, clock=clock,
         )
+        self._scopes: set[str] = set()
 
     def snapshot(self) -> dict[str, Any]:
         """The full nested-dict export: metrics, spans and events."""
@@ -54,19 +59,48 @@ class Observability:
             "events": self.events.export(),
         }
 
+    @contextmanager
+    def trace(self, context: TraceContext):
+        """Stamp every span and event recorded in the body with the
+        context's trace id, correlating work across components."""
+        self.tracer.push_context(context)
+        self.events.push_context(context)
+        try:
+            yield context
+        finally:
+            self.events.pop_context()
+            self.tracer.pop_context()
+
     def scoped(self, prefix: str) -> "Observability":
         """A view of this sink with every metric name under ``prefix.``.
 
         Components sharing one registry — fleet shards, most notably —
         get disjoint metric namespaces while the export stays one
-        sorted snapshot. The tracer and flight recorder are shared
-        (spans and events carry their own attributes); only the metric
-        namespace splits. Scoping a scoped view composes prefixes.
+        sorted snapshot. Spans and events land in the shared tracer
+        and flight recorder tagged with a ``scope`` attribute, so the
+        Chrome-trace export can give each scope its own track. Scoping
+        a scoped view composes prefixes.
+
+        A flat prefix may be claimed only once per root sink: two
+        shards scoping to the same name would silently interleave
+        their series, so the second claim raises
+        :class:`~repro.errors.ObservabilityError`.
         """
         view = Observability.__new__(Observability)
         view.metrics = ScopedMetrics(self.metrics, prefix)  # type: ignore[assignment]
-        view.tracer = self.tracer
-        view.events = self.events
+        flat = _flat_prefix(view.metrics)
+        if flat in self._scopes:
+            from repro.errors import ObservabilityError
+
+            raise ObservabilityError(
+                f"scope {flat!r} already claimed on this sink; shards "
+                f"sharing a registry need distinct prefixes"
+            )
+        self._scopes.add(flat)
+        view._scopes = self._scopes
+        view.scope = flat
+        view.tracer = ScopedTracer(self.tracer, flat)  # type: ignore[assignment]
+        view.events = ScopedFlightRecorder(self.events, flat)  # type: ignore[assignment]
         return view
 
     def __repr__(self) -> str:
@@ -129,6 +163,114 @@ class ScopedMetrics:
 
     def __repr__(self) -> str:
         return f"ScopedMetrics({self.prefix!r}, {len(self.names())} metrics)"
+
+
+def _flat_prefix(metrics: ScopedMetrics) -> str:
+    """The full dotted prefix of a (possibly nested) scoped view."""
+    parts = []
+    node: Any = metrics
+    while isinstance(node, ScopedMetrics):
+        parts.append(node.prefix)
+        node = node.registry
+    return ".".join(reversed(parts))
+
+
+class ScopedTracer:
+    """A tagging view over a shared :class:`~repro.obs.tracing.Tracer`.
+
+    Spans land in the underlying tracer with a ``scope`` attribute
+    (explicit attributes win; nested scoping keeps the innermost —
+    i.e. fullest — prefix because each view wraps the *root* tracer
+    with its flat prefix). Everything else delegates.
+    """
+
+    def __init__(self, tracer: Any, scope: str):
+        self.base = getattr(tracer, "base", tracer)
+        self.scope = scope
+
+    @property
+    def spans(self):
+        return self.base.spans
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any):
+        attributes.setdefault("scope", self.scope)
+        with self.base.span(name, **attributes) as span:
+            yield span
+
+    def record(self, name: str, start: Any, end: Any,
+               **attributes: Any) -> Span:
+        attributes.setdefault("scope", self.scope)
+        return self.base.record(name, start, end, **attributes)
+
+    def event(self, name: str, at: Any = None, **attributes: Any) -> Span:
+        attributes.setdefault("scope", self.scope)
+        return self.base.event(name, at=at, **attributes)
+
+    def push_context(self, context: TraceContext) -> None:
+        self.base.push_context(context)
+
+    def pop_context(self) -> TraceContext:
+        return self.base.pop_context()
+
+    def named(self, name: str) -> list[Span]:
+        return self.base.named(name)
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def export(self) -> list[dict[str, Any]]:
+        return self.base.export()
+
+    def __repr__(self) -> str:
+        return f"ScopedTracer({self.scope!r})"
+
+
+class ScopedFlightRecorder:
+    """A tagging view over a shared
+    :class:`~repro.obs.events.FlightRecorder`; same contract as
+    :class:`ScopedTracer`."""
+
+    def __init__(self, events: Any, scope: str):
+        self.base = getattr(events, "base", events)
+        self.scope = scope
+
+    @property
+    def capacity(self) -> int:
+        return self.base.capacity
+
+    @property
+    def dropped(self) -> int:
+        return self.base.dropped
+
+    def record(self, severity: Any, component: str, name: str,
+               at: Any = None, **attributes: Any) -> Event:
+        attributes.setdefault("scope", self.scope)
+        return self.base.record(severity, component, name, at=at,
+                                **attributes)
+
+    def push_context(self, context: TraceContext) -> None:
+        self.base.push_context(context)
+
+    def pop_context(self) -> TraceContext:
+        return self.base.pop_context()
+
+    def events(self, min_severity: Any = None, component: str | None = None,
+               name: str | None = None) -> list[Event]:
+        return self.base.events(min_severity=min_severity,
+                                component=component, name=name)
+
+    def recent(self, count: int, min_severity: Any = None) -> list[Event]:
+        return self.base.recent(count, min_severity=min_severity)
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def export(self) -> list[dict[str, Any]]:
+        return self.base.export()
+
+    def __repr__(self) -> str:
+        return f"ScopedFlightRecorder({self.scope!r})"
 
 
 class _NullMetric:
@@ -198,6 +340,12 @@ class _NullTracer:
     def event(self, name: str, at: Any = None, **attributes: Any) -> Span:
         return _NULL_SPAN
 
+    def push_context(self, context: Any) -> None:
+        pass
+
+    def pop_context(self) -> None:
+        return None
+
     def named(self, name: str) -> list[Span]:
         return []
 
@@ -219,6 +367,12 @@ class _NullFlightRecorder:
     def record(self, severity: Any, component: str, name: str,
                at: Any = None, **attributes: Any) -> Event:
         return _NULL_EVENT
+
+    def push_context(self, context: Any) -> None:
+        pass
+
+    def pop_context(self) -> None:
+        return None
 
     def events(self, min_severity: Any = None, component: str | None = None,
                name: str | None = None) -> list[Event]:

@@ -75,13 +75,14 @@ class Metric:
         return entry
 
     def export(self) -> dict[str, Any]:
-        return {
-            "type": self.kind,
-            "series": [
-                self._export_series(key, self._export_value(key))
-                for key in self.labels_seen()
-            ],
-        }
+        body: dict[str, Any] = {"type": self.kind}
+        if self.help:
+            body["help"] = self.help
+        body["series"] = [
+            self._export_series(key, self._export_value(key))
+            for key in self.labels_seen()
+        ]
+        return body
 
     def _export_value(self, key: LabelKey) -> Any:
         return export_value(self._series[key])
@@ -117,10 +118,26 @@ class Gauge(Metric):
         self._series[_label_key(labels)] = value
 
     def set_max(self, value: Any, **labels: Any) -> None:
-        """Record ``value`` only if it exceeds the current reading."""
+        """Record ``value`` only if it exceeds the current reading.
+
+        Comparing un-comparable types (a str high-water against an int,
+        say) raises :class:`~repro.errors.ObservabilityError` — mixed
+        series would make the high-water mark meaningless.
+        """
         key = _label_key(labels)
         current = self._series.get(key)
-        if current is None or value > current:
+        if current is None:
+            self._series[key] = value
+            return
+        try:
+            exceeds = value > current
+        except TypeError:
+            raise ObservabilityError(
+                f"gauge {self.name!r} set_max cannot compare "
+                f"{type(value).__name__} against the current "
+                f"{type(current).__name__} reading"
+            ) from None
+        if exceeds:
             self._series[key] = value
 
     def value(self, default: Any = None, **labels: Any) -> Any:
@@ -183,6 +200,18 @@ class Histogram(Metric):
         the series has never been observed)."""
         series = self._series.get(_label_key(labels))
         return series["sum"] if series else 0.0
+
+    def overflow_count(self, **labels: Any) -> int:
+        """Observations beyond the last declared boundary.
+
+        :meth:`quantile` clamps overflow ranks to the last finite
+        boundary — the histogram cannot see past it — so a saturated
+        histogram silently understates its tail. This counter makes the
+        saturation visible; the telemetry scraper mirrors it into the
+        ``telemetry.histogram.overflow`` counter.
+        """
+        series = self._series.get(_label_key(labels))
+        return series["counts"][-1] if series else 0
 
     def quantile(self, q: float, **labels: Any) -> float:
         """The ``q``-quantile estimated by linear interpolation within
@@ -252,17 +281,28 @@ class MetricsRegistry:
         self._metrics[name] = metric
         return metric
 
+    @staticmethod
+    def _fill_help(metric: Metric, help: str) -> Metric:
+        # first help wins; a later one only fills an empty slot, so
+        # get-or-create call sites may pass help unconditionally
+        if help and not metric.help:
+            metric.help = help
+        return metric
+
     def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, Counter, lambda: Counter(name, help))
+        return self._fill_help(
+            self._get(name, Counter, lambda: Counter(name, help)), help)
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name, help))
+        return self._fill_help(
+            self._get(name, Gauge, lambda: Gauge(name, help)), help)
 
     def histogram(self, name: str,
                   buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
                   help: str = "") -> Histogram:
-        metric = self._get(name, Histogram,
-                           lambda: Histogram(name, buckets, help))
+        metric = self._fill_help(
+            self._get(name, Histogram,
+                      lambda: Histogram(name, buckets, help)), help)
         bounds = tuple(float(b) for b in buckets)
         if metric.buckets != bounds:
             raise ObservabilityError(

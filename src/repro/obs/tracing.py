@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Any, Callable
 
 from repro.obs.metrics import export_value
@@ -46,6 +47,36 @@ class LogicalClock:
 
     def __repr__(self) -> str:
         return f"LogicalClock(t={self._now})"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one causally-linked unit of work.
+
+    The ``trace_id`` stamps every span and event recorded while the
+    context is pushed (via :meth:`Tracer.push_context` /
+    :meth:`~repro.obs.events.FlightRecorder.push_context`, usually
+    through :meth:`~repro.obs.instrument.Observability.trace`), so a
+    session crossing router → shard → player → page store renders as
+    one correlated track in the Chrome-trace export.
+
+    Derived, never random: :meth:`for_session` hashes the session's
+    request identity, so same-seed runs mint identical ids.
+    """
+
+    trace_id: str
+    client: str | None = None
+    title: str | None = None
+
+    @classmethod
+    def for_session(cls, client: str, title: str) -> "TraceContext":
+        digest = blake2b(
+            f"{client}\x00{title}".encode(), digest_size=8,
+        ).hexdigest()
+        return cls(trace_id=digest, client=client, title=title)
+
+    def attributes(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id}
 
 
 @dataclass
@@ -95,6 +126,7 @@ class Tracer:
         self._clock = clock
         self.spans: list[Span] = []
         self._stack: list[Span] = []
+        self._context: list[TraceContext] = []
 
     def _time(self) -> Any:
         if self._clock is not None:
@@ -104,7 +136,17 @@ class Tracer:
     def _next_id(self) -> int:
         return len(self.spans)
 
+    def push_context(self, context: TraceContext) -> None:
+        """Stamp subsequent spans with ``context`` until popped."""
+        self._context.append(context)
+
+    def pop_context(self) -> TraceContext:
+        return self._context.pop()
+
     def _open(self, name: str, start: Any, attributes: dict[str, Any]) -> Span:
+        for frame in reversed(self._context):
+            for key, value in frame.attributes().items():
+                attributes.setdefault(key, value)
         span = Span(
             span_id=self._next_id(),
             parent_id=self._stack[-1].span_id if self._stack else None,

@@ -39,7 +39,6 @@ catalogs and insists on identical result sets in identical order.
 from __future__ import annotations
 
 import math
-import sqlite3
 from fractions import Fraction
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -47,6 +46,7 @@ from repro.core.intervals import Interval
 from repro.core.rational import Rational, as_rational
 from repro.errors import QueryError, QueryIndexError
 from repro.obs.instrument import Instrumented, Observability
+from repro.query.sqlutil import approx, open_tuned, rational_from_row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.composition import MultimediaObject
@@ -167,19 +167,16 @@ def encode_attribute(value: Any) -> str | None:
     return None
 
 
-def _approx(value: Fraction) -> float:
-    try:
-        return float(value)
-    except OverflowError:  # pragma: no cover - astronomical timestamps
-        return math.inf if value > 0 else -math.inf
+#: REAL approximation for the prefilter columns (shared helper; the
+#: telemetry store uses the same convention).
+_approx = approx
 
 
 def _margin(value: float) -> float:
     return _EPS_REL * (1.0 + abs(value))
 
 
-def _rational(num: int, den: int) -> Rational:
-    return Rational(num, den)
+_rational = rational_from_row
 
 
 class TemporalIndex(Instrumented):
@@ -199,12 +196,7 @@ class TemporalIndex(Instrumented):
     def __init__(self, path: str = ":memory:",
                  obs: Observability | None = None):
         self.path = path
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(
-            "PRAGMA journal_mode=MEMORY;"
-            "PRAGMA synchronous=OFF;"
-            "PRAGMA temp_store=MEMORY;"
-        )
+        self._conn = open_tuned(path)
         self._conn.executescript(_SCHEMA)
         self._prov_dirty = False
         self._prov_known: set[str] = set()

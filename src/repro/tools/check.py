@@ -25,6 +25,11 @@ any ERROR-level finding, so CI can gate on it:
   the linear oracle, and every result set (selections, temporal
   predicates, composition axes, lineage — including after
   ``set_attribute`` mutations) must be byte-identical;
+* ``--telemetry`` runs the telemetry pipeline smoke: an overloaded
+  single-shard serve with the clock-driven scraper attached must see a
+  burn-rate alert fire *and* resolve before the serve returns, and two
+  same-seed runs must produce byte-identical telemetry-store dumps and
+  alert timelines;
 * ``--style`` and ``--types`` invoke ``ruff`` and ``mypy`` when they
   are installed, and are skipped (without failing) when they are not —
   the in-tree engines above carry the gate either way.
@@ -33,6 +38,10 @@ any ERROR-level finding, so CI can gate on it:
 given. ``--list-rules`` prints the rule table; ``--json`` switches the
 graph/lint output to the deterministic JSON reporters; ``--ignore
 RULE`` (repeatable) suppresses a rule id in both engines.
+
+``--bench-compare BASELINE.json`` (not part of ``--all``) compares the
+machine-readable benchmark metrics under ``results/`` against a saved
+baseline and fails on any >25% throughput regression.
 """
 
 from __future__ import annotations
@@ -199,6 +208,142 @@ def run_query(seeds: tuple[int, ...] = (0, 1, 2)) -> tuple[bool, str]:
     )
 
 
+def run_telemetry() -> tuple[bool, str]:
+    """The telemetry pipeline smoke; ``(passed, rendered summary)``.
+
+    An overloaded single-shard serve (six staggered sessions against a
+    bandwidth sized for two) runs with the clock-driven scraper
+    attached. The smoke passes when a burn-rate alert fires *and*
+    resolves before the serve returns, the firing state is visible in
+    ``health()`` mid-serve, and a second same-seed run produces a
+    byte-identical store dump and alert timeline.
+    """
+    from repro.blob.blob import MemoryBlob
+    from repro.codecs.jpeg_like import JpegLikeCodec
+    from repro.core.rational import Rational
+    from repro.engine.recorder import Recorder
+    from repro.engine.vod import SessionRequest, VodServer
+    from repro.media import frames
+    from repro.media.objects import video_object
+    from repro.obs import Observability
+    from repro.obs.telemetry import Telemetry
+
+    video = video_object(frames.scene(48, 36, 20, "orbit"), "feature")
+    movie = Recorder(MemoryBlob()).record(
+        [video], encoders={"feature": JpegLikeCodec(quality=40).encode},
+    )
+
+    def run() -> tuple[Telemetry, list[str]]:
+        telemetry = Telemetry()
+        server = VodServer(21_000, obs=Observability(),
+                           telemetry=telemetry)
+        server.publish("feature", movie)
+        seen_mid_serve: list[tuple[str, str, bool]] = []
+
+        def observe(alert, at) -> None:
+            health = server.health()
+            seen_mid_serve.append((
+                alert.state, health.status,
+                bool(health.firing_alerts),
+            ))
+
+        telemetry.alerts.on_transition = observe
+        server.serve(
+            [SessionRequest(client=f"client-{i}", title="feature",
+                            arrival_time=Rational(i, 8))
+             for i in range(6)],
+            enforce_admission=False,
+        )
+        return telemetry, seen_mid_serve
+
+    first, mid_states = run()
+    second, _ = run()
+    states = {row["state"] for row in first.store.alert_rows()}
+    checks = [
+        ("alert fired during serve",
+         any(state == "firing" for state, _, _ in mid_states)),
+        ("firing visible in health() mid-serve",
+         any(state == "firing" and status != "ok" and visible
+             for state, status, visible in mid_states)),
+        ("alert resolved before serve returned", "resolved" in states),
+        ("store dump byte-identical",
+         first.store.dump() == second.store.dump()),
+        ("alert timeline identical",
+         first.store.alert_rows() == second.store.alert_rows()),
+    ]
+    passed = all(ok for _, ok in checks)
+    rows = [(name, "ok" if ok else "FAIL") for name, ok in checks]
+    rows.append(("scrapes", first.store.scrape_count))
+    rows.append(("alert transitions", len(first.store.alert_rows())))
+    return passed, table_text(
+        ("check", "result"), rows,
+        title="telemetry pipeline smoke (overloaded serve, dual run)",
+    )
+
+
+def run_bench_compare(baseline_path: str,
+                      results_dir: str | Path | None = None
+                      ) -> tuple[bool, str]:
+    """Compare ``results/BENCH_*.json`` against a saved baseline.
+
+    The baseline is either one benchmark's ``BENCH_<id>.json``
+    (``{"experiment": ..., "metrics": {...}}``) or a mapping of
+    experiment id to its metrics dict. A throughput metric — name
+    containing ``per_second`` or ``throughput`` — fails the stage when
+    the current value drops below 75% of the baseline; other metrics
+    are reported but never gate.
+    """
+    import json
+
+    baseline_file = Path(baseline_path)
+    if not baseline_file.is_file():
+        return False, f"bench-compare: no baseline at {baseline_path}"
+    baseline = json.loads(baseline_file.read_text(encoding="utf-8"))
+    if "experiment" in baseline and "metrics" in baseline:
+        baseline = {baseline["experiment"]: baseline["metrics"]}
+    if results_dir is None:
+        results_dir = Path(__file__).resolve().parents[3] \
+            / "benchmarks" / "results"
+    results_dir = Path(results_dir)
+
+    rows = []
+    passed = True
+    for experiment in sorted(baseline):
+        current_file = results_dir / f"BENCH_{experiment}.json"
+        if not current_file.is_file():
+            rows.append((experiment, "-", "-", "-", "MISSING"))
+            passed = False
+            continue
+        current = json.loads(
+            current_file.read_text(encoding="utf-8"))["metrics"]
+        for name in sorted(baseline[experiment]):
+            base = baseline[experiment][name]
+            now = current.get(name)
+            gates = "per_second" in name or "throughput" in name
+            if not isinstance(base, (int, float)) or \
+                    isinstance(base, bool):
+                continue
+            if now is None:
+                rows.append((experiment, name, f"{base:g}", "-",
+                             "MISSING" if gates else "absent"))
+                passed = passed and not gates
+                continue
+            ratio = now / base if base else float("inf")
+            if gates and ratio < 0.75:
+                verdict = f"FAIL ({ratio:.0%} of baseline)"
+                passed = False
+            elif gates:
+                verdict = f"ok ({ratio:.0%})"
+            else:
+                verdict = "info"
+            rows.append((experiment, name, f"{base:g}", f"{now:g}",
+                         verdict))
+    return passed, table_text(
+        ("experiment", "metric", "baseline", "current", "verdict"),
+        rows, title="benchmark regression gate (>25% throughput drop fails)",
+    )
+
+
 def run_external(tool: str, arguments: list[str]) -> tuple[str, str]:
     """Run an optional external tool; ``(status, detail)``.
 
@@ -249,6 +394,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--query", action="store_true",
                         help="run the dual-backend agreement smoke: "
                              "indexed vs linear answers must match")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run the telemetry pipeline smoke: alert "
+                             "fires and resolves mid-serve, dual-run "
+                             "store dumps byte-identical")
+    parser.add_argument("--bench-compare", metavar="BASELINE.json",
+                        help="compare results/BENCH_*.json against a "
+                             "saved baseline; >25%% throughput "
+                             "regression fails (not part of --all)")
     parser.add_argument("--style", action="store_true",
                         help="run ruff if installed (skipped otherwise)")
     parser.add_argument("--types", action="store_true",
@@ -268,12 +421,12 @@ def main(argv: list[str] | None = None) -> int:
 
     selected = {
         stage for stage in ("graph", "lint", "crash", "fleet", "query",
-                            "style", "types")
+                            "telemetry", "style", "types")
         if getattr(args, stage)
     }
-    if args.all or not selected:
-        selected = {"graph", "lint", "crash", "fleet", "query", "style",
-                    "types"}
+    if args.all or (not selected and not args.bench_compare):
+        selected = {"graph", "lint", "crash", "fleet", "query",
+                    "telemetry", "style", "types"}
     ignore = tuple(args.ignore)
 
     failed = []
@@ -306,6 +459,20 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not query_ok:
             failed.append("query")
+
+    if "telemetry" in selected:
+        telemetry_ok, telemetry_text = run_telemetry()
+        print(telemetry_text)
+        print()
+        if not telemetry_ok:
+            failed.append("telemetry")
+
+    if args.bench_compare:
+        bench_ok, bench_text = run_bench_compare(args.bench_compare)
+        print(bench_text)
+        print()
+        if not bench_ok:
+            failed.append("bench-compare")
 
     src_root = str(Path(__file__).resolve().parents[2])
     external = {

@@ -1,0 +1,233 @@
+"""A deterministic terminal dashboard over a telemetry store.
+
+Renders what an operator would watch during a serve — per-series
+sparklines, the alert table, a per-shard heat row — as plain text (or,
+with ``ansi=True``, with alert states colored). Everything is a pure
+function of the :class:`~repro.obs.telemetry.TelemetryStore` rows, so
+two same-seed runs render byte-identical dashboards.
+
+Usage::
+
+    python -m repro.tools.inspect movie.rmf --dash
+
+or programmatically::
+
+    from repro.tools.dashboard import render_dashboard
+    print(render_dashboard(fleet.telemetry.store,
+                           alerts=fleet.telemetry.alerts))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.bench.reporting import table_text
+
+__all__ = [
+    "HEAT_CHARS",
+    "SPARK_CHARS",
+    "heat_row",
+    "render_dashboard",
+    "sparkline",
+]
+
+#: Nine-level block ramp; index 0 (space) is "no signal this scrape".
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+#: Four-level shade ramp for the per-shard heat row.
+HEAT_CHARS = "░▒▓█"
+
+_ANSI = {
+    "firing": "\x1b[31m",    # red
+    "pending": "\x1b[33m",   # yellow
+    "resolved": "\x1b[32m",  # green
+    "inactive": "\x1b[2m",   # dim
+}
+_ANSI_RESET = "\x1b[0m"
+
+#: Longest sparkline / metric name the dashboard will print.
+MAX_SPARK_WIDTH = 48
+_MAX_SERIES = 24
+
+
+def sparkline(values: Iterable[float], width: int = MAX_SPARK_WIDTH) -> str:
+    """Map a value series onto :data:`SPARK_CHARS`.
+
+    Values scale linearly against the series maximum (zero and the
+    empty series render as spaces); series longer than ``width`` keep
+    their newest points. The mapping uses only comparisons and one
+    division per point, so equal inputs give equal glyphs.
+    """
+    points = [0.0 if v is None else float(v) for v in values][-width:]
+    if not points:
+        return ""
+    top = max(points)
+    if top <= 0.0:
+        return SPARK_CHARS[0] * len(points)
+    steps = len(SPARK_CHARS) - 1
+    out = []
+    for value in points:
+        if value <= 0.0:
+            out.append(SPARK_CHARS[0])
+        else:
+            rank = int(value / top * steps)
+            out.append(SPARK_CHARS[max(1, min(steps, rank))])
+    return "".join(out)
+
+
+def _deltas(samples: list[tuple]) -> list[float]:
+    """Per-scrape increases of a cumulative series (floored at zero)."""
+    out = []
+    previous = 0.0
+    for row in samples:
+        value = 0.0 if row[1] is None else float(row[1])
+        out.append(max(value - previous, 0.0))
+        previous = value
+    return out
+
+
+def _values(samples: list[tuple]) -> list[float]:
+    return [0.0 if row[1] is None else float(row[1]) for row in samples]
+
+
+def _series_table(store, kinds: Mapping[str, str]) -> str:
+    rows = []
+    for metric in store.metrics():
+        kind = kinds.get(metric, "metric")
+        field = "count" if kind == "histogram" else "value"
+        grouped = store.series(metric, field=field)
+        for key in sorted(grouped):
+            source, name, labels = key
+            samples = grouped[key]
+            if kind == "gauge":
+                points = _values(samples)
+                shown = "level"
+            else:
+                points = _deltas(samples)
+                shown = "delta"
+            last = points[-1] if points else 0.0
+            rows.append((
+                name[-MAX_SPARK_WIDTH:],
+                source,
+                "" if labels == "{}" else labels,
+                shown,
+                f"{last:g}",
+                sparkline(points),
+            ))
+    dropped = len(rows) - _MAX_SERIES
+    rows = rows[:_MAX_SERIES]
+    title = "series (sparkline per scrape)"
+    if dropped > 0:
+        title += f" — first {_MAX_SERIES}, {dropped} more omitted"
+    return table_text(
+        ("metric", "source", "labels", "shows", "last", "spark"),
+        rows, title=title,
+    )
+
+
+def _paint(state: str, ansi: bool) -> str:
+    if not ansi or state not in _ANSI:
+        return state
+    return f"{_ANSI[state]}{state}{_ANSI_RESET}"
+
+
+def _alert_table(store, alerts, ansi: bool) -> str:
+    """Current alert states (when a manager is given) plus the
+    transition timeline from the store's alert log."""
+    parts = []
+    if alerts is not None:
+        rows = [
+            (
+                alert.name,
+                alert.source,
+                _paint(alert.state, ansi),
+                "" if alert.since is None else str(alert.since),
+                f"{alert.burn_short:.2f}",
+                f"{alert.burn_long:.2f}",
+            )
+            for alert in alerts.all()
+        ]
+        if rows:
+            parts.append(table_text(
+                ("alert", "source", "state", "since", "burn(s)", "burn(l)"),
+                rows, title="alerts",
+            ))
+    timeline = [
+        (
+            row["seq"],
+            row["at"],
+            row["alert"],
+            row["source"],
+            _paint(row["state"], ansi),
+            f"{row['burn_short']:.2f}",
+            f"{row['burn_long']:.2f}",
+        )
+        for row in store.alert_rows()
+    ]
+    if timeline:
+        parts.append(table_text(
+            ("seq", "at", "alert", "source", "state", "burn(s)", "burn(l)"),
+            timeline, title="alert timeline",
+        ))
+    if not parts:
+        return "alerts: none recorded"
+    return "\n\n".join(parts)
+
+
+def heat_row(store, kinds: Mapping[str, str] | None = None) -> str:
+    """One heat glyph per source: total counter growth, normalized.
+
+    A shard that accumulated the most counter increments across the
+    run glows ``█``; idle shards show ``░``. The reduction is a sum of
+    final-minus-first readings per cumulative series, so it is exact
+    for identical stores.
+    """
+    kinds = store.metric_kinds() if kinds is None else kinds
+    totals: dict[str, float] = {source: 0.0 for source in store.sources()}
+    for metric, kind in kinds.items():
+        if kind == "gauge":
+            continue
+        field = "count" if kind == "histogram" else "value"
+        for key, samples in store.series(metric, field=field).items():
+            values = _values(samples)
+            if values:
+                totals[key[0]] = totals.get(key[0], 0.0) + \
+                    max(values[-1] - values[0], 0.0)
+    if not totals:
+        return "shard heat: (no scrapes)"
+    top = max(totals.values())
+    cells = []
+    for source in sorted(totals):
+        value = totals[source]
+        if top <= 0.0:
+            glyph = HEAT_CHARS[0]
+        else:
+            rank = int(value / top * (len(HEAT_CHARS) - 1) + 0.5)
+            glyph = HEAT_CHARS[max(0, min(len(HEAT_CHARS) - 1, rank))]
+        cells.append(f"{source}:{glyph}")
+    return "shard heat: " + "  ".join(cells)
+
+
+def render_dashboard(store, alerts=None, *, ansi: bool = False) -> str:
+    """The full dashboard text for one telemetry store.
+
+    ``alerts`` is the run's :class:`~repro.obs.telemetry.AlertManager`
+    when available (current states render alongside the store's
+    transition timeline). ``ansi`` colors alert states; the default is
+    plain text so dumps diff cleanly.
+    """
+    latest = store.latest_time()
+    header = (
+        f"telemetry dashboard — {store.scrape_count} scrapes, "
+        f"{len(store.sources())} source(s), "
+        f"t={'-' if latest is None else latest}"
+    )
+    if store.scrape_count == 0:
+        return header + "\n(no scrapes recorded)"
+    kinds = store.metric_kinds()
+    return "\n\n".join([
+        header,
+        _series_table(store, kinds),
+        _alert_table(store, alerts, ansi),
+        heat_row(store, kinds),
+    ])

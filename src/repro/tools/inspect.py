@@ -26,6 +26,11 @@ bandwidth from ``--play`` when given, else 2 MB/s.
 census — routing, per-shard session counts, event-loop stats — and the
 fleet health rollup.
 
+``--dash [CLIENTS]`` serves CLIENTS concurrent sessions (default 4,
+admission disabled) with the clock-driven telemetry pipeline attached
+and renders the terminal dashboard: per-series sparklines, the alert
+table and timeline, and the shard heat row.
+
 ``--verify`` runs the static media-graph checker over the container's
 interpretation and prints its findings; the exit code turns non-zero
 on any ERROR-level diagnostic, so a broken container is caught before
@@ -164,10 +169,11 @@ def cached_replay_text(interpretation: Interpretation, pages: int) -> str:
 
 
 def serve_instrumented(interpretation: Interpretation, bandwidth: int,
-                       clients: int, obs: Observability) -> VodServer:
+                       clients: int, obs: Observability,
+                       telemetry=None) -> VodServer:
     """Serve ``clients`` concurrent sessions of the container's title
     through an instrumented VOD server (admission disabled)."""
-    server = VodServer(bandwidth, obs=obs)
+    server = VodServer(bandwidth, obs=obs, telemetry=telemetry)
     server.publish(interpretation.name, interpretation)
     requests = [
         SessionRequest(client=f"client-{i}", title=interpretation.name)
@@ -175,6 +181,19 @@ def serve_instrumented(interpretation: Interpretation, bandwidth: int,
     ]
     server.serve(requests, enforce_admission=False)
     return server
+
+
+def dashboard_text(interpretation: Interpretation, bandwidth: int,
+                   clients: int) -> str:
+    """Serve with telemetry attached and render the dashboard."""
+    from repro.obs.telemetry import Telemetry
+    from repro.tools.dashboard import render_dashboard
+
+    obs = Observability()
+    telemetry = Telemetry()
+    serve_instrumented(interpretation, bandwidth, clients, obs,
+                       telemetry=telemetry)
+    return render_dashboard(telemetry.store, alerts=telemetry.alerts)
 
 
 def fleet_census_text(interpretation: Interpretation, bandwidth: int,
@@ -276,6 +295,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve the container across a SHARDS-shard "
                              "fleet (default 3) and print the shard "
                              "census and fleet health rollup")
+    parser.add_argument("--dash", metavar="CLIENTS", type=int,
+                        nargs="?", const=4,
+                        help="serve CLIENTS concurrent sessions (default "
+                             "4) with telemetry attached and render the "
+                             "terminal dashboard")
     parser.add_argument("--timeline", metavar="PATH",
                         help="write the instrumented serving run as "
                              "Chrome trace_event JSON to PATH")
@@ -342,6 +366,13 @@ def main(argv: list[str] | None = None) -> int:
             interpretation,
             bandwidth=args.play or DEFAULT_HEALTH_BANDWIDTH,
             shards=args.fleet,
+        ))
+        print()
+    if args.dash is not None:
+        print(dashboard_text(
+            interpretation,
+            bandwidth=args.play or DEFAULT_HEALTH_BANDWIDTH,
+            clients=args.dash,
         ))
         print()
     if args.health is not None or args.timeline:

@@ -125,7 +125,7 @@ class TestRuleRegistry:
             f"MG{n:03d}" for n in range(1, 10)
         ]
         assert rule_registry.ids("lint") == [
-            f"LN{n:03d}" for n in range(1, 8)
+            f"LN{n:03d}" for n in range(1, 9)
         ]
 
     def test_duplicate_registration_rejected(self):

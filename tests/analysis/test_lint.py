@@ -1,4 +1,4 @@
-"""Tests for the determinism/taxonomy linter (rules LN001-LN007)."""
+"""Tests for the determinism/taxonomy linter (rules LN001-LN008)."""
 
 import textwrap
 
@@ -256,3 +256,76 @@ class TestEngineApi:
         (pkg / "mod.py").write_text("import random\n")
         report = LintEngine(tmp_path / "pkg").run()
         assert [d.location for d in report] == ["pkg/sub/mod.py"]
+
+
+class TestEventTimestamps:
+    def test_wallclock_at_flagged_anywhere(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            def emit(obs):
+                obs.events.record(Severity.INFO, "engine", "started",
+                                  at=time.time())
+            """)
+        findings = report.by_rule("LN008")
+        assert len(findings) == 1
+        assert "wall clock" in findings[0].message
+
+    def test_simulated_at_passes(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def emit(obs, clock):
+                obs.events.record(Severity.INFO, "engine", "started",
+                                  at=clock.now())
+            """)
+        assert report.by_rule("LN008") == []
+
+    def test_missing_at_tolerated_outside_simclock_modules(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def emit(obs):
+                obs.events.record(Severity.INFO, "engine", "started")
+            """)
+        assert report.by_rule("LN008") == []
+
+    def test_missing_at_flagged_in_simclock_modules(self, tmp_path):
+        module = tmp_path / "repro" / "obs" / "telemetry.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(textwrap.dedent("""\
+            def emit(events, state):
+                events.record(Severity.WARNING, "telemetry", "alert")
+            """))
+        report = lint_paths([tmp_path / "repro"])
+        findings = report.by_rule("LN008")
+        assert len(findings) == 1
+        assert "simulated-clock" in findings[0].message
+
+    def test_severity_subscript_accepted_by_ln006(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            SEVERITY_OF = {"firing": Severity.ERROR}
+
+            def emit(obs, state, when):
+                obs.events.record(SEVERITY_OF[state], "telemetry", "alert",
+                                  at=when)
+            """)
+        assert report.by_rule("LN006") == []
+
+    def test_shipped_telemetry_module_passes_the_gate(self):
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        report = LintEngine(root).run()
+        assert report.by_rule("LN008") == []
+
+
+class TestProtocolRaises:
+    def test_module_getattr_may_raise_attribute_error(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def __getattr__(name):
+                raise AttributeError(f"no attribute {name!r}")
+            """)
+        assert report.by_rule("LN003") == []
+
+    def test_attribute_error_elsewhere_still_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            def lookup(name):
+                raise AttributeError(name)
+            """)
+        assert len(report.by_rule("LN003")) == 1

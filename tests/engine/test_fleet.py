@@ -235,3 +235,52 @@ class TestFleetHealth:
             fleet.route("feature")).capacity("feature")
         fleet.serve(requests(owner_capacity + 3))
         assert fleet.health().rejected == 3
+
+
+class TestFleetTelemetry:
+    def overloaded_serve(self, movie, short):
+        from repro.core.rational import Rational
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        fleet = Fleet(bandwidth=21_000, shards=3,
+                      obs=Observability(), telemetry=telemetry)
+        fleet.publish("feature", movie)
+        fleet.publish("short", short)
+        transitions = []
+
+        def watch(alert, at):
+            health = fleet.health()
+            transitions.append((str(at), alert.name, alert.state,
+                                health.status,
+                                tuple(a["name"]
+                                      for a in health.firing_alerts)))
+
+        telemetry.alerts.on_transition = watch
+        fleet.serve(
+            [SessionRequest(client=f"client-{i}", title="feature",
+                            arrival_time=Rational(i, 8))
+             for i in range(6)],
+            enforce_admission=False,
+        )
+        return fleet, telemetry, transitions
+
+    def test_alert_lifecycle_runs_during_fleet_serve(self, movie, short):
+        fleet, telemetry, transitions = self.overloaded_serve(movie, short)
+        states = [t[2] for t in transitions]
+        assert "pending" in states and "firing" in states
+        assert "resolved" in states
+        # mid-serve, a firing alert degrades fleet health and is named
+        firing = [t for t in transitions if t[2] == "firing"]
+        assert firing
+        for _, name, _, status, firing_names in firing:
+            assert status != "ok"
+            assert name in firing_names
+        assert fleet.telemetry is telemetry
+
+    def test_fleet_scrapes_are_byte_identical_across_runs(self, movie,
+                                                          short):
+        first = self.overloaded_serve(movie, short)[1]
+        second = self.overloaded_serve(movie, short)[1]
+        assert first.store.dump() == second.store.dump()
+        assert first.store.alert_rows() == second.store.alert_rows()

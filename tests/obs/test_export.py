@@ -183,3 +183,56 @@ class TestChromeTrace:
         assert row["cat"] == "ERROR"
         assert row["ts"] == 500_000.0
         assert row["args"]["page"] == 9
+
+
+@pytest.fixture(scope="module")
+def fleet_obs():
+    """A three-shard fleet serving four correlated sessions."""
+    from repro.blob import MemoryBlob
+    from repro.codecs.jpeg_like import JpegLikeCodec
+    from repro.engine import Recorder
+    from repro.engine.fleet import Fleet
+    from repro.engine.vod import SessionRequest
+    from repro.media import frames
+    from repro.media.objects import video_object
+
+    def title(name):
+        video = video_object(frames.scene(32, 24, 8, "orbit"), name)
+        return Recorder(MemoryBlob()).record(
+            [video], encoders={name: JpegLikeCodec(quality=40).encode},
+        )
+
+    obs = Observability()
+    fleet = Fleet(bandwidth=2_000_000, shards=3, obs=obs)
+    fleet.publish("feature", title("feature"))
+    fleet.publish("short", title("short"))
+    fleet.serve([
+        SessionRequest(client=f"client-{i}", title=name)
+        for i, name in enumerate(["feature", "short", "feature", "short"])
+    ])
+    return obs
+
+
+class TestFleetChromeTrace:
+    def test_one_track_per_session(self, fleet_obs):
+        document = json.loads(to_chrome_trace(fleet_obs))
+        labels = [row["args"]["name"] for row in document["traceEvents"]
+                  if row["ph"] == "M"]
+        trace_tracks = [l for l in labels if l.startswith("trace:")]
+        # four sessions, four distinct correlation tracks
+        assert len(trace_tracks) == len(set(trace_tracks)) == 4
+
+    def test_session_spans_share_their_trace_track(self, fleet_obs):
+        document = json.loads(to_chrome_trace(fleet_obs))
+        rows = [r for r in document["traceEvents"] if r["ph"] != "M"]
+        by_trace = {}
+        for row in rows:
+            trace_id = row.get("args", {}).get("trace_id")
+            if trace_id is not None:
+                by_trace.setdefault(trace_id, set()).add(row["tid"])
+        assert len(by_trace) == 4
+        for tids in by_trace.values():
+            assert len(tids) == 1
+
+    def test_track_assignment_is_deterministic(self, fleet_obs):
+        assert to_chrome_trace(fleet_obs) == to_chrome_trace(fleet_obs)

@@ -13,11 +13,11 @@ from repro.core.derivation import (
 )
 from repro.core.media_types import MediaKind
 from repro.engine.recorder import Recorder
-from repro.errors import BlobCorruptionError
+from repro.errors import BlobCorruptionError, ObservabilityError
 from repro.faults import FaultPlan, FaultyPager
 from repro.media import frames, signals
 from repro.media.objects import audio_object, video_object
-from repro.obs import NULL_OBS, Instrumented, Observability
+from repro.obs import NULL_OBS, Instrumented, Observability, Severity
 from repro.query.database import MediaDatabase
 
 
@@ -247,3 +247,37 @@ class TestDatabaseMetrics:
         movie = Recorder(MemoryBlob()).record([video])
         db.add_interpretation(movie)
         assert movie.obs is obs
+
+
+class TestScopedViews:
+    def test_scoped_metrics_prefix_names(self, obs):
+        shard = obs.scoped("shard0")
+        shard.metrics.counter("engine.play.underruns").inc(3)
+        assert obs.metrics.get("shard0.engine.play.underruns").total() == 3
+        assert shard.metrics.names() == ["shard0.engine.play.underruns"]
+
+    def test_duplicate_scope_prefix_rejected(self, obs):
+        obs.scoped("shard0")
+        with pytest.raises(ObservabilityError, match="already claimed"):
+            obs.scoped("shard0")
+
+    def test_nested_scoping_composes_flat_prefix(self, obs):
+        inner = obs.scoped("fleet").scoped("shard1")
+        assert inner.scope == "fleet.shard1"
+        inner.metrics.counter("reads").inc()
+        assert "fleet.shard1.reads" in obs.metrics.names()
+
+    def test_nested_collision_caught_against_flat_namespace(self, obs):
+        obs.scoped("fleet").scoped("shard1")
+        with pytest.raises(ObservabilityError, match="already claimed"):
+            obs.scoped("fleet.shard1")
+
+    def test_scoped_spans_and_events_tagged(self, obs):
+        shard = obs.scoped("shard2")
+        with shard.tracer.span("serve"):
+            pass
+        shard.events.record(Severity.INFO, "engine", "start", at=0)
+        (span,) = obs.tracer.spans
+        (event,) = obs.events.events()
+        assert span.attributes["scope"] == "shard2"
+        assert event.attributes["scope"] == "shard2"

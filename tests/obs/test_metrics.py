@@ -150,3 +150,61 @@ class TestExportValue:
         from repro.core.rational import Rational
 
         assert export_value(Rational(1, 3)) == str(Rational(1, 3))
+
+
+class TestHelpText:
+    def test_help_round_trips_through_export(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="bytes delivered").inc(3)
+        snap = registry.snapshot()
+        assert snap["c"]["help"] == "bytes delivered"
+
+    def test_help_omitted_when_unset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert "help" not in registry.snapshot()["c"]
+
+    def test_first_help_wins_and_late_help_fills_in(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", help="first")
+        registry.gauge("g", help="second")
+        assert registry.snapshot()["g"]["help"] == "first"
+        registry.counter("late")
+        registry.counter("late", help="attached later")
+        assert registry.snapshot()["late"]["help"] == "attached later"
+
+
+class TestGaugeSetMaxTypes:
+    def test_mixed_uncomparable_types_raise_taxonomy_error(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set_max(3)
+        with pytest.raises(ObservabilityError):
+            gauge.set_max("seven")
+
+    def test_comparable_types_still_work(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set_max(3)
+        gauge.set_max(4.5)
+        assert gauge.value() == 4.5
+
+
+class TestHistogramOverflow:
+    def test_overflow_count_tracks_last_bucket(self):
+        hist = MetricsRegistry().histogram("t", buckets=(0.1, 1.0))
+        assert hist.overflow_count() == 0
+        hist.observe(0.05)
+        hist.observe(5.0)
+        hist.observe(7.0)
+        assert hist.overflow_count() == 2
+
+    def test_overflow_count_per_label_set(self):
+        hist = MetricsRegistry().histogram("t", buckets=(0.1,))
+        hist.observe(9.0, sequence="video")
+        assert hist.overflow_count(sequence="video") == 1
+        assert hist.overflow_count() == 0
+
+    def test_overflow_quantile_clamps_to_last_boundary(self):
+        hist = MetricsRegistry().histogram("t", buckets=(0.1, 1.0))
+        hist.observe(50.0)
+        hist.observe(60.0)
+        assert hist.quantile(0.99) == 1.0

@@ -72,3 +72,85 @@ class TestQueryStage:
         assert passed
         assert "7" in text
         assert "ok" in text
+
+
+class TestTelemetryStage:
+    def test_telemetry_stage_passes(self, capsys):
+        assert main(["--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry pipeline smoke" in out
+        assert "alert fired during serve" in out
+        assert "check passed" in out
+
+    def test_smoke_reports_full_alert_lifecycle(self):
+        from repro.tools.check import run_telemetry
+
+        passed, text = run_telemetry()
+        assert passed
+        for check in ("firing visible in health() mid-serve",
+                      "alert resolved before serve returned",
+                      "store dump byte-identical",
+                      "alert timeline identical"):
+            assert check in text
+
+
+class TestBenchCompare:
+    def write_baseline(self, tmp_path, metrics):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"experiment": "telemetry", "metrics": metrics}))
+        return baseline
+
+    def write_current(self, tmp_path, metrics):
+        results = tmp_path / "results"
+        results.mkdir(exist_ok=True)
+        (results / "BENCH_telemetry.json").write_text(json.dumps(
+            {"experiment": "telemetry", "metrics": metrics}))
+        return results
+
+    def test_matching_throughput_passes(self, tmp_path):
+        from repro.tools.check import run_bench_compare
+
+        baseline = self.write_baseline(
+            tmp_path, {"serves_per_second_bare": 10.0})
+        results = self.write_current(
+            tmp_path, {"serves_per_second_bare": 9.5})
+        passed, text = run_bench_compare(str(baseline), results)
+        assert passed
+        assert "ok" in text
+
+    def test_large_regression_fails(self, tmp_path):
+        from repro.tools.check import run_bench_compare
+
+        baseline = self.write_baseline(
+            tmp_path, {"serves_per_second_bare": 10.0})
+        results = self.write_current(
+            tmp_path, {"serves_per_second_bare": 5.0})
+        passed, text = run_bench_compare(str(baseline), results)
+        assert not passed
+        assert "FAIL" in text
+
+    def test_informational_metrics_never_gate(self, tmp_path):
+        from repro.tools.check import run_bench_compare
+
+        baseline = self.write_baseline(tmp_path, {"scrapes": 14.0})
+        results = self.write_current(tmp_path, {"scrapes": 2.0})
+        passed, _ = run_bench_compare(str(baseline), results)
+        assert passed
+
+    def test_missing_current_result_fails_gating_metric(self, tmp_path):
+        from repro.tools.check import run_bench_compare
+
+        baseline = self.write_baseline(
+            tmp_path, {"serves_per_second_bare": 10.0})
+        results = tmp_path / "results"
+        results.mkdir()
+        passed, text = run_bench_compare(str(baseline), results)
+        assert not passed
+
+    def test_missing_baseline_fails(self, tmp_path):
+        from repro.tools.check import run_bench_compare
+
+        passed, text = run_bench_compare(str(tmp_path / "nope.json"))
+        assert not passed
+        assert "no baseline" in text

@@ -116,3 +116,17 @@ class TestIndexCensus:
         assert "temporal index census" in out
         assert "objects" in out
         assert "writes" in out
+
+
+class TestDashboard:
+    def test_dash_renders_sections(self, container_path, capsys):
+        assert main([container_path, "--dash", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry dashboard" in out
+        assert "series (sparkline per scrape)" in out
+        assert "shard heat" in out
+
+    def test_dash_default_client_count(self, container_path, capsys):
+        assert main([container_path, "--dash"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry dashboard" in out
