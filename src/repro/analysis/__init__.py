@@ -1,6 +1,6 @@
-"""Static verification layer: graph checker and codebase linter.
+"""Static verification layer: graph checker, linter and dataflow engine.
 
-Two engines share one diagnostic vocabulary
+Three engines share one diagnostic vocabulary
 (:mod:`repro.analysis.diagnostics`):
 
 * the **media-graph checker** (:mod:`repro.analysis.graph`) verifies
@@ -9,9 +9,15 @@ Two engines share one diagnostic vocabulary
   conflicts, and the §4.2 store-or-expand decision priced statically;
 * the **codebase linter** (:mod:`repro.analysis.lint`) walks the
   library's own sources enforcing the repo's determinism and
-  error-taxonomy contracts.
+  error-taxonomy contracts, one statement at a time;
+* the **dataflow engine** (:mod:`repro.analysis.dataflow`) builds
+  per-function CFGs (:mod:`repro.analysis.cfg`), runs a monotone
+  fixpoint solver over them (:mod:`repro.analysis.lattice`) and checks
+  *path* properties the flat linter cannot: pin/unpin and WAL
+  commit protocols, float taint into exact-rational time, unordered
+  iteration, swallowed crashes.
 
-``python -m repro.tools.check --all`` runs both and is the CI gate.
+``python -m repro.tools.check --all`` runs all three; it is the CI gate.
 """
 
 from repro.analysis.diagnostics import (
@@ -35,6 +41,17 @@ from repro.analysis.graph import (
     static_rate,
     static_time_system,
 )
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    Analysis,
+    DataflowEngine,
+    check_paths,
+    check_repo,
+    sarif_report,
+    solve,
+    validate_sarif,
+)
+from repro.analysis import checkers  # noqa: F401  (DF rule registration)
 from repro.analysis.lint import LintEngine, lint_paths, lint_repo
 from repro.analysis.rules.feasibility import (
     DerivationVerdict,
@@ -42,6 +59,9 @@ from repro.analysis.rules.feasibility import (
 )
 
 __all__ = [
+    "Analysis",
+    "CFG",
+    "DataflowEngine",
     "Diagnostic",
     "DiagnosticReport",
     "DerivationVerdict",
@@ -49,6 +69,12 @@ __all__ = [
     "GraphContext",
     "GraphWalker",
     "LintEngine",
+    "build_cfg",
+    "check_paths",
+    "check_repo",
+    "sarif_report",
+    "solve",
+    "validate_sarif",
     "PLAN_POLICIES",
     "Placement",
     "RuleInfo",

@@ -1,0 +1,544 @@
+"""Control-flow graphs over pure ``ast`` for the dataflow engine.
+
+:func:`build_cfg` lowers one function body to a statement-level CFG:
+every simple statement, branch test and loop head becomes a
+:class:`CFGNode`; edges carry a *kind* so the fixpoint solver can tell
+normal fall-through from exceptional transfer. Three synthetic nodes
+frame every graph — ``entry``, ``exit`` (normal return) and
+``raise-exit`` (an exception leaving the function) — so typestate
+checkers can ask "what is still held on *any* way out?".
+
+Modeling decisions, chosen for may-analysis soundness at low noise:
+
+* Every statement that can plausibly raise (anything containing a
+  call, attribute access, subscript or operator) gets an ``exc`` edge
+  to the innermost active exception targets: the handler heads of an
+  enclosing ``try``, a copy of its ``finally`` suite, or ``raise-exit``.
+  Trivial statements (``pass``, a constant assigned to a bare name)
+  get none, so bookkeeping between acquire and release does not fork
+  spurious leak paths.
+* ``finally`` suites are *duplicated per continuation*, the way the
+  CPython compiler lowers them: the copy reached by normal completion
+  flows onward, the copy reached by an exception re-joins exception
+  propagation, and ``return``/``break``/``continue`` that cross the
+  ``try`` each route through their own copy. Duplication keeps every
+  path through a ``finally`` explicit, which is exactly what a
+  release-on-every-path check needs.
+* A ``try`` whose handlers include a catch-all (bare ``except``,
+  ``except Exception``/``BaseException``) does not add the "unmatched
+  exception" edge past the handlers; otherwise it does.
+* ``with`` does not suppress exceptions (none of the repo's context
+  managers do): body statements keep their ``exc`` edges outward.
+* Statements after an abrupt exit (``return``/``raise``/...) in the
+  same suite are dead code and get no nodes, so every node in a built
+  graph — except possibly the two synthetic exits, when the body
+  cannot reach one of them — is reachable from ``entry``, a property
+  the hypothesis suite pins down.
+
+Nothing is imported or executed; the builder only reads the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import AnalysisError
+
+#: Edge kinds. ``exc`` edges carry the *pre*-statement state in the
+#: solver (the statement may not have completed); everything else
+#: carries the post-state.
+EDGE_KINDS = ("normal", "true", "false", "iter", "exhaust", "back", "exc")
+
+#: Handler type names treated as catching everything.
+CATCH_ALL_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@dataclass
+class CFGNode:
+    """One CFG vertex: a statement, a test, or a synthetic frame node."""
+
+    node_id: int
+    label: str  # "entry" | "exit" | "raise-exit" | "stmt" | "test" | ...
+    stmt: ast.AST | None = None
+    line: int | None = None
+
+    def describe(self) -> str:
+        if self.stmt is None:
+            return self.label
+        text = ast.unparse(self.stmt) if not isinstance(
+            self.stmt, (ast.If, ast.While, ast.For, ast.Try, ast.With,
+                        ast.Match)
+        ) else ast.unparse(self.stmt).splitlines()[0]
+        if len(text) > 60:
+            text = text[:57] + "..."
+        return f"{self.label} L{self.line}: {text}"
+
+
+@dataclass
+class HandlerRegion:
+    """An ``except`` clause: its head node and its body's node ids."""
+
+    handler: ast.ExceptHandler
+    head: int
+    body_ids: frozenset[int]
+
+    def names_exception(self, name: str) -> bool:
+        """True when the handler's type expression mentions ``name``."""
+        type_expr = self.handler.type
+        if type_expr is None:
+            return False
+        for node in ast.walk(type_expr):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == name:
+                return True
+        return False
+
+
+class CFG:
+    """A built control-flow graph; nodes and kind-tagged edges."""
+
+    def __init__(self, name: str, qualname: str):
+        self.name = name
+        self.qualname = qualname
+        self.nodes: dict[int, CFGNode] = {}
+        self.succs: dict[int, list[tuple[int, str]]] = {}
+        self.preds: dict[int, list[tuple[int, str]]] = {}
+        self.handler_regions: list[HandlerRegion] = []
+        self.entry = self._new("entry").node_id
+        self.exit = self._new("exit").node_id
+        self.raise_exit = self._new("raise-exit").node_id
+
+    # -- construction --------------------------------------------------------
+
+    def _new(self, label: str, stmt: ast.AST | None = None) -> CFGNode:
+        node = CFGNode(len(self.nodes), label, stmt,
+                       getattr(stmt, "lineno", None))
+        self.nodes[node.node_id] = node
+        self.succs[node.node_id] = []
+        self.preds[node.node_id] = []
+        return node
+
+    def add_edge(self, src: int, dst: int, kind: str = "normal") -> None:
+        if kind not in EDGE_KINDS:
+            raise AnalysisError(f"unknown CFG edge kind {kind!r}")
+        if (dst, kind) not in self.succs[src]:
+            self.succs[src].append((dst, kind))
+            self.preds[dst].append((src, kind))
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        return sum(len(out) for out in self.succs.values())
+
+    def exits(self) -> tuple[int, int]:
+        """(normal exit, exceptional exit) node ids."""
+        return self.exit, self.raise_exit
+
+    def reachable_from_entry(self) -> set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            for succ, _ in self.succs[node]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def statement_nodes(self) -> list[CFGNode]:
+        """Non-synthetic nodes in id (construction) order."""
+        return [n for n in self.nodes.values() if n.stmt is not None]
+
+    def dump(self) -> str:
+        """Deterministic text rendering (``inspect --cfg`` output)."""
+        lines = [
+            f"cfg {self.name}::{self.qualname} — "
+            f"{len(self.nodes)} nodes, {self.edge_count()} edges"
+        ]
+        for node_id in sorted(self.nodes):
+            lines.append(f"  [{node_id}] {self.nodes[node_id].describe()}")
+            for dst, kind in self.succs[node_id]:
+                lines.append(f"      -> {dst} ({kind})")
+        return "\n".join(lines)
+
+
+#: Statements with no failure mode of their own.
+_NEVER_RAISES = (ast.Pass, ast.Break, ast.Continue, ast.Global,
+                 ast.Nonlocal)
+
+
+def _expr_is_trivial(expr: ast.AST | None) -> bool:
+    """Constants, bare names and containers of those cannot raise."""
+    if expr is None:
+        return True
+    if isinstance(expr, (ast.Constant, ast.Name)):
+        return True
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return all(_expr_is_trivial(el) for el in expr.elts)
+    return False
+
+
+def may_raise(stmt: ast.AST) -> bool:
+    """Whether a statement can transfer control to an exception edge."""
+    if isinstance(stmt, _NEVER_RAISES):
+        return False
+    if isinstance(stmt, ast.expr):  # a branch/loop test or match subject
+        return not _expr_is_trivial(stmt)
+    if isinstance(stmt, ast.Assign):
+        return not (all(isinstance(t, ast.Name) for t in stmt.targets)
+                    and _expr_is_trivial(stmt.value))
+    if isinstance(stmt, ast.AnnAssign):
+        return not (isinstance(stmt.target, ast.Name)
+                    and _expr_is_trivial(stmt.value))
+    if isinstance(stmt, ast.Return):
+        return not _expr_is_trivial(stmt.value)
+    if isinstance(stmt, ast.Expr):
+        return not _expr_is_trivial(stmt.value)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False  # defining (not calling) a nested function
+    return True
+
+
+@dataclass
+class _Context:
+    """Where control transfers to from the suite being built.
+
+    ``exc`` yields the current exception targets (handler heads and/or
+    a finally copy and/or ``raise-exit``); ``ret`` the return target
+    (``exit`` or a finally copy); ``brk``/``cont`` the loop targets
+    when inside a loop. All are thunks because ``finally`` copies are
+    materialized lazily, once per distinct continuation.
+    """
+
+    exc: Callable[[], list[int]]
+    ret: Callable[[], int]
+    brk: Callable[[], int] | None = None
+    cont: Callable[[], int] | None = None
+
+
+@dataclass
+class _Frontier:
+    """Dangling edges awaiting the next statement's head node."""
+
+    edges: list[tuple[int, str]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.edges)
+
+
+class _Builder:
+    """Lowers one function body; one instance per :func:`build_cfg`."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 name: str, qualname: str):
+        self.func = func
+        self.cfg = CFG(name, qualname)
+
+    def build(self) -> CFG:
+        ctx = _Context(
+            exc=lambda: [self.cfg.raise_exit],
+            ret=lambda: self.cfg.exit,
+        )
+        head, frontier = self.block(self.func.body, ctx)
+        if head is not None:
+            self.cfg.add_edge(self.cfg.entry, head, "normal")
+        else:  # syntactically impossible (bodies are non-empty), but safe
+            self.cfg.add_edge(self.cfg.entry, self.cfg.exit, "normal")
+        self.connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ------------------------------------------------------------
+
+    def connect(self, frontier: _Frontier, target: int) -> None:
+        for src, kind in frontier.edges:
+            self.cfg.add_edge(src, target, kind)
+
+    def block(self, stmts: Iterable[ast.stmt],
+              ctx: _Context) -> tuple[int | None, _Frontier]:
+        """Build a suite; returns (head node id, normal-exit frontier).
+
+        Building stops at the first statement whose frontier is empty
+        (abrupt exit): the suite's remaining statements are dead code
+        and deliberately get no nodes.
+        """
+        head: int | None = None
+        frontier: _Frontier | None = None
+        for stmt in stmts:
+            stmt_head, stmt_frontier = self.statement(stmt, ctx)
+            if head is None:
+                head = stmt_head
+            if frontier is not None:
+                self.connect(frontier, stmt_head)
+            frontier = stmt_frontier
+            if not frontier:
+                break
+        return head, frontier if frontier is not None else _Frontier()
+
+    def simple(self, stmt: ast.AST, ctx: _Context,
+               label: str = "stmt") -> tuple[int, _Frontier]:
+        node = self.cfg._new(label, stmt)
+        if may_raise(stmt):
+            for target in ctx.exc():
+                self.cfg.add_edge(node.node_id, target, "exc")
+        return node.node_id, _Frontier([(node.node_id, "normal")])
+
+    # -- statement dispatch --------------------------------------------------
+
+    def statement(self, stmt: ast.stmt,
+                  ctx: _Context) -> tuple[int, _Frontier]:
+        if isinstance(stmt, ast.If):
+            return self.build_if(stmt, ctx)
+        if isinstance(stmt, ast.While):
+            return self.build_while(stmt, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self.build_for(stmt, ctx)
+        if isinstance(stmt, ast.Try):
+            return self.build_try(stmt, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.build_with(stmt, ctx)
+        if isinstance(stmt, ast.Match):
+            return self.build_match(stmt, ctx)
+        if isinstance(stmt, ast.Return):
+            node_id, _ = self.simple(stmt, ctx, "return")
+            self.cfg.add_edge(node_id, ctx.ret(), "normal")
+            return node_id, _Frontier()
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg._new("raise", stmt)
+            for target in ctx.exc():
+                self.cfg.add_edge(node.node_id, target, "exc")
+            return node.node_id, _Frontier()
+        if isinstance(stmt, ast.Break):
+            node = self.cfg._new("break", stmt)
+            if ctx.brk is not None:
+                self.cfg.add_edge(node.node_id, ctx.brk(), "normal")
+            return node.node_id, _Frontier()
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg._new("continue", stmt)
+            if ctx.cont is not None:
+                self.cfg.add_edge(node.node_id, ctx.cont(), "back")
+            return node.node_id, _Frontier()
+        return self.simple(stmt, ctx)
+
+    def build_if(self, stmt: ast.If, ctx: _Context) -> tuple[int, _Frontier]:
+        test_id, _ = self.simple(stmt.test, ctx, "test")
+        body_head, body_frontier = self.block(stmt.body, ctx)
+        self.cfg.add_edge(test_id, body_head, "true")
+        merged = _Frontier(list(body_frontier.edges))
+        if stmt.orelse:
+            else_head, else_frontier = self.block(stmt.orelse, ctx)
+            self.cfg.add_edge(test_id, else_head, "false")
+            merged.edges.extend(else_frontier.edges)
+        else:
+            merged.edges.append((test_id, "false"))
+        return test_id, merged
+
+    def build_while(self, stmt: ast.While,
+                    ctx: _Context) -> tuple[int, _Frontier]:
+        test_id, _ = self.simple(stmt.test, ctx, "loop-test")
+        join = self.cfg._new("loop-exit")
+        loop_ctx = _Context(exc=ctx.exc, ret=ctx.ret,
+                            brk=lambda: join.node_id,
+                            cont=lambda: test_id)
+        body_head, body_frontier = self.block(stmt.body, loop_ctx)
+        self.cfg.add_edge(test_id, body_head, "true")
+        for src, _kind in body_frontier.edges:
+            self.cfg.add_edge(src, test_id, "back")
+        if stmt.orelse:
+            else_head, else_frontier = self.block(stmt.orelse, ctx)
+            self.cfg.add_edge(test_id, else_head, "false")
+            self.connect(else_frontier, join.node_id)
+        else:
+            self.cfg.add_edge(test_id, join.node_id, "false")
+        return test_id, _Frontier([(join.node_id, "normal")])
+
+    def build_for(self, stmt: ast.For | ast.AsyncFor,
+                  ctx: _Context) -> tuple[int, _Frontier]:
+        head = self.cfg._new("loop-head", stmt)
+        for target in ctx.exc():  # iterator setup/next can raise
+            self.cfg.add_edge(head.node_id, target, "exc")
+        join = self.cfg._new("loop-exit")
+        loop_ctx = _Context(exc=ctx.exc, ret=ctx.ret,
+                            brk=lambda: join.node_id,
+                            cont=lambda: head.node_id)
+        body_head, body_frontier = self.block(stmt.body, loop_ctx)
+        self.cfg.add_edge(head.node_id, body_head, "iter")
+        for src, _kind in body_frontier.edges:
+            self.cfg.add_edge(src, head.node_id, "back")
+        if stmt.orelse:
+            else_head, else_frontier = self.block(stmt.orelse, ctx)
+            self.cfg.add_edge(head.node_id, else_head, "exhaust")
+            self.connect(else_frontier, join.node_id)
+        else:
+            self.cfg.add_edge(head.node_id, join.node_id, "exhaust")
+        return head.node_id, _Frontier([(join.node_id, "normal")])
+
+    def build_with(self, stmt: ast.With | ast.AsyncWith,
+                   ctx: _Context) -> tuple[int, _Frontier]:
+        enter_id, _ = self.simple(stmt, ctx, "with")
+        body_head, body_frontier = self.block(stmt.body, ctx)
+        if body_head is not None:
+            self.cfg.add_edge(enter_id, body_head, "normal")
+        return enter_id, body_frontier
+
+    def build_match(self, stmt: ast.Match,
+                    ctx: _Context) -> tuple[int, _Frontier]:
+        subject_id, _ = self.simple(stmt.subject, ctx, "match")
+        merged = _Frontier([(subject_id, "false")])  # no case matched
+        for case in stmt.cases:
+            case_head, case_frontier = self.block(case.body, ctx)
+            self.cfg.add_edge(subject_id, case_head, "true")
+            merged.edges.extend(case_frontier.edges)
+        return subject_id, merged
+
+    def build_try(self, stmt: ast.Try,
+                  ctx: _Context) -> tuple[int, _Frontier]:
+        # -- finally: wrap every continuation in a lazily-built copy --
+        if stmt.finalbody:
+            copies: dict[tuple[int, ...], int] = {}
+
+            def finally_copy(targets: list[int]) -> int:
+                key = tuple(sorted(targets))
+                if key not in copies:
+                    head, frontier = self.block(stmt.finalbody, ctx)
+                    for target in targets:
+                        # exception propagation resumes / control
+                        # continues after the copy completes
+                        self.connect(frontier, target)
+                    copies[key] = head if head is not None else targets[0]
+                return copies[key]
+
+            exc_t = lambda: [finally_copy(ctx.exc())]        # noqa: E731
+            ret_t = lambda: finally_copy([ctx.ret()])        # noqa: E731
+            brk_t = (lambda: finally_copy([ctx.brk()])) \
+                if ctx.brk is not None else None
+            cont_t = (lambda: finally_copy([ctx.cont()])) \
+                if ctx.cont is not None else None
+        else:
+            exc_t, ret_t, brk_t, cont_t = ctx.exc, ctx.ret, ctx.brk, ctx.cont
+
+        # -- handlers ---------------------------------------------------------
+        handler_ctx = _Context(exc=exc_t, ret=ret_t, brk=brk_t, cont=cont_t)
+        handler_heads: list[int] = []
+        out = _Frontier()
+        catch_all = False
+        for handler in stmt.handlers:
+            if handler.type is None:
+                catch_all = True
+            else:
+                for node in ast.walk(handler.type):
+                    if isinstance(node, ast.Name) \
+                            and node.id in CATCH_ALL_NAMES:
+                        catch_all = True
+            head = self.cfg._new("except", handler)
+            before = len(self.cfg.nodes)
+            body_head, body_frontier = self.block(handler.body, handler_ctx)
+            body_ids = frozenset(range(before, len(self.cfg.nodes)))
+            if body_head is not None:
+                self.cfg.add_edge(head.node_id, body_head, "normal")
+            handler_heads.append(head.node_id)
+            out.edges.extend(body_frontier.edges)
+            self.cfg.handler_regions.append(
+                HandlerRegion(handler, head.node_id, body_ids))
+
+        def body_exc() -> list[int]:
+            targets = list(handler_heads)
+            if not handler_heads or not catch_all:
+                targets.extend(exc_t())
+            return targets
+
+        body_ctx = _Context(exc=body_exc, ret=ret_t, brk=brk_t, cont=cont_t)
+        body_head, body_frontier = self.block(stmt.body, body_ctx)
+
+        # a body of never-raising statements must still reach its
+        # handlers (asynchronous exceptions exist); anchor on the head
+        for head_id in handler_heads:
+            if not self.cfg.preds[head_id] and body_head is not None:
+                self.cfg.add_edge(body_head, head_id, "exc")
+
+        if stmt.orelse and body_frontier:
+            else_head, else_frontier = self.block(stmt.orelse, handler_ctx)
+            if else_head is not None:
+                self.connect(body_frontier, else_head)
+            normal_exit = else_frontier
+        else:
+            normal_exit = body_frontier
+
+        if stmt.finalbody:
+            # normal completion (and handler fall-through) runs the
+            # finally suite too — a fresh copy flowing onward
+            combined = _Frontier(normal_exit.edges + out.edges)
+            if combined:
+                fin_head, fin_frontier = self.block(stmt.finalbody, ctx)
+                if fin_head is not None:
+                    self.connect(combined, fin_head)
+                    result = fin_frontier
+                else:
+                    result = combined
+            else:
+                result = _Frontier()
+        else:
+            result = _Frontier(normal_exit.edges + out.edges)
+
+        head = body_head if body_head is not None else (
+            handler_heads[0] if handler_heads else self.cfg._new(
+                "stmt", stmt).node_id)
+        return head, result
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef,
+              name: str = "<module>", qualname: str | None = None) -> CFG:
+    """Build the CFG of one function definition."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise AnalysisError(
+            f"build_cfg wants a function definition, got "
+            f"{type(func).__name__}")
+    return _Builder(func, name, qualname or func.name).build()
+
+
+def function_defs(tree: ast.Module) -> list[tuple[str, ast.AST | None,
+                                                  ast.FunctionDef]]:
+    """Every function in a module: (qualname, enclosing class, def).
+
+    Nested functions and methods are yielded separately, each analyzed
+    against its own body (the framework is intraprocedural).
+    """
+    found: list[tuple[str, ast.AST | None, ast.FunctionDef]] = []
+
+    def walk(body: Iterable[ast.stmt], prefix: str,
+             enclosing_class: ast.ClassDef | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                found.append((qualname, enclosing_class, node))
+                walk(node.body, f"{qualname}.", enclosing_class)
+            elif isinstance(node, ast.ClassDef):
+                walk(node.body, f"{prefix}{node.name}.", node)
+            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For,
+                                   ast.While)):
+                # defs behind guards (TYPE_CHECKING, fallbacks) count too
+                for child_body in (getattr(node, "body", []),
+                                   getattr(node, "orelse", []),
+                                   getattr(node, "finalbody", [])):
+                    walk(child_body, prefix, enclosing_class)
+                for handler in getattr(node, "handlers", []):
+                    walk(handler.body, prefix, enclosing_class)
+    walk(tree.body, "", None)
+    return found
+
+
+__all__ = [
+    "CATCH_ALL_NAMES",
+    "CFG",
+    "CFGNode",
+    "EDGE_KINDS",
+    "HandlerRegion",
+    "build_cfg",
+    "function_defs",
+    "may_raise",
+]

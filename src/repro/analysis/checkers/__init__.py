@@ -1,0 +1,84 @@
+"""Dataflow checker registry (rules ``DF###``).
+
+Each checker is a function ``(FunctionContext) -> list[Diagnostic]``
+registered via :func:`~repro.analysis.dataflow.dataflow_rule`; this
+package pulls in the rule modules for the registration side effect,
+the same pattern the media-graph rules use.
+
+The helpers below answer the one question every checker asks of a CFG
+node: *which expressions does this node actually evaluate?* Compound
+statements are stored whole on their head node (a ``with`` node holds
+the ``With``, a loop head holds the ``For``), so naive ``ast.walk``
+over ``node.stmt`` would double-count the body that the CFG already
+expanded into separate nodes. :func:`scan_roots` returns only the
+sub-expressions the node itself evaluates.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import CFGNode
+
+
+def scan_roots(node: CFGNode) -> list[ast.AST]:
+    """The expressions evaluated *at* this node (bodies excluded)."""
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.If, ast.While)):  # defensive; heads store tests
+        return [stmt.test]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def calls_at(node: CFGNode) -> list[ast.Call]:
+    """Every call the node evaluates, in source order."""
+    calls = [
+        inner
+        for root in scan_roots(node)
+        for inner in ast.walk(root)
+        if isinstance(inner, ast.Call)
+    ]
+    return sorted(calls, key=lambda c: (c.lineno, c.col_offset))
+
+
+def call_method(call: ast.Call) -> str:
+    """``self.wal.begin()`` -> ``"begin"``; ``set()`` -> ``"set"``."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def receiver_text(call: ast.Call) -> str:
+    """``self.wal.begin()`` -> ``"self.wal"``; plain calls -> ``""``."""
+    if isinstance(call.func, ast.Attribute):
+        return ast.unparse(call.func.value)
+    return ""
+
+
+def names_in(tree: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(tree) if isinstance(n, ast.Name)}
+
+
+# Rule modules register on import (ids sort at run time).
+from repro.analysis.checkers import resource as _resource  # noqa: E402,F401
+from repro.analysis.checkers import taint as _taint  # noqa: E402,F401
+from repro.analysis.checkers import protocol as _protocol  # noqa: E402,F401
+
+__all__ = [
+    "call_method",
+    "calls_at",
+    "names_in",
+    "receiver_text",
+    "scan_roots",
+]

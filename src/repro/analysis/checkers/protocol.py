@@ -1,0 +1,204 @@
+"""Exception-protocol and ownership checkers (DF006/DF007/DF008).
+
+These rules are path queries over handler regions rather than lattice
+fixpoints: the CFG builder records each ``except`` clause's head node
+and body nodes, and the checkers ask whether *every* path through the
+region satisfies the protocol.
+
+* **DF006** — a handler swallows silently when some path through it
+  performs no call at all and never raises: no flight-recorder
+  emission, no fallback computation, just quiet degradation. Any call
+  counts as observable (conservatively — helpers may record), so the
+  rule only fires on genuinely dark paths (``pass``, bare ``return``,
+  counter bumps).
+* **DF007** — inside a shard-owning class (one that holds
+  ``self._shards``), shared caches and telemetry stores may only be
+  mutated through the owning shard's scoped namespace; direct
+  ``self.<shared>.put(...)`` from fleet code races the shard's own
+  bookkeeping on replay.
+* **DF008** — ``SimulatedCrash`` models process death; a handler
+  naming it must re-raise on every path (leaving via a *different*
+  exception still propagates abnormality and is allowed). Deliberate
+  absorption points (the crash matrix, checkpoint failover) carry
+  ``# repro: suppress DF008 — ...`` with the reason in the comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import CFG, HandlerRegion
+from repro.analysis.checkers import call_method, receiver_text, scan_roots
+from repro.analysis.dataflow import FunctionContext, dataflow_rule
+from repro.obs.events import Severity
+
+#: Method names that mutate shared caches/stores (DF007).
+SHARED_STATE_MUTATORS = frozenset({
+    "put", "admit", "insert", "store", "clear", "invalidate", "record",
+    "record_scrape", "record_alert", "observe", "inc", "set", "reset",
+    "prune", "drain", "append",
+})
+
+#: ``self.<attr>`` roots counted as shard-shared state when the class
+#: owns a shard table.
+SHARED_STATE_MARKERS = ("cache", "telemetry", "derivation")
+
+
+def _region_paths_escape(cfg: CFG, region: HandlerRegion,
+                         stops) -> bool:
+    """True when some path from the handler head leaves the region
+    without passing a node ``stops()`` accepts.
+
+    Escapes along ``exc`` edges do not count: an exception leaving the
+    handler is propagation, the opposite of silent swallowing.
+    """
+    members = region.body_ids | {region.head}
+    stack = [region.head]
+    seen = set()
+    while stack:
+        node_id = stack.pop()
+        if node_id in seen:
+            continue
+        seen.add(node_id)
+        if node_id != region.head and stops(cfg.nodes[node_id]):
+            continue
+        for succ, kind in cfg.succs[node_id]:
+            if succ in members:
+                stack.append(succ)
+            elif kind != "exc":
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# DF006 — silently swallowed exception
+# ---------------------------------------------------------------------------
+
+def _observable(node) -> bool:
+    if node.label == "raise":
+        return True
+    return any(
+        isinstance(inner, ast.Call)
+        for root in scan_roots(node)
+        for inner in ast.walk(root)
+    )
+
+
+#: Handler types DF006 never judges: catching these is the iterator
+#: protocol (generator return values ride StopIteration), the same
+#: carve-out LN003 makes for raising them.
+_PROTOCOL_EXCEPTIONS = frozenset({"StopIteration", "StopAsyncIteration"})
+
+
+@dataflow_rule(
+    "DF006", "exception swallowed with no emission on some path",
+    Severity.ERROR,
+    "An except handler has a path that neither raises nor performs any "
+    "call — no flight-recorder event, no fallback work — so the "
+    "failure degrades silently and the replay record goes dark.")
+def check_silent_swallow(ctx: FunctionContext):
+    diagnostics = []
+    for region in ctx.cfg.handler_regions:
+        if any(region.names_exception(name)
+               for name in _PROTOCOL_EXCEPTIONS):
+            continue
+        if _region_paths_escape(ctx.cfg, region, _observable):
+            caught = (ast.unparse(region.handler.type)
+                      if region.handler.type is not None else "everything")
+            diagnostics.append(ctx.diagnostic(
+                "DF006", region.handler.lineno,
+                f"handler for {caught} swallows the exception with no "
+                "emission on some path",
+                "record a flight-recorder event (events.record(...)) "
+                "on every handler path, or re-raise",
+            ))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# DF007 — shard-shared state mutated outside the owning namespace
+# ---------------------------------------------------------------------------
+
+def _scoped_ranges(func: ast.AST) -> list[tuple[int, int]]:
+    """Line spans of ``with ...scoped(...):`` blocks — the sanctioned
+    per-shard namespaces."""
+    spans = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call) \
+                        and call_method(expr) == "scoped":
+                    spans.append((node.lineno,
+                                  node.end_lineno or node.lineno))
+    return spans
+
+
+@dataflow_rule(
+    "DF007", "shard-shared state mutated outside its shard scope",
+    Severity.ERROR,
+    "Fleet-level code (a class owning self._shards) mutates a shared "
+    "DerivationCache/TelemetryStore directly instead of through the "
+    "owning shard's scoped namespace; on replay the fleet and the "
+    "shard disagree about who wrote what.")
+def check_shard_ownership(ctx: FunctionContext):
+    info = ctx.class_info
+    if info is None or not info.shard_owner:
+        return []
+    scoped = _scoped_ranges(ctx.func)
+    diagnostics = []
+    for node in ctx.cfg.statement_nodes():
+        for root in scan_roots(node):
+            for call in ast.walk(root):
+                if not isinstance(call, ast.Call):
+                    continue
+                recv = receiver_text(call)
+                if not recv.startswith("self."):
+                    continue
+                attr_root = recv[5:].split(".", 1)[0].lower()
+                if not any(marker in attr_root
+                           for marker in SHARED_STATE_MARKERS):
+                    continue
+                if call_method(call) not in SHARED_STATE_MUTATORS:
+                    continue
+                if any(lo <= call.lineno <= hi for lo, hi in scoped):
+                    continue
+                diagnostics.append(ctx.diagnostic(
+                    "DF007", call.lineno,
+                    f"{recv}.{call_method(call)}(...) mutates "
+                    "shard-shared state from fleet code outside a "
+                    "scoped namespace",
+                    "route the mutation through the owning shard (or "
+                    "inside `with obs.scoped(shard):`)",
+                ))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# DF008 — SimulatedCrash caught without re-raise
+# ---------------------------------------------------------------------------
+
+def _is_raise(node) -> bool:
+    return node.label == "raise"
+
+
+@dataflow_rule(
+    "DF008", "SimulatedCrash caught without re-raise", Severity.ERROR,
+    "SimulatedCrash models process death for the crash matrix; a "
+    "handler naming it must re-raise on every path, else the 'dead' "
+    "process keeps running and recovery is never exercised.")
+def check_crash_reraise(ctx: FunctionContext):
+    diagnostics = []
+    for region in ctx.cfg.handler_regions:
+        if not region.names_exception("SimulatedCrash"):
+            continue
+        if _region_paths_escape(ctx.cfg, region, _is_raise):
+            diagnostics.append(ctx.diagnostic(
+                "DF008", region.handler.lineno,
+                "SimulatedCrash handler has a path that does not "
+                "re-raise",
+                "re-raise the crash (bare `raise`); if this is a "
+                "deliberate absorption point, suppress with a reasoned "
+                "`# repro: suppress DF008 — ...` comment",
+            ))
+    return diagnostics

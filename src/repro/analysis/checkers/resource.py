@@ -1,0 +1,262 @@
+"""Typestate checkers for acquire/release protocols (DF001/DF002/DF005).
+
+All three rules are instances of one scheme: an *acquire* operation
+generates a fact, a *release* kills it, and any fact still live at the
+function's normal or exceptional exit is a leak on some path. The
+facts ride the powerset lattice; the exception-edge transfer keeps
+kills but drops gens — an acquire that raised never took effect, a
+release is modeled as succeeding (otherwise every ``finally: unpin()``
+would "leak" through its own release call).
+
+Keys are textual (``ast.unparse`` of receiver and argument), which is
+the honest intraprocedural compromise: ``pool.pin(p)`` matched by
+``pool.unpin(p)``, not by aliasing proofs. The fixtures pin down both
+the fire and the stay-silent side of each rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers import call_method, calls_at, receiver_text
+from repro.analysis.dataflow import (
+    Analysis,
+    FunctionContext,
+    dataflow_rule,
+)
+from repro.obs.events import Severity
+
+#: Constructors whose result is a closeable resource (DF005). Matched
+#: by bare callable name; ``sqlite3.connect`` by (receiver, method).
+RESOURCE_CONSTRUCTORS = frozenset({"open_tuned", "WriteAheadLog",
+                                   "TelemetryStore"})
+
+
+class _ProtocolAnalysis(Analysis):
+    """Shared gen/kill scheme; subclasses classify the calls."""
+
+    def gen_key(self, call: ast.Call, node) -> object | None:
+        raise NotImplementedError
+
+    def kill_keys(self, call: ast.Call, node, facts) -> set:
+        raise NotImplementedError
+
+    def _apply(self, node, state, include_gens: bool):
+        facts = set(state)
+        for call in calls_at(node):
+            facts -= {
+                fact for fact in facts
+                if fact[0] in self.kill_keys(call, node, facts)
+            }
+            if include_gens:
+                key = self.gen_key(call, node)
+                if key is not None:
+                    facts.add((key, call.lineno))
+        return frozenset(facts)
+
+    def transfer(self, node, state):
+        return self._apply(node, state, include_gens=True)
+
+    def transfer_exc(self, node, state):
+        # kills survive (a release succeeded-or-moot), gens do not
+        # (an acquire that raised never happened)
+        return self._apply(node, state, include_gens=False)
+
+
+def _leaks(ctx: FunctionContext, analysis: _ProtocolAnalysis):
+    """Facts live at either exit, reported once per key at the
+    earliest acquire line."""
+    states = ctx.solved(analysis)
+    live = set(states[ctx.cfg.exit]) | set(states[ctx.cfg.raise_exit])
+    earliest: dict[object, int] = {}
+    for key, line in sorted(live, key=repr):  # the engine's own DF004
+        earliest[key] = min(line, earliest.get(key, line))
+    return sorted(earliest.items(), key=lambda item: (item[1], str(item[0])))
+
+
+# ---------------------------------------------------------------------------
+# DF001 — BufferPool pin leaks
+# ---------------------------------------------------------------------------
+
+class PinAnalysis(_ProtocolAnalysis):
+    """Facts: ``(receiver, argument)`` pairs pinned and not yet
+    unpinned."""
+
+    def gen_key(self, call, node):
+        if call_method(call) == "pin" and len(call.args) == 1:
+            return (receiver_text(call), ast.unparse(call.args[0]))
+        return None
+
+    def kill_keys(self, call, node, facts):
+        method = call_method(call)
+        recv = receiver_text(call)
+        if method == "unpin" and len(call.args) == 1:
+            return {(recv, ast.unparse(call.args[0]))}
+        if method in ("clear", "close"):  # teardown releases everything
+            return {key for key, _ in facts if key[0] == recv}
+        return set()
+
+
+@dataflow_rule(
+    "DF001", "pin without unpin on some path", Severity.ERROR,
+    "A BufferPool pin is not released on every path out of the "
+    "function (exception edges included); pinned pages are never "
+    "eviction victims, so a leaked pin shrinks the pool forever.")
+def check_pin_release(ctx: FunctionContext):
+    return [
+        ctx.diagnostic(
+            "DF001", line,
+            f"{key[0]}.pin({key[1]}) is not unpinned on every path "
+            "out of the function",
+            "release in a finally: block (or a context manager) so "
+            "exception paths unpin too",
+        )
+        for key, line in _leaks(ctx, PinAnalysis())
+    ]
+
+
+# ---------------------------------------------------------------------------
+# DF002 — WAL transaction left open
+# ---------------------------------------------------------------------------
+
+class WalAnalysis(_ProtocolAnalysis):
+    """Facts: WAL receivers with a begun-or-written, uncommitted
+    transaction."""
+
+    def gen_key(self, call, node):
+        method = call_method(call)
+        recv = receiver_text(call)
+        if method == "begin" and "wal" in recv.lower():
+            return recv
+        if method in ("log_write", "log_grow"):
+            return recv
+        return None
+
+    def kill_keys(self, call, node, facts):
+        if call_method(call) in ("commit", "rollback"):
+            return {receiver_text(call)}
+        return set()
+
+
+@dataflow_rule(
+    "DF002", "WAL write without commit-or-rollback", Severity.ERROR,
+    "A WAL begin/log_write/log_grow is not followed by commit() or "
+    "rollback() on every path before scope exit; recovery semantics "
+    "then depend on whoever runs next.")
+def check_wal_commit(ctx: FunctionContext):
+    return [
+        ctx.diagnostic(
+            "DF002", line,
+            f"WAL transaction on {key} reaches scope exit without "
+            "commit() or rollback() on some path",
+            "commit on success, rollback on failure — or suppress "
+            "with a reason if recovery-by-scan is the intended "
+            "contract here",
+        )
+        for key, line in _leaks(ctx, WalAnalysis())
+    ]
+
+
+# ---------------------------------------------------------------------------
+# DF005 — resource opened but neither closed nor handed off
+# ---------------------------------------------------------------------------
+
+def _escaping_names(stmt: ast.AST) -> set[str]:
+    """Names whose value leaves the function's hands in this statement:
+    passed as a call argument, returned/yielded, aliased, stored into
+    an attribute/subscript or container. An escaped resource is the
+    new owner's to close, so its fact dies (conservatively quiet)."""
+    escaped: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                escaped |= {n.id for n in ast.walk(arg)
+                            if isinstance(n, ast.Name)}
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                escaped |= {n.id for n in ast.walk(node.value)
+                            if isinstance(n, ast.Name)}
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            value = node.value
+            if value is None:
+                continue
+            if isinstance(value, ast.Name):
+                escaped.add(value.id)  # aliasing: x = conn
+            elif isinstance(value, (ast.Tuple, ast.List, ast.Dict,
+                                    ast.Set)):
+                escaped |= {n.id for n in ast.walk(value)
+                            if isinstance(n, ast.Name)}
+            if any(isinstance(t, (ast.Attribute, ast.Subscript))
+                   for t in targets):
+                escaped |= {n.id for n in ast.walk(value)
+                            if isinstance(n, ast.Name)}
+    return escaped
+
+
+def _opened_resource(stmt: ast.AST) -> tuple[str, int] | None:
+    """``name = <resource constructor>(...)`` -> (name, line)."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value = stmt.targets[0], stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        target, value = stmt.target, stmt.value
+    else:
+        return None
+    if not (isinstance(target, ast.Name) and isinstance(value, ast.Call)):
+        return None
+    method = call_method(value)
+    recv = receiver_text(value)
+    if (recv, method) == ("sqlite3", "connect") \
+            or (not recv and method in RESOURCE_CONSTRUCTORS):
+        return target.id, value.lineno
+    return None
+
+
+class ResourceAnalysis(_ProtocolAnalysis):
+    """Facts: local variable names holding an unreleased resource."""
+
+    def gen_key(self, call, node):
+        opened = _opened_resource(node.stmt)
+        if opened is not None and isinstance(node.stmt, (ast.Assign,
+                                                         ast.AnnAssign)):
+            # gen only for the constructor call itself, not calls in args
+            value = (node.stmt.value if isinstance(node.stmt, ast.Assign)
+                     else node.stmt.value)
+            if call is value:
+                return opened[0]
+        return None
+
+    def kill_keys(self, call, node, facts):
+        if call_method(call) == "close":
+            return {receiver_text(call)}
+        return set()
+
+    def _apply(self, node, state, include_gens):
+        facts = super()._apply(node, state, include_gens)
+        if node.stmt is not None:
+            escaped = _escaping_names(node.stmt)
+            opened = _opened_resource(node.stmt)
+            if opened is not None and include_gens:
+                escaped.discard(opened[0])  # its own constructor args
+            facts = frozenset(f for f in facts if f[0] not in escaped)
+        return facts
+
+
+@dataflow_rule(
+    "DF005", "resource opened but never closed or handed off",
+    Severity.ERROR,
+    "A store/connection/WAL opened into a local variable reaches scope "
+    "exit on some path without close() and without escaping to a new "
+    "owner; in the simulated universe that handle never dies.")
+def check_resource_close(ctx: FunctionContext):
+    return [
+        ctx.diagnostic(
+            "DF005", line,
+            f"resource {key!r} opened here is neither closed nor "
+            "handed off on every path",
+            "close() in a finally: block, use a with-statement, or "
+            "store/return the handle so an owner takes over",
+        )
+        for key, line in _leaks(ctx, ResourceAnalysis())
+    ]

@@ -1,0 +1,85 @@
+"""Monotone lattices for the dataflow fixpoint solver.
+
+A lattice here is the small protocol the worklist solver needs:
+``bottom()``, ``join(a, b)`` and ``leq(a, b)``. Elements must be
+hashable/immutable values (frozensets, tuples, mapping proxies frozen
+as tuples) so states compare by value and the solver's convergence
+test is exact.
+
+The concrete lattices the checkers use:
+
+* :class:`PowersetLattice` — finite sets of facts under union. The
+  workhorse: typestate facts ("pin taken at line 41"), taint marks
+  ("variable t carries a float"), type marks ("variable s is a set").
+  May-analysis falls out of the union join: a fact present at a node
+  means *some* path establishes it.
+* :class:`MapLattice` — pointwise lift of a value lattice over a
+  finite key space, represented as a frozenset of (key, value) pairs
+  joined per key.
+
+Both are finite-height when the fact universe is finite (it is: facts
+are drawn from the statements of one function), which with monotone
+transfer functions is the classical termination argument the property
+suite re-derives on random CFGs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Tuple
+
+from repro.errors import AnalysisError
+
+
+class PowersetLattice:
+    """Finite subsets under union; bottom is the empty set."""
+
+    def bottom(self) -> FrozenSet:
+        return frozenset()
+
+    def join(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a | b
+
+    def leq(self, a: FrozenSet, b: FrozenSet) -> bool:
+        return a <= b
+
+
+class MapLattice:
+    """Pointwise lift: states are frozensets of ``(key, value)`` pairs.
+
+    ``join`` merges per key with the value lattice's join; a key absent
+    from a state is at the value lattice's bottom.
+    """
+
+    def __init__(self, values) -> None:
+        if not all(hasattr(values, attr)
+                   for attr in ("bottom", "join", "leq")):
+            raise AnalysisError(
+                "MapLattice needs a value lattice with "
+                "bottom/join/leq")
+        self.values = values
+
+    def bottom(self) -> FrozenSet[Tuple[Hashable, Hashable]]:
+        return frozenset()
+
+    def join(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        merged: dict = {}
+        for key, value in list(a) + list(b):
+            if key in merged:
+                merged[key] = self.values.join(merged[key], value)
+            else:
+                merged[key] = value
+        bottom = self.values.bottom()
+        return frozenset(
+            (key, value) for key, value in merged.items() if value != bottom
+        )
+
+    def leq(self, a: FrozenSet, b: FrozenSet) -> bool:
+        other = dict(b)
+        bottom = self.values.bottom()
+        return all(
+            self.values.leq(value, other.get(key, bottom))
+            for key, value in a
+        )
+
+
+__all__ = ["MapLattice", "PowersetLattice"]

@@ -158,6 +158,7 @@ def _rank(obj) -> int | None:
         return None
     try:
         return ladder.get(name).rank
+    # repro: suppress DF006 — unknown ladder name means "unrankable", not a failure
     except QualityError:
         return None
 

@@ -112,13 +112,24 @@ class PagedBlob(Blob):
     def read(self, offset: int, size: int) -> bytes:
         self._check_span(offset, size)
         page_size = self.store.page_size
+        pool = getattr(self.store, "buffer_pool", None)
         chunks = []
         remaining = size
         position = offset
         while remaining > 0:
             page_index, page_offset = divmod(position, page_size)
             take = min(remaining, page_size - page_offset)
-            page = self.store.read(self._pages[page_index])
+            page_no = self._pages[page_index]
+            if pool is not None:
+                # Hold the page against eviction for the span of the
+                # gather step; the unpin must survive a torn read.
+                pool.pin(page_no)
+                try:
+                    page = self.store.read(page_no)
+                finally:
+                    pool.unpin(page_no)
+            else:
+                page = self.store.read(page_no)
             chunks.append(page[page_offset:page_offset + take])
             position += take
             remaining -= take

@@ -73,6 +73,7 @@ class AttributeSpec:
 def _positive(value: Any) -> bool:
     try:
         return value > 0
+    # repro: suppress DF006 — validators are total: uncomparable means invalid
     except TypeError:
         return False
 
@@ -80,6 +81,7 @@ def _positive(value: Any) -> bool:
 def _non_negative(value: Any) -> bool:
     try:
         return value >= 0
+    # repro: suppress DF006 — validators are total: uncomparable means invalid
     except TypeError:
         return False
 

@@ -149,13 +149,15 @@ class CrashMatrix(Instrumented):
         acks: list = []
         try:
             self.scenario.run(fs, crash, acks)
-        except SimulatedCrash:
+        # repro: suppress DF008 — the matrix IS the process boundary: it
+        except SimulatedCrash:  # observes the death, then runs recovery
             fs.crash()
         state = None
         for _ in range(3):
             try:
                 state = self.scenario.recover(fs, crash)
                 break
+            # repro: suppress DF008 — crash-during-recovery is the scenario
             except SimulatedCrash:
                 # The armed site lives in the recovery path itself:
                 # crash again and re-recover — idempotence is part of

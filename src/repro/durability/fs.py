@@ -62,10 +62,12 @@ class OsFilesystem:
         """
         try:
             fd = os.open(path, os.O_RDONLY)
+        # repro: suppress DF006 — documented best-effort: no dir fds on this OS
         except OSError:  # pragma: no cover - platform-dependent
             return
         try:
             os.fsync(fd)
+        # repro: suppress DF006 — documented best-effort: dir fsync unsupported
         except OSError:  # pragma: no cover - platform-dependent
             pass
         finally:

@@ -415,7 +415,10 @@ class Fleet:
                 )
             try:
                 shard_reports.append(shard.serve(group, shard_opts))
-            except SimulatedCrash:
+            # repro: suppress DF008 — checkpoint-backed failover is the
+            except SimulatedCrash:  # deliberate absorption point: the dead
+                # shard's sessions resume from its checkpoint; without a
+                # checkpoint medium the crash still propagates (raise above)
                 if self.checkpoint_fs is None:
                     raise
                 shard_reports.append(self._failover(name, group, opts))

@@ -891,6 +891,7 @@ def _stat_float(value: Any) -> float | None:
         return None
     try:
         return float(value)
+    # repro: suppress DF006 — statistics columns are best-effort by contract
     except (TypeError, ValueError):
         return None
 

@@ -41,11 +41,15 @@ def open_tuned(path: str = ":memory:") -> sqlite3.Connection:
     for durability it does not need.
     """
     conn = sqlite3.connect(path)
-    conn.executescript(
-        "PRAGMA journal_mode=MEMORY;"
-        "PRAGMA synchronous=OFF;"
-        "PRAGMA temp_store=MEMORY;"
-    )
+    try:
+        conn.executescript(
+            "PRAGMA journal_mode=MEMORY;"
+            "PRAGMA synchronous=OFF;"
+            "PRAGMA temp_store=MEMORY;"
+        )
+    except Exception:
+        conn.close()  # don't leak the handle when a pragma fails
+        raise
     return conn
 
 
@@ -57,6 +61,7 @@ def approx(value: Fraction) -> float:
     """
     try:
         return float(value)
+    # repro: suppress DF006 — saturating to ±inf is the documented contract
     except OverflowError:  # pragma: no cover - astronomical timestamps
         return math.inf if value > 0 else -math.inf
 

@@ -9,9 +9,22 @@ any ERROR-level finding, so CI can gate on it:
 
 * ``--graph`` checks exemplar media graphs (the Figure 2 capture, the
   Figure 4 production and the §1.2 multilingual movie, rebuilt at
-  reduced scale) through the media-graph rules (MG001-MG009);
-* ``--lint`` runs the determinism/taxonomy linter (LN001-LN007) over
-  the library's own sources;
+  reduced scale) through the media-graph rules (the ``MG`` range —
+  ``--list-rules`` prints the live table; hardcoding the span here
+  went stale once already);
+* ``--lint`` runs the determinism/taxonomy linter (the ``LN`` range)
+  over the library's own sources;
+* ``--dataflow`` runs the CFG-based dataflow engine (the ``DF``
+  range: typestate protocols for pins, WAL transactions and resource
+  handles; wall-clock/float taint into exact-rational arithmetic;
+  set-iteration order hazards; swallowed exceptions and absorbed
+  simulated crashes) over the library's own sources. Findings listed
+  in the committed baseline (``analysis/dataflow_baseline.json``) are
+  reported but do not gate; only regressions fail the stage.
+  ``--sarif PATH`` additionally writes the dataflow report as SARIF
+  2.1.0; ``--update-baseline`` regenerates the baseline from the
+  current findings instead of gating; ``--dataflow-root PATH`` points
+  the engine at another tree (the baseline then does not apply);
 * ``--crash`` runs a reduced crash matrix (the ``small`` scenario set
   over the simulated medium): every injected crash point is exercised
   and recovery invariants are asserted — a fast smoke of the full
@@ -363,6 +376,46 @@ def run_external(tool: str, arguments: list[str]) -> tuple[str, str]:
     return "failed", detail
 
 
+def run_dataflow(ignore: tuple[str, ...] = (),
+                 root: str | None = None,
+                 baseline: Path | None = None,
+                 ) -> tuple[DiagnosticReport, int]:
+    """Run the dataflow engine; ``(fresh report, grandfathered count)``.
+
+    Over the default root (the installed ``repro`` package) the
+    committed baseline applies: findings whose fingerprints it lists
+    are split out and only fresh ones gate. A custom ``root`` gets no
+    baseline — everything it finds is fresh.
+    """
+    from repro.analysis.dataflow import (
+        DEFAULT_BASELINE,
+        check_paths,
+        check_repo,
+        load_baseline,
+        split_baselined,
+    )
+
+    if root is not None:
+        return check_paths([Path(root)], ignore=ignore), 0
+    report = check_repo(ignore=ignore)
+    known = load_baseline(DEFAULT_BASELINE if baseline is None else baseline)
+    return split_baselined(report, known)
+
+
+def rule_ranges() -> str:
+    """The live per-engine rule id spans, e.g. ``MG001-MG009``.
+
+    Derived from the registry rather than hardcoded, so the help text
+    cannot go stale when a rule is added.
+    """
+    spans = []
+    for engine in sorted({info.engine for info in
+                          (rule_registry.get(i) for i in rule_registry.ids())}):
+        ids = rule_registry.ids(engine=engine)
+        spans.append(ids[0] if len(ids) == 1 else f"{ids[0]}-{ids[-1]}")
+    return ", ".join(spans)
+
+
 def list_rules_text() -> str:
     """The registered rule table (the same source DESIGN.md renders)."""
     return table_text(
@@ -376,7 +429,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.check",
         description="Static verification gate: graph rules, self-lint, "
-                    "and (when installed) ruff/mypy.",
+                    "dataflow protocols, and (when installed) ruff/mypy.",
+        epilog=f"registered rules: {rule_ranges()} "
+               "(--list-rules for the full table)",
     )
     parser.add_argument("--all", action="store_true",
                         help="run every stage (default when no stage "
@@ -385,6 +440,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="check the exemplar media graphs")
     parser.add_argument("--lint", action="store_true",
                         help="lint the library's own sources")
+    parser.add_argument("--dataflow", action="store_true",
+                        help="run the CFG-based dataflow engine (DF "
+                             "rules) over the library's own sources")
+    parser.add_argument("--dataflow-root", metavar="PATH",
+                        help="analyze this tree instead of the "
+                             "installed repro package (the committed "
+                             "baseline then does not apply)")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="also write the dataflow report as SARIF "
+                             "2.1.0 to PATH")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate the committed dataflow "
+                             "baseline from the current findings "
+                             "instead of gating on them")
     parser.add_argument("--crash", action="store_true",
                         help="run the reduced crash matrix over the "
                              "simulated medium")
@@ -420,12 +489,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = {
-        stage for stage in ("graph", "lint", "crash", "fleet", "query",
-                            "telemetry", "style", "types")
+        stage for stage in ("graph", "lint", "dataflow", "crash", "fleet",
+                            "query", "telemetry", "style", "types")
         if getattr(args, stage)
     }
     if args.all or (not selected and not args.bench_compare):
-        selected = {"graph", "lint", "crash", "fleet", "query",
+        selected = {"graph", "lint", "dataflow", "crash", "fleet", "query",
                     "telemetry", "style", "types"}
     ignore = tuple(args.ignore)
 
@@ -438,6 +507,49 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not report.ok:
             failed.append(stage)
+
+    if "dataflow" in selected:
+        from repro.analysis.dataflow import (
+            DEFAULT_BASELINE,
+            baseline_payload,
+            sarif_report,
+        )
+        from repro.durability.atomic import atomic_write_bytes
+
+        if args.update_baseline:
+            if args.dataflow_root is not None:
+                print("dataflow: --update-baseline only applies to the "
+                      "default root")
+                failed.append("dataflow")
+                report = None
+            else:
+                from repro.analysis.dataflow import check_repo
+
+                # The baseline must carry every current finding, not
+                # just the ones the previous baseline missed.
+                report = check_repo(ignore=ignore)
+                atomic_write_bytes(
+                    str(DEFAULT_BASELINE), baseline_payload(report))
+                print(f"dataflow: baseline rewritten with "
+                      f"{len(report.diagnostics)} finding(s) at "
+                      f"{DEFAULT_BASELINE}")
+        else:
+            report, grandfathered = run_dataflow(
+                ignore, root=args.dataflow_root)
+            print(report.to_json() if args.json else report.render_text())
+            if grandfathered:
+                print(f"({grandfathered} baselined finding(s) not shown; "
+                      "--update-baseline regenerates)")
+            if not report.ok:
+                failed.append("dataflow")
+        if args.sarif and report is not None:
+            import json as _json
+
+            atomic_write_bytes(args.sarif, _json.dumps(
+                sarif_report(report), indent=2, sort_keys=True,
+            ).encode("utf-8") + b"\n")
+            print(f"dataflow: SARIF written to {args.sarif}")
+        print()
 
     if "crash" in selected:
         crash_ok, crash_text = run_crash()

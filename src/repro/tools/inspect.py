@@ -45,6 +45,11 @@ on-disk size and the last write-through.
 a container and prints the log's state — segments, record counts,
 committed transactions, and whether the tail is torn — without
 modifying it.
+
+``--cfg QUALNAME`` treats the path as a *Python source file* instead
+of a container and prints the dataflow engine's control-flow graph of
+the named function (``serve`` or ``PagedBlob.read``-style qualnames),
+node by node with its edges — the exact graph the DF rules analyze.
 """
 
 from __future__ import annotations
@@ -270,6 +275,31 @@ def health_text(server: VodServer, obs: Observability) -> str:
     return "\n\n".join(parts)
 
 
+def cfg_dump_text(path: str, qualname: str) -> str:
+    """The CFG dump of one function in a Python source file.
+
+    Raises :class:`~repro.errors.AnalysisError` for an unknown
+    qualname, listing what the file does define.
+    """
+    import ast
+    from pathlib import Path
+
+    from repro.analysis.cfg import build_cfg, function_defs
+    from repro.errors import AnalysisError
+
+    source = Path(path)
+    tree = ast.parse(source.read_text(encoding="utf-8"))
+    defs = function_defs(tree)
+    for found, _, func in defs:
+        if found == qualname:
+            return build_cfg(func, name=source.name,
+                             qualname=qualname).dump()
+    raise AnalysisError(
+        f"no function {qualname!r} in {path}; defines: "
+        f"{', '.join(q for q, _, _ in defs) or '(none)'}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.inspect",
@@ -312,7 +342,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--wal", action="store_true",
                         help="treat PATH as a write-ahead-log directory "
                              "and print its state")
+    parser.add_argument("--cfg", metavar="QUALNAME",
+                        help="treat PATH as a Python source file and "
+                             "print the control-flow graph of the "
+                             "QUALNAME function (e.g. PagedBlob.read)")
     args = parser.parse_args(argv)
+
+    if args.cfg:
+        from repro.errors import MediaModelError
+
+        try:
+            print(cfg_dump_text(args.path, args.cfg))
+        except (OSError, SyntaxError, MediaModelError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.wal:
         from repro.durability import REAL_FS, WriteAheadLog

@@ -1,0 +1,337 @@
+"""Golden tests for the dataflow engine's CFG builder.
+
+Each test pins one lowering decision documented in
+:mod:`repro.analysis.cfg`: branch edge kinds, loop back edges,
+finally-suite duplication per continuation, catch-all handler
+semantics, dead-code elision, and the every-node-reachable invariant
+the property suite generalizes.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import (
+    CFG,
+    build_cfg,
+    function_defs,
+    may_raise,
+)
+from repro.errors import AnalysisError
+
+
+def cfg_of(source: str, qualname: str | None = None) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    defs = function_defs(tree)
+    if qualname is None:
+        qualname, _, func = defs[0]
+    else:
+        func = next(f for q, _, f in defs if q == qualname)
+    return build_cfg(func, name="fixture.py", qualname=qualname)
+
+
+def nodes_matching(cfg: CFG, text: str) -> list[int]:
+    """Ids of statement nodes whose source unparse equals ``text``."""
+    return [
+        node.node_id for node in cfg.statement_nodes()
+        if ast.unparse(node.stmt) == text
+    ]
+
+
+def edges(cfg: CFG, kind: str) -> list[tuple[int, int]]:
+    return [
+        (src, dst)
+        for src, out in cfg.succs.items()
+        for dst, k in out
+        if k == kind
+    ]
+
+
+def reaches(cfg: CFG, start: int, goal: int,
+            banned: frozenset[int] = frozenset()) -> bool:
+    stack, seen = [start], {start}
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        for succ, _ in cfg.succs[node]:
+            if succ not in seen and succ not in banned:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+class TestStraightLine:
+    def test_entry_body_exit_chain(self):
+        cfg = cfg_of("""\
+            def f():
+                a = g()
+                return a
+            """)
+        assert cfg.succs[cfg.entry] == [(nodes_matching(cfg, "a = g()")[0],
+                                         "normal")]
+        assert reaches(cfg, cfg.entry, cfg.exit)
+        assert cfg.reachable_from_entry() == set(cfg.nodes)
+
+    def test_call_statements_get_exc_edges(self):
+        cfg = cfg_of("""\
+            def f():
+                work()
+            """)
+        node = nodes_matching(cfg, "work()")[0]
+        assert (node, cfg.raise_exit) in edges(cfg, "exc")
+
+    def test_trivial_statements_get_no_exc_edges(self):
+        cfg = cfg_of("""\
+            def f():
+                a = 1
+                pass
+                return a
+            """)
+        assert edges(cfg, "exc") == []
+
+
+class TestBranches:
+    def test_if_else_true_false_edges(self):
+        cfg = cfg_of("""\
+            def f(flag):
+                if flag:
+                    a = then_branch()
+                else:
+                    a = else_branch()
+                return a
+            """)
+        test = nodes_matching(cfg, "flag")[0]
+        then = nodes_matching(cfg, "a = then_branch()")[0]
+        other = nodes_matching(cfg, "a = else_branch()")[0]
+        assert (test, then) in edges(cfg, "true")
+        assert (test, other) in edges(cfg, "false")
+        ret = nodes_matching(cfg, "return a")[0]
+        assert reaches(cfg, then, ret) and reaches(cfg, other, ret)
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("""\
+            def f(flag):
+                if flag:
+                    extra()
+                done()
+            """)
+        test = nodes_matching(cfg, "flag")[0]
+        done = nodes_matching(cfg, "done()")[0]
+        assert (test, done) in edges(cfg, "false")
+
+
+class TestLoops:
+    def test_while_back_edge_and_exit(self):
+        cfg = cfg_of("""\
+            def f(n):
+                while n:
+                    n = step(n)
+                return n
+            """)
+        test = nodes_matching(cfg, "n")[0]
+        body = nodes_matching(cfg, "n = step(n)")[0]
+        assert (test, body) in edges(cfg, "true")
+        assert (body, test) in edges(cfg, "back")
+        assert reaches(cfg, test, cfg.exit)
+
+    def test_for_iter_and_exhaust_edges(self):
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    emit(item)
+                return None
+            """)
+        heads = [n.node_id for n in cfg.statement_nodes()
+                 if n.label == "loop-head"]
+        assert len(heads) == 1
+        body = nodes_matching(cfg, "emit(item)")[0]
+        assert (heads[0], body) in edges(cfg, "iter")
+        assert edges(cfg, "exhaust") != []
+        assert (body, heads[0]) in edges(cfg, "back")
+
+    def test_break_exits_continue_loops(self):
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    continue
+                return None
+            """)
+        head = next(n.node_id for n in cfg.statement_nodes()
+                    if n.label == "loop-head")
+        brk = next(n.node_id for n in cfg.nodes.values()
+                   if n.label == "break")
+        cont = next(n.node_id for n in cfg.nodes.values()
+                    if n.label == "continue")
+        assert (cont, head) in edges(cfg, "back")
+        # break reaches the return without going back through the head
+        ret = nodes_matching(cfg, "return None")[0]
+        assert reaches(cfg, brk, ret, banned=frozenset({head}))
+        assert cfg.reachable_from_entry() == set(cfg.nodes)
+
+
+class TestTry:
+    def test_exc_edge_lands_on_handler_head(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    fallback()
+            """)
+        body = nodes_matching(cfg, "risky()")[0]
+        head = cfg.handler_regions[0].head
+        assert (body, head) in edges(cfg, "exc")
+        # ValueError is narrow: the unmatched exception still escapes
+        assert (body, cfg.raise_exit) in edges(cfg, "exc")
+
+    def test_catch_all_suppresses_escape(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    fallback()
+            """)
+        body = nodes_matching(cfg, "risky()")[0]
+        assert (body, cfg.raise_exit) not in edges(cfg, "exc")
+
+    def test_finally_duplicated_per_continuation(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    return work()
+                finally:
+                    cleanup()
+            """)
+        copies = nodes_matching(cfg, "cleanup()")
+        # one copy on the return path, one on the exception path
+        assert len(copies) == 2
+        assert any(reaches(cfg, c, cfg.exit,
+                           banned=frozenset({cfg.raise_exit}))
+                   for c in copies)
+        assert any(reaches(cfg, c, cfg.raise_exit,
+                           banned=frozenset({cfg.exit}))
+                   for c in copies)
+
+    def test_every_escape_route_passes_the_finally(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    a = work()
+                    return a
+                finally:
+                    cleanup()
+            """)
+        banned = frozenset(nodes_matching(cfg, "cleanup()"))
+        assert not reaches(cfg, cfg.entry, cfg.exit, banned=banned)
+        assert not reaches(cfg, cfg.entry, cfg.raise_exit, banned=banned)
+
+    def test_handler_region_records_body_and_names(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    risky()
+                except (ValueError, faults.SimulatedCrash):
+                    note()
+                    raise
+            """)
+        region = cfg.handler_regions[0]
+        assert region.names_exception("SimulatedCrash")
+        assert region.names_exception("ValueError")
+        assert not region.names_exception("KeyError")
+        assert nodes_matching(cfg, "note()")[0] in region.body_ids
+
+
+class TestWithAndMatch:
+    def test_with_body_keeps_exc_edges(self):
+        cfg = cfg_of("""\
+            def f(lock):
+                with lock:
+                    work()
+            """)
+        body = nodes_matching(cfg, "work()")[0]
+        assert (body, cfg.raise_exit) in edges(cfg, "exc")
+
+    def test_match_fans_out_per_case(self):
+        cfg = cfg_of("""\
+            def f(value):
+                match value:
+                    case 1:
+                        one()
+                    case 2:
+                        two()
+                return None
+            """)
+        subject = next(n.node_id for n in cfg.statement_nodes()
+                       if n.label == "match")
+        assert len([e for e in edges(cfg, "true") if e[0] == subject]) == 2
+        ret = nodes_matching(cfg, "return None")[0]
+        assert (subject, ret) in edges(cfg, "false")
+
+
+class TestDeadCode:
+    def test_statements_after_return_get_no_nodes(self):
+        cfg = cfg_of("""\
+            def f():
+                return early()
+                never()
+            """)
+        assert nodes_matching(cfg, "never()") == []
+        assert cfg.reachable_from_entry() == set(cfg.nodes)
+
+    def test_statements_after_raise_get_no_nodes(self):
+        cfg = cfg_of("""\
+            def f():
+                raise ValueError("no")
+                never()
+            """)
+        assert nodes_matching(cfg, "never()") == []
+        assert not reaches(cfg, cfg.entry, cfg.exit)
+        assert reaches(cfg, cfg.entry, cfg.raise_exit)
+
+
+class TestHelpers:
+    def test_may_raise_classification(self):
+        raising = ast.parse("x = f()").body[0]
+        trivial = ast.parse("x = 1").body[0]
+        assert may_raise(raising)
+        assert not may_raise(trivial)
+        assert not may_raise(ast.parse("pass").body[0])
+        assert may_raise(ast.parse("x.y = 1").body[0])
+
+    def test_function_defs_finds_methods_nested_and_guarded(self):
+        tree = ast.parse(textwrap.dedent("""\
+            class Box:
+                def get(self):
+                    def helper():
+                        return 1
+                    return helper()
+
+            if True:
+                def guarded():
+                    return 2
+            """))
+        names = [qualname for qualname, _, _ in function_defs(tree)]
+        assert names == ["Box.get", "Box.get.helper", "guarded"]
+        by_name = {q: cls for q, cls, _ in function_defs(tree)}
+        assert by_name["Box.get"].name == "Box"
+        assert by_name["guarded"] is None
+
+    def test_build_cfg_rejects_non_functions(self):
+        with pytest.raises(AnalysisError):
+            build_cfg(ast.parse("x = 1").body[0])
+
+    def test_dump_is_deterministic_and_labeled(self):
+        source = """\
+            def f(flag):
+                if flag:
+                    work()
+            """
+        first, second = cfg_of(source).dump(), cfg_of(source).dump()
+        assert first == second
+        assert "cfg fixture.py::f" in first
+        assert "(true)" in first and "(false)" in first

@@ -154,3 +154,88 @@ class TestBenchCompare:
         passed, text = run_bench_compare(str(tmp_path / "nope.json"))
         assert not passed
         assert "no baseline" in text
+
+
+class TestDataflowStage:
+    PIN_LEAK = (
+        "def leak(pool, page):\n"
+        "    pool.pin(page)\n"
+        "    pool.use(page)\n"
+    )
+
+    def test_dataflow_stage_runs_clean_on_this_repo(self, capsys):
+        assert main(["--dataflow"]) == 0
+        out = capsys.readouterr().out
+        assert "dataflow:repro: 0 finding(s)" in out
+        assert "check passed" in out
+
+    def test_list_rules_includes_every_engine(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("MG001", "LN001", "DF001", "DF008"):
+            assert rule in out
+
+    def test_rule_ranges_cover_all_engines(self):
+        from repro.tools.check import rule_ranges
+
+        ranges = rule_ranges()
+        assert "DF001-DF008" in ranges
+        assert "MG001-" in ranges and "LN001-" in ranges
+
+    def test_pin_leak_fixture_fails_the_stage(self, tmp_path, capsys):
+        (tmp_path / "scratch.py").write_text(self.PIN_LEAK)
+        assert main(["--dataflow", "--dataflow-root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DF001" in out
+        assert "check failed: dataflow" in out
+
+    def test_custom_root_passes_when_clean(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("def ok():\n    return 1\n")
+        assert main(["--dataflow", "--dataflow-root", str(tmp_path)]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_sarif_output_round_trips(self, tmp_path, capsys):
+        from repro.analysis.dataflow import validate_sarif
+
+        (tmp_path / "scratch.py").write_text(self.PIN_LEAK)
+        sarif_path = tmp_path / "findings.sarif"
+        assert main(["--dataflow", "--dataflow-root", str(tmp_path),
+                     "--sarif", str(sarif_path)]) == 1
+        payload = json.loads(sarif_path.read_text())
+        validate_sarif(payload)
+        assert payload["runs"][0]["results"][0]["ruleId"] == "DF001"
+        assert "SARIF written" in capsys.readouterr().out
+
+    def test_committed_baseline_is_current(self):
+        # the shipped baseline must describe the tree as committed: a
+        # regeneration produces byte-identical content (and today the
+        # tree is clean, so the baseline is empty)
+        from repro.analysis.dataflow import (
+            DEFAULT_BASELINE,
+            baseline_payload,
+            check_repo,
+        )
+
+        assert DEFAULT_BASELINE.is_file()
+        assert baseline_payload(check_repo()) == \
+            DEFAULT_BASELINE.read_bytes()
+
+    def test_update_baseline_refuses_custom_roots(self, tmp_path, capsys):
+        assert main(["--dataflow", "--dataflow-root", str(tmp_path),
+                     "--update-baseline"]) == 1
+        assert "only applies to the default root" in \
+            capsys.readouterr().out
+
+    def test_update_baseline_writes_deterministic_payload(
+            self, tmp_path, monkeypatch, capsys):
+        # redirect the committed baseline into tmp and regenerate twice
+        import repro.tools.check as check_mod
+        from repro.analysis import dataflow
+
+        target = tmp_path / "dataflow_baseline.json"
+        monkeypatch.setattr(dataflow, "DEFAULT_BASELINE", target)
+        assert check_mod.main(["--dataflow", "--update-baseline"]) == 0
+        first = target.read_bytes()
+        assert check_mod.main(["--dataflow", "--update-baseline"]) == 0
+        assert target.read_bytes() == first
+        assert "baseline rewritten" in capsys.readouterr().out

@@ -130,3 +130,33 @@ class TestDashboard:
         assert main([container_path, "--dash"]) == 0
         out = capsys.readouterr().out
         assert "telemetry dashboard" in out
+
+
+class TestCfgDump:
+    def test_cfg_dump_prints_the_graph(self, tmp_path, capsys):
+        source = tmp_path / "mod.py"
+        source.write_text(
+            "class Pool:\n"
+            "    def grab(self, page):\n"
+            "        if page:\n"
+            "            return self.pin(page)\n"
+            "        return None\n"
+        )
+        assert main([str(source), "--cfg", "Pool.grab"]) == 0
+        out = capsys.readouterr().out
+        assert "cfg mod.py::Pool.grab" in out
+        assert "(true)" in out and "(exc)" in out
+
+    def test_unknown_qualname_lists_what_exists(self, tmp_path, capsys):
+        source = tmp_path / "mod.py"
+        source.write_text("def only():\n    return 1\n")
+        assert main([str(source), "--cfg", "missing"]) == 1
+        err = capsys.readouterr().err
+        assert "no function 'missing'" in err
+        assert "only" in err
+
+    def test_cfg_on_unparseable_file_fails_cleanly(self, tmp_path, capsys):
+        source = tmp_path / "broken.py"
+        source.write_text("def broken(:\n")
+        assert main([str(source), "--cfg", "broken"]) == 1
+        assert "error:" in capsys.readouterr().err
